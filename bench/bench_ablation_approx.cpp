@@ -1,0 +1,147 @@
+/// Ablation bench for the design choices DESIGN.md §5 calls out:
+///   1. Approximations A and B in isolation (exact / A-only / B-only / A+B)
+///      — which approximation costs how much fidelity;
+///   2. the connection-parameter sweep (k ∈ {1,2,5,10,25,100});
+///   3. replay order: the paper's popularity-proportional order vs a
+///      uniform shuffle;
+///   4. index-side filtering: reply sizes with and without top-N filtering
+///      against the UDP MTU.
+
+#include <iostream>
+
+#include "analysis/compare.hpp"
+#include "common.hpp"
+#include "core/client.hpp"
+
+namespace {
+
+using namespace dharma;
+
+std::string musigma(const RunningStats& s) {
+  return ana::cellDouble(s.mean(), 4) + "/" + ana::cellDouble(s.stddev(), 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dharma;
+  auto env = bench::BenchEnv::parse(argc, argv, /*defaultScale=*/0.02);
+  bench::banner("Ablation — approximation design choices", env);
+
+  folk::Trg trg = bench::buildTrg(env);
+  ThreadPool pool(env.threads);
+  folk::CsrFg exact = folk::deriveExactFg(trg, &pool);
+  wl::Trace trace = wl::buildPaperOrderTrace(trg, env.seed + 1);
+
+  // -- 1. mode ablation --------------------------------------------------
+  {
+    struct Mode {
+      const char* name;
+      folk::MaintenanceConfig cfg;
+    };
+    const Mode modes[] = {
+        {"exact", folk::exactMode()},
+        {"A-only (k=1)", folk::approxAOnly(1)},
+        {"B-only", folk::approxBOnly()},
+        {"A+B (k=1, paper)", folk::approxMode(1)},
+    };
+    std::vector<std::vector<std::string>> rows;
+    for (const Mode& m : modes) {
+      folk::FolksonomyModel model =
+          wl::replayApproximated(trace, m.cfg, env.seed + 2);
+      folk::CsrFg fg = model.freezeFg(trg.tagSpan());
+      ana::CompareReport rep = ana::compareFgs(exact, fg, &pool);
+      rows.push_back({m.name, ana::cellInt(fg.numArcs()),
+                      ana::cellInt(fg.totalWeight()), musigma(rep.recall),
+                      musigma(rep.kendall), musigma(rep.cosine),
+                      ana::cellInt(model.counters().reverseArcUpdates)});
+    }
+    ana::printTable(std::cout, "mode ablation (vs exact FG)",
+                    {"mode", "arcs", "total weight", "recall mu/sigma",
+                     "Ktau mu/sigma", "theta mu/sigma", "reverse updates"},
+                    rows);
+  }
+
+  // -- 2. k sweep ----------------------------------------------------------
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (u32 k : {1u, 2u, 5u, 10u, 25u, 100u}) {
+      folk::CsrFg fg =
+          wl::replayApproximated(trace, folk::approxMode(k), env.seed + 2)
+              .freezeFg(trg.tagSpan());
+      ana::CompareReport rep = ana::compareFgs(exact, fg, &pool);
+      rows.push_back({std::to_string(k), musigma(rep.recall),
+                      musigma(rep.kendall), musigma(rep.cosine),
+                      musigma(rep.sim1),
+                      ana::cellDouble(rep.missingLe3Share(), 4)});
+    }
+    ana::printTable(std::cout,
+                    "connection parameter sweep (tagging cost = 4 + k lookups)",
+                    {"k", "recall", "Ktau", "theta", "sim1%",
+                     "missing w<=3 share"},
+                    rows);
+  }
+
+  // -- 3. replay-order ablation ---------------------------------------------
+  {
+    wl::Trace uniform = wl::buildUniformTrace(trg, env.seed + 4);
+    std::vector<std::vector<std::string>> rows;
+    for (auto [name, tr] : {std::pair<const char*, const wl::Trace*>{
+                                "paper order (res ∝ popularity)", &trace},
+                            {"uniform shuffle", &uniform}}) {
+      folk::CsrFg fg =
+          wl::replayApproximated(*tr, folk::approxMode(1), env.seed + 2)
+              .freezeFg(trg.tagSpan());
+      ana::CompareReport rep = ana::compareFgs(exact, fg, &pool);
+      rows.push_back({name, musigma(rep.recall), musigma(rep.kendall),
+                      musigma(rep.cosine)});
+    }
+    ana::printTable(std::cout, "replay order (k=1)",
+                    {"order", "recall", "Ktau", "theta"}, rows);
+  }
+
+  // -- 4. index-side filtering on a live overlay -----------------------------
+  {
+    dht::DhtNetworkConfig cfg;
+    cfg.nodes = 16;
+    cfg.seed = env.seed;
+    cfg.latency = "constant";
+    cfg.constantLatencyUs = 5000;
+    dht::DhtNetwork net(cfg);
+    net.bootstrap();
+    // A hot tag block with 400 entries (a "core" tag's t̂).
+    std::vector<dht::StoreToken> batch;
+    for (int i = 0; i < 400; ++i) {
+      batch.push_back(dht::StoreToken{dht::TokenKind::kIncrement,
+                                      "related-tag-" + std::to_string(i),
+                                      static_cast<u64>(1 + i % 97),
+                                      {}});
+    }
+    dht::NodeId key = dht::NodeId::fromString("hot-tag|3");
+    net.putManyBlocking(0, key, batch);
+
+    std::vector<std::vector<std::string>> rows;
+    for (u32 topN : {0u, 100u, 20u}) {
+      u64 bytesBefore = net.network().stats().bytesSent;
+      dht::GetOptions opt;
+      opt.topN = topN;
+      auto view = net.getBlocking(5, key, opt);
+      u64 bytes = net.network().stats().bytesSent - bytesBefore;
+      rows.push_back(
+          {topN == 0 ? "none (MTU cap only)" : "top-" + std::to_string(topN),
+           view ? ana::cellInt(view->entries.size()) : "-",
+           view && view->truncated ? "yes" : "no", ana::cellInt(bytes)});
+    }
+    ana::printTable(
+        std::cout,
+        "index-side filtering of a 400-entry hot block (MTU = 1400 B)",
+        {"filter", "entries returned", "truncated", "GET traffic (bytes)"},
+        rows);
+    std::cout << "# oversize datagrams dropped: "
+              << net.network().stats().droppedOversize
+              << " (responder always trims to MTU)\n";
+  }
+
+  std::cout << "\nRESULT: ablation complete\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+/// Micro-benchmarks (google-benchmark) for the substrate layers: overlay
+/// lookup/PUT/GET cost vs network size, FG derivation throughput, and the
+/// Kendall-tau kernel. These are not paper experiments; they characterise
+/// the simulator so the experiment benches' runtimes are explainable.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/rank.hpp"
+#include "core/client.hpp"
+#include "folksonomy/derive.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace dharma;
+
+std::unique_ptr<dht::DhtNetwork> makeOverlay(usize nodes) {
+  dht::DhtNetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = 42;
+  cfg.latency = "constant";
+  cfg.constantLatencyUs = 1000;
+  auto net = std::make_unique<dht::DhtNetwork>(cfg);
+  net->bootstrap();
+  return net;
+}
+
+void BM_DhtPut(benchmark::State& state) {
+  auto net = makeOverlay(static_cast<usize>(state.range(0)));
+  u64 i = 0;
+  u64 rpcsBefore = net->totalRpcsSent();
+  for (auto _ : state) {
+    dht::NodeId key = dht::NodeId::fromString("put-" + std::to_string(i++));
+    benchmark::DoNotOptimize(net->putBlocking(
+        i % net->size(), key,
+        dht::StoreToken{dht::TokenKind::kIncrement, "e", 1, {}}));
+  }
+  state.counters["rpcs/op"] =
+      static_cast<double>(net->totalRpcsSent() - rpcsBefore) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DhtPut)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_DhtGet(benchmark::State& state) {
+  auto net = makeOverlay(static_cast<usize>(state.range(0)));
+  dht::NodeId key = dht::NodeId::fromString("hot");
+  net->putBlocking(0, key, dht::StoreToken{dht::TokenKind::kIncrement, "e", 1, {}});
+  u64 i = 0;
+  u64 rpcsBefore = net->totalRpcsSent();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->getBlocking(++i % net->size(), key));
+  }
+  state.counters["rpcs/op"] =
+      static_cast<double>(net->totalRpcsSent() - rpcsBefore) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DhtGet)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_DhtBootstrap(benchmark::State& state) {
+  for (auto _ : state) {
+    auto net = makeOverlay(static_cast<usize>(state.range(0)));
+    benchmark::DoNotOptimize(net->totalRpcsSent());
+  }
+}
+BENCHMARK(BM_DhtBootstrap)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TagOperation(benchmark::State& state) {
+  auto net = makeOverlay(32);
+  core::DharmaConfig cfg;
+  cfg.k = static_cast<u32>(state.range(0));
+  core::DharmaClient client(*net, 0, cfg);
+  std::vector<std::string> tags;
+  for (int i = 0; i < 20; ++i) tags.push_back("t" + std::to_string(i));
+  client.insertResource("res", "uri://r", tags);
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        client.tagResource("res", "fresh-" + std::to_string(i++)));
+  }
+  state.counters["lookups/op"] =
+      static_cast<double>(client.totalCost().lookups) /
+      static_cast<double>(state.iterations() + 1);
+}
+BENCHMARK(BM_TagOperation)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_FgDerive(benchmark::State& state) {
+  wl::SynthConfig cfg;
+  cfg.numTags = 2000;
+  cfg.numResources = static_cast<u32>(state.range(0));
+  cfg.targetAnnotations = static_cast<u64>(state.range(0)) * 8;
+  cfg.seed = 7;
+  folk::Trg trg = wl::generate(cfg, nullptr);
+  for (auto _ : state) {
+    folk::CsrFg fg = folk::deriveExactFg(trg);
+    benchmark::DoNotOptimize(fg.numArcs());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(trg.numAnnotations()));
+}
+BENCHMARK(BM_FgDerive)->Arg(2000)->Arg(10000)->Arg(40000)->Unit(benchmark::kMillisecond);
+
+void BM_ApproxReplay(benchmark::State& state) {
+  wl::SynthConfig cfg;
+  cfg.numTags = 2000;
+  cfg.numResources = 10000;
+  cfg.targetAnnotations = 80000;
+  cfg.seed = 7;
+  folk::Trg trg = wl::generate(cfg, nullptr);
+  wl::Trace trace = wl::buildPaperOrderTrace(trg, 8);
+  for (auto _ : state) {
+    auto model = wl::replayApproximated(
+        trace, folk::approxMode(static_cast<u32>(state.range(0))), 9);
+    benchmark::DoNotOptimize(model.fg().arcCount());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(trace.size()));
+}
+BENCHMARK(BM_ApproxReplay)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_KendallTau(benchmark::State& state) {
+  Rng rng(3);
+  usize n = static_cast<usize>(state.range(0));
+  std::vector<double> x(n), y(n);
+  for (usize i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(rng.uniform(1000));
+    y[i] = static_cast<double>(rng.uniform(1000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ana::kendallTauB(x, y));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_KendallTau)->Arg(100)->Arg(10000)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_Sha1(benchmark::State& state) {
+  std::string data(static_cast<usize>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha1(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/// Reproduces Figure 7: CDFs of faceted-search path lengths for the three
+/// selection strategies (last / random / first), on the original and the
+/// approximated (k=1) Folksonomy Graph.
+///
+/// Paper claim: "the approximated approach shortens the navigation, thus
+/// quickening convergence. This effect [is] particularly evident in the
+/// 'first tag' strategy." The bench prints all six CDF series as CSV and
+/// checks stochastic dominance of the approximated curves.
+
+#include <iostream>
+
+#include "analysis/searchsim.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dharma;
+  auto env = bench::BenchEnv::parse(argc, argv);
+  bench::banner("Figure 7 — search path length CDFs", env);
+
+  folk::Trg trg = bench::buildTrg(env);
+  ThreadPool pool(env.threads);
+  folk::CsrFg exact = folk::deriveExactFg(trg, &pool);
+  wl::Trace trace = wl::buildPaperOrderTrace(trg, env.seed + 1);
+  folk::CsrFg approx =
+      wl::replayApproximated(trace, folk::approxMode(1), env.seed + 2)
+          .freezeFg(trg.tagSpan());
+
+  ana::SearchSimConfig sc;
+  sc.startTags = static_cast<usize>(env.opts.getInt("starts", 100));
+  sc.randomRunsPerTag = static_cast<usize>(env.opts.getInt("randruns", 100));
+  sc.seed = env.seed + 3;
+
+  ana::SearchSimReport orig = ana::runSearchSim(exact, trg, sc);
+  ana::SearchSimReport sim = ana::runSearchSim(approx, trg, sc);
+
+  using folk::Strategy;
+  bool dominated = true;
+  for (Strategy s : {Strategy::kLast, Strategy::kRandom, Strategy::kFirst}) {
+    ana::printCsvSeries(std::cout,
+                        std::string("original ") + folk::strategyName(s),
+                        orig.of(s).cdf.points());
+    ana::printCsvSeries(std::cout,
+                        std::string("approximated(k=1) ") + folk::strategyName(s),
+                        sim.of(s).cdf.points());
+    // Check P(steps <= x) for the approximated graph is at least as high as
+    // for the original at a few probe abscissae (>= : shorter paths).
+    double maxX = orig.of(s).steps.max();
+    int ahead = 0, total = 0;
+    for (double frac : {0.25, 0.5, 0.75}) {
+      double x = frac * maxX;
+      ++total;
+      if (sim.of(s).cdf.at(x) + 1e-9 >= orig.of(s).cdf.at(x)) ++ahead;
+    }
+    std::cout << "# " << folk::strategyName(s) << ": approximated CDF >= "
+              << "original at " << ahead << "/" << total << " probes\n";
+    if (s == Strategy::kFirst && ahead < 2) dominated = false;
+  }
+
+  double oF = orig.of(Strategy::kFirst).steps.mean();
+  double sF = sim.of(Strategy::kFirst).steps.mean();
+  // All six series regenerated; the strategy separation must hold. The
+  // approximated-graph dominance (the paper's headline in this figure) is
+  // reported but instance-sensitive — see EXPERIMENTS.md.
+  bool separation = orig.of(Strategy::kLast).steps.mean() <
+                    orig.of(Strategy::kFirst).steps.mean();
+  std::cout << "\nSHAPE CHECK: strategy separation in the CDFs: "
+            << (separation ? "PASS" : "FAIL")
+            << "\nAPPROXIMATION EFFECT ('first' mean " << ana::cellDouble(oF, 2)
+            << " -> " << ana::cellDouble(sF, 2) << "; paper 33.9 -> 19.2): "
+            << (sF < oF && dominated ? "REPRODUCED"
+                                     : "NOT REPRODUCED on this instance")
+            << "\n";
+  return separation ? 0 : 1;
+}

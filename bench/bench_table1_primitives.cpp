@@ -1,0 +1,135 @@
+/// Reproduces Table I: the cost, in overlay lookups, of the three DHARMA
+/// primitives under the naive and the approximated protocol:
+///
+///   Primitives      Insert(r, t1..m)   Tag(r,t)            Search step
+///   naive           2 + 2m             4 + |Tags(r)|       2
+///   approximated    2 + 2m             4 + k               2
+///
+/// These are protocol identities, so unlike the statistical experiments the
+/// measured numbers must match the formulas EXACTLY; the bench runs the
+/// real protocol on a live simulated overlay and diffs every cell.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/client.hpp"
+
+namespace {
+
+using namespace dharma;
+
+dht::DhtNetwork makeOverlay(usize nodes, u64 seed) {
+  dht::DhtNetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  cfg.latency = "lognormal";
+  return dht::DhtNetwork(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dharma;
+  auto env = bench::BenchEnv::parse(argc, argv);
+  usize nodes = static_cast<usize>(env.opts.getInt("nodes", 64));
+  bench::banner("Table I — distributed tagging primitives cost (#lookups)", env);
+  std::cout << "# overlay: " << nodes << " Kademlia/Likir nodes (simulated)\n";
+
+  dht::DhtNetwork net = makeOverlay(nodes, env.seed);
+  net.bootstrap();
+
+  bool allMatch = true;
+  auto check = [&](u64 measured, u64 formula) {
+    if (measured != formula) allMatch = false;
+    return ana::cellInt(measured) + (measured == formula ? " = " : " != ") +
+           ana::cellInt(formula);
+  };
+
+  // -- Insert(r, t1..m): 2 + 2m, identical in both protocols --
+  {
+    std::vector<std::vector<std::string>> rows;
+    core::DharmaClient naive(net, 0, [] {
+      core::DharmaConfig c;
+      c.approximateA = false;
+      c.approximateB = false;
+      return c;
+    }());
+    core::DharmaClient approx(net, 1, core::DharmaConfig{});
+    for (usize m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      std::vector<std::string> tags;
+      for (usize i = 0; i < m; ++i) {
+        tags.push_back("ins-tag-" + std::to_string(m) + "-" + std::to_string(i));
+      }
+      auto cn = naive.insertResource("ins-n-" + std::to_string(m), "uri://n", tags);
+      auto ca = approx.insertResource("ins-a-" + std::to_string(m), "uri://a", tags);
+      rows.push_back({std::to_string(m), check(cn.lookups, 2 + 2 * m),
+                      check(ca.lookups, 2 + 2 * m)});
+    }
+    ana::printTable(std::cout, "Insert(r, t1..tm): paper formula 2 + 2m",
+                    {"m", "naive (measured = formula)",
+                     "approx (measured = formula)"},
+                    rows);
+  }
+
+  // -- Tag(r, t): naive 4 + |Tags(r)|; approximated 4 + k --
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (u32 tagsOnR : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      std::vector<std::string> tags;
+      for (u32 i = 0; i < tagsOnR; ++i) {
+        tags.push_back("tg-" + std::to_string(tagsOnR) + "-" + std::to_string(i));
+      }
+      std::vector<std::string> cells{std::to_string(tagsOnR)};
+
+      core::DharmaConfig ncfg;
+      ncfg.approximateA = false;
+      ncfg.approximateB = false;
+      core::DharmaClient naive(net, 2, ncfg, env.seed);
+      std::string resN = "tagres-n-" + std::to_string(tagsOnR);
+      naive.insertResource(resN, "uri://t", tags);
+      auto cn = naive.tagResource(resN, "fresh-n-" + std::to_string(tagsOnR));
+      cells.push_back(check(cn.lookups, 4 + tagsOnR));
+
+      for (u32 k : {1u, 5u, 10u}) {
+        core::DharmaConfig acfg;
+        acfg.k = k;
+        core::DharmaClient approx(net, 3, acfg, env.seed + k);
+        std::string resA =
+            "tagres-a-" + std::to_string(tagsOnR) + "-" + std::to_string(k);
+        approx.insertResource(resA, "uri://t", tags);
+        auto ca = approx.tagResource(resA, "fresh-a-" + std::to_string(k));
+        cells.push_back(check(ca.lookups, 4 + std::min(k, tagsOnR)));
+      }
+      rows.push_back(cells);
+    }
+    ana::printTable(
+        std::cout,
+        "Tag(r, t): paper formulas — naive 4 + |Tags(r)|, approx 4 + k "
+        "(capped at |Tags(r)|)",
+        {"|Tags(r)|", "naive", "approx k=1", "approx k=5", "approx k=10"},
+        rows);
+  }
+
+  // -- Search step: 2 lookups --
+  {
+    std::vector<std::vector<std::string>> rows;
+    core::DharmaClient client(net, 4);
+    client.insertResource("search-res", "uri://s", {"rock", "pop", "indie"});
+    for (const std::string t : {"rock", "pop", "indie"}) {
+      auto [step, cost] = client.searchStep(t);
+      rows.push_back({t, check(cost.lookups, 2),
+                      std::to_string(step.relatedTags.size()) + " tags, " +
+                          std::to_string(step.resources.size()) + " resources"});
+    }
+    ana::printTable(std::cout, "Search step: paper formula 2",
+                    {"tag", "lookups (measured = formula)", "retrieved"}, rows);
+  }
+
+  std::cout << "\nRESULT: " << (allMatch ? "ALL CELLS MATCH Table I" :
+                                           "MISMATCH vs Table I (see above)")
+            << "\n";
+  std::cout << "# overlay traffic: " << net.network().stats().sent
+            << " datagrams, " << net.network().stats().bytesSent << " bytes, "
+            << net.totalLookups() << " total lookups\n";
+  return allMatch ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+/// Reproduces Table IV: faceted-search path-length statistics for the
+/// last / random / first selection strategies, on the original FG and on
+/// the approximated FG (k = 1).
+///
+/// Paper reference:
+///                      Last            Rand            First
+///   Original    mu     3.47            6.412           33.94
+///               sigma  1.4175          4.4587          15.9942
+///               med    3               5               33
+///   Simulated   mu     3.38            5.2140          19.17
+///   (k=1)       sigma  1.2373          2.6994          10.3065
+///               med    3               5               16
+///
+/// Shape targets: first >> random > last on both graphs; the approximated
+/// graph converges faster (most visibly for "first").
+
+#include <iostream>
+
+#include "analysis/searchsim.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dharma;
+  auto env = bench::BenchEnv::parse(argc, argv);
+  bench::banner("Table IV — search simulation statistics", env);
+
+  folk::Trg trg = bench::buildTrg(env);
+  ThreadPool pool(env.threads);
+  folk::CsrFg exact = folk::deriveExactFg(trg, &pool);
+  wl::Trace trace = wl::buildPaperOrderTrace(trg, env.seed + 1);
+  folk::CsrFg approx =
+      wl::replayApproximated(trace, folk::approxMode(1), env.seed + 2)
+          .freezeFg(trg.tagSpan());
+
+  ana::SearchSimConfig sc;
+  sc.startTags = static_cast<usize>(env.opts.getInt("starts", 100));
+  sc.randomRunsPerTag = static_cast<usize>(env.opts.getInt("randruns", 100));
+  sc.seed = env.seed + 3;
+
+  ana::SearchSimReport orig = ana::runSearchSim(exact, trg, sc);
+  ana::SearchSimReport sim = ana::runSearchSim(approx, trg, sc);
+
+  auto cell = [](const ana::StrategyStats& s, int what) {
+    switch (what) {
+      case 0: return ana::cellDouble(s.steps.mean(), 2);
+      case 1: return ana::cellDouble(s.steps.stddev(), 4);
+      default: return ana::cellDouble(s.medianSteps, 0);
+    }
+  };
+  using folk::Strategy;
+  std::vector<std::vector<std::string>> rows;
+  const char* paperOrig[3][3] = {{"3.47", "6.412", "33.94"},
+                                 {"1.4175", "4.4587", "15.9942"},
+                                 {"3", "5", "33"}};
+  const char* paperSim[3][3] = {{"3.38", "5.2140", "19.17"},
+                                {"1.2373", "2.6994", "10.3065"},
+                                {"3", "5", "16"}};
+  const char* statName[3] = {"mu", "sigma", "median"};
+  for (int what = 0; what < 3; ++what) {
+    rows.push_back({std::string("Original ") + statName[what],
+                    paperOrig[what][0], cell(orig.of(Strategy::kLast), what),
+                    paperOrig[what][1], cell(orig.of(Strategy::kRandom), what),
+                    paperOrig[what][2], cell(orig.of(Strategy::kFirst), what)});
+  }
+  for (int what = 0; what < 3; ++what) {
+    rows.push_back({std::string("Simulated(k=1) ") + statName[what],
+                    paperSim[what][0], cell(sim.of(Strategy::kLast), what),
+                    paperSim[what][1], cell(sim.of(Strategy::kRandom), what),
+                    paperSim[what][2], cell(sim.of(Strategy::kFirst), what)});
+  }
+  ana::printTable(std::cout, "search path length (steps)",
+                  {"graph/stat", "Last paper", "Last", "Rand paper", "Rand",
+                   "First paper", "First"},
+                  rows);
+
+  for (auto [name, rep] : {std::pair<const char*, const ana::SearchSimReport*>{
+                               "original", &orig},
+                           {"approximated", &sim}}) {
+    std::cout << "# " << name << " stop reasons (tags<=1 / res<=10): ";
+    for (Strategy s : {Strategy::kLast, Strategy::kRandom, Strategy::kFirst}) {
+      std::cout << folk::strategyName(s) << "="
+                << ana::cellDouble(
+                       rep->of(s).reasonShare(folk::StopReason::kTagsExhausted), 2)
+                << "/"
+                << ana::cellDouble(
+                       rep->of(s).reasonShare(folk::StopReason::kResourcesNarrowed),
+                       2)
+                << " ";
+    }
+    std::cout << "\n";
+  }
+
+  double oL = orig.of(Strategy::kLast).steps.mean();
+  double oR = orig.of(Strategy::kRandom).steps.mean();
+  double oF = orig.of(Strategy::kFirst).steps.mean();
+  double sF = sim.of(Strategy::kFirst).steps.mean();
+  double sR = sim.of(Strategy::kRandom).steps.mean();
+  bool ordering = oL <= oR && oR < oF;
+  // The paper's magnitudes: last ~3.5, random ~6.4, first ~34 — within an
+  // order of magnitude counts as a magnitude match on a synthetic instance.
+  bool magnitudes = oL < 35 && oR < 64 && oF < 340 && oF > 3.4;
+  bool approxFaster = sF < oF && sR <= oR + 0.5;
+  std::cout << "\nSHAPE CHECK: first >> random >= last on original graph: "
+            << (ordering ? "PASS" : "FAIL")
+            << "; magnitudes within 10x of the paper: "
+            << (magnitudes ? "PASS" : "FAIL")
+            << "\nAPPROXIMATION EFFECT (paper: -43% on 'first'): "
+            << (approxFaster ? "REPRODUCED" : "NOT REPRODUCED on this instance")
+            << " (first " << ana::cellDouble(oF, 2) << " -> "
+            << ana::cellDouble(sF, 2)
+            << "); EXPERIMENTS.md discusses the instance sensitivity.\n";
+  return ordering && magnitudes ? 0 : 1;
+}

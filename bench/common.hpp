@@ -1,0 +1,70 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared scaffolding for the experiment-reproduction benches.
+///
+/// Every bench accepts:
+///   --scale   fraction of the paper's Last.fm crawl to synthesise
+///             (default 0.05; 1.0 = the full 285k tags / 1.41M resources /
+///              11M annotations)
+///   --seed    master seed (default 42)
+///   --threads worker threads for the analysis passes (default: hardware)
+/// and prints the paper's reference numbers next to the measured ones.
+
+#include <iostream>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "folksonomy/derive.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/dataset.hpp"
+#include "workload/trace.hpp"
+
+namespace dharma::bench {
+
+/// Parsed common options + the synthetic dataset they imply.
+struct BenchEnv {
+  Options opts;
+  double scale = 0.05;
+  u64 seed = 42;
+  usize threads = 0;
+
+  static BenchEnv parse(int argc, char** argv, double defaultScale = 0.05) {
+    BenchEnv env;
+    env.opts = Options(argc, argv);
+    env.scale = env.opts.getDouble("scale", defaultScale);
+    env.seed = static_cast<u64>(env.opts.getInt("seed", 42));
+    env.threads = static_cast<usize>(env.opts.getInt("threads", 0));
+    if (env.opts.getBool("verbose", false)) {
+      setLogLevel(LogLevel::kInfo);
+    }
+    return env;
+  }
+
+  wl::SynthConfig synthConfig() const {
+    return wl::SynthConfig::lastfmScaled(scale, seed);
+  }
+};
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& what, const BenchEnv& env) {
+  std::cout << "### " << what << "\n"
+            << "# dataset: synthetic Last.fm, scale=" << env.scale
+            << " (paper crawl = 1.0), seed=" << env.seed << "\n"
+            << "# note: absolute values depend on the synthetic instance; the\n"
+            << "#       paper-vs-measured SHAPE is the reproduction target.\n";
+}
+
+/// Builds (and logs) the synthetic TRG.
+inline folk::Trg buildTrg(const BenchEnv& env, wl::SynthStats* stats = nullptr) {
+  wl::SynthStats local;
+  folk::Trg trg = wl::generate(env.synthConfig(), &local);
+  if (stats != nullptr) *stats = local;
+  std::cout << "# instance: " << local.usedTags << " tags, "
+            << local.usedResources << " resources, " << local.edges
+            << " edges, " << local.annotations << " annotations\n";
+  return trg;
+}
+
+}  // namespace dharma::bench

@@ -1,0 +1,179 @@
+/// \file dharma_cli.cpp
+/// \brief Scriptable command-line driver for a DHARMA overlay.
+///
+/// Spins up a simulated Kademlia/Likir network and executes tagging/search
+/// commands from stdin (or a piped script), printing each operation's
+/// lookup cost — a REPL for exploring the protocol.
+///
+///   $ ./dharma_cli --nodes 32 <<'EOF'
+///   insert nevermind urn:album:nevermind grunge,rock,90s
+///   insert in-utero urn:album:inutero grunge,rock
+///   tag nevermind seattle
+///   step rock
+///   session rock first
+///   resolve nevermind
+///   stats
+///   EOF
+///
+/// Commands:
+///   insert <res> <uri> <tag,tag,...>   publish a resource   (2+2m lookups)
+///   tag <res> <tag>                    add an annotation    (4+k lookups)
+///   step <tag>                         one search step      (2 lookups)
+///   session <tag> [first|last|random]  full faceted search
+///   resolve <res>                      URI lookup           (1 lookup)
+///   stats                              overlay counters
+///   help                               this list
+
+#include <iostream>
+#include <sstream>
+
+#include "core/client.hpp"
+#include "core/session.hpp"
+#include "util/options.hpp"
+
+using namespace dharma;
+
+namespace {
+
+std::vector<std::string> splitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void printHelp() {
+  std::cout << "commands: insert <res> <uri> <tags,csv> | tag <res> <tag> | "
+               "step <tag> | session <tag> [first|last|random] | "
+               "resolve <res> | stats | help | quit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  usize nodes = static_cast<usize>(opts.getInt("nodes", 32));
+  u32 k = static_cast<u32>(opts.getInt("k", 1));
+  u64 seed = static_cast<u64>(opts.getInt("seed", 42));
+  bool naive = opts.getBool("naive", false);
+
+  dht::DhtNetworkConfig netCfg;
+  netCfg.nodes = nodes;
+  netCfg.seed = seed;
+  dht::DhtNetwork net(netCfg);
+  net.bootstrap();
+
+  core::DharmaConfig cfg;
+  cfg.k = k;
+  cfg.approximateA = !naive;
+  cfg.approximateB = !naive;
+  core::DharmaClient client(net, 0, cfg, seed);
+  Rng rng(seed);
+
+  std::cout << "dharma> overlay up: " << nodes << " nodes, protocol="
+            << (naive ? "naive" : "approximated(k=" + std::to_string(k) + ")")
+            << "\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      printHelp();
+      continue;
+    }
+    if (cmd == "insert") {
+      std::string res, uri, tagsCsv;
+      if (!(ls >> res >> uri >> tagsCsv)) {
+        std::cout << "usage: insert <res> <uri> <tags,csv>\n";
+        continue;
+      }
+      auto tags = splitCsv(tagsCsv);
+      core::OpCost cost = client.insertResource(res, uri, tags);
+      std::cout << "inserted '" << res << "' with " << tags.size()
+                << " tags (" << cost.lookups << " lookups)\n";
+    } else if (cmd == "tag") {
+      std::string res, tag;
+      if (!(ls >> res >> tag)) {
+        std::cout << "usage: tag <res> <tag>\n";
+        continue;
+      }
+      core::OpCost cost = client.tagResource(res, tag);
+      std::cout << "tagged '" << res << "' with '" << tag << "' ("
+                << cost.lookups << " lookups)\n";
+    } else if (cmd == "step") {
+      std::string tag;
+      if (!(ls >> tag)) {
+        std::cout << "usage: step <tag>\n";
+        continue;
+      }
+      auto [step, cost] = client.searchStep(tag);
+      if (!step.tagKnown) {
+        std::cout << "tag '" << tag << "' unknown (" << cost.lookups
+                  << " lookups)\n";
+        continue;
+      }
+      std::cout << "related tags:";
+      for (const auto& e : step.relatedTags) {
+        std::cout << ' ' << e.name << '(' << e.weight << ')';
+      }
+      std::cout << (step.tagsTruncated ? " [truncated]" : "") << "\nresources:";
+      for (const auto& e : step.resources) {
+        std::cout << ' ' << e.name << '(' << e.weight << ')';
+      }
+      std::cout << (step.resourcesTruncated ? " [truncated]" : "") << "\n("
+                << cost.lookups << " lookups)\n";
+    } else if (cmd == "session") {
+      std::string tag, strategyName = "first";
+      if (!(ls >> tag)) {
+        std::cout << "usage: session <tag> [first|last|random]\n";
+        continue;
+      }
+      ls >> strategyName;
+      folk::Strategy strategy = folk::Strategy::kFirst;
+      if (strategyName == "last") strategy = folk::Strategy::kLast;
+      if (strategyName == "random") strategy = folk::Strategy::kRandom;
+      core::DharmaSession session(client);
+      auto info = session.start(tag);
+      std::cout << "start '" << tag << "': " << info.resourceCount
+                << " resources, " << info.tagCount << " candidate tags\n";
+      while (!session.done()) {
+        std::string chosen = session.selectByStrategy(strategy, rng);
+        if (chosen.empty()) break;
+        std::cout << "  -> '" << chosen << "': " << session.resources().size()
+                  << " resources, " << session.display().size()
+                  << " displayed tags\n";
+      }
+      std::cout << "done (" << folk::stopReasonName(session.reason()) << ", "
+                << session.totalCost().lookups << " lookups); results:";
+      for (const auto& r : session.resources()) std::cout << ' ' << r;
+      std::cout << "\n";
+    } else if (cmd == "resolve") {
+      std::string res;
+      if (!(ls >> res)) {
+        std::cout << "usage: resolve <res>\n";
+        continue;
+      }
+      auto [uri, cost] = client.resolveUri(res);
+      std::cout << res << " -> " << (uri ? *uri : "<not found>") << " ("
+                << cost.lookups << " lookup)\n";
+    } else if (cmd == "stats") {
+      const auto& ns = net.network().stats();
+      std::cout << "overlay: " << net.size() << " nodes; datagrams sent "
+                << ns.sent << " (" << ns.bytesSent << " bytes), delivered "
+                << ns.delivered << ", lost " << ns.droppedLoss
+                << "; total lookups " << net.totalLookups()
+                << "; client lookups " << client.totalCost().lookups << "\n";
+    } else {
+      std::cout << "unknown command '" << cmd << "'\n";
+      printHelp();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// \file p2p_file_tagging.cpp
+/// \brief Decentralised file tagging under churn and concurrency.
+///
+/// The scenario the paper's introduction motivates: a p2p file-sharing
+/// community annotating shared files with free-form tags. Demonstrates
+///   1. multiple peers publishing and cross-tagging files,
+///   2. the Section IV-B write-write race — naive protocol vs
+///      Approximation B — on a live overlay,
+///   3. resilience: replicated blocks survive peers going offline,
+///   4. Likir identity enforcement (a forged peer is ignored).
+///
+///   $ ./p2p_file_tagging [--nodes 24] [--seed 7]
+
+#include <iostream>
+
+#include "core/client.hpp"
+#include "util/options.hpp"
+
+using namespace dharma;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  usize nodes = static_cast<usize>(opts.getInt("nodes", 24));
+  u64 seed = static_cast<u64>(opts.getInt("seed", 7));
+
+  dht::DhtNetworkConfig netCfg;
+  netCfg.nodes = nodes;
+  netCfg.seed = seed;
+  netCfg.latency = "constant";  // lock-step timing makes the race visible
+  netCfg.constantLatencyUs = 20000;
+  dht::DhtNetwork net(netCfg);
+  net.bootstrap();
+  std::cout << "Swarm of " << nodes << " peers bootstrapped\n\n";
+
+  // --- 1. publishing and cross-tagging -----------------------------------
+  core::DharmaConfig cfg;  // approximated protocol, k = 1
+  core::DharmaClient alice(net, 1, cfg, seed + 1);
+  core::DharmaClient bob(net, 2, cfg, seed + 2);
+  core::DharmaClient carol(net, 3, cfg, seed + 3);
+
+  alice.insertResource("holiday-photos.tar", "magnet:?xt=urn:a1",
+                       {"photos", "2009", "beach"});
+  bob.insertResource("concert-bootleg.flac", "magnet:?xt=urn:b1",
+                     {"music", "live", "bootleg"});
+  carol.insertResource("lecture-notes.pdf", "magnet:?xt=urn:c1",
+                       {"university", "notes"});
+  std::cout << "3 peers published 3 files\n";
+
+  bob.tagResource("holiday-photos.tar", "summer");
+  carol.tagResource("holiday-photos.tar", "photos");  // agreement: weight 2
+  alice.tagResource("concert-bootleg.flac", "music");
+  std::cout << "Cross-tagging done\n";
+
+  auto view =
+      net.getBlocking(0, core::blockKey("holiday-photos.tar",
+                                        core::BlockType::kResourceTags));
+  std::cout << "Tags(holiday-photos.tar) as stored on the DHT:";
+  if (view) {
+    for (const auto& e : view->entries) {
+      std::cout << ' ' << e.name << '(' << e.weight << ')';
+    }
+  }
+  std::cout << "\n\n";
+
+  // --- 2. the concurrent-tagging race -------------------------------------
+  std::cout << "Race demo: two peers add the SAME new tag simultaneously.\n";
+  auto raceOnce = [&](bool useApproxB, const std::string& resName,
+                      const std::string& raceTag, const std::string& baseTag) {
+    core::DharmaConfig rc;
+    rc.approximateA = false;
+    rc.approximateB = useApproxB;
+    core::DharmaClient p1(net, 4, rc, seed + 4);
+    core::DharmaClient p2(net, 5, rc, seed + 5);
+    // u(baseTag, res) = 3.
+    p1.insertResource(resName, "magnet:?xt=urn:r", {baseTag});
+    p1.tagResource(resName, baseTag);
+    p1.tagResource(resName, baseTag);
+    // Both ops launched before the simulator runs: both read r̄ first.
+    int done = 0;
+    p1.tagResourceAsync(resName, raceTag, [&](core::OpCost) { ++done; });
+    p2.tagResourceAsync(resName, raceTag, [&](core::OpCost) { ++done; });
+    net.sim().run();
+    auto that = net.getBlocking(
+        0, core::blockKey(raceTag, core::BlockType::kTagNeighbors));
+    u64 w = that ? that->weightOf(baseTag) : 0;
+    std::cout << "  " << (useApproxB ? "Approximation B" : "naive protocol ")
+              << ": sim(" << raceTag << ", " << baseTag << ") = " << w
+              << " (exact serial value would be 3)\n";
+    return w;
+  };
+  u64 naive = raceOnce(false, "race-naive.bin", "viral-n", "base-n");
+  u64 withB = raceOnce(true, "race-approxb.bin", "viral-b", "base-b");
+  std::cout << "  => naive doubles the read-dependent increment (" << naive
+            << "); B bounds the anomaly (" << withB << ")\n\n";
+
+  // --- 3. churn ------------------------------------------------------------
+  std::cout << "Churn demo: killing 6 peers, re-reading a block.\n";
+  for (usize i = 10; i < 16; ++i) net.setOnline(i, false);
+  auto after = net.getBlocking(
+      0, core::blockKey("holiday-photos.tar", core::BlockType::kResourceTags));
+  std::cout << "  Tags(holiday-photos.tar) still retrievable: "
+            << (after ? "yes" : "NO") << " (" << (after ? after->entries.size() : 0)
+            << " entries; replication factor "
+            << net.node(0).config().kStore << ")\n";
+  auto [uri, cost] = alice.resolveUri("concert-bootleg.flac");
+  std::cout << "  URI resolution after churn: "
+            << (uri ? *uri : "<failed>") << "\n\n";
+
+  // --- 4. identity enforcement ---------------------------------------------
+  std::cout << "Identity demo: forged credential is dropped.\n";
+  crypto::CertificationService rogue("rogue-secret");
+  dht::Envelope evil;
+  evil.type = dht::RpcType::kPing;
+  evil.rpcId = 31337;
+  evil.sender.id = dht::NodeId::fromString("mallory");
+  evil.sender.addr = net.node(1).address();
+  evil.credential = rogue.enroll("mallory");
+  u64 rejectsBefore = net.node(0).counters().credentialRejects;
+  net.network().send(net.node(1).address(), net.node(0).address(),
+                     evil.encode());
+  net.sim().run();
+  std::cout << "  credential rejects at victim: "
+            << net.node(0).counters().credentialRejects - rejectsBefore
+            << " (forged peer never enters the routing table)\n";
+
+  std::cout << "\nSwarm totals: " << net.network().stats().sent
+            << " datagrams, " << net.totalLookups() << " lookups\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the DHARMA core model — no overlay involved.
+///
+/// Builds a small music folksonomy with the in-memory maintenance engine,
+/// shows the exact vs approximated Folksonomy Graph side by side, and runs
+/// a faceted search session the way Section III-C describes.
+///
+///   $ ./quickstart
+
+#include <iostream>
+
+#include "folksonomy/derive.hpp"
+#include "folksonomy/faceted.hpp"
+#include "folksonomy/interner.hpp"
+#include "folksonomy/model.hpp"
+
+using namespace dharma;
+
+int main() {
+  folk::Interner tags, resources;
+
+  // A handful of albums with genre tags; u(t,r) grows when several users
+  // repeat an annotation.
+  struct Album {
+    const char* name;
+    std::vector<std::pair<const char*, int>> tags;  // (tag, users)
+  };
+  const std::vector<Album> albums = {
+      {"paranoid", {{"metal", 4}, {"rock", 3}, {"classic", 1}}},
+      {"master-of-puppets", {{"metal", 5}, {"thrash", 3}}},
+      {"nevermind", {{"rock", 5}, {"grunge", 4}, {"classic", 1}}},
+      {"ok-computer", {{"rock", 4}, {"alternative", 3}, {"electronic", 1}}},
+      {"kid-a", {{"electronic", 4}, {"alternative", 2}, {"rock", 1}}},
+      {"in-utero", {{"grunge", 3}, {"rock", 2}}},
+      {"ride-the-lightning", {{"metal", 3}, {"thrash", 2}, {"rock", 1}}},
+      {"the-bends", {{"rock", 3}, {"alternative", 2}}},
+  };
+
+  // Exact model and the paper's approximated model (A + B, k = 1), fed the
+  // same annotation stream.
+  folk::FolksonomyModel exact(folk::exactMode(), /*seed=*/1);
+  folk::FolksonomyModel approx(folk::approxMode(1), /*seed=*/1);
+
+  for (const Album& a : albums) {
+    u32 r = resources.intern(a.name);
+    // First user uploads the resource with its initial tag set...
+    std::vector<u32> initial;
+    for (const auto& [t, _] : a.tags) initial.push_back(tags.intern(t));
+    exact.insertResource(r, initial);
+    approx.insertResource(r, initial);
+    // ...then the community repeats annotations (tag insertion, III-B.2).
+    for (const auto& [t, users] : a.tags) {
+      for (int u = 1; u < users; ++u) {
+        exact.tagResource(r, *tags.find(t));
+        approx.tagResource(r, *tags.find(t));
+      }
+    }
+  }
+
+  std::cout << "Built folksonomy: " << exact.trg().usedResources()
+            << " resources, " << exact.trg().usedTags() << " tags, "
+            << exact.trg().numAnnotations() << " annotations\n";
+  std::cout << "Exact FG: " << exact.fg().arcCount()
+            << " arcs (total weight " << exact.fg().totalWeight() << ")\n";
+  std::cout << "Approx FG (A+B, k=1): " << approx.fg().arcCount()
+            << " arcs (total weight " << approx.fg().totalWeight() << ")\n\n";
+
+  // Similarity neighbourhood of "rock" in both graphs.
+  folk::CsrFg exactFg = exact.freezeFg();
+  folk::CsrFg approxFg = approx.freezeFg();
+  u32 rock = *tags.find("rock");
+  std::cout << "N_FG(rock) — sim(rock, t) exact vs approximated:\n";
+  for (const auto& nb : exactFg.neighbors(rock)) {
+    std::cout << "  " << tags.name(nb.tag) << ": " << nb.weight << " vs "
+              << approxFg.weightOf(rock, nb.tag) << "\n";
+  }
+
+  // Faceted search: start broad, narrow by selecting displayed tags.
+  folk::Trg trg = exact.trg();  // copy so we can freeze it
+  trg.freeze();
+  folk::SearchConfig cfg;
+  cfg.resourceStop = 1;  // small catalogue: narrow down to a single album
+  folk::SearchSession session(exactFg, trg, cfg);
+  session.start(rock);
+  std::cout << "\nFaceted search from 'rock' (first-tag strategy):\n";
+  std::cout << "  R0 = " << session.resources().size() << " albums, T0 = {";
+  for (const auto& d : session.display()) {
+    std::cout << ' ' << tags.name(d.tag) << '(' << d.weight << ')';
+  }
+  std::cout << " }\n";
+  Rng rng(7);
+  while (!session.done()) {
+    u32 chosen = session.selectByStrategy(folk::Strategy::kFirst, rng);
+    std::cout << "  selected '" << tags.name(chosen) << "' -> "
+              << session.resources().size() << " albums, "
+              << session.candidateTags().size() << " candidate tags\n";
+  }
+  std::cout << "  stop reason: " << folk::stopReasonName(session.reason())
+            << "; results:";
+  for (u32 r : session.resources()) std::cout << ' ' << resources.name(r);
+  std::cout << "\n\nDone. Next: run the DHT-backed examples (music_catalog, "
+               "p2p_file_tagging).\n";
+  return 0;
+}

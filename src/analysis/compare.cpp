@@ -1,0 +1,109 @@
+#include "analysis/compare.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "analysis/rank.hpp"
+
+namespace dharma::ana {
+
+namespace {
+/// Accumulates the comparison of one tag's arc rows into \p rep.
+void compareTag(const folk::CsrFg& exact, const folk::CsrFg& approx, u32 t,
+                CompareReport& rep, std::vector<double>& ew,
+                std::vector<double>& aw) {
+  auto exRow = exact.neighbors(t);
+  auto apRow = approx.neighbors(t);
+  if (exRow.empty() && apRow.empty()) return;
+  rep.exactArcsTotal += exRow.size();
+  rep.approxArcsTotal += apRow.size();
+  if (exRow.empty()) {
+    rep.approxOnlyArcs += apRow.size();
+    return;
+  }
+  ++rep.tagsWithExactArcs;
+
+  // Merge the two id-sorted rows.
+  ew.clear();
+  aw.clear();
+  usize missing = 0, missing1 = 0, missingLe3 = 0;
+  usize i = 0, j = 0;
+  while (i < exRow.size() || j < apRow.size()) {
+    if (j >= apRow.size() || (i < exRow.size() && exRow[i].tag < apRow[j].tag)) {
+      ++missing;
+      if (exRow[i].weight == 1) ++missing1;
+      if (exRow[i].weight <= 3) ++missingLe3;
+      ++i;
+    } else if (i >= exRow.size() || apRow[j].tag < exRow[i].tag) {
+      ++rep.approxOnlyArcs;  // should never happen (approx ⊆ exact)
+      ++j;
+    } else {
+      ew.push_back(static_cast<double>(exRow[i].weight));
+      aw.push_back(static_cast<double>(apRow[j].weight));
+      ++i;
+      ++j;
+    }
+  }
+
+  rep.recall.add(static_cast<double>(apRow.size()) /
+                 static_cast<double>(exRow.size()));
+  rep.missingArcs += missing;
+  rep.missingWeight1 += missing1;
+  rep.missingWeightLe3 += missingLe3;
+  if (missing > 0) {
+    rep.sim1.add(static_cast<double>(missing1) / static_cast<double>(missing));
+  }
+
+  if (ew.size() >= 1) {
+    double th = cosineSimilarity(ew, aw);
+    if (!std::isnan(th)) rep.cosine.add(th);
+  }
+  if (ew.size() >= 2) {
+    double kt = kendallTauB(ew, aw);
+    if (!std::isnan(kt)) {
+      rep.kendall.add(kt);
+      ++rep.tagsWithRankMetrics;
+    }
+  }
+}
+
+void mergeReports(CompareReport& into, const CompareReport& from) {
+  into.recall.merge(from.recall);
+  into.kendall.merge(from.kendall);
+  into.cosine.merge(from.cosine);
+  into.sim1.merge(from.sim1);
+  into.tagsWithExactArcs += from.tagsWithExactArcs;
+  into.tagsWithRankMetrics += from.tagsWithRankMetrics;
+  into.exactArcsTotal += from.exactArcsTotal;
+  into.approxArcsTotal += from.approxArcsTotal;
+  into.missingArcs += from.missingArcs;
+  into.missingWeight1 += from.missingWeight1;
+  into.missingWeightLe3 += from.missingWeightLe3;
+  into.approxOnlyArcs += from.approxOnlyArcs;
+}
+}  // namespace
+
+CompareReport compareFgs(const folk::CsrFg& exact, const folk::CsrFg& approx,
+                         ThreadPool* pool) {
+  const u32 n = std::max(exact.numTags(), approx.numTags());
+  if (pool == nullptr || pool->threadCount() <= 1) {
+    CompareReport rep;
+    std::vector<double> ew, aw;
+    for (u32 t = 0; t < n; ++t) compareTag(exact, approx, t, rep, ew, aw);
+    return rep;
+  }
+  CompareReport total;
+  std::mutex mu;
+  parallelFor(pool, n, 2048, [&](usize begin, usize end) {
+    CompareReport local;
+    std::vector<double> ew, aw;
+    for (usize t = begin; t < end; ++t) {
+      compareTag(exact, approx, static_cast<u32>(t), local, ew, aw);
+    }
+    std::lock_guard lk(mu);
+    mergeReports(total, local);
+  });
+  return total;
+}
+
+}  // namespace dharma::ana

@@ -1,0 +1,51 @@
+#pragma once
+/// \file compare.hpp
+/// \brief Theoretic vs approximated FG comparison (paper Table III).
+///
+/// For every tag t the paper compares the outgoing-arc set of the exact FG
+/// against the approximated FG:
+///   - Recall: |approx arcs| / |exact arcs| (the approximated arc set is a
+///     subset of the exact one — asserted);
+///   - Kendall τ and cosine θ over the arcs common to both graphs
+///     (weight-rank preservation / proportionality);
+///   - sim1%: among arcs *missing* from the approximated graph, the
+///     fraction whose exact weight is 1 (the "noise" claim);
+/// plus the distribution of missing-arc weights (the text's "for every k,
+/// the 99% of the missing arcs has a weight <= 3").
+
+#include "folksonomy/fg.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dharma::ana {
+
+/// Aggregated comparison over all tags.
+struct CompareReport {
+  RunningStats recall;   ///< per-tag |approx|/|exact| (tags with exact arcs)
+  RunningStats kendall;  ///< per-tag τ-b over common arcs (>= 2 common)
+  RunningStats cosine;   ///< per-tag θ over common arcs (>= 1 common)
+  RunningStats sim1;     ///< per-tag share of missing arcs with weight 1
+
+  u64 tagsWithExactArcs = 0;
+  u64 tagsWithRankMetrics = 0;
+  u64 exactArcsTotal = 0;
+  u64 approxArcsTotal = 0;
+  u64 missingArcs = 0;
+  u64 missingWeight1 = 0;    ///< missing arcs with exact weight == 1
+  u64 missingWeightLe3 = 0;  ///< missing arcs with exact weight <= 3
+  u64 approxOnlyArcs = 0;    ///< arcs in approx but not exact (must be 0)
+
+  /// Fraction of missing arcs with weight <= 3 (paper: ~0.99).
+  double missingLe3Share() const {
+    return missingArcs ? static_cast<double>(missingWeightLe3) /
+                             static_cast<double>(missingArcs)
+                       : 0.0;
+  }
+};
+
+/// Compares \p exact against \p approx per tag; optional \p pool
+/// parallelises across tag ranges (results are merged deterministically).
+CompareReport compareFgs(const folk::CsrFg& exact, const folk::CsrFg& approx,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace dharma::ana

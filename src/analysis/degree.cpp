@@ -1,0 +1,40 @@
+#include "analysis/degree.hpp"
+
+namespace dharma::ana {
+
+DegreeReport degreeReport(const folk::Trg& trg, const folk::CsrFg& fg) {
+  DegreeReport rep;
+  u64 resDeg1 = 0, tagDeg1 = 0;
+
+  for (u32 r = 0; r < trg.resourceSpan(); ++r) {
+    u32 d = trg.resourceDegree(r);
+    if (d == 0) continue;
+    rep.tagsPerResource.add(d);
+    rep.cdfTagsPerResource.add(d);
+    if (d == 1) ++resDeg1;
+  }
+  for (u32 t = 0; t < trg.tagSpan(); ++t) {
+    u32 d = trg.tagDegree(t);
+    if (d == 0) continue;
+    rep.resPerTag.add(d);
+    rep.cdfResPerTag.add(d);
+    if (d == 1) ++tagDeg1;
+    // FG degree reported over tags used in the TRG (the paper derives the
+    // FG from the same tag population).
+    u32 fd = fg.outDegree(t);
+    rep.fgOutDegree.add(fd);
+    rep.cdfFgDegree.add(fd);
+  }
+
+  if (rep.tagsPerResource.count() > 0) {
+    rep.fracResourcesDeg1 = static_cast<double>(resDeg1) /
+                            static_cast<double>(rep.tagsPerResource.count());
+  }
+  if (rep.resPerTag.count() > 0) {
+    rep.fracTagsDeg1 =
+        static_cast<double>(tagDeg1) / static_cast<double>(rep.resPerTag.count());
+  }
+  return rep;
+}
+
+}  // namespace dharma::ana

@@ -1,0 +1,183 @@
+#include "analysis/rank.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dharma::ana {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Counts strict inversions (i<j with v[i] > v[j]) by merge sort.
+u64 countInversions(std::vector<double>& v) {
+  const usize n = v.size();
+  if (n < 2) return 0;
+  std::vector<double> buf(n);
+  u64 inv = 0;
+  for (usize width = 1; width < n; width *= 2) {
+    for (usize lo = 0; lo + width < n; lo += 2 * width) {
+      usize mid = lo + width;
+      usize hi = std::min(n, mid + width);
+      usize i = lo, j = mid, k = lo;
+      while (i < mid && j < hi) {
+        if (v[i] <= v[j]) {
+          buf[k++] = v[i++];
+        } else {
+          inv += mid - i;  // v[i..mid) all exceed v[j]
+          buf[k++] = v[j++];
+        }
+      }
+      while (i < mid) buf[k++] = v[i++];
+      while (j < hi) buf[k++] = v[j++];
+      std::copy(buf.begin() + static_cast<long>(lo),
+                buf.begin() + static_cast<long>(hi),
+                v.begin() + static_cast<long>(lo));
+    }
+  }
+  return inv;
+}
+
+/// Σ t(t-1)/2 over runs of equal values in a sorted vector.
+u64 tiePairs(const std::vector<double>& sorted) {
+  u64 s = 0;
+  usize run = 1;
+  for (usize i = 1; i <= sorted.size(); ++i) {
+    if (i < sorted.size() && sorted[i] == sorted[i - 1]) {
+      ++run;
+    } else {
+      s += static_cast<u64>(run) * (run - 1) / 2;
+      run = 1;
+    }
+  }
+  return s;
+}
+}  // namespace
+
+double kendallTauB(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const usize n = x.size();
+  if (n < 2) return kNaN;
+
+  std::vector<u32> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    return x[a] != x[b] ? x[a] < x[b] : y[a] < y[b];
+  });
+
+  // Tie corrections: n1 (ties in x), n3 (ties in both), n2 (ties in y).
+  u64 n0 = static_cast<u64>(n) * (n - 1) / 2;
+  u64 n1 = 0, n3 = 0;
+  {
+    usize runX = 1, runXY = 1;
+    for (usize i = 1; i <= n; ++i) {
+      bool sameX = i < n && x[order[i]] == x[order[i - 1]];
+      bool sameXY = sameX && y[order[i]] == y[order[i - 1]];
+      if (sameX) {
+        ++runX;
+      } else {
+        n1 += static_cast<u64>(runX) * (runX - 1) / 2;
+        runX = 1;
+      }
+      if (sameXY) {
+        ++runXY;
+      } else {
+        n3 += static_cast<u64>(runXY) * (runXY - 1) / 2;
+        runXY = 1;
+      }
+    }
+  }
+  u64 n2 = 0;
+  {
+    std::vector<double> ys(y);
+    std::sort(ys.begin(), ys.end());
+    n2 = tiePairs(ys);
+  }
+
+  // Discordant pairs: inversions of y in x-order (strict).
+  std::vector<double> yInXOrder(n);
+  for (usize i = 0; i < n; ++i) yInXOrder[i] = y[order[i]];
+  u64 d = countInversions(yInXOrder);
+
+  double denom = std::sqrt(static_cast<double>(n0 - n1)) *
+                 std::sqrt(static_cast<double>(n0 - n2));
+  if (denom == 0.0) return kNaN;
+  // S = C - D = n0 - n1 - n2 + n3 - 2D.
+  double s = static_cast<double>(n0) - static_cast<double>(n1) -
+             static_cast<double>(n2) + static_cast<double>(n3) -
+             2.0 * static_cast<double>(d);
+  return s / denom;
+}
+
+double kendallTauBBrute(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const usize n = x.size();
+  if (n < 2) return kNaN;
+  i64 concordant = 0, discordant = 0;
+  u64 tiesX = 0, tiesY = 0;
+  for (usize i = 0; i < n; ++i) {
+    for (usize j = i + 1; j < n; ++j) {
+      double dx = x[i] - x[j];
+      double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++tiesX;
+      } else if (dy == 0.0) {
+        ++tiesY;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  u64 n0 = static_cast<u64>(n) * (n - 1) / 2;
+  // tiesX here counts pairs tied ONLY in x (both-tied pairs were skipped),
+  // so reconstruct the τ-b denominator terms accordingly.
+  u64 bothTied = n0 - static_cast<u64>(concordant) -
+                 static_cast<u64>(discordant) - tiesX - tiesY;
+  double denom = std::sqrt(static_cast<double>(n0 - (tiesX + bothTied))) *
+                 std::sqrt(static_cast<double>(n0 - (tiesY + bothTied)));
+  if (denom == 0.0) return kNaN;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double cosineSimilarity(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  if (x.empty()) return kNaN;
+  double dot = 0, nx = 0, ny = 0;
+  for (usize i = 0; i < x.size(); ++i) {
+    dot += x[i] * y[i];
+    nx += x[i] * x[i];
+    ny += y[i] * y[i];
+  }
+  if (nx == 0.0 || ny == 0.0) return kNaN;
+  return dot / (std::sqrt(nx) * std::sqrt(ny));
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const usize n = x.size();
+  if (n < 2) return kNaN;
+  double mx = 0, my = 0;
+  for (usize i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (usize i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return kNaN;
+  return sxy / (std::sqrt(sxx) * std::sqrt(syy));
+}
+
+}  // namespace dharma::ana

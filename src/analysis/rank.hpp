@@ -1,0 +1,34 @@
+#pragma once
+/// \file rank.hpp
+/// \brief Rank/vector similarity metrics used by the Table III comparison.
+///
+/// Kendall's τ measures how far two rankings of the same objects are from
+/// each other (−1 opposite … 1 identical); the paper does not state a tie
+/// policy, so we use τ-b (the standard tie-adjusted variant — arc-weight
+/// vectors contain many ties). Cosine similarity θ measures whether two
+/// weight vectors are proportional ("θ([1,2,3],[100,200,300]) = 1").
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::ana {
+
+/// Kendall τ-b between paired observations (x_i, y_i), O(n log n)
+/// (Knight's algorithm: merge-sort inversion counting + tie corrections).
+/// Returns NaN for n < 2 or when either vector is constant.
+double kendallTauB(const std::vector<double>& x, const std::vector<double>& y);
+
+/// O(n²) reference implementation (tests only).
+double kendallTauBBrute(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Cosine similarity of two equal-length vectors; NaN if either is all-zero
+/// or the vectors are empty.
+double cosineSimilarity(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Pearson correlation coefficient; NaN for n < 2 or zero variance.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dharma::ana

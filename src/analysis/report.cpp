@@ -1,0 +1,59 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dharma::ana {
+
+void printTable(std::ostream& os, const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<usize> width(headers.size(), 0);
+  for (usize c = 0; c < headers.size(); ++c) width[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (usize c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (usize c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (usize c = 0; c < width.size(); ++c) {
+      std::string v = c < cells.size() ? cells[c] : "";
+      os << ' ' << v << std::string(width[c] - v.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  if (!title.empty()) os << "\n== " << title << " ==\n";
+  rule();
+  line(headers);
+  rule();
+  for (const auto& row : rows) line(row);
+  rule();
+}
+
+void printCsvSeries(std::ostream& os, const std::string& name,
+                    const std::vector<std::pair<double, double>>& points) {
+  os << "# series: " << name << "\n";
+  for (const auto& [x, y] : points) {
+    os << x << ',' << y << '\n';
+  }
+}
+
+std::string cellInt(u64 v) { return std::to_string(v); }
+
+std::string cellDouble(double v, int precision) {
+  return fmtDouble(v, precision);
+}
+
+std::string cellPercent(double fraction, int precision) {
+  return fmtDouble(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace dharma::ana

@@ -1,0 +1,33 @@
+#pragma once
+/// \file report.hpp
+/// \brief Textual table/series emitters shared by the bench binaries.
+///
+/// Every bench prints (a) the paper's reference numbers and (b) the values
+/// measured on the reproduction, in aligned ASCII tables that EXPERIMENTS.md
+/// quotes directly. CSV series are emitted for the figure benches so the
+/// curves can be re-plotted externally.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace dharma::ana {
+
+/// Prints an aligned ASCII table: one header row + data rows.
+void printTable(std::ostream& os, const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Prints a (x, y) series as CSV with a one-line '#' header.
+void printCsvSeries(std::ostream& os, const std::string& name,
+                    const std::vector<std::pair<double, double>>& points);
+
+/// "123" / "4.56" / "12.3%" cell helpers.
+std::string cellInt(u64 v);
+std::string cellDouble(double v, int precision = 4);
+std::string cellPercent(double fraction, int precision = 1);
+
+}  // namespace dharma::ana

@@ -1,0 +1,60 @@
+#include "analysis/scatter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dharma::ana {
+
+ScatterAccumulator::ScatterAccumulator(double xMax, usize nBins)
+    : logMax_(std::log10(std::max(10.0, xMax))), bins_(std::max<usize>(1, nBins)) {}
+
+usize ScatterAccumulator::binFor(double x) const {
+  if (x <= 1.0) return 0;
+  double f = std::log10(x) / logMax_;
+  usize b = static_cast<usize>(f * static_cast<double>(bins_.size()));
+  return std::min(b, bins_.size() - 1);
+}
+
+void ScatterAccumulator::add(double x, double y) {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  syy_ += y * y;
+  sxy_ += x * y;
+  BinAcc& b = bins_[binFor(x)];
+  ++b.n;
+  b.sx += x;
+  b.sy += y;
+  if (x > 0) b.sratio += y / x;
+}
+
+ScatterSummary ScatterAccumulator::summarize() const {
+  ScatterSummary s;
+  s.n = n_;
+  if (n_ > 0 && sxx_ > 0) s.slopeThroughOrigin = sxy_ / sxx_;
+  if (n_ > 1) {
+    double nn = static_cast<double>(n_);
+    double cov = sxy_ - sx_ * sy_ / nn;
+    double vx = sxx_ - sx_ * sx_ / nn;
+    double vy = syy_ - sy_ * sy_ / nn;
+    if (vx > 0 && vy > 0) s.pearson = cov / std::sqrt(vx * vy);
+  }
+  for (usize i = 0; i < bins_.size(); ++i) {
+    const BinAcc& b = bins_[i];
+    if (b.n == 0) continue;
+    ScatterBin out;
+    out.xLo = i == 0 ? 0.0 : std::pow(10.0, logMax_ * static_cast<double>(i) /
+                                                static_cast<double>(bins_.size()));
+    out.xHi = std::pow(10.0, logMax_ * static_cast<double>(i + 1) /
+                                 static_cast<double>(bins_.size()));
+    out.count = b.n;
+    out.meanX = b.sx / static_cast<double>(b.n);
+    out.meanY = b.sy / static_cast<double>(b.n);
+    out.meanRatio = b.sratio / static_cast<double>(b.n);
+    s.bins.push_back(out);
+  }
+  return s;
+}
+
+}  // namespace dharma::ana

@@ -1,0 +1,62 @@
+#pragma once
+/// \file scatter.hpp
+/// \brief Streaming scatter-plot summaries (paper Figures 6 and 8).
+///
+/// Figures 6 and 8 plot original-vs-simulated node out-degrees and arc
+/// weights. A textual reproduction cannot show a point cloud, so the
+/// accumulator reduces it losslessly enough to check the paper's claims:
+/// a regression slope through the origin (Fig. 6: "aligned on a line whose
+/// slope is close to the diagonal"), the Pearson correlation, and
+/// log-spaced x-bins with mean y/x ratios (Fig. 8: weights compressed at
+/// low k, approaching the diagonal for large k). Streaming: nothing is
+/// materialised, so full-scale arc sets fit in O(bins).
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::ana {
+
+/// One log-spaced x-bin of the scatter summary.
+struct ScatterBin {
+  double xLo = 0, xHi = 0;
+  u64 count = 0;
+  double meanX = 0, meanY = 0;
+  double meanRatio = 0;  ///< mean of y/x within the bin
+};
+
+/// Reduced scatter plot.
+struct ScatterSummary {
+  u64 n = 0;
+  double pearson = 0;
+  double slopeThroughOrigin = 0;  ///< Σxy / Σx²
+  std::vector<ScatterBin> bins;
+};
+
+/// Streaming (x, y) accumulator with log-spaced x-bins.
+class ScatterAccumulator {
+ public:
+  /// \param xMax  largest expected x (bin edges span [1, xMax])
+  /// \param nBins number of log-spaced bins
+  ScatterAccumulator(double xMax, usize nBins);
+
+  /// Adds one point (x must be >= 0; x < 1 lands in the first bin).
+  void add(double x, double y);
+
+  ScatterSummary summarize() const;
+
+ private:
+  struct BinAcc {
+    u64 n = 0;
+    double sx = 0, sy = 0, sratio = 0;
+  };
+  double logMax_;
+  std::vector<BinAcc> bins_;
+  u64 n_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, syy_ = 0, sxy_ = 0;
+
+  usize binFor(double x) const;
+};
+
+}  // namespace dharma::ana

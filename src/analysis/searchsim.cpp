@@ -1,0 +1,36 @@
+#include "analysis/searchsim.hpp"
+
+#include <vector>
+
+namespace dharma::ana {
+
+SearchSimReport runSearchSim(const folk::CsrFg& fg, const folk::Trg& trg,
+                             const SearchSimConfig& cfg) {
+  SearchSimReport rep;
+  Rng rng(cfg.seed);
+  std::vector<u32> starts = folk::mostPopularTags(trg, cfg.startTags);
+
+  std::array<std::vector<double>, 3> lengths;
+  for (u32 t0 : starts) {
+    for (folk::Strategy s :
+         {folk::Strategy::kFirst, folk::Strategy::kLast, folk::Strategy::kRandom}) {
+      usize runs = s == folk::Strategy::kRandom ? cfg.randomRunsPerTag : 1;
+      for (usize i = 0; i < runs; ++i) {
+        folk::SearchResult r = folk::runSearch(fg, trg, t0, s, rng, cfg.search);
+        auto& cell = rep.of(s);
+        cell.steps.add(r.steps);
+        cell.cdf.add(r.steps);
+        ++cell.stopReasons[static_cast<usize>(r.reason)];
+        lengths[static_cast<usize>(s)].push_back(r.steps);
+      }
+    }
+  }
+  for (usize s = 0; s < 3; ++s) {
+    if (!lengths[s].empty()) {
+      rep.byStrategy[s].medianSteps = median(lengths[s]);
+    }
+  }
+  return rep;
+}
+
+}  // namespace dharma::ana

@@ -1,0 +1,57 @@
+#pragma once
+/// \file searchsim.hpp
+/// \brief Faceted-search convergence simulation (paper Section V-C,
+///        Table IV and Figure 7).
+///
+/// "We took the 100 most popular tags and, starting from these, we
+///  simulated tag search procedures [...] For each tag among the 100 most
+///  popular we simulated the 'first' and 'last' search and 100 random
+///  searches, on both original and approximated Folksonomy Graph."
+
+#include <array>
+
+#include "folksonomy/faceted.hpp"
+#include "util/stats.hpp"
+
+namespace dharma::ana {
+
+/// Experiment parameters (paper defaults).
+struct SearchSimConfig {
+  usize startTags = 100;        ///< most popular tags to start from
+  usize randomRunsPerTag = 100; ///< random-strategy repetitions
+  folk::SearchConfig search;    ///< displayCap=100, resourceStop=10
+  u64 seed = 99;
+};
+
+/// Path-length statistics for one (graph, strategy) cell.
+struct StrategyStats {
+  RunningStats steps;
+  double medianSteps = 0;
+  Cdf cdf;  ///< Figure 7 series
+  std::array<u64, 4> stopReasons{};  ///< indexed by folk::StopReason
+
+  double reasonShare(folk::StopReason r) const {
+    u64 total = stopReasons[0] + stopReasons[1] + stopReasons[2] + stopReasons[3];
+    return total ? static_cast<double>(stopReasons[static_cast<usize>(r)]) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// One graph's row of Table IV: last / random / first.
+struct SearchSimReport {
+  std::array<StrategyStats, 3> byStrategy;  ///< index by folk::Strategy
+
+  StrategyStats& of(folk::Strategy s) {
+    return byStrategy[static_cast<usize>(s)];
+  }
+  const StrategyStats& of(folk::Strategy s) const {
+    return byStrategy[static_cast<usize>(s)];
+  }
+};
+
+/// Runs the full Section V-C simulation on one FG.
+SearchSimReport runSearchSim(const folk::CsrFg& fg, const folk::Trg& trg,
+                             const SearchSimConfig& cfg);
+
+}  // namespace dharma::ana

@@ -1,0 +1,267 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+namespace dharma::core {
+
+namespace {
+using dht::BlockView;
+using dht::GetOptions;
+using dht::NodeId;
+using dht::StoreToken;
+using dht::TokenKind;
+
+/// Join state for one protocol operation: counts outstanding block ops and
+/// fires the user callback when the last one completes.
+struct OpJoin {
+  OpCost cost;
+  usize remaining = 0;
+  std::function<void(OpCost)> cb;
+
+  void arm(usize n) { remaining = n; }
+  void complete() {
+    if (remaining == 0) return;
+    if (--remaining == 0 && cb) cb(cost);
+  }
+};
+}  // namespace
+
+DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
+                           DharmaConfig cfg, u64 seed)
+    : net_(net), nodeIdx_(nodeIdx), cfg_(cfg), rng_(seed) {}
+
+void DharmaClient::putBlock(const NodeId& key, std::vector<StoreToken> tokens,
+                            OpCost& cost, std::function<void()> done) {
+  ++cost.lookups;
+  ++cost.puts;
+  ++total_.lookups;
+  ++total_.puts;
+  node().putMany(key, std::move(tokens),
+                 [done = std::move(done)](u32) { done(); });
+}
+
+void DharmaClient::getBlock(const NodeId& key, GetOptions opt, OpCost& cost,
+                            std::function<void(std::optional<BlockView>)> done) {
+  ++cost.lookups;
+  ++cost.gets;
+  ++total_.lookups;
+  ++total_.gets;
+  node().get(key, opt, std::move(done));
+}
+
+void DharmaClient::insertResourceAsync(const std::string& res,
+                                       const std::string& uri,
+                                       const std::vector<std::string>& tags,
+                                       std::function<void(OpCost)> cb) {
+  // Deduplicate the tag set, preserving order.
+  std::vector<std::string> uniq;
+  for (const auto& t : tags) {
+    if (std::find(uniq.begin(), uniq.end(), t) == uniq.end()) uniq.push_back(t);
+  }
+  const usize m = uniq.size();
+
+  auto join = std::make_shared<OpJoin>();
+  join->cb = std::move(cb);
+  join->arm(2 + 2 * m);
+  auto done = [join] { join->complete(); };
+
+  // r̃: the URI block.
+  StoreToken uriTok;
+  uriTok.kind = TokenKind::kSetPayload;
+  uriTok.payload = uri;
+  putBlock(blockKey(res, BlockType::kResourceUri), {uriTok}, join->cost, done);
+
+  // r̄: one unit token per tag.
+  std::vector<StoreToken> rbar;
+  rbar.reserve(m);
+  for (const auto& t : uniq) {
+    rbar.push_back(StoreToken{TokenKind::kIncrement, t, 1, {}});
+  }
+  if (rbar.empty()) rbar.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+  putBlock(blockKey(res, BlockType::kResourceTags), std::move(rbar), join->cost,
+           done);
+
+  // Per tag: t̄i (reverse edge) and t̂i (pairwise sims: every new pair
+  // starts at 1 in both directions — III-B.1).
+  for (usize i = 0; i < m; ++i) {
+    putBlock(blockKey(uniq[i], BlockType::kTagResources),
+             {StoreToken{TokenKind::kIncrement, res, 1, {}}}, join->cost, done);
+
+    std::vector<StoreToken> that;
+    for (usize j = 0; j < m; ++j) {
+      if (j == i) continue;
+      that.push_back(StoreToken{TokenKind::kIncrement, uniq[j], 1, {}});
+    }
+    if (that.empty()) that.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+    putBlock(blockKey(uniq[i], BlockType::kTagNeighbors), std::move(that),
+             join->cost, done);
+  }
+  if (m == 0) {
+    // Degenerate insert (no tags): the two block writes above suffice.
+  }
+}
+
+void DharmaClient::tagResourceAsync(const std::string& res,
+                                    const std::string& tag,
+                                    std::function<void(OpCost)> cb) {
+  auto join = std::make_shared<OpJoin>();
+  join->cb = std::move(cb);
+
+  // Step 1 (1 lookup): read r̄ to learn Tags(r) and the weights u(τ,r).
+  getBlock(blockKey(res, BlockType::kResourceTags), GetOptions{}, join->cost,
+           [this, join, res, tag](std::optional<BlockView> viewOpt) {
+             BlockView view = viewOpt.value_or(BlockView{});
+             bool wasPresent = false;
+             std::vector<dht::BlockEntry> others;
+             for (const auto& e : view.entries) {
+               if (e.name == tag) {
+                 wasPresent = true;
+               } else {
+                 others.push_back(e);
+               }
+             }
+
+             // Reverse-update subset (Approximation A): at most k random
+             // co-tags; naive mode updates every co-tag.
+             std::vector<usize> subset;
+             if (cfg_.approximateA && others.size() > cfg_.k) {
+               for (u32 i : rng_.sampleIndices(static_cast<u32>(others.size()),
+                                               cfg_.k)) {
+                 subset.push_back(i);
+               }
+             } else {
+               for (usize i = 0; i < others.size(); ++i) subset.push_back(i);
+             }
+
+             // 3 block PUTs + |subset| reverse PUTs.
+             join->arm(3 + subset.size());
+             auto done = [join] { join->complete(); };
+
+             // r̄ += (t, 1)
+             putBlock(blockKey(res, BlockType::kResourceTags),
+                      {StoreToken{TokenKind::kIncrement, tag, 1, {}}},
+                      join->cost, done);
+             // t̄ += (r, 1)
+             putBlock(blockKey(tag, BlockType::kTagResources),
+                      {StoreToken{TokenKind::kIncrement, res, 1, {}}},
+                      join->cost, done);
+
+             // t̂: forward arcs — only meaningful when t newly joins
+             // Tags(r). A kTouch otherwise, keeping Table I's uniform
+             // "4 + k" accounting (and ensuring the block exists).
+             std::vector<StoreToken> forward;
+             if (!wasPresent) {
+               for (const auto& e : others) {
+                 if (cfg_.approximateB) {
+                   // Conditional increment evaluated at the replica:
+                   // absent → 1 (Approximation B), present → +u(τ,r).
+                   forward.push_back(StoreToken{TokenKind::kIncrementIfNewB,
+                                                e.name, e.weight, {}});
+                 } else {
+                   forward.push_back(StoreToken{TokenKind::kIncrement, e.name,
+                                                e.weight, {}});
+                 }
+               }
+             }
+             if (forward.empty()) {
+               forward.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+             }
+             putBlock(blockKey(tag, BlockType::kTagNeighbors),
+                      std::move(forward), join->cost, done);
+
+             // τ̂ += (t, 1) for the chosen subset.
+             for (usize i : subset) {
+               putBlock(blockKey(others[i].name, BlockType::kTagNeighbors),
+                        {StoreToken{TokenKind::kIncrement, tag, 1, {}}},
+                        join->cost, done);
+             }
+           });
+}
+
+void DharmaClient::searchStepAsync(
+    const std::string& tag, std::function<void(SearchStepResult, OpCost)> cb) {
+  struct StepJoin {
+    OpCost cost;
+    SearchStepResult result;
+    usize remaining = 2;
+    std::function<void(SearchStepResult, OpCost)> cb;
+    void complete() {
+      if (--remaining == 0 && cb) cb(std::move(result), cost);
+    }
+  };
+  auto join = std::make_shared<StepJoin>();
+  join->cb = std::move(cb);
+
+  GetOptions opt;
+  opt.topN = cfg_.searchTopN;
+
+  getBlock(blockKey(tag, BlockType::kTagNeighbors), opt, join->cost,
+           [join](std::optional<BlockView> v) {
+             if (v) {
+               join->result.tagKnown = true;
+               join->result.relatedTags = std::move(v->entries);
+               join->result.tagsTruncated = v->truncated;
+             }
+             join->complete();
+           });
+  getBlock(blockKey(tag, BlockType::kTagResources), opt, join->cost,
+           [join](std::optional<BlockView> v) {
+             if (v) {
+               join->result.resources = std::move(v->entries);
+               join->result.resourcesTruncated = v->truncated;
+             }
+             join->complete();
+           });
+}
+
+void DharmaClient::resolveUriAsync(
+    const std::string& res,
+    std::function<void(std::optional<std::string>, OpCost)> cb) {
+  auto cost = std::make_shared<OpCost>();
+  getBlock(blockKey(res, BlockType::kResourceUri), GetOptions{}, *cost,
+           [cost, cb = std::move(cb)](std::optional<BlockView> v) {
+             if (v && !v->payload.empty()) {
+               cb(v->payload, *cost);
+             } else {
+               cb(std::nullopt, *cost);
+             }
+           });
+}
+
+OpCost DharmaClient::insertResource(const std::string& res,
+                                    const std::string& uri,
+                                    const std::vector<std::string>& tags) {
+  return net_.await<OpCost>([&](std::function<void(OpCost)> done) {
+    insertResourceAsync(res, uri, tags, std::move(done));
+  });
+}
+
+OpCost DharmaClient::tagResource(const std::string& res,
+                                 const std::string& tag) {
+  return net_.await<OpCost>([&](std::function<void(OpCost)> done) {
+    tagResourceAsync(res, tag, std::move(done));
+  });
+}
+
+std::pair<SearchStepResult, OpCost> DharmaClient::searchStep(
+    const std::string& tag) {
+  using R = std::pair<SearchStepResult, OpCost>;
+  return net_.await<R>([&](std::function<void(R)> done) {
+    searchStepAsync(tag, [done = std::move(done)](SearchStepResult r, OpCost c) {
+      done({std::move(r), c});
+    });
+  });
+}
+
+std::pair<std::optional<std::string>, OpCost> DharmaClient::resolveUri(
+    const std::string& res) {
+  using R = std::pair<std::optional<std::string>, OpCost>;
+  return net_.await<R>([&](std::function<void(R)> done) {
+    resolveUriAsync(res, [done = std::move(done)](std::optional<std::string> u,
+                                                  OpCost c) {
+      done({std::move(u), c});
+    });
+  });
+}
+
+}  // namespace dharma::core

@@ -1,0 +1,119 @@
+#pragma once
+/// \file client.hpp
+/// \brief DharmaClient: the distributed tagging protocol (Section IV).
+///
+/// One client rides one overlay node and exposes the three folksonomy
+/// primitives, in both the *naive* and the *approximated* protocol:
+///
+///   insertResource(r, uri, {t1..tm})          — 2 + 2m lookups
+///   tagResource(r, t)     naive               — 4 + |Tags(r)| lookups
+///                         approximated        — 4 + k lookups
+///   searchStep(t)                              — 2 lookups
+///
+/// Every method exists in an async form (callback, suitable for
+/// interleaving concurrent operations inside the simulator — how the
+/// consistency race of Section IV-B is reproduced) and a blocking form
+/// that drives the simulation to completion.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/keys.hpp"
+#include "dht/dht_network.hpp"
+
+namespace dharma::core {
+
+/// Protocol mode and parameters.
+struct DharmaConfig {
+  bool approximateA = true;  ///< cap reverse t̂ updates at k (Approx. A)
+  u32 k = 1;                 ///< connection parameter
+  bool approximateB = true;  ///< conditional forward increments (Approx. B)
+  u32 searchTopN = 100;      ///< index-side top-N for search-step GETs
+};
+
+/// Cost of one protocol operation, in the paper's accounting unit.
+struct OpCost {
+  u64 lookups = 0;  ///< overlay lookups (1 per PUT or GET) — Table I's unit
+  u64 puts = 0;
+  u64 gets = 0;
+
+  OpCost& operator+=(const OpCost& o) {
+    lookups += o.lookups;
+    puts += o.puts;
+    gets += o.gets;
+    return *this;
+  }
+};
+
+/// One navigation step's retrieved sets.
+struct SearchStepResult {
+  bool tagKnown = false;                        ///< t̂ block existed
+  std::vector<dht::BlockEntry> relatedTags;     ///< from t̂, weight-ranked
+  std::vector<dht::BlockEntry> resources;       ///< from t̄, weight-ranked
+  bool tagsTruncated = false;                   ///< index-side filtering hit
+  bool resourcesTruncated = false;
+};
+
+/// A tagging/search client bound to one overlay node.
+class DharmaClient {
+ public:
+  /// \param net  the overlay
+  /// \param nodeIdx index of the node this client rides
+  /// \param cfg  protocol configuration
+  /// \param seed randomness for Approximation A's subset choice
+  DharmaClient(dht::DhtNetwork& net, usize nodeIdx, DharmaConfig cfg = {},
+               u64 seed = 7);
+
+  // -- async protocol (composable inside the simulator) --
+
+  /// Inserts resource \p res with \p uri and tag set \p tags
+  /// (paper: create r̃ and r̄; per tag, update t̄i and t̂i → 2+2m lookups).
+  void insertResourceAsync(const std::string& res, const std::string& uri,
+                           const std::vector<std::string>& tags,
+                           std::function<void(OpCost)> cb);
+
+  /// Adds tag \p tag to resource \p res (paper Section IV-A/B; cost
+  /// 4 + |Tags(r)| naive, 4 + k approximated).
+  void tagResourceAsync(const std::string& res, const std::string& tag,
+                        std::function<void(OpCost)> cb);
+
+  /// One faceted-search step: fetch t̂ and t̄ (2 lookups).
+  void searchStepAsync(const std::string& tag,
+                       std::function<void(SearchStepResult, OpCost)> cb);
+
+  /// Resolves a resource name to its URI via r̃ (1 lookup).
+  void resolveUriAsync(const std::string& res,
+                       std::function<void(std::optional<std::string>, OpCost)> cb);
+
+  // -- blocking wrappers (drive the simulator) --
+
+  OpCost insertResource(const std::string& res, const std::string& uri,
+                        const std::vector<std::string>& tags);
+  OpCost tagResource(const std::string& res, const std::string& tag);
+  std::pair<SearchStepResult, OpCost> searchStep(const std::string& tag);
+  std::pair<std::optional<std::string>, OpCost> resolveUri(const std::string& res);
+
+  /// Accumulated cost over this client's lifetime.
+  const OpCost& totalCost() const { return total_; }
+
+  const DharmaConfig& config() const { return cfg_; }
+  dht::DhtNetwork& overlay() { return net_; }
+  dht::KademliaNode& node() { return net_.node(nodeIdx_); }
+
+ private:
+  dht::DhtNetwork& net_;
+  usize nodeIdx_;
+  DharmaConfig cfg_;
+  Rng rng_;
+  OpCost total_;
+
+  // Issues a putMany and bumps cost counters (1 lookup per block PUT).
+  void putBlock(const dht::NodeId& key, std::vector<dht::StoreToken> tokens,
+                OpCost& cost, std::function<void()> done);
+  void getBlock(const dht::NodeId& key, dht::GetOptions opt, OpCost& cost,
+                std::function<void(std::optional<dht::BlockView>)> done);
+};
+
+}  // namespace dharma::core

@@ -1,0 +1,24 @@
+#include "core/keys.hpp"
+
+namespace dharma::core {
+
+const char* blockTypeName(BlockType t) {
+  switch (t) {
+    case BlockType::kResourceTags: return "resource-tags (r̄)";
+    case BlockType::kTagResources: return "tag-resources (t̄)";
+    case BlockType::kTagNeighbors: return "tag-neighbors (t̂)";
+    case BlockType::kResourceUri: return "resource-uri (r̃)";
+  }
+  return "?";
+}
+
+dht::NodeId blockKey(std::string_view name, BlockType type) {
+  std::string material;
+  material.reserve(name.size() + 2);
+  material += name;
+  material += '|';
+  material += static_cast<char>('0' + static_cast<u8>(type));
+  return dht::NodeId::fromString(material);
+}
+
+}  // namespace dharma::core

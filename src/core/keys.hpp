@@ -1,0 +1,36 @@
+#pragma once
+/// \file keys.hpp
+/// \brief DHARMA block types and lookup-key derivation (Section IV-A).
+///
+/// Four block types partition the folksonomy over the DHT:
+///   1. r̄ (kResourceTags)  : {(t, u(t,r)) | t ∈ Tags(r)}
+///   2. t̄ (kTagResources)  : {(r, u(t,r)) | r ∈ Res(t)}
+///   3. t̂ (kTagNeighbors)  : {(t', sim(t,t')) | t' ∈ N_FG(t)}
+///   4. r̃ (kResourceUri)   : (r, URI(r))
+///
+/// "Each block is mapped on a lookup key computed from the name of its node
+/// concatenated with a string which determines the block type (e.g. the
+/// hash of t|"2" is the key of type 2 block for tag t)."
+
+#include <string>
+#include <string_view>
+
+#include "dht/node_id.hpp"
+
+namespace dharma::core {
+
+/// The paper's four block types (values match the paper's numbering).
+enum class BlockType : u8 {
+  kResourceTags = 1,  ///< r̄
+  kTagResources = 2,  ///< t̄
+  kTagNeighbors = 3,  ///< t̂
+  kResourceUri = 4,   ///< r̃
+};
+
+const char* blockTypeName(BlockType t);
+
+/// Lookup key of the block of type \p type for node name \p name:
+/// SHA1(name | "|" | digit).
+dht::NodeId blockKey(std::string_view name, BlockType type);
+
+}  // namespace dharma::core

@@ -1,0 +1,132 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dharma::core {
+
+DharmaSession::DharmaSession(DharmaClient& client, folk::SearchConfig cfg)
+    : client_(client), cfg_(cfg) {}
+
+DistStepInfo DharmaSession::start(const std::string& tag) {
+  started_ = true;
+  done_ = false;
+  path_.clear();
+  chosen_.clear();
+  candidates_.clear();
+  resources_.clear();
+  auto [fetched, cost] = client_.searchStep(tag);
+  return applyStep(tag, fetched, cost, /*first=*/true);
+}
+
+DistStepInfo DharmaSession::select(const std::string& tag) {
+  if (!started_ || done_) {
+    throw std::logic_error("DharmaSession::select on finished session");
+  }
+  auto [fetched, cost] = client_.searchStep(tag);
+  return applyStep(tag, fetched, cost, /*first=*/false);
+}
+
+DistStepInfo DharmaSession::applyStep(const std::string& tag,
+                                      const SearchStepResult& fetched,
+                                      const OpCost& cost, bool first) {
+  total_ += cost;
+  path_.push_back(tag);
+  chosen_.insert(std::upper_bound(chosen_.begin(), chosen_.end(), tag), tag);
+
+  // Narrow T: names of fetched related tags, sorted.
+  std::vector<std::string> fetchedTags;
+  fetchedTags.reserve(fetched.relatedTags.size());
+  for (const auto& e : fetched.relatedTags) fetchedTags.push_back(e.name);
+  std::sort(fetchedTags.begin(), fetchedTags.end());
+
+  if (first) {
+    candidates_ = std::move(fetchedTags);
+  } else {
+    std::vector<std::string> next;
+    std::set_intersection(candidates_.begin(), candidates_.end(),
+                          fetchedTags.begin(), fetchedTags.end(),
+                          std::back_inserter(next));
+    candidates_ = std::move(next);
+  }
+  // Previously chosen tags never reappear.
+  std::vector<std::string> pruned;
+  std::set_difference(candidates_.begin(), candidates_.end(), chosen_.begin(),
+                      chosen_.end(), std::back_inserter(pruned));
+  candidates_ = std::move(pruned);
+
+  // Narrow R.
+  std::vector<std::string> fetchedRes;
+  fetchedRes.reserve(fetched.resources.size());
+  for (const auto& e : fetched.resources) fetchedRes.push_back(e.name);
+  std::sort(fetchedRes.begin(), fetchedRes.end());
+  if (first) {
+    resources_ = std::move(fetchedRes);
+  } else {
+    std::vector<std::string> next;
+    std::set_intersection(resources_.begin(), resources_.end(),
+                          fetchedRes.begin(), fetchedRes.end(),
+                          std::back_inserter(next));
+    resources_ = std::move(next);
+  }
+
+  rebuildDisplay(fetched);
+  checkStop();
+
+  DistStepInfo info;
+  info.display = display_;
+  info.tagCount = candidates_.size();
+  info.resourceCount = resources_.size();
+  info.done = done_;
+  info.reason = reason_;
+  info.cost = cost;
+  return info;
+}
+
+void DharmaSession::rebuildDisplay(const SearchStepResult& fetched) {
+  display_.clear();
+  // fetched.relatedTags is already sim-ranked by the index-side filter;
+  // keep only survivors of the local intersection.
+  for (const auto& e : fetched.relatedTags) {
+    if (std::binary_search(candidates_.begin(), candidates_.end(), e.name)) {
+      display_.push_back(e);
+      if (display_.size() >= cfg_.displayCap) break;
+    }
+  }
+}
+
+void DharmaSession::checkStop() {
+  if (resources_.size() <= cfg_.resourceStop) {
+    done_ = true;
+    reason_ = folk::StopReason::kResourcesNarrowed;
+  } else if (candidates_.size() <= 1) {
+    done_ = true;
+    reason_ = folk::StopReason::kTagsExhausted;
+  } else if (display_.empty()) {
+    done_ = true;
+    reason_ = folk::StopReason::kNoCandidates;
+  } else if (path_.size() > cfg_.maxSteps) {
+    done_ = true;
+    reason_ = folk::StopReason::kMaxSteps;
+  }
+}
+
+std::string DharmaSession::selectByStrategy(folk::Strategy s, Rng& rng) {
+  if (done_ || display_.empty()) return {};
+  std::string pick;
+  switch (s) {
+    case folk::Strategy::kFirst:
+      pick = display_.front().name;
+      break;
+    case folk::Strategy::kLast:
+      pick = display_.back().name;
+      break;
+    case folk::Strategy::kRandom:
+      pick = display_[static_cast<usize>(rng.uniform(display_.size()))].name;
+      break;
+  }
+  select(pick);
+  return pick;
+}
+
+}  // namespace dharma::core

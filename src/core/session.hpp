@@ -1,0 +1,73 @@
+#pragma once
+/// \file session.hpp
+/// \brief Distributed faceted-search session over the DHT (Section IV-A):
+///        "At each navigation step, when a tag t is selected, tags and
+///         resources related to t are retrieved by fetching blocks t̂ and
+///         t̄; intersection with tag and resource sets retrieved in
+///         following steps are performed locally."
+///
+/// Unlike folk::SearchSession (which walks in-memory graphs), this session
+/// works on the *filtered* views the overlay returns: each step costs
+/// exactly 2 lookups, and the candidate sets narrow through local
+/// intersection of the fetched entries.
+
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "folksonomy/faceted.hpp"
+
+namespace dharma::core {
+
+/// Outcome of one distributed navigation step.
+struct DistStepInfo {
+  std::vector<dht::BlockEntry> display;  ///< candidate tags, sim-ranked
+  usize tagCount = 0;                    ///< |T_i| (local, post-filtering)
+  usize resourceCount = 0;               ///< |R_i|
+  bool done = false;
+  folk::StopReason reason = folk::StopReason::kNoCandidates;
+  OpCost cost;                           ///< 2 lookups per step
+};
+
+/// Faceted search over a DharmaClient.
+class DharmaSession {
+ public:
+  DharmaSession(DharmaClient& client, folk::SearchConfig cfg = {});
+
+  /// Starts at \p tag; T_0 / R_0 come from its t̂ / t̄ blocks.
+  DistStepInfo start(const std::string& tag);
+
+  /// Selects a displayed tag and narrows T/R locally.
+  DistStepInfo select(const std::string& tag);
+
+  /// Picks from the current display per \p strategy, selects it, and
+  /// returns its name (empty if the session already stopped).
+  std::string selectByStrategy(folk::Strategy s, Rng& rng);
+
+  bool done() const { return done_; }
+  folk::StopReason reason() const { return reason_; }
+  const std::vector<std::string>& path() const { return path_; }
+  const std::vector<dht::BlockEntry>& display() const { return display_; }
+  const std::vector<std::string>& resources() const { return resources_; }
+  const OpCost& totalCost() const { return total_; }
+
+ private:
+  DharmaClient& client_;
+  folk::SearchConfig cfg_;
+  std::vector<std::string> candidates_;  // T_i, sorted names
+  std::vector<std::string> resources_;   // R_i, sorted names
+  std::vector<std::string> chosen_;      // sorted path members
+  std::vector<std::string> path_;
+  std::vector<dht::BlockEntry> display_;
+  bool started_ = false;
+  bool done_ = false;
+  folk::StopReason reason_ = folk::StopReason::kNoCandidates;
+  OpCost total_;
+
+  DistStepInfo applyStep(const std::string& tag, const SearchStepResult& fetched,
+                         const OpCost& cost, bool first);
+  void rebuildDisplay(const SearchStepResult& fetched);
+  void checkStop();
+};
+
+}  // namespace dharma::core

@@ -1,0 +1,44 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace dharma::crypto {
+
+Digest160 hmacSha1(std::string_view key, const u8* data, usize len) {
+  u8 keyBlock[64];
+  std::memset(keyBlock, 0, sizeof(keyBlock));
+  if (key.size() > 64) {
+    Digest160 kd = sha1(key);
+    std::memcpy(keyBlock, kd.data(), kd.size());
+  } else {
+    std::memcpy(keyBlock, key.data(), key.size());
+  }
+
+  u8 ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = keyBlock[i] ^ 0x36;
+    opad[i] = keyBlock[i] ^ 0x5c;
+  }
+
+  Sha1 inner;
+  inner.update(ipad, 64);
+  inner.update(data, len);
+  Digest160 innerDigest = inner.finish();
+
+  Sha1 outer;
+  outer.update(opad, 64);
+  outer.update(innerDigest.data(), innerDigest.size());
+  return outer.finish();
+}
+
+Digest160 hmacSha1(std::string_view key, std::string_view data) {
+  return hmacSha1(key, reinterpret_cast<const u8*>(data.data()), data.size());
+}
+
+bool digestEqual(const Digest160& a, const Digest160& b) {
+  u8 acc = 0;
+  for (usize i = 0; i < a.size(); ++i) acc |= static_cast<u8>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace dharma::crypto

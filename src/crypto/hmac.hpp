@@ -1,0 +1,24 @@
+#pragma once
+/// \file hmac.hpp
+/// \brief HMAC-SHA1 (RFC 2104).
+///
+/// The identity layer authenticates credentials and stored tokens with
+/// HMACs keyed by the Certification Service. This substitutes Likir's RSA
+/// signatures (see DESIGN.md §2): the verify/reject control flow is the
+/// same, only the primitive differs.
+
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+
+namespace dharma::crypto {
+
+/// HMAC-SHA1 over \p data with \p key.
+Digest160 hmacSha1(std::string_view key, std::string_view data);
+Digest160 hmacSha1(std::string_view key, const u8* data, usize len);
+
+/// Constant-time digest comparison.
+bool digestEqual(const Digest160& a, const Digest160& b);
+
+}  // namespace dharma::crypto

@@ -1,0 +1,79 @@
+#include "crypto/identity.hpp"
+
+#include <utility>
+
+namespace dharma::crypto {
+
+std::string Credential::signedPayload() const {
+  std::string s;
+  s.reserve(userId.size() + 64);
+  s += "cred|";
+  s += userId;
+  s += '|';
+  s += toHex(nodeId);
+  s += '|';
+  s += std::to_string(expiresAt);
+  return s;
+}
+
+CertificationService::CertificationService(std::string secret, std::string salt)
+    : secret_(std::move(secret)), salt_(std::move(salt)) {}
+
+Digest160 CertificationService::nodeIdFor(std::string_view userId) const {
+  std::string material;
+  material.reserve(userId.size() + salt_.size() + 1);
+  material += userId;
+  material += '|';
+  material += salt_;
+  return sha1(material);
+}
+
+Credential CertificationService::enroll(std::string_view userId,
+                                        u64 expiresAt) const {
+  Credential c;
+  c.userId = std::string(userId);
+  c.nodeId = nodeIdFor(userId);
+  c.expiresAt = expiresAt;
+  c.mac = hmacSha1(secret_, c.signedPayload());
+  return c;
+}
+
+bool CertificationService::verify(const Credential& c, u64 now) const {
+  if (c.expiresAt != 0 && now > c.expiresAt) return false;
+  Digest160 expected = hmacSha1(secret_, c.signedPayload());
+  return digestEqual(expected, c.mac);
+}
+
+ContentSignature CertificationService::signContent(std::string_view userId,
+                                                   std::string_view keyHex,
+                                                   std::string_view content) const {
+  std::string payload;
+  payload.reserve(userId.size() + keyHex.size() + content.size() + 8);
+  payload += "tok|";
+  payload += userId;
+  payload += '|';
+  payload += keyHex;
+  payload += '|';
+  payload += content;
+  ContentSignature sig;
+  sig.userId = std::string(userId);
+  sig.mac = hmacSha1(secret_, payload);
+  return sig;
+}
+
+bool CertificationService::verifyContent(const ContentSignature& sig,
+                                         std::string_view keyHex,
+                                         std::string_view content) const {
+  std::string payload;
+  payload.reserve(sig.userId.size() + keyHex.size() + content.size() + 8);
+  payload += "tok|";
+  payload += sig.userId;
+  payload += '|';
+  payload += keyHex;
+  payload += '|';
+  payload += content;
+  Digest160 expected = hmacSha1(secret_, payload);
+  return digestEqual(expected, sig.mac);
+}
+
+}  // namespace dharma::crypto

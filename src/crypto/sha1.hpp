@@ -1,0 +1,61 @@
+#pragma once
+/// \file sha1.hpp
+/// \brief From-scratch SHA-1 (FIPS 180-1).
+///
+/// SHA-1 is the hash Kademlia historically keys its 160-bit identifier
+/// space with, and the paper's block keys are "the hash of t|<type>".
+/// Collision resistance is irrelevant here (keys only need to spread
+/// uniformly over the ring), so SHA-1's cryptographic retirement does not
+/// affect the reproduction.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::crypto {
+
+/// 160-bit digest.
+using Digest160 = std::array<u8, 20>;
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  /// Clears state for a fresh message.
+  void reset();
+
+  /// Absorbs \p len bytes.
+  void update(const u8* data, usize len);
+  void update(std::string_view s) {
+    update(reinterpret_cast<const u8*>(s.data()), s.size());
+  }
+  void update(const std::vector<u8>& v) { update(v.data(), v.size()); }
+
+  /// Finalises and returns the digest; the hasher must be reset() before
+  /// reuse.
+  Digest160 finish();
+
+ private:
+  u32 h_[5];
+  u64 totalLen_ = 0;
+  u8 block_[64];
+  usize blockLen_ = 0;
+
+  void processBlock(const u8* block);
+};
+
+/// One-shot convenience.
+Digest160 sha1(std::string_view data);
+Digest160 sha1(const u8* data, usize len);
+
+/// Lower-case hex rendering of a digest.
+std::string toHex(const Digest160& d);
+
+/// Parses 40 hex chars into a digest; throws std::invalid_argument.
+Digest160 digestFromHex(std::string_view hex);
+
+}  // namespace dharma::crypto

@@ -1,0 +1,526 @@
+#include "dht/kademlia_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace dharma::dht {
+
+namespace {
+/// Candidate state inside an iterative lookup.
+enum class CandState : u8 { kFresh, kInflight, kResponded, kFailed };
+
+struct Candidate {
+  Contact contact;
+  CandState state = CandState::kFresh;
+};
+}  // namespace
+
+/// Shared state of one α-parallel iterative lookup.
+struct KademliaNode::LookupTask {
+  NodeId target;
+  bool isValue = false;
+  GetOptions opt;
+  std::function<void(LookupResult)> cb;
+  std::vector<Candidate> candidates;  // sorted by XOR distance to target
+  usize inflight = 0;
+  bool done = false;
+  u32 messagesSent = 0;
+  u32 valueReplies = 0;
+  BlockView mergedValue;
+  bool haveValue = false;
+
+  bool knows(const NodeId& id) const {
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [&](const Candidate& c) { return c.contact.id == id; });
+  }
+
+  void addCandidate(const Contact& c) {
+    if (knows(c.id)) return;
+    auto pos = std::lower_bound(
+        candidates.begin(), candidates.end(), c,
+        [&](const Candidate& a, const Contact& b) {
+          return compareDistance(target, a.contact.id, b.id) < 0;
+        });
+    candidates.insert(pos, Candidate{c, CandState::kFresh});
+  }
+
+  Candidate* find(const NodeId& id) {
+    for (auto& c : candidates) {
+      if (c.contact.id == id) return &c;
+    }
+    return nullptr;
+  }
+};
+
+KademliaNode::KademliaNode(net::Simulator& sim, net::Network& net,
+                           const crypto::CertificationService& cs,
+                           crypto::Credential cred, NodeConfig cfg, u64 seed)
+    : sim_(sim), net_(net), cs_(cs), credential_(std::move(cred)), cfg_(cfg),
+      rng_(seed), self_{NodeId::fromDigest(credential_.nodeId), net::kNullAddress},
+      routing_(self_.id, cfg.k) {
+  self_.addr = net_.registerEndpoint(
+      [this](net::Address from, const std::vector<u8>& data) {
+        onDatagram(from, data);
+      });
+}
+
+void KademliaNode::addSeed(const Contact& c) {
+  if (c.id == self_.id) return;
+  routing_.touch(c);
+}
+
+void KademliaNode::join(const Contact& seed, std::function<void()> done) {
+  addSeed(seed);
+  findNode(self_.id, [done = std::move(done)](const LookupResult&) {
+    if (done) done();
+  });
+}
+
+void KademliaNode::ping(const Contact& c, std::function<void(bool)> cb) {
+  sendRequest(c, RpcType::kPing, {}, [cb = std::move(cb)](bool ok, const Envelope&) {
+    if (cb) cb(ok);
+  });
+}
+
+void KademliaNode::findNode(const NodeId& target,
+                            std::function<void(LookupResult)> cb) {
+  startLookup(target, false, GetOptions{}, std::move(cb));
+}
+
+void KademliaNode::findValue(const NodeId& key, const GetOptions& opt,
+                             std::function<void(LookupResult)> cb) {
+  startLookup(key, true, opt, std::move(cb));
+}
+
+void KademliaNode::put(const NodeId& key, const StoreToken& token,
+                       std::function<void(u32)> cb) {
+  putMany(key, {token}, std::move(cb));
+}
+
+void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
+                           std::function<void(u32)> cb) {
+  ++counters_.puts;
+  if (tokens.empty()) {
+    if (cb) cb(0);
+    return;
+  }
+  // Split the batch so each STORE datagram fits the MTU (the lookup cost is
+  // unaffected: fragmentation happens after the single iterative lookup).
+  const usize mtu = net_.config().mtuBytes;
+  const usize budget = mtu > 300 ? mtu - 300 : mtu / 2;
+  std::vector<std::vector<StoreToken>> chunks;
+  chunks.emplace_back();
+  usize used = 0;
+  for (auto& t : tokens) {
+    usize cost = t.entry.size() + t.payload.size() + 16;
+    if (used + cost > budget && !chunks.back().empty()) {
+      chunks.emplace_back();
+      used = 0;
+    }
+    used += cost;
+    chunks.back().push_back(std::move(t));
+  }
+
+  findNode(key, [this, key, chunks = std::move(chunks),
+                 cb = std::move(cb)](const LookupResult& res) {
+    // Kademlia stores on the kStore closest NODES to the key — the
+    // publisher included. A lookup never returns self, so merge self into
+    // the candidate list by XOR distance; without this, two publishers
+    // near the key would write to slightly different replica sets and
+    // replicas would diverge.
+    std::vector<Contact> targets = res.closest;
+    auto selfPos = std::lower_bound(
+        targets.begin(), targets.end(), self_,
+        [&](const Contact& a, const Contact& b) {
+          return compareDistance(key, a.id, b.id) < 0;
+        });
+    targets.insert(selfPos, self_);
+    usize replicas = std::min(cfg_.kStore, targets.size());
+    targets.resize(replicas);
+    if (replicas == 0) {
+      if (cb) cb(0);
+      return;
+    }
+    struct Shared {
+      u32 fullAcks = 0;
+      usize repliesOutstanding = 0;
+      std::vector<usize> chunksLeft;
+      std::vector<bool> allOk;
+      std::function<void(u32)> cb;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->chunksLeft.assign(replicas, chunks.size());
+    sh->allOk.assign(replicas, true);
+    sh->repliesOutstanding = replicas * chunks.size();
+    sh->cb = cb;
+
+    for (usize i = 0; i < replicas; ++i) {
+      if (targets[i].id == self_.id) {
+        // Local replica: apply directly (own tokens need no signature
+        // round-trip).
+        bool ok = true;
+        for (const auto& chunk : chunks) {
+          for (const auto& tok : chunk) {
+            ok = store_.apply(key, tok) && ok;
+          }
+        }
+        if (ok) {
+          ++sh->fullAcks;
+          ++counters_.storesAccepted;
+        }
+        sh->repliesOutstanding -= chunks.size();
+        if (sh->repliesOutstanding == 0 && sh->cb) sh->cb(sh->fullAcks);
+        continue;
+      }
+      for (const auto& chunk : chunks) {
+        StoreReq req;
+        req.key = key;
+        req.tokens = chunk;
+        req.signature = cs_.signContent(credential_.userId, key.toHex(),
+                                        req.canonicalBatch());
+        sendRequest(targets[i], RpcType::kStore, req.encode(),
+                    [sh, i](bool ok, const Envelope& env) {
+                      bool applied = false;
+                      if (ok) {
+                        try {
+                          ByteReader r(env.body);
+                          applied = StoreReply::decode(r).ok;
+                        } catch (const DecodeError&) {
+                        }
+                      }
+                      if (!applied) sh->allOk[i] = false;
+                      if (--sh->chunksLeft[i] == 0 && sh->allOk[i]) {
+                        ++sh->fullAcks;
+                      }
+                      if (--sh->repliesOutstanding == 0 && sh->cb) {
+                        sh->cb(sh->fullAcks);
+                      }
+                    });
+      }
+    }
+  });
+}
+
+void KademliaNode::get(const NodeId& key, const GetOptions& opt,
+                       std::function<void(std::optional<BlockView>)> cb) {
+  ++counters_.gets;
+  findValue(key, opt, [cb = std::move(cb)](const LookupResult& res) {
+    if (cb) cb(res.value);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Datagram plumbing
+// ---------------------------------------------------------------------------
+
+Envelope KademliaNode::makeEnvelope(RpcType type, u64 rpcId,
+                                    std::vector<u8> body) const {
+  Envelope e;
+  e.type = type;
+  e.rpcId = rpcId;
+  e.sender = self_;
+  e.credential = credential_;
+  e.body = std::move(body);
+  return e;
+}
+
+void KademliaNode::sendRequest(const Contact& to, RpcType type,
+                               std::vector<u8> body,
+                               std::function<void(bool, const Envelope&)> onDone) {
+  u64 rpcId = nextRpcId_++;
+  Envelope env = makeEnvelope(type, rpcId, std::move(body));
+  ++counters_.rpcsSent;
+
+  PendingRpc p;
+  p.onDone = std::move(onDone);
+  p.timeoutEvent = sim_.schedule(cfg_.rpcTimeoutUs, [this, rpcId, peer = to] {
+    auto it = pending_.find(rpcId);
+    if (it == pending_.end()) return;
+    auto onDone = std::move(it->second.onDone);
+    pending_.erase(it);
+    ++counters_.timeouts;
+    // Unresponsive peers fall out of the routing table (Kademlia liveness).
+    routing_.remove(peer.id);
+    Envelope dummy;
+    if (onDone) onDone(false, dummy);
+  });
+  pending_.emplace(rpcId, std::move(p));
+  net_.send(self_.addr, to.addr, env.encode());
+}
+
+void KademliaNode::sendReply(const Envelope& req, RpcType type,
+                             std::vector<u8> body) {
+  Envelope env = makeEnvelope(type, req.rpcId, std::move(body));
+  ++counters_.rpcsSent;
+  net_.send(self_.addr, req.sender.addr, env.encode());
+}
+
+void KademliaNode::observeSender(const Envelope& env) {
+  Contact c = env.sender;
+  BucketInsert r = routing_.touch(c);
+  if (r != BucketInsert::kFull) return;
+  // Bucket full: ping the stalest entry; replace it only if unresponsive
+  // (Kademlia's anti-churn bias toward long-lived contacts).
+  auto stalest = routing_.evictionCandidateFor(c);
+  if (!stalest) return;
+  ping(*stalest, [this, c](bool alive) {
+    if (!alive) {
+      routing_.replaceStalestWith(c);
+    }
+    // If alive, ping() -> onDatagram already refreshed its position.
+  });
+}
+
+void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
+  auto envOpt = Envelope::decode(data);
+  if (!envOpt) return;
+  Envelope& env = *envOpt;
+  ++counters_.rpcsReceived;
+
+  if (cfg_.verifyCredentials) {
+    // Likir: the credential must verify AND bind the claimed node id.
+    if (!cs_.verify(env.credential, sim_.now()) ||
+        NodeId::fromDigest(env.credential.nodeId) != env.sender.id) {
+      ++counters_.credentialRejects;
+      return;
+    }
+  }
+  // Trust the transport source over the claimed address.
+  env.sender.addr = from;
+  observeSender(env);
+
+  switch (env.type) {
+    case RpcType::kPing:
+      handlePing(env);
+      break;
+    case RpcType::kFindNode:
+      handleFindNode(env);
+      break;
+    case RpcType::kFindValue:
+      handleFindValue(env);
+      break;
+    case RpcType::kStore:
+      handleStore(env);
+      break;
+    case RpcType::kPong:
+    case RpcType::kFindNodeReply:
+    case RpcType::kFindValueReply:
+    case RpcType::kStoreReply: {
+      auto it = pending_.find(env.rpcId);
+      if (it == pending_.end()) return;  // late/duplicate reply
+      auto onDone = std::move(it->second.onDone);
+      sim_.cancel(it->second.timeoutEvent);
+      pending_.erase(it);
+      if (onDone) onDone(true, env);
+      break;
+    }
+  }
+}
+
+void KademliaNode::handlePing(const Envelope& env) {
+  sendReply(env, RpcType::kPong, {});
+}
+
+void KademliaNode::handleFindNode(const Envelope& env) {
+  try {
+    ByteReader r(env.body);
+    FindNodeReq req = FindNodeReq::decode(r);
+    ContactsReply rep;
+    rep.contacts = routing_.closest(req.target, cfg_.k);
+    sendReply(env, RpcType::kFindNodeReply, rep.encode());
+  } catch (const DecodeError&) {
+  }
+}
+
+void KademliaNode::handleFindValue(const Envelope& env) {
+  try {
+    ByteReader r(env.body);
+    FindValueReq req = FindValueReq::decode(r);
+    FindValueReply rep;
+    GetOptions opt;
+    opt.topN = req.topN;
+    // Index-side filtering: never build a reply larger than the MTU even if
+    // the requester asked for more (Section V-A).
+    usize mtuBudget = net_.config().mtuBytes > 256 ? net_.config().mtuBytes - 256 : 256;
+    opt.maxBytes = req.maxBytes == 0 ? mtuBudget
+                                     : std::min<usize>(req.maxBytes, mtuBudget);
+    if (auto view = store_.query(req.key, opt)) {
+      rep.found = true;
+      rep.view = std::move(*view);
+    } else {
+      rep.contacts = routing_.closest(req.key, cfg_.k);
+    }
+    sendReply(env, RpcType::kFindValueReply, rep.encode());
+  } catch (const DecodeError&) {
+  }
+}
+
+void KademliaNode::handleStore(const Envelope& env) {
+  try {
+    ByteReader r(env.body);
+    StoreReq req = StoreReq::decode(r);
+    StoreReply rep;
+    if (cfg_.verifyContent &&
+        !cs_.verifyContent(req.signature, req.key.toHex(),
+                           req.canonicalBatch())) {
+      ++counters_.storesRejectedAuth;
+      rep.ok = false;
+    } else {
+      rep.ok = !req.tokens.empty();
+      for (const auto& tok : req.tokens) {
+        rep.ok = store_.apply(req.key, tok) && rep.ok;
+      }
+      if (rep.ok) ++counters_.storesAccepted;
+    }
+    sendReply(env, RpcType::kStoreReply, rep.encode());
+  } catch (const DecodeError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iterative lookup
+// ---------------------------------------------------------------------------
+
+void KademliaNode::startLookup(const NodeId& target, bool isValue,
+                               GetOptions opt,
+                               std::function<void(LookupResult)> cb) {
+  ++counters_.lookups;
+  auto task = std::make_shared<LookupTask>();
+  task->target = target;
+  task->isValue = isValue;
+  task->opt = opt;
+  task->cb = std::move(cb);
+  if (isValue) {
+    // Local hit: the querying node may itself hold a replica.
+    if (auto view = store_.query(target, opt)) {
+      task->haveValue = true;
+      task->mergedValue = std::move(*view);
+      ++task->valueReplies;
+      if (task->valueReplies >= cfg_.valueQuorum) {
+        finishLookup(task);
+        return;
+      }
+    }
+  }
+  for (const Contact& c : routing_.closest(target, cfg_.k)) {
+    task->addCandidate(c);
+  }
+  if (task->candidates.empty()) {
+    finishLookup(task);
+    return;
+  }
+  pumpLookup(task);
+}
+
+void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
+  if (task->done) return;
+
+  // Completion: value quorum reached, or the k best candidates have all been
+  // queried (responded/failed) with nothing in flight.
+  if (task->isValue && task->valueReplies >= cfg_.valueQuorum && task->haveValue) {
+    finishLookup(task);
+    return;
+  }
+
+  // Launch queries at fresh candidates among the k closest, keeping at most
+  // alpha in flight.
+  usize considered = 0;
+  for (usize i = 0; i < task->candidates.size() && task->inflight < cfg_.alpha;
+       ++i) {
+    Candidate& cand = task->candidates[i];
+    if (cand.state == CandState::kFailed) continue;  // doesn't occupy a slot
+    ++considered;
+    if (considered > cfg_.k) break;  // only the k best matter
+    if (cand.state != CandState::kFresh) continue;
+
+    cand.state = CandState::kInflight;
+    ++task->inflight;
+    ++task->messagesSent;
+    Contact peer = cand.contact;
+
+    auto onDone = [this, task, peerId = peer.id](bool ok, const Envelope& env) {
+      if (task->done) return;
+      --task->inflight;
+      Candidate* c = task->find(peerId);
+      if (c) c->state = ok ? CandState::kResponded : CandState::kFailed;
+      if (ok) {
+        try {
+          if (env.type == RpcType::kFindValueReply) {
+            ByteReader r(env.body);
+            FindValueReply rep = FindValueReply::decode(r);
+            if (rep.found) {
+              ++task->valueReplies;
+              if (task->haveValue) {
+                task->mergedValue.mergeMax(rep.view);
+              } else {
+                task->mergedValue = std::move(rep.view);
+                task->haveValue = true;
+              }
+            } else {
+              for (const Contact& nc : rep.contacts) {
+                if (nc.id != self_.id) task->addCandidate(nc);
+              }
+            }
+          } else if (env.type == RpcType::kFindNodeReply) {
+            ByteReader r(env.body);
+            ContactsReply rep = ContactsReply::decode(r);
+            for (const Contact& nc : rep.contacts) {
+              if (nc.id != self_.id) task->addCandidate(nc);
+            }
+          }
+        } catch (const DecodeError&) {
+        }
+      }
+      pumpLookup(task);
+    };
+
+    if (task->isValue) {
+      FindValueReq req;
+      req.key = task->target;
+      req.topN = task->opt.topN;
+      req.maxBytes = static_cast<u32>(task->opt.maxBytes);
+      sendRequest(peer, RpcType::kFindValue, req.encode(), onDone);
+    } else {
+      FindNodeReq req;
+      req.target = task->target;
+      sendRequest(peer, RpcType::kFindNode, req.encode(), onDone);
+    }
+  }
+
+  if (task->inflight == 0) {
+    // No queries in flight and none launchable: every useful candidate has
+    // been consumed.
+    bool anyFresh = false;
+    usize considered2 = 0;
+    for (const Candidate& c : task->candidates) {
+      if (c.state == CandState::kFailed) continue;
+      ++considered2;
+      if (considered2 > cfg_.k) break;
+      if (c.state == CandState::kFresh) {
+        anyFresh = true;
+        break;
+      }
+    }
+    if (!anyFresh) finishLookup(task);
+  }
+}
+
+void KademliaNode::finishLookup(const std::shared_ptr<LookupTask>& task) {
+  if (task->done) return;
+  task->done = true;
+  LookupResult res;
+  res.messagesSent = task->messagesSent;
+  res.valueReplies = task->valueReplies;
+  if (task->haveValue) res.value = std::move(task->mergedValue);
+  for (const Candidate& c : task->candidates) {
+    if (c.state == CandState::kResponded) {
+      res.closest.push_back(c.contact);
+      if (res.closest.size() >= cfg_.k) break;
+    }
+  }
+  if (task->cb) task->cb(std::move(res));
+}
+
+}  // namespace dharma::dht

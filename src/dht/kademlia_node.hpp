@@ -1,0 +1,157 @@
+#pragma once
+/// \file kademlia_node.hpp
+/// \brief One Kademlia/Likir overlay node.
+///
+/// Implements the four Kademlia RPCs over the simulated network, the
+/// α-parallel iterative lookup, and the PUT/GET primitives the paper
+/// assumes: "retrieving or modifying the content of a block on the DHT
+/// costs only one overlay lookup operation". counters().lookups is the
+/// quantity Table I counts.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "crypto/identity.hpp"
+#include "dht/routing_table.hpp"
+#include "dht/rpc.hpp"
+#include "dht/storage.hpp"
+#include "net/network.hpp"
+
+namespace dharma::dht {
+
+/// Tunables (Kademlia defaults).
+struct NodeConfig {
+  usize k = 20;                       ///< bucket capacity & lookup width
+  usize alpha = 3;                    ///< lookup parallelism
+  usize kStore = 8;                   ///< replication factor for PUT
+  u32 valueQuorum = 1;                ///< replicas merged per GET
+  net::SimTime rpcTimeoutUs = 1500000; ///< RPC timeout (1.5 s)
+  bool verifyCredentials = true;      ///< Likir sender authentication
+  bool verifyContent = true;          ///< Likir content-signature checks
+};
+
+/// Result of an iterative lookup.
+struct LookupResult {
+  std::vector<Contact> closest;      ///< closest responsive contacts found
+  std::optional<BlockView> value;    ///< merged value (value lookups only)
+  u32 messagesSent = 0;              ///< RPCs issued by this lookup
+  u32 valueReplies = 0;              ///< replicas that returned the value
+};
+
+/// Monotonic per-node counters.
+struct NodeCounters {
+  u64 lookups = 0;             ///< iterative procedures run (Table I unit)
+  u64 puts = 0;                ///< PUT operations issued
+  u64 gets = 0;                ///< GET operations issued
+  u64 rpcsSent = 0;
+  u64 rpcsReceived = 0;
+  u64 timeouts = 0;
+  u64 storesAccepted = 0;      ///< tokens applied on behalf of peers
+  u64 storesRejectedAuth = 0;  ///< forged content signatures refused
+  u64 credentialRejects = 0;   ///< datagrams dropped for bad credentials
+};
+
+/// A single overlay node.
+class KademliaNode {
+ public:
+  /// \param sim   shared event loop
+  /// \param net   shared datagram network
+  /// \param cs    certification service (verification oracle)
+  /// \param cred  this node's Likir credential (fixes the node id)
+  /// \param cfg   protocol parameters
+  /// \param seed  per-node randomness (lookup tie-breaking etc.)
+  KademliaNode(net::Simulator& sim, net::Network& net,
+               const crypto::CertificationService& cs, crypto::Credential cred,
+               NodeConfig cfg, u64 seed);
+
+  KademliaNode(const KademliaNode&) = delete;
+  KademliaNode& operator=(const KademliaNode&) = delete;
+
+  const NodeId& id() const { return self_.id; }
+  net::Address address() const { return self_.addr; }
+  Contact contact() const { return self_; }
+  const std::string& userId() const { return credential_.userId; }
+
+  /// Seeds the routing table without any traffic.
+  void addSeed(const Contact& c);
+
+  /// Standard join: insert \p seed, then look up our own id.
+  void join(const Contact& seed, std::function<void()> done);
+
+  /// Liveness probe; cb(true) on pong before timeout.
+  void ping(const Contact& c, std::function<void(bool)> cb);
+
+  /// Iterative FIND_NODE toward \p target.
+  void findNode(const NodeId& target, std::function<void(LookupResult)> cb);
+
+  /// Iterative FIND_VALUE for \p key with index-side filtering options.
+  void findValue(const NodeId& key, const GetOptions& opt,
+                 std::function<void(LookupResult)> cb);
+
+  /// PUT: one lookup + replicated signed STOREs.
+  /// cb(acks) with the number of replicas that acknowledged.
+  void put(const NodeId& key, const StoreToken& token,
+           std::function<void(u32)> cb);
+
+  /// PUT of a token batch against one block: still exactly ONE lookup (the
+  /// paper's per-block-operation cost unit); batches that would overflow
+  /// the MTU are transparently split across several STORE datagrams.
+  /// cb(acks) counts replicas that acknowledged every chunk.
+  void putMany(const NodeId& key, std::vector<StoreToken> tokens,
+               std::function<void(u32)> cb);
+
+  /// GET: one value lookup; cb(view) or cb(nullopt) if not found.
+  void get(const NodeId& key, const GetOptions& opt,
+           std::function<void(std::optional<BlockView>)> cb);
+
+  BlockStore& store() { return store_; }
+  const BlockStore& store() const { return store_; }
+  RoutingTable& routing() { return routing_; }
+  const RoutingTable& routing() const { return routing_; }
+  const NodeCounters& counters() const { return counters_; }
+  const NodeConfig& config() const { return cfg_; }
+
+ private:
+  struct LookupTask;
+
+  net::Simulator& sim_;
+  net::Network& net_;
+  const crypto::CertificationService& cs_;
+  crypto::Credential credential_;
+  NodeConfig cfg_;
+  Rng rng_;
+  Contact self_;
+  RoutingTable routing_;
+  BlockStore store_;
+  NodeCounters counters_;
+  u64 nextRpcId_ = 1;
+
+  struct PendingRpc {
+    std::function<void(bool, const Envelope&)> onDone;  // ok=false on timeout
+    net::EventId timeoutEvent = 0;
+  };
+  std::unordered_map<u64, PendingRpc> pending_;
+
+  // -- plumbing --
+  void onDatagram(net::Address from, const std::vector<u8>& data);
+  void sendRequest(const Contact& to, RpcType type, std::vector<u8> body,
+                   std::function<void(bool, const Envelope&)> onDone);
+  void sendReply(const Envelope& req, RpcType type, std::vector<u8> body);
+  Envelope makeEnvelope(RpcType type, u64 rpcId, std::vector<u8> body) const;
+  void observeSender(const Envelope& env);
+
+  // -- request handlers --
+  void handlePing(const Envelope& env);
+  void handleFindNode(const Envelope& env);
+  void handleFindValue(const Envelope& env);
+  void handleStore(const Envelope& env);
+
+  // -- lookup machinery --
+  void startLookup(const NodeId& target, bool isValue, GetOptions opt,
+                   std::function<void(LookupResult)> cb);
+  void pumpLookup(const std::shared_ptr<LookupTask>& task);
+  void finishLookup(const std::shared_ptr<LookupTask>& task);
+};
+
+}  // namespace dharma::dht

@@ -1,0 +1,52 @@
+#include "dht/kbucket.hpp"
+
+#include <algorithm>
+
+namespace dharma::dht {
+
+BucketInsert KBucket::touch(const Contact& c) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Contact& e) { return e.id == c.id; });
+  if (it != entries_.end()) {
+    // Refresh address (a node may rejoin under a new endpoint) and move to
+    // the most-recently-seen tail.
+    Contact updated = c;
+    entries_.erase(it);
+    entries_.push_back(updated);
+    return BucketInsert::kUpdated;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(c);
+    return BucketInsert::kInserted;
+  }
+  return BucketInsert::kFull;
+}
+
+bool KBucket::remove(const NodeId& id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Contact& e) { return e.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool KBucket::contains(const NodeId& id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Contact& e) { return e.id == id; });
+}
+
+std::optional<Contact> KBucket::evictionCandidate() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.front();
+}
+
+void KBucket::replaceStalest(const Contact& c) {
+  if (entries_.empty()) {
+    entries_.push_back(c);
+    return;
+  }
+  entries_.erase(entries_.begin());
+  entries_.push_back(c);
+}
+
+}  // namespace dharma::dht

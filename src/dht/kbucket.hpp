@@ -1,0 +1,65 @@
+#pragma once
+/// \file kbucket.hpp
+/// \brief Kademlia k-bucket: a capacity-k LRU list of contacts.
+///
+/// Contacts are kept ordered by freshness (least-recently seen first).
+/// When a full bucket sees a new contact, Kademlia pings the stalest
+/// entry and only evicts it if unresponsive; the bucket exposes the
+/// candidate so the node can drive that ping asynchronously.
+
+#include <optional>
+#include <vector>
+
+#include "dht/node_id.hpp"
+#include "net/network.hpp"
+
+namespace dharma::dht {
+
+/// Overlay contact: identifier + network address.
+struct Contact {
+  NodeId id;
+  net::Address addr = net::kNullAddress;
+
+  bool operator==(const Contact& o) const { return id == o.id && addr == o.addr; }
+};
+
+/// Outcome of offering a contact to a bucket.
+enum class BucketInsert {
+  kUpdated,   ///< already present; moved to most-recently-seen
+  kInserted,  ///< appended (bucket had room)
+  kFull,      ///< bucket full; evictionCandidate() holds the stalest entry
+};
+
+/// Capacity-k least-recently-seen-first contact list.
+class KBucket {
+ public:
+  explicit KBucket(usize capacity = 20) : capacity_(capacity) {}
+
+  /// Offers a (fresh) contact. See BucketInsert.
+  BucketInsert touch(const Contact& c);
+
+  /// Removes the contact with \p id; returns true if it was present.
+  bool remove(const NodeId& id);
+
+  /// True if a contact with \p id is present.
+  bool contains(const NodeId& id) const;
+
+  /// Least-recently-seen contact, if any (the eviction-ping candidate).
+  std::optional<Contact> evictionCandidate() const;
+
+  /// Replaces the stalest contact with \p c (used after a failed ping).
+  void replaceStalest(const Contact& c);
+
+  usize size() const { return entries_.size(); }
+  usize capacity() const { return capacity_; }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  /// Contacts, least-recently seen first.
+  const std::vector<Contact>& entries() const { return entries_; }
+
+ private:
+  usize capacity_;
+  std::vector<Contact> entries_;  // front = stalest, back = freshest
+};
+
+}  // namespace dharma::dht

@@ -1,0 +1,45 @@
+#include "dht/node_id.hpp"
+
+namespace dharma::dht {
+
+NodeId NodeId::random(Rng& rng) {
+  NodeId n;
+  for (usize i = 0; i < 20; i += 4) {
+    u32 word = static_cast<u32>(rng.next());
+    n.bytes[i] = static_cast<u8>(word >> 24);
+    n.bytes[i + 1] = static_cast<u8>(word >> 16);
+    n.bytes[i + 2] = static_cast<u8>(word >> 8);
+    n.bytes[i + 3] = static_cast<u8>(word);
+  }
+  return n;
+}
+
+NodeId xorDistance(const NodeId& a, const NodeId& b) {
+  NodeId d;
+  for (usize i = 0; i < 20; ++i) d.bytes[i] = a.bytes[i] ^ b.bytes[i];
+  return d;
+}
+
+int bucketIndex(const NodeId& a, const NodeId& b) {
+  for (usize i = 0; i < 20; ++i) {
+    u8 x = a.bytes[i] ^ b.bytes[i];
+    if (x != 0) {
+      // Bit position within this byte, counting from the MSB of the id.
+      int msb = 7;
+      while (!((x >> msb) & 1)) --msb;
+      return static_cast<int>((19 - i) * 8 + static_cast<usize>(msb));
+    }
+  }
+  return -1;
+}
+
+int compareDistance(const NodeId& target, const NodeId& a, const NodeId& b) {
+  for (usize i = 0; i < 20; ++i) {
+    u8 da = a.bytes[i] ^ target.bytes[i];
+    u8 db = b.bytes[i] ^ target.bytes[i];
+    if (da != db) return da < db ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace dharma::dht

@@ -1,0 +1,87 @@
+#pragma once
+/// \file node_id.hpp
+/// \brief 160-bit Kademlia identifiers and the XOR metric.
+///
+/// Node ids and block keys share the same 160-bit space (Kademlia [13]).
+/// Distance is bitwise XOR interpreted as a big-endian unsigned integer;
+/// bucketIndex() is the position of the most significant differing bit
+/// (159 = differ in the top bit, 0 = differ only in the lowest bit).
+
+#include <array>
+#include <compare>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha1.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dharma::dht {
+
+/// 160-bit identifier (big-endian byte order).
+struct NodeId {
+  std::array<u8, 20> bytes{};
+
+  /// All-zero id.
+  static NodeId zero() { return NodeId{}; }
+
+  /// Id from a SHA-1 digest (the usual derivation).
+  static NodeId fromDigest(const crypto::Digest160& d) {
+    NodeId n;
+    n.bytes = d;
+    return n;
+  }
+
+  /// Id from hashing an arbitrary string.
+  static NodeId fromString(std::string_view s) {
+    return fromDigest(crypto::sha1(s));
+  }
+
+  /// Uniformly random id.
+  static NodeId random(Rng& rng);
+
+  /// Parses 40 hex characters.
+  static NodeId fromHex(std::string_view hex) {
+    return fromDigest(crypto::digestFromHex(hex));
+  }
+
+  /// Lower-case 40-char hex string.
+  std::string toHex() const { return crypto::toHex(bytes); }
+
+  /// Abbreviated hex (first 8 chars) for logs.
+  std::string shortHex() const { return toHex().substr(0, 8); }
+
+  auto operator<=>(const NodeId&) const = default;
+
+  /// Value of the bit at position \p i (159 = most significant).
+  bool bit(int i) const {
+    return (bytes[19 - i / 8] >> (i % 8)) & 1;
+  }
+};
+
+/// Bitwise XOR distance.
+NodeId xorDistance(const NodeId& a, const NodeId& b);
+
+/// Index of the most significant set bit of xorDistance(a, b), in
+/// [0, 159]; returns -1 when a == b.
+int bucketIndex(const NodeId& a, const NodeId& b);
+
+/// Three-way comparison of |a ^ target| vs |b ^ target|:
+/// negative if a is closer to target, 0 if equidistant, positive otherwise.
+int compareDistance(const NodeId& target, const NodeId& a, const NodeId& b);
+
+/// True if a is strictly closer to target than b.
+inline bool closerTo(const NodeId& target, const NodeId& a, const NodeId& b) {
+  return compareDistance(target, a, b) < 0;
+}
+
+/// Hash functor so NodeId can key unordered containers.
+struct NodeIdHash {
+  usize operator()(const NodeId& id) const {
+    u64 h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | id.bytes[i];
+    return static_cast<usize>(splitmix64(h));
+  }
+};
+
+}  // namespace dharma::dht

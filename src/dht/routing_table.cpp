@@ -1,0 +1,68 @@
+#include "dht/routing_table.hpp"
+
+#include <algorithm>
+
+namespace dharma::dht {
+
+RoutingTable::RoutingTable(const NodeId& self, usize bucketCap) : self_(self) {
+  buckets_.fill(KBucket(bucketCap));
+}
+
+BucketInsert RoutingTable::touch(const Contact& c) {
+  int idx = indexFor(c.id);
+  if (idx < 0) return BucketInsert::kUpdated;  // self; ignore
+  return buckets_[static_cast<usize>(idx)].touch(c);
+}
+
+std::optional<Contact> RoutingTable::evictionCandidateFor(const Contact& c) const {
+  int idx = indexFor(c.id);
+  if (idx < 0) return std::nullopt;
+  return buckets_[static_cast<usize>(idx)].evictionCandidate();
+}
+
+void RoutingTable::replaceStalestWith(const Contact& c) {
+  int idx = indexFor(c.id);
+  if (idx < 0) return;
+  buckets_[static_cast<usize>(idx)].replaceStalest(c);
+}
+
+bool RoutingTable::remove(const NodeId& id) {
+  int idx = indexFor(id);
+  if (idx < 0) return false;
+  return buckets_[static_cast<usize>(idx)].remove(id);
+}
+
+bool RoutingTable::contains(const NodeId& id) const {
+  int idx = indexFor(id);
+  if (idx < 0) return false;
+  return buckets_[static_cast<usize>(idx)].contains(id);
+}
+
+std::vector<Contact> RoutingTable::closest(const NodeId& target, usize n) const {
+  std::vector<Contact> all;
+  all.reserve(size());
+  for (const auto& b : buckets_) {
+    all.insert(all.end(), b.entries().begin(), b.entries().end());
+  }
+  usize take = std::min(n, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take), all.end(),
+                    [&](const Contact& a, const Contact& b) {
+                      return compareDistance(target, a.id, b.id) < 0;
+                    });
+  all.resize(take);
+  return all;
+}
+
+usize RoutingTable::size() const {
+  usize n = 0;
+  for (const auto& b : buckets_) n += b.size();
+  return n;
+}
+
+usize RoutingTable::nonEmptyBuckets() const {
+  usize n = 0;
+  for (const auto& b : buckets_) n += b.size() > 0 ? 1 : 0;
+  return n;
+}
+
+}  // namespace dharma::dht

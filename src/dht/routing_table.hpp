@@ -1,0 +1,56 @@
+#pragma once
+/// \file routing_table.hpp
+/// \brief Kademlia routing table: 160 k-buckets indexed by XOR prefix.
+
+#include <array>
+#include <vector>
+
+#include "dht/kbucket.hpp"
+
+namespace dharma::dht {
+
+/// Routing table for one node. Bucket i holds contacts whose XOR distance
+/// from the owner has its most significant bit at position i.
+class RoutingTable {
+ public:
+  /// \param self      owner id (contacts equal to self are ignored)
+  /// \param bucketCap per-bucket capacity (Kademlia's k, default 20)
+  explicit RoutingTable(const NodeId& self, usize bucketCap = 20);
+
+  /// Offers a contact; returns the bucket outcome (kFull => the caller
+  /// should ping evictionCandidateFor(c)).
+  BucketInsert touch(const Contact& c);
+
+  /// Stalest contact of the bucket \p c belongs to.
+  std::optional<Contact> evictionCandidateFor(const Contact& c) const;
+
+  /// Replaces the stalest entry of c's bucket with c (failed-ping path).
+  void replaceStalestWith(const Contact& c);
+
+  /// Removes a contact wherever it lives.
+  bool remove(const NodeId& id);
+
+  bool contains(const NodeId& id) const;
+
+  /// The \p n known contacts closest to \p target (XOR order).
+  std::vector<Contact> closest(const NodeId& target, usize n) const;
+
+  /// Total number of stored contacts.
+  usize size() const;
+
+  /// Number of non-empty buckets.
+  usize nonEmptyBuckets() const;
+
+  const NodeId& self() const { return self_; }
+
+  /// Direct bucket access (diagnostics, tests).
+  const KBucket& bucket(usize i) const { return buckets_[i]; }
+
+ private:
+  NodeId self_;
+  std::array<KBucket, 160> buckets_;
+
+  int indexFor(const NodeId& id) const { return bucketIndex(self_, id); }
+};
+
+}  // namespace dharma::dht

@@ -1,0 +1,224 @@
+#include "dht/rpc.hpp"
+
+namespace dharma::dht {
+
+void writeNodeId(ByteWriter& w, const NodeId& id) {
+  w.writeRaw(id.bytes.data(), id.bytes.size());
+}
+
+NodeId readNodeId(ByteReader& r) {
+  NodeId id;
+  r.readRaw(id.bytes.data(), id.bytes.size());
+  return id;
+}
+
+void writeContact(ByteWriter& w, const Contact& c) {
+  writeNodeId(w, c.id);
+  w.writeU32(c.addr);
+}
+
+Contact readContact(ByteReader& r) {
+  Contact c;
+  c.id = readNodeId(r);
+  c.addr = r.readU32();
+  return c;
+}
+
+void writeCredential(ByteWriter& w, const crypto::Credential& c) {
+  w.writeString(c.userId);
+  w.writeRaw(c.nodeId.data(), c.nodeId.size());
+  w.writeU64(c.expiresAt);
+  w.writeRaw(c.mac.data(), c.mac.size());
+}
+
+crypto::Credential readCredential(ByteReader& r) {
+  crypto::Credential c;
+  c.userId = r.readString();
+  r.readRaw(c.nodeId.data(), c.nodeId.size());
+  c.expiresAt = r.readU64();
+  r.readRaw(c.mac.data(), c.mac.size());
+  return c;
+}
+
+void writeBlockView(ByteWriter& w, const BlockView& v) {
+  w.writeVarint(v.entries.size());
+  for (const auto& e : v.entries) {
+    w.writeString(e.name);
+    w.writeVarint(e.weight);
+  }
+  w.writeString(v.payload);
+  w.writeU8(v.truncated ? 1 : 0);
+  w.writeVarint(v.totalEntries);
+}
+
+BlockView readBlockView(ByteReader& r) {
+  BlockView v;
+  u64 n = r.readVarint();
+  v.entries.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    BlockEntry e;
+    e.name = r.readString();
+    e.weight = r.readVarint();
+    v.entries.push_back(std::move(e));
+  }
+  v.payload = r.readString();
+  v.truncated = r.readU8() != 0;
+  v.totalEntries = r.readVarint();
+  return v;
+}
+
+std::vector<u8> Envelope::encode() const {
+  ByteWriter w;
+  w.writeU8(static_cast<u8>(type));
+  w.writeU64(rpcId);
+  writeContact(w, sender);
+  writeCredential(w, credential);
+  w.writeBytes(body.data(), body.size());
+  return w.take();
+}
+
+std::optional<Envelope> Envelope::decode(const std::vector<u8>& data) {
+  try {
+    ByteReader r(data);
+    Envelope e;
+    u8 t = r.readU8();
+    if (t > static_cast<u8>(RpcType::kStoreReply)) return std::nullopt;
+    e.type = static_cast<RpcType>(t);
+    e.rpcId = r.readU64();
+    e.sender = readContact(r);
+    e.credential = readCredential(r);
+    e.body = r.readBytes();
+    if (!r.atEnd()) return std::nullopt;
+    return e;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<u8> FindNodeReq::encode() const {
+  ByteWriter w;
+  writeNodeId(w, target);
+  return w.take();
+}
+
+FindNodeReq FindNodeReq::decode(ByteReader& r) {
+  FindNodeReq q;
+  q.target = readNodeId(r);
+  return q;
+}
+
+std::vector<u8> ContactsReply::encode() const {
+  ByteWriter w;
+  w.writeVarint(contacts.size());
+  for (const auto& c : contacts) writeContact(w, c);
+  return w.take();
+}
+
+ContactsReply ContactsReply::decode(ByteReader& r) {
+  ContactsReply rep;
+  u64 n = r.readVarint();
+  rep.contacts.reserve(n);
+  for (u64 i = 0; i < n; ++i) rep.contacts.push_back(readContact(r));
+  return rep;
+}
+
+std::vector<u8> FindValueReq::encode() const {
+  ByteWriter w;
+  writeNodeId(w, key);
+  w.writeU32(topN);
+  w.writeU32(maxBytes);
+  return w.take();
+}
+
+FindValueReq FindValueReq::decode(ByteReader& r) {
+  FindValueReq q;
+  q.key = readNodeId(r);
+  q.topN = r.readU32();
+  q.maxBytes = r.readU32();
+  return q;
+}
+
+std::vector<u8> FindValueReply::encode() const {
+  ByteWriter w;
+  w.writeU8(found ? 1 : 0);
+  if (found) {
+    writeBlockView(w, view);
+  } else {
+    w.writeVarint(contacts.size());
+    for (const auto& c : contacts) writeContact(w, c);
+  }
+  return w.take();
+}
+
+FindValueReply FindValueReply::decode(ByteReader& r) {
+  FindValueReply rep;
+  rep.found = r.readU8() != 0;
+  if (rep.found) {
+    rep.view = readBlockView(r);
+  } else {
+    u64 n = r.readVarint();
+    rep.contacts.reserve(n);
+    for (u64 i = 0; i < n; ++i) rep.contacts.push_back(readContact(r));
+  }
+  return rep;
+}
+
+std::string StoreReq::canonicalBatch() const {
+  std::string s;
+  for (const auto& t : tokens) {
+    s += t.canonical();
+    s += '\n';
+  }
+  return s;
+}
+
+std::vector<u8> StoreReq::encode() const {
+  ByteWriter w;
+  writeNodeId(w, key);
+  w.writeVarint(tokens.size());
+  for (const auto& t : tokens) {
+    w.writeU8(static_cast<u8>(t.kind));
+    w.writeString(t.entry);
+    w.writeVarint(t.delta);
+    w.writeString(t.payload);
+  }
+  w.writeString(signature.userId);
+  w.writeRaw(signature.mac.data(), signature.mac.size());
+  return w.take();
+}
+
+StoreReq StoreReq::decode(ByteReader& r) {
+  StoreReq q;
+  q.key = readNodeId(r);
+  u64 n = r.readVarint();
+  q.tokens.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    StoreToken t;
+    u8 kind = r.readU8();
+    if (kind > static_cast<u8>(TokenKind::kIncrementIfNewB)) {
+      throw DecodeError("StoreReq: bad token kind");
+    }
+    t.kind = static_cast<TokenKind>(kind);
+    t.entry = r.readString();
+    t.delta = r.readVarint();
+    t.payload = r.readString();
+    q.tokens.push_back(std::move(t));
+  }
+  q.signature.userId = r.readString();
+  r.readRaw(q.signature.mac.data(), q.signature.mac.size());
+  return q;
+}
+
+std::vector<u8> StoreReply::encode() const {
+  ByteWriter w;
+  w.writeU8(ok ? 1 : 0);
+  return w.take();
+}
+
+StoreReply StoreReply::decode(ByteReader& r) {
+  StoreReply rep;
+  rep.ok = r.readU8() != 0;
+  return rep;
+}
+
+}  // namespace dharma::dht

@@ -1,0 +1,110 @@
+#pragma once
+/// \file rpc.hpp
+/// \brief Wire formats for the five Kademlia RPCs, Likir-authenticated.
+///
+/// Every datagram is an Envelope{type, rpcId, sender contact, credential}
+/// followed by a type-specific body. Credentials are verified by receivers
+/// before any state change (routing-table updates included), reproducing
+/// Likir's defence against id spoofing.
+
+#include <optional>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "dht/kbucket.hpp"
+#include "dht/storage.hpp"
+#include "util/buffer.hpp"
+
+namespace dharma::dht {
+
+/// RPC discriminator.
+enum class RpcType : u8 {
+  kPing = 0,
+  kPong = 1,
+  kFindNode = 2,
+  kFindNodeReply = 3,
+  kFindValue = 4,
+  kFindValueReply = 5,
+  kStore = 6,
+  kStoreReply = 7,
+};
+
+/// Common datagram header.
+struct Envelope {
+  RpcType type = RpcType::kPing;
+  u64 rpcId = 0;                 ///< request/response correlation id
+  Contact sender;                ///< claimed sender (id + address)
+  crypto::Credential credential; ///< Likir credential for sender.id
+  std::vector<u8> body;          ///< type-specific payload
+
+  std::vector<u8> encode() const;
+  static std::optional<Envelope> decode(const std::vector<u8>& data);
+};
+
+/// FIND_NODE request body.
+struct FindNodeReq {
+  NodeId target;
+  std::vector<u8> encode() const;
+  static FindNodeReq decode(ByteReader& r);
+};
+
+/// FIND_NODE / FIND_VALUE "closer nodes" reply body.
+struct ContactsReply {
+  std::vector<Contact> contacts;
+  std::vector<u8> encode() const;
+  static ContactsReply decode(ByteReader& r);
+};
+
+/// FIND_VALUE request body (carries the index-side filtering knobs).
+struct FindValueReq {
+  NodeId key;
+  u32 topN = 0;
+  u32 maxBytes = 0;
+  std::vector<u8> encode() const;
+  static FindValueReq decode(ByteReader& r);
+};
+
+/// FIND_VALUE reply body: either the (filtered) value or closer contacts.
+struct FindValueReply {
+  bool found = false;
+  BlockView view;
+  std::vector<Contact> contacts;
+  std::vector<u8> encode() const;
+  static FindValueReply decode(ByteReader& r);
+};
+
+/// STORE request body: a batch of tokens for one block, signed as a unit.
+/// Batches let a whole r̄ block (one token per tag) ride a single lookup;
+/// the sender splits batches that would exceed the MTU.
+struct StoreReq {
+  NodeId key;
+  std::vector<StoreToken> tokens;
+  crypto::ContentSignature signature;
+
+  /// Canonical string covered by the signature (token canonicals joined
+  /// with newlines).
+  std::string canonicalBatch() const;
+
+  std::vector<u8> encode() const;
+  static StoreReq decode(ByteReader& r);
+};
+
+/// STORE acknowledgement body.
+struct StoreReply {
+  bool ok = false;
+  std::vector<u8> encode() const;
+  static StoreReply decode(ByteReader& r);
+};
+
+// -- shared field codecs ----------------------------------------------------
+
+void writeNodeId(ByteWriter& w, const NodeId& id);
+NodeId readNodeId(ByteReader& r);
+void writeContact(ByteWriter& w, const Contact& c);
+Contact readContact(ByteReader& r);
+void writeCredential(ByteWriter& w, const crypto::Credential& c);
+crypto::Credential readCredential(ByteReader& r);
+void writeBlockView(ByteWriter& w, const BlockView& v);
+BlockView readBlockView(ByteReader& r);
+
+}  // namespace dharma::dht

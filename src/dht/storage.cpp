@@ -1,0 +1,134 @@
+#include "dht/storage.hpp"
+
+#include <algorithm>
+
+namespace dharma::dht {
+
+std::string StoreToken::canonical() const {
+  std::string s;
+  s.reserve(entry.size() + payload.size() + 16);
+  switch (kind) {
+    case TokenKind::kIncrement: s += "inc|"; break;
+    case TokenKind::kSetPayload: s += "pay|"; break;
+    case TokenKind::kTouch: s += "tch|"; break;
+    case TokenKind::kIncrementIfNewB: s += "icb|"; break;
+  }
+  s += entry;
+  s += '|';
+  s += std::to_string(delta);
+  s += '|';
+  s += payload;
+  return s;
+}
+
+u64 BlockView::weightOf(std::string_view name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return e.weight;
+  }
+  return 0;
+}
+
+void BlockView::mergeMax(const BlockView& other) {
+  std::map<std::string, u64> merged;
+  for (const auto& e : entries) merged[e.name] = e.weight;
+  for (const auto& e : other.entries) {
+    u64& w = merged[e.name];
+    w = std::max(w, e.weight);
+  }
+  entries.clear();
+  entries.reserve(merged.size());
+  for (auto& [name, w] : merged) entries.push_back(BlockEntry{name, w});
+  std::sort(entries.begin(), entries.end(), [](const BlockEntry& a, const BlockEntry& b) {
+    return a.weight != b.weight ? a.weight > b.weight : a.name < b.name;
+  });
+  if (payload.empty()) payload = other.payload;
+  truncated = truncated || other.truncated;
+  totalEntries = std::max(totalEntries, other.totalEntries);
+}
+
+usize BlockView::byteSize() const {
+  usize n = payload.size() + 16;
+  for (const auto& e : entries) n += e.name.size() + 10;
+  return n;
+}
+
+bool BlockStore::apply(const NodeId& key, const StoreToken& token) {
+  switch (token.kind) {
+    case TokenKind::kIncrement: {
+      if (token.entry.empty() || token.delta == 0) return false;
+      Block& b = blocks_[key];
+      b.entries[token.entry] += token.delta;
+      tokensApplied_ += token.delta;
+      return true;
+    }
+    case TokenKind::kSetPayload: {
+      Block& b = blocks_[key];
+      b.payload = token.payload;
+      ++tokensApplied_;
+      return true;
+    }
+    case TokenKind::kTouch: {
+      blocks_[key];  // default-construct if absent
+      ++tokensApplied_;
+      return true;
+    }
+    case TokenKind::kIncrementIfNewB: {
+      if (token.entry.empty()) return false;
+      Block& b = blocks_[key];
+      auto [it, inserted] = b.entries.emplace(token.entry, 1);
+      if (!inserted) it->second += token.delta;
+      tokensApplied_ += inserted ? 1 : token.delta;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<BlockView> BlockStore::query(const NodeId& key,
+                                           const GetOptions& opt) const {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return std::nullopt;
+  const Block& b = it->second;
+
+  BlockView v;
+  v.payload = b.payload;
+  v.totalEntries = b.entries.size();
+  v.entries.reserve(b.entries.size());
+  for (const auto& [name, w] : b.entries) v.entries.push_back(BlockEntry{name, w});
+  // Index-side ranking: heaviest entries first so that trimming keeps the
+  // most relevant tags/resources (Section V-A).
+  std::sort(v.entries.begin(), v.entries.end(),
+            [](const BlockEntry& a, const BlockEntry& b2) {
+              return a.weight != b2.weight ? a.weight > b2.weight : a.name < b2.name;
+            });
+  if (opt.topN > 0 && v.entries.size() > opt.topN) {
+    v.entries.resize(opt.topN);
+    v.truncated = true;
+  }
+  if (opt.maxBytes > 0) {
+    usize budget = opt.maxBytes > 16 + v.payload.size()
+                       ? opt.maxBytes - 16 - v.payload.size()
+                       : 0;
+    usize used = 0;
+    usize keep = 0;
+    for (; keep < v.entries.size(); ++keep) {
+      usize cost = v.entries[keep].name.size() + 10;
+      if (used + cost > budget) break;
+      used += cost;
+    }
+    if (keep < v.entries.size()) {
+      v.entries.resize(keep);
+      v.truncated = true;
+    }
+  }
+  return v;
+}
+
+std::vector<NodeId> BlockStore::keys() const {
+  std::vector<NodeId> out;
+  out.reserve(blocks_.size());
+  for (const auto& [k, _] : blocks_) out.push_back(k);
+  return out;
+}
+
+}  // namespace dharma::dht

@@ -1,0 +1,111 @@
+#pragma once
+/// \file storage.hpp
+/// \brief Token-append block storage (Section IV-A).
+///
+/// The paper stores every graph block (r̄, t̄, t̂, r̃) as a bag of
+/// "one-bit tokens": a PUT never reads or rewrites remote state, it only
+/// appends a unit increment for one entry of the block. This is what makes
+/// Approximation B race-free — concurrent writers can only add, never
+/// clobber. GETs aggregate tokens into (entry, weight) pairs and support
+/// *index-side filtering*: the responder ranks entries by weight and trims
+/// the reply to a top-N / byte budget, matching the paper's answer to the
+/// UDP payload limit (Section V-A).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dht/node_id.hpp"
+
+namespace dharma::dht {
+
+/// Kind of mutation a token applies.
+enum class TokenKind : u8 {
+  kIncrement = 0,  ///< add `delta` unit tokens to entry `entry`
+  kSetPayload = 1, ///< set the block's opaque payload (type-4 r̃ blocks)
+  kTouch = 2,      ///< ensure the block exists (possibly with no entries)
+  /// Approximation B's conditional increment: if `entry` is absent, create
+  /// it with weight 1; otherwise add `delta` (= u(τ,r), the exact-model
+  /// increment). The condition is evaluated *at the replica*, so no remote
+  /// read-modify-write is needed and concurrent taggers cannot double-apply
+  /// the large read-dependent increment (Section IV-B).
+  kIncrementIfNewB = 3,
+};
+
+/// One append-only mutation of a block.
+struct StoreToken {
+  TokenKind kind = TokenKind::kIncrement;
+  std::string entry;    ///< target entry name (kIncrement)
+  u64 delta = 1;        ///< number of unit tokens bundled
+  std::string payload;  ///< URI payload (kSetPayload)
+
+  /// Canonical string covered by the content signature.
+  std::string canonical() const;
+};
+
+/// Aggregated (entry, weight) pair of a block.
+struct BlockEntry {
+  std::string name;
+  u64 weight = 0;
+
+  bool operator==(const BlockEntry&) const = default;
+};
+
+/// Client-visible view of a block, possibly filtered index-side.
+struct BlockView {
+  std::vector<BlockEntry> entries;  ///< sorted by weight desc, name asc
+  std::string payload;              ///< r̃ payload (empty otherwise)
+  bool truncated = false;           ///< true if filtering dropped entries
+  u64 totalEntries = 0;             ///< entry count before filtering
+
+  /// Weight of \p name, or 0.
+  u64 weightOf(std::string_view name) const;
+
+  /// Entry-wise max merge with another replica's view (convergent: token
+  /// counts only grow, so the max is the freshest value).
+  void mergeMax(const BlockView& other);
+
+  /// Serialized size estimate used by index-side filtering.
+  usize byteSize() const;
+};
+
+/// Query parameters for GET (index-side filtering knobs).
+struct GetOptions {
+  u32 topN = 0;       ///< keep only the N heaviest entries (0 = all)
+  usize maxBytes = 0; ///< trim entries to fit this many bytes (0 = no cap)
+};
+
+/// Per-node block store.
+class BlockStore {
+ public:
+  /// Applies one token. Returns false on malformed tokens (empty entry
+  /// name for increments).
+  bool apply(const NodeId& key, const StoreToken& token);
+
+  /// True if a block exists under \p key.
+  bool has(const NodeId& key) const { return blocks_.count(key) > 0; }
+
+  /// Aggregated, filtered view of the block, or nullopt if absent.
+  std::optional<BlockView> query(const NodeId& key, const GetOptions& opt) const;
+
+  /// Number of blocks held.
+  usize size() const { return blocks_.size(); }
+
+  /// Total tokens absorbed (diagnostics / hotspot analysis).
+  u64 tokensApplied() const { return tokensApplied_; }
+
+  /// Every key held (hotspot analysis).
+  std::vector<NodeId> keys() const;
+
+ private:
+  struct Block {
+    std::map<std::string, u64> entries;
+    std::string payload;
+  };
+
+  std::map<NodeId, Block> blocks_;
+  u64 tokensApplied_ = 0;
+};
+
+}  // namespace dharma::dht

@@ -1,0 +1,44 @@
+#include "folksonomy/derive.hpp"
+
+#include <mutex>
+
+namespace dharma::folk {
+
+namespace {
+void accumulateResource(const Trg& trg, u32 res, DynamicFg& fg) {
+  auto tags = trg.tagsOf(res);
+  for (const TrgEdge& a : tags) {
+    for (const TrgEdge& b : tags) {
+      if (a.tag == b.tag) continue;
+      // r ∈ Res(a.tag) and u(b.tag, r) = b.weight.
+      fg.increment(a.tag, b.tag, b.weight);
+    }
+  }
+}
+}  // namespace
+
+DynamicFg deriveExactFgDynamic(const Trg& trg) {
+  DynamicFg fg;
+  for (u32 r = 0; r < trg.resourceSpan(); ++r) accumulateResource(trg, r, fg);
+  return fg;
+}
+
+CsrFg deriveExactFg(const Trg& trg, ThreadPool* pool) {
+  if (pool == nullptr || pool->threadCount() <= 1) {
+    return CsrFg::fromDynamic(deriveExactFgDynamic(trg), trg.tagSpan());
+  }
+  // Parallel: shard resources, accumulate into per-shard maps, merge.
+  DynamicFg global;
+  std::mutex mu;
+  parallelFor(pool, trg.resourceSpan(), 4096, [&](usize begin, usize end) {
+    DynamicFg local;
+    for (usize r = begin; r < end; ++r) {
+      accumulateResource(trg, static_cast<u32>(r), local);
+    }
+    std::lock_guard lk(mu);
+    local.forEachArc([&](u32 from, u32 to, u64 w) { global.increment(from, to, w); });
+  });
+  return CsrFg::fromDynamic(global, trg.tagSpan());
+}
+
+}  // namespace dharma::folk

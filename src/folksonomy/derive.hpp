@@ -1,0 +1,25 @@
+#pragma once
+/// \file derive.hpp
+/// \brief Exact FG derivation from a complete TRG.
+///
+/// Computes sim(t1,t2) = Σ_{r ∈ Res(t1)} u(t2,r) in one pass over
+/// resources: every resource r contributes u(b,r) to sim(a,b) for each
+/// ordered pair (a,b) of distinct tags in Tags(r). Optionally parallelised
+/// by sharding resources across a thread pool with per-shard accumulation
+/// maps merged at the end (deterministic: addition commutes).
+
+#include "folksonomy/fg.hpp"
+#include "folksonomy/trg.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dharma::folk {
+
+/// Builds the exact theoretic FG of \p trg.
+/// \param pool optional thread pool; nullptr runs sequentially.
+CsrFg deriveExactFg(const Trg& trg, ThreadPool* pool = nullptr);
+
+/// Same, but returns the mutable representation (used by tests that keep
+/// evolving the graph).
+DynamicFg deriveExactFgDynamic(const Trg& trg);
+
+}  // namespace dharma::folk

@@ -1,0 +1,174 @@
+#include "folksonomy/faceted.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dharma::folk {
+
+const char* strategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kFirst: return "first";
+    case Strategy::kLast: return "last";
+    case Strategy::kRandom: return "random";
+  }
+  return "?";
+}
+
+const char* stopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::kTagsExhausted: return "tags<=1";
+    case StopReason::kResourcesNarrowed: return "resources<=stop";
+    case StopReason::kNoCandidates: return "no-candidates";
+    case StopReason::kMaxSteps: return "max-steps";
+  }
+  return "?";
+}
+
+SearchSession::SearchSession(const CsrFg& fg, const Trg& trg, SearchConfig cfg)
+    : fg_(fg), trg_(trg), cfg_(cfg) {
+  assert(trg_.frozen() && "freeze() the TRG before searching");
+}
+
+void SearchSession::start(u32 t0) {
+  done_ = false;
+  reason_ = StopReason::kNoCandidates;
+  path_.assign(1, t0);
+  chosen_.assign(1, t0);
+
+  tags_.clear();
+  for (const auto& nb : fg_.neighbors(t0)) {
+    if (nb.tag != t0) tags_.push_back(nb.tag);
+  }
+  // Rows are sorted by id already; keep the invariant explicit.
+  assert(std::is_sorted(tags_.begin(), tags_.end()));
+
+  auto res = trg_.resourcesOf(t0);
+  resources_.assign(res.begin(), res.end());
+
+  refreshDisplay(t0);
+  checkStop();
+}
+
+void SearchSession::refreshDisplay(u32 current) {
+  display_.clear();
+  // T_i ⊆ N_FG(current) by construction; walk the sorted row and the sorted
+  // candidate list together to collect each candidate's sim(current, ·).
+  auto row = fg_.neighbors(current);
+  auto it = row.begin();
+  for (u32 t : tags_) {
+    while (it != row.end() && it->tag < t) ++it;
+    if (it == row.end()) break;
+    if (it->tag == t) display_.push_back(*it);
+  }
+  // Highest-similarity first; id tie-break for determinism.
+  std::sort(display_.begin(), display_.end(),
+            [](const CsrFg::Neighbor& a, const CsrFg::Neighbor& b) {
+              return a.weight != b.weight ? a.weight > b.weight : a.tag < b.tag;
+            });
+  if (display_.size() > cfg_.displayCap) display_.resize(cfg_.displayCap);
+}
+
+void SearchSession::checkStop() {
+  if (done_) return;
+  if (resources_.size() <= cfg_.resourceStop) {
+    done_ = true;
+    reason_ = StopReason::kResourcesNarrowed;
+  } else if (tags_.size() <= 1) {
+    done_ = true;
+    reason_ = StopReason::kTagsExhausted;
+  } else if (display_.empty()) {
+    done_ = true;
+    reason_ = StopReason::kNoCandidates;
+  } else if (path_.size() > cfg_.maxSteps) {
+    done_ = true;
+    reason_ = StopReason::kMaxSteps;
+  }
+}
+
+void SearchSession::select(u32 t) {
+  if (done_) throw std::logic_error("SearchSession::select on finished session");
+  assert(std::any_of(display_.begin(), display_.end(),
+                     [&](const CsrFg::Neighbor& n) { return n.tag == t; }) &&
+         "selected tag must be displayed");
+  path_.push_back(t);
+  chosen_.insert(std::upper_bound(chosen_.begin(), chosen_.end(), t), t);
+
+  // T_i = (T_{i-1} ∩ N_FG(t)) \ chosen
+  std::vector<u32> next;
+  next.reserve(std::min<usize>(tags_.size(), fg_.outDegree(t)));
+  auto row = fg_.neighbors(t);
+  auto rowIt = row.begin();
+  for (u32 cand : tags_) {
+    while (rowIt != row.end() && rowIt->tag < cand) ++rowIt;
+    if (rowIt == row.end()) break;
+    if (rowIt->tag == cand &&
+        !std::binary_search(chosen_.begin(), chosen_.end(), cand)) {
+      next.push_back(cand);
+    }
+  }
+  tags_ = std::move(next);
+
+  // R_i = R_{i-1} ∩ Res(t)
+  auto res = trg_.resourcesOf(t);
+  std::vector<u32> nextRes;
+  nextRes.reserve(std::min(resources_.size(), res.size()));
+  std::set_intersection(resources_.begin(), resources_.end(), res.begin(),
+                        res.end(), std::back_inserter(nextRes));
+  resources_ = std::move(nextRes);
+
+  refreshDisplay(t);
+  checkStop();
+}
+
+u32 SearchSession::selectByStrategy(Strategy s, Rng& rng) {
+  assert(!done_ && !display_.empty());
+  u32 pick = 0;
+  switch (s) {
+    case Strategy::kFirst:
+      pick = display_.front().tag;
+      break;
+    case Strategy::kLast:
+      pick = display_.back().tag;
+      break;
+    case Strategy::kRandom:
+      pick = display_[static_cast<usize>(rng.uniform(display_.size()))].tag;
+      break;
+  }
+  select(pick);
+  return pick;
+}
+
+SearchResult runSearch(const CsrFg& fg, const Trg& trg, u32 start, Strategy s,
+                       Rng& rng, SearchConfig cfg) {
+  SearchSession session(fg, trg, cfg);
+  session.start(start);
+  while (!session.done()) {
+    session.selectByStrategy(s, rng);
+  }
+  SearchResult out;
+  out.path = session.path();
+  out.steps = static_cast<u32>(out.path.size() - 1);
+  out.reason = session.reason();
+  out.finalTagCount = session.candidateTags().size();
+  out.finalResourceCount = session.resources().size();
+  return out;
+}
+
+std::vector<u32> mostPopularTags(const Trg& trg, usize n) {
+  std::vector<u32> tags;
+  tags.reserve(trg.tagSpan());
+  for (u32 t = 0; t < trg.tagSpan(); ++t) {
+    if (trg.tagDegree(t) > 0) tags.push_back(t);
+  }
+  usize take = std::min(n, tags.size());
+  std::partial_sort(tags.begin(), tags.begin() + static_cast<long>(take),
+                    tags.end(), [&](u32 a, u32 b) {
+                      u32 da = trg.tagDegree(a), db = trg.tagDegree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  tags.resize(take);
+  return tags;
+}
+
+}  // namespace dharma::folk

@@ -1,0 +1,115 @@
+#pragma once
+/// \file faceted.hpp
+/// \brief Faceted search over the Folksonomy Graph (paper Section III-C).
+///
+/// A search session walks a path t0, t1, ... through the FG. At step i the
+/// candidate tag set and resource set narrow monotonically:
+///   T_i = (T_{i-1} ∩ N_FG(t_i)) minus previously chosen tags
+///   R_i = R_{i-1} ∩ Res(t_i)
+/// Only the `displayCap` candidates with the highest sim(t_i, ·) are shown
+/// ("the size of the tag set shown to the user at each step is upper
+/// bounded to the top 100 tags retrieved from the DHT", Section V-C); the
+/// three selection strategies of the evaluation pick from that display set:
+///   first  — the most similar displayed tag,
+///   last   — the least similar displayed tag,
+///   random — uniform among displayed tags.
+/// The procedure stops when |T_i| <= 1 or |R_i| <= resourceStop.
+
+#include <vector>
+
+#include "folksonomy/fg.hpp"
+#include "folksonomy/trg.hpp"
+#include "util/rng.hpp"
+
+namespace dharma::folk {
+
+/// Tag-selection strategy of the Section V-C simulation.
+enum class Strategy { kFirst, kLast, kRandom };
+
+const char* strategyName(Strategy s);
+
+/// Session parameters (paper defaults).
+struct SearchConfig {
+  u32 displayCap = 100;   ///< tags shown per step (top-N by similarity)
+  u32 resourceStop = 10;  ///< stop once |R_i| <= this
+  u32 maxSteps = 100000;  ///< safety bound (never hit in practice)
+};
+
+/// Why a session ended.
+enum class StopReason {
+  kTagsExhausted,      ///< |T_i| <= 1
+  kResourcesNarrowed,  ///< |R_i| <= resourceStop
+  kNoCandidates,       ///< start tag had no neighbours / empty display
+  kMaxSteps,           ///< safety bound hit
+};
+
+const char* stopReasonName(StopReason r);
+
+/// Result of a completed session.
+struct SearchResult {
+  std::vector<u32> path;  ///< tags selected, starting with t0
+  u32 steps = 0;          ///< selections after t0 (the paper's path length)
+  StopReason reason = StopReason::kNoCandidates;
+  usize finalTagCount = 0;
+  usize finalResourceCount = 0;
+};
+
+/// Interactive faceted-search session (also drives the simulations).
+class SearchSession {
+ public:
+  /// \param fg  frozen folksonomy graph (original or approximated)
+  /// \param trg frozen TRG (must have trg.frozen() == true)
+  /// \param cfg session parameters
+  SearchSession(const CsrFg& fg, const Trg& trg, SearchConfig cfg = {});
+
+  /// Starts at \p t0: T_0 = N_FG(t0), R_0 = Res(t0).
+  void start(u32 t0);
+
+  /// True once a stop condition holds.
+  bool done() const { return done_; }
+  StopReason reason() const { return reason_; }
+
+  /// Currently displayed candidates (top displayCap by sim(current, ·),
+  /// weight-descending, id tie-break). Valid until the next select().
+  const std::vector<CsrFg::Neighbor>& display() const { return display_; }
+
+  /// Candidate tag set T_i (sorted ids).
+  const std::vector<u32>& candidateTags() const { return tags_; }
+
+  /// Resource set R_i (sorted ids).
+  const std::vector<u32>& resources() const { return resources_; }
+
+  /// Path selected so far (starting with t0).
+  const std::vector<u32>& path() const { return path_; }
+
+  /// Selects tag \p t (must be in the current display) and narrows.
+  void select(u32 t);
+
+  /// Picks from the display per \p strategy and selects it.
+  /// Returns the chosen tag.
+  u32 selectByStrategy(Strategy s, Rng& rng);
+
+ private:
+  const CsrFg& fg_;
+  const Trg& trg_;
+  SearchConfig cfg_;
+  std::vector<u32> tags_;       // T_i, sorted
+  std::vector<u32> resources_;  // R_i, sorted
+  std::vector<u32> chosen_;     // sorted path members for exclusion
+  std::vector<u32> path_;
+  std::vector<CsrFg::Neighbor> display_;
+  bool done_ = false;
+  StopReason reason_ = StopReason::kNoCandidates;
+
+  void refreshDisplay(u32 current);
+  void checkStop();
+};
+
+/// Runs one complete session and returns its statistics.
+SearchResult runSearch(const CsrFg& fg, const Trg& trg, u32 start, Strategy s,
+                       Rng& rng, SearchConfig cfg = {});
+
+/// The \p n tags with the largest |Res(t)| ("most popular tags", V-C).
+std::vector<u32> mostPopularTags(const Trg& trg, usize n);
+
+}  // namespace dharma::folk

@@ -1,0 +1,55 @@
+#include "folksonomy/fg.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dharma::folk {
+
+void DynamicFg::increment(u32 from, u32 to, u64 delta) {
+  assert(from != to && "FG has no self-arcs");
+  if (from == to || delta == 0) return;
+  map_.addTo(packPair(from, to), delta);
+  totalWeight_ += delta;
+}
+
+CsrFg CsrFg::fromDynamic(const DynamicFg& dyn, u32 numTags) {
+  CsrFg g;
+  g.offsets_.assign(static_cast<usize>(numTags) + 1, 0);
+  // Pass 1: row sizes.
+  dyn.forEachArc([&](u32 from, u32, u64) {
+    assert(from < numTags);
+    ++g.offsets_[from + 1];
+  });
+  for (usize i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+  // Pass 2: fill.
+  g.arcs_.resize(g.offsets_.back());
+  std::vector<u64> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  dyn.forEachArc([&](u32 from, u32 to, u64 w) {
+    g.arcs_[cursor[from]++] = Neighbor{to, w};
+    g.totalWeight_ += w;
+  });
+  // Pass 3: sort each row by neighbour id.
+  for (u32 t = 0; t < numTags; ++t) {
+    auto begin = g.arcs_.begin() + static_cast<long>(g.offsets_[t]);
+    auto end = g.arcs_.begin() + static_cast<long>(g.offsets_[t + 1]);
+    std::sort(begin, end,
+              [](const Neighbor& a, const Neighbor& b) { return a.tag < b.tag; });
+  }
+  return g;
+}
+
+std::span<const CsrFg::Neighbor> CsrFg::neighbors(u32 t) const {
+  if (t + 1 >= offsets_.size()) return {};
+  return {arcs_.data() + offsets_[t], arcs_.data() + offsets_[t + 1]};
+}
+
+u64 CsrFg::weightOf(u32 from, u32 to) const {
+  auto row = neighbors(from);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const Neighbor& n, u32 target) { return n.tag < target; });
+  if (it == row.end() || it->tag != to) return 0;
+  return it->weight;
+}
+
+}  // namespace dharma::folk

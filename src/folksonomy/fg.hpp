@@ -1,0 +1,113 @@
+#pragma once
+/// \file fg.hpp
+/// \brief The Folksonomy Graph (paper Section III-A).
+///
+/// Directed weighted graph over tags with
+///   sim(t1,t2) = Σ_{r ∈ Res(t1)} u(t2, r),
+/// the paper's asymmetric tag similarity (a generalisation of tag-tag
+/// co-occurrence). Two representations:
+///
+///   - DynamicFg: a flat hash map from packed (from,to) pairs to weights;
+///     O(1) increments, used while the graph evolves under (approximated)
+///     maintenance.
+///   - CsrFg: frozen compressed-sparse-row adjacency, sorted by neighbour
+///     id; cache-friendly scans and set intersections for analysis and
+///     faceted search.
+
+#include <span>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace dharma::folk {
+
+/// Mutable similarity graph keyed by (from, to) tag pairs.
+class DynamicFg {
+ public:
+  /// sim(from,to) += delta. Self-arcs are rejected (model invariant).
+  void increment(u32 from, u32 to, u64 delta);
+
+  /// Current sim(from,to); 0 if the arc is absent.
+  u64 weight(u32 from, u32 to) const {
+    return from == to ? 0 : map_.get(packPair(from, to));
+  }
+
+  bool hasArc(u32 from, u32 to) const { return weight(from, to) > 0; }
+
+  /// Number of directed arcs.
+  u64 arcCount() const { return map_.size(); }
+
+  /// Sum of all arc weights.
+  u64 totalWeight() const { return totalWeight_; }
+
+  /// fn(from, to, weight) for every arc, unspecified order.
+  template <typename Fn>
+  void forEachArc(Fn&& fn) const {
+    map_.forEach([&](u64 key, u64 w) {
+      auto [from, to] = unpackPair(key);
+      fn(from, to, w);
+    });
+  }
+
+  usize memoryBytes() const { return map_.memoryBytes(); }
+
+ private:
+  FlatMap64 map_;
+  u64 totalWeight_ = 0;
+};
+
+/// Frozen CSR similarity graph.
+class CsrFg {
+ public:
+  /// One outgoing arc.
+  struct Neighbor {
+    u32 tag = 0;
+    u64 weight = 0;
+
+    bool operator==(const Neighbor&) const = default;
+  };
+
+  CsrFg() = default;
+
+  /// Freezes a DynamicFg. \p numTags must exceed every tag id used.
+  static CsrFg fromDynamic(const DynamicFg& dyn, u32 numTags);
+
+  /// Number of tag slots (== numTags passed at build).
+  u32 numTags() const {
+    return offsets_.empty() ? 0 : static_cast<u32>(offsets_.size() - 1);
+  }
+
+  /// Number of directed arcs.
+  u64 numArcs() const { return arcs_.size(); }
+
+  /// Sum of all arc weights.
+  u64 totalWeight() const { return totalWeight_; }
+
+  /// N_FG(t) with weights, sorted by neighbour id ascending.
+  std::span<const Neighbor> neighbors(u32 t) const;
+
+  /// |N_FG(t)| (out-degree).
+  u32 outDegree(u32 t) const {
+    return t + 1 < offsets_.size()
+               ? static_cast<u32>(offsets_[t + 1] - offsets_[t])
+               : 0;
+  }
+
+  /// sim(from,to); 0 if absent. O(log deg).
+  u64 weightOf(u32 from, u32 to) const;
+
+  bool hasArc(u32 from, u32 to) const { return weightOf(from, to) > 0; }
+
+  usize memoryBytes() const {
+    return arcs_.size() * sizeof(Neighbor) + offsets_.size() * sizeof(u64);
+  }
+
+ private:
+  std::vector<u64> offsets_;  // numTags + 1
+  std::vector<Neighbor> arcs_;
+  u64 totalWeight_ = 0;
+};
+
+}  // namespace dharma::folk

@@ -1,0 +1,20 @@
+#include "folksonomy/interner.hpp"
+
+namespace dharma::folk {
+
+u32 Interner::intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  u32 id = static_cast<u32>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<u32> Interner::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dharma::folk

@@ -1,0 +1,38 @@
+#pragma once
+/// \file interner.hpp
+/// \brief String interning: tag/resource names <-> dense u32 ids.
+///
+/// The analytical machinery works on dense integer ids; names only matter
+/// at the DHT boundary (block keys hash names) and in user-facing output.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::folk {
+
+/// Bidirectional string <-> id table. Ids are dense and stable.
+class Interner {
+ public:
+  /// Returns the id of \p name, inserting it if new.
+  u32 intern(std::string_view name);
+
+  /// Id of \p name if present.
+  std::optional<u32> find(std::string_view name) const;
+
+  /// Name for \p id (must be valid).
+  const std::string& name(u32 id) const { return names_.at(id); }
+
+  /// Number of interned strings.
+  u32 size() const { return static_cast<u32>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, u32> index_;
+};
+
+}  // namespace dharma::folk

@@ -1,0 +1,100 @@
+#include "folksonomy/model.hpp"
+
+#include <cassert>
+
+namespace dharma::folk {
+
+MaintenanceConfig exactMode() { return MaintenanceConfig{false, 0, false}; }
+
+MaintenanceConfig approxMode(u32 k) { return MaintenanceConfig{true, k, true}; }
+
+MaintenanceConfig approxAOnly(u32 k) { return MaintenanceConfig{true, k, false}; }
+
+MaintenanceConfig approxBOnly() { return MaintenanceConfig{false, 0, true}; }
+
+FolksonomyModel::FolksonomyModel(MaintenanceConfig cfg, u64 seed)
+    : cfg_(cfg), rng_(seed) {}
+
+void FolksonomyModel::insertResource(u32 res, std::span<const u32> tags) {
+  assert(trg_.resourceDegree(res) == 0 && "insertResource: resource exists");
+  ++counters_.resourceInsertions;
+  // Deduplicate the input tag set while preserving order.
+  std::vector<u32>& uniq = scratch_;
+  uniq.clear();
+  for (u32 t : tags) {
+    bool seen = false;
+    for (u32 u : uniq) {
+      if (u == t) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) uniq.push_back(t);
+  }
+  for (u32 t : uniq) trg_.addAnnotation(res, t, 1);
+  // All pairwise similarities gain one unit in both directions. Resource
+  // insertion is not approximated (its DHT cost is already 2 + 2m: each
+  // t̂i block is written exactly once).
+  for (usize i = 0; i < uniq.size(); ++i) {
+    for (usize j = 0; j < uniq.size(); ++j) {
+      if (i == j) continue;
+      fg_.increment(uniq[i], uniq[j], 1);
+      ++counters_.forwardArcUpdates;
+    }
+  }
+}
+
+void FolksonomyModel::tagResource(u32 res, u32 t) {
+  ++counters_.tagInsertions;
+  // Snapshot Tags(r) before the operation; exclude t itself.
+  std::vector<u32> others;
+  std::vector<u32> otherWeights;
+  bool wasPresent = false;
+  for (const TrgEdge& e : trg_.tagsOf(res)) {
+    if (e.tag == t) {
+      wasPresent = true;
+      continue;
+    }
+    others.push_back(e.tag);
+    otherWeights.push_back(e.weight);
+  }
+
+  trg_.addAnnotation(res, t, 1);
+
+  // Reverse arcs: sim(τ, t) += 1. Under Approximation A only a uniform
+  // random subset of size <= k is updated (each update is one τ̂ lookup on
+  // the DHT).
+  if (!others.empty()) {
+    if (cfg_.approxA && others.size() > cfg_.k) {
+      std::vector<u32> idx =
+          rng_.sampleIndices(static_cast<u32>(others.size()), cfg_.k);
+      for (u32 i : idx) {
+        fg_.increment(others[i], t, 1);
+        ++counters_.reverseArcUpdates;
+      }
+    } else {
+      for (u32 tau : others) {
+        fg_.increment(tau, t, 1);
+        ++counters_.reverseArcUpdates;
+      }
+    }
+  }
+
+  // Forward arcs: only when t newly joins Tags(r). Exact: sim(t,τ) +=
+  // u(τ,r). Approximation B: if the arc does not exist yet, start it at 1.
+  if (!wasPresent) {
+    for (usize i = 0; i < others.size(); ++i) {
+      u64 delta = otherWeights[i];
+      if (cfg_.approxB && !fg_.hasArc(t, others[i])) delta = 1;
+      fg_.increment(t, others[i], delta);
+      ++counters_.forwardArcUpdates;
+    }
+  }
+}
+
+CsrFg FolksonomyModel::freezeFg(u32 numTags) const {
+  u32 span = numTags == 0 ? trg_.tagSpan() : numTags;
+  return CsrFg::fromDynamic(fg_, span);
+}
+
+}  // namespace dharma::folk

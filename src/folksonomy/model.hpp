@@ -1,0 +1,91 @@
+#pragma once
+/// \file model.hpp
+/// \brief Folksonomy maintenance: exact (Section III-B) and approximated
+///        (Section IV-B) evolution of the TRG + FG pair.
+///
+/// Exact rules:
+///   Resource insertion of r with tag set {t1..tm}:
+///     - TRG gains edges (ti, r) with u = 1;
+///     - FG: every ordered pair gains sim(ti,tj) += 1.
+///   Tag insertion of t on r:
+///     - TRG: u(t,r) += 1;
+///     - FG reverse arcs: sim(τ,t) += 1 for every τ ∈ Tags(r) \ {t};
+///     - FG forward arcs (only if t was NOT already in Tags(r)):
+///       sim(t,τ) += u(τ,r) for every τ.
+///
+/// Approximation A: the reverse-arc update set is a uniformly random subset
+/// of Tags(r)\{t} of size at most k (the *connection parameter*) — this is
+/// what caps the tagging cost at 4 + k DHT lookups.
+///
+/// Approximation B: when the forward arc (t,τ) does not yet exist, create
+/// it with weight 1 instead of u(τ,r) — removing the read-dependent
+/// increment that races under concurrent tagging.
+///
+/// The two approximations are independent toggles so their effects can be
+/// ablated separately (DESIGN.md §5).
+
+#include <span>
+
+#include "folksonomy/fg.hpp"
+#include "folksonomy/trg.hpp"
+#include "util/rng.hpp"
+
+namespace dharma::folk {
+
+/// Maintenance mode switches.
+struct MaintenanceConfig {
+  bool approxA = false;  ///< cap reverse updates at k random co-tags
+  u32 k = 1;             ///< connection parameter (Approximation A)
+  bool approxB = false;  ///< new forward arcs start at 1, not u(τ,r)
+};
+
+/// Convenience factories for the four ablation modes.
+MaintenanceConfig exactMode();
+MaintenanceConfig approxMode(u32 k);  ///< paper default: A + B
+MaintenanceConfig approxAOnly(u32 k);
+MaintenanceConfig approxBOnly();
+
+/// Operation-cost counters mirroring Table I's accounting at model level:
+/// each reverse-arc update corresponds to one τ̂ block lookup.
+struct MaintenanceCounters {
+  u64 resourceInsertions = 0;
+  u64 tagInsertions = 0;
+  u64 reverseArcUpdates = 0;  ///< Σ per-op |subset| — the "+k" / "+|Tags(r)|"
+  u64 forwardArcUpdates = 0;
+};
+
+/// A TRG + FG pair evolving under a maintenance policy.
+class FolksonomyModel {
+ public:
+  /// \param cfg  exact/approximated policy
+  /// \param seed randomness for Approximation A's subset sampling
+  explicit FolksonomyModel(MaintenanceConfig cfg = {}, u64 seed = 1);
+
+  /// Inserts new resource \p res labelled with \p tags (paper III-B.1).
+  /// Duplicate tags in the input are ignored. The resource must be new
+  /// (checked in debug builds); tags may be new or existing.
+  void insertResource(u32 res, std::span<const u32> tags);
+
+  /// Adds tag \p t to resource \p res (paper III-B.2). The resource may be
+  /// unknown yet — the replay of Section V-B starts from an empty graph and
+  /// issues only tagging operations.
+  void tagResource(u32 res, u32 t);
+
+  const Trg& trg() const { return trg_; }
+  const DynamicFg& fg() const { return fg_; }
+  const MaintenanceConfig& config() const { return cfg_; }
+  const MaintenanceCounters& counters() const { return counters_; }
+
+  /// Freezes the FG into CSR form. \p numTags defaults to the TRG tag span.
+  CsrFg freezeFg(u32 numTags = 0) const;
+
+ private:
+  MaintenanceConfig cfg_;
+  Rng rng_;
+  Trg trg_;
+  DynamicFg fg_;
+  MaintenanceCounters counters_;
+  std::vector<u32> scratch_;  // reverse-subset scratch buffer
+};
+
+}  // namespace dharma::folk

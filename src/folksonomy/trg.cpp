@@ -1,0 +1,61 @@
+#include "folksonomy/trg.hpp"
+
+#include <algorithm>
+
+namespace dharma::folk {
+
+Trg::AddResult Trg::addAnnotation(u32 res, u32 tag, u32 count) {
+  if (count == 0) return AddResult{false, weight(res, tag)};
+  if (res >= resTags_.size()) resTags_.resize(res + 1);
+  if (tag >= tagRes_.size()) tagRes_.resize(tag + 1);
+
+  annotations_ += count;
+  for (TrgEdge& e : resTags_[res]) {
+    if (e.tag == tag) {
+      e.weight += count;
+      return AddResult{false, e.weight};
+    }
+  }
+  resTags_[res].push_back(TrgEdge{tag, count});
+  tagRes_[tag].push_back(res);
+  frozen_ = false;
+  ++edges_;
+  return AddResult{true, count};
+}
+
+u32 Trg::weight(u32 res, u32 tag) const {
+  if (res >= resTags_.size()) return 0;
+  for (const TrgEdge& e : resTags_[res]) {
+    if (e.tag == tag) return e.weight;
+  }
+  return 0;
+}
+
+std::span<const TrgEdge> Trg::tagsOf(u32 res) const {
+  if (res >= resTags_.size()) return {};
+  return resTags_[res];
+}
+
+std::span<const u32> Trg::resourcesOf(u32 tag) const {
+  if (tag >= tagRes_.size()) return {};
+  return tagRes_[tag];
+}
+
+u32 Trg::usedResources() const {
+  u32 n = 0;
+  for (const auto& v : resTags_) n += v.empty() ? 0 : 1;
+  return n;
+}
+
+u32 Trg::usedTags() const {
+  u32 n = 0;
+  for (const auto& v : tagRes_) n += v.empty() ? 0 : 1;
+  return n;
+}
+
+void Trg::freeze() {
+  for (auto& v : tagRes_) std::sort(v.begin(), v.end());
+  frozen_ = true;
+}
+
+}  // namespace dharma::folk

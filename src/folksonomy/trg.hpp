@@ -1,0 +1,94 @@
+#pragma once
+/// \file trg.hpp
+/// \brief The Tag-Resource Graph (paper Section III-A).
+///
+/// Bipartite weighted graph: edge (t, r) with weight u(t,r) = number of
+/// users who tagged resource r with tag t (distributional aggregation over
+/// the user dimension). Tags(r) and Res(t) are the paper's equations (1)
+/// and (2).
+///
+/// Layout: per-resource edge lists carry the weights (resource tag sets
+/// are small — Last.fm mean 5); per-tag lists store resource ids only
+/// (weights are recovered from the resource side when needed), which keeps
+/// the frequent addAnnotation path O(|Tags(r)|) instead of O(|Res(t)|).
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::folk {
+
+/// One (tag, weight) edge as seen from a resource.
+struct TrgEdge {
+  u32 tag = 0;
+  u32 weight = 0;
+};
+
+/// The bipartite Tag-Resource graph over dense ids.
+class Trg {
+ public:
+  /// Result of one annotation.
+  struct AddResult {
+    bool newEdge = false;  ///< true if this was the first (t,r) annotation
+    u32 weight = 0;        ///< u(t,r) after the operation
+  };
+
+  /// Records one user annotation of \p res with \p tag (weight += count).
+  AddResult addAnnotation(u32 res, u32 tag, u32 count = 1);
+
+  /// u(t,r); 0 if the edge does not exist.
+  u32 weight(u32 res, u32 tag) const;
+
+  /// True if at least one user tagged \p res with \p tag.
+  bool hasEdge(u32 res, u32 tag) const { return weight(res, tag) > 0; }
+
+  /// Tags(r) with weights. Empty span for unknown resources.
+  std::span<const TrgEdge> tagsOf(u32 res) const;
+
+  /// Res(t) as resource ids. freeze() sorts these ascending.
+  std::span<const u32> resourcesOf(u32 tag) const;
+
+  /// |Tags(r)|.
+  u32 resourceDegree(u32 res) const {
+    return res < resTags_.size() ? static_cast<u32>(resTags_[res].size()) : 0;
+  }
+
+  /// |Res(t)|.
+  u32 tagDegree(u32 tag) const {
+    return tag < tagRes_.size() ? static_cast<u32>(tagRes_[tag].size()) : 0;
+  }
+
+  /// One past the largest resource id ever touched.
+  u32 resourceSpan() const { return static_cast<u32>(resTags_.size()); }
+
+  /// One past the largest tag id ever touched.
+  u32 tagSpan() const { return static_cast<u32>(tagRes_.size()); }
+
+  /// Resources with at least one tag.
+  u32 usedResources() const;
+
+  /// Tags attached to at least one resource.
+  u32 usedTags() const;
+
+  /// Number of distinct (t,r) edges.
+  u64 numEdges() const { return edges_; }
+
+  /// Sum of all u(t,r) (total annotations).
+  u64 numAnnotations() const { return annotations_; }
+
+  /// Sorts every Res(t) list ascending (required before set intersections
+  /// in faceted search). Adding annotations afterwards un-freezes.
+  void freeze();
+
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::vector<std::vector<TrgEdge>> resTags_;
+  std::vector<std::vector<u32>> tagRes_;
+  u64 edges_ = 0;
+  u64 annotations_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace dharma::folk

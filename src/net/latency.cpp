@@ -1,0 +1,14 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dharma::net {
+
+SimTime LogNormalLatency::sample(Rng& rng) {
+  double v = std::exp(rng.normal(mu_, sigma_));
+  SimTime t = static_cast<SimTime>(v);
+  return std::clamp(t, minUs_, maxUs_);
+}
+
+}  // namespace dharma::net

@@ -1,0 +1,61 @@
+#pragma once
+/// \file latency.hpp
+/// \brief One-way latency models for the simulated overlay.
+///
+/// Internet-scale DHT studies conventionally use a heavy-ish-tailed RTT
+/// distribution; we provide constant (unit tests), uniform, and log-normal
+/// (default for experiments, median ~50 ms) models.
+
+#include <memory>
+
+#include "net/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dharma::net {
+
+/// Strategy interface: draws one one-way message latency.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way latency in microseconds.
+  virtual SimTime sample(Rng& rng) = 0;
+};
+
+/// Fixed latency (deterministic tests).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime us) : us_(us) {}
+  SimTime sample(Rng&) override { return us_; }
+
+ private:
+  SimTime us_;
+};
+
+/// Uniform latency in [lo, hi] microseconds.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {}
+  SimTime sample(Rng& rng) override {
+    return lo_ + static_cast<SimTime>(rng.uniform(hi_ - lo_ + 1));
+  }
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// Log-normal latency: exp(N(mu, sigma)) microseconds, clamped to
+/// [minUs, maxUs]. Defaults give a ~50 ms median with a long tail.
+class LogNormalLatency final : public LatencyModel {
+ public:
+  LogNormalLatency(double mu = 10.8, double sigma = 0.5, SimTime minUs = 1000,
+                   SimTime maxUs = 2000000)
+      : mu_(mu), sigma_(sigma), minUs_(minUs), maxUs_(maxUs) {}
+  SimTime sample(Rng& rng) override;
+
+ private:
+  double mu_, sigma_;
+  SimTime minUs_, maxUs_;
+};
+
+}  // namespace dharma::net

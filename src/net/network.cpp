@@ -1,0 +1,54 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dharma::net {
+
+Network::Network(Simulator& sim, LatencyModel& latency, Config cfg, u64 seed)
+    : sim_(sim), latency_(latency), cfg_(cfg), rng_(seed) {}
+
+Address Network::registerEndpoint(ReceiveHandler handler) {
+  endpoints_.push_back(Endpoint{std::move(handler), true});
+  return static_cast<Address>(endpoints_.size() - 1);
+}
+
+void Network::setOnline(Address a, bool online) {
+  assert(a < endpoints_.size());
+  endpoints_[a].online = online;
+}
+
+bool Network::isOnline(Address a) const {
+  return a < endpoints_.size() && endpoints_[a].online;
+}
+
+void Network::setHandler(Address a, ReceiveHandler handler) {
+  assert(a < endpoints_.size());
+  endpoints_[a].handler = std::move(handler);
+}
+
+bool Network::send(Address from, Address to, std::vector<u8> payload) {
+  ++stats_.sent;
+  if (payload.size() > cfg_.mtuBytes) {
+    ++stats_.droppedOversize;
+    return false;
+  }
+  stats_.bytesSent += payload.size();
+  if (cfg_.lossRate > 0.0 && rng_.bernoulli(cfg_.lossRate)) {
+    ++stats_.droppedLoss;
+    return true;  // accepted by the network, silently lost
+  }
+  SimTime delay = latency_.sample(rng_);
+  sim_.schedule(delay, [this, from, to, data = std::move(payload)]() {
+    if (to >= endpoints_.size() || !endpoints_[to].online ||
+        !endpoints_[to].handler) {
+      ++stats_.droppedDead;
+      return;
+    }
+    ++stats_.delivered;
+    endpoints_[to].handler(from, data);
+  });
+  return true;
+}
+
+}  // namespace dharma::net

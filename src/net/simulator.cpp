@@ -1,0 +1,63 @@
+#include "net/simulator.hpp"
+
+#include <cassert>
+
+namespace dharma::net {
+
+EventId Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::scheduleAt(SimTime at, std::function<void()> fn) {
+  assert(at >= now_);
+  EventId id = nextId_++;
+  queue_.push(QEntry{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    QEntry e = queue_.top();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    queue_.pop();
+    now_ = e.at;
+    // Move the callback out before erasing so it may reschedule itself.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+usize Simulator::run(usize maxEvents) {
+  usize n = 0;
+  while (n < maxEvents && step()) ++n;
+  return n;
+}
+
+usize Simulator::runUntil(SimTime t) {
+  usize n = 0;
+  while (!queue_.empty()) {
+    QEntry e = queue_.top();
+    if (callbacks_.find(e.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (e.at > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace dharma::net

@@ -1,0 +1,72 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Deterministic discrete-event simulator.
+///
+/// The whole overlay (RPC latencies, timeouts, churn) runs inside one
+/// single-threaded event loop with virtual time, so every experiment is
+/// bit-reproducible from its seed. Events scheduled at equal times fire in
+/// scheduling order (a monotonic sequence number breaks ties).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "util/types.hpp"
+
+namespace dharma::net {
+
+/// Virtual time in microseconds.
+using SimTime = u64;
+
+/// Handle returned by Simulator::schedule, usable with cancel().
+using EventId = u64;
+
+/// Single-threaded virtual-time event loop.
+class Simulator {
+ public:
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules \p fn to run at now() + delay. Returns a cancellation handle.
+  EventId schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules \p fn at the absolute virtual time \p at (>= now()).
+  EventId scheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  /// Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Executes the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or \p maxEvents fire; returns events run.
+  usize run(usize maxEvents = static_cast<usize>(-1));
+
+  /// Runs events with time <= \p t; advances now() to exactly \p t.
+  usize runUntil(SimTime t);
+
+  /// Pending (non-cancelled) events.
+  usize pending() const { return callbacks_.size(); }
+
+  /// Total events executed since construction.
+  u64 executed() const { return executed_; }
+
+ private:
+  struct QEntry {
+    SimTime at;
+    EventId id;
+    bool operator>(const QEntry& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId nextId_ = 1;
+  u64 executed_ = 0;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
+  std::map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace dharma::net

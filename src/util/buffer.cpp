@@ -1,0 +1,59 @@
+#include "util/buffer.hpp"
+
+namespace dharma {
+
+void ByteWriter::writeVarint(u64 v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<u8>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<u8>(v));
+}
+
+void ByteWriter::writeBytes(const u8* data, usize len) {
+  writeVarint(len);
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+u8 ByteReader::readU8() {
+  need(1);
+  return data_[pos_++];
+}
+
+u64 ByteReader::readVarint() {
+  u64 v = 0;
+  int shift = 0;
+  while (true) {
+    need(1);
+    u8 b = data_[pos_++];
+    if (shift >= 64) throw DecodeError("varint overflow");
+    v |= static_cast<u64>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::vector<u8> ByteReader::readBytes() {
+  u64 len = readVarint();
+  need(len);
+  std::vector<u8> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::readString() {
+  u64 len = readVarint();
+  need(len);
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+void ByteReader::readRaw(u8* out, usize len) {
+  need(len);
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+}
+
+}  // namespace dharma

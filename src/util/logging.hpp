@@ -1,0 +1,45 @@
+#pragma once
+/// \file logging.hpp
+/// \brief Tiny leveled logger.
+///
+/// Experiments print structured tables on stdout; diagnostics go through
+/// this logger on stderr so that bench output stays machine-parseable.
+
+#include <sstream>
+#include <string>
+
+namespace dharma {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one formatted line to stderr if \p level passes the threshold.
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void logFmt(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void logFmt(std::ostringstream& os, T&& v, Rest&&... rest) {
+  os << std::forward<T>(v);
+  logFmt(os, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+/// Stream-style helpers: LOG_INFO("built ", n, " nodes").
+template <typename... Args>
+void logAt(LogLevel level, Args&&... args) {
+  if (level < logLevel()) return;
+  std::ostringstream os;
+  detail::logFmt(os, std::forward<Args>(args)...);
+  logMessage(level, os.str());
+}
+
+#define DHARMA_LOG_DEBUG(...) ::dharma::logAt(::dharma::LogLevel::kDebug, __VA_ARGS__)
+#define DHARMA_LOG_INFO(...) ::dharma::logAt(::dharma::LogLevel::kInfo, __VA_ARGS__)
+#define DHARMA_LOG_WARN(...) ::dharma::logAt(::dharma::LogLevel::kWarn, __VA_ARGS__)
+#define DHARMA_LOG_ERROR(...) ::dharma::logAt(::dharma::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dharma

@@ -1,0 +1,61 @@
+#include "util/options.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dharma {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare flag
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Options::getString(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+i64 Options::getInt(const std::string& key, i64 fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Options::getDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Options::getBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Options: bad boolean for --" + key + ": " + v);
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace dharma

@@ -1,0 +1,51 @@
+#pragma once
+/// \file options.hpp
+/// \brief Command-line option parsing shared by benches and examples.
+///
+/// Supports "--key=value", "--key value" and bare "--flag" forms. Every
+/// bench binary exposes at least --scale and --seed so experiments can be
+/// grown toward the paper's full Last.fm dimensions.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma {
+
+/// Parsed command-line options with typed, defaulted getters.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv; unknown positional arguments are collected separately.
+  Options(int argc, const char* const* argv);
+
+  /// True if --key was present (with or without a value).
+  bool has(const std::string& key) const;
+
+  /// String value of --key, or \p fallback.
+  std::string getString(const std::string& key, const std::string& fallback) const;
+
+  /// Integer value of --key, or \p fallback. Throws on malformed input.
+  i64 getInt(const std::string& key, i64 fallback) const;
+
+  /// Floating-point value of --key, or \p fallback.
+  double getDouble(const std::string& key, double fallback) const;
+
+  /// Boolean: bare flag or explicit true/false/1/0/yes/no.
+  bool getBool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Injects or overrides a value programmatically (used by tests).
+  void set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dharma

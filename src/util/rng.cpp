@@ -1,0 +1,126 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace dharma {
+
+namespace {
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 x = seed;
+  for (auto& s : s_) {
+    x = splitmix64(x);
+    s = x;
+  }
+  // xoshiro's state must not be all-zero; splitmix64 of any seed cannot
+  // produce four zero words, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  hasSpare_ = false;
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  u64 x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  u64 l = static_cast<u64>(m);
+  if (l < bound) {
+    u64 t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+i64 Rng::uniformRange(i64 lo, i64 hi) {
+  assert(lo <= hi);
+  u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+  if (span == 0) return static_cast<i64>(next());  // full 64-bit range
+  return lo + static_cast<i64>(uniform(span));
+}
+
+double Rng::uniformDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = uniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_ = r * std::sin(theta);
+  hasSpare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0);
+  double u = 0.0;
+  do {
+    u = uniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+u64 Rng::geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = 0.0;
+  do {
+    u = uniformDouble();
+  } while (u <= 0.0);
+  return static_cast<u64>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<u32> Rng::sampleIndices(u32 n, u32 k) {
+  assert(k <= n);
+  // Floyd's algorithm: for j in [n-k, n): pick t in [0, j]; insert t unless
+  // already present, else insert j. Produces a uniform k-subset.
+  std::unordered_set<u32> chosen;
+  chosen.reserve(k * 2);
+  std::vector<u32> out;
+  out.reserve(k);
+  for (u32 j = n - k; j < n; ++j) {
+    u32 t = static_cast<u32>(uniform(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() {
+  Rng child;
+  child.reseed(next() ^ 0xd1b54a32d192ed03ULL);
+  return child;
+}
+
+}  // namespace dharma

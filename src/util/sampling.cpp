@@ -1,0 +1,118 @@
+#include "util/sampling.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dharma {
+
+void AliasTable::build(const std::vector<double>& weights) {
+  const usize n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: negative or non-finite weight");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("AliasTable: all-zero weights");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (usize i = 0; i < n; ++i) scaled[i] = weights[i] * n / sum;
+
+  std::vector<u32> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<u32>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    u32 s = small.back();
+    small.pop_back();
+    u32 l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both queues hold columns that are "full".
+  for (u32 i : large) prob_[i] = 1.0;
+  for (u32 i : small) prob_[i] = 1.0;
+}
+
+u32 AliasTable::sample(Rng& rng) const {
+  assert(!prob_.empty());
+  u32 col = static_cast<u32>(rng.uniform(prob_.size()));
+  return rng.uniformDouble() < prob_[col] ? col : alias_[col];
+}
+
+std::vector<double> zipfWeights(u32 n, double s) {
+  std::vector<double> w(n);
+  for (u32 i = 0; i < n; ++i) w[i] = std::pow(static_cast<double>(i) + 1.0, -s);
+  return w;
+}
+
+void ZipfSampler::build(u32 n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  n_ = n;
+  s_ = s;
+  table_.build(zipfWeights(n, s));
+}
+
+void FenwickSampler::build(const std::vector<double>& weights) {
+  const usize n = weights.size();
+  weights_ = weights;
+  tree_.assign(n + 1, 0.0);
+  total_ = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument("FenwickSampler: negative weight");
+    }
+    add(static_cast<u32>(i), weights[i]);
+    total_ += weights[i];
+  }
+}
+
+void FenwickSampler::add(u32 i, double delta) {
+  for (u32 j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+void FenwickSampler::set(u32 i, double w) {
+  assert(i < weights_.size());
+  assert(w >= 0.0);
+  double delta = w - weights_[i];
+  weights_[i] = w;
+  total_ += delta;
+  add(i, delta);
+}
+
+u32 FenwickSampler::sample(Rng& rng) const {
+  assert(total_ > 0.0);
+  double target = rng.uniformDouble() * total_;
+  // Descend the implicit Fenwick tree: O(log n).
+  u32 idx = 0;
+  usize n = weights_.size();
+  u32 bitmask = 1;
+  while (static_cast<usize>(bitmask) << 1 <= n) bitmask <<= 1;
+  for (u32 step = bitmask; step > 0; step >>= 1) {
+    u32 nxt = idx + step;
+    if (nxt <= n && tree_[nxt] < target) {
+      target -= tree_[nxt];
+      idx = nxt;
+    }
+  }
+  // idx is now the count of prefix entries whose cumulative weight is below
+  // target, i.e. the sampled zero-based index. Guard against a rounding
+  // overshoot onto a zero-weight tail entry.
+  u32 res = idx < n ? idx : static_cast<u32>(n - 1);
+  while (res > 0 && weights_[res] == 0.0) --res;
+  return res;
+}
+
+}  // namespace dharma

@@ -1,0 +1,117 @@
+#pragma once
+/// \file sampling.hpp
+/// \brief Weighted discrete sampling primitives.
+///
+/// The workload generator and the paper-order trace replayer (Section V-B)
+/// need three samplers:
+///   - AliasTable: O(1) draws from a *static* discrete distribution
+///     (Vose's method), used for tag/resource popularity.
+///   - ZipfSampler: bounded Zipf(s) over ranks 1..n, built on AliasTable.
+///   - FenwickSampler: weighted draws with O(log n) *dynamic* weight
+///     updates, used to sample resources proportionally to their original
+///     popularity while removing exhausted resources (the paper's
+///     "rejection" process made efficient).
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dharma {
+
+/// O(1) sampler for a fixed discrete distribution (Vose alias method).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from unnormalised non-negative weights.
+  /// Zero-weight entries are never drawn. At least one weight must be > 0.
+  explicit AliasTable(const std::vector<double>& weights) { build(weights); }
+
+  /// (Re)builds the table; see the constructor.
+  void build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  u32 sample(Rng& rng) const;
+
+  /// Number of categories (0 if not built).
+  usize size() const { return prob_.size(); }
+
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<u32> alias_;
+};
+
+/// Bounded Zipf distribution over ranks {1, ..., n}: P(rank = i) ∝ i^-s.
+///
+/// Heavy-tail popularity of tags/resources in folksonomies is classically
+/// modelled as Zipfian; Section V-A's core-periphery structure emerges from
+/// exponents s ≈ 0.8–1.2.
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+
+  /// \param n number of ranks (> 0)
+  /// \param s exponent (>= 0; 0 degenerates to uniform)
+  ZipfSampler(u32 n, double s) { build(n, s); }
+
+  void build(u32 n, double s);
+
+  /// Draws a rank in [1, n].
+  u32 sample(Rng& rng) const { return table_.sample(rng) + 1; }
+
+  /// Draws a zero-based rank in [0, n).
+  u32 sampleIndex(Rng& rng) const { return table_.sample(rng); }
+
+  u32 n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  AliasTable table_;
+  u32 n_ = 0;
+  double s_ = 0.0;
+};
+
+/// Fenwick (binary indexed) tree over non-negative weights supporting
+/// point updates and weighted sampling in O(log n).
+class FenwickSampler {
+ public:
+  FenwickSampler() = default;
+
+  /// Initialises with \p weights (all must be >= 0).
+  explicit FenwickSampler(const std::vector<double>& weights) {
+    build(weights);
+  }
+
+  void build(const std::vector<double>& weights);
+
+  /// Sets the weight of index \p i to \p w (>= 0).
+  void set(u32 i, double w);
+
+  /// Current weight of index \p i.
+  double weight(u32 i) const { return weights_[i]; }
+
+  /// Sum of all weights.
+  double total() const { return total_; }
+
+  /// Number of entries.
+  usize size() const { return weights_.size(); }
+
+  /// Draws an index with probability weight(i)/total(). total() must be > 0.
+  u32 sample(Rng& rng) const;
+
+ private:
+  std::vector<double> tree_;     // 1-based Fenwick partial sums
+  std::vector<double> weights_;  // raw weights for exact reads
+  double total_ = 0.0;
+
+  void add(u32 i, double delta);
+};
+
+/// Returns n unnormalised Zipf weights w[i] = (i+1)^-s.
+std::vector<double> zipfWeights(u32 n, double s);
+
+}  // namespace dharma

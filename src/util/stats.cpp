@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dharma {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  u64 n = n_ + o.n_;
+  double delta = o.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(o.n_) / static_cast<double>(n);
+  m2_ = m2_ + o.m2_ +
+        delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) /
+            static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::sampleStddev() const { return std::sqrt(sampleVariance()); }
+
+double quantile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = p * static_cast<double>(values.size() - 1);
+  usize lo = static_cast<usize>(std::floor(pos));
+  usize hi = static_cast<usize>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+void Cdf::addAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::ensureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::points() const {
+  ensureSorted();
+  std::vector<std::pair<double, double>> out;
+  const usize n = samples_.size();
+  for (usize i = 0; i < n; ++i) {
+    // Emit one point per distinct value at its final (highest) rank.
+    if (i + 1 == n || samples_[i + 1] != samples_[i]) {
+      out.emplace_back(samples_[i],
+                       static_cast<double>(i + 1) / static_cast<double>(n));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> Cdf::logSpacedPoints(usize n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  ensureSorted();
+  double lo = std::max(1.0, samples_.front());
+  double hi = std::max(lo, samples_.back());
+  double llo = std::log10(lo);
+  double lhi = std::log10(hi);
+  out.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    double f = n == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    double x = std::pow(10.0, llo + f * (lhi - llo));
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> Cdf::linearPoints(usize n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  ensureSorted();
+  double lo = samples_.front();
+  double hi = samples_.back();
+  out.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    double f = n == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    double x = lo + f * (hi - lo);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+RunningStats Cdf::stats() const {
+  RunningStats rs;
+  for (double x : samples_) rs.add(x);
+  return rs;
+}
+
+std::string fmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dharma

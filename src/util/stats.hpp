@@ -1,0 +1,103 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming statistics and empirical CDFs.
+///
+/// All tables in the paper report (mean, standard deviation, max, median);
+/// Figures 5 and 7 are empirical CDFs. RunningStats implements Welford's
+/// numerically stable one-pass algorithm; Cdf collects samples and emits
+/// cumulative points suitable for plotting or textual reporting.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma {
+
+/// One-pass mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction; Chan's formula).
+  void merge(const RunningStats& o);
+
+  /// Number of observations.
+  u64 count() const { return n_; }
+
+  /// Arithmetic mean (0 if empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Population variance (0 if fewer than 2 observations).
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+
+  /// Sample variance with Bessel's correction (0 if fewer than 2).
+  double sampleVariance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Sample standard deviation.
+  double sampleStddev() const;
+
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-quantile (p in [0,1]) of \p values using linear
+/// interpolation between closest ranks. The input is copied and sorted.
+double quantile(std::vector<double> values, double p);
+
+/// Median convenience wrapper over quantile(v, 0.5).
+double median(std::vector<double> values);
+
+/// Empirical cumulative distribution function over double samples.
+class Cdf {
+ public:
+  /// Adds one sample.
+  void add(double x) { samples_.push_back(x); }
+
+  /// Adds many samples.
+  void addAll(const std::vector<double>& xs);
+
+  /// Number of samples.
+  usize count() const { return samples_.size(); }
+
+  /// P(X <= x) over collected samples.
+  double at(double x) const;
+
+  /// Emits (x, P(X <= x)) evaluated at every distinct sample value.
+  std::vector<std::pair<double, double>> points() const;
+
+  /// Emits the CDF evaluated at \p n log-spaced abscissae spanning
+  /// [max(1, min), max] — matches the log-x axis of Figure 5.
+  std::vector<std::pair<double, double>> logSpacedPoints(usize n) const;
+
+  /// Emits the CDF evaluated at \p n linearly spaced abscissae.
+  std::vector<std::pair<double, double>> linearPoints(usize n) const;
+
+  /// Summary statistics over the collected samples.
+  RunningStats stats() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void ensureSorted() const;
+};
+
+/// Formats a double with fixed precision — shared by the report writers.
+std::string fmtDouble(double v, int precision = 4);
+
+}  // namespace dharma

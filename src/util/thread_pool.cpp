@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dharma {
+
+ThreadPool::ThreadPool(usize threads) {
+  if (threads == 0) {
+    threads = std::max<usize>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (usize i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lk(mu_);
+    stop_ = true;
+  }
+  cvTask_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lk(mu_);
+    queue_.push(std::move(task));
+  }
+  cvTask_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock lk(mu_);
+  cvIdle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cvTask_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cvIdle_.notify_all();
+    }
+  }
+}
+
+void parallelFor(ThreadPool* pool, usize n, usize minChunk,
+                 const std::function<void(usize, usize)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->threadCount() <= 1 || n <= minChunk) {
+    fn(0, n);
+    return;
+  }
+  usize chunks = std::min(n / std::max<usize>(1, minChunk),
+                          pool->threadCount() * 4);
+  chunks = std::max<usize>(1, chunks);
+  usize per = (n + chunks - 1) / chunks;
+  for (usize begin = 0; begin < n; begin += per) {
+    usize end = std::min(n, begin + per);
+    pool->submit([=, &fn] { fn(begin, end); });
+  }
+  pool->waitIdle();
+}
+
+}  // namespace dharma

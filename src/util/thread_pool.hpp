@@ -1,0 +1,61 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Minimal fixed-size thread pool with a parallel-for helper.
+///
+/// Used by the analysis module (per-tag graph comparison over hundreds of
+/// thousands of tags) and the exact FG derivation. The pool is deliberately
+/// simple: a mutex-protected queue is more than fast enough when each task
+/// is a coarse chunk of per-tag work, and simplicity keeps the shutdown
+/// path obviously correct (C++ Core Guidelines CP.23: joining threads only).
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma {
+
+/// Fixed-size worker pool. Tasks are void() callables; exceptions thrown by
+/// tasks terminate (tasks are expected to be noexcept in practice).
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(usize threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void waitIdle();
+
+  /// Number of worker threads.
+  usize threadCount() const { return workers_.size(); }
+
+ private:
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cvTask_;
+  std::condition_variable cvIdle_;
+  usize active_ = 0;
+  bool stop_ = false;
+
+  void workerLoop();
+};
+
+/// Splits [0, n) into contiguous chunks and runs fn(begin, end) on the pool,
+/// blocking until all chunks complete. With a null pool, runs inline.
+void parallelFor(ThreadPool* pool, usize n, usize minChunk,
+                 const std::function<void(usize, usize)>& fn);
+
+}  // namespace dharma

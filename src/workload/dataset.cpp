@@ -1,0 +1,63 @@
+#include "workload/dataset.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dharma::wl {
+
+Dataset Dataset::synthetic(const SynthConfig& cfg, SynthStats* stats) {
+  Dataset d;
+  d.trg = generate(cfg, stats);
+  for (u32 t = 0; t < d.trg.tagSpan(); ++t) {
+    d.tags.intern("tag-" + std::to_string(t));
+  }
+  for (u32 r = 0; r < d.trg.resourceSpan(); ++r) {
+    d.resources.intern("res-" + std::to_string(r));
+  }
+  return d;
+}
+
+void Dataset::saveTsv(std::ostream& os) const {
+  for (u32 r = 0; r < trg.resourceSpan(); ++r) {
+    for (const auto& e : trg.tagsOf(r)) {
+      os << resources.name(r) << '\t' << tags.name(e.tag) << '\t' << e.weight
+         << '\n';
+    }
+  }
+}
+
+Dataset Dataset::loadTsv(std::istream& is) {
+  Dataset d;
+  std::string line;
+  usize lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string res, tag, weight;
+    if (!std::getline(ls, res, '\t') || !std::getline(ls, tag, '\t') ||
+        !std::getline(ls, weight)) {
+      throw std::runtime_error("Dataset::loadTsv: malformed line " +
+                               std::to_string(lineNo));
+    }
+    u32 r = d.resources.intern(res);
+    u32 t = d.tags.intern(tag);
+    d.trg.addAnnotation(r, t, static_cast<u32>(std::stoul(weight)));
+  }
+  d.trg.freeze();
+  return d;
+}
+
+folk::FolksonomyModel replayApproximated(const Trace& trace,
+                                         const folk::MaintenanceConfig& cfg,
+                                         u64 seed) {
+  folk::FolksonomyModel model(cfg, seed);
+  for (const Annotation& a : trace) {
+    model.tagResource(a.res, a.tag);
+  }
+  return model;
+}
+
+}  // namespace dharma::wl

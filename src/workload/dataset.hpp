@@ -1,0 +1,45 @@
+#pragma once
+/// \file dataset.hpp
+/// \brief Named dataset container with TSV persistence and replay helpers.
+///
+/// Bundles a TRG with tag/resource name tables (needed at the DHT boundary,
+/// where block keys are hashes of names) and offers:
+///   - save/load as "res <TAB> tag <TAB> weight" TSV;
+///   - replayApproximated(): the Section V-B evolution — replays a trace
+///     through a FolksonomyModel under a maintenance policy and returns the
+///     resulting (approximated) folksonomy.
+
+#include <iosfwd>
+#include <string>
+
+#include "folksonomy/interner.hpp"
+#include "folksonomy/model.hpp"
+#include "workload/synth.hpp"
+#include "workload/trace.hpp"
+
+namespace dharma::wl {
+
+/// A TRG plus the names behind its dense ids.
+struct Dataset {
+  folk::Trg trg;
+  folk::Interner tags;
+  folk::Interner resources;
+
+  /// Builds a synthetic dataset with generated names ("tag-N" / "res-N").
+  static Dataset synthetic(const SynthConfig& cfg, SynthStats* stats = nullptr);
+
+  /// Serialises as TSV (one line per edge).
+  void saveTsv(std::ostream& os) const;
+
+  /// Parses the saveTsv() format.
+  static Dataset loadTsv(std::istream& is);
+};
+
+/// Replays \p trace (built from \p realTrg) through a FolksonomyModel under
+/// \p cfg, reproducing the Section V-B simulation. The returned model's TRG
+/// equals the real TRG (the approximations only affect the FG).
+folk::FolksonomyModel replayApproximated(const Trace& trace,
+                                         const folk::MaintenanceConfig& cfg,
+                                         u64 seed);
+
+}  // namespace dharma::wl

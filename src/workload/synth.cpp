@@ -1,0 +1,189 @@
+#include "workload/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/sampling.hpp"
+
+namespace dharma::wl {
+
+SynthConfig SynthConfig::lastfmScaled(double scale, u64 seed) {
+  SynthConfig cfg;
+  cfg.numTags = std::max<u32>(64, static_cast<u32>(285182.0 * scale));
+  cfg.numResources = std::max<u32>(128, static_cast<u32>(1413657.0 * scale));
+  cfg.targetAnnotations = std::max<u64>(1024, static_cast<u64>(11000000.0 * scale));
+  // The largest resource degree shrinks sub-linearly with the sample; a
+  // sqrt law keeps the tail shape plausible at small scales.
+  cfg.maxResourceDegree = std::max<u32>(
+      32, static_cast<u32>(1182.0 * std::sqrt(std::min(1.0, scale * 10.0))));
+  cfg.seed = seed;
+  return cfg;
+}
+
+namespace {
+
+/// Draws |Tags(r)| from the spike + geometric body + Zipf star-tail
+/// mixture (see SynthConfig).
+u32 sampleResourceDegree(const SynthConfig& cfg, const AliasTable& starTail,
+                         u32 tailMin, Rng& rng) {
+  double u = rng.uniformDouble();
+  if (u < cfg.singletonResourceShare) return 1;
+  if (u < cfg.singletonResourceShare + cfg.tailResourceShare) {
+    return tailMin + starTail.sample(rng);
+  }
+  double p = 1.0 / std::max(1.0, cfg.bodyGeometricMean - 2.0 + 1.0);
+  u32 d = 2 + static_cast<u32>(rng.geometric(p));
+  return std::min(d, cfg.maxResourceDegree);
+}
+
+}  // namespace
+
+folk::Trg generate(const SynthConfig& cfg, SynthStats* stats) {
+  Rng rng(cfg.seed);
+  folk::Trg trg;
+
+  // Star-item degree sampler: Zipf on [tailMinDegree, maxResourceDegree].
+  u32 maxDeg = std::max<u32>(2, cfg.maxResourceDegree);
+  u32 tailMin = std::min(std::max<u32>(2, cfg.tailMinDegree), maxDeg);
+  std::vector<double> tailW(maxDeg - tailMin + 1);
+  for (u32 d = tailMin; d <= maxDeg; ++d) {
+    tailW[d - tailMin] = std::pow(static_cast<double>(d), -cfg.tailZipfExponent);
+  }
+  AliasTable starTail(tailW);
+
+  // Draw every resource's tag-set size first so the Yule-Simon novelty rate
+  // can target the configured vocabulary exactly.
+  u64 budget = cfg.targetAnnotations;
+  std::vector<u32> degrees(cfg.numResources, 0);
+  u64 totalEdges = 0;
+  for (u32 r = 0; r < cfg.numResources && budget > 0; ++r) {
+    u32 deg = sampleResourceDegree(cfg, starTail, tailMin, rng);
+    deg = static_cast<u32>(std::min<u64>(deg, budget));
+    degrees[r] = deg;
+    totalEdges += deg;
+    budget -= deg;
+  }
+
+  // Phase 1: distinct edges via Yule-Simon tag selection — novelty rate
+  // α = vocabulary / edges; otherwise preferential attachment (uniform draw
+  // from the edge-endpoint multiset ≡ degree-proportional). Draws come from
+  // the resource's topic pool or, with probability globalTagShare, from the
+  // shared global pool.
+  double alpha = totalEdges > 0
+                     ? std::min(0.95, static_cast<double>(cfg.numTags) /
+                                          static_cast<double>(totalEdges))
+                     : 1.0;
+  u32 numTopics = cfg.numTopics != 0
+                      ? cfg.numTopics
+                      : std::max<u32>(4, static_cast<u32>(std::sqrt(
+                                             static_cast<double>(cfg.numTags))));
+  ZipfSampler topicZipf(numTopics, cfg.topicZipfExponent);
+  // Pool 0 is the global pool; pools 1..numTopics are per-topic streams.
+  std::vector<std::vector<u32>> pools(static_cast<usize>(numTopics) + 1);
+  std::vector<u32> allEndpoints;  // union of all pools, for hot-resource fill
+  allEndpoints.reserve(totalEdges);
+  u32 nextFresh = 0;
+  std::vector<u32> resTagScratch;
+  for (u32 r = 0; r < cfg.numResources; ++r) {
+    u32 deg = degrees[r];
+    if (deg == 0) continue;
+    u32 topic = topicZipf.sample(rng);  // 1-based => pool index
+    resTagScratch.clear();
+    auto notOnResource = [&](u32 t) {
+      return std::find(resTagScratch.begin(), resTagScratch.end(), t) ==
+             resTagScratch.end();
+    };
+    // One slot per distinct tag. The novelty coin is rolled ONCE per slot
+    // (re-rolling on collision retries would inflate the vocabulary by the
+    // collision rate). The vocabulary is open-ended — cfg.numTags is its
+    // expectation via alpha; capping it would convert tail singletons into
+    // degree-2 tags and flatten the Yule-Simon power law.
+    for (u32 slot = 0; slot < deg; ++slot) {
+      std::vector<u32>& pool =
+          rng.bernoulli(cfg.globalTagShare) ? pools[0] : pools[topic];
+      u32 chosen = 0;
+      bool found = false;
+      if (!rng.bernoulli(alpha) && !pool.empty()) {
+        // Existing tag, degree-proportional within the drawing pool.
+        for (u32 a = 0; a < 24 && !found; ++a) {
+          u32 t = pool[static_cast<usize>(rng.uniform(pool.size()))];
+          if (notOnResource(t)) {
+            chosen = t;
+            found = true;
+          }
+        }
+        // Heavily-tagged resources exhaust their topic's vocabulary; they
+        // reach into OTHER topics' vocabularies (a crossover item touching
+        // many genres) — random topic per attempt, degree-proportional
+        // within it. Drawing from global popularity here would make every
+        // hot resource carry the same mega-tags and lock faceted-search
+        // paths onto one undifferentiated core.
+        for (u32 a = 0; a < 24 && !found; ++a) {
+          std::vector<u32>& other =
+              pools[1 + static_cast<usize>(rng.uniform(numTopics))];
+          if (other.empty()) continue;
+          u32 t = other[static_cast<usize>(rng.uniform(other.size()))];
+          if (notOnResource(t)) {
+            chosen = t;
+            found = true;
+          }
+        }
+      }
+      if (!found) chosen = nextFresh++;  // novelty (or last-resort niche tag)
+      resTagScratch.push_back(chosen);
+      pool.push_back(chosen);  // one entry per edge => degree-proportional
+      allEndpoints.push_back(chosen);
+      trg.addAnnotation(r, chosen, 1);
+    }
+  }
+
+  // Phase 2: repeat annotations (edge weights) — rich-get-richer at BOTH
+  // levels: the resource is drawn proportionally to its *current* total
+  // annotation count (a dynamic Fenwick sampler, so popularity is
+  // self-reinforcing and repeat mass concentrates on a hot core, as on
+  // Last.fm where a few star items absorb thousands of repeat tags), and
+  // the edge within the resource proportionally to its current weight.
+  // The long tail keeps u(t,r) = 1, which is what makes the arcs the
+  // approximation loses mostly weight-1 noise (Table III's sim1%).
+  if (budget > 0) {
+    std::vector<double> resWeight(trg.resourceSpan());
+    for (u32 r = 0; r < trg.resourceSpan(); ++r) {
+      resWeight[r] = static_cast<double>(trg.resourceDegree(r));
+    }
+    FenwickSampler resPick(resWeight);
+    while (budget > 0) {
+      u32 r = resPick.sample(rng);
+      auto tags = trg.tagsOf(r);
+      if (tags.empty()) continue;
+      u64 total = 0;
+      for (const auto& e : tags) total += e.weight;
+      u64 x = rng.uniform(total);
+      u32 chosen = tags.back().tag;
+      for (const auto& e : tags) {
+        if (x < e.weight) {
+          chosen = e.tag;
+          break;
+        }
+        x -= e.weight;
+      }
+      trg.addAnnotation(r, chosen, 1);
+      resPick.set(r, resPick.weight(r) + 1.0);
+      --budget;
+    }
+  }
+
+  trg.freeze();
+  if (stats != nullptr) {
+    stats->edges = trg.numEdges();
+    stats->annotations = trg.numAnnotations();
+    stats->usedTags = trg.usedTags();
+    stats->usedResources = trg.usedResources();
+  }
+  DHARMA_LOG_INFO("synth: ", trg.numEdges(), " edges, ", trg.numAnnotations(),
+                  " annotations, ", trg.usedTags(), " tags, ",
+                  trg.usedResources(), " resources");
+  return trg;
+}
+
+}  // namespace dharma::wl

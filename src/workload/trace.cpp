@@ -1,0 +1,80 @@
+#include "workload/trace.hpp"
+
+#include "util/flat_map.hpp"
+#include "util/sampling.hpp"
+
+namespace dharma::wl {
+
+Trace buildPaperOrderTrace(const folk::Trg& trg, u64 seed) {
+  Rng rng(seed);
+  const u32 nRes = trg.resourceSpan();
+
+  // Remaining annotation multiset per resource: a copy of each resource's
+  // edge list with mutable counts, plus the remaining total.
+  struct Remaining {
+    std::vector<folk::TrgEdge> edges;
+    u64 total = 0;
+  };
+  std::vector<Remaining> rem(nRes);
+  std::vector<double> popularity(nRes, 0.0);
+  for (u32 r = 0; r < nRes; ++r) {
+    auto tags = trg.tagsOf(r);
+    rem[r].edges.assign(tags.begin(), tags.end());
+    for (const auto& e : tags) rem[r].total += e.weight;
+    popularity[r] = static_cast<double>(tags.size());  // |Tags(r)| in the TRG
+  }
+
+  FenwickSampler sampler(popularity);
+  Trace trace;
+  trace.reserve(trg.numAnnotations());
+
+  while (sampler.total() > 0.0) {
+    u32 r = sampler.sample(rng);
+    Remaining& R = rem[r];
+    if (R.total == 0) {
+      sampler.set(r, 0.0);  // exhausted (paper's rejection, made efficient)
+      continue;
+    }
+    // Instance ∝ remaining u(t,r).
+    u64 x = rng.uniform(R.total);
+    for (auto& e : R.edges) {
+      if (x < e.weight) {
+        trace.push_back(Annotation{r, e.tag});
+        --e.weight;
+        --R.total;
+        break;
+      }
+      x -= e.weight;
+    }
+    if (R.total == 0) sampler.set(r, 0.0);
+  }
+  return trace;
+}
+
+Trace buildUniformTrace(const folk::Trg& trg, u64 seed) {
+  Trace trace;
+  trace.reserve(trg.numAnnotations());
+  for (u32 r = 0; r < trg.resourceSpan(); ++r) {
+    for (const auto& e : trg.tagsOf(r)) {
+      for (u32 i = 0; i < e.weight; ++i) trace.push_back(Annotation{r, e.tag});
+    }
+  }
+  Rng rng(seed);
+  rng.shuffle(trace);
+  return trace;
+}
+
+bool traceMatchesTrg(const Trace& trace, const folk::Trg& trg) {
+  if (trace.size() != trg.numAnnotations()) return false;
+  FlatMap64 counts;
+  for (const Annotation& a : trace) counts.addTo(packPair(a.res, a.tag), 1);
+  if (counts.size() != trg.numEdges()) return false;
+  bool ok = true;
+  counts.forEach([&](u64 key, u64 n) {
+    auto [r, t] = unpackPair(key);
+    if (trg.weight(r, t) != n) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace dharma::wl

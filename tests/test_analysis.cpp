@@ -1,0 +1,265 @@
+/// Tests for the analysis module: rank metrics, FG comparison, degree
+/// reports, scatter summaries, search simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/compare.hpp"
+#include "analysis/degree.hpp"
+#include "analysis/rank.hpp"
+#include "analysis/scatter.hpp"
+#include "analysis/searchsim.hpp"
+#include "folksonomy/derive.hpp"
+#include "workload/dataset.hpp"
+
+namespace dharma::ana {
+namespace {
+
+TEST(Kendall, PerfectAgreement) {
+  EXPECT_DOUBLE_EQ(kendallTauB({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+}
+
+TEST(Kendall, PerfectDisagreement) {
+  EXPECT_DOUBLE_EQ(kendallTauB({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+}
+
+TEST(Kendall, KnownMixedValue) {
+  // x: 1 2 3, y: 1 3 2 → C=2, D=1, no ties → tau = (2-1)/3.
+  EXPECT_NEAR(kendallTauB({1, 2, 3}, {1, 3, 2}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Kendall, TiesHandled) {
+  double t = kendallTauB({1, 1, 2, 3}, {1, 2, 2, 3});
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0);
+  EXPECT_FALSE(std::isnan(t));
+}
+
+TEST(Kendall, ConstantVectorIsNaN) {
+  EXPECT_TRUE(std::isnan(kendallTauB({1, 1, 1}, {1, 2, 3})));
+  EXPECT_TRUE(std::isnan(kendallTauB({1, 2, 3}, {5, 5, 5})));
+}
+
+TEST(Kendall, TooShortIsNaN) {
+  EXPECT_TRUE(std::isnan(kendallTauB({}, {})));
+  EXPECT_TRUE(std::isnan(kendallTauB({1}, {2})));
+}
+
+/// Property: the O(n log n) implementation matches the O(n²) reference on
+/// random data with heavy tie mass.
+class KendallProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(KendallProperty, FastMatchesBrute) {
+  Rng rng(GetParam());
+  usize n = 2 + rng.uniform(120);
+  std::vector<double> x(n), y(n);
+  for (usize i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(rng.uniform(8));  // few distinct values: ties
+    y[i] = static_cast<double>(rng.uniform(8));
+  }
+  double fast = kendallTauB(x, y);
+  double brute = kendallTauBBrute(x, y);
+  if (std::isnan(brute)) {
+    EXPECT_TRUE(std::isnan(fast));
+  } else {
+    EXPECT_NEAR(fast, brute, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(Cosine, ScaledVectorsAreOne) {
+  // The paper's example: θ([1,2,3],[100,200,300]) = 1.
+  EXPECT_NEAR(cosineSimilarity({1, 2, 3}, {100, 200, 300}), 1.0, 1e-12);
+}
+
+TEST(Cosine, OrthogonalIsZero) {
+  EXPECT_NEAR(cosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+}
+
+TEST(Cosine, ZeroVectorIsNaN) {
+  EXPECT_TRUE(std::isnan(cosineSimilarity({0, 0}, {1, 2})));
+  EXPECT_TRUE(std::isnan(cosineSimilarity({}, {})));
+}
+
+TEST(Pearson, PerfectLinear) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {3, 5, 7}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {7, 5, 3}), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsNaN) {
+  EXPECT_TRUE(std::isnan(pearson({1, 1}, {2, 3})));
+  EXPECT_TRUE(std::isnan(pearson({1}, {2})));
+}
+
+TEST(Compare, IdenticalGraphsPerfectScores) {
+  folk::DynamicFg dyn;
+  dyn.increment(0, 1, 5);
+  dyn.increment(0, 2, 3);
+  dyn.increment(1, 0, 2);
+  folk::CsrFg g = folk::CsrFg::fromDynamic(dyn, 3);
+  CompareReport rep = compareFgs(g, g);
+  EXPECT_EQ(rep.tagsWithExactArcs, 2u);
+  EXPECT_DOUBLE_EQ(rep.recall.mean(), 1.0);
+  EXPECT_EQ(rep.missingArcs, 0u);
+  EXPECT_EQ(rep.approxOnlyArcs, 0u);
+  EXPECT_DOUBLE_EQ(rep.cosine.mean(), 1.0);
+}
+
+TEST(Compare, HandComputedPartialGraph) {
+  folk::DynamicFg ex;
+  ex.increment(0, 1, 10);
+  ex.increment(0, 2, 1);  // weight-1 arc that will go missing
+  ex.increment(0, 3, 4);
+  folk::DynamicFg ap;
+  ap.increment(0, 1, 8);
+  ap.increment(0, 3, 2);
+  folk::CsrFg exact = folk::CsrFg::fromDynamic(ex, 4);
+  folk::CsrFg approx = folk::CsrFg::fromDynamic(ap, 4);
+  CompareReport rep = compareFgs(exact, approx);
+  EXPECT_EQ(rep.tagsWithExactArcs, 1u);
+  EXPECT_DOUBLE_EQ(rep.recall.mean(), 2.0 / 3.0);
+  EXPECT_EQ(rep.missingArcs, 1u);
+  EXPECT_EQ(rep.missingWeight1, 1u);
+  EXPECT_DOUBLE_EQ(rep.sim1.mean(), 1.0);
+  // Common arcs (0→1: 10 vs 8, 0→3: 4 vs 2): same order → τ = 1.
+  EXPECT_DOUBLE_EQ(rep.kendall.mean(), 1.0);
+}
+
+TEST(Compare, MissingWeightHistogram) {
+  folk::DynamicFg ex;
+  ex.increment(0, 1, 1);
+  ex.increment(0, 2, 3);
+  ex.increment(0, 3, 9);
+  ex.increment(0, 4, 5);
+  folk::DynamicFg ap;
+  ap.increment(0, 4, 5);
+  CompareReport rep = compareFgs(folk::CsrFg::fromDynamic(ex, 5),
+                                 folk::CsrFg::fromDynamic(ap, 5));
+  EXPECT_EQ(rep.missingArcs, 3u);
+  EXPECT_EQ(rep.missingWeight1, 1u);
+  EXPECT_EQ(rep.missingWeightLe3, 2u);
+  EXPECT_NEAR(rep.missingLe3Share(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Compare, ParallelMatchesSequential) {
+  wl::SynthConfig cfg;
+  cfg.numTags = 300;
+  cfg.numResources = 1500;
+  cfg.targetAnnotations = 12000;
+  cfg.seed = 21;
+  folk::Trg trg = wl::generate(cfg, nullptr);
+  folk::CsrFg exact = folk::deriveExactFg(trg);
+  wl::Trace tr = wl::buildPaperOrderTrace(trg, 22);
+  folk::CsrFg approx =
+      wl::replayApproximated(tr, folk::approxMode(1), 23).freezeFg(trg.tagSpan());
+  ThreadPool pool(4);
+  CompareReport seq = compareFgs(exact, approx, nullptr);
+  CompareReport par = compareFgs(exact, approx, &pool);
+  EXPECT_EQ(par.tagsWithExactArcs, seq.tagsWithExactArcs);
+  EXPECT_EQ(par.missingArcs, seq.missingArcs);
+  EXPECT_NEAR(par.recall.mean(), seq.recall.mean(), 1e-9);
+  EXPECT_NEAR(par.kendall.mean(), seq.kendall.mean(), 1e-9);
+  EXPECT_NEAR(par.cosine.mean(), seq.cosine.mean(), 1e-9);
+  EXPECT_NEAR(par.sim1.mean(), seq.sim1.mean(), 1e-9);
+}
+
+TEST(Degree, HandComputed) {
+  folk::Trg trg;
+  trg.addAnnotation(0, 0);
+  trg.addAnnotation(0, 1);
+  trg.addAnnotation(1, 0);
+  trg.freeze();
+  folk::CsrFg fg = folk::deriveExactFg(trg);
+  DegreeReport rep = degreeReport(trg, fg);
+  EXPECT_EQ(rep.tagsPerResource.count(), 2u);
+  EXPECT_DOUBLE_EQ(rep.tagsPerResource.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(rep.fracResourcesDeg1, 0.5);
+  EXPECT_EQ(rep.resPerTag.count(), 2u);
+  EXPECT_DOUBLE_EQ(rep.resPerTag.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(rep.fracTagsDeg1, 0.5);
+  // FG: t0<->t1 via r0 only.
+  EXPECT_DOUBLE_EQ(rep.fgOutDegree.mean(), 1.0);
+}
+
+TEST(Scatter, SlopeOfDiagonal) {
+  ScatterAccumulator acc(1000, 10);
+  for (int i = 1; i <= 1000; ++i) {
+    acc.add(i, i);
+  }
+  ScatterSummary s = acc.summarize();
+  EXPECT_EQ(s.n, 1000u);
+  EXPECT_NEAR(s.slopeThroughOrigin, 1.0, 1e-9);
+  EXPECT_NEAR(s.pearson, 1.0, 1e-9);
+  for (const auto& b : s.bins) {
+    EXPECT_NEAR(b.meanRatio, 1.0, 1e-9);
+  }
+}
+
+TEST(Scatter, HalfSlope) {
+  ScatterAccumulator acc(100, 5);
+  for (int i = 1; i <= 100; ++i) acc.add(i, i / 2.0);
+  ScatterSummary s = acc.summarize();
+  EXPECT_NEAR(s.slopeThroughOrigin, 0.5, 1e-9);
+}
+
+TEST(Scatter, BinsCoverInputs) {
+  ScatterAccumulator acc(10000, 8);
+  acc.add(1, 1);
+  acc.add(100, 1);
+  acc.add(9999, 1);
+  ScatterSummary s = acc.summarize();
+  u64 total = 0;
+  for (const auto& b : s.bins) total += b.count;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Scatter, EmptyIsSafe) {
+  ScatterAccumulator acc(100, 5);
+  ScatterSummary s = acc.summarize();
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_TRUE(s.bins.empty());
+}
+
+TEST(SearchSim, SmokeOnSyntheticData) {
+  wl::SynthConfig cfg;
+  cfg.numTags = 150;
+  cfg.numResources = 800;
+  cfg.targetAnnotations = 8000;
+  cfg.seed = 31;
+  folk::Trg trg = wl::generate(cfg, nullptr);
+  folk::CsrFg fg = folk::deriveExactFg(trg);
+  SearchSimConfig sc;
+  sc.startTags = 10;
+  sc.randomRunsPerTag = 5;
+  sc.seed = 32;
+  SearchSimReport rep = runSearchSim(fg, trg, sc);
+  EXPECT_EQ(rep.of(folk::Strategy::kFirst).steps.count(), 10u);
+  EXPECT_EQ(rep.of(folk::Strategy::kLast).steps.count(), 10u);
+  EXPECT_EQ(rep.of(folk::Strategy::kRandom).steps.count(), 50u);
+  // CDF sample counts match.
+  EXPECT_EQ(rep.of(folk::Strategy::kRandom).cdf.count(), 50u);
+}
+
+TEST(SearchSim, Deterministic) {
+  wl::SynthConfig cfg;
+  cfg.numTags = 100;
+  cfg.numResources = 500;
+  cfg.targetAnnotations = 4000;
+  cfg.seed = 41;
+  folk::Trg trg = wl::generate(cfg, nullptr);
+  folk::CsrFg fg = folk::deriveExactFg(trg);
+  SearchSimConfig sc;
+  sc.startTags = 5;
+  sc.randomRunsPerTag = 3;
+  SearchSimReport a = runSearchSim(fg, trg, sc);
+  SearchSimReport b = runSearchSim(fg, trg, sc);
+  EXPECT_DOUBLE_EQ(a.of(folk::Strategy::kRandom).steps.mean(),
+                   b.of(folk::Strategy::kRandom).steps.mean());
+}
+
+}  // namespace
+}  // namespace dharma::ana

@@ -1,0 +1,145 @@
+/// Reproduces the Section IV-B consistency race: two users concurrently add
+/// the same new tag to the same resource. The naive protocol double-applies
+/// the read-dependent forward increment (2·u(τ,r)); Approximation B bounds
+/// the anomaly because replicas create unseen arcs at weight 1 and never
+/// re-apply a remote read.
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+
+namespace dharma::core {
+namespace {
+
+struct Fixture {
+  dht::DhtNetwork net;
+
+  explicit Fixture(u64 seed = 42)
+      : net([&] {
+          dht::DhtNetworkConfig cfg;
+          cfg.nodes = 16;
+          cfg.seed = seed;
+          cfg.latency = "constant";  // lock-step timing => race guaranteed
+          cfg.constantLatencyUs = 5000;
+          return cfg;
+        }()) {
+    net.bootstrap();
+  }
+
+  /// Creates "res" with u("base", res) = 3.
+  void seedResource(DharmaClient& c) {
+    c.insertResource("res", "uri://res", {"base"});
+    c.tagResource("res", "base");
+    c.tagResource("res", "base");
+  }
+
+  u64 simNewBase() {
+    auto view =
+        net.getBlocking(0, blockKey("new", BlockType::kTagNeighbors));
+    return view ? view->weightOf("base") : 0;
+  }
+};
+
+DharmaConfig naiveCfg() {
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = false;
+  return cfg;
+}
+
+DharmaConfig approxBCfg() {
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = true;
+  return cfg;
+}
+
+TEST(ConsistencyRace, SerialNaiveIsExact) {
+  Fixture f;
+  DharmaClient a(f.net, 1, naiveCfg());
+  DharmaClient b(f.net, 2, naiveCfg(), /*seed=*/8);
+  f.seedResource(a);
+  // Serialized: a completes before b starts.
+  a.tagResource("res", "new");
+  b.tagResource("res", "new");
+  // Exact model: sim(new, base) = u(base, res) = 3 (second op sees "new"
+  // already present and skips the forward update).
+  EXPECT_EQ(f.simNewBase(), 3u);
+}
+
+TEST(ConsistencyRace, ConcurrentNaiveDoubleApplies) {
+  Fixture f;
+  DharmaClient a(f.net, 1, naiveCfg());
+  DharmaClient b(f.net, 2, naiveCfg(), /*seed=*/8);
+  f.seedResource(a);
+  // Launch both tagging operations before driving the simulator: both
+  // clients read r̄ before either write lands.
+  int done = 0;
+  a.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+  b.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+  f.net.sim().run();
+  ASSERT_EQ(done, 2);
+  // Both applied +u(base,res) = +3: the paper's 2·u(τ,r) anomaly.
+  EXPECT_EQ(f.simNewBase(), 6u);
+  // The TRG-side weight is fine (token appends commute): u(new,res) = 2.
+  auto rbar = f.net.getBlocking(0, blockKey("res", BlockType::kResourceTags));
+  ASSERT_TRUE(rbar.has_value());
+  EXPECT_EQ(rbar->weightOf("new"), 2u);
+}
+
+TEST(ConsistencyRace, ConcurrentApproxBBoundsAnomaly) {
+  Fixture f;
+  DharmaClient a(f.net, 1, approxBCfg());
+  DharmaClient b(f.net, 2, approxBCfg(), /*seed=*/8);
+  f.seedResource(a);
+  int done = 0;
+  a.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+  b.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+  f.net.sim().run();
+  ASSERT_EQ(done, 2);
+  // First conditional token creates the arc at 1; the second finds it
+  // present and applies u = 3 → 4. Anomaly bounded at +1 over the exact
+  // value instead of +u(τ,r).
+  u64 w = f.simNewBase();
+  EXPECT_LT(w, 6u);
+  EXPECT_EQ(w, 4u);
+}
+
+TEST(ConsistencyRace, ReverseArcsUnaffected) {
+  // Reverse updates are pure +1 tokens in every mode: concurrent taggers
+  // yield exactly 2 regardless of protocol.
+  for (bool useB : {false, true}) {
+    Fixture f(useB ? 50 : 51);
+    DharmaConfig cfg = useB ? approxBCfg() : naiveCfg();
+    DharmaClient a(f.net, 1, cfg);
+    DharmaClient b(f.net, 2, cfg, 8);
+    f.seedResource(a);
+    int done = 0;
+    a.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+    b.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+    f.net.sim().run();
+    ASSERT_EQ(done, 2);
+    auto bhat = f.net.getBlocking(0, blockKey("base", BlockType::kTagNeighbors));
+    ASSERT_TRUE(bhat.has_value());
+    EXPECT_EQ(bhat->weightOf("new"), 2u) << "useB=" << useB;
+  }
+}
+
+TEST(ConsistencyRace, ConcurrentDistinctTagsAreIndependent) {
+  Fixture f;
+  DharmaClient a(f.net, 1, approxBCfg());
+  DharmaClient b(f.net, 2, approxBCfg(), 8);
+  f.seedResource(a);
+  int done = 0;
+  a.tagResourceAsync("res", "alpha", [&](OpCost) { ++done; });
+  b.tagResourceAsync("res", "beta", [&](OpCost) { ++done; });
+  f.net.sim().run();
+  ASSERT_EQ(done, 2);
+  auto rbar = f.net.getBlocking(0, blockKey("res", BlockType::kResourceTags));
+  ASSERT_TRUE(rbar.has_value());
+  EXPECT_EQ(rbar->weightOf("alpha"), 1u);
+  EXPECT_EQ(rbar->weightOf("beta"), 1u);
+}
+
+}  // namespace
+}  // namespace dharma::core

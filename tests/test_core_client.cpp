@@ -1,0 +1,277 @@
+/// Integration tests for the DHARMA layer: block keys, the distributed
+/// tagging protocol and its Table I lookup costs, and distributed faceted
+/// search (core/*).
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/session.hpp"
+
+namespace dharma::core {
+namespace {
+
+dht::DhtNetworkConfig overlayConfig(usize nodes = 16, u64 seed = 42) {
+  dht::DhtNetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  cfg.latency = "constant";
+  cfg.constantLatencyUs = 5000;
+  return cfg;
+}
+
+struct Fixture {
+  dht::DhtNetwork net;
+  explicit Fixture(usize nodes = 16, u64 seed = 42)
+      : net(overlayConfig(nodes, seed)) {
+    net.bootstrap();
+  }
+};
+
+TEST(BlockKeys, TypesYieldDistinctKeys) {
+  auto k1 = blockKey("rock", BlockType::kResourceTags);
+  auto k2 = blockKey("rock", BlockType::kTagResources);
+  auto k3 = blockKey("rock", BlockType::kTagNeighbors);
+  auto k4 = blockKey("rock", BlockType::kResourceUri);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k2, k3);
+  EXPECT_NE(k3, k4);
+  EXPECT_NE(k1, k4);
+}
+
+TEST(BlockKeys, MatchesPaperDerivation) {
+  // "the hash of t|"2" is the key of type 2 block for tag t".
+  EXPECT_EQ(blockKey("t", BlockType::kTagResources),
+            dht::NodeId::fromString("t|2"));
+}
+
+TEST(BlockKeys, NamesYieldDistinctKeys) {
+  EXPECT_NE(blockKey("rock", BlockType::kTagResources),
+            blockKey("pop", BlockType::kTagResources));
+}
+
+TEST(DharmaInsert, CostIs2Plus2m) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  for (usize m : {1u, 2u, 5u, 10u}) {
+    std::vector<std::string> tags;
+    for (usize i = 0; i < m; ++i) {
+      tags.push_back("tag-" + std::to_string(m) + "-" + std::to_string(i));
+    }
+    OpCost cost = client.insertResource("res-m" + std::to_string(m), "uri://x", tags);
+    EXPECT_EQ(cost.lookups, 2 + 2 * m) << "m = " << m;  // Table I row 1
+  }
+}
+
+TEST(DharmaInsert, BlocksMaterialize) {
+  Fixture f;
+  DharmaClient client(f.net, 1);
+  client.insertResource("song", "uri://song", {"rock", "indie"});
+  // r̄ holds both tags with weight 1.
+  auto rbar = f.net.getBlocking(3, blockKey("song", BlockType::kResourceTags));
+  ASSERT_TRUE(rbar.has_value());
+  EXPECT_EQ(rbar->weightOf("rock"), 1u);
+  EXPECT_EQ(rbar->weightOf("indie"), 1u);
+  // t̄ blocks point back at the resource.
+  auto tbar = f.net.getBlocking(4, blockKey("rock", BlockType::kTagResources));
+  ASSERT_TRUE(tbar.has_value());
+  EXPECT_EQ(tbar->weightOf("song"), 1u);
+  // t̂ blocks hold the pairwise sims.
+  auto that = f.net.getBlocking(5, blockKey("rock", BlockType::kTagNeighbors));
+  ASSERT_TRUE(that.has_value());
+  EXPECT_EQ(that->weightOf("indie"), 1u);
+  // r̃ resolves the URI.
+  auto [uri, cost] = client.resolveUri("song");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(*uri, "uri://song");
+  EXPECT_EQ(cost.lookups, 1u);
+}
+
+TEST(DharmaInsert, DuplicateTagsDeduplicated) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  OpCost cost = client.insertResource("dup", "uri://d", {"a", "a", "b"});
+  EXPECT_EQ(cost.lookups, 2 + 2 * 2u);
+  auto rbar = f.net.getBlocking(2, blockKey("dup", BlockType::kResourceTags));
+  EXPECT_EQ(rbar->totalEntries, 2u);
+}
+
+TEST(DharmaTag, ApproximatedCostIs4PlusK) {
+  Fixture f;
+  DharmaConfig cfg;
+  cfg.approximateA = true;
+  cfg.approximateB = true;
+  for (u32 k : {1u, 2u, 5u}) {
+    cfg.k = k;
+    DharmaClient client(f.net, 0, cfg, /*seed=*/k);
+    std::string res = "resource-k" + std::to_string(k);
+    std::vector<std::string> tags;
+    for (int i = 0; i < 10; ++i) {
+      tags.push_back("t" + std::to_string(k) + "-" + std::to_string(i));
+    }
+    client.insertResource(res, "uri://r", tags);
+    OpCost cost = client.tagResource(res, "fresh-tag-" + std::to_string(k));
+    EXPECT_EQ(cost.lookups, 4 + k) << "k = " << k;  // Table I row 2 (approx)
+  }
+}
+
+TEST(DharmaTag, NaiveCostIs4PlusTags) {
+  Fixture f;
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = false;
+  DharmaClient client(f.net, 0, cfg);
+  std::vector<std::string> tags;
+  for (int i = 0; i < 7; ++i) tags.push_back("nt" + std::to_string(i));
+  client.insertResource("naive-res", "uri://n", tags);
+  OpCost cost = client.tagResource("naive-res", "another");
+  EXPECT_EQ(cost.lookups, 4 + 7u);  // 4 + |Tags(r)| (Table I row 2, naive)
+}
+
+TEST(DharmaTag, KLargerThanTagsUsesAll) {
+  Fixture f;
+  DharmaConfig cfg;
+  cfg.k = 100;
+  DharmaClient client(f.net, 0, cfg);
+  client.insertResource("small-res", "uri://s", {"x", "y"});
+  OpCost cost = client.tagResource("small-res", "z");
+  EXPECT_EQ(cost.lookups, 4 + 2u);  // capped by |Tags(r)|
+}
+
+TEST(DharmaTag, UpdatesTrgBlocks) {
+  Fixture f;
+  DharmaClient client(f.net, 2);
+  client.insertResource("song2", "uri://2", {"rock"});
+  client.tagResource("song2", "rock");  // re-tag: u(rock,song2) = 2
+  client.tagResource("song2", "jazz");  // new tag
+  auto rbar = f.net.getBlocking(0, blockKey("song2", BlockType::kResourceTags));
+  ASSERT_TRUE(rbar.has_value());
+  EXPECT_EQ(rbar->weightOf("rock"), 2u);
+  EXPECT_EQ(rbar->weightOf("jazz"), 1u);
+  auto tbar = f.net.getBlocking(1, blockKey("jazz", BlockType::kTagResources));
+  ASSERT_TRUE(tbar.has_value());
+  EXPECT_EQ(tbar->weightOf("song2"), 1u);
+}
+
+TEST(DharmaTag, ForwardArcsFollowExactModelWhenNaive) {
+  Fixture f;
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = false;
+  DharmaClient client(f.net, 0, cfg);
+  client.insertResource("fw", "uri://f", {"base"});
+  client.tagResource("fw", "base");
+  client.tagResource("fw", "base");  // u(base, fw) = 3
+  client.tagResource("fw", "newtag");
+  // Exact forward: sim(newtag, base) = u(base, fw) = 3.
+  auto that = f.net.getBlocking(1, blockKey("newtag", BlockType::kTagNeighbors));
+  ASSERT_TRUE(that.has_value());
+  EXPECT_EQ(that->weightOf("base"), 3u);
+  // Reverse: sim(base, newtag) gained 1 per tagging op of newtag = 1.
+  auto bhat = f.net.getBlocking(1, blockKey("base", BlockType::kTagNeighbors));
+  ASSERT_TRUE(bhat.has_value());
+  EXPECT_EQ(bhat->weightOf("newtag"), 1u);
+}
+
+TEST(DharmaTag, ApproxBNewArcStartsAtOne) {
+  Fixture f;
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = true;
+  DharmaClient client(f.net, 0, cfg);
+  client.insertResource("bres", "uri://b", {"heavy"});
+  client.tagResource("bres", "heavy");
+  client.tagResource("bres", "heavy");  // u(heavy, bres) = 3
+  client.tagResource("bres", "light");
+  // Approximation B: arc (light, heavy) did not exist → weight 1, not 3.
+  auto lhat = f.net.getBlocking(1, blockKey("light", BlockType::kTagNeighbors));
+  ASSERT_TRUE(lhat.has_value());
+  EXPECT_EQ(lhat->weightOf("heavy"), 1u);
+}
+
+TEST(DharmaSearch, StepCostsTwoLookups) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  client.insertResource("s1", "uri://1", {"rock", "pop"});
+  auto [step, cost] = client.searchStep("rock");
+  EXPECT_EQ(cost.lookups, 2u);  // Table I row 3
+  EXPECT_TRUE(step.tagKnown);
+  ASSERT_EQ(step.relatedTags.size(), 1u);
+  EXPECT_EQ(step.relatedTags[0].name, "pop");
+  ASSERT_EQ(step.resources.size(), 1u);
+  EXPECT_EQ(step.resources[0].name, "s1");
+}
+
+TEST(DharmaSearch, UnknownTag) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  auto [step, cost] = client.searchStep("never-used");
+  EXPECT_FALSE(step.tagKnown);
+  EXPECT_TRUE(step.relatedTags.empty());
+  EXPECT_EQ(cost.lookups, 2u);
+}
+
+TEST(DharmaSession, NavigatesAndNarrows) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  // 12 rock resources, 6 also indie, 2 also live.
+  for (int i = 0; i < 12; ++i) {
+    std::vector<std::string> tags{"rock"};
+    if (i < 6) tags.push_back("indie");
+    if (i < 2) tags.push_back("live");
+    client.insertResource("song-" + std::to_string(i), "uri://s", tags);
+  }
+  folk::SearchConfig sc;
+  sc.resourceStop = 3;
+  DharmaSession session(client, sc);
+  auto info = session.start("rock");
+  EXPECT_FALSE(info.done);
+  EXPECT_EQ(info.resourceCount, 12u);
+  EXPECT_EQ(info.tagCount, 2u);  // indie, live
+  info = session.select("indie");
+  EXPECT_EQ(info.resourceCount, 6u);
+  EXPECT_EQ(info.tagCount, 1u);  // only live remains
+  // |T| <= 1 → done.
+  EXPECT_TRUE(info.done);
+  EXPECT_EQ(session.totalCost().lookups, 4u);  // 2 steps × 2 lookups
+}
+
+TEST(DharmaSession, StrategySelection) {
+  Fixture f;
+  DharmaClient client(f.net, 1);
+  for (int i = 0; i < 8; ++i) {
+    client.insertResource("m-" + std::to_string(i), "uri://m",
+                          {"metal", "loud", "dark"});
+  }
+  folk::SearchConfig sc;
+  sc.resourceStop = 2;
+  DharmaSession session(client, sc);
+  session.start("metal");
+  Rng rng(5);
+  ASSERT_FALSE(session.done());
+  std::string chosen = session.selectByStrategy(folk::Strategy::kFirst, rng);
+  EXPECT_FALSE(chosen.empty());
+  EXPECT_EQ(session.path().size(), 2u);
+}
+
+TEST(DharmaCost, TotalAccumulates) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  client.insertResource("acc", "uri://a", {"x"});     // 4 lookups
+  client.tagResource("acc", "y");                     // 4 + 1 (k=1)
+  client.searchStep("x");                             // 2
+  EXPECT_EQ(client.totalCost().lookups, 4u + 5u + 2u);
+}
+
+TEST(DharmaCost, MatchesNodeCounters) {
+  // The client's own accounting agrees with the overlay's lookup counters.
+  Fixture f;
+  DharmaClient client(f.net, 6);
+  u64 before = f.net.node(6).counters().lookups;
+  client.insertResource("agree", "uri://g", {"p", "q", "r"});
+  client.tagResource("agree", "s");
+  u64 after = f.net.node(6).counters().lookups;
+  EXPECT_EQ(after - before, client.totalCost().lookups);
+}
+
+}  // namespace
+}  // namespace dharma::core

@@ -1,0 +1,111 @@
+/// Tests for exact FG derivation (folksonomy/derive.hpp).
+
+#include "folksonomy/derive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::folk {
+namespace {
+
+TEST(Derive, TinyHandComputed) {
+  // r0: t0(w2), t1(w3); r1: t1(w1), t2(w4).
+  Trg trg;
+  trg.addAnnotation(0, 0, 2);
+  trg.addAnnotation(0, 1, 3);
+  trg.addAnnotation(1, 1, 1);
+  trg.addAnnotation(1, 2, 4);
+  DynamicFg fg = deriveExactFgDynamic(trg);
+  // sim(t0,t1) = u(t1,r0) = 3; sim(t1,t0) = u(t0,r0) = 2.
+  EXPECT_EQ(fg.weight(0, 1), 3u);
+  EXPECT_EQ(fg.weight(1, 0), 2u);
+  // sim(t1,t2) = u(t2,r1) = 4; sim(t2,t1) = u(t1,r1) = 1.
+  EXPECT_EQ(fg.weight(1, 2), 4u);
+  EXPECT_EQ(fg.weight(2, 1), 1u);
+  // t0 and t2 never co-occur.
+  EXPECT_FALSE(fg.hasArc(0, 2));
+  EXPECT_FALSE(fg.hasArc(2, 0));
+}
+
+TEST(Derive, SharedResourceSums) {
+  // t0 and t1 co-occur on two resources; contributions add up.
+  Trg trg;
+  trg.addAnnotation(0, 0, 1);
+  trg.addAnnotation(0, 1, 5);
+  trg.addAnnotation(1, 0, 2);
+  trg.addAnnotation(1, 1, 7);
+  DynamicFg fg = deriveExactFgDynamic(trg);
+  EXPECT_EQ(fg.weight(0, 1), 12u);  // 5 + 7
+  EXPECT_EQ(fg.weight(1, 0), 3u);   // 1 + 2
+}
+
+TEST(Derive, EmptyTrg) {
+  Trg trg;
+  EXPECT_EQ(deriveExactFgDynamic(trg).arcCount(), 0u);
+}
+
+TEST(Derive, SingleTagResourcesProduceNoArcs) {
+  Trg trg;
+  trg.addAnnotation(0, 0, 9);
+  trg.addAnnotation(1, 1, 9);
+  EXPECT_EQ(deriveExactFgDynamic(trg).arcCount(), 0u);
+}
+
+TEST(Derive, CsrMatchesDynamic) {
+  Rng rng(4);
+  Trg trg;
+  for (int i = 0; i < 3000; ++i) {
+    trg.addAnnotation(static_cast<u32>(rng.uniform(100)),
+                      static_cast<u32>(rng.uniform(40)),
+                      1 + static_cast<u32>(rng.uniform(3)));
+  }
+  DynamicFg dyn = deriveExactFgDynamic(trg);
+  CsrFg csr = deriveExactFg(trg);
+  EXPECT_EQ(csr.numArcs(), dyn.arcCount());
+  dyn.forEachArc([&](u32 a, u32 b, u64 w) {
+    EXPECT_EQ(csr.weightOf(a, b), w);
+  });
+}
+
+TEST(Derive, ParallelMatchesSequential) {
+  Rng rng(5);
+  Trg trg;
+  for (int i = 0; i < 20000; ++i) {
+    trg.addAnnotation(static_cast<u32>(rng.uniform(500)),
+                      static_cast<u32>(rng.uniform(80)),
+                      1 + static_cast<u32>(rng.uniform(2)));
+  }
+  ThreadPool pool(4);
+  CsrFg seq = deriveExactFg(trg, nullptr);
+  CsrFg par = deriveExactFg(trg, &pool);
+  ASSERT_EQ(par.numArcs(), seq.numArcs());
+  EXPECT_EQ(par.totalWeight(), seq.totalWeight());
+  for (u32 t = 0; t < trg.tagSpan(); ++t) {
+    auto a = seq.neighbors(t);
+    auto b = par.neighbors(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (usize i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].tag, b[i].tag);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST(Derive, SymmetricExistence) {
+  // By construction sim(a,b) > 0 iff sim(b,a) > 0 ("if sim(t1,t2) != 0
+  // then sim(t2,t1) != 0").
+  Rng rng(6);
+  Trg trg;
+  for (int i = 0; i < 5000; ++i) {
+    trg.addAnnotation(static_cast<u32>(rng.uniform(200)),
+                      static_cast<u32>(rng.uniform(50)));
+  }
+  DynamicFg fg = deriveExactFgDynamic(trg);
+  bool symmetric = true;
+  fg.forEachArc([&](u32 a, u32 b, u64) {
+    if (!fg.hasArc(b, a)) symmetric = false;
+  });
+  EXPECT_TRUE(symmetric);
+}
+
+}  // namespace
+}  // namespace dharma::folk

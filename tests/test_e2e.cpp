@@ -1,0 +1,232 @@
+/// End-to-end equivalence: the distributed DHARMA protocol over the live
+/// simulated overlay must reproduce the in-memory folksonomy model
+/// block-for-block — the strongest statement that the DHT mapping of
+/// Section IV faithfully implements the model of Section III.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/client.hpp"
+#include "core/session.hpp"
+#include "folksonomy/interner.hpp"
+#include "folksonomy/model.hpp"
+
+namespace dharma::core {
+namespace {
+
+struct E2E {
+  dht::DhtNetwork net;
+  folk::Interner tags;
+  folk::Interner resources;
+
+  explicit E2E(u64 seed = 77)
+      : net([&] {
+          dht::DhtNetworkConfig cfg;
+          cfg.nodes = 16;
+          cfg.seed = seed;
+          cfg.latency = "constant";
+          cfg.constantLatencyUs = 3000;
+          return cfg;
+        }()) {
+    net.bootstrap();
+  }
+
+  /// Fetches the t̂ block of \p tag, unfiltered.
+  std::optional<dht::BlockView> tagNeighbors(const std::string& tag) {
+    return net.getBlocking(0, blockKey(tag, BlockType::kTagNeighbors),
+                           dht::GetOptions{0, 1u << 20});
+  }
+
+  std::optional<dht::BlockView> resourceTags(const std::string& res) {
+    return net.getBlocking(0, blockKey(res, BlockType::kResourceTags),
+                           dht::GetOptions{0, 1u << 20});
+  }
+};
+
+/// Drives the same operation sequence through a naive DharmaClient and an
+/// exact FolksonomyModel, then diffs every block against the model graphs.
+TEST(EndToEnd, NaiveProtocolEqualsExactModel) {
+  E2E e;
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = false;
+  DharmaClient client(e.net, 1, cfg, 5);
+  folk::FolksonomyModel model(folk::exactMode(), 5);
+
+  Rng rng(123);
+  constexpr u32 kTags = 8;
+  constexpr u32 kRes = 6;
+  auto tagName = [](u32 t) { return "tag-" + std::to_string(t); };
+  auto resName = [](u32 r) { return "res-" + std::to_string(r); };
+
+  u32 nextRes = 0;
+  for (int op = 0; op < 60; ++op) {
+    if ((rng.uniformDouble() < 0.3 && nextRes < kRes) || nextRes == 0) {
+      usize m = 1 + rng.uniform(4);
+      std::vector<u32> tagIds;
+      std::vector<std::string> tagNames;
+      for (usize i = 0; i < m; ++i) {
+        u32 t = static_cast<u32>(rng.uniform(kTags));
+        tagIds.push_back(t);
+        tagNames.push_back(tagName(t));
+      }
+      client.insertResource(resName(nextRes), "uri://" + resName(nextRes),
+                            tagNames);
+      // Model API expects a de-duplicated set semantics; both sides dedupe.
+      model.insertResource(nextRes, tagIds);
+      ++nextRes;
+    } else {
+      u32 r = static_cast<u32>(rng.uniform(nextRes));
+      u32 t = static_cast<u32>(rng.uniform(kTags));
+      client.tagResource(resName(r), tagName(t));
+      model.tagResource(r, t);
+    }
+  }
+
+  // Every r̄ block equals the model's Tags(r) with weights.
+  for (u32 r = 0; r < nextRes; ++r) {
+    auto view = e.resourceTags(resName(r));
+    auto tagsOf = model.trg().tagsOf(r);
+    ASSERT_TRUE(view.has_value()) << resName(r);
+    EXPECT_EQ(view->totalEntries, tagsOf.size());
+    for (const auto& edge : tagsOf) {
+      EXPECT_EQ(view->weightOf(tagName(edge.tag)), edge.weight)
+          << resName(r) << " / " << tagName(edge.tag);
+    }
+  }
+
+  // Every t̂ block equals the model's FG row.
+  for (u32 t = 0; t < kTags; ++t) {
+    auto view = e.tagNeighbors(tagName(t));
+    if (!view) continue;  // tag never used
+    for (u32 u = 0; u < kTags; ++u) {
+      if (t == u) continue;
+      EXPECT_EQ(view->weightOf(tagName(u)), model.fg().weight(t, u))
+          << "sim(" << tagName(t) << ", " << tagName(u) << ")";
+    }
+  }
+}
+
+/// The approximated protocol (B on, A off for determinism across layers)
+/// equals the approximated model under the same conditional-increment
+/// semantics.
+TEST(EndToEnd, ApproxBProtocolEqualsApproxBModel) {
+  E2E e(78);
+  DharmaConfig cfg;
+  cfg.approximateA = false;
+  cfg.approximateB = true;
+  DharmaClient client(e.net, 2, cfg, 6);
+  folk::FolksonomyModel model(folk::approxBOnly(), 6);
+
+  auto tagName = [](u32 t) { return "bt-" + std::to_string(t); };
+  // Deterministic scenario exercising both the arc-absent and the
+  // arc-present branches of Approximation B.
+  client.insertResource("br-0", "uri://b0", {tagName(0), tagName(1)});
+  model.insertResource(0, std::vector<u32>{0, 1});
+  for (int i = 0; i < 3; ++i) {
+    client.tagResource("br-1", tagName(0));
+    model.tagResource(1, 0);
+  }
+  client.tagResource("br-1", tagName(1));  // arc (1,0) exists => += u(0,r1)
+  model.tagResource(1, 1);
+  client.tagResource("br-2", tagName(2));
+  model.tagResource(2, 2);
+  client.tagResource("br-2", tagName(0));  // arc (0,2) new => weight 1
+  model.tagResource(2, 0);
+
+  for (u32 t = 0; t < 3; ++t) {
+    auto view = e.tagNeighbors(tagName(t));
+    ASSERT_TRUE(view.has_value()) << tagName(t);
+    for (u32 u = 0; u < 3; ++u) {
+      if (t == u) continue;
+      EXPECT_EQ(view->weightOf(tagName(u)), model.fg().weight(t, u))
+          << "sim(" << tagName(t) << ", " << tagName(u) << ")";
+    }
+  }
+}
+
+/// Distributed faceted search matches the in-memory SearchSession when
+/// nothing is truncated (same display, same narrowing).
+TEST(EndToEnd, DistributedSearchMatchesLocalSearch) {
+  E2E e(79);
+  DharmaClient client(e.net, 3, DharmaConfig{}, 9);
+  folk::FolksonomyModel model(folk::exactMode(), 9);
+  folk::Interner tags;
+
+  struct Item {
+    const char* name;
+    std::vector<const char*> tags;
+  };
+  const std::vector<Item> items = {
+      {"i0", {"rock", "indie", "live"}}, {"i1", {"rock", "indie"}},
+      {"i2", {"rock", "metal"}},         {"i3", {"rock", "metal", "live"}},
+      {"i4", {"rock", "pop"}},           {"i5", {"metal", "live"}},
+      {"i6", {"rock", "indie", "pop"}},  {"i7", {"rock"}},
+  };
+  // Naive mode so the DHT layer mirrors the exact model.
+  DharmaConfig ncfg;
+  ncfg.approximateA = false;
+  ncfg.approximateB = false;
+  DharmaClient naive(e.net, 3, ncfg, 9);
+  u32 rid = 0;
+  for (const auto& it : items) {
+    std::vector<std::string> names(it.tags.begin(), it.tags.end());
+    naive.insertResource(it.name, "uri://x", names);
+    std::vector<u32> ids;
+    for (const char* t : it.tags) ids.push_back(tags.intern(t));
+    model.insertResource(rid++, ids);
+  }
+
+  folk::Trg trg = model.trg();
+  trg.freeze();
+  folk::CsrFg fg = model.freezeFg();
+  folk::SearchConfig sc;
+  sc.resourceStop = 1;
+
+  folk::SearchSession local(fg, trg, sc);
+  local.start(*tags.find("rock"));
+  DharmaSession dist(naive, sc);
+  auto info = dist.start("rock");
+
+  ASSERT_EQ(info.display.size(), local.display().size());
+  for (usize i = 0; i < info.display.size(); ++i) {
+    EXPECT_EQ(info.display[i].name, tags.name(local.display()[i].tag));
+    EXPECT_EQ(info.display[i].weight, local.display()[i].weight);
+  }
+  EXPECT_EQ(info.resourceCount, local.resources().size());
+
+  // Walk both sessions with the first-tag strategy to completion.
+  Rng r1(3), r2(3);
+  while (!local.done() && !dist.done()) {
+    u32 lt = local.selectByStrategy(folk::Strategy::kFirst, r1);
+    std::string dt = dist.selectByStrategy(folk::Strategy::kFirst, r2);
+    EXPECT_EQ(dt, tags.name(lt));
+    EXPECT_EQ(dist.resources().size(), local.resources().size());
+  }
+  EXPECT_EQ(local.done(), dist.done());
+  EXPECT_EQ(static_cast<int>(local.reason()), static_cast<int>(dist.reason()));
+}
+
+/// Costs across a mixed workload equal the sum of per-op Table I formulas.
+TEST(EndToEnd, AggregateCostMatchesFormulaSum) {
+  E2E e(80);
+  DharmaConfig cfg;
+  cfg.k = 2;
+  DharmaClient client(e.net, 4, cfg, 11);
+  u64 expected = 0;
+  client.insertResource("c0", "u", {"a", "b", "c"});  // 2 + 2*3
+  expected += 2 + 2 * 3;
+  client.insertResource("c1", "u", {"a"});  // 2 + 2*1
+  expected += 2 + 2 * 1;
+  client.tagResource("c0", "d");  // 4 + min(k=2, |{a,b,c}|)
+  expected += 4 + 2;
+  client.tagResource("c1", "b");  // 4 + min(2, 1)
+  expected += 4 + 1;
+  client.searchStep("a");  // 2
+  expected += 2;
+  EXPECT_EQ(client.totalCost().lookups, expected);
+}
+
+}  // namespace
+}  // namespace dharma::core

@@ -1,0 +1,244 @@
+/// Tests for faceted search (folksonomy/faceted.hpp) — convergence,
+/// strategies, display capping, stop conditions (paper Section III-C/V-C).
+
+#include "folksonomy/faceted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "folksonomy/derive.hpp"
+#include "folksonomy/model.hpp"
+
+namespace dharma::folk {
+namespace {
+
+/// A small dense folksonomy: 30 resources, 10 tags, overlapping tag sets.
+struct Fixture {
+  Trg trg;
+  CsrFg fg;
+
+  Fixture() {
+    Rng rng(42);
+    for (u32 r = 0; r < 30; ++r) {
+      usize deg = 2 + rng.uniform(4);
+      std::vector<u32> tags;
+      while (tags.size() < deg) {
+        u32 t = static_cast<u32>(rng.uniform(10));
+        if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+          tags.push_back(t);
+        }
+      }
+      for (u32 t : tags) {
+        trg.addAnnotation(r, t, 1 + static_cast<u32>(rng.uniform(4)));
+      }
+    }
+    trg.freeze();
+    fg = deriveExactFg(trg);
+  }
+};
+
+TEST(Faceted, StartPopulatesSets) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 0;  // don't stop early in this test
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  EXPECT_EQ(s.path().size(), 1u);
+  EXPECT_EQ(s.candidateTags().size(), f.fg.outDegree(0));
+  EXPECT_EQ(s.resources().size(), f.trg.tagDegree(0));
+}
+
+TEST(Faceted, CandidateSetsShrinkMonotonically) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  Rng rng(1);
+  usize prevTags = s.candidateTags().size();
+  usize prevRes = s.resources().size();
+  while (!s.done()) {
+    s.selectByStrategy(Strategy::kRandom, rng);
+    EXPECT_LT(s.candidateTags().size(), prevTags);  // strict: |Ti| < |Ti-1|
+    EXPECT_LE(s.resources().size(), prevRes);
+    prevTags = s.candidateTags().size();
+    prevRes = s.resources().size();
+  }
+}
+
+TEST(Faceted, ChosenTagsNeverRedisplayed) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  Rng rng(2);
+  std::set<u32> chosen{0};
+  while (!s.done()) {
+    for (const auto& d : s.display()) {
+      EXPECT_EQ(chosen.count(d.tag), 0u) << "tag " << d.tag << " redisplayed";
+    }
+    chosen.insert(s.selectByStrategy(Strategy::kRandom, rng));
+  }
+}
+
+TEST(Faceted, ConvergesWithinTagCountSteps) {
+  // Convergence bound: at most |T0| steps (paper: O(|T0|)).
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  Rng rng(3);
+  for (u32 t0 = 0; t0 < 10; ++t0) {
+    SearchResult r = runSearch(f.fg, f.trg, t0, Strategy::kRandom, rng, cfg);
+    EXPECT_LE(r.steps, f.fg.outDegree(t0) + 1);
+  }
+}
+
+TEST(Faceted, DisplayRankedBySimilarity) {
+  Fixture f;
+  SearchSession s(f.fg, f.trg);
+  s.start(0);
+  const auto& d = s.display();
+  for (usize i = 1; i < d.size(); ++i) {
+    EXPECT_GE(d[i - 1].weight, d[i].weight);
+  }
+}
+
+TEST(Faceted, DisplayCapEnforced) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.displayCap = 2;
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  EXPECT_LE(s.display().size(), 2u);
+}
+
+TEST(Faceted, FirstStrategyPicksMostSimilar) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  ASSERT_FALSE(s.done());
+  u64 topW = s.display().front().weight;
+  Rng rng(4);
+  u32 picked = s.selectByStrategy(Strategy::kFirst, rng);
+  EXPECT_EQ(f.fg.weightOf(0, picked), topW);
+}
+
+TEST(Faceted, LastStrategyPicksLeastDisplayed) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  ASSERT_FALSE(s.done());
+  u64 bottomW = s.display().back().weight;
+  Rng rng(5);
+  u32 picked = s.selectByStrategy(Strategy::kLast, rng);
+  EXPECT_EQ(f.fg.weightOf(0, picked), bottomW);
+}
+
+TEST(Faceted, ResourceStopTriggers) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 1000000;  // everything is "few enough"
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  EXPECT_TRUE(s.done());
+  EXPECT_EQ(s.reason(), StopReason::kResourcesNarrowed);
+}
+
+TEST(Faceted, IsolatedTagStopsImmediately) {
+  Trg trg;
+  trg.addAnnotation(0, 0, 1);  // tag 0 alone on resource 0
+  trg.addAnnotation(1, 1, 1);
+  trg.addAnnotation(1, 2, 1);
+  trg.freeze();
+  CsrFg fg = deriveExactFg(trg);
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchSession s(fg, trg, cfg);
+  s.start(0);
+  EXPECT_TRUE(s.done());
+  EXPECT_EQ(s.reason(), StopReason::kTagsExhausted);
+}
+
+TEST(Faceted, RunSearchResultConsistent) {
+  Fixture f;
+  Rng rng(6);
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchResult r = runSearch(f.fg, f.trg, 0, Strategy::kRandom, rng, cfg);
+  EXPECT_EQ(r.steps, r.path.size() - 1);
+  EXPECT_EQ(r.path.front(), 0u);
+  EXPECT_NE(r.reason, StopReason::kMaxSteps);
+}
+
+TEST(Faceted, ResourcesIntersectCorrectly) {
+  // Hand-built: r0 has {t0,t1}, r1 has {t0,t1}, r2 has {t0,t2}.
+  Trg trg;
+  trg.addAnnotation(0, 0);
+  trg.addAnnotation(0, 1);
+  trg.addAnnotation(1, 0);
+  trg.addAnnotation(1, 1);
+  trg.addAnnotation(2, 0);
+  trg.addAnnotation(2, 2);
+  trg.freeze();
+  CsrFg fg = deriveExactFg(trg);
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchSession s(fg, trg, cfg);
+  s.start(0);  // R0 = {r0, r1, r2}
+  EXPECT_EQ(s.resources().size(), 3u);
+  ASSERT_FALSE(s.done());
+  s.select(1);  // R1 = R0 ∩ Res(t1) = {r0, r1}
+  EXPECT_EQ(s.resources().size(), 2u);
+}
+
+TEST(Faceted, MostPopularTagsOrdered) {
+  Fixture f;
+  auto top = mostPopularTags(f.trg, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (usize i = 1; i < top.size(); ++i) {
+    EXPECT_GE(f.trg.tagDegree(top[i - 1]), f.trg.tagDegree(top[i]));
+  }
+}
+
+TEST(Faceted, MostPopularTagsFewerThanRequested) {
+  Trg trg;
+  trg.addAnnotation(0, 0);
+  trg.addAnnotation(0, 1);
+  trg.freeze();
+  EXPECT_EQ(mostPopularTags(trg, 10).size(), 2u);
+}
+
+TEST(Faceted, SelectOnDoneThrows) {
+  Fixture f;
+  SearchConfig cfg;
+  cfg.resourceStop = 1000000;
+  SearchSession s(f.fg, f.trg, cfg);
+  s.start(0);
+  ASSERT_TRUE(s.done());
+  EXPECT_THROW(s.select(1), std::logic_error);
+}
+
+TEST(Faceted, ApproximatedGraphSearchesWork) {
+  // Search on an FG evolved with A+B (the Section V-C "simulated" graph).
+  Fixture f;
+  Rng rng(7);
+  FolksonomyModel m(approxMode(1), 9);
+  for (u32 r = 0; r < f.trg.resourceSpan(); ++r) {
+    for (const auto& e : f.trg.tagsOf(r)) {
+      for (u32 i = 0; i < e.weight; ++i) m.tagResource(r, e.tag);
+    }
+  }
+  CsrFg approxFg = m.freezeFg();
+  SearchConfig cfg;
+  cfg.resourceStop = 0;
+  SearchResult r = runSearch(approxFg, f.trg, 0, Strategy::kRandom, rng, cfg);
+  EXPECT_GE(r.steps, 0u);
+  EXPECT_NE(r.reason, StopReason::kMaxSteps);
+}
+
+}  // namespace
+}  // namespace dharma::folk

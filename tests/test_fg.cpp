@@ -1,0 +1,133 @@
+/// Unit tests for the Folksonomy Graph representations (folksonomy/fg.hpp).
+
+#include "folksonomy/fg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dharma::folk {
+namespace {
+
+TEST(DynamicFg, IncrementAndRead) {
+  DynamicFg g;
+  g.increment(1, 2, 3);
+  EXPECT_EQ(g.weight(1, 2), 3u);
+  EXPECT_EQ(g.weight(2, 1), 0u);  // directed
+  EXPECT_TRUE(g.hasArc(1, 2));
+  EXPECT_FALSE(g.hasArc(2, 1));
+  EXPECT_EQ(g.arcCount(), 1u);
+  EXPECT_EQ(g.totalWeight(), 3u);
+}
+
+TEST(DynamicFg, AccumulatesAcrossCalls) {
+  DynamicFg g;
+  g.increment(0, 1, 1);
+  g.increment(0, 1, 4);
+  EXPECT_EQ(g.weight(0, 1), 5u);
+  EXPECT_EQ(g.arcCount(), 1u);
+}
+
+TEST(DynamicFg, SelfArcIgnored) {
+  DynamicFg g;
+  g.increment(3, 3, 10);
+  EXPECT_EQ(g.arcCount(), 0u);
+  EXPECT_EQ(g.weight(3, 3), 0u);
+}
+
+TEST(DynamicFg, ZeroDeltaIgnored) {
+  DynamicFg g;
+  g.increment(1, 2, 0);
+  EXPECT_EQ(g.arcCount(), 0u);
+}
+
+TEST(DynamicFg, TagZeroWorks) {
+  DynamicFg g;
+  g.increment(0, 1, 2);
+  g.increment(1, 0, 7);
+  EXPECT_EQ(g.weight(0, 1), 2u);
+  EXPECT_EQ(g.weight(1, 0), 7u);
+}
+
+TEST(DynamicFg, ForEachVisitsAllArcs) {
+  DynamicFg g;
+  g.increment(0, 1, 1);
+  g.increment(1, 2, 2);
+  g.increment(2, 0, 3);
+  u64 total = 0;
+  usize arcs = 0;
+  g.forEachArc([&](u32, u32, u64 w) {
+    total += w;
+    ++arcs;
+  });
+  EXPECT_EQ(arcs, 3u);
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(CsrFg, FromDynamicPreservesEverything) {
+  DynamicFg dyn;
+  dyn.increment(0, 1, 5);
+  dyn.increment(0, 2, 3);
+  dyn.increment(2, 0, 1);
+  CsrFg g = CsrFg::fromDynamic(dyn, 4);
+  EXPECT_EQ(g.numTags(), 4u);
+  EXPECT_EQ(g.numArcs(), 3u);
+  EXPECT_EQ(g.totalWeight(), 9u);
+  EXPECT_EQ(g.weightOf(0, 1), 5u);
+  EXPECT_EQ(g.weightOf(0, 2), 3u);
+  EXPECT_EQ(g.weightOf(2, 0), 1u);
+  EXPECT_EQ(g.weightOf(1, 0), 0u);
+  EXPECT_EQ(g.outDegree(0), 2u);
+  EXPECT_EQ(g.outDegree(1), 0u);
+  EXPECT_EQ(g.outDegree(3), 0u);
+}
+
+TEST(CsrFg, RowsSortedById) {
+  DynamicFg dyn;
+  for (u32 t : {9u, 3u, 7u, 1u, 5u}) dyn.increment(0, t, 1);
+  CsrFg g = CsrFg::fromDynamic(dyn, 10);
+  auto row = g.neighbors(0);
+  ASSERT_EQ(row.size(), 5u);
+  for (usize i = 1; i < row.size(); ++i) {
+    EXPECT_LT(row[i - 1].tag, row[i].tag);
+  }
+}
+
+TEST(CsrFg, EmptyGraph) {
+  DynamicFg dyn;
+  CsrFg g = CsrFg::fromDynamic(dyn, 3);
+  EXPECT_EQ(g.numArcs(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_EQ(g.weightOf(0, 1), 0u);
+}
+
+TEST(CsrFg, OutOfRangeTagSafe) {
+  DynamicFg dyn;
+  dyn.increment(0, 1, 1);
+  CsrFg g = CsrFg::fromDynamic(dyn, 2);
+  EXPECT_TRUE(g.neighbors(99).empty());
+  EXPECT_EQ(g.outDegree(99), 0u);
+  EXPECT_EQ(g.weightOf(99, 0), 0u);
+}
+
+TEST(CsrFg, LargeRandomEquivalence) {
+  DynamicFg dyn;
+  Rng rng(31);
+  std::map<std::pair<u32, u32>, u64> ref;
+  for (int i = 0; i < 20000; ++i) {
+    u32 a = static_cast<u32>(rng.uniform(200));
+    u32 b = static_cast<u32>(rng.uniform(200));
+    if (a == b) continue;
+    u64 w = 1 + rng.uniform(5);
+    dyn.increment(a, b, w);
+    ref[{a, b}] += w;
+  }
+  CsrFg g = CsrFg::fromDynamic(dyn, 200);
+  EXPECT_EQ(g.numArcs(), ref.size());
+  for (const auto& [k, w] : ref) {
+    EXPECT_EQ(g.weightOf(k.first, k.second), w);
+  }
+}
+
+}  // namespace
+}  // namespace dharma::folk

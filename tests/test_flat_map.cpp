@@ -1,0 +1,130 @@
+/// Unit tests for util/flat_map.hpp (open-addressing map + pair packing).
+
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace dharma {
+namespace {
+
+TEST(FlatMap, EmptyLookup) {
+  FlatMap64 m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.get(1, 99), 99u);
+}
+
+TEST(FlatMap, InsertAndFind) {
+  FlatMap64 m;
+  m.set(5, 50);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(5));
+  EXPECT_FALSE(m.contains(6));
+}
+
+TEST(FlatMap, AddToCreatesThenAccumulates) {
+  FlatMap64 m;
+  EXPECT_EQ(m.addTo(7, 3), 3u);
+  EXPECT_EQ(m.addTo(7, 4), 7u);
+  EXPECT_EQ(m.get(7), 7u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OverwriteSet) {
+  FlatMap64 m;
+  m.set(9, 1);
+  m.set(9, 2);
+  EXPECT_EQ(m.get(9), 2u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, GrowthPreservesEntries) {
+  FlatMap64 m(16);
+  for (u64 k = 1; k <= 10000; ++k) m.set(k, k * 2);
+  EXPECT_EQ(m.size(), 10000u);
+  for (u64 k = 1; k <= 10000; ++k) {
+    ASSERT_EQ(m.get(k), k * 2) << "key " << k;
+  }
+}
+
+TEST(FlatMap, ClearKeepsWorking) {
+  FlatMap64 m;
+  for (u64 k = 1; k <= 100; ++k) m.set(k, k);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(50));
+  m.set(50, 5);
+  EXPECT_EQ(m.get(50), 5u);
+}
+
+TEST(FlatMap, ForEachVisitsAll) {
+  FlatMap64 m;
+  u64 expectedSum = 0;
+  for (u64 k = 1; k <= 500; ++k) {
+    m.set(k, k);
+    expectedSum += k;
+  }
+  u64 sum = 0, count = 0;
+  m.forEach([&](u64 k, u64 v) {
+    EXPECT_EQ(k, v);
+    sum += v;
+    ++count;
+  });
+  EXPECT_EQ(sum, expectedSum);
+  EXPECT_EQ(count, 500u);
+}
+
+TEST(FlatMap, AdversarialKeysSameLowBits) {
+  // Keys differing only in high bits stress probing.
+  FlatMap64 m;
+  for (u64 i = 1; i <= 1000; ++i) m.set(i << 40, i);
+  for (u64 i = 1; i <= 1000; ++i) EXPECT_EQ(m.get(i << 40), i);
+}
+
+TEST(FlatMap, MatchesReferenceMap) {
+  FlatMap64 m;
+  std::unordered_map<u64, u64> ref;
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    u64 key = 1 + rng.uniform(5000);
+    u64 delta = 1 + rng.uniform(10);
+    m.addTo(key, delta);
+    ref[key] += delta;
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_EQ(m.get(k), v);
+}
+
+TEST(PackPair, Roundtrip) {
+  for (u32 a : {0u, 1u, 77u, 0xffffffffu}) {
+    for (u32 b : {0u, 1u, 99u, 0xfffffffeu}) {
+      auto [x, y] = unpackPair(packPair(a, b));
+      EXPECT_EQ(x, a);
+      EXPECT_EQ(y, b);
+    }
+  }
+}
+
+TEST(PackPair, NeverZero) {
+  EXPECT_NE(packPair(0, 0), 0u);
+}
+
+TEST(PackPair, Injective) {
+  EXPECT_NE(packPair(1, 2), packPair(2, 1));
+  EXPECT_NE(packPair(0, 1), packPair(1, 0));
+}
+
+TEST(FlatMap, MemoryBytesGrows) {
+  FlatMap64 m(16);
+  usize before = m.memoryBytes();
+  for (u64 k = 1; k <= 1000; ++k) m.set(k, 1);
+  EXPECT_GT(m.memoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace dharma

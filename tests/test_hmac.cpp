@@ -1,0 +1,59 @@
+/// HMAC-SHA1 against RFC 2202 test vectors.
+
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::crypto {
+namespace {
+
+TEST(Hmac, Rfc2202Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(toHex(hmacSha1(key, "Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(Hmac, Rfc2202Case2) {
+  EXPECT_EQ(toHex(hmacSha1("Jefe", "what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Hmac, Rfc2202Case3) {
+  std::string key(20, '\xaa');
+  std::string data(50, '\xdd');
+  EXPECT_EQ(toHex(hmacSha1(key, data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(Hmac, Rfc2202Case6LongKey) {
+  std::string key(80, '\xaa');
+  EXPECT_EQ(toHex(hmacSha1(key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(hmacSha1("key1", "data"), hmacSha1("key2", "data"));
+}
+
+TEST(Hmac, DataSensitivity) {
+  EXPECT_NE(hmacSha1("key", "data1"), hmacSha1("key", "data2"));
+}
+
+TEST(Hmac, EmptyData) {
+  // Self-consistency: defined, deterministic, key-dependent.
+  auto a = hmacSha1("key", "");
+  auto b = hmacSha1("key", "");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, hmacSha1("other", ""));
+}
+
+TEST(DigestEqual, Works) {
+  Digest160 a = sha1("same");
+  Digest160 b = sha1("same");
+  Digest160 c = sha1("diff");
+  EXPECT_TRUE(digestEqual(a, b));
+  EXPECT_FALSE(digestEqual(a, c));
+}
+
+}  // namespace
+}  // namespace dharma::crypto

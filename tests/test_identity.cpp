@@ -1,0 +1,91 @@
+/// Unit tests for the Likir-style identity layer (crypto/identity.hpp).
+
+#include "crypto/identity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::crypto {
+namespace {
+
+TEST(Identity, EnrollVerify) {
+  CertificationService cs("secret");
+  Credential c = cs.enroll("alice");
+  EXPECT_TRUE(cs.verify(c));
+  EXPECT_EQ(c.userId, "alice");
+}
+
+TEST(Identity, NodeIdDeterministic) {
+  CertificationService cs("secret");
+  EXPECT_EQ(cs.enroll("alice").nodeId, cs.enroll("alice").nodeId);
+  EXPECT_NE(cs.enroll("alice").nodeId, cs.enroll("bob").nodeId);
+  EXPECT_EQ(cs.enroll("alice").nodeId, cs.nodeIdFor("alice"));
+}
+
+TEST(Identity, SaltChangesNodeIds) {
+  CertificationService a("secret", "net-a");
+  CertificationService b("secret", "net-b");
+  EXPECT_NE(a.nodeIdFor("alice"), b.nodeIdFor("alice"));
+}
+
+TEST(Identity, TamperedUserRejected) {
+  CertificationService cs("secret");
+  Credential c = cs.enroll("alice");
+  c.userId = "mallory";
+  EXPECT_FALSE(cs.verify(c));
+}
+
+TEST(Identity, TamperedNodeIdRejected) {
+  CertificationService cs("secret");
+  Credential c = cs.enroll("alice");
+  c.nodeId[0] ^= 0xff;
+  EXPECT_FALSE(cs.verify(c));
+}
+
+TEST(Identity, WrongServiceRejects) {
+  CertificationService cs("secret");
+  CertificationService other("other-secret");
+  Credential c = cs.enroll("alice");
+  EXPECT_FALSE(other.verify(c));
+}
+
+TEST(Identity, ExpiryHonored) {
+  CertificationService cs("secret");
+  Credential c = cs.enroll("alice", 1000);
+  EXPECT_TRUE(cs.verify(c, 999));
+  EXPECT_TRUE(cs.verify(c, 1000));
+  EXPECT_FALSE(cs.verify(c, 1001));
+}
+
+TEST(Identity, ZeroExpiryNeverExpires) {
+  CertificationService cs("secret");
+  Credential c = cs.enroll("alice", 0);
+  EXPECT_TRUE(cs.verify(c, ~0ULL));
+}
+
+TEST(Identity, ContentSignatureRoundtrip) {
+  CertificationService cs("secret");
+  auto sig = cs.signContent("alice", "deadbeef", "token-payload");
+  EXPECT_TRUE(cs.verifyContent(sig, "deadbeef", "token-payload"));
+}
+
+TEST(Identity, ContentSignatureBindsKey) {
+  CertificationService cs("secret");
+  auto sig = cs.signContent("alice", "key1", "payload");
+  EXPECT_FALSE(cs.verifyContent(sig, "key2", "payload"));
+}
+
+TEST(Identity, ContentSignatureBindsPayload) {
+  CertificationService cs("secret");
+  auto sig = cs.signContent("alice", "key", "payload");
+  EXPECT_FALSE(cs.verifyContent(sig, "key", "forged"));
+}
+
+TEST(Identity, ContentSignatureBindsUser) {
+  CertificationService cs("secret");
+  auto sig = cs.signContent("alice", "key", "payload");
+  sig.userId = "bob";
+  EXPECT_FALSE(cs.verifyContent(sig, "key", "payload"));
+}
+
+}  // namespace
+}  // namespace dharma::crypto

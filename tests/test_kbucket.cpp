@@ -1,0 +1,102 @@
+/// Unit tests for the k-bucket LRU semantics (dht/kbucket.hpp).
+
+#include "dht/kbucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::dht {
+namespace {
+
+Contact mk(u32 n, net::Address addr = 0) {
+  Contact c;
+  c.id = NodeId::fromString("contact-" + std::to_string(n));
+  c.addr = addr == 0 ? n : addr;
+  return c;
+}
+
+TEST(KBucket, InsertUntilFull) {
+  KBucket b(3);
+  EXPECT_EQ(b.touch(mk(1)), BucketInsert::kInserted);
+  EXPECT_EQ(b.touch(mk(2)), BucketInsert::kInserted);
+  EXPECT_EQ(b.touch(mk(3)), BucketInsert::kInserted);
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.touch(mk(4)), BucketInsert::kFull);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(KBucket, TouchMovesToFresh) {
+  KBucket b(3);
+  b.touch(mk(1));
+  b.touch(mk(2));
+  b.touch(mk(3));
+  EXPECT_EQ(b.touch(mk(1)), BucketInsert::kUpdated);
+  // 1 is now the freshest; stalest is 2.
+  ASSERT_TRUE(b.evictionCandidate().has_value());
+  EXPECT_EQ(b.evictionCandidate()->id, mk(2).id);
+  EXPECT_EQ(b.entries().back().id, mk(1).id);
+}
+
+TEST(KBucket, TouchUpdatesAddress) {
+  KBucket b(3);
+  b.touch(mk(1, 100));
+  b.touch(mk(1, 200));  // same id, new endpoint
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.entries().back().addr, 200u);
+}
+
+TEST(KBucket, RemoveExisting) {
+  KBucket b(3);
+  b.touch(mk(1));
+  b.touch(mk(2));
+  EXPECT_TRUE(b.remove(mk(1).id));
+  EXPECT_FALSE(b.contains(mk(1).id));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_FALSE(b.remove(mk(1).id));
+}
+
+TEST(KBucket, EvictionCandidateIsStalest) {
+  KBucket b(2);
+  b.touch(mk(1));
+  b.touch(mk(2));
+  EXPECT_EQ(b.evictionCandidate()->id, mk(1).id);
+}
+
+TEST(KBucket, EmptyHasNoCandidate) {
+  KBucket b(2);
+  EXPECT_FALSE(b.evictionCandidate().has_value());
+}
+
+TEST(KBucket, ReplaceStalest) {
+  KBucket b(2);
+  b.touch(mk(1));
+  b.touch(mk(2));
+  b.replaceStalest(mk(3));
+  EXPECT_FALSE(b.contains(mk(1).id));
+  EXPECT_TRUE(b.contains(mk(2).id));
+  EXPECT_TRUE(b.contains(mk(3).id));
+  // The replacement is the freshest entry.
+  EXPECT_EQ(b.entries().back().id, mk(3).id);
+}
+
+TEST(KBucket, ReplaceStalestOnEmptyInserts) {
+  KBucket b(2);
+  b.replaceStalest(mk(9));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.contains(mk(9).id));
+}
+
+TEST(KBucket, LruOrderMaintained) {
+  KBucket b(4);
+  for (u32 i = 1; i <= 4; ++i) b.touch(mk(i));
+  b.touch(mk(2));
+  b.touch(mk(1));
+  // Order stalest->freshest: 3, 4, 2, 1.
+  std::vector<u32> want{3, 4, 2, 1};
+  ASSERT_EQ(b.entries().size(), 4u);
+  for (usize i = 0; i < 4; ++i) {
+    EXPECT_EQ(b.entries()[i].id, mk(want[i]).id);
+  }
+}
+
+}  // namespace
+}  // namespace dharma::dht

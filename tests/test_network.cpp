@@ -1,0 +1,158 @@
+/// Unit tests for the simulated datagram network (net/network.hpp).
+
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::net {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  ConstantLatency latency{1000};
+  Network net;
+  explicit Fixture(Network::Config cfg = {})
+      : net(sim, latency, cfg, /*seed=*/1) {}
+};
+
+TEST(Network, DeliversPayload) {
+  Fixture f;
+  std::vector<u8> got;
+  Address from = 0, seen = 99;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b = f.net.registerEndpoint([&](Address src, const std::vector<u8>& d) {
+    seen = src;
+    got = d;
+  });
+  EXPECT_TRUE(f.net.send(a, b, {1, 2, 3}));
+  f.sim.run();
+  EXPECT_EQ(seen, a);
+  EXPECT_EQ(got, (std::vector<u8>{1, 2, 3}));
+  EXPECT_EQ(f.net.stats().delivered, 1u);
+  (void)from;
+}
+
+TEST(Network, LatencyDelaysDelivery) {
+  Fixture f;
+  SimTime deliveredAt = 0;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b = f.net.registerEndpoint(
+      [&](Address, const std::vector<u8>&) { deliveredAt = f.sim.now(); });
+  f.net.send(a, b, {0});
+  f.sim.run();
+  EXPECT_EQ(deliveredAt, 1000u);
+}
+
+TEST(Network, OversizeDroppedSynchronously) {
+  Network::Config cfg;
+  cfg.mtuBytes = 10;
+  Fixture f(cfg);
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b = f.net.registerEndpoint([](Address, const std::vector<u8>&) {
+    FAIL() << "oversize datagram must not arrive";
+  });
+  EXPECT_FALSE(f.net.send(a, b, std::vector<u8>(11, 0)));
+  f.sim.run();
+  EXPECT_EQ(f.net.stats().droppedOversize, 1u);
+  EXPECT_EQ(f.net.stats().delivered, 0u);
+}
+
+TEST(Network, ExactMtuAccepted) {
+  Network::Config cfg;
+  cfg.mtuBytes = 10;
+  Fixture f(cfg);
+  int got = 0;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b =
+      f.net.registerEndpoint([&](Address, const std::vector<u8>&) { ++got; });
+  EXPECT_TRUE(f.net.send(a, b, std::vector<u8>(10, 0)));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Network, OfflineEndpointDropsAtDelivery) {
+  Fixture f;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b = f.net.registerEndpoint([](Address, const std::vector<u8>&) {
+    FAIL() << "offline endpoint must not receive";
+  });
+  f.net.send(a, b, {1});
+  f.net.setOnline(b, false);  // goes down while datagram is in flight
+  f.sim.run();
+  EXPECT_EQ(f.net.stats().droppedDead, 1u);
+}
+
+TEST(Network, RevivedEndpointReceives) {
+  Fixture f;
+  int got = 0;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b =
+      f.net.registerEndpoint([&](Address, const std::vector<u8>&) { ++got; });
+  f.net.setOnline(b, false);
+  f.net.setOnline(b, true);
+  f.net.send(a, b, {1});
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Network, LossRateApproximatelyHonored) {
+  Network::Config cfg;
+  cfg.lossRate = 0.25;
+  Fixture f(cfg);
+  int got = 0;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b =
+      f.net.registerEndpoint([&](Address, const std::vector<u8>&) { ++got; });
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) f.net.send(a, b, {1});
+  f.sim.run();
+  EXPECT_NEAR(got, kN * 0.75, 150);
+  EXPECT_EQ(f.net.stats().droppedLoss + f.net.stats().delivered,
+            static_cast<u64>(kN));
+}
+
+TEST(Network, BytesAccounted) {
+  Fixture f;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  Address b = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  f.net.send(a, b, std::vector<u8>(100, 0));
+  f.net.send(b, a, std::vector<u8>(50, 0));
+  EXPECT_EQ(f.net.stats().bytesSent, 150u);
+}
+
+TEST(Network, IsOnlineReflectsState) {
+  Fixture f;
+  Address a = f.net.registerEndpoint([](Address, const std::vector<u8>&) {});
+  EXPECT_TRUE(f.net.isOnline(a));
+  f.net.setOnline(a, false);
+  EXPECT_FALSE(f.net.isOnline(a));
+  EXPECT_FALSE(f.net.isOnline(999));
+}
+
+TEST(LogNormalLatency, WithinClamp) {
+  Rng rng(5);
+  LogNormalLatency model(10.8, 0.5, 1000, 2000000);
+  for (int i = 0; i < 10000; ++i) {
+    SimTime t = model.sample(rng);
+    EXPECT_GE(t, 1000u);
+    EXPECT_LE(t, 2000000u);
+  }
+}
+
+TEST(UniformLatency, WithinRange) {
+  Rng rng(6);
+  UniformLatency model(10, 20);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    SimTime t = model.sample(rng);
+    EXPECT_GE(t, 10u);
+    EXPECT_LE(t, 20u);
+    sawLo |= t == 10;
+    sawHi |= t == 20;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+}  // namespace
+}  // namespace dharma::net

@@ -1,0 +1,77 @@
+/// Unit tests for util/options.hpp (CLI parsing).
+
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsForm) {
+  auto o = parse({"--scale=0.5", "--seed=7"});
+  EXPECT_DOUBLE_EQ(o.getDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(o.getInt("seed", 0), 7);
+}
+
+TEST(Options, SpaceForm) {
+  auto o = parse({"--name", "hello", "--n", "42"});
+  EXPECT_EQ(o.getString("name", ""), "hello");
+  EXPECT_EQ(o.getInt("n", 0), 42);
+}
+
+TEST(Options, BareFlag) {
+  auto o = parse({"--verbose"});
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_TRUE(o.getBool("verbose", false));
+}
+
+TEST(Options, BoolExplicit) {
+  auto o = parse({"--a=true", "--b=false", "--c=1", "--d=no"});
+  EXPECT_TRUE(o.getBool("a", false));
+  EXPECT_FALSE(o.getBool("b", true));
+  EXPECT_TRUE(o.getBool("c", false));
+  EXPECT_FALSE(o.getBool("d", true));
+}
+
+TEST(Options, Defaults) {
+  auto o = parse({});
+  EXPECT_EQ(o.getInt("missing", -5), -5);
+  EXPECT_DOUBLE_EQ(o.getDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(o.getString("missing", "dft"), "dft");
+  EXPECT_FALSE(o.getBool("missing", false));
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, Positional) {
+  auto o = parse({"alpha", "--k=1", "beta"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "alpha");
+  EXPECT_EQ(o.positional()[1], "beta");
+}
+
+TEST(Options, FlagBeforeFlag) {
+  // "--a --b=2": a must be a bare flag, not consume "--b=2".
+  auto o = parse({"--a", "--b=2"});
+  EXPECT_TRUE(o.has("a"));
+  EXPECT_EQ(o.getInt("b", 0), 2);
+}
+
+TEST(Options, SetOverrides) {
+  auto o = parse({"--k=1"});
+  o.set("k", "9");
+  EXPECT_EQ(o.getInt("k", 0), 9);
+}
+
+TEST(Options, BadBoolThrows) {
+  auto o = parse({"--x=maybe"});
+  EXPECT_THROW(o.getBool("x", false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dharma

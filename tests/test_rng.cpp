@@ -1,0 +1,217 @@
+/// Unit tests for util/rng.hpp (determinism, ranges, distribution moments).
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dharma {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<u64> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[static_cast<usize>(i)]);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(42);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr u64 kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBuckets), 600);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    i64 v = rng.uniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.uniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(12);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(14);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.geometric(0.5));
+  // E[failures before success] = (1-p)/p = 1.
+  EXPECT_NEAR(sum / kN, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(16);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kN), 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(18);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<usize>(i)] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(19);
+  for (u32 n : {5u, 10u, 100u}) {
+    for (u32 k = 1; k <= std::min(n, 10u); ++k) {
+      auto idx = rng.sampleIndices(n, k);
+      ASSERT_EQ(idx.size(), k);
+      std::set<u32> uniq(idx.begin(), idx.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (u32 i : idx) EXPECT_LT(i, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(20);
+  auto idx = rng.sampleIndices(8, 8);
+  std::set<u32> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(Rng, SampleIndicesUniformCoverage) {
+  Rng rng(21);
+  std::vector<int> counts(20, 0);
+  for (int rep = 0; rep < 20000; ++rep) {
+    for (u32 i : rng.sampleIndices(20, 3)) ++counts[i];
+  }
+  // Each index expected 20000 * 3/20 = 3000 times.
+  for (int c : counts) EXPECT_NEAR(c, 3000, 250);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(22);
+  Rng childA = parent.fork();
+  Rng childB = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childA.next() == childB.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(23), p2(23);
+  Rng c1 = p1.fork();
+  Rng c2 = p2.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Splitmix64, KnownDistinctness) {
+  // splitmix64 must not collapse consecutive inputs.
+  std::set<u64> seen;
+  for (u64 i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace dharma

@@ -1,0 +1,197 @@
+/// Unit tests for util/sampling.hpp (alias table, Zipf, Fenwick sampler).
+
+#include "util/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dharma {
+namespace {
+
+TEST(AliasTable, MatchesWeights) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  Rng rng(1);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[t.sample(rng)];
+  for (usize i = 0; i < 4; ++i) {
+    double expect = w[i] / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(kN), expect, 0.01);
+  }
+}
+
+TEST(AliasTable, ZeroWeightNeverDrawn) {
+  AliasTable t(std::vector<double>{0.0, 1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    u32 v = t.sample(rng);
+    EXPECT_TRUE(v == 1 || v == 3);
+  }
+}
+
+TEST(AliasTable, SingleCategory) {
+  AliasTable t(std::vector<double>{5.0});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsBadInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(AliasTable, ManyCategoriesUniform) {
+  std::vector<double> w(1000, 1.0);
+  AliasTable t(w);
+  Rng rng(4);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 500000; ++i) ++counts[t.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 500, 120);
+}
+
+TEST(Zipf, RankOneMostProbable) {
+  ZipfSampler z(100, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfSampler z(50, 0.0);
+  Rng rng(6);
+  std::vector<int> counts(51, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (int r = 1; r <= 50; ++r) EXPECT_NEAR(counts[r], kN / 50, 300);
+}
+
+TEST(Zipf, TheoreticalRatio) {
+  // P(1)/P(2) = 2^s for Zipf(s).
+  ZipfSampler z(1000, 1.5);
+  Rng rng(7);
+  int c1 = 0, c2 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    u32 r = z.sample(rng);
+    c1 += r == 1;
+    c2 += r == 2;
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / c2, std::pow(2.0, 1.5), 0.15);
+}
+
+TEST(Zipf, SampleIndexIsZeroBased) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(z.sampleIndex(rng), 10u);
+  }
+}
+
+TEST(Zipf, RejectsZeroN) {
+  ZipfSampler z;
+  EXPECT_THROW(z.build(0, 1.0), std::invalid_argument);
+}
+
+TEST(Fenwick, SamplesProportionally) {
+  FenwickSampler f(std::vector<double>{1, 0, 3, 0, 6});
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[f.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.3, 0.01);
+  EXPECT_NEAR(counts[4] / static_cast<double>(kN), 0.6, 0.01);
+}
+
+TEST(Fenwick, SetToZeroRemoves) {
+  FenwickSampler f(std::vector<double>{1, 1, 1, 1});
+  f.set(2, 0.0);
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(f.sample(rng), 2u);
+  EXPECT_DOUBLE_EQ(f.total(), 3.0);
+}
+
+TEST(Fenwick, SetIncrease) {
+  FenwickSampler f(std::vector<double>{1, 1});
+  f.set(0, 9.0);
+  Rng rng(11);
+  int c0 = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) c0 += f.sample(rng) == 0;
+  EXPECT_NEAR(c0 / static_cast<double>(kN), 0.9, 0.01);
+}
+
+TEST(Fenwick, DrainToSingle) {
+  FenwickSampler f(std::vector<double>{2, 5, 7});
+  f.set(0, 0.0);
+  f.set(2, 0.0);
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(f.sample(rng), 1u);
+}
+
+TEST(Fenwick, WeightReadback) {
+  FenwickSampler f(std::vector<double>{1.5, 2.5});
+  EXPECT_DOUBLE_EQ(f.weight(0), 1.5);
+  EXPECT_DOUBLE_EQ(f.weight(1), 2.5);
+  EXPECT_DOUBLE_EQ(f.total(), 4.0);
+  f.set(1, 0.5);
+  EXPECT_DOUBLE_EQ(f.weight(1), 0.5);
+  EXPECT_DOUBLE_EQ(f.total(), 2.0);
+}
+
+TEST(Fenwick, NonPowerOfTwoSize) {
+  std::vector<double> w(13, 1.0);
+  FenwickSampler f(w);
+  Rng rng(13);
+  std::vector<int> counts(13, 0);
+  for (int i = 0; i < 130000; ++i) ++counts[f.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfWeights, Shape) {
+  auto w = zipfWeights(4, 1.0);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_NEAR(w[3], 0.25, 1e-12);
+}
+
+/// Property sweep: alias sampling over random weight vectors reproduces the
+/// normalised weights within statistical tolerance.
+class AliasProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(AliasProperty, EmpiricalMatchesTheoretical) {
+  Rng rng(GetParam());
+  usize n = 2 + rng.uniform(30);
+  std::vector<double> w(n);
+  double sum = 0;
+  for (auto& x : w) {
+    x = rng.uniformDouble() * 10.0;
+    sum += x;
+  }
+  if (sum == 0) {
+    w[0] = 1;
+    sum = 1;
+  }
+  AliasTable t(w);
+  std::vector<int> counts(n, 0);
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) ++counts[t.sample(rng)];
+  for (usize i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kN), w[i] / sum, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dharma

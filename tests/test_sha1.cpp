@@ -1,0 +1,95 @@
+/// SHA-1 against FIPS 180-1 / RFC 3174 vectors, plus boundary coverage.
+
+#include "crypto/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::crypto {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(toHex(sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(toHex(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(toHex(sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(toHex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog and more";
+  Digest160 oneShot = sha1(msg);
+  for (usize split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), oneShot) << "split at " << split;
+  }
+}
+
+/// Padding boundaries: messages of length 55/56/63/64/65 exercise the
+/// single-vs-double final block paths.
+class Sha1Boundary : public ::testing::TestWithParam<usize> {};
+
+TEST_P(Sha1Boundary, MatchesSelfConsistentIncremental) {
+  std::string msg(GetParam(), 'z');
+  Digest160 oneShot = sha1(msg);
+  Sha1 h;
+  for (char c : msg) h.update(std::string(1, c));
+  EXPECT_EQ(h.finish(), oneShot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha1Boundary,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 127,
+                                           128, 129));
+
+TEST(Sha1, KnownLength64) {
+  // Exactly one block of input (64 bytes of 'a').
+  EXPECT_EQ(toHex(sha1(std::string(64, 'a'))),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+}
+
+TEST(Sha1, ResetReuses) {
+  Sha1 h;
+  h.update("abc");
+  Digest160 first = h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finish(), first);
+}
+
+TEST(Sha1, DifferentInputsDiffer) {
+  EXPECT_NE(sha1("a"), sha1("b"));
+  EXPECT_NE(sha1("abc"), sha1("abd"));
+}
+
+TEST(Sha1Hex, Roundtrip) {
+  Digest160 d = sha1("roundtrip");
+  EXPECT_EQ(digestFromHex(toHex(d)), d);
+}
+
+TEST(Sha1Hex, UppercaseAccepted) {
+  Digest160 d = sha1("x");
+  std::string hex = toHex(d);
+  for (auto& c : hex) c = static_cast<char>(toupper(c));
+  EXPECT_EQ(digestFromHex(hex), d);
+}
+
+TEST(Sha1Hex, BadInputThrows) {
+  EXPECT_THROW(digestFromHex("too-short"), std::invalid_argument);
+  EXPECT_THROW(digestFromHex(std::string(40, 'g')), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dharma::crypto

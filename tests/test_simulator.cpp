@@ -1,0 +1,135 @@
+/// Unit tests for the discrete-event simulator (net/simulator.hpp).
+
+#include "net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::net {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NowAdvancesDuringEvents) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule(42, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Simulator, EventsCanReschedule) {
+  Simulator sim;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 5) sim.schedule(10, tick);
+  };
+  sim.schedule(10, tick);
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.schedule(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.schedule(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<int> ran;
+  sim.schedule(10, [&] { ran.push_back(1); });
+  sim.schedule(20, [&] { ran.push_back(2); });
+  sim.schedule(30, [&] { ran.push_back(3); });
+  sim.runUntil(20);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 20u);
+  sim.run();
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesIdleClock) {
+  Simulator sim;
+  sim.runUntil(500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, RunMaxEventsBudget) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(static_cast<SimTime>(i), [&] { ++fired; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, ScheduleAtAbsolute) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run();
+  SimTime seen = 0;
+  sim.scheduleAt(25, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 25u);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, CancelledEventsNotCountedPending) {
+  Simulator sim;
+  EventId a = sim.schedule(5, [] {});
+  sim.schedule(6, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace dharma::net

@@ -1,0 +1,167 @@
+/// Unit tests for util/stats.hpp (Welford accumulator, quantiles, CDFs).
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dharma {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVariance) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.sampleVariance(), 1.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, MedianEvenInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.25), 7.0);
+}
+
+TEST(Cdf, AtBasics) {
+  Cdf c;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) c.add(v);
+  EXPECT_DOUBLE_EQ(c.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(c.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(100.0), 1.0);
+}
+
+TEST(Cdf, PointsDistinctAndMonotone) {
+  Cdf c;
+  for (double v : {2.0, 2.0, 1.0, 3.0, 3.0, 3.0}) c.add(v);
+  auto pts = c.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_NEAR(pts[0].second, 1.0 / 6, 1e-12);
+  EXPECT_DOUBLE_EQ(pts[1].first, 2.0);
+  EXPECT_NEAR(pts[1].second, 3.0 / 6, 1e-12);
+  EXPECT_DOUBLE_EQ(pts[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(pts[2].second, 1.0);
+}
+
+TEST(Cdf, LogSpacedCoversRange) {
+  Cdf c;
+  for (int i = 1; i <= 1000; ++i) c.add(i);
+  auto pts = c.logSpacedPoints(10);
+  ASSERT_EQ(pts.size(), 10u);
+  EXPECT_NEAR(pts.front().first, 1.0, 1e-9);
+  EXPECT_NEAR(pts.back().first, 1000.0, 1e-6);
+  for (usize i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].second, pts[i - 1].second);  // CDF monotone
+  }
+}
+
+TEST(Cdf, LinearPoints) {
+  Cdf c;
+  c.add(0.0);
+  c.add(10.0);
+  auto pts = c.linearPoints(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Cdf, StatsAgree) {
+  Cdf c;
+  RunningStats ref;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.uniformDouble() * 100;
+    c.add(v);
+    ref.add(v);
+  }
+  auto s = c.stats();
+  EXPECT_EQ(s.count(), ref.count());
+  EXPECT_NEAR(s.mean(), ref.mean(), 1e-9);
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  Cdf c;
+  EXPECT_DOUBLE_EQ(c.at(1.0), 0.0);
+  EXPECT_TRUE(c.points().empty());
+  EXPECT_TRUE(c.logSpacedPoints(5).empty());
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace dharma

@@ -1,0 +1,195 @@
+/// Unit tests for token-append block storage and index-side filtering.
+
+#include "dht/storage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dharma::dht {
+namespace {
+
+NodeId key(const std::string& s) { return NodeId::fromString(s); }
+
+StoreToken inc(const std::string& entry, u64 delta = 1) {
+  return StoreToken{TokenKind::kIncrement, entry, delta, {}};
+}
+
+TEST(Storage, IncrementCreatesAndAccumulates) {
+  BlockStore s;
+  EXPECT_TRUE(s.apply(key("k"), inc("a")));
+  EXPECT_TRUE(s.apply(key("k"), inc("a", 2)));
+  auto v = s.query(key("k"), {});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->weightOf("a"), 3u);
+  EXPECT_EQ(v->totalEntries, 1u);
+}
+
+TEST(Storage, MissingKeyQueryIsNullopt) {
+  BlockStore s;
+  EXPECT_FALSE(s.query(key("nope"), {}).has_value());
+  EXPECT_FALSE(s.has(key("nope")));
+}
+
+TEST(Storage, EmptyEntryRejected) {
+  BlockStore s;
+  EXPECT_FALSE(s.apply(key("k"), inc("")));
+  EXPECT_FALSE(s.apply(key("k"), inc("a", 0)));
+}
+
+TEST(Storage, PayloadToken) {
+  BlockStore s;
+  StoreToken t;
+  t.kind = TokenKind::kSetPayload;
+  t.payload = "http://example/uri";
+  EXPECT_TRUE(s.apply(key("r"), t));
+  auto v = s.query(key("r"), {});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->payload, "http://example/uri");
+}
+
+TEST(Storage, TouchCreatesEmptyBlock) {
+  BlockStore s;
+  StoreToken t;
+  t.kind = TokenKind::kTouch;
+  EXPECT_TRUE(s.apply(key("t"), t));
+  auto v = s.query(key("t"), {});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->entries.empty());
+  EXPECT_FALSE(v->truncated);
+}
+
+TEST(Storage, ConditionalIncrementNewEntryGetsOne) {
+  BlockStore s;
+  StoreToken t;
+  t.kind = TokenKind::kIncrementIfNewB;
+  t.entry = "tau";
+  t.delta = 50;  // the exact-model increment u(τ,r)
+  EXPECT_TRUE(s.apply(key("k"), t));
+  EXPECT_EQ(s.query(key("k"), {})->weightOf("tau"), 1u);  // Approximation B
+}
+
+TEST(Storage, ConditionalIncrementExistingGetsDelta) {
+  BlockStore s;
+  s.apply(key("k"), inc("tau", 3));
+  StoreToken t;
+  t.kind = TokenKind::kIncrementIfNewB;
+  t.entry = "tau";
+  t.delta = 50;
+  s.apply(key("k"), t);
+  EXPECT_EQ(s.query(key("k"), {})->weightOf("tau"), 53u);
+}
+
+TEST(Storage, QueryRanksByWeightDesc) {
+  BlockStore s;
+  s.apply(key("k"), inc("low", 1));
+  s.apply(key("k"), inc("high", 10));
+  s.apply(key("k"), inc("mid", 5));
+  auto v = s.query(key("k"), {});
+  ASSERT_EQ(v->entries.size(), 3u);
+  EXPECT_EQ(v->entries[0].name, "high");
+  EXPECT_EQ(v->entries[1].name, "mid");
+  EXPECT_EQ(v->entries[2].name, "low");
+}
+
+TEST(Storage, TieBreakByName) {
+  BlockStore s;
+  s.apply(key("k"), inc("b", 2));
+  s.apply(key("k"), inc("a", 2));
+  auto v = s.query(key("k"), {});
+  EXPECT_EQ(v->entries[0].name, "a");
+  EXPECT_EQ(v->entries[1].name, "b");
+}
+
+TEST(Storage, TopNFilterKeepsHeaviest) {
+  BlockStore s;
+  for (int i = 1; i <= 10; ++i) {
+    s.apply(key("k"), inc("e" + std::to_string(i), static_cast<u64>(i)));
+  }
+  GetOptions opt;
+  opt.topN = 3;
+  auto v = s.query(key("k"), opt);
+  ASSERT_EQ(v->entries.size(), 3u);
+  EXPECT_TRUE(v->truncated);
+  EXPECT_EQ(v->totalEntries, 10u);
+  EXPECT_EQ(v->entries[0].name, "e10");
+  EXPECT_EQ(v->entries[1].name, "e9");
+  EXPECT_EQ(v->entries[2].name, "e8");
+}
+
+TEST(Storage, TopNLargerThanEntriesNoTruncation) {
+  BlockStore s;
+  s.apply(key("k"), inc("a"));
+  GetOptions opt;
+  opt.topN = 10;
+  auto v = s.query(key("k"), opt);
+  EXPECT_EQ(v->entries.size(), 1u);
+  EXPECT_FALSE(v->truncated);
+}
+
+TEST(Storage, MaxBytesFilterTrims) {
+  BlockStore s;
+  for (int i = 0; i < 100; ++i) {
+    s.apply(key("k"), inc("entry-" + std::to_string(i), 100 - static_cast<u64>(i)));
+  }
+  GetOptions opt;
+  opt.maxBytes = 200;
+  auto v = s.query(key("k"), opt);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->truncated);
+  EXPECT_LT(v->entries.size(), 100u);
+  EXPECT_GT(v->entries.size(), 0u);
+  EXPECT_LE(v->byteSize(), 250u);  // approximate accounting
+  // Heaviest survived.
+  EXPECT_EQ(v->entries[0].name, "entry-0");
+}
+
+TEST(Storage, MergeMaxTakesEntrywiseMax) {
+  BlockView a;
+  a.entries = {{"x", 5}, {"y", 1}};
+  BlockView b;
+  b.entries = {{"y", 4}, {"z", 2}};
+  a.mergeMax(b);
+  EXPECT_EQ(a.weightOf("x"), 5u);
+  EXPECT_EQ(a.weightOf("y"), 4u);
+  EXPECT_EQ(a.weightOf("z"), 2u);
+  // Result is weight-ranked again.
+  EXPECT_EQ(a.entries[0].name, "x");
+}
+
+TEST(Storage, MergeMaxPayloadAndFlags) {
+  BlockView a;
+  BlockView b;
+  b.payload = "uri";
+  b.truncated = true;
+  b.totalEntries = 7;
+  a.mergeMax(b);
+  EXPECT_EQ(a.payload, "uri");
+  EXPECT_TRUE(a.truncated);
+  EXPECT_EQ(a.totalEntries, 7u);
+}
+
+TEST(Storage, TokensAppliedCounter) {
+  BlockStore s;
+  s.apply(key("k"), inc("a", 3));
+  s.apply(key("k"), inc("b", 2));
+  EXPECT_EQ(s.tokensApplied(), 5u);
+}
+
+TEST(Storage, KeysEnumeration) {
+  BlockStore s;
+  s.apply(key("k1"), inc("a"));
+  s.apply(key("k2"), inc("a"));
+  EXPECT_EQ(s.keys().size(), 2u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Storage, CanonicalDistinguishesKinds) {
+  StoreToken a = inc("e", 1);
+  StoreToken b;
+  b.kind = TokenKind::kIncrementIfNewB;
+  b.entry = "e";
+  b.delta = 1;
+  EXPECT_NE(a.canonical(), b.canonical());
+}
+
+}  // namespace
+}  // namespace dharma::dht

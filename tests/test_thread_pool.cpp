@@ -1,0 +1,93 @@
+/// Unit tests for util/thread_pool.hpp.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace dharma {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.waitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrains) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.waitIdle();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallelFor(&pool, hits.size(), 16, [&](usize b, usize e) {
+    for (usize i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  std::vector<int> hits(100, 0);
+  parallelFor(nullptr, hits.size(), 1, [&](usize b, usize e) {
+    for (usize i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelFor, ZeroItems) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallelFor(&pool, 0, 1, [&](usize, usize) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeSingleChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  parallelFor(&pool, 5, 100, [&](usize b, usize e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 5u);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ParallelFor, SumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<u64> data(100000);
+  for (usize i = 0; i < data.size(); ++i) data[i] = i;
+  std::atomic<u64> sum{0};
+  parallelFor(&pool, data.size(), 1024, [&](usize b, usize e) {
+    u64 local = 0;
+    for (usize i = b; i < e; ++i) local += data[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 100000ULL * 99999 / 2);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dharma

@@ -1,0 +1,131 @@
+/// Unit tests for the Tag-Resource Graph (folksonomy/trg.hpp).
+
+#include "folksonomy/trg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dharma::folk {
+namespace {
+
+TEST(Trg, EmptyGraph) {
+  Trg g;
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_EQ(g.numAnnotations(), 0u);
+  EXPECT_EQ(g.weight(0, 0), 0u);
+  EXPECT_TRUE(g.tagsOf(5).empty());
+  EXPECT_TRUE(g.resourcesOf(5).empty());
+}
+
+TEST(Trg, FirstAnnotationCreatesEdge) {
+  Trg g;
+  auto r = g.addAnnotation(10, 3);
+  EXPECT_TRUE(r.newEdge);
+  EXPECT_EQ(r.weight, 1u);
+  EXPECT_EQ(g.weight(10, 3), 1u);
+  EXPECT_TRUE(g.hasEdge(10, 3));
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(g.numAnnotations(), 1u);
+}
+
+TEST(Trg, RepeatAnnotationIncrementsWeight) {
+  Trg g;
+  g.addAnnotation(1, 2);
+  auto r = g.addAnnotation(1, 2);
+  EXPECT_FALSE(r.newEdge);
+  EXPECT_EQ(r.weight, 2u);
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(g.numAnnotations(), 2u);
+}
+
+TEST(Trg, BulkCount) {
+  Trg g;
+  auto r = g.addAnnotation(1, 2, 5);
+  EXPECT_TRUE(r.newEdge);
+  EXPECT_EQ(r.weight, 5u);
+  EXPECT_EQ(g.numAnnotations(), 5u);
+}
+
+TEST(Trg, ZeroCountIsNoop) {
+  Trg g;
+  auto r = g.addAnnotation(1, 2, 0);
+  EXPECT_FALSE(r.newEdge);
+  EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(Trg, DegreesTrack) {
+  Trg g;
+  g.addAnnotation(0, 0);
+  g.addAnnotation(0, 1);
+  g.addAnnotation(1, 0);
+  EXPECT_EQ(g.resourceDegree(0), 2u);
+  EXPECT_EQ(g.resourceDegree(1), 1u);
+  EXPECT_EQ(g.tagDegree(0), 2u);
+  EXPECT_EQ(g.tagDegree(1), 1u);
+  EXPECT_EQ(g.resourceDegree(99), 0u);
+  EXPECT_EQ(g.tagDegree(99), 0u);
+}
+
+TEST(Trg, TagsOfReportsWeights) {
+  Trg g;
+  g.addAnnotation(7, 1, 3);
+  g.addAnnotation(7, 2, 1);
+  auto tags = g.tagsOf(7);
+  ASSERT_EQ(tags.size(), 2u);
+  u32 w1 = 0, w2 = 0;
+  for (const auto& e : tags) {
+    if (e.tag == 1) w1 = e.weight;
+    if (e.tag == 2) w2 = e.weight;
+  }
+  EXPECT_EQ(w1, 3u);
+  EXPECT_EQ(w2, 1u);
+}
+
+TEST(Trg, ResourcesOfDeduplicated) {
+  Trg g;
+  g.addAnnotation(1, 5);
+  g.addAnnotation(1, 5);  // same edge twice
+  g.addAnnotation(2, 5);
+  auto res = g.resourcesOf(5);
+  EXPECT_EQ(res.size(), 2u);
+}
+
+TEST(Trg, FreezeSortsResourceLists) {
+  Trg g;
+  g.addAnnotation(9, 0);
+  g.addAnnotation(3, 0);
+  g.addAnnotation(7, 0);
+  EXPECT_FALSE(g.frozen());
+  g.freeze();
+  EXPECT_TRUE(g.frozen());
+  auto res = g.resourcesOf(0);
+  EXPECT_TRUE(std::is_sorted(res.begin(), res.end()));
+}
+
+TEST(Trg, AddAfterFreezeUnfreezes) {
+  Trg g;
+  g.addAnnotation(1, 0);
+  g.freeze();
+  g.addAnnotation(2, 1);  // new edge
+  EXPECT_FALSE(g.frozen());
+}
+
+TEST(Trg, UsedCountsSkipHoles) {
+  Trg g;
+  g.addAnnotation(10, 20);  // creates spans 11 x 21 with one used each
+  EXPECT_EQ(g.resourceSpan(), 11u);
+  EXPECT_EQ(g.tagSpan(), 21u);
+  EXPECT_EQ(g.usedResources(), 1u);
+  EXPECT_EQ(g.usedTags(), 1u);
+}
+
+TEST(Trg, SparseIdsSafe) {
+  Trg g;
+  g.addAnnotation(1000000, 500000);
+  EXPECT_EQ(g.weight(1000000, 500000), 1u);
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace dharma::folk

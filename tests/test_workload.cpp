@@ -1,0 +1,229 @@
+/// Tests for the synthetic generator, traces, and Section V-B replay
+/// (workload/*).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "folksonomy/derive.hpp"
+#include "workload/dataset.hpp"
+
+namespace dharma::wl {
+namespace {
+
+SynthConfig tinyConfig(u64 seed = 1) {
+  SynthConfig cfg;
+  cfg.numTags = 200;
+  cfg.numResources = 1000;
+  cfg.targetAnnotations = 8000;
+  cfg.maxResourceDegree = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Synth, Deterministic) {
+  SynthStats a, b;
+  folk::Trg ga = generate(tinyConfig(), &a);
+  folk::Trg gb = generate(tinyConfig(), &b);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.annotations, b.annotations);
+  EXPECT_EQ(ga.numAnnotations(), gb.numAnnotations());
+  for (u32 r = 0; r < ga.resourceSpan(); ++r) {
+    ASSERT_EQ(ga.resourceDegree(r), gb.resourceDegree(r));
+  }
+}
+
+TEST(Synth, SeedChangesOutput) {
+  SynthStats a, b;
+  generate(tinyConfig(1), &a);
+  generate(tinyConfig(2), &b);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Synth, HitsAnnotationBudget) {
+  SynthStats s;
+  folk::Trg g = generate(tinyConfig(), &s);
+  EXPECT_EQ(s.annotations, tinyConfig().targetAnnotations);
+  EXPECT_EQ(g.numAnnotations(), tinyConfig().targetAnnotations);
+  EXPECT_LE(s.edges, s.annotations);
+}
+
+TEST(Synth, DegreeOneSharesInCalibratedRange) {
+  // Use the shipping Last.fm-proportioned configuration: the degree-1
+  // shares are calibration targets of that config (Table II / Section V-A),
+  // not invariants of arbitrary parameter combinations.
+  SynthConfig cfg = SynthConfig::lastfmScaled(0.02, /*seed=*/3);
+  folk::Trg g = generate(cfg, nullptr);
+  u64 res1 = 0, usedRes = 0, tag1 = 0, usedTags = 0;
+  for (u32 r = 0; r < g.resourceSpan(); ++r) {
+    u32 d = g.resourceDegree(r);
+    if (d == 0) continue;
+    ++usedRes;
+    res1 += d == 1;
+  }
+  for (u32 t = 0; t < g.tagSpan(); ++t) {
+    u32 d = g.tagDegree(t);
+    if (d == 0) continue;
+    ++usedTags;
+    tag1 += d == 1;
+  }
+  // Paper: ~40% of resources have 1 tag; ~55% of tags mark 1 resource.
+  double fr = static_cast<double>(res1) / static_cast<double>(usedRes);
+  double ft = static_cast<double>(tag1) / static_cast<double>(usedTags);
+  EXPECT_GT(fr, 0.25);
+  EXPECT_LT(fr, 0.60);
+  EXPECT_GT(ft, 0.35);
+  EXPECT_LT(ft, 0.75);
+}
+
+TEST(Synth, HeavyTailExists) {
+  folk::Trg g = generate(tinyConfig(5), nullptr);
+  u32 maxTagDeg = 0;
+  for (u32 t = 0; t < g.tagSpan(); ++t) {
+    maxTagDeg = std::max(maxTagDeg, g.tagDegree(t));
+  }
+  // The most popular tag should dominate the mean by an order of magnitude.
+  EXPECT_GT(maxTagDeg, 50u);
+}
+
+TEST(Synth, FrozenOutput) {
+  folk::Trg g = generate(tinyConfig(), nullptr);
+  EXPECT_TRUE(g.frozen());
+}
+
+TEST(Synth, LastfmScaledDimensions) {
+  SynthConfig cfg = SynthConfig::lastfmScaled(0.01);
+  EXPECT_NEAR(cfg.numTags, 2851, 2);
+  EXPECT_NEAR(cfg.numResources, 14136, 2);
+  EXPECT_NEAR(static_cast<double>(cfg.targetAnnotations), 110000, 2);
+}
+
+TEST(Trace, PaperOrderCoversExactly) {
+  folk::Trg g = generate(tinyConfig(), nullptr);
+  Trace tr = buildPaperOrderTrace(g, 7);
+  EXPECT_EQ(tr.size(), g.numAnnotations());
+  EXPECT_TRUE(traceMatchesTrg(tr, g));
+}
+
+TEST(Trace, UniformCoversExactly) {
+  folk::Trg g = generate(tinyConfig(), nullptr);
+  Trace tr = buildUniformTrace(g, 7);
+  EXPECT_EQ(tr.size(), g.numAnnotations());
+  EXPECT_TRUE(traceMatchesTrg(tr, g));
+}
+
+TEST(Trace, Deterministic) {
+  folk::Trg g = generate(tinyConfig(), nullptr);
+  Trace a = buildPaperOrderTrace(g, 7);
+  Trace b = buildPaperOrderTrace(g, 7);
+  EXPECT_EQ(a, b);
+  Trace c = buildPaperOrderTrace(g, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Trace, MatcherRejectsCorruptedTrace) {
+  folk::Trg g = generate(tinyConfig(), nullptr);
+  Trace tr = buildPaperOrderTrace(g, 7);
+  tr.pop_back();
+  EXPECT_FALSE(traceMatchesTrg(tr, g));
+}
+
+TEST(Replay, ExactReplayEqualsDerivedFg) {
+  // Replaying the full trace with the EXACT policy must land on the
+  // theoretic FG of the TRG (whatever the replay order).
+  folk::Trg g = generate(tinyConfig(9), nullptr);
+  Trace tr = buildPaperOrderTrace(g, 11);
+  folk::FolksonomyModel m = replayApproximated(tr, folk::exactMode(), 1);
+  folk::DynamicFg derived = folk::deriveExactFgDynamic(g);
+  EXPECT_EQ(m.fg().arcCount(), derived.arcCount());
+  EXPECT_EQ(m.fg().totalWeight(), derived.totalWeight());
+}
+
+TEST(Replay, TrgReconstructedExactly) {
+  folk::Trg g = generate(tinyConfig(10), nullptr);
+  Trace tr = buildPaperOrderTrace(g, 12);
+  folk::FolksonomyModel m = replayApproximated(tr, folk::approxMode(1), 2);
+  // "only the FG is affected by the approximation, while the TRG remains
+  // the same" (Section IV-B).
+  EXPECT_EQ(m.trg().numEdges(), g.numEdges());
+  EXPECT_EQ(m.trg().numAnnotations(), g.numAnnotations());
+  for (u32 r = 0; r < g.resourceSpan(); ++r) {
+    for (const auto& e : g.tagsOf(r)) {
+      ASSERT_EQ(m.trg().weight(r, e.tag), e.weight);
+    }
+  }
+}
+
+TEST(Replay, ApproxSubsetOfExact) {
+  folk::Trg g = generate(tinyConfig(13), nullptr);
+  Trace tr = buildPaperOrderTrace(g, 14);
+  folk::FolksonomyModel m = replayApproximated(tr, folk::approxMode(1), 3);
+  folk::DynamicFg derived = folk::deriveExactFgDynamic(g);
+  EXPECT_LE(m.fg().arcCount(), derived.arcCount());
+  bool subset = true;
+  m.fg().forEachArc([&](u32 a, u32 b, u64 w) {
+    if (derived.weight(a, b) < w) subset = false;
+  });
+  EXPECT_TRUE(subset);
+}
+
+TEST(Replay, RecallGrowsWithK) {
+  folk::Trg g = generate(tinyConfig(15), nullptr);
+  Trace tr = buildPaperOrderTrace(g, 16);
+  u64 arcsK1 = replayApproximated(tr, folk::approxMode(1), 4).fg().arcCount();
+  u64 arcsK5 = replayApproximated(tr, folk::approxMode(5), 4).fg().arcCount();
+  u64 arcsK50 = replayApproximated(tr, folk::approxMode(50), 4).fg().arcCount();
+  EXPECT_LE(arcsK1, arcsK5);
+  EXPECT_LE(arcsK5, arcsK50);
+  EXPECT_LT(arcsK1, arcsK50);  // strictly more at much larger k
+}
+
+TEST(Dataset, SyntheticHasNames) {
+  Dataset d = Dataset::synthetic(tinyConfig());
+  EXPECT_EQ(d.tags.size(), d.trg.tagSpan());
+  EXPECT_EQ(d.resources.size(), d.trg.resourceSpan());
+  EXPECT_EQ(d.tags.name(0), "tag-0");
+  EXPECT_EQ(d.resources.name(1), "res-1");
+}
+
+TEST(Dataset, TsvRoundtrip) {
+  Dataset d = Dataset::synthetic(tinyConfig());
+  std::stringstream ss;
+  d.saveTsv(ss);
+  Dataset back = Dataset::loadTsv(ss);
+  EXPECT_EQ(back.trg.numEdges(), d.trg.numEdges());
+  EXPECT_EQ(back.trg.numAnnotations(), d.trg.numAnnotations());
+  EXPECT_TRUE(back.trg.frozen());
+  // Spot-check a handful of weights through the name mapping.
+  usize checked = 0;
+  for (u32 r = 0; r < d.trg.resourceSpan() && checked < 50; ++r) {
+    for (const auto& e : d.trg.tagsOf(r)) {
+      auto rid = back.resources.find(d.resources.name(r));
+      auto tid = back.tags.find(d.tags.name(e.tag));
+      ASSERT_TRUE(rid.has_value());
+      ASSERT_TRUE(tid.has_value());
+      EXPECT_EQ(back.trg.weight(*rid, *tid), e.weight);
+      ++checked;
+    }
+  }
+}
+
+TEST(Dataset, LoadTsvRejectsGarbage) {
+  std::stringstream ss("not-a-valid-line-without-tabs\n");
+  EXPECT_THROW(Dataset::loadTsv(ss), std::runtime_error);
+}
+
+TEST(Interner, Basics) {
+  folk::Interner in;
+  u32 a = in.intern("rock");
+  u32 b = in.intern("pop");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern("rock"), a);
+  EXPECT_EQ(in.name(a), "rock");
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_TRUE(in.find("pop").has_value());
+  EXPECT_FALSE(in.find("jazz").has_value());
+}
+
+}  // namespace
+}  // namespace dharma::wl
