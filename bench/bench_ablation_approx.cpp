@@ -1,4 +1,4 @@
-/// Ablation bench for the design choices DESIGN.md §5 calls out:
+/// Ablation bench for the design choices docs/DESIGN.md §5 calls out:
 ///   1. Approximations A and B in isolation (exact / A-only / B-only / A+B)
 ///      — which approximation costs how much fidelity;
 ///   2. the connection-parameter sweep (k ∈ {1,2,5,10,25,100});

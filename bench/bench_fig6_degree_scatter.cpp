@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     // Our synthetic instance keeps the paper's recall (~0.61 at k=1) but
     // its arcs are more single-event than the crawl's, so core rows lose a
     // larger share and the slope sits at ~0.65-0.85 rather than ~1 — see
-    // EXPERIMENTS.md for the deviation note.
+    // docs/EXPERIMENTS.md for the deviation note.
     if (s.slopeThroughOrigin < 0.55 || s.slopeThroughOrigin > 1.05) {
       slopesOk = false;
     }

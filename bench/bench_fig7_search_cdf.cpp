@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   double sF = sim.of(Strategy::kFirst).steps.mean();
   // All six series regenerated; the strategy separation must hold. The
   // approximated-graph dominance (the paper's headline in this figure) is
-  // reported but instance-sensitive — see EXPERIMENTS.md.
+  // reported but instance-sensitive — see docs/EXPERIMENTS.md.
   bool separation = orig.of(Strategy::kLast).steps.mean() <
                     orig.of(Strategy::kFirst).steps.mean();
   std::cout << "\nSHAPE CHECK: strategy separation in the CDFs: "

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   // Rank order is preserved (Ktau > 0) and improves with k. The paper's
   // absolute level (~0.76, nearly flat) is instance-dependent: our
   // synthetic rankings carry less weight dynamic range, so Ktau sits lower
-  // — documented in EXPERIMENTS.md.
+  // — documented in docs/EXPERIMENTS.md.
   bool ktauPreserved = ktaus[0] > 0.2 && ktaus[0] <= ktaus[1] &&
                        ktaus[1] <= ktaus[2];
   std::cout << "\nSHAPE CHECK: recall grows with k: "
@@ -85,6 +85,6 @@ int main(int argc, char** argv) {
             << "; approx arcs subset of exact: "
             << (noApproxOnly ? "PASS" : "FAIL")
             << "\nNOTE: paper Ktau ~0.76 nearly flat in k; measured lower "
-               "(see EXPERIMENTS.md deviation note).\n";
+               "(see docs/EXPERIMENTS.md deviation note).\n";
   return recallGrows && ktauPreserved && le3Ok && noApproxOnly ? 0 : 1;
 }

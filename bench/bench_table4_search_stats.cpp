@@ -108,6 +108,6 @@ int main(int argc, char** argv) {
             << (approxFaster ? "REPRODUCED" : "NOT REPRODUCED on this instance")
             << " (first " << ana::cellDouble(oF, 2) << " -> "
             << ana::cellDouble(sF, 2)
-            << "); EXPERIMENTS.md discusses the instance sensitivity.\n";
+            << "); docs/EXPERIMENTS.md discusses the instance sensitivity.\n";
   return ordering && magnitudes ? 0 : 1;
 }

@@ -3,7 +3,7 @@
 /// \brief Textual table/series emitters shared by the bench binaries.
 ///
 /// Every bench prints (a) the paper's reference numbers and (b) the values
-/// measured on the reproduction, in aligned ASCII tables that EXPERIMENTS.md
+/// measured on the reproduction, in aligned ASCII tables that docs/EXPERIMENTS.md
 /// quotes directly. CSV series are emitted for the figure benches so the
 /// curves can be re-plotted externally.
 

@@ -4,7 +4,7 @@
 ///
 /// The identity layer authenticates credentials and stored tokens with
 /// HMACs keyed by the Certification Service. This substitutes Likir's RSA
-/// signatures (see DESIGN.md §2): the verify/reject control flow is the
+/// signatures (see docs/DESIGN.md §2): the verify/reject control flow is the
 /// same, only the primitive differs.
 
 #include <string_view>

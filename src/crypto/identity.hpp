@@ -15,7 +15,7 @@
 ///   - Stored tokens carry a ContentSignature binding (userId, key, token)
 ///     so replicas can reject forged writes.
 ///
-/// Substitution note (DESIGN.md §2): Likir signs with RSA; we use HMAC-SHA1
+/// Substitution note (docs/DESIGN.md §2): Likir signs with RSA; we use HMAC-SHA1
 /// keyed by the CS. Verification in a real deployment would use the CS
 /// public key; here every node holds a verification handle to the single
 /// simulated CS. The accept/reject code paths are identical.

@@ -6,7 +6,8 @@
 namespace dharma::folk {
 
 void DynamicFg::increment(u32 from, u32 to, u64 delta) {
-  assert(from != to && "FG has no self-arcs");
+  // The FG has no self-arcs; callers may still ask (e.g. re-tagging), so the
+  // request is ignored rather than asserted on.
   if (from == to || delta == 0) return;
   map_.addTo(packPair(from, to), delta);
   totalWeight_ += delta;

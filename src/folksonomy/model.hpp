@@ -22,7 +22,7 @@
 /// increment that races under concurrent tagging.
 ///
 /// The two approximations are independent toggles so their effects can be
-/// ablated separately (DESIGN.md §5).
+/// ablated separately (docs/DESIGN.md §5).
 
 #include <span>
 

@@ -4,7 +4,7 @@
 ///
 /// The paper's dataset (Jan–Apr 2009 Last.fm crawl: 99 405 users, ~11 M
 /// 〈user, item, tag〉 triples, 1 413 657 resources, 285 182 tags) is
-/// proprietary; per DESIGN.md §2 we synthesise a TRG matching its
+/// proprietary; per docs/DESIGN.md §2 we synthesise a TRG matching its
 /// *published marginals* (Table II):
 ///
 ///   |Tags(r)|: μ=5,  σ=13,   max=1182,  ~40 % of resources have degree 1

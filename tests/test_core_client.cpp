@@ -95,6 +95,17 @@ TEST(DharmaInsert, DuplicateTagsDeduplicated) {
   EXPECT_EQ(rbar->totalEntries, 2u);
 }
 
+TEST(DharmaResolve, MissingResourceIsNulloptAtOneLookup) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  auto [uri, cost] = client.resolveUri("no-such-resource");
+  EXPECT_FALSE(uri.has_value());
+  EXPECT_EQ(cost.lookups, 1u);  // the r̃ GET is still paid for
+  EXPECT_EQ(cost.gets, 1u);
+  EXPECT_EQ(cost.puts, 0u);
+  EXPECT_EQ(client.totalCost().lookups, 1u);
+}
+
 TEST(DharmaTag, ApproximatedCostIs4PlusK) {
   Fixture f;
   DharmaConfig cfg;
