@@ -27,10 +27,19 @@ DhtNetwork::DhtNetwork(DhtNetworkConfig cfg)
           "likir-" + std::to_string(cfg.seed)) {
   nodes_.reserve(cfg.nodes);
   for (usize i = 0; i < cfg.nodes; ++i) {
-    crypto::Credential cred = cs_.enroll("user-" + std::to_string(i));
-    nodes_.push_back(std::make_unique<KademliaNode>(
-        sim_, *net_, cs_, cred, cfg.node, splitmix64(cfg.seed + 1000 + i)));
+    nodes_.push_back(makeNode(i));
   }
+}
+
+std::unique_ptr<KademliaNode> DhtNetwork::makeNode(usize i) {
+  crypto::Credential cred = cs_.enroll("user-" + std::to_string(i));
+  return std::make_unique<KademliaNode>(sim_, *net_, cs_, cred, cfg_.node,
+                                        splitmix64(cfg_.seed + 1000 + i));
+}
+
+std::unique_ptr<MaintenanceManager> DhtNetwork::makeManager(usize i) {
+  return std::make_unique<MaintenanceManager>(
+      sim_, *net_, *nodes_[i], maintCfg_, splitmix64(cfg_.seed + 7000 + i));
 }
 
 DhtNetwork::~DhtNetwork() = default;
@@ -74,6 +83,68 @@ std::optional<BlockView> DhtNetwork::getBlocking(usize from, const NodeId& key,
 
 void DhtNetwork::setOnline(usize i, bool online) {
   net_->setOnline(nodes_.at(i)->address(), online);
+}
+
+bool DhtNetwork::isOnline(usize i) const {
+  return net_->isOnline(nodes_.at(i)->address());
+}
+
+usize DhtNetwork::onlineCount() const {
+  usize n = 0;
+  for (usize i = 0; i < nodes_.size(); ++i) n += isOnline(i) ? 1 : 0;
+  return n;
+}
+
+usize DhtNetwork::addNode() {
+  usize i = nodes_.size();
+  nodes_.push_back(makeNode(i));
+  if (!managers_.empty()) {
+    managers_.push_back(makeManager(i));
+    managers_[i]->start();
+  }
+  return i;
+}
+
+void DhtNetwork::enableMaintenance(const MaintenanceConfig& mcfg) {
+  disableMaintenance();
+  maintCfg_ = mcfg;
+  managers_.reserve(nodes_.size());
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    managers_.push_back(makeManager(i));
+    managers_[i]->start();
+  }
+}
+
+void DhtNetwork::disableMaintenance() { managers_.clear(); }
+
+const MaintenanceManager* DhtNetwork::maintenance(usize i) const {
+  return i < managers_.size() ? managers_[i].get() : nullptr;
+}
+
+void DhtNetwork::scheduleChurn(const ChurnSchedule& schedule) {
+  for (const ChurnEvent& e : schedule.events) {
+    sim_.scheduleAt(std::max(sim_.now(), e.atUs), [this, e] {
+      switch (e.action) {
+        case ChurnAction::kCrash:
+          if (e.node < nodes_.size()) setOnline(e.node, false);
+          break;
+        case ChurnAction::kRevive:
+          if (e.node < nodes_.size()) setOnline(e.node, true);
+          break;
+        case ChurnAction::kJoin: {
+          usize idx = addNode();
+          // Fresh joins bootstrap through the first surviving seed.
+          for (usize s = 0; s < idx; ++s) {
+            if (isOnline(s)) {
+              nodes_[idx]->join(nodes_[s]->contact(), nullptr);
+              break;
+            }
+          }
+          break;
+        }
+      }
+    });
+  }
 }
 
 u64 DhtNetwork::totalLookups() const {

@@ -12,9 +12,31 @@
 #include <vector>
 
 #include "dht/kademlia_node.hpp"
+#include "dht/maintenance.hpp"
 #include "net/latency.hpp"
 
 namespace dharma::dht {
+
+/// One scripted liveness event.
+enum class ChurnAction : u8 {
+  kCrash,   ///< take node `node` offline (state persists)
+  kRevive,  ///< bring node `node` back online with its old state
+  kJoin,    ///< create a brand-new node; it bootstraps through the first
+            ///< surviving (online) node — `node` is informational only
+};
+
+/// A liveness event at an absolute simulated time.
+struct ChurnEvent {
+  net::SimTime atUs = 0;
+  ChurnAction action = ChurnAction::kCrash;
+  usize node = 0;
+};
+
+/// A deterministic churn script (see wl::makeChurnSchedule for a seeded
+/// generator of crash waves / revives / fresh joins).
+struct ChurnSchedule {
+  std::vector<ChurnEvent> events;
+};
 
 /// Overlay-wide configuration.
 struct DhtNetworkConfig {
@@ -61,6 +83,41 @@ class DhtNetwork {
   /// can be revived with setOnline(true).
   void setOnline(usize i, bool online);
 
+  /// True if node \p i currently accepts datagrams.
+  bool isOnline(usize i) const;
+
+  /// Number of nodes currently online.
+  usize onlineCount() const;
+
+  /// Creates a brand-new node with a fresh credential; returns its index.
+  /// The node knows nobody until it joins (see scheduleChurn's kJoin, or
+  /// call node(i).join() yourself). If maintenance is enabled, the new node
+  /// gets a started manager.
+  usize addNode();
+
+  /// Turns on per-node liveness maintenance (bucket refresh, republish,
+  /// expiry). Call AFTER bootstrap(): the periodic timers keep the event
+  /// queue non-empty forever, so bootstrap's settling sim().run() would
+  /// never return. Drive a maintained overlay with runFor().
+  void enableMaintenance(const MaintenanceConfig& mcfg);
+
+  /// Stops and discards every maintenance manager.
+  void disableMaintenance();
+
+  bool maintenanceEnabled() const { return !managers_.empty(); }
+
+  /// Maintenance manager of node \p i, or nullptr when maintenance is off.
+  const MaintenanceManager* maintenance(usize i) const;
+
+  /// Installs a churn script on the simulator. kCrash/kRevive toggle the
+  /// named node; kJoin creates a fresh node at event time and bootstraps it
+  /// through the first online node. Events in the past fire immediately.
+  void scheduleChurn(const ChurnSchedule& schedule);
+
+  /// Advances simulated time by \p us, running due events (safe with
+  /// maintenance timers active, unlike sim().run()).
+  void runFor(net::SimTime us) { sim_.runUntil(sim_.now() + us); }
+
   /// Sum of lookups performed by every node (Table I's unit).
   u64 totalLookups() const;
 
@@ -84,12 +141,22 @@ class DhtNetwork {
   }
 
  private:
+  /// Single source of the per-index credential/seed derivation: initial
+  /// nodes and fresh joins must enroll identically or the repo's
+  /// bit-determinism claims break.
+  std::unique_ptr<KademliaNode> makeNode(usize i);
+  std::unique_ptr<MaintenanceManager> makeManager(usize i);
+
   DhtNetworkConfig cfg_;
   net::Simulator sim_;
   std::unique_ptr<net::LatencyModel> latency_;
   std::unique_ptr<net::Network> net_;
   crypto::CertificationService cs_;
   std::vector<std::unique_ptr<KademliaNode>> nodes_;
+  // Declared after nodes_ so managers (which reference nodes and the
+  // simulator) are destroyed first.
+  std::vector<std::unique_ptr<MaintenanceManager>> managers_;
+  MaintenanceConfig maintCfg_;
 };
 
 }  // namespace dharma::dht

@@ -163,7 +163,7 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
         bool ok = true;
         for (const auto& chunk : chunks) {
           for (const auto& tok : chunk) {
-            ok = store_.apply(key, tok) && ok;
+            ok = store_.apply(key, tok, sim_.now()) && ok;
           }
         }
         if (ok) {
@@ -235,6 +235,25 @@ void KademliaNode::sendRequest(const Contact& to, RpcType type,
 
   PendingRpc p;
   p.onDone = std::move(onDone);
+  p.expectedPeer = to.id;
+  if (!net_.send(self_.addr, to.addr, env.encode())) {
+    // The network refused the datagram synchronously (oversize): fail the
+    // RPC on the next simulator step instead of burning the full timeout.
+    // Deferring (rather than calling onDone inline) keeps lookup state
+    // machines safe from re-entrant mutation. The peer is not at fault, so
+    // it stays in the routing table.
+    ++counters_.sendRejects;
+    p.timeoutEvent = sim_.schedule(0, [this, rpcId] {
+      auto it = pending_.find(rpcId);
+      if (it == pending_.end()) return;
+      auto onDone = std::move(it->second.onDone);
+      pending_.erase(it);
+      Envelope dummy;
+      if (onDone) onDone(false, dummy);
+    });
+    pending_.emplace(rpcId, std::move(p));
+    return;
+  }
   p.timeoutEvent = sim_.schedule(cfg_.rpcTimeoutUs, [this, rpcId, peer = to] {
     auto it = pending_.find(rpcId);
     if (it == pending_.end()) return;
@@ -247,7 +266,6 @@ void KademliaNode::sendRequest(const Contact& to, RpcType type,
     if (onDone) onDone(false, dummy);
   });
   pending_.emplace(rpcId, std::move(p));
-  net_.send(self_.addr, to.addr, env.encode());
 }
 
 void KademliaNode::sendReply(const Envelope& req, RpcType type,
@@ -265,11 +283,13 @@ void KademliaNode::observeSender(const Envelope& env) {
   // (Kademlia's anti-churn bias toward long-lived contacts).
   auto stalest = routing_.evictionCandidateFor(c);
   if (!stalest) return;
-  ping(*stalest, [this, c](bool alive) {
-    if (!alive) {
-      routing_.replaceStalestWith(c);
-    }
-    // If alive, ping() -> onDatagram already refreshed its position.
+  ping(*stalest, [this, c, victimId = stalest->id](bool alive) {
+    if (alive) return;  // ping() -> onDatagram already refreshed its position
+    // Pinned eviction: replace exactly the contact that was pinged. By the
+    // time this callback runs the bucket may have reordered (or the RPC
+    // timeout may already have removed the victim); replacing "whatever is
+    // stalest now" would evict a live contact that was never probed.
+    routing_.replaceContact(victimId, c);
   });
 }
 
@@ -310,6 +330,12 @@ void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
     case RpcType::kStoreReply: {
       auto it = pending_.find(env.rpcId);
       if (it == pending_.end()) return;  // late/duplicate reply
+      if (env.sender.id != it->second.expectedPeer) {
+        // A reply correlates by (rpcId, peer), not rpcId alone: any node
+        // that learned the id could otherwise resolve someone else's RPC.
+        ++counters_.replySenderMismatches;
+        return;
+      }
       auto onDone = std::move(it->second.onDone);
       sim_.cancel(it->second.timeoutEvent);
       pending_.erase(it);
@@ -370,7 +396,7 @@ void KademliaNode::handleStore(const Envelope& env) {
     } else {
       rep.ok = !req.tokens.empty();
       for (const auto& tok : req.tokens) {
-        rep.ok = store_.apply(req.key, tok) && rep.ok;
+        rep.ok = store_.apply(req.key, tok, sim_.now()) && rep.ok;
       }
       if (rep.ok) ++counters_.storesAccepted;
     }
@@ -453,7 +479,7 @@ void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
             if (rep.found) {
               ++task->valueReplies;
               if (task->haveValue) {
-                task->mergedValue.mergeMax(rep.view);
+                task->mergedValue.mergeMax(rep.view, task->opt.topN);
               } else {
                 task->mergedValue = std::move(rep.view);
                 task->haveValue = true;

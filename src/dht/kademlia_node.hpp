@@ -50,6 +50,8 @@ struct NodeCounters {
   u64 storesAccepted = 0;      ///< tokens applied on behalf of peers
   u64 storesRejectedAuth = 0;  ///< forged content signatures refused
   u64 credentialRejects = 0;   ///< datagrams dropped for bad credentials
+  u64 replySenderMismatches = 0; ///< replies echoing a pending rpcId from the wrong peer
+  u64 sendRejects = 0;         ///< RPCs failed fast (datagram refused by the network)
 };
 
 /// A single overlay node.
@@ -130,6 +132,7 @@ class KademliaNode {
   struct PendingRpc {
     std::function<void(bool, const Envelope&)> onDone;  // ok=false on timeout
     net::EventId timeoutEvent = 0;
+    NodeId expectedPeer;  ///< only replies from this node id resolve the RPC
   };
   std::unordered_map<u64, PendingRpc> pending_;
 

@@ -49,4 +49,20 @@ void KBucket::replaceStalest(const Contact& c) {
   entries_.push_back(c);
 }
 
+bool KBucket::replace(const NodeId& victim, const Contact& c) {
+  if (contains(c.id)) return false;
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Contact& e) { return e.id == victim; });
+  if (it != entries_.end()) {
+    entries_.erase(it);
+    entries_.push_back(c);
+    return true;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(c);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace dharma::dht

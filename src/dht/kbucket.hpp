@@ -50,6 +50,13 @@ class KBucket {
   /// Replaces the stalest contact with \p c (used after a failed ping).
   void replaceStalest(const Contact& c);
 
+  /// Pinned replacement: if the contact with id \p victim is still present,
+  /// replaces exactly that entry with \p c; if the victim is already gone
+  /// (e.g. an RPC timeout evicted it first), \p c is inserted only when the
+  /// bucket has room — no live entry is ever displaced. A no-op when \p c is
+  /// already present. Returns true if \p c entered the bucket.
+  bool replace(const NodeId& victim, const Contact& c);
+
   usize size() const { return entries_.size(); }
   usize capacity() const { return capacity_; }
   bool full() const { return entries_.size() >= capacity_; }

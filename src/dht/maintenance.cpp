@@ -1,0 +1,136 @@
+#include "dht/maintenance.hpp"
+
+#include "util/logging.hpp"
+
+namespace dharma::dht {
+
+namespace {
+/// First-fire delay for a periodic job: a deterministic jitter in
+/// [interval/4, interval) so nodes started together do not tick in lock
+/// step (thundering-herd avoidance).
+net::SimTime jittered(net::SimTime interval, Rng& rng) {
+  if (interval < 4) return interval;
+  return interval / 4 + rng.uniform(interval - interval / 4);
+}
+}  // namespace
+
+MaintenanceManager::MaintenanceManager(net::Simulator& sim, net::Network& net,
+                                       KademliaNode& node,
+                                       MaintenanceConfig cfg, u64 seed)
+    : sim_(sim), net_(net), node_(node), cfg_(cfg), rng_(seed) {}
+
+MaintenanceManager::~MaintenanceManager() { stop(); }
+
+bool MaintenanceManager::online() const {
+  return net_.isOnline(node_.address());
+}
+
+void MaintenanceManager::start() {
+  if (running_) return;
+  running_ = true;
+  // Treat every bucket as freshly refreshed at start: the node just
+  // bootstrapped (or was just created), so refresh work begins one full
+  // staleness interval from now.
+  lastRefreshedUs_.fill(sim_.now());
+  for (usize b = 0; b < 160; ++b) {
+    everPopulated_[b] = node_.routing().bucket(b).size() > 0;
+  }
+  if (cfg_.bucketRefreshIntervalUs > 0) {
+    refreshEvent_ = sim_.schedule(
+        jittered(cfg_.bucketRefreshIntervalUs, rng_), [this] { refreshTick(); });
+  }
+  if (cfg_.republishIntervalUs > 0) {
+    republishEvent_ = sim_.schedule(jittered(cfg_.republishIntervalUs, rng_),
+                                    [this] { republishTick(); });
+  }
+  if (cfg_.expiryTtlUs > 0 && cfg_.expiryCheckIntervalUs > 0) {
+    expiryEvent_ = sim_.schedule(jittered(cfg_.expiryCheckIntervalUs, rng_),
+                                 [this] { expiryTick(); });
+  }
+}
+
+void MaintenanceManager::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(refreshEvent_);
+  sim_.cancel(republishEvent_);
+  sim_.cancel(expiryEvent_);
+  refreshEvent_ = republishEvent_ = expiryEvent_ = 0;
+}
+
+void MaintenanceManager::refreshTick() {
+  if (online()) {
+    usize launched = 0;
+    for (usize b = 0;
+         b < 160 && launched < cfg_.maxBucketRefreshesPerTick; ++b) {
+      // Refresh populated buckets AND buckets that were populated once but
+      // got emptied (e.g. every contact crashed and timed out): the lookup
+      // into that range is exactly what repopulates them.
+      if (node_.routing().bucket(b).size() > 0) everPopulated_[b] = true;
+      if (!everPopulated_[b]) continue;
+      if (lastRefreshedUs_[b] + cfg_.bucketRefreshIntervalUs > sim_.now()) {
+        continue;
+      }
+      lastRefreshedUs_[b] = sim_.now();
+      ++counters_.refreshLookups;
+      node_.findNode(node_.routing().randomIdInBucket(b, rng_), nullptr);
+      ++launched;
+    }
+  }
+  // Tick at a quarter of the staleness interval: with the per-tick launch
+  // bound this visits every stale bucket within roughly one interval even
+  // on well-populated tables.
+  refreshEvent_ = sim_.schedule(std::max<net::SimTime>(
+                                    cfg_.bucketRefreshIntervalUs / 4, 1),
+                                [this] { refreshTick(); });
+}
+
+void MaintenanceManager::republishTick() {
+  if (online()) {
+    // Blocks already past the TTL are the expiry sweep's business; pushing
+    // them out again would resurrect state that should die (e.g. after this
+    // node revived from a long crash).
+    net::SimTime expiryCutoff = 0;
+    if (cfg_.expiryTtlUs > 0 && sim_.now() > cfg_.expiryTtlUs) {
+      expiryCutoff = sim_.now() - cfg_.expiryTtlUs;
+    }
+    bool didWork = false;
+    for (const NodeId& key : node_.store().keys()) {
+      if (node_.store().lastTouched(key) < expiryCutoff) continue;
+      auto view = node_.store().query(key, GetOptions{});
+      if (!view) continue;
+      std::vector<StoreToken> tokens;
+      tokens.reserve(view->entries.size() + 1);
+      for (const auto& e : view->entries) {
+        tokens.push_back(StoreToken{TokenKind::kMergeMax, e.name, e.weight, {}});
+      }
+      if (!view->payload.empty()) {
+        tokens.push_back(StoreToken{TokenKind::kSetPayload, {}, 1, view->payload});
+      }
+      if (tokens.empty()) {
+        tokens.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+      }
+      ++counters_.blocksRepublished;
+      didWork = true;
+      node_.putMany(key, std::move(tokens), nullptr);
+    }
+    if (didWork) ++counters_.republishRuns;
+  }
+  republishEvent_ =
+      sim_.schedule(cfg_.republishIntervalUs, [this] { republishTick(); });
+}
+
+void MaintenanceManager::expiryTick() {
+  if (online() && sim_.now() > cfg_.expiryTtlUs) {
+    usize dropped = node_.store().expire(sim_.now() - cfg_.expiryTtlUs);
+    if (dropped > 0) {
+      counters_.blocksExpired += dropped;
+      DHARMA_LOG_DEBUG("maintenance: node ", node_.id().shortHex(),
+                       " expired ", dropped, " blocks");
+    }
+  }
+  expiryEvent_ =
+      sim_.schedule(cfg_.expiryCheckIntervalUs, [this] { expiryTick(); });
+}
+
+}  // namespace dharma::dht

@@ -1,0 +1,113 @@
+#pragma once
+/// \file maintenance.hpp
+/// \brief Overlay liveness maintenance: bucket refresh, replica republish,
+/// storage expiry.
+///
+/// The paper's load/consistency claims assume a healthy Kademlia overlay;
+/// under churn that health has to be actively maintained. One
+/// MaintenanceManager per node drives three periodic jobs on the
+/// deterministic simulator:
+///
+///  - **bucket refresh**: an iterative FIND_NODE toward a random id in each
+///    bucket range not refreshed within `bucketRefreshIntervalUs`. Lookups
+///    repopulate buckets with live contacts and, via the RPC timeout path,
+///    purge dead ones — this is what heals routing tables after a crash
+///    wave (Kademlia §2.3).
+///  - **replica republish**: every held block is re-PUT toward the *current*
+///    kStore-closest set using TokenKind::kMergeMax tokens, which preserve
+///    the aggregated weights instead of re-incrementing them (idempotent:
+///    any number of republish cycles converges). This migrates replicas to
+///    nodes that joined after the original PUT and restores the replication
+///    factor after holders crash (Kademlia §2.5).
+///  - **storage expiry**: blocks whose last-touched time is older than
+///    `expiryTtlUs` are dropped — Likir-style soft state, so data owned by
+///    long-gone publishers ages out instead of accumulating forever. The
+///    republish job skips expiry-due blocks, so a node reviving after a
+///    long crash does not resurrect ancient state.
+///
+/// Timers are jittered per node (deterministically, from the node seed) so
+/// the whole overlay does not refresh/republish in lock step.
+///
+/// Note: maintenance keeps the simulator's event queue non-empty forever.
+/// Drive a maintained overlay with bounded runs (Simulator::runUntil /
+/// DhtNetwork::runFor), never with Simulator::run().
+
+#include <array>
+
+#include "dht/kademlia_node.hpp"
+
+namespace dharma::dht {
+
+/// Maintenance timer parameters (all simulated time, microseconds).
+struct MaintenanceConfig {
+  /// A bucket is stale if not refreshed for this long (0 disables refresh).
+  net::SimTime bucketRefreshIntervalUs = 30'000'000;
+  /// How often each node republishes its blocks (0 disables republish).
+  net::SimTime republishIntervalUs = 60'000'000;
+  /// Blocks untouched for this long are expired (0 disables expiry).
+  net::SimTime expiryTtlUs = 600'000'000;
+  /// How often the expiry sweep runs.
+  net::SimTime expiryCheckIntervalUs = 60'000'000;
+  /// Refresh lookups launched per tick (bounds the per-node burst; the
+  /// refresh tick runs at a quarter of the staleness interval, so every
+  /// stale bucket is still visited promptly).
+  usize maxBucketRefreshesPerTick = 3;
+};
+
+/// Monotonic per-manager counters (diagnostics, tests, benches).
+struct MaintenanceCounters {
+  u64 refreshLookups = 0;    ///< bucket-refresh FIND_NODEs launched
+  u64 republishRuns = 0;     ///< republish ticks that did work
+  u64 blocksRepublished = 0; ///< block re-PUTs issued
+  u64 blocksExpired = 0;     ///< blocks dropped by the expiry sweep
+};
+
+/// Drives the three maintenance jobs for one node. All work is skipped
+/// while the node's endpoint is offline (a crashed node does nothing), but
+/// the timers keep running so a revived node resumes maintenance — and its
+/// first expiry sweep drops whatever went stale while it was down.
+class MaintenanceManager {
+ public:
+  /// \param sim  shared event loop
+  /// \param net  datagram network (consulted for the node's online state)
+  /// \param node the node to maintain
+  /// \param cfg  timer parameters
+  /// \param seed per-manager randomness (refresh targets, timer jitter)
+  MaintenanceManager(net::Simulator& sim, net::Network& net,
+                     KademliaNode& node, MaintenanceConfig cfg, u64 seed);
+  ~MaintenanceManager();
+
+  MaintenanceManager(const MaintenanceManager&) = delete;
+  MaintenanceManager& operator=(const MaintenanceManager&) = delete;
+
+  /// Schedules the periodic jobs (idempotent).
+  void start();
+
+  /// Cancels all pending maintenance events (idempotent).
+  void stop();
+
+  bool running() const { return running_; }
+  const MaintenanceCounters& counters() const { return counters_; }
+  const MaintenanceConfig& config() const { return cfg_; }
+
+ private:
+  void refreshTick();
+  void republishTick();
+  void expiryTick();
+  bool online() const;
+
+  net::Simulator& sim_;
+  net::Network& net_;
+  KademliaNode& node_;
+  MaintenanceConfig cfg_;
+  Rng rng_;
+  MaintenanceCounters counters_;
+  std::array<net::SimTime, 160> lastRefreshedUs_{};
+  std::array<bool, 160> everPopulated_{};  ///< emptied buckets still refresh
+  net::EventId refreshEvent_ = 0;
+  net::EventId republishEvent_ = 0;
+  net::EventId expiryEvent_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace dharma::dht

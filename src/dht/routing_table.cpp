@@ -26,6 +26,12 @@ void RoutingTable::replaceStalestWith(const Contact& c) {
   buckets_[static_cast<usize>(idx)].replaceStalest(c);
 }
 
+bool RoutingTable::replaceContact(const NodeId& victim, const Contact& c) {
+  int idx = indexFor(c.id);
+  if (idx < 0) return false;
+  return buckets_[static_cast<usize>(idx)].replace(victim, c);
+}
+
 bool RoutingTable::remove(const NodeId& id) {
   int idx = indexFor(id);
   if (idx < 0) return false;
@@ -51,6 +57,34 @@ std::vector<Contact> RoutingTable::closest(const NodeId& target, usize n) const 
                     });
   all.resize(take);
   return all;
+}
+
+NodeId RoutingTable::randomIdInBucket(usize bucket, Rng& rng) const {
+  auto setBit = [](NodeId& n, usize i, bool v) {
+    u8& byte = n.bytes[19 - i / 8];
+    u8 mask = static_cast<u8>(1u << (i % 8));
+    if (v) {
+      byte |= mask;
+    } else {
+      byte &= static_cast<u8>(~mask);
+    }
+  };
+  // Share the owner's prefix above `bucket`, differ exactly at `bucket`,
+  // randomise everything below.
+  NodeId id = self_;
+  setBit(id, bucket, !self_.bit(static_cast<int>(bucket)));
+  u64 bits = 0;
+  int have = 0;
+  for (usize i = 0; i < bucket; ++i) {
+    if (have == 0) {
+      bits = rng.next();
+      have = 64;
+    }
+    setBit(id, i, (bits & 1) != 0);
+    bits >>= 1;
+    --have;
+  }
+  return id;
 }
 
 usize RoutingTable::size() const {

@@ -25,7 +25,15 @@ class RoutingTable {
   std::optional<Contact> evictionCandidateFor(const Contact& c) const;
 
   /// Replaces the stalest entry of c's bucket with c (failed-ping path).
+  /// Prefer replaceContact(): this replaces whatever is stalest *now*,
+  /// which may not be the entry that was actually pinged.
   void replaceStalestWith(const Contact& c);
+
+  /// Pinned eviction: replaces the contact with id \p victim in c's bucket
+  /// with \p c — only that entry, and only if it is still present; when the
+  /// victim is already gone, \p c is inserted only if the bucket has room.
+  /// Returns true if \p c entered the table.
+  bool replaceContact(const NodeId& victim, const Contact& c);
 
   /// Removes a contact wherever it lives.
   bool remove(const NodeId& id);
@@ -34,6 +42,11 @@ class RoutingTable {
 
   /// The \p n known contacts closest to \p target (XOR order).
   std::vector<Contact> closest(const NodeId& target, usize n) const;
+
+  /// Uniformly random id whose XOR distance from the owner has its most
+  /// significant bit at position \p bucket — i.e. an id that falls in that
+  /// bucket's range. Used by maintenance bucket refresh.
+  NodeId randomIdInBucket(usize bucket, Rng& rng) const;
 
   /// Total number of stored contacts.
   usize size() const;

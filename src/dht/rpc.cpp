@@ -195,7 +195,7 @@ StoreReq StoreReq::decode(ByteReader& r) {
   for (u64 i = 0; i < n; ++i) {
     StoreToken t;
     u8 kind = r.readU8();
-    if (kind > static_cast<u8>(TokenKind::kIncrementIfNewB)) {
+    if (kind > static_cast<u8>(TokenKind::kMergeMax)) {
       throw DecodeError("StoreReq: bad token kind");
     }
     t.kind = static_cast<TokenKind>(kind);

@@ -12,6 +12,7 @@ std::string StoreToken::canonical() const {
     case TokenKind::kSetPayload: s += "pay|"; break;
     case TokenKind::kTouch: s += "tch|"; break;
     case TokenKind::kIncrementIfNewB: s += "icb|"; break;
+    case TokenKind::kMergeMax: s += "max|"; break;
   }
   s += entry;
   s += '|';
@@ -28,7 +29,7 @@ u64 BlockView::weightOf(std::string_view name) const {
   return 0;
 }
 
-void BlockView::mergeMax(const BlockView& other) {
+void BlockView::mergeMax(const BlockView& other, usize topN) {
   std::map<std::string, u64> merged;
   for (const auto& e : entries) merged[e.name] = e.weight;
   for (const auto& e : other.entries) {
@@ -41,6 +42,13 @@ void BlockView::mergeMax(const BlockView& other) {
   std::sort(entries.begin(), entries.end(), [](const BlockEntry& a, const BlockEntry& b) {
     return a.weight != b.weight ? a.weight > b.weight : a.name < b.name;
   });
+  // Two topN-filtered replica views can union to more than topN distinct
+  // entries; re-apply the caller's cap so a "truncated" view is never larger
+  // than what was asked for.
+  if (topN > 0 && entries.size() > topN) {
+    entries.resize(topN);
+    truncated = true;
+  }
   if (payload.empty()) payload = other.payload;
   truncated = truncated || other.truncated;
   totalEntries = std::max(totalEntries, other.totalEntries);
@@ -52,23 +60,27 @@ usize BlockView::byteSize() const {
   return n;
 }
 
-bool BlockStore::apply(const NodeId& key, const StoreToken& token) {
+bool BlockStore::apply(const NodeId& key, const StoreToken& token,
+                       net::SimTime now) {
   switch (token.kind) {
     case TokenKind::kIncrement: {
       if (token.entry.empty() || token.delta == 0) return false;
       Block& b = blocks_[key];
       b.entries[token.entry] += token.delta;
+      b.lastTouchedUs = std::max(b.lastTouchedUs, now);
       tokensApplied_ += token.delta;
       return true;
     }
     case TokenKind::kSetPayload: {
       Block& b = blocks_[key];
       b.payload = token.payload;
+      b.lastTouchedUs = std::max(b.lastTouchedUs, now);
       ++tokensApplied_;
       return true;
     }
     case TokenKind::kTouch: {
-      blocks_[key];  // default-construct if absent
+      Block& b = blocks_[key];  // default-construct if absent
+      b.lastTouchedUs = std::max(b.lastTouchedUs, now);
       ++tokensApplied_;
       return true;
     }
@@ -76,8 +88,23 @@ bool BlockStore::apply(const NodeId& key, const StoreToken& token) {
       if (token.entry.empty()) return false;
       Block& b = blocks_[key];
       auto [it, inserted] = b.entries.emplace(token.entry, 1);
-      if (!inserted) it->second += token.delta;
+      if (!inserted) {
+        // Present-path: delta is a real increment and must be non-zero,
+        // matching kIncrement's contract.
+        if (token.delta == 0) return false;
+        it->second += token.delta;
+      }
+      b.lastTouchedUs = std::max(b.lastTouchedUs, now);
       tokensApplied_ += inserted ? 1 : token.delta;
+      return true;
+    }
+    case TokenKind::kMergeMax: {
+      if (token.entry.empty() || token.delta == 0) return false;
+      Block& b = blocks_[key];
+      u64& w = b.entries[token.entry];
+      w = std::max(w, token.delta);
+      b.lastTouchedUs = std::max(b.lastTouchedUs, now);
+      ++tokensApplied_;
       return true;
     }
   }
@@ -129,6 +156,24 @@ std::vector<NodeId> BlockStore::keys() const {
   out.reserve(blocks_.size());
   for (const auto& [k, _] : blocks_) out.push_back(k);
   return out;
+}
+
+net::SimTime BlockStore::lastTouched(const NodeId& key) const {
+  auto it = blocks_.find(key);
+  return it == blocks_.end() ? 0 : it->second.lastTouchedUs;
+}
+
+usize BlockStore::expire(net::SimTime olderThan) {
+  usize dropped = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.lastTouchedUs < olderThan) {
+      it = blocks_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 }  // namespace dharma::dht

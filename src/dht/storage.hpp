@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dht/node_id.hpp"
+#include "net/simulator.hpp"
 
 namespace dharma::dht {
 
@@ -31,6 +32,12 @@ enum class TokenKind : u8 {
   /// read-modify-write is needed and concurrent taggers cannot double-apply
   /// the large read-dependent increment (Section IV-B).
   kIncrementIfNewB = 3,
+  /// Replication path (maintenance republish): set the entry's weight to
+  /// max(current, delta). Idempotent and weight-preserving — a holder pushes
+  /// its aggregated view toward the current kStore-closest set without
+  /// re-incrementing, so repeated republish cycles converge instead of
+  /// inflating counts.
+  kMergeMax = 4,
 };
 
 /// One append-only mutation of a block.
@@ -63,8 +70,11 @@ struct BlockView {
   u64 weightOf(std::string_view name) const;
 
   /// Entry-wise max merge with another replica's view (convergent: token
-  /// counts only grow, so the max is the freshest value).
-  void mergeMax(const BlockView& other);
+  /// counts only grow, so the max is the freshest value). When \p topN is
+  /// non-zero the merged entry list is re-trimmed to the N heaviest — two
+  /// topN-filtered replica views can union to more than topN entries, and
+  /// callers asked for at most that many.
+  void mergeMax(const BlockView& other, usize topN = 0);
 
   /// Serialized size estimate used by index-side filtering.
   usize byteSize() const;
@@ -76,12 +86,15 @@ struct GetOptions {
   usize maxBytes = 0; ///< trim entries to fit this many bytes (0 = no cap)
 };
 
-/// Per-node block store.
+/// Per-node block store (Likir-style soft state: blocks carry a
+/// last-touched timestamp and can be expired when left unrefreshed).
 class BlockStore {
  public:
-  /// Applies one token. Returns false on malformed tokens (empty entry
-  /// name for increments).
-  bool apply(const NodeId& key, const StoreToken& token);
+  /// Applies one token at simulated time \p now (stamps the block's
+  /// last-touched time — callers on the RPC path pass sim.now(); a block
+  /// stamped 0 is dropped by the first expiry sweep). Returns false on
+  /// malformed tokens (empty entry name or zero delta for increments).
+  bool apply(const NodeId& key, const StoreToken& token, net::SimTime now);
 
   /// True if a block exists under \p key.
   bool has(const NodeId& key) const { return blocks_.count(key) > 0; }
@@ -95,13 +108,21 @@ class BlockStore {
   /// Total tokens absorbed (diagnostics / hotspot analysis).
   u64 tokensApplied() const { return tokensApplied_; }
 
-  /// Every key held (hotspot analysis).
+  /// Every key held (hotspot analysis, maintenance republish).
   std::vector<NodeId> keys() const;
+
+  /// Last time a token touched \p key (0 if absent or never stamped).
+  net::SimTime lastTouched(const NodeId& key) const;
+
+  /// Drops every block whose last-touched time is strictly older than
+  /// \p olderThan (soft-state expiry). Returns the number dropped.
+  usize expire(net::SimTime olderThan);
 
  private:
   struct Block {
     std::map<std::string, u64> entries;
     std::string payload;
+    net::SimTime lastTouchedUs = 0;
   };
 
   std::map<NodeId, Block> blocks_;

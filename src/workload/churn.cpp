@@ -1,0 +1,52 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+
+namespace dharma::wl {
+
+dht::ChurnSchedule makeChurnSchedule(const ChurnConfig& cfg,
+                                     usize overlaySize) {
+  dht::ChurnSchedule out;
+  Rng rng(splitmix64(cfg.seed ^ 0xc4a52ULL));
+  // Pool of nodes still eligible to crash (each node crashes at most once).
+  std::vector<usize> pool;
+  pool.reserve(overlaySize);
+  for (usize i = cfg.spareNodeZero ? 1 : 0; i < overlaySize; ++i) {
+    pool.push_back(i);
+  }
+
+  net::SimTime waveAt = cfg.firstCrashAtUs;
+  usize surviving = overlaySize;
+  for (u32 w = 0; w < cfg.waves; ++w, waveAt += cfg.waveSpacingUs) {
+    usize victims = static_cast<usize>(
+        static_cast<double>(surviving) * cfg.crashFraction);
+    victims = std::min(victims, pool.size());
+    for (usize v = 0; v < victims; ++v) {
+      usize pick = static_cast<usize>(rng.uniform(pool.size()));
+      usize node = pool[pick];
+      pool[pick] = pool.back();
+      pool.pop_back();
+      out.events.push_back({waveAt, dht::ChurnAction::kCrash, node});
+      if (cfg.reviveAfterUs > 0) {
+        out.events.push_back(
+            {waveAt + cfg.reviveAfterUs, dht::ChurnAction::kRevive, node});
+      }
+    }
+    if (cfg.reviveAfterUs == 0) surviving -= victims;
+  }
+
+  net::SimTime joinAt = cfg.joinStartUs;
+  for (u32 j = 0; j < cfg.freshJoins; ++j, joinAt += cfg.joinSpacingUs) {
+    out.events.push_back({joinAt, dht::ChurnAction::kJoin, overlaySize + j});
+  }
+
+  // stable_sort: equal-time events keep generation order on every stdlib,
+  // so a schedule is bit-identical across toolchains.
+  std::stable_sort(out.events.begin(), out.events.end(),
+            [](const dht::ChurnEvent& a, const dht::ChurnEvent& b) {
+              return a.atUs < b.atUs;
+            });
+  return out;
+}
+
+}  // namespace dharma::wl

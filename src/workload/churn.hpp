@@ -1,0 +1,44 @@
+#pragma once
+/// \file churn.hpp
+/// \brief Deterministic churn-schedule generation.
+///
+/// Produces dht::ChurnSchedule scripts — crash waves, optional revives and
+/// fresh joins — from a seeded Rng, so availability experiments replay
+/// bit-identically. The generator lives in the workload layer (it decides
+/// WHAT happens to the overlay); the dht layer's DhtNetwork::scheduleChurn
+/// executes the script.
+
+#include "dht/dht_network.hpp"
+#include "util/rng.hpp"
+
+namespace dharma::wl {
+
+/// Parameters of a crash/revive/join scenario.
+struct ChurnConfig {
+  /// Fraction of the currently-surviving overlay crashed per wave.
+  double crashFraction = 0.2;
+  /// Number of crash waves.
+  u32 waves = 1;
+  /// Simulated time of the first wave.
+  net::SimTime firstCrashAtUs = 60'000'000;
+  /// Spacing between consecutive waves.
+  net::SimTime waveSpacingUs = 60'000'000;
+  /// If non-zero, each wave's victims revive this long after their crash.
+  net::SimTime reviveAfterUs = 0;
+  /// Brand-new nodes joining through surviving seeds.
+  u32 freshJoins = 0;
+  net::SimTime joinStartUs = 0;
+  net::SimTime joinSpacingUs = 5'000'000;
+  /// Keep node 0 (the customary bootstrap seed) alive.
+  bool spareNodeZero = true;
+  u64 seed = 42;
+};
+
+/// Builds a schedule for an overlay of \p overlaySize nodes. Victims are
+/// sampled without replacement across waves (a node crashes at most once),
+/// so `waves * crashFraction` approximates the cumulative dead fraction
+/// when revives are disabled. Deterministic in cfg.seed.
+dht::ChurnSchedule makeChurnSchedule(const ChurnConfig& cfg,
+                                     usize overlaySize);
+
+}  // namespace dharma::wl

@@ -13,10 +13,15 @@ StoreToken inc(const std::string& entry, u64 delta = 1) {
   return StoreToken{TokenKind::kIncrement, entry, delta, {}};
 }
 
+/// Timestamp-less apply for tests that don't exercise expiry.
+bool apply(BlockStore& s, const NodeId& k, const StoreToken& t) {
+  return s.apply(k, t, 0);
+}
+
 TEST(Storage, IncrementCreatesAndAccumulates) {
   BlockStore s;
-  EXPECT_TRUE(s.apply(key("k"), inc("a")));
-  EXPECT_TRUE(s.apply(key("k"), inc("a", 2)));
+  EXPECT_TRUE(apply(s, key("k"), inc("a")));
+  EXPECT_TRUE(apply(s, key("k"), inc("a", 2)));
   auto v = s.query(key("k"), {});
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->weightOf("a"), 3u);
@@ -31,8 +36,8 @@ TEST(Storage, MissingKeyQueryIsNullopt) {
 
 TEST(Storage, EmptyEntryRejected) {
   BlockStore s;
-  EXPECT_FALSE(s.apply(key("k"), inc("")));
-  EXPECT_FALSE(s.apply(key("k"), inc("a", 0)));
+  EXPECT_FALSE(apply(s, key("k"), inc("")));
+  EXPECT_FALSE(apply(s, key("k"), inc("a", 0)));
 }
 
 TEST(Storage, PayloadToken) {
@@ -40,7 +45,7 @@ TEST(Storage, PayloadToken) {
   StoreToken t;
   t.kind = TokenKind::kSetPayload;
   t.payload = "http://example/uri";
-  EXPECT_TRUE(s.apply(key("r"), t));
+  EXPECT_TRUE(apply(s, key("r"), t));
   auto v = s.query(key("r"), {});
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->payload, "http://example/uri");
@@ -50,7 +55,7 @@ TEST(Storage, TouchCreatesEmptyBlock) {
   BlockStore s;
   StoreToken t;
   t.kind = TokenKind::kTouch;
-  EXPECT_TRUE(s.apply(key("t"), t));
+  EXPECT_TRUE(apply(s, key("t"), t));
   auto v = s.query(key("t"), {});
   ASSERT_TRUE(v.has_value());
   EXPECT_TRUE(v->entries.empty());
@@ -63,26 +68,26 @@ TEST(Storage, ConditionalIncrementNewEntryGetsOne) {
   t.kind = TokenKind::kIncrementIfNewB;
   t.entry = "tau";
   t.delta = 50;  // the exact-model increment u(τ,r)
-  EXPECT_TRUE(s.apply(key("k"), t));
+  EXPECT_TRUE(apply(s, key("k"), t));
   EXPECT_EQ(s.query(key("k"), {})->weightOf("tau"), 1u);  // Approximation B
 }
 
 TEST(Storage, ConditionalIncrementExistingGetsDelta) {
   BlockStore s;
-  s.apply(key("k"), inc("tau", 3));
+  apply(s, key("k"), inc("tau", 3));
   StoreToken t;
   t.kind = TokenKind::kIncrementIfNewB;
   t.entry = "tau";
   t.delta = 50;
-  s.apply(key("k"), t);
+  apply(s, key("k"), t);
   EXPECT_EQ(s.query(key("k"), {})->weightOf("tau"), 53u);
 }
 
 TEST(Storage, QueryRanksByWeightDesc) {
   BlockStore s;
-  s.apply(key("k"), inc("low", 1));
-  s.apply(key("k"), inc("high", 10));
-  s.apply(key("k"), inc("mid", 5));
+  apply(s, key("k"), inc("low", 1));
+  apply(s, key("k"), inc("high", 10));
+  apply(s, key("k"), inc("mid", 5));
   auto v = s.query(key("k"), {});
   ASSERT_EQ(v->entries.size(), 3u);
   EXPECT_EQ(v->entries[0].name, "high");
@@ -92,8 +97,8 @@ TEST(Storage, QueryRanksByWeightDesc) {
 
 TEST(Storage, TieBreakByName) {
   BlockStore s;
-  s.apply(key("k"), inc("b", 2));
-  s.apply(key("k"), inc("a", 2));
+  apply(s, key("k"), inc("b", 2));
+  apply(s, key("k"), inc("a", 2));
   auto v = s.query(key("k"), {});
   EXPECT_EQ(v->entries[0].name, "a");
   EXPECT_EQ(v->entries[1].name, "b");
@@ -102,7 +107,7 @@ TEST(Storage, TieBreakByName) {
 TEST(Storage, TopNFilterKeepsHeaviest) {
   BlockStore s;
   for (int i = 1; i <= 10; ++i) {
-    s.apply(key("k"), inc("e" + std::to_string(i), static_cast<u64>(i)));
+    apply(s, key("k"), inc("e" + std::to_string(i), static_cast<u64>(i)));
   }
   GetOptions opt;
   opt.topN = 3;
@@ -117,7 +122,7 @@ TEST(Storage, TopNFilterKeepsHeaviest) {
 
 TEST(Storage, TopNLargerThanEntriesNoTruncation) {
   BlockStore s;
-  s.apply(key("k"), inc("a"));
+  apply(s, key("k"), inc("a"));
   GetOptions opt;
   opt.topN = 10;
   auto v = s.query(key("k"), opt);
@@ -128,7 +133,7 @@ TEST(Storage, TopNLargerThanEntriesNoTruncation) {
 TEST(Storage, MaxBytesFilterTrims) {
   BlockStore s;
   for (int i = 0; i < 100; ++i) {
-    s.apply(key("k"), inc("entry-" + std::to_string(i), 100 - static_cast<u64>(i)));
+    apply(s, key("k"), inc("entry-" + std::to_string(i), 100 - static_cast<u64>(i)));
   }
   GetOptions opt;
   opt.maxBytes = 200;
@@ -169,15 +174,15 @@ TEST(Storage, MergeMaxPayloadAndFlags) {
 
 TEST(Storage, TokensAppliedCounter) {
   BlockStore s;
-  s.apply(key("k"), inc("a", 3));
-  s.apply(key("k"), inc("b", 2));
+  apply(s, key("k"), inc("a", 3));
+  apply(s, key("k"), inc("b", 2));
   EXPECT_EQ(s.tokensApplied(), 5u);
 }
 
 TEST(Storage, KeysEnumeration) {
   BlockStore s;
-  s.apply(key("k1"), inc("a"));
-  s.apply(key("k2"), inc("a"));
+  apply(s, key("k1"), inc("a"));
+  apply(s, key("k2"), inc("a"));
   EXPECT_EQ(s.keys().size(), 2u);
   EXPECT_EQ(s.size(), 2u);
 }
