@@ -24,11 +24,13 @@
 /// Options: --nodes --keys --waves --joins --seed --smoke (small, fast
 /// parameters for CI).
 
+#include <array>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "core/outcome.hpp"
 #include "dht/dht_network.hpp"
 #include "util/options.hpp"
 #include "workload/churn.hpp"
@@ -52,9 +54,29 @@ struct PhaseStats {
   usize total = 0;
   double meanLatencyMs = 0.0;
   u64 rpcs = 0;  ///< overlay RPCs during the phase (incl. maintenance)
+  /// Failed gets by OpError taxonomy entry.
+  std::array<u64, core::kOpErrorCount> byError{};
+  /// Gets that returned a view WITHOUT the expected content: the one
+  /// failure shape classifyGet cannot name (a partially-replicated or
+  /// divergent block read as "found"). Must stay zero — this is the
+  /// falsifiable half of the zero-silent-failure claim.
+  u64 silent = 0;
 
   double successRate() const {
     return total ? static_cast<double>(ok) / static_cast<double>(total) : 0.0;
+  }
+
+  std::string errorSummary() const {
+    std::string s;
+    for (usize e = 0; e < byError.size(); ++e) {
+      if (byError[e] == 0) continue;
+      if (!s.empty()) s += " ";
+      s += std::string(core::opErrorName(static_cast<core::OpError>(e))) +
+           ":" + std::to_string(byError[e]);
+    }
+    if (silent > 0) s += (s.empty() ? "" : " ") + std::string("SILENT:") +
+                         std::to_string(silent);
+    return s.empty() ? "-" : s;
   }
 };
 
@@ -70,7 +92,8 @@ dht::StoreToken inc(const std::string& entry, u64 delta) {
 }
 
 /// One GET per key from a random online reader; success requires the
-/// block's real content, not just a non-null view.
+/// block's real content, not just a non-null view. Every failed get maps
+/// onto the OpError taxonomy via the same classifier DharmaClient uses.
 PhaseStats measure(dht::DhtNetwork& net, const std::vector<dht::NodeId>& keys,
                    Rng& rng) {
   PhaseStats st;
@@ -82,10 +105,18 @@ PhaseStats measure(dht::DhtNetwork& net, const std::vector<dht::NodeId>& keys,
       reader = static_cast<usize>(rng.uniform(net.size()));
     } while (!net.isOnline(reader));
     net::SimTime t0 = net.sim().now();
-    auto view = net.getBlocking(reader, key);
+    dht::GetResult got = net.getResult(reader, key);
     totalMs += static_cast<double>(net.sim().now() - t0) / 1000.0;
     ++st.total;
-    if (view && view->weightOf("alpha") > 0) ++st.ok;
+    if (got.view && got.view->weightOf("alpha") > 0) {
+      ++st.ok;
+    } else if (auto err = core::classifyGet(got)) {
+      ++st.byError[static_cast<usize>(*err)];
+    } else {
+      // Found but with the wrong content (a partial or divergent replica
+      // read as a hit): no taxonomy entry names this — a silent failure.
+      ++st.silent;
+    }
   }
   st.meanLatencyMs = st.total ? totalMs / static_cast<double>(st.total) : 0.0;
   st.rpcs = net.totalRpcsSent() - rpc0;
@@ -222,6 +253,18 @@ int main(int argc, char** argv) {
   std::cout << "# RPCs during measurement windows (before/during/after, incl."
                " maintenance traffic): on " << phaseRpcs(on) << ", off "
             << phaseRpcs(off) << "\n";
+  ana::printTable(std::cout,
+                  "failed gets by OpError taxonomy (zero silent failures)",
+                  {"maintenance", "before", "during", "after"},
+                  {{"on", on.before.errorSummary(), on.during.errorSummary(),
+                    on.after.errorSummary()},
+                   {"off", off.before.errorSummary(), off.during.errorSummary(),
+                    off.after.errorSummary()}});
+  bool classified = true;
+  for (const PhaseStats* ph : {&on.before, &on.during, &on.after, &off.before,
+                               &off.during, &off.after}) {
+    classified = classified && ph->silent == 0;
+  }
   std::cout << "# determinism digest: on{rpcs=" << on.totalRpcs
             << ", online=" << on.onlineNodes << "} off{rpcs=" << off.totalRpcs
             << ", online=" << off.onlineNodes << "}\n";
@@ -233,7 +276,8 @@ int main(int argc, char** argv) {
       off.after.successRate() < on.after.successRate();
   bool offCostDegraded =
       off.during.meanLatencyMs > 1.25 * on.during.meanLatencyMs;
-  bool pass = onAvailable && (offSuccessDegraded || offCostDegraded);
+  bool pass = onAvailable && (offSuccessDegraded || offCostDegraded) &&
+              classified;
   std::cout << "\nSHAPE CHECK: maintenance-on keeps get-success >= 99% under "
                "churn: "
             << (onAvailable ? "PASS" : "FAIL")
@@ -241,6 +285,8 @@ int main(int argc, char** argv) {
             << (offSuccessDegraded ? "yes" : "no") << ", latency "
             << (offCostDegraded ? "yes" : "no")
             << "): " << (offSuccessDegraded || offCostDegraded ? "PASS" : "FAIL")
+            << "; no unclassifiable failures (wrong-content reads): "
+            << (classified ? "PASS" : "FAIL")
             << " => " << (pass ? "PASS" : "FAIL") << "\n";
   return pass ? 0 : 1;
 }

@@ -18,11 +18,14 @@
 /// Commands:
 ///   insert <res> <uri> <tag,tag,...>   publish a resource   (2+2m lookups)
 ///   tag <res> <tag>                    add an annotation    (4+k lookups)
+///   tagall <res> <tag,tag,...>         batched annotations  (shared plan)
 ///   step <tag>                         one search step      (2 lookups)
 ///   session <tag> [first|last|random]  full faceted search
 ///   resolve <res>                      URI lookup           (1 lookup)
 ///   stats                              overlay counters
 ///   help                               this list
+///
+/// Every operation reports failures by OpError taxonomy (docs/API.md).
 
 #include <iostream>
 #include <sstream>
@@ -47,7 +50,8 @@ std::vector<std::string> splitCsv(const std::string& s) {
 
 void printHelp() {
   std::cout << "commands: insert <res> <uri> <tags,csv> | tag <res> <tag> | "
-               "step <tag> | session <tag> [first|last|random] | "
+               "tagall <res> <tags,csv> | step <tag> | "
+               "session <tag> [first|last|random] | "
                "resolve <res> | stats | help | quit\n";
 }
 
@@ -95,27 +99,64 @@ int main(int argc, char** argv) {
         continue;
       }
       auto tags = splitCsv(tagsCsv);
-      core::OpCost cost = client.insertResource(res, uri, tags);
+      auto out = client.insertResource(res, uri, tags);
+      if (!out.ok()) {
+        std::cout << "insert FAILED: " << core::opErrorName(out.error())
+                  << " (" << out.cost.lookups << " lookups, min replicas "
+                  << out.replication.minAcks() << ")\n";
+        continue;
+      }
       std::cout << "inserted '" << res << "' with " << tags.size()
-                << " tags (" << cost.lookups << " lookups)\n";
+                << " tags (" << out.cost.lookups << " lookups, "
+                << out->blocksWritten << " blocks x >=" << out->minReplicas
+                << " replicas)\n";
     } else if (cmd == "tag") {
       std::string res, tag;
       if (!(ls >> res >> tag)) {
         std::cout << "usage: tag <res> <tag>\n";
         continue;
       }
-      core::OpCost cost = client.tagResource(res, tag);
+      auto out = client.tagResource(res, tag);
+      if (!out.ok()) {
+        std::cout << "tag FAILED: " << core::opErrorName(out.error()) << " ("
+                  << out.cost.lookups << " lookups)\n";
+        continue;
+      }
       std::cout << "tagged '" << res << "' with '" << tag << "' ("
-                << cost.lookups << " lookups)\n";
+                << out.cost.lookups << " lookups)\n";
+    } else if (cmd == "tagall") {
+      // Batched tagging: tagall <res> <tag,tag,...> — one shared r̄ fetch.
+      std::string res, tagsCsv;
+      if (!(ls >> res >> tagsCsv)) {
+        std::cout << "usage: tagall <res> <tags,csv>\n";
+        continue;
+      }
+      auto tags = splitCsv(tagsCsv);
+      auto out = client.tagResources(res, tags);
+      if (!out.ok()) {
+        std::cout << "tagall FAILED: " << core::opErrorName(out.error())
+                  << " (" << out.cost.lookups << " lookups)\n";
+        continue;
+      }
+      std::cout << "tagged '" << res << "' with " << tags.size()
+                << " tags in one batch (" << out.cost.lookups
+                << " lookups vs " << (4 + client.config().k) * tags.size()
+                << " sequential)\n";
     } else if (cmd == "step") {
       std::string tag;
       if (!(ls >> tag)) {
         std::cout << "usage: step <tag>\n";
         continue;
       }
-      auto [step, cost] = client.searchStep(tag);
+      auto out = client.searchStep(tag);
+      if (!out.ok()) {
+        std::cout << "step FAILED: " << core::opErrorName(out.error()) << " ("
+                  << out.cost.lookups << " lookups)\n";
+        continue;
+      }
+      const auto& step = *out;
       if (!step.tagKnown) {
-        std::cout << "tag '" << tag << "' unknown (" << cost.lookups
+        std::cout << "tag '" << tag << "' unknown (" << out.cost.lookups
                   << " lookups)\n";
         continue;
       }
@@ -128,7 +169,7 @@ int main(int argc, char** argv) {
         std::cout << ' ' << e.name << '(' << e.weight << ')';
       }
       std::cout << (step.resourcesTruncated ? " [truncated]" : "") << "\n("
-                << cost.lookups << " lookups)\n";
+                << out.cost.lookups << " lookups)\n";
     } else if (cmd == "session") {
       std::string tag, strategyName = "first";
       if (!(ls >> tag)) {
@@ -150,8 +191,11 @@ int main(int argc, char** argv) {
                   << " resources, " << session.display().size()
                   << " displayed tags\n";
       }
-      std::cout << "done (" << folk::stopReasonName(session.reason()) << ", "
-                << session.totalCost().lookups << " lookups); results:";
+      std::cout << "done (" << folk::stopReasonName(session.reason());
+      if (session.lastError()) {
+        std::cout << ": " << core::opErrorName(*session.lastError());
+      }
+      std::cout << ", " << session.totalCost().lookups << " lookups); results:";
       for (const auto& r : session.resources()) std::cout << ' ' << r;
       std::cout << "\n";
     } else if (cmd == "resolve") {
@@ -160,9 +204,12 @@ int main(int argc, char** argv) {
         std::cout << "usage: resolve <res>\n";
         continue;
       }
-      auto [uri, cost] = client.resolveUri(res);
-      std::cout << res << " -> " << (uri ? *uri : "<not found>") << " ("
-                << cost.lookups << " lookup)\n";
+      auto out = client.resolveUri(res);
+      std::cout << res << " -> "
+                << (out.ok() ? *out
+                             : std::string("<") + core::opErrorName(out.error()) +
+                                   ">")
+                << " (" << out.cost.lookups << " lookup)\n";
     } else if (cmd == "stats") {
       const auto& ns = net.network().stats();
       std::cout << "overlay: " << net.size() << " nodes; datagrams sent "

@@ -54,9 +54,29 @@ int main(int argc, char** argv) {
   std::cout << "Publishing " << catalogue.size()
             << " artists (insert cost = 2 + 2m lookups):\n";
   for (const Artist& a : catalogue) {
-    core::OpCost cost = dj.insertResource(a.name, a.uri, a.tags);
+    auto out = dj.insertResource(a.name, a.uri, a.tags);
     std::cout << "  " << a.name << " (m=" << a.tags.size() << "): "
-              << cost.lookups << " lookups\n";
+              << out.cost.lookups << " lookups, ";
+    if (out.ok()) {
+      std::cout << out->blocksWritten << " blocks x >=" << out->minReplicas
+                << " replicas\n";
+    } else {
+      std::cout << "FAILED: " << core::opErrorName(out.error()) << "\n";
+    }
+  }
+
+  // The same catalogue through the batched entry point (a fresh namespace):
+  // t̄/t̂ updates grouped per distinct tag — cheaper than the sum above.
+  {
+    std::vector<core::ResourceSpec> batch;
+    for (const Artist& a : catalogue) {
+      batch.push_back(
+          core::ResourceSpec{std::string("mirror-") + a.name, a.uri, a.tags});
+    }
+    auto out = dj.insertResources(batch);
+    std::cout << "  (batched mirror of all " << batch.size()
+              << " artists: " << out.cost.lookups << " lookups total, "
+              << (out.ok() ? "ok" : core::opErrorName(out.error())) << ")\n";
   }
 
   // Community tagging through different peers — approximated protocol.
@@ -72,9 +92,12 @@ int main(int argc, char** argv) {
            {"iron-maiden", "british"},
            {"radiohead", "rock"},  // re-tag: weight grows
        }) {
-    core::OpCost cost = fan1.tagResource(res, tag);
-    std::cout << "  +" << tag << " on " << res << ": " << cost.lookups
-              << " lookups\n";
+    auto out = fan1.tagResource(res, tag);
+    std::cout << "  +" << tag << " on " << res << ": " << out.cost.lookups
+              << " lookups"
+              << (out.ok() ? "" : std::string(" FAILED: ") +
+                                      core::opErrorName(out.error()))
+              << "\n";
     fan2.tagResource(res, tag);  // a second user agrees
   }
 
@@ -103,10 +126,12 @@ int main(int argc, char** argv) {
 
   // Resolve a result to its URI (type-4 r̃ block, 1 lookup).
   if (!session.resources().empty()) {
-    auto [uri, cost] = listener.resolveUri(session.resources().front());
-    std::cout << "  resolve '" << session.resources().front()
-              << "' -> " << (uri ? *uri : "<missing>") << " (" << cost.lookups
-              << " lookup)\n";
+    auto out = listener.resolveUri(session.resources().front());
+    std::cout << "  resolve '" << session.resources().front() << "' -> "
+              << (out.ok() ? *out
+                           : std::string("<") + core::opErrorName(out.error()) +
+                                 ">")
+              << " (" << out.cost.lookups << " lookup)\n";
   }
 
   std::cout << "\nTotal overlay traffic: " << net.network().stats().sent

@@ -77,8 +77,10 @@ int main(int argc, char** argv) {
     p1.tagResource(resName, baseTag);
     // Both ops launched before the simulator runs: both read r̄ first.
     int done = 0;
-    p1.tagResourceAsync(resName, raceTag, [&](core::OpCost) { ++done; });
-    p2.tagResourceAsync(resName, raceTag, [&](core::OpCost) { ++done; });
+    p1.tagResourceAsync(resName, raceTag,
+                        [&](core::Outcome<core::WriteReceipt>) { ++done; });
+    p2.tagResourceAsync(resName, raceTag,
+                        [&](core::Outcome<core::WriteReceipt>) { ++done; });
     net.sim().run();
     auto that = net.getBlocking(
         0, core::blockKey(raceTag, core::BlockType::kTagNeighbors));
@@ -102,9 +104,20 @@ int main(int argc, char** argv) {
             << (after ? "yes" : "NO") << " (" << (after ? after->entries.size() : 0)
             << " entries; replication factor "
             << net.node(0).config().kStore << ")\n";
-  auto [uri, cost] = alice.resolveUri("concert-bootleg.flac");
+  auto resolved = alice.resolveUri("concert-bootleg.flac");
   std::cout << "  URI resolution after churn: "
-            << (uri ? *uri : "<failed>") << "\n\n";
+            << (resolved.ok() ? *resolved
+                              : std::string("<failed: ") +
+                                    core::opErrorName(resolved.error()) + ">")
+            << " (" << resolved.retries << " retries)\n";
+  // A client riding a crashed peer cannot operate at all — the API says so
+  // instead of hanging or faking an empty result.
+  core::DharmaClient ghost(net, 12, cfg, seed + 12);
+  auto dead = ghost.resolveUri("concert-bootleg.flac");
+  std::cout << "  client on crashed peer 12: "
+            << (dead.ok() ? "unexpectedly ok"
+                          : core::opErrorName(dead.error()))
+            << " at " << dead.cost.lookups << " lookups\n\n";
 
   // --- 4. identity enforcement ---------------------------------------------
   std::cout << "Identity demo: forged credential is dropped.\n";

@@ -28,10 +28,11 @@ struct StrategyStats {
   RunningStats steps;
   double medianSteps = 0;
   Cdf cdf;  ///< Figure 7 series
-  std::array<u64, 4> stopReasons{};  ///< indexed by folk::StopReason
+  std::array<u64, folk::kStopReasonCount> stopReasons{};  ///< by folk::StopReason
 
   double reasonShare(folk::StopReason r) const {
-    u64 total = stopReasons[0] + stopReasons[1] + stopReasons[2] + stopReasons[3];
+    u64 total = 0;
+    for (u64 n : stopReasons) total += n;
     return total ? static_cast<double>(stopReasons[static_cast<usize>(r)]) /
                        static_cast<double>(total)
                  : 0.0;

@@ -1,6 +1,7 @@
 #include "core/client.hpp"
 
 #include <algorithm>
+#include <map>
 
 namespace dharma::core {
 
@@ -11,48 +12,173 @@ using dht::NodeId;
 using dht::StoreToken;
 using dht::TokenKind;
 
-/// Join state for one protocol operation: counts outstanding block ops and
-/// fires the user callback when the last one completes.
-struct OpJoin {
-  OpCost cost;
-  usize remaining = 0;
-  std::function<void(OpCost)> cb;
-
-  void arm(usize n) { remaining = n; }
-  void complete() {
-    if (remaining == 0) return;
-    if (--remaining == 0 && cb) cb(cost);
-  }
-};
+/// Returns a callable that invokes \p onAll after being called \p n times.
+std::function<void()> makeJoin(usize n, std::function<void()> onAll) {
+  auto remaining = std::make_shared<usize>(n);
+  return [remaining, onAll = std::move(onAll)] {
+    if (*remaining == 0) return;
+    if (--*remaining == 0) onAll();
+  };
+}
 }  // namespace
 
-DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
-                           DharmaConfig cfg, u64 seed)
-    : net_(net), nodeIdx_(nodeIdx), cfg_(cfg), rng_(seed) {}
+/// Shared state of one protocol operation: cost, replica telemetry, retry
+/// count, and the most severe error any of its block ops recorded.
+struct DharmaClient::OpState {
+  OpCost cost;
+  Replication rep;
+  u32 retries = 0;
+  net::SimTime startUs = 0;
+  std::optional<OpError> fatal;
 
-void DharmaClient::putBlock(const NodeId& key, std::vector<StoreToken> tokens,
-                            OpCost& cost, std::function<void()> done) {
-  ++cost.lookups;
-  ++cost.puts;
+  /// Keeps the most severe error (enum values are ordered by severity:
+  /// kNotFound < kQuorumFailed < kTimeout < kNodeOffline).
+  void recordError(OpError e) {
+    if (!fatal || static_cast<u8>(e) > static_cast<u8>(*fatal)) fatal = e;
+  }
+};
+
+DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
+                           DharmaConfig cfg, u64 seed, OpPolicy policy)
+    : net_(net), nodeIdx_(nodeIdx), cfg_(cfg), rng_(seed), policy_(policy) {}
+
+std::shared_ptr<DharmaClient::OpState> DharmaClient::beginOp() {
+  auto op = std::make_shared<OpState>();
+  op->startUs = net_.sim().now();
+  if (!online()) op->recordError(OpError::kNodeOffline);
+  return op;
+}
+
+template <typename T>
+Outcome<T> DharmaClient::finishOp(OpState& op, std::optional<T> value) {
+  ++counters_.ops;
+  counters_.retries += op.retries;
+  Outcome<T> out;
+  out.cost = op.cost;
+  out.replication = std::move(op.rep);
+  out.retries = op.retries;
+  if (op.fatal) {
+    out.err = *op.fatal;
+    ++counters_.failures;
+    ++counters_.byError[static_cast<usize>(*op.fatal)];
+  } else {
+    out.val = std::move(value);
+  }
+  return out;
+}
+
+net::SimTime DharmaClient::backoffDelay(u32 retryIndex) {
+  net::SimTime base = policy_.retryBackoffUs
+                      << std::min<u32>(retryIndex, 16);  // exponential
+  if (base == 0) return 0;
+  // Deterministic jitter in [base/2, 3*base/2): same seed, same trace.
+  return base / 2 + rng_.uniform(base);
+}
+
+bool DharmaClient::deadlineExceeded(OpState& op) {
+  return policy_.opDeadlineUs > 0 &&
+         net_.sim().now() - op.startUs >= policy_.opDeadlineUs;
+}
+
+void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
+                                   NodeId key, std::vector<StoreToken> tokens,
+                                   u64 putId, u32 retriesLeft,
+                                   std::function<void()> done) {
+  ++op->cost.lookups;
+  ++op->cost.puts;
   ++total_.lookups;
   ++total_.puts;
-  node().putMany(key, std::move(tokens),
-                 [done = std::move(done)](u32) { done(); });
+  // Retained only when a retry could re-send it; the retry reuses the SAME
+  // putId, so replicas that applied the failed attempt dedup the replay
+  // instead of double-counting the increments.
+  std::vector<StoreToken> tokensCopy;
+  if (retriesLeft > 0) tokensCopy = tokens;
+  node().putMany(
+      key, std::move(tokens), putId,
+      [this, op, key, putId, tokensCopy = std::move(tokensCopy), retriesLeft,
+       done = std::move(done)](dht::PutResult r) mutable {
+        if (!classifyPut(r, policy_.putQuorum)) {
+          op->rep.acks.push_back(r.acks);
+          done();
+          return;
+        }
+        bool timedOut = deadlineExceeded(*op);
+        if (retriesLeft > 0 && !timedOut) {
+          u32 retryIndex = policy_.retryBudget - retriesLeft;
+          ++op->retries;
+          net_.sim().schedule(
+              backoffDelay(retryIndex),
+              [this, op, key, putId, tokensCopy = std::move(tokensCopy),
+               retriesLeft, done = std::move(done)]() mutable {
+                putBlockAttempt(op, key, std::move(tokensCopy), putId,
+                                retriesLeft - 1, std::move(done));
+              });
+          return;
+        }
+        op->rep.acks.push_back(r.acks);
+        ++op->rep.quorumMisses;
+        op->recordError(timedOut ? OpError::kTimeout : OpError::kQuorumFailed);
+        done();
+      });
 }
 
-void DharmaClient::getBlock(const NodeId& key, GetOptions opt, OpCost& cost,
-                            std::function<void(std::optional<BlockView>)> done) {
-  ++cost.lookups;
-  ++cost.gets;
+void DharmaClient::putBlock(const std::shared_ptr<OpState>& op,
+                            const NodeId& key, std::vector<StoreToken> tokens,
+                            std::function<void()> done) {
+  putBlockAttempt(op, key, std::move(tokens), node().allocatePutId(),
+                  policy_.retryBudget, std::move(done));
+}
+
+void DharmaClient::getBlockAttempt(const std::shared_ptr<OpState>& op,
+                                   NodeId key, GetOptions opt, u32 retriesLeft,
+                                   std::function<void(dht::GetResult)> done) {
+  ++op->cost.lookups;
+  ++op->cost.gets;
   ++total_.lookups;
   ++total_.gets;
-  node().get(key, opt, std::move(done));
+  node().get(key, opt,
+             [this, op, key, opt, retriesLeft,
+              done = std::move(done)](dht::GetResult r) mutable {
+               // A clean miss is authoritative; only a miss that coincided
+               // with unreachable peers is worth retrying.
+               bool retryable = !r.found() && r.rpcFailures > 0;
+               if (retryable && retriesLeft > 0 && !deadlineExceeded(*op)) {
+                 u32 retryIndex = policy_.retryBudget - retriesLeft;
+                 ++op->retries;
+                 net_.sim().schedule(
+                     backoffDelay(retryIndex),
+                     [this, op, key, opt, retriesLeft,
+                      done = std::move(done)]() mutable {
+                       getBlockAttempt(op, key, opt, retriesLeft - 1,
+                                       std::move(done));
+                     });
+                 return;
+               }
+               done(std::move(r));
+             });
 }
 
-void DharmaClient::insertResourceAsync(const std::string& res,
-                                       const std::string& uri,
-                                       const std::vector<std::string>& tags,
-                                       std::function<void(OpCost)> cb) {
+void DharmaClient::getBlock(const std::shared_ptr<OpState>& op,
+                            const NodeId& key, GetOptions opt,
+                            std::function<void(dht::GetResult)> done) {
+  getBlockAttempt(op, key, opt, policy_.retryBudget, std::move(done));
+}
+
+// ---------------------------------------------------------------------------
+// insertResource
+// ---------------------------------------------------------------------------
+
+void DharmaClient::insertResourceAsync(
+    const std::string& res, const std::string& uri,
+    const std::vector<std::string>& tags,
+    std::function<void(Outcome<WriteReceipt>)> cb) {
+  if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
+  auto op = beginOp();
+  if (op->fatal) {
+    cb(finishOp<WriteReceipt>(*op, std::nullopt));
+    return;
+  }
+
   // Deduplicate the tag set, preserving order.
   std::vector<std::string> uniq;
   for (const auto& t : tags) {
@@ -60,16 +186,16 @@ void DharmaClient::insertResourceAsync(const std::string& res,
   }
   const usize m = uniq.size();
 
-  auto join = std::make_shared<OpJoin>();
-  join->cb = std::move(cb);
-  join->arm(2 + 2 * m);
-  auto done = [join] { join->complete(); };
+  auto done = makeJoin(2 + 2 * m, [this, op, cb = std::move(cb)] {
+    cb(finishOp(*op, std::make_optional(
+                         WriteReceipt{op->rep.puts(), op->rep.minAcks()})));
+  });
 
   // r̃: the URI block.
   StoreToken uriTok;
   uriTok.kind = TokenKind::kSetPayload;
   uriTok.payload = uri;
-  putBlock(blockKey(res, BlockType::kResourceUri), {uriTok}, join->cost, done);
+  putBlock(op, blockKey(res, BlockType::kResourceUri), {uriTok}, done);
 
   // r̄: one unit token per tag.
   std::vector<StoreToken> rbar;
@@ -78,14 +204,13 @@ void DharmaClient::insertResourceAsync(const std::string& res,
     rbar.push_back(StoreToken{TokenKind::kIncrement, t, 1, {}});
   }
   if (rbar.empty()) rbar.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
-  putBlock(blockKey(res, BlockType::kResourceTags), std::move(rbar), join->cost,
-           done);
+  putBlock(op, blockKey(res, BlockType::kResourceTags), std::move(rbar), done);
 
   // Per tag: t̄i (reverse edge) and t̂i (pairwise sims: every new pair
   // starts at 1 in both directions — III-B.1).
   for (usize i = 0; i < m; ++i) {
-    putBlock(blockKey(uniq[i], BlockType::kTagResources),
-             {StoreToken{TokenKind::kIncrement, res, 1, {}}}, join->cost, done);
+    putBlock(op, blockKey(uniq[i], BlockType::kTagResources),
+             {StoreToken{TokenKind::kIncrement, res, 1, {}}}, done);
 
     std::vector<StoreToken> that;
     for (usize j = 0; j < m; ++j) {
@@ -93,174 +218,361 @@ void DharmaClient::insertResourceAsync(const std::string& res,
       that.push_back(StoreToken{TokenKind::kIncrement, uniq[j], 1, {}});
     }
     if (that.empty()) that.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
-    putBlock(blockKey(uniq[i], BlockType::kTagNeighbors), std::move(that),
-             join->cost, done);
-  }
-  if (m == 0) {
-    // Degenerate insert (no tags): the two block writes above suffice.
+    putBlock(op, blockKey(uniq[i], BlockType::kTagNeighbors), std::move(that),
+             done);
   }
 }
 
-void DharmaClient::tagResourceAsync(const std::string& res,
-                                    const std::string& tag,
-                                    std::function<void(OpCost)> cb) {
-  auto join = std::make_shared<OpJoin>();
-  join->cb = std::move(cb);
+// ---------------------------------------------------------------------------
+// insertResources (batched)
+// ---------------------------------------------------------------------------
+
+void DharmaClient::insertResourcesAsync(
+    const std::vector<ResourceSpec>& specs,
+    std::function<void(Outcome<WriteReceipt>)> cb) {
+  if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
+  auto op = beginOp();
+  if (op->fatal || specs.empty()) {
+    cb(finishOp(*op, std::make_optional(WriteReceipt{})));
+    return;
+  }
+
+  // Deduplicate each spec's tags (single-insert semantics), then group the
+  // per-tag t̄/t̂ updates so every distinct tag costs 2 lookups for the
+  // whole batch instead of 2 per resource.
+  struct Cleaned {
+    const ResourceSpec* spec;
+    std::vector<std::string> tags;
+  };
+  std::vector<Cleaned> cleaned;
+  cleaned.reserve(specs.size());
+  std::vector<std::string> tagOrder;           // first-appearance order
+  std::map<std::string, std::vector<usize>> bySpec;  // tag -> spec indices
+  for (const auto& s : specs) {
+    Cleaned c{&s, {}};
+    for (const auto& t : s.tags) {
+      if (std::find(c.tags.begin(), c.tags.end(), t) == c.tags.end()) {
+        c.tags.push_back(t);
+      }
+    }
+    for (const auto& t : c.tags) {
+      auto [it, fresh] = bySpec.try_emplace(t);
+      if (fresh) tagOrder.push_back(t);
+      it->second.push_back(cleaned.size());
+    }
+    cleaned.push_back(std::move(c));
+  }
+
+  auto done = makeJoin(
+      2 * cleaned.size() + 2 * tagOrder.size(), [this, op, cb = std::move(cb)] {
+        cb(finishOp(*op, std::make_optional(WriteReceipt{
+                             op->rep.puts(), op->rep.minAcks()})));
+      });
+
+  for (const auto& c : cleaned) {
+    StoreToken uriTok;
+    uriTok.kind = TokenKind::kSetPayload;
+    uriTok.payload = c.spec->uri;
+    putBlock(op, blockKey(c.spec->res, BlockType::kResourceUri), {uriTok},
+             done);
+
+    std::vector<StoreToken> rbar;
+    rbar.reserve(c.tags.size());
+    for (const auto& t : c.tags) {
+      rbar.push_back(StoreToken{TokenKind::kIncrement, t, 1, {}});
+    }
+    if (rbar.empty()) rbar.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+    putBlock(op, blockKey(c.spec->res, BlockType::kResourceTags),
+             std::move(rbar), done);
+  }
+
+  for (const auto& tag : tagOrder) {
+    const auto& holders = bySpec[tag];
+
+    // t̄: one reverse edge per resource carrying the tag — one lookup.
+    std::vector<StoreToken> tbar;
+    tbar.reserve(holders.size());
+    for (usize j : holders) {
+      tbar.push_back(
+          StoreToken{TokenKind::kIncrement, cleaned[j].spec->res, 1, {}});
+    }
+    putBlock(op, blockKey(tag, BlockType::kTagResources), std::move(tbar),
+             done);
+
+    // t̂: the pairwise sims from every resource's co-tag set — one lookup.
+    std::vector<StoreToken> that;
+    for (usize j : holders) {
+      for (const auto& other : cleaned[j].tags) {
+        if (other == tag) continue;
+        that.push_back(StoreToken{TokenKind::kIncrement, other, 1, {}});
+      }
+    }
+    if (that.empty()) that.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+    putBlock(op, blockKey(tag, BlockType::kTagNeighbors), std::move(that),
+             done);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// tagResource
+// ---------------------------------------------------------------------------
+
+void DharmaClient::tagResourceAsync(
+    const std::string& res, const std::string& tag,
+    std::function<void(Outcome<WriteReceipt>)> cb) {
+  // The shared-fetch path with a batch of one IS the paper's single-op
+  // protocol: 1 r̄ GET + 3 PUTs + |subset| reverse PUTs = 4 + k lookups.
+  tagResourcesSharedFetch(res, {tag}, std::move(cb));
+}
+
+void DharmaClient::tagResourcesAsync(
+    const std::string& res, const std::vector<std::string>& tags,
+    std::function<void(Outcome<WriteReceipt>)> cb) {
+  tagResourcesSharedFetch(res, tags, std::move(cb));
+}
+
+void DharmaClient::tagResourcesSharedFetch(
+    const std::string& res, const std::vector<std::string>& tags,
+    std::function<void(Outcome<WriteReceipt>)> cb) {
+  if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
+  auto op = beginOp();
+  if (op->fatal || tags.empty()) {
+    cb(finishOp(*op, std::make_optional(WriteReceipt{})));
+    return;
+  }
 
   // Step 1 (1 lookup): read r̄ to learn Tags(r) and the weights u(τ,r).
-  getBlock(blockKey(res, BlockType::kResourceTags), GetOptions{}, join->cost,
-           [this, join, res, tag](std::optional<BlockView> viewOpt) {
-             BlockView view = viewOpt.value_or(BlockView{});
-             bool wasPresent = false;
-             std::vector<dht::BlockEntry> others;
-             for (const auto& e : view.entries) {
-               if (e.name == tag) {
-                 wasPresent = true;
-               } else {
-                 others.push_back(e);
-               }
-             }
+  // The batch shares this single fetch; the view evolves locally as each
+  // tag instance is applied, reproducing sequential read-your-own-writes.
+  getBlock(
+      op, blockKey(res, BlockType::kResourceTags), GetOptions{},
+      [this, op, res, tags, cb = std::move(cb)](dht::GetResult got) {
+        if (auto e = classifyGet(got); e && *e != OpError::kNotFound) {
+          // The miss is not authoritative (holders unreachable): applying
+          // read-dependent updates on top of it would corrupt t̂ weights.
+          op->recordError(*e);
+          cb(finishOp<WriteReceipt>(*op, std::nullopt));
+          return;
+        }
 
-             // Reverse-update subset (Approximation A): at most k random
-             // co-tags; naive mode updates every co-tag.
-             std::vector<usize> subset;
-             if (cfg_.approximateA && others.size() > cfg_.k) {
-               for (u32 i : rng_.sampleIndices(static_cast<u32>(others.size()),
-                                               cfg_.k)) {
-                 subset.push_back(i);
-               }
-             } else {
-               for (usize i = 0; i < others.size(); ++i) subset.push_back(i);
-             }
+        // Local working view: name -> weight, plus insertion order for
+        // deterministic iteration.
+        std::vector<dht::BlockEntry> entries;
+        if (got.view) entries = got.view->entries;
+        auto weightOf = [&](const std::string& name) -> u64* {
+          for (auto& e : entries) {
+            if (e.name == name) return &e.weight;
+          }
+          return nullptr;
+        };
 
-             // 3 block PUTs + |subset| reverse PUTs.
-             join->arm(3 + subset.size());
-             auto done = [join] { join->complete(); };
+        std::vector<StoreToken> rbarTokens;                    // r̄, 1 PUT
+        std::map<std::string, std::vector<StoreToken>> tbar;   // t̄ per tag
+        std::map<std::string, std::vector<StoreToken>> that;   // t̂ per tag
+        std::map<std::string, std::vector<StoreToken>> rev;    // reverse t̂
+        std::vector<std::string> tagOrder, revOrder;
 
-             // r̄ += (t, 1)
-             putBlock(blockKey(res, BlockType::kResourceTags),
-                      {StoreToken{TokenKind::kIncrement, tag, 1, {}}},
-                      join->cost, done);
-             // t̄ += (r, 1)
-             putBlock(blockKey(tag, BlockType::kTagResources),
-                      {StoreToken{TokenKind::kIncrement, res, 1, {}}},
-                      join->cost, done);
+        for (const auto& tag : tags) {
+          u64* w = weightOf(tag);
+          const bool wasPresent = w != nullptr;
 
-             // t̂: forward arcs — only meaningful when t newly joins
-             // Tags(r). A kTouch otherwise, keeping Table I's uniform
-             // "4 + k" accounting (and ensuring the block exists).
-             std::vector<StoreToken> forward;
-             if (!wasPresent) {
-               for (const auto& e : others) {
-                 if (cfg_.approximateB) {
-                   // Conditional increment evaluated at the replica:
-                   // absent → 1 (Approximation B), present → +u(τ,r).
-                   forward.push_back(StoreToken{TokenKind::kIncrementIfNewB,
-                                                e.name, e.weight, {}});
-                 } else {
-                   forward.push_back(StoreToken{TokenKind::kIncrement, e.name,
-                                                e.weight, {}});
-                 }
-               }
-             }
-             if (forward.empty()) {
-               forward.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
-             }
-             putBlock(blockKey(tag, BlockType::kTagNeighbors),
-                      std::move(forward), join->cost, done);
+          // Snapshot of the co-tag set at this instant (local view).
+          std::vector<dht::BlockEntry> others;
+          for (const auto& e : entries) {
+            if (e.name != tag) others.push_back(e);
+          }
 
-             // τ̂ += (t, 1) for the chosen subset.
-             for (usize i : subset) {
-               putBlock(blockKey(others[i].name, BlockType::kTagNeighbors),
-                        {StoreToken{TokenKind::kIncrement, tag, 1, {}}},
-                        join->cost, done);
-             }
-           });
+          rbarTokens.push_back(StoreToken{TokenKind::kIncrement, tag, 1, {}});
+
+          auto [tbarIt, tbarFresh] = tbar.try_emplace(tag);
+          auto [thatIt, thatFresh] = that.try_emplace(tag);
+          if (tbarFresh) tagOrder.push_back(tag);
+          tbarIt->second.push_back(
+              StoreToken{TokenKind::kIncrement, res, 1, {}});
+
+          // t̂ forward arcs — only meaningful when the tag newly joins
+          // Tags(r) (Section IV-A/B).
+          if (!wasPresent) {
+            for (const auto& e : others) {
+              if (cfg_.approximateB) {
+                // Conditional increment evaluated at the replica:
+                // absent → 1 (Approximation B), present → +u(τ,r).
+                thatIt->second.push_back(StoreToken{
+                    TokenKind::kIncrementIfNewB, e.name, e.weight, {}});
+              } else {
+                thatIt->second.push_back(
+                    StoreToken{TokenKind::kIncrement, e.name, e.weight, {}});
+              }
+            }
+          }
+
+          // Reverse-update subset (Approximation A): at most k random
+          // co-tags; naive mode updates every co-tag.
+          std::vector<usize> subset;
+          if (cfg_.approximateA && others.size() > cfg_.k) {
+            for (u32 i :
+                 rng_.sampleIndices(static_cast<u32>(others.size()), cfg_.k)) {
+              subset.push_back(i);
+            }
+          } else {
+            for (usize i = 0; i < others.size(); ++i) subset.push_back(i);
+          }
+          for (usize i : subset) {
+            auto [revIt, revFresh] = rev.try_emplace(others[i].name);
+            if (revFresh) revOrder.push_back(others[i].name);
+            revIt->second.push_back(
+                StoreToken{TokenKind::kIncrement, tag, 1, {}});
+          }
+
+          // Apply the instance to the local view.
+          if (wasPresent) {
+            ++*w;
+          } else {
+            entries.push_back(dht::BlockEntry{tag, 1});
+          }
+        }
+
+        // Empty t̂ batches still touch the block: this keeps Table I's
+        // "4 + k" single-op accounting exact and guarantees the block
+        // exists for search.
+        for (auto& [tag, tokens] : that) {
+          if (tokens.empty()) {
+            tokens.push_back(StoreToken{TokenKind::kTouch, {}, 1, {}});
+          }
+        }
+
+        usize nPuts = 1 + tagOrder.size() * 2 + revOrder.size();
+        auto done = makeJoin(nPuts, [this, op, cb = std::move(cb)] {
+          cb(finishOp(*op, std::make_optional(WriteReceipt{
+                               op->rep.puts(), op->rep.minAcks()})));
+        });
+
+        putBlock(op, blockKey(res, BlockType::kResourceTags),
+                 std::move(rbarTokens), done);
+        for (const auto& tag : tagOrder) {
+          putBlock(op, blockKey(tag, BlockType::kTagResources),
+                   std::move(tbar[tag]), done);
+          putBlock(op, blockKey(tag, BlockType::kTagNeighbors),
+                   std::move(that[tag]), done);
+        }
+        for (const auto& cotag : revOrder) {
+          putBlock(op, blockKey(cotag, BlockType::kTagNeighbors),
+                   std::move(rev[cotag]), done);
+        }
+      });
 }
 
+// ---------------------------------------------------------------------------
+// searchStep / resolveUri
+// ---------------------------------------------------------------------------
+
 void DharmaClient::searchStepAsync(
-    const std::string& tag, std::function<void(SearchStepResult, OpCost)> cb) {
-  struct StepJoin {
-    OpCost cost;
-    SearchStepResult result;
-    usize remaining = 2;
-    std::function<void(SearchStepResult, OpCost)> cb;
-    void complete() {
-      if (--remaining == 0 && cb) cb(std::move(result), cost);
-    }
-  };
-  auto join = std::make_shared<StepJoin>();
-  join->cb = std::move(cb);
+    const std::string& tag, std::function<void(Outcome<SearchStepResult>)> cb) {
+  if (!cb) cb = [](Outcome<SearchStepResult>) {};  // fire-and-forget is allowed
+  auto op = beginOp();
+  if (op->fatal) {
+    cb(finishOp<SearchStepResult>(*op, std::nullopt));
+    return;
+  }
+
+  auto step = std::make_shared<SearchStepResult>();
+  auto done = makeJoin(2, [this, op, step, cb = std::move(cb)] {
+    cb(finishOp(*op, std::make_optional(std::move(*step))));
+  });
 
   GetOptions opt;
   opt.topN = cfg_.searchTopN;
 
-  getBlock(blockKey(tag, BlockType::kTagNeighbors), opt, join->cost,
-           [join](std::optional<BlockView> v) {
-             if (v) {
-               join->result.tagKnown = true;
-               join->result.relatedTags = std::move(v->entries);
-               join->result.tagsTruncated = v->truncated;
+  getBlock(op, blockKey(tag, BlockType::kTagNeighbors), opt,
+           [op, step, done](dht::GetResult r) {
+             if (r.view) {
+               step->tagKnown = true;
+               step->relatedTags = std::move(r.view->entries);
+               step->tagsTruncated = r.view->truncated;
+             } else if (auto e = classifyGet(r); e && *e != OpError::kNotFound) {
+               op->recordError(*e);
              }
-             join->complete();
+             done();
            });
-  getBlock(blockKey(tag, BlockType::kTagResources), opt, join->cost,
-           [join](std::optional<BlockView> v) {
-             if (v) {
-               join->result.resources = std::move(v->entries);
-               join->result.resourcesTruncated = v->truncated;
+  getBlock(op, blockKey(tag, BlockType::kTagResources), opt,
+           [op, step, done](dht::GetResult r) {
+             if (r.view) {
+               step->resources = std::move(r.view->entries);
+               step->resourcesTruncated = r.view->truncated;
+             } else if (auto e = classifyGet(r); e && *e != OpError::kNotFound) {
+               op->recordError(*e);
              }
-             join->complete();
-           });
-}
-
-void DharmaClient::resolveUriAsync(
-    const std::string& res,
-    std::function<void(std::optional<std::string>, OpCost)> cb) {
-  auto cost = std::make_shared<OpCost>();
-  getBlock(blockKey(res, BlockType::kResourceUri), GetOptions{}, *cost,
-           [cost, cb = std::move(cb)](std::optional<BlockView> v) {
-             if (v && !v->payload.empty()) {
-               cb(v->payload, *cost);
-             } else {
-               cb(std::nullopt, *cost);
-             }
+             done();
            });
 }
 
-OpCost DharmaClient::insertResource(const std::string& res,
-                                    const std::string& uri,
-                                    const std::vector<std::string>& tags) {
-  return net_.await<OpCost>([&](std::function<void(OpCost)> done) {
+void DharmaClient::resolveUriAsync(const std::string& res,
+                                   std::function<void(Outcome<std::string>)> cb) {
+  if (!cb) cb = [](Outcome<std::string>) {};  // fire-and-forget is allowed
+  auto op = beginOp();
+  if (op->fatal) {
+    cb(finishOp<std::string>(*op, std::nullopt));
+    return;
+  }
+  getBlock(op, blockKey(res, BlockType::kResourceUri), GetOptions{},
+           [this, op, cb = std::move(cb)](dht::GetResult r) {
+             if (r.view && !r.view->payload.empty()) {
+               cb(finishOp(*op, std::make_optional(std::move(r.view->payload))));
+               return;
+             }
+             op->recordError(classifyGet(r).value_or(OpError::kNotFound));
+             cb(finishOp<std::string>(*op, std::nullopt));
+           });
+}
+
+// ---------------------------------------------------------------------------
+// Blocking wrappers
+// ---------------------------------------------------------------------------
+
+Outcome<WriteReceipt> DharmaClient::insertResource(
+    const std::string& res, const std::string& uri,
+    const std::vector<std::string>& tags) {
+  using R = Outcome<WriteReceipt>;
+  return net_.await<R>([&](std::function<void(R)> done) {
     insertResourceAsync(res, uri, tags, std::move(done));
   });
 }
 
-OpCost DharmaClient::tagResource(const std::string& res,
-                                 const std::string& tag) {
-  return net_.await<OpCost>([&](std::function<void(OpCost)> done) {
+Outcome<WriteReceipt> DharmaClient::insertResources(
+    const std::vector<ResourceSpec>& specs) {
+  using R = Outcome<WriteReceipt>;
+  return net_.await<R>([&](std::function<void(R)> done) {
+    insertResourcesAsync(specs, std::move(done));
+  });
+}
+
+Outcome<WriteReceipt> DharmaClient::tagResource(const std::string& res,
+                                                const std::string& tag) {
+  using R = Outcome<WriteReceipt>;
+  return net_.await<R>([&](std::function<void(R)> done) {
     tagResourceAsync(res, tag, std::move(done));
   });
 }
 
-std::pair<SearchStepResult, OpCost> DharmaClient::searchStep(
-    const std::string& tag) {
-  using R = std::pair<SearchStepResult, OpCost>;
+Outcome<WriteReceipt> DharmaClient::tagResources(
+    const std::string& res, const std::vector<std::string>& tags) {
+  using R = Outcome<WriteReceipt>;
   return net_.await<R>([&](std::function<void(R)> done) {
-    searchStepAsync(tag, [done = std::move(done)](SearchStepResult r, OpCost c) {
-      done({std::move(r), c});
-    });
+    tagResourcesAsync(res, tags, std::move(done));
   });
 }
 
-std::pair<std::optional<std::string>, OpCost> DharmaClient::resolveUri(
-    const std::string& res) {
-  using R = std::pair<std::optional<std::string>, OpCost>;
+Outcome<SearchStepResult> DharmaClient::searchStep(const std::string& tag) {
+  using R = Outcome<SearchStepResult>;
   return net_.await<R>([&](std::function<void(R)> done) {
-    resolveUriAsync(res, [done = std::move(done)](std::optional<std::string> u,
-                                                  OpCost c) {
-      done({std::move(u), c});
-    });
+    searchStepAsync(tag, std::move(done));
+  });
+}
+
+Outcome<std::string> DharmaClient::resolveUri(const std::string& res) {
+  using R = Outcome<std::string>;
+  return net_.await<R>([&](std::function<void(R)> done) {
+    resolveUriAsync(res, std::move(done));
   });
 }
 

@@ -10,17 +10,31 @@
 ///                         approximated        — 4 + k lookups
 ///   searchStep(t)                              — 2 lookups
 ///
+/// plus batched entry points that amortise the lookup plan over a batch:
+///
+///   tagResources(r, {t1..tm})     — 2 + 2m + |reverse targets| lookups
+///                                   (one r̄ fetch shared by m tag updates)
+///   insertResources({r1..rn})     — 2n + 2·|distinct tags| lookups
+///                                   (t̄/t̂ updates grouped per tag)
+///
+/// Every operation returns an Outcome<T> (core/outcome.hpp): the value or
+/// an OpError, always bundled with the OpCost actually paid and per-PUT
+/// replica counts. Failed block ops are retried under the client's
+/// OpPolicy with deterministic backoff drawn from the client's Rng.
 /// Every method exists in an async form (callback, suitable for
 /// interleaving concurrent operations inside the simulator — how the
 /// consistency race of Section IV-B is reproduced) and a blocking form
 /// that drives the simulation to completion.
 
+#include <array>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/keys.hpp"
+#include "core/outcome.hpp"
 #include "dht/dht_network.hpp"
 
 namespace dharma::core {
@@ -33,20 +47,6 @@ struct DharmaConfig {
   u32 searchTopN = 100;      ///< index-side top-N for search-step GETs
 };
 
-/// Cost of one protocol operation, in the paper's accounting unit.
-struct OpCost {
-  u64 lookups = 0;  ///< overlay lookups (1 per PUT or GET) — Table I's unit
-  u64 puts = 0;
-  u64 gets = 0;
-
-  OpCost& operator+=(const OpCost& o) {
-    lookups += o.lookups;
-    puts += o.puts;
-    gets += o.gets;
-    return *this;
-  }
-};
-
 /// One navigation step's retrieved sets.
 struct SearchStepResult {
   bool tagKnown = false;                        ///< t̂ block existed
@@ -56,15 +56,24 @@ struct SearchStepResult {
   bool resourcesTruncated = false;
 };
 
+/// One resource for the batched insertResources() entry point.
+struct ResourceSpec {
+  std::string res;
+  std::string uri;
+  std::vector<std::string> tags;
+};
+
 /// A tagging/search client bound to one overlay node.
 class DharmaClient {
  public:
   /// \param net  the overlay
   /// \param nodeIdx index of the node this client rides
   /// \param cfg  protocol configuration
-  /// \param seed randomness for Approximation A's subset choice
+  /// \param seed randomness for Approximation A's subset choice and the
+  ///             retry backoff jitter (same seed ⇒ same retry trace)
+  /// \param policy failure semantics: quorum, retry budget, deadline
   DharmaClient(dht::DhtNetwork& net, usize nodeIdx, DharmaConfig cfg = {},
-               u64 seed = 7);
+               u64 seed = 7, OpPolicy policy = {});
 
   // -- async protocol (composable inside the simulator) --
 
@@ -72,48 +81,112 @@ class DharmaClient {
   /// (paper: create r̃ and r̄; per tag, update t̄i and t̂i → 2+2m lookups).
   void insertResourceAsync(const std::string& res, const std::string& uri,
                            const std::vector<std::string>& tags,
-                           std::function<void(OpCost)> cb);
+                           std::function<void(Outcome<WriteReceipt>)> cb);
+
+  /// Batched insert: r̃/r̄ per resource, t̄/t̂ updates grouped per distinct
+  /// tag — 2n + 2·|distinct tags| lookups instead of Σ(2 + 2mᵢ).
+  void insertResourcesAsync(const std::vector<ResourceSpec>& specs,
+                            std::function<void(Outcome<WriteReceipt>)> cb);
 
   /// Adds tag \p tag to resource \p res (paper Section IV-A/B; cost
   /// 4 + |Tags(r)| naive, 4 + k approximated).
   void tagResourceAsync(const std::string& res, const std::string& tag,
-                        std::function<void(OpCost)> cb);
+                        std::function<void(Outcome<WriteReceipt>)> cb);
+
+  /// Batched tagging: one r̄ fetch amortised over the whole batch, r̄
+  /// increments coalesced into one PUT, reverse t̂ updates grouped per
+  /// co-tag. Semantically equivalent to tagging sequentially.
+  void tagResourcesAsync(const std::string& res,
+                         const std::vector<std::string>& tags,
+                         std::function<void(Outcome<WriteReceipt>)> cb);
 
   /// One faceted-search step: fetch t̂ and t̄ (2 lookups).
   void searchStepAsync(const std::string& tag,
-                       std::function<void(SearchStepResult, OpCost)> cb);
+                       std::function<void(Outcome<SearchStepResult>)> cb);
 
   /// Resolves a resource name to its URI via r̃ (1 lookup).
   void resolveUriAsync(const std::string& res,
-                       std::function<void(std::optional<std::string>, OpCost)> cb);
+                       std::function<void(Outcome<std::string>)> cb);
 
   // -- blocking wrappers (drive the simulator) --
 
-  OpCost insertResource(const std::string& res, const std::string& uri,
-                        const std::vector<std::string>& tags);
-  OpCost tagResource(const std::string& res, const std::string& tag);
-  std::pair<SearchStepResult, OpCost> searchStep(const std::string& tag);
-  std::pair<std::optional<std::string>, OpCost> resolveUri(const std::string& res);
+  Outcome<WriteReceipt> insertResource(const std::string& res,
+                                       const std::string& uri,
+                                       const std::vector<std::string>& tags);
+  Outcome<WriteReceipt> insertResources(const std::vector<ResourceSpec>& specs);
+  Outcome<WriteReceipt> tagResource(const std::string& res,
+                                    const std::string& tag);
+  Outcome<WriteReceipt> tagResources(const std::string& res,
+                                     const std::vector<std::string>& tags);
+  Outcome<SearchStepResult> searchStep(const std::string& tag);
+  Outcome<std::string> resolveUri(const std::string& res);
 
-  /// Accumulated cost over this client's lifetime.
+  /// Accumulated cost over this client's lifetime (retries included).
   const OpCost& totalCost() const { return total_; }
 
+  /// Lifetime failure counters, by taxonomy entry.
+  struct Counters {
+    u64 ops = 0;       ///< protocol operations completed
+    u64 failures = 0;  ///< operations that returned an error
+    u64 retries = 0;   ///< block-op retry attempts spent
+    std::array<u64, kOpErrorCount> byError{};
+  };
+  const Counters& counters() const { return counters_; }
+
   const DharmaConfig& config() const { return cfg_; }
+  const OpPolicy& policy() const { return policy_; }
+  void setPolicy(const OpPolicy& p) { policy_ = p; }
   dht::DhtNetwork& overlay() { return net_; }
   dht::KademliaNode& node() { return net_.node(nodeIdx_); }
+  usize nodeIndex() const { return nodeIdx_; }
 
  private:
+  struct OpState;
+
   dht::DhtNetwork& net_;
   usize nodeIdx_;
   DharmaConfig cfg_;
   Rng rng_;
+  OpPolicy policy_;
   OpCost total_;
+  Counters counters_;
 
-  // Issues a putMany and bumps cost counters (1 lookup per block PUT).
-  void putBlock(const dht::NodeId& key, std::vector<dht::StoreToken> tokens,
-                OpCost& cost, std::function<void()> done);
-  void getBlock(const dht::NodeId& key, dht::GetOptions opt, OpCost& cost,
-                std::function<void(std::optional<dht::BlockView>)> done);
+  /// True when this client's own node accepts datagrams; a client on an
+  /// offline node fails every op with kNodeOffline at zero cost.
+  bool online() const { return net_.isOnline(nodeIdx_); }
+
+  std::shared_ptr<OpState> beginOp();
+  template <typename T>
+  Outcome<T> finishOp(OpState& op, std::optional<T> value);
+
+  /// One block PUT with policy-driven retries; counts into \p op.
+  void putBlock(const std::shared_ptr<OpState>& op, const dht::NodeId& key,
+                std::vector<dht::StoreToken> tokens, std::function<void()> done);
+  /// One block GET with policy-driven retries (retried only when the miss
+  /// coincided with RPC failures); delivers the final GetResult.
+  void getBlock(const std::shared_ptr<OpState>& op, const dht::NodeId& key,
+                dht::GetOptions opt,
+                std::function<void(dht::GetResult)> done);
+
+  void putBlockAttempt(const std::shared_ptr<OpState>& op, dht::NodeId key,
+                       std::vector<dht::StoreToken> tokens, u64 putId,
+                       u32 retriesLeft, std::function<void()> done);
+  void getBlockAttempt(const std::shared_ptr<OpState>& op, dht::NodeId key,
+                       dht::GetOptions opt, u32 retriesLeft,
+                       std::function<void(dht::GetResult)> done);
+
+  /// Single implementation behind tagResource (batch of one, Table I's
+  /// 4 + k) and tagResources (shared r̄ fetch, grouped PUTs).
+  void tagResourcesSharedFetch(const std::string& res,
+                               const std::vector<std::string>& tags,
+                               std::function<void(Outcome<WriteReceipt>)> cb);
+
+  /// Deterministic backoff for the retry numbered \p retryIndex (0-based).
+  net::SimTime backoffDelay(u32 retryIndex);
+
+  /// Pure predicate: has \p op run past its policy deadline? (The caller
+  /// records the kTimeout — this only reads state.)
+  bool deadlineExceeded(OpState& op);
 };
 
 }  // namespace dharma::core

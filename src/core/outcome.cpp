@@ -1,0 +1,29 @@
+#include "core/outcome.hpp"
+
+namespace dharma::core {
+
+const char* opErrorName(OpError e) {
+  switch (e) {
+    case OpError::kNotFound: return "not-found";
+    case OpError::kQuorumFailed: return "quorum-failed";
+    case OpError::kTimeout: return "timeout";
+    case OpError::kNodeOffline: return "node-offline";
+  }
+  return "unknown";
+}
+
+std::optional<OpError> classifyGet(const dht::GetResult& r) {
+  if (r.found()) return std::nullopt;
+  // A miss with failed RPCs is indistinguishable from "the holders are
+  // dead/unreachable": report kTimeout so callers don't cache a spurious
+  // not-found. A miss over an all-responsive lookup is authoritative.
+  if (r.rpcFailures > 0) return OpError::kTimeout;
+  return OpError::kNotFound;
+}
+
+std::optional<OpError> classifyPut(const dht::PutResult& r, u32 quorum) {
+  if (r.acks >= quorum) return std::nullopt;
+  return OpError::kQuorumFailed;
+}
+
+}  // namespace dharma::core

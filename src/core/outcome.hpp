@@ -1,0 +1,162 @@
+#pragma once
+/// \file outcome.hpp
+/// \brief Outcome-carrying results for the DHARMA client API.
+///
+/// PR 2 made failure real — under crash waves PUTs land on fewer than
+/// kStore replicas and GETs come back empty — but the client callbacks
+/// only delivered an OpCost, so every caller silently conflated
+/// "succeeded" with "completed". This header is the contract that fixes
+/// that: every protocol operation returns an Outcome<T> bundling
+///
+///   - the value (or an OpError from a small taxonomy),
+///   - the OpCost actually paid (failed ops still cost lookups),
+///   - per-PUT replica telemetry (Replication),
+///   - the retry attempts spent under the client's OpPolicy.
+///
+/// See docs/API.md for the full contract and the old→new migration table.
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "dht/kademlia_node.hpp"
+#include "net/simulator.hpp"
+
+namespace dharma::core {
+
+/// Cost of one protocol operation, in the paper's accounting unit.
+struct OpCost {
+  u64 lookups = 0;  ///< overlay lookups (1 per PUT or GET) — Table I's unit
+  u64 puts = 0;
+  u64 gets = 0;
+
+  OpCost& operator+=(const OpCost& o) {
+    lookups += o.lookups;
+    puts += o.puts;
+    gets += o.gets;
+    return *this;
+  }
+};
+
+/// Why a protocol operation failed. Small on purpose: every failure a
+/// caller can observe maps onto exactly one of these.
+enum class OpError : u8 {
+  kNotFound = 0,      ///< GET completed cleanly; no replica holds the block
+  kQuorumFailed = 1,  ///< a PUT acked below the policy quorum after retries
+  kTimeout = 2,       ///< per-op deadline hit, or holders unreachable
+  kNodeOffline = 3,   ///< the client's own overlay node is offline
+};
+
+inline constexpr usize kOpErrorCount = 4;
+
+const char* opErrorName(OpError e);
+
+/// Per-operation replica telemetry: one entry per block PUT the operation
+/// issued — the "replication degree" the DHT-survey literature says
+/// production overlays must expose per operation. Entries land in
+/// completion order (PUTs run concurrently), so use the aggregates below
+/// rather than positional attribution.
+struct Replication {
+  std::vector<u32> acks;  ///< final replica ack count per block PUT
+  u32 quorumMisses = 0;   ///< PUTs whose final acks stayed below quorum
+
+  u32 puts() const { return static_cast<u32>(acks.size()); }
+
+  /// Lowest ack count over the op's PUTs (0 when the op issued none).
+  u32 minAcks() const {
+    u32 m = 0;
+    bool first = true;
+    for (u32 a : acks) {
+      m = first ? a : (a < m ? a : m);
+      first = false;
+    }
+    return m;
+  }
+};
+
+/// Per-client operation policy: what "succeeded" means and how hard the
+/// client tries before reporting failure.
+struct OpPolicy {
+  /// A block PUT succeeds once this many replicas acked. 1 is the paper's
+  /// implicit setting (any replica makes the token durable-ish); raise it
+  /// toward kStore for read-your-writes under churn.
+  u32 putQuorum = 1;
+
+  /// Extra attempts per failed block op (0 disables retries). Retries are
+  /// paid for in OpCost — on a healthy overlay nothing fails, so Table I
+  /// costs are unchanged.
+  u32 retryBudget = 2;
+
+  /// Base backoff before the first retry; doubles per retry, with a
+  /// deterministic jitter drawn from the client's Rng (same seed ⇒ same
+  /// retry trace).
+  net::SimTime retryBackoffUs = 250'000;
+
+  /// Per-operation deadline in simulated time (0 = none). Once exceeded,
+  /// the op stops retrying and fails with OpError::kTimeout.
+  net::SimTime opDeadlineUs = 0;
+};
+
+/// Value-or-error result of one protocol operation. Cheap struct semantics:
+/// inspect ok(), then value() or error(); cost/replication/retries are
+/// always populated, success or not.
+template <typename T>
+struct Outcome {
+  OpCost cost;              ///< lookups actually paid, retries included
+  Replication replication;  ///< per-PUT replica telemetry (empty for reads)
+  u32 retries = 0;          ///< retry attempts spent across the op's block ops
+
+  std::optional<T> val;
+  std::optional<OpError> err;
+
+  bool ok() const { return val.has_value() && !err.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  OpError error() const {
+    assert(err.has_value());
+    return *err;
+  }
+
+  T& value() {
+    assert(val.has_value());
+    return *val;
+  }
+  const T& value() const {
+    assert(val.has_value());
+    return *val;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  static Outcome success(T v) {
+    Outcome o;
+    o.val = std::move(v);
+    return o;
+  }
+  static Outcome failure(OpError e) {
+    Outcome o;
+    o.err = e;
+    return o;
+  }
+};
+
+/// Summary value of a successful write operation (insert / tag, single or
+/// batched). The full per-PUT ack vector rides in Outcome::replication.
+struct WriteReceipt {
+  u32 blocksWritten = 0;  ///< block PUTs the operation issued
+  u32 minReplicas = 0;    ///< lowest replica ack count across those PUTs
+};
+
+/// Maps a finished GET onto the taxonomy: nullopt on success, kTimeout when
+/// the miss coincided with unreachable peers (the block may exist on dead
+/// holders), kNotFound on a clean miss. Shared by DharmaClient and the
+/// benches that GET raw keys.
+std::optional<OpError> classifyGet(const dht::GetResult& r);
+
+/// Maps a finished PUT against \p quorum: nullopt when enough replicas
+/// acked, kQuorumFailed otherwise.
+std::optional<OpError> classifyPut(const dht::PutResult& r, u32 quorum);
+
+}  // namespace dharma::core

@@ -11,20 +11,49 @@ DharmaSession::DharmaSession(DharmaClient& client, folk::SearchConfig cfg)
 DistStepInfo DharmaSession::start(const std::string& tag) {
   started_ = true;
   done_ = false;
+  lastError_.reset();
   path_.clear();
   chosen_.clear();
   candidates_.clear();
   resources_.clear();
-  auto [fetched, cost] = client_.searchStep(tag);
-  return applyStep(tag, fetched, cost, /*first=*/true);
+  auto out = client_.searchStep(tag);
+  if (!out.ok()) return failStep(tag, out.error(), out.cost);
+  return applyStep(tag, *out, out.cost, /*first=*/true);
 }
 
 DistStepInfo DharmaSession::select(const std::string& tag) {
   if (!started_ || done_) {
     throw std::logic_error("DharmaSession::select on finished session");
   }
-  auto [fetched, cost] = client_.searchStep(tag);
-  return applyStep(tag, fetched, cost, /*first=*/false);
+  auto out = client_.searchStep(tag);
+  if (!out.ok()) return failStep(tag, out.error(), out.cost);
+  if (!out->tagKnown) {
+    // The tag was just displayed, so its t̂ block existed moments ago: a
+    // clean miss here means the holders vanished, not "unknown tag".
+    return failStep(tag, OpError::kNotFound, out.cost);
+  }
+  return applyStep(tag, *out, out.cost, /*first=*/false);
+}
+
+DistStepInfo DharmaSession::failStep(const std::string& tag, OpError err,
+                                     const OpCost& cost) {
+  total_ += cost;
+  path_.push_back(tag);
+  done_ = true;
+  reason_ = folk::StopReason::kFetchFailed;
+  lastError_ = err;
+  // T/R/display stay as of the last successful step: the caller can show
+  // stale candidates or retry, but the sets were NOT narrowed by the
+  // failed fetch.
+  DistStepInfo info;
+  info.display = display_;
+  info.tagCount = candidates_.size();
+  info.resourceCount = resources_.size();
+  info.done = true;
+  info.reason = reason_;
+  info.error = err;
+  info.cost = cost;
+  return info;
 }
 
 DistStepInfo DharmaSession::applyStep(const std::string& tag,

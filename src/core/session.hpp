@@ -26,6 +26,7 @@ struct DistStepInfo {
   usize resourceCount = 0;               ///< |R_i|
   bool done = false;
   folk::StopReason reason = folk::StopReason::kNoCandidates;
+  std::optional<OpError> error;          ///< set when reason == kFetchFailed
   OpCost cost;                           ///< 2 lookups per step
 };
 
@@ -46,6 +47,11 @@ class DharmaSession {
 
   bool done() const { return done_; }
   folk::StopReason reason() const { return reason_; }
+
+  /// The OpError behind a kFetchFailed stop (nullopt otherwise). A failed
+  /// step never silently narrows the candidate sets: the session surfaces
+  /// the partial-failure to the layer above instead of absorbing it.
+  std::optional<OpError> lastError() const { return lastError_; }
   const std::vector<std::string>& path() const { return path_; }
   const std::vector<dht::BlockEntry>& display() const { return display_; }
   const std::vector<std::string>& resources() const { return resources_; }
@@ -62,10 +68,12 @@ class DharmaSession {
   bool started_ = false;
   bool done_ = false;
   folk::StopReason reason_ = folk::StopReason::kNoCandidates;
+  std::optional<OpError> lastError_;
   OpCost total_;
 
   DistStepInfo applyStep(const std::string& tag, const SearchStepResult& fetched,
                          const OpCost& cost, bool first);
+  DistStepInfo failStep(const std::string& tag, OpError err, const OpCost& cost);
   void rebuildDisplay(const SearchStepResult& fetched);
   void checkStop();
 };

@@ -59,26 +59,38 @@ void DhtNetwork::bootstrap() {
                   net_->stats().sent, " datagrams");
 }
 
+PutResult DhtNetwork::putResult(usize from, const NodeId& key,
+                                const StoreToken& token) {
+  return putManyResult(from, key, {token});
+}
+
+PutResult DhtNetwork::putManyResult(usize from, const NodeId& key,
+                                    std::vector<StoreToken> tokens) {
+  return await<PutResult>([&](std::function<void(PutResult)> done) {
+    node(from).putMany(key, std::move(tokens), std::move(done));
+  });
+}
+
 u32 DhtNetwork::putBlocking(usize from, const NodeId& key,
                             const StoreToken& token) {
-  return await<u32>([&](std::function<void(u32)> done) {
-    node(from).put(key, token, std::move(done));
-  });
+  return putResult(from, key, token).acks;
 }
 
 u32 DhtNetwork::putManyBlocking(usize from, const NodeId& key,
                                 std::vector<StoreToken> tokens) {
-  return await<u32>([&](std::function<void(u32)> done) {
-    node(from).putMany(key, std::move(tokens), std::move(done));
+  return putManyResult(from, key, std::move(tokens)).acks;
+}
+
+GetResult DhtNetwork::getResult(usize from, const NodeId& key,
+                                GetOptions opt) {
+  return await<GetResult>([&](std::function<void(GetResult)> done) {
+    node(from).get(key, opt, std::move(done));
   });
 }
 
 std::optional<BlockView> DhtNetwork::getBlocking(usize from, const NodeId& key,
                                                  GetOptions opt) {
-  return await<std::optional<BlockView>>(
-      [&](std::function<void(std::optional<BlockView>)> done) {
-        node(from).get(key, opt, std::move(done));
-      });
+  return getResult(from, key, opt).view;
 }
 
 void DhtNetwork::setOnline(usize i, bool online) {

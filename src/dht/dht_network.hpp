@@ -68,14 +68,25 @@ class DhtNetwork {
   net::Network& network() { return *net_; }
   const crypto::CertificationService& cs() const { return cs_; }
 
-  /// PUT issued by node \p from; returns replica ack count.
+  /// PUT issued by node \p from, with full replication telemetry.
+  PutResult putResult(usize from, const NodeId& key, const StoreToken& token);
+
+  /// Batched PUT (one lookup) issued by node \p from, with telemetry.
+  PutResult putManyResult(usize from, const NodeId& key,
+                          std::vector<StoreToken> tokens);
+
+  /// PUT issued by node \p from; returns replica ack count only.
   u32 putBlocking(usize from, const NodeId& key, const StoreToken& token);
 
-  /// Batched PUT (one lookup) issued by node \p from.
+  /// Batched PUT (one lookup) issued by node \p from; ack count only.
   u32 putManyBlocking(usize from, const NodeId& key,
                       std::vector<StoreToken> tokens);
 
-  /// GET issued by node \p from.
+  /// GET issued by node \p from, with lookup telemetry (the input to the
+  /// core layer's OpError classification).
+  GetResult getResult(usize from, const NodeId& key, GetOptions opt = {});
+
+  /// GET issued by node \p from; the merged view only.
   std::optional<BlockView> getBlocking(usize from, const NodeId& key,
                                        GetOptions opt = {});
 

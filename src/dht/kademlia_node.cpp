@@ -28,6 +28,7 @@ struct KademliaNode::LookupTask {
   bool done = false;
   u32 messagesSent = 0;
   u32 valueReplies = 0;
+  u32 rpcFailures = 0;
   BlockView mergedValue;
   bool haveValue = false;
 
@@ -95,15 +96,41 @@ void KademliaNode::findValue(const NodeId& key, const GetOptions& opt,
 }
 
 void KademliaNode::put(const NodeId& key, const StoreToken& token,
-                       std::function<void(u32)> cb) {
+                       std::function<void(PutResult)> cb) {
   putMany(key, {token}, std::move(cb));
 }
 
 void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
-                           std::function<void(u32)> cb) {
+                           std::function<void(PutResult)> cb) {
+  putMany(key, std::move(tokens), allocatePutId(), std::move(cb));
+}
+
+std::string KademliaNode::putDedupKey(const std::string& user, u64 putId,
+                                      u32 chunk) {
+  return user + '#' + std::to_string(putId) + '#' + std::to_string(chunk);
+}
+
+bool KademliaNode::wasPutApplied(const std::string& user, u64 putId,
+                                 u32 chunk) const {
+  return seenPuts_.count(putDedupKey(user, putId, chunk)) > 0;
+}
+
+void KademliaNode::recordPutApplied(const std::string& user, u64 putId,
+                                    u32 chunk) {
+  std::string dedupKey = putDedupKey(user, putId, chunk);
+  if (!seenPuts_.insert(dedupKey).second) return;
+  seenPutOrder_.push_back(std::move(dedupKey));
+  if (seenPutOrder_.size() > kSeenPutCap) {
+    seenPuts_.erase(seenPutOrder_.front());
+    seenPutOrder_.pop_front();
+  }
+}
+
+void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
+                           u64 putId, std::function<void(PutResult)> cb) {
   ++counters_.puts;
   if (tokens.empty()) {
-    if (cb) cb(0);
+    if (cb) cb(PutResult{});
     return;
   }
   // Split the batch so each STORE datagram fits the MTU (the lookup cost is
@@ -123,7 +150,7 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
     chunks.back().push_back(std::move(t));
   }
 
-  findNode(key, [this, key, chunks = std::move(chunks),
+  findNode(key, [this, key, putId, chunks = std::move(chunks),
                  cb = std::move(cb)](const LookupResult& res) {
     // Kademlia stores on the kStore closest NODES to the key — the
     // publisher included. A lookup never returns self, so merge self into
@@ -140,44 +167,73 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
     usize replicas = std::min(cfg_.kStore, targets.size());
     targets.resize(replicas);
     if (replicas == 0) {
-      if (cb) cb(0);
+      ++counters_.putQuorumFailures;
+      if (cb) {
+        cb(PutResult{0, 0, static_cast<u32>(cfg_.kStore), res.rpcFailures});
+      }
       return;
     }
     struct Shared {
-      u32 fullAcks = 0;
+      PutResult result;
       usize repliesOutstanding = 0;
       std::vector<usize> chunksLeft;
       std::vector<bool> allOk;
-      std::function<void(u32)> cb;
+      std::function<void(PutResult)> cb;
+      NodeCounters* counters = nullptr;
+
+      void finishIfDone() {
+        if (repliesOutstanding != 0) return;
+        // Quorum miss: the PUT landed on fewer replicas than the kStore it
+        // aimed for (dead targets, rejected stores, or a thinned candidate
+        // set). Callers historically dropped the ack count on the floor;
+        // the counter makes under-replication observable even for them.
+        if (result.acks < result.intended) ++counters->putQuorumFailures;
+        if (cb) cb(result);
+      }
     };
     auto sh = std::make_shared<Shared>();
+    sh->result.targets = static_cast<u32>(replicas);
+    sh->result.intended = static_cast<u32>(cfg_.kStore);
+    sh->result.rpcFailures = res.rpcFailures;
     sh->chunksLeft.assign(replicas, chunks.size());
     sh->allOk.assign(replicas, true);
     sh->repliesOutstanding = replicas * chunks.size();
     sh->cb = cb;
+    sh->counters = &counters_;
 
     for (usize i = 0; i < replicas; ++i) {
       if (targets[i].id == self_.id) {
         // Local replica: apply directly (own tokens need no signature
-        // round-trip).
+        // round-trip), with the same replay dedup as the RPC path so a
+        // retried PUT cannot double-apply here either.
         bool ok = true;
-        for (const auto& chunk : chunks) {
-          for (const auto& tok : chunk) {
-            ok = store_.apply(key, tok, sim_.now()) && ok;
+        for (usize c = 0; c < chunks.size(); ++c) {
+          u32 chunkIdx = static_cast<u32>(c);
+          if (wasPutApplied(credential_.userId, putId, chunkIdx)) {
+            ++counters_.storesDeduplicated;
+            continue;
           }
+          // Atomic chunk apply (all-or-nothing), recorded only on success:
+          // a rejected chunk leaves no partial state behind and must fail
+          // the retry again rather than be dedup-acked.
+          bool chunkOk = store_.applyAll(key, chunks[c], sim_.now());
+          if (chunkOk) recordPutApplied(credential_.userId, putId, chunkIdx);
+          ok = ok && chunkOk;
         }
         if (ok) {
-          ++sh->fullAcks;
+          ++sh->result.acks;
           ++counters_.storesAccepted;
         }
         sh->repliesOutstanding -= chunks.size();
-        if (sh->repliesOutstanding == 0 && sh->cb) sh->cb(sh->fullAcks);
+        sh->finishIfDone();
         continue;
       }
-      for (const auto& chunk : chunks) {
+      for (usize c = 0; c < chunks.size(); ++c) {
         StoreReq req;
         req.key = key;
-        req.tokens = chunk;
+        req.putId = putId;
+        req.chunk = static_cast<u32>(c);
+        req.tokens = chunks[c];
         req.signature = cs_.signContent(credential_.userId, key.toHex(),
                                         req.canonicalBatch());
         sendRequest(targets[i], RpcType::kStore, req.encode(),
@@ -189,14 +245,15 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
                           applied = StoreReply::decode(r).ok;
                         } catch (const DecodeError&) {
                         }
+                      } else {
+                        ++sh->result.rpcFailures;
                       }
                       if (!applied) sh->allOk[i] = false;
                       if (--sh->chunksLeft[i] == 0 && sh->allOk[i]) {
-                        ++sh->fullAcks;
+                        ++sh->result.acks;
                       }
-                      if (--sh->repliesOutstanding == 0 && sh->cb) {
-                        sh->cb(sh->fullAcks);
-                      }
+                      --sh->repliesOutstanding;
+                      sh->finishIfDone();
                     });
       }
     }
@@ -204,10 +261,13 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
 }
 
 void KademliaNode::get(const NodeId& key, const GetOptions& opt,
-                       std::function<void(std::optional<BlockView>)> cb) {
+                       std::function<void(GetResult)> cb) {
   ++counters_.gets;
   findValue(key, opt, [cb = std::move(cb)](const LookupResult& res) {
-    if (cb) cb(res.value);
+    if (cb) {
+      cb(GetResult{res.value, res.valueReplies, res.messagesSent,
+                   res.rpcFailures});
+    }
   });
 }
 
@@ -393,12 +453,20 @@ void KademliaNode::handleStore(const Envelope& env) {
                            req.canonicalBatch())) {
       ++counters_.storesRejectedAuth;
       rep.ok = false;
+    } else if (wasPutApplied(req.signature.userId, req.putId, req.chunk)) {
+      // Replay of a chunk this replica already applied (the sender's ack
+      // was lost, or a client retry re-sent the batch): ack idempotently
+      // WITHOUT re-applying — kIncrement tokens would double-count.
+      ++counters_.storesDeduplicated;
+      rep.ok = true;
     } else {
-      rep.ok = !req.tokens.empty();
-      for (const auto& tok : req.tokens) {
-        rep.ok = store_.apply(req.key, tok, sim_.now()) && rep.ok;
+      // Atomic: a rejected batch leaves no partial state, so recording the
+      // dedup key on success is airtight — deduped ⟺ fully applied.
+      rep.ok = store_.applyAll(req.key, req.tokens, sim_.now());
+      if (rep.ok) {
+        recordPutApplied(req.signature.userId, req.putId, req.chunk);
+        ++counters_.storesAccepted;
       }
-      if (rep.ok) ++counters_.storesAccepted;
     }
     sendReply(env, RpcType::kStoreReply, rep.encode());
   } catch (const DecodeError&) {
@@ -469,6 +537,7 @@ void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
     auto onDone = [this, task, peerId = peer.id](bool ok, const Envelope& env) {
       if (task->done) return;
       --task->inflight;
+      if (!ok) ++task->rpcFailures;
       Candidate* c = task->find(peerId);
       if (c) c->state = ok ? CandState::kResponded : CandState::kFailed;
       if (ok) {
@@ -539,6 +608,7 @@ void KademliaNode::finishLookup(const std::shared_ptr<LookupTask>& task) {
   LookupResult res;
   res.messagesSent = task->messagesSent;
   res.valueReplies = task->valueReplies;
+  res.rpcFailures = task->rpcFailures;
   if (task->haveValue) res.value = std::move(task->mergedValue);
   for (const Candidate& c : task->candidates) {
     if (c.state == CandState::kResponded) {

@@ -8,9 +8,11 @@
 /// costs only one overlay lookup operation". counters().lookups is the
 /// quantity Table I counts.
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "crypto/identity.hpp"
 #include "dht/routing_table.hpp"
@@ -37,6 +39,34 @@ struct LookupResult {
   std::optional<BlockView> value;    ///< merged value (value lookups only)
   u32 messagesSent = 0;              ///< RPCs issued by this lookup
   u32 valueReplies = 0;              ///< replicas that returned the value
+  u32 rpcFailures = 0;               ///< lookup RPCs that timed out / failed
+};
+
+/// Outcome of one PUT, threaded up to the client layer so callers can tell
+/// "stored on every intended replica" apart from "silently under-replicated"
+/// (the distinction PR 2's churn work made real).
+struct PutResult {
+  u32 acks = 0;         ///< replicas that acknowledged every chunk
+  u32 targets = 0;      ///< responsive replicas the store was attempted on
+  u32 intended = 0;     ///< the replication degree aimed for (kStore)
+  u32 rpcFailures = 0;  ///< lookup + STORE RPCs that timed out / failed
+
+  /// True when the full intended replica set acknowledged. targets alone
+  /// cannot tell: a crashed overlay shrinks the responsive candidate set,
+  /// so acks == targets < kStore is still under-replication.
+  bool fullyReplicated() const { return intended > 0 && acks >= intended; }
+};
+
+/// Outcome of one GET. `view == nullopt` alone cannot distinguish "the
+/// block does not exist" from "every holder was unreachable"; rpcFailures
+/// carries the evidence.
+struct GetResult {
+  std::optional<BlockView> view;
+  u32 valueReplies = 0;  ///< replicas that returned the value
+  u32 messagesSent = 0;  ///< RPCs issued by the value lookup
+  u32 rpcFailures = 0;   ///< lookup RPCs that timed out / failed
+
+  bool found() const { return view.has_value(); }
 };
 
 /// Monotonic per-node counters.
@@ -52,6 +82,8 @@ struct NodeCounters {
   u64 credentialRejects = 0;   ///< datagrams dropped for bad credentials
   u64 replySenderMismatches = 0; ///< replies echoing a pending rpcId from the wrong peer
   u64 sendRejects = 0;         ///< RPCs failed fast (datagram refused by the network)
+  u64 putQuorumFailures = 0;   ///< PUTs acked by fewer replicas than intended
+  u64 storesDeduplicated = 0;  ///< replayed STOREs acked without re-applying
 };
 
 /// A single overlay node.
@@ -91,21 +123,35 @@ class KademliaNode {
   void findValue(const NodeId& key, const GetOptions& opt,
                  std::function<void(LookupResult)> cb);
 
-  /// PUT: one lookup + replicated signed STOREs.
-  /// cb(acks) with the number of replicas that acknowledged.
+  /// PUT: one lookup + replicated signed STOREs. cb receives the replica
+  /// ack count plus the intended replication degree (PutResult); a PUT that
+  /// lands on fewer replicas than intended bumps counters().putQuorumFailures.
   void put(const NodeId& key, const StoreToken& token,
-           std::function<void(u32)> cb);
+           std::function<void(PutResult)> cb);
 
   /// PUT of a token batch against one block: still exactly ONE lookup (the
   /// paper's per-block-operation cost unit); batches that would overflow
   /// the MTU are transparently split across several STORE datagrams.
-  /// cb(acks) counts replicas that acknowledged every chunk.
+  /// PutResult::acks counts replicas that acknowledged every chunk.
+  /// Allocates a fresh put id (see allocatePutId).
   void putMany(const NodeId& key, std::vector<StoreToken> tokens,
-               std::function<void(u32)> cb);
+               std::function<void(PutResult)> cb);
 
-  /// GET: one value lookup; cb(view) or cb(nullopt) if not found.
+  /// putMany under an explicit logical-PUT identity. Retrying callers MUST
+  /// reuse the id of the failed attempt: replicas dedup STOREs on
+  /// (sender, putId, chunk), which is what makes re-sending a batch of
+  /// non-idempotent kIncrement tokens safe.
+  void putMany(const NodeId& key, std::vector<StoreToken> tokens, u64 putId,
+               std::function<void(PutResult)> cb);
+
+  /// Reserves a logical-PUT identity for putMany (unique per node;
+  /// globally scoped by the sender credential replicas dedup against).
+  u64 allocatePutId() { return nextPutId_++; }
+
+  /// GET: one value lookup; GetResult::view is nullopt if not found, with
+  /// rpcFailures telling a clean miss apart from unreachable holders.
   void get(const NodeId& key, const GetOptions& opt,
-           std::function<void(std::optional<BlockView>)> cb);
+           std::function<void(GetResult)> cb);
 
   BlockStore& store() { return store_; }
   const BlockStore& store() const { return store_; }
@@ -128,6 +174,21 @@ class KademliaNode {
   BlockStore store_;
   NodeCounters counters_;
   u64 nextRpcId_ = 1;
+  u64 nextPutId_ = 1;
+
+  /// Replay-dedup memory for STOREs: (sender, putId, chunk) chunks that
+  /// fully APPLIED (recorded only on success — a rejected chunk must fail
+  /// again on retry, not be dedup-acked). Bounded FIFO so a long-lived
+  /// replica can't grow unboundedly; a retry arrives within a few backoff
+  /// periods, far inside the window.
+  std::unordered_set<std::string> seenPuts_;
+  std::deque<std::string> seenPutOrder_;
+  static constexpr usize kSeenPutCap = 8192;
+
+  static std::string putDedupKey(const std::string& user, u64 putId,
+                                 u32 chunk);
+  bool wasPutApplied(const std::string& user, u64 putId, u32 chunk) const;
+  void recordPutApplied(const std::string& user, u64 putId, u32 chunk);
 
   struct PendingRpc {
     std::function<void(bool, const Envelope&)> onDone;  // ok=false on timeout

@@ -164,7 +164,7 @@ FindValueReply FindValueReply::decode(ByteReader& r) {
 }
 
 std::string StoreReq::canonicalBatch() const {
-  std::string s;
+  std::string s = std::to_string(putId) + '|' + std::to_string(chunk) + '\n';
   for (const auto& t : tokens) {
     s += t.canonical();
     s += '\n';
@@ -175,6 +175,8 @@ std::string StoreReq::canonicalBatch() const {
 std::vector<u8> StoreReq::encode() const {
   ByteWriter w;
   writeNodeId(w, key);
+  w.writeVarint(putId);
+  w.writeVarint(chunk);
   w.writeVarint(tokens.size());
   for (const auto& t : tokens) {
     w.writeU8(static_cast<u8>(t.kind));
@@ -190,6 +192,8 @@ std::vector<u8> StoreReq::encode() const {
 StoreReq StoreReq::decode(ByteReader& r) {
   StoreReq q;
   q.key = readNodeId(r);
+  q.putId = r.readVarint();
+  q.chunk = static_cast<u32>(r.readVarint());
   u64 n = r.readVarint();
   q.tokens.reserve(n);
   for (u64 i = 0; i < n; ++i) {

@@ -78,11 +78,17 @@ struct FindValueReply {
 /// the sender splits batches that would exceed the MTU.
 struct StoreReq {
   NodeId key;
+  /// Identity of the logical PUT this STORE belongs to, stable across
+  /// client retries (allocated via KademliaNode::allocatePutId). Replicas
+  /// dedup on (sender, putId, chunk): re-applying a retried batch of
+  /// kIncrement tokens would otherwise double-count weights.
+  u64 putId = 0;
+  u32 chunk = 0;  ///< chunk index within an MTU-split batch
   std::vector<StoreToken> tokens;
   crypto::ContentSignature signature;
 
-  /// Canonical string covered by the signature (token canonicals joined
-  /// with newlines).
+  /// Canonical string covered by the signature (put identity + token
+  /// canonicals joined with newlines).
   std::string canonicalBatch() const;
 
   std::vector<u8> encode() const;

@@ -111,6 +111,29 @@ bool BlockStore::apply(const NodeId& key, const StoreToken& token,
   return false;
 }
 
+bool BlockStore::applyAll(const NodeId& key,
+                          const std::vector<StoreToken>& tokens,
+                          net::SimTime now) {
+  if (tokens.empty()) return false;
+  // Stage through apply(), restoring the pre-batch block (and the token
+  // counter) if any token is rejected: atomicity by rollback.
+  auto it = blocks_.find(key);
+  const bool existed = it != blocks_.end();
+  Block backup = existed ? it->second : Block{};
+  const u64 counterBackup = tokensApplied_;
+  bool ok = true;
+  for (const auto& t : tokens) ok = apply(key, t, now) && ok;
+  if (!ok) {
+    tokensApplied_ = counterBackup;
+    if (existed) {
+      blocks_[key] = std::move(backup);
+    } else {
+      blocks_.erase(key);
+    }
+  }
+  return ok;
+}
+
 std::optional<BlockView> BlockStore::query(const NodeId& key,
                                            const GetOptions& opt) const {
   auto it = blocks_.find(key);

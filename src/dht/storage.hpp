@@ -96,6 +96,14 @@ class BlockStore {
   /// malformed tokens (empty entry name or zero delta for increments).
   bool apply(const NodeId& key, const StoreToken& token, net::SimTime now);
 
+  /// Atomic batch apply: either every token lands or none does (a rejected
+  /// token rolls the block back). This is what makes the STORE replay
+  /// dedup sound — "chunk applied" is all-or-nothing, so a deduped retry
+  /// can never paper over a partially-applied batch. Empty batches are
+  /// rejected.
+  bool applyAll(const NodeId& key, const std::vector<StoreToken>& tokens,
+                net::SimTime now);
+
   /// True if a block exists under \p key.
   bool has(const NodeId& key) const { return blocks_.count(key) > 0; }
 

@@ -21,6 +21,7 @@ const char* stopReasonName(StopReason r) {
     case StopReason::kResourcesNarrowed: return "resources<=stop";
     case StopReason::kNoCandidates: return "no-candidates";
     case StopReason::kMaxSteps: return "max-steps";
+    case StopReason::kFetchFailed: return "fetch-failed";
   }
   return "?";
 }

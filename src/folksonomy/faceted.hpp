@@ -41,7 +41,13 @@ enum class StopReason {
   kResourcesNarrowed,  ///< |R_i| <= resourceStop
   kNoCandidates,       ///< start tag had no neighbours / empty display
   kMaxSteps,           ///< safety bound hit
+  /// A distributed step's block fetch failed (offline node, unreachable
+  /// holders, or a displayed tag whose t̂ vanished). Only produced by
+  /// core::DharmaSession — in-memory sessions cannot fail to fetch.
+  kFetchFailed,
 };
+
+inline constexpr usize kStopReasonCount = 5;
 
 const char* stopReasonName(StopReason r);
 

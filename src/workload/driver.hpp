@@ -1,0 +1,52 @@
+#pragma once
+/// \file driver.hpp
+/// \brief Bulk-load driver: replays a dataset/trace through the distributed
+///        DHARMA protocol on a live overlay.
+///
+/// The Section V-B replays run against the in-memory model (dataset.hpp);
+/// this driver is the overlay-backed counterpart, the "workload driver"
+/// of a deployment: it pushes a dataset into the DHT through a
+/// DharmaClient, either one tagResource per annotation (the paper's
+/// per-operation cost) or through the batched tagResources entry point
+/// that shares the r̄ lookup plan across a window of annotations on the
+/// same resource. Every operation's Outcome is inspected — failures are
+/// counted by OpError taxonomy, never silently dropped.
+
+#include "core/client.hpp"
+#include "workload/dataset.hpp"
+
+namespace dharma::wl {
+
+/// How the driver turns a trace into client operations.
+struct BulkLoadOptions {
+  /// Annotations buffered before flushing (grouped per resource into one
+  /// batched tagResources call each). 1 degrades to sequential tagResource.
+  usize windowSize = 16;
+  bool batched = true;      ///< use tagResources / insertResources
+  bool insertFirst = true;  ///< publish every resource's r̃/r̄ skeleton first
+};
+
+/// What the load cost and how it failed.
+struct BulkLoadStats {
+  u64 annotations = 0;  ///< tagging operations applied
+  u64 flushes = 0;      ///< client calls issued (batched or single)
+  u64 failures = 0;     ///< calls that returned an error
+  u64 retries = 0;      ///< block-op retries spent
+  u64 putsObserved = 0; ///< block PUTs with a recorded ack count
+  u32 minReplicas = 0;  ///< worst replica ack count seen on any PUT
+  std::array<u64, core::kOpErrorCount> byError{};
+  core::OpCost cost;
+
+  double lookupsPerAnnotation() const {
+    return annotations ? static_cast<double>(cost.lookups) /
+                             static_cast<double>(annotations)
+                       : 0.0;
+  }
+};
+
+/// Replays \p trace (annotations over \p data's name tables) through
+/// \p client. Deterministic for a fixed client seed and overlay.
+BulkLoadStats loadTrace(core::DharmaClient& client, const Dataset& data,
+                        const Trace& trace, const BulkLoadOptions& opt);
+
+}  // namespace dharma::wl

@@ -398,6 +398,37 @@ TEST(Bugfix, PinnedEvictionDoesNotDisplaceLiveContactsWhenVictimGone) {
   EXPECT_TRUE(rt.contains(c.id));
 }
 
+TEST(Bugfix, PutQuorumMissesAreCountedNotDropped) {
+  // KademliaNode::put's replica count used to be dropped at every call
+  // site, so a PUT landing on fewer than kStore replicas was invisible.
+  // The node now counts the miss AND reports it in PutResult.
+  auto cfg = smallConfig(16, 31);
+  cfg.node.kStore = 4;
+  DhtNetwork net(cfg);
+  net.bootstrap();
+
+  // Healthy overlay: full replication, no misses.
+  PutResult healthy = net.putResult(1, NodeId::fromString("q-healthy"),
+                                    inc("x", 1));
+  EXPECT_EQ(healthy.acks, 4u);
+  EXPECT_EQ(healthy.targets, 4u);
+  EXPECT_TRUE(healthy.fullyReplicated());
+  u64 before = 0;
+  for (usize i = 0; i < net.size(); ++i) {
+    before += net.node(i).counters().putQuorumFailures;
+  }
+  EXPECT_EQ(before, 0u);
+
+  // Crash all but 3 nodes: the publisher can only find 3 responsive
+  // replica targets — an under-replicated PUT whatever the key.
+  for (usize i = 3; i < 16; ++i) net.setOnline(i, false);
+  PutResult starved = net.putResult(0, NodeId::fromString("q-starved"),
+                                    inc("x", 1));
+  EXPECT_LT(starved.acks, 4u);
+  EXPECT_FALSE(starved.fullyReplicated());
+  EXPECT_GE(net.node(0).counters().putQuorumFailures, 1u);
+}
+
 TEST(Bugfix, OversizeStoreFailsFastInsteadOfTimingOut) {
   auto cfg = smallConfig(16);
   DhtNetwork net(cfg);
@@ -465,6 +496,29 @@ TEST(Storage, MergeMaxTokenIsIdempotentAndMonotone) {
   EXPECT_EQ(s.query(k, {})->weightOf("e"), 9u);
   EXPECT_FALSE(s.apply(k, StoreToken{TokenKind::kMergeMax, "", 1, {}}, 0));
   EXPECT_FALSE(s.apply(k, StoreToken{TokenKind::kMergeMax, "e", 0, {}}, 0));
+}
+
+TEST(Storage, ApplyAllIsAtomic) {
+  // The STORE path applies chunks through applyAll: a rejected token must
+  // leave NO partial state, or the replay dedup would let a retry
+  // double-apply the batch's valid increments.
+  BlockStore s;
+  NodeId k = NodeId::fromString("atomic");
+  EXPECT_TRUE(s.apply(k, inc("seed", 2), 0));
+  u64 before = s.tokensApplied();
+  EXPECT_FALSE(s.applyAll(
+      k, {inc("seed", 5), StoreToken{TokenKind::kIncrement, "", 1, {}}}, 0));
+  EXPECT_EQ(s.query(k, {})->weightOf("seed"), 2u);  // rolled back
+  EXPECT_EQ(s.tokensApplied(), before);
+
+  // A rejected batch on a fresh key must not create the block.
+  NodeId k2 = NodeId::fromString("atomic-fresh");
+  EXPECT_FALSE(s.applyAll(k2, {inc("a", 1), inc("", 1)}, 0));
+  EXPECT_FALSE(s.has(k2));
+  EXPECT_TRUE(s.applyAll(k2, {inc("a", 1), inc("b", 2)}, 7'000));
+  EXPECT_EQ(s.query(k2, {})->weightOf("b"), 2u);
+  EXPECT_EQ(s.lastTouched(k2), 7'000u);
+  EXPECT_FALSE(s.applyAll(k2, {}, 0));  // empty batches are rejected
 }
 
 TEST(Storage, ExpireDropsBlocksByLastTouched) {

@@ -75,8 +75,8 @@ TEST(ConsistencyRace, ConcurrentNaiveDoubleApplies) {
   // Launch both tagging operations before driving the simulator: both
   // clients read r̄ before either write lands.
   int done = 0;
-  a.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
-  b.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+  a.tagResourceAsync("res", "new", [&](Outcome<WriteReceipt>) { ++done; });
+  b.tagResourceAsync("res", "new", [&](Outcome<WriteReceipt>) { ++done; });
   f.net.sim().run();
   ASSERT_EQ(done, 2);
   // Both applied +u(base,res) = +3: the paper's 2·u(τ,r) anomaly.
@@ -93,8 +93,8 @@ TEST(ConsistencyRace, ConcurrentApproxBBoundsAnomaly) {
   DharmaClient b(f.net, 2, approxBCfg(), /*seed=*/8);
   f.seedResource(a);
   int done = 0;
-  a.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
-  b.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+  a.tagResourceAsync("res", "new", [&](Outcome<WriteReceipt>) { ++done; });
+  b.tagResourceAsync("res", "new", [&](Outcome<WriteReceipt>) { ++done; });
   f.net.sim().run();
   ASSERT_EQ(done, 2);
   // First conditional token creates the arc at 1; the second finds it
@@ -115,8 +115,8 @@ TEST(ConsistencyRace, ReverseArcsUnaffected) {
     DharmaClient b(f.net, 2, cfg, 8);
     f.seedResource(a);
     int done = 0;
-    a.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
-    b.tagResourceAsync("res", "new", [&](OpCost) { ++done; });
+    a.tagResourceAsync("res", "new", [&](Outcome<WriteReceipt>) { ++done; });
+    b.tagResourceAsync("res", "new", [&](Outcome<WriteReceipt>) { ++done; });
     f.net.sim().run();
     ASSERT_EQ(done, 2);
     auto bhat = f.net.getBlocking(0, blockKey("base", BlockType::kTagNeighbors));
@@ -131,8 +131,8 @@ TEST(ConsistencyRace, ConcurrentDistinctTagsAreIndependent) {
   DharmaClient b(f.net, 2, approxBCfg(), 8);
   f.seedResource(a);
   int done = 0;
-  a.tagResourceAsync("res", "alpha", [&](OpCost) { ++done; });
-  b.tagResourceAsync("res", "beta", [&](OpCost) { ++done; });
+  a.tagResourceAsync("res", "alpha", [&](Outcome<WriteReceipt>) { ++done; });
+  b.tagResourceAsync("res", "beta", [&](Outcome<WriteReceipt>) { ++done; });
   f.net.sim().run();
   ASSERT_EQ(done, 2);
   auto rbar = f.net.getBlocking(0, blockKey("res", BlockType::kResourceTags));

@@ -57,8 +57,11 @@ TEST(DharmaInsert, CostIs2Plus2m) {
     for (usize i = 0; i < m; ++i) {
       tags.push_back("tag-" + std::to_string(m) + "-" + std::to_string(i));
     }
-    OpCost cost = client.insertResource("res-m" + std::to_string(m), "uri://x", tags);
-    EXPECT_EQ(cost.lookups, 2 + 2 * m) << "m = " << m;  // Table I row 1
+    auto out = client.insertResource("res-m" + std::to_string(m), "uri://x", tags);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.cost.lookups, 2 + 2 * m) << "m = " << m;  // Table I row 1
+    EXPECT_EQ(out->blocksWritten, 2 + 2 * m);
+    EXPECT_GE(out->minReplicas, 1u);
   }
 }
 
@@ -80,30 +83,35 @@ TEST(DharmaInsert, BlocksMaterialize) {
   ASSERT_TRUE(that.has_value());
   EXPECT_EQ(that->weightOf("indie"), 1u);
   // r̃ resolves the URI.
-  auto [uri, cost] = client.resolveUri("song");
-  ASSERT_TRUE(uri.has_value());
-  EXPECT_EQ(*uri, "uri://song");
-  EXPECT_EQ(cost.lookups, 1u);
+  auto out = client.resolveUri("song");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "uri://song");
+  EXPECT_EQ(out.cost.lookups, 1u);
 }
 
 TEST(DharmaInsert, DuplicateTagsDeduplicated) {
   Fixture f;
   DharmaClient client(f.net, 0);
-  OpCost cost = client.insertResource("dup", "uri://d", {"a", "a", "b"});
-  EXPECT_EQ(cost.lookups, 2 + 2 * 2u);
+  auto out = client.insertResource("dup", "uri://d", {"a", "a", "b"});
+  EXPECT_EQ(out.cost.lookups, 2 + 2 * 2u);
   auto rbar = f.net.getBlocking(2, blockKey("dup", BlockType::kResourceTags));
   EXPECT_EQ(rbar->totalEntries, 2u);
 }
 
-TEST(DharmaResolve, MissingResourceIsNulloptAtOneLookup) {
+TEST(DharmaResolve, MissingResourceIsNotFoundAtOneLookup) {
   Fixture f;
   DharmaClient client(f.net, 0);
-  auto [uri, cost] = client.resolveUri("no-such-resource");
-  EXPECT_FALSE(uri.has_value());
-  EXPECT_EQ(cost.lookups, 1u);  // the r̃ GET is still paid for
-  EXPECT_EQ(cost.gets, 1u);
-  EXPECT_EQ(cost.puts, 0u);
+  auto out = client.resolveUri("no-such-resource");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), OpError::kNotFound);  // a clean, authoritative miss
+  EXPECT_EQ(out.cost.lookups, 1u);  // the r̃ GET is still paid for
+  EXPECT_EQ(out.cost.gets, 1u);
+  EXPECT_EQ(out.cost.puts, 0u);
+  EXPECT_EQ(out.retries, 0u);  // clean misses are not retried
   EXPECT_EQ(client.totalCost().lookups, 1u);
+  EXPECT_EQ(client.counters().failures, 1u);
+  EXPECT_EQ(client.counters().byError[static_cast<usize>(OpError::kNotFound)],
+            1u);
 }
 
 TEST(DharmaTag, ApproximatedCostIs4PlusK) {
@@ -120,8 +128,9 @@ TEST(DharmaTag, ApproximatedCostIs4PlusK) {
       tags.push_back("t" + std::to_string(k) + "-" + std::to_string(i));
     }
     client.insertResource(res, "uri://r", tags);
-    OpCost cost = client.tagResource(res, "fresh-tag-" + std::to_string(k));
-    EXPECT_EQ(cost.lookups, 4 + k) << "k = " << k;  // Table I row 2 (approx)
+    auto out = client.tagResource(res, "fresh-tag-" + std::to_string(k));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.cost.lookups, 4 + k) << "k = " << k;  // Table I row 2 (approx)
   }
 }
 
@@ -134,8 +143,8 @@ TEST(DharmaTag, NaiveCostIs4PlusTags) {
   std::vector<std::string> tags;
   for (int i = 0; i < 7; ++i) tags.push_back("nt" + std::to_string(i));
   client.insertResource("naive-res", "uri://n", tags);
-  OpCost cost = client.tagResource("naive-res", "another");
-  EXPECT_EQ(cost.lookups, 4 + 7u);  // 4 + |Tags(r)| (Table I row 2, naive)
+  auto out = client.tagResource("naive-res", "another");
+  EXPECT_EQ(out.cost.lookups, 4 + 7u);  // 4 + |Tags(r)| (Table I row 2, naive)
 }
 
 TEST(DharmaTag, KLargerThanTagsUsesAll) {
@@ -144,8 +153,8 @@ TEST(DharmaTag, KLargerThanTagsUsesAll) {
   cfg.k = 100;
   DharmaClient client(f.net, 0, cfg);
   client.insertResource("small-res", "uri://s", {"x", "y"});
-  OpCost cost = client.tagResource("small-res", "z");
-  EXPECT_EQ(cost.lookups, 4 + 2u);  // capped by |Tags(r)|
+  auto out = client.tagResource("small-res", "z");
+  EXPECT_EQ(out.cost.lookups, 4 + 2u);  // capped by |Tags(r)|
 }
 
 TEST(DharmaTag, UpdatesTrgBlocks) {
@@ -203,22 +212,26 @@ TEST(DharmaSearch, StepCostsTwoLookups) {
   Fixture f;
   DharmaClient client(f.net, 0);
   client.insertResource("s1", "uri://1", {"rock", "pop"});
-  auto [step, cost] = client.searchStep("rock");
-  EXPECT_EQ(cost.lookups, 2u);  // Table I row 3
-  EXPECT_TRUE(step.tagKnown);
-  ASSERT_EQ(step.relatedTags.size(), 1u);
-  EXPECT_EQ(step.relatedTags[0].name, "pop");
-  ASSERT_EQ(step.resources.size(), 1u);
-  EXPECT_EQ(step.resources[0].name, "s1");
+  auto out = client.searchStep("rock");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.cost.lookups, 2u);  // Table I row 3
+  EXPECT_TRUE(out->tagKnown);
+  ASSERT_EQ(out->relatedTags.size(), 1u);
+  EXPECT_EQ(out->relatedTags[0].name, "pop");
+  ASSERT_EQ(out->resources.size(), 1u);
+  EXPECT_EQ(out->resources[0].name, "s1");
 }
 
 TEST(DharmaSearch, UnknownTag) {
   Fixture f;
   DharmaClient client(f.net, 0);
-  auto [step, cost] = client.searchStep("never-used");
-  EXPECT_FALSE(step.tagKnown);
-  EXPECT_TRUE(step.relatedTags.empty());
-  EXPECT_EQ(cost.lookups, 2u);
+  auto out = client.searchStep("never-used");
+  // An unknown tag on a healthy overlay is a legitimate outcome, not an
+  // error: the miss was authoritative.
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->tagKnown);
+  EXPECT_TRUE(out->relatedTags.empty());
+  EXPECT_EQ(out.cost.lookups, 2u);
 }
 
 TEST(DharmaSession, NavigatesAndNarrows) {

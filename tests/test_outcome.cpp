@@ -1,0 +1,477 @@
+/// The Outcome-carrying client API contract (core/outcome.hpp): OpError
+/// taxonomy mapping, OpPolicy retry/deadline behaviour (deterministic per
+/// seed), quorum-threshold edges, the batched entry points' cost accounting
+/// against Table I, and DharmaSession's kFetchFailed propagation.
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/session.hpp"
+
+namespace dharma::core {
+namespace {
+
+dht::DhtNetworkConfig overlayConfig(usize nodes = 16, u64 seed = 42,
+                                    usize kStore = 8) {
+  dht::DhtNetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  cfg.latency = "constant";
+  cfg.constantLatencyUs = 5000;
+  cfg.node.kStore = kStore;
+  return cfg;
+}
+
+struct Fixture {
+  dht::DhtNetwork net;
+  explicit Fixture(usize nodes = 16, u64 seed = 42, usize kStore = 8)
+      : net(overlayConfig(nodes, seed, kStore)) {
+    net.bootstrap();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Taxonomy mapping
+// ---------------------------------------------------------------------------
+
+TEST(OpErrorTaxonomy, Names) {
+  EXPECT_STREQ(opErrorName(OpError::kNotFound), "not-found");
+  EXPECT_STREQ(opErrorName(OpError::kQuorumFailed), "quorum-failed");
+  EXPECT_STREQ(opErrorName(OpError::kTimeout), "timeout");
+  EXPECT_STREQ(opErrorName(OpError::kNodeOffline), "node-offline");
+}
+
+TEST(OpErrorTaxonomy, ClassifyGet) {
+  dht::GetResult found;
+  found.view = dht::BlockView{};
+  EXPECT_FALSE(classifyGet(found).has_value());
+
+  dht::GetResult cleanMiss;  // all queried peers answered: authoritative
+  cleanMiss.messagesSent = 5;
+  EXPECT_EQ(classifyGet(cleanMiss), OpError::kNotFound);
+
+  dht::GetResult dirtyMiss;  // some holders never answered
+  dirtyMiss.messagesSent = 5;
+  dirtyMiss.rpcFailures = 2;
+  EXPECT_EQ(classifyGet(dirtyMiss), OpError::kTimeout);
+}
+
+TEST(OpErrorTaxonomy, ClassifyPut) {
+  dht::PutResult r;
+  r.acks = 3;
+  r.targets = 8;
+  EXPECT_FALSE(classifyPut(r, 3).has_value());
+  EXPECT_FALSE(classifyPut(r, 1).has_value());
+  EXPECT_EQ(classifyPut(r, 4), OpError::kQuorumFailed);
+  EXPECT_EQ(classifyPut(dht::PutResult{}, 1), OpError::kQuorumFailed);
+}
+
+// ---------------------------------------------------------------------------
+// kNodeOffline: a client on a crashed node fails fast at zero cost
+// ---------------------------------------------------------------------------
+
+TEST(Outcome, OfflineNodeFailsEveryPrimitiveAtZeroCost) {
+  Fixture f;
+  f.net.setOnline(3, false);
+  DharmaClient client(f.net, 3);
+
+  auto ins = client.insertResource("r", "uri://r", {"a"});
+  EXPECT_FALSE(ins.ok());
+  EXPECT_EQ(ins.error(), OpError::kNodeOffline);
+  EXPECT_EQ(ins.cost.lookups, 0u);
+
+  auto tag = client.tagResource("r", "b");
+  EXPECT_EQ(tag.error(), OpError::kNodeOffline);
+
+  auto batch = client.tagResources("r", {"b", "c"});
+  EXPECT_EQ(batch.error(), OpError::kNodeOffline);
+
+  auto step = client.searchStep("a");
+  EXPECT_EQ(step.error(), OpError::kNodeOffline);
+
+  auto uri = client.resolveUri("r");
+  EXPECT_EQ(uri.error(), OpError::kNodeOffline);
+
+  EXPECT_EQ(client.totalCost().lookups, 0u);
+  EXPECT_EQ(client.counters().failures, 5u);
+  EXPECT_EQ(
+      client.counters().byError[static_cast<usize>(OpError::kNodeOffline)], 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Quorum thresholds
+// ---------------------------------------------------------------------------
+
+TEST(Outcome, QuorumThresholdEdges) {
+  Fixture f(16, 7, /*kStore=*/4);
+  // Healthy overlay: every PUT reaches exactly kStore = 4 replicas.
+  OpPolicy exact;
+  exact.putQuorum = 4;
+  exact.retryBudget = 0;
+  DharmaClient ok(f.net, 0, DharmaConfig{}, 5, exact);
+  auto out = ok.insertResource("edge-ok", "uri://e", {"a", "b"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->minReplicas, 4u);
+  EXPECT_EQ(out.replication.quorumMisses, 0u);
+  for (u32 acks : out.replication.acks) EXPECT_EQ(acks, 4u);
+
+  // A quorum one above the replication factor is unsatisfiable even on a
+  // healthy overlay: every PUT fails, no silent success.
+  OpPolicy beyond;
+  beyond.putQuorum = 5;
+  beyond.retryBudget = 0;
+  DharmaClient fail(f.net, 1, DharmaConfig{}, 5, beyond);
+  auto bad = fail.insertResource("edge-bad", "uri://e", {"a"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), OpError::kQuorumFailed);
+  EXPECT_EQ(bad.replication.quorumMisses, bad.replication.puts());
+  EXPECT_FALSE(bad.val.has_value());  // no value on failure
+  EXPECT_EQ(bad.cost.lookups, 2 + 2 * 1u);  // the cost was still paid
+}
+
+TEST(Outcome, UnderReplicationDetectedAfterCrash) {
+  Fixture f(16, 9, /*kStore=*/4);
+  // Crash all but 3 nodes (sparing the client): PUT lookups can only find
+  // 3 responsive replica targets — below the intended kStore = 4, so every
+  // PUT under-replicates no matter which key it hashes to.
+  for (usize i = 3; i < 16; ++i) f.net.setOnline(i, false);
+  OpPolicy strict;
+  strict.putQuorum = 4;
+  strict.retryBudget = 0;
+  DharmaClient client(f.net, 0, DharmaConfig{}, 5, strict);
+  auto out = client.insertResource("crashy", "uri://c", {"a"});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), OpError::kQuorumFailed);
+  EXPECT_EQ(out.replication.quorumMisses, out.replication.puts());
+  EXPECT_LT(out.replication.minAcks(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry budget: spent deterministically, same seed ⇒ same trace
+// ---------------------------------------------------------------------------
+
+struct RetryTrace {
+  u32 retries = 0;
+  u64 lookups = 0;
+  u64 elapsedUs = 0;
+  bool ok = false;
+  u8 error = 255;
+
+  bool operator==(const RetryTrace&) const = default;
+};
+
+RetryTrace runRetryScenario(u64 clientSeed) {
+  Fixture f(16, 11, /*kStore=*/8);
+  // 6 online nodes < putQuorum = 8: every PUT attempt must fail.
+  for (usize i = 6; i < 16; ++i) f.net.setOnline(i, false);
+  OpPolicy p;
+  p.putQuorum = 8;
+  p.retryBudget = 2;
+  p.retryBackoffUs = 100'000;
+  DharmaClient client(f.net, 0, DharmaConfig{}, clientSeed, p);
+  u64 t0 = f.net.sim().now();
+  auto out = client.insertResource("retry-res", "uri://r", {"t"});
+  RetryTrace tr;
+  tr.retries = out.retries;
+  tr.lookups = out.cost.lookups;
+  tr.elapsedUs = f.net.sim().now() - t0;
+  tr.ok = out.ok();
+  tr.error = out.err ? static_cast<u8>(*out.err) : 255;
+  return tr;
+}
+
+TEST(Outcome, RetryBudgetSpentAndDeterministic) {
+  RetryTrace a = runRetryScenario(5);
+  RetryTrace b = runRetryScenario(5);
+  EXPECT_EQ(a, b);  // same seed ⇒ bit-identical retry trace
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.error, static_cast<u8>(OpError::kQuorumFailed));
+  // insertResource(r, {t}) issues 4 block PUTs (r̃, r̄, t̄, t̂); every one
+  // burns its full 2-retry budget, and every attempt is a paid lookup.
+  EXPECT_EQ(a.retries, 4 * 2u);
+  EXPECT_EQ(a.lookups, 4 * 3u);
+}
+
+TEST(Outcome, RetriesNeverDoubleApplyIncrements) {
+  // A retried PUT re-sends non-idempotent kIncrement tokens; replicas that
+  // applied the failed attempt must dedup the replay on (sender, putId,
+  // chunk) or weights get double-counted — the same corruption PR 2's
+  // kMergeMax exists to avoid on the republish path.
+  Fixture f(8, 19, /*kStore=*/4);
+  for (usize i = 2; i < 8; ++i) f.net.setOnline(i, false);
+  OpPolicy p;
+  p.putQuorum = 3;  // unreachable with 2 online: every attempt fails
+  p.retryBudget = 2;
+  p.retryBackoffUs = 100'000;
+  DharmaClient client(f.net, 0, DharmaConfig{}, 5, p);
+  auto out = client.insertResource("dedup-res", "uri://d", {"t"});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.retries, 4 * 2u);  // every block PUT retried twice
+
+  // Both surviving replicas absorbed 3 attempts of the same logical PUT;
+  // the weight must reflect exactly one application.
+  u64 deduped = 0;
+  for (usize i = 0; i < 2; ++i) {
+    auto view = f.net.node(i).store().query(
+        blockKey("dedup-res", BlockType::kResourceTags), dht::GetOptions{});
+    ASSERT_TRUE(view.has_value()) << "replica " << i;
+    EXPECT_EQ(view->weightOf("t"), 1u) << "replica " << i;
+    deduped += f.net.node(i).counters().storesDeduplicated;
+  }
+  EXPECT_GT(deduped, 0u);
+}
+
+TEST(Outcome, RetrySucceedsAfterRevive) {
+  Fixture f(16, 13, /*kStore=*/4);
+  // 3 online < kStore: the first attempt of every PUT under-replicates.
+  for (usize i = 3; i < 16; ++i) f.net.setOnline(i, false);
+  // Revive the overlay once both blocks have failed at least one attempt
+  // (watching the node's own quorum-failure counter keeps the trigger
+  // deterministic without guessing attempt durations).
+  auto revived = std::make_shared<bool>(false);
+  std::function<void()> watch = [&f, revived, &watch] {
+    if (*revived) return;
+    if (f.net.node(0).counters().putQuorumFailures >= 2) {
+      for (usize i = 3; i < 16; ++i) f.net.setOnline(i, true);
+      *revived = true;
+      return;
+    }
+    f.net.sim().schedule(50'000, watch);
+  };
+  f.net.sim().schedule(50'000, watch);
+
+  OpPolicy p;
+  p.putQuorum = 4;
+  p.retryBudget = 3;
+  p.retryBackoffUs = 200'000;
+  DharmaClient client(f.net, 0, DharmaConfig{}, 5, p);
+  auto out = client.insertResource("revived", "uri://v", {});
+  ASSERT_TRUE(out.ok()) << (out.err ? opErrorName(*out.err) : "?");
+  EXPECT_TRUE(*revived);
+  EXPECT_GT(out.retries, 0u);  // the success was earned through retries
+  EXPECT_GE(out->minReplicas, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+TEST(Outcome, DeadlineMapsToTimeout) {
+  Fixture f(16, 17, /*kStore=*/8);
+  OpPolicy p;
+  p.putQuorum = 9;  // unsatisfiable: every attempt fails
+  p.retryBudget = 10;
+  p.opDeadlineUs = 1;  // expires during the first attempt
+  DharmaClient client(f.net, 0, DharmaConfig{}, 5, p);
+  auto out = client.insertResource("deadline", "uri://d", {"a"});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), OpError::kTimeout);
+  EXPECT_EQ(out.retries, 0u);  // no retry budget spent past the deadline
+}
+
+// ---------------------------------------------------------------------------
+// Batched ops: cost accounting vs Table I and block-level equivalence
+// ---------------------------------------------------------------------------
+
+TEST(BatchedOps, TagBatchCostFormulaNaive) {
+  Fixture f;
+  DharmaConfig naive;
+  naive.approximateA = false;
+  naive.approximateB = false;
+  DharmaClient client(f.net, 0, naive, 5);
+  for (usize m : {2u, 4u, 8u}) {
+    std::vector<std::string> tags;
+    for (usize i = 0; i < m; ++i) {
+      tags.push_back("bt-" + std::to_string(m) + "-" + std::to_string(i));
+    }
+    std::string res = "bres-" + std::to_string(m);
+    client.insertResource(res, "uri://b", {"base"});
+    auto out = client.tagResources(res, tags);
+    ASSERT_TRUE(out.ok());
+    // Shared plan: 1 r̄ GET + 1 r̄ PUT + m t̄ + m t̂ + reverse PUTs to the
+    // union of co-tags = {base, t0..t(m-2)} → m distinct targets.
+    EXPECT_EQ(out.cost.lookups, 2 + 2 * m + m) << "m = " << m;
+    // Sequential naive cost for comparison: Σ (4 + |Tags(r)| at step i)
+    // = Σ (4 + 1 + i) — strictly more for every m >= 2.
+    u64 sequential = 0;
+    for (usize i = 0; i < m; ++i) sequential += 4 + 1 + i;
+    EXPECT_LT(out.cost.lookups, sequential);
+  }
+}
+
+TEST(BatchedOps, TagBatchMatchesSequentialBlocks) {
+  // Two identical overlays; same ops, batched on one, sequential on the
+  // other. Naive mode keeps both paths rng-free, so every block must come
+  // out identical — the batch is an optimization, not a semantic change.
+  DharmaConfig naive;
+  naive.approximateA = false;
+  naive.approximateB = false;
+  std::vector<std::string> tags{"x", "y", "x", "z"};  // includes a repeat
+
+  Fixture fs(16, 23);
+  DharmaClient seq(fs.net, 0, naive, 5);
+  seq.insertResource("eq", "uri://e", {"base"});
+  for (const auto& t : tags) ASSERT_TRUE(seq.tagResource("eq", t).ok());
+
+  Fixture fb(16, 23);
+  DharmaClient bat(fb.net, 0, naive, 5);
+  bat.insertResource("eq", "uri://e", {"base"});
+  ASSERT_TRUE(bat.tagResources("eq", tags).ok());
+
+  dht::GetOptions all{0, 1u << 20};
+  auto rbarS = fs.net.getBlocking(1, blockKey("eq", BlockType::kResourceTags), all);
+  auto rbarB = fb.net.getBlocking(1, blockKey("eq", BlockType::kResourceTags), all);
+  ASSERT_TRUE(rbarS && rbarB);
+  EXPECT_EQ(rbarS->entries, rbarB->entries);
+  for (const char* t : {"base", "x", "y", "z"}) {
+    auto hatS = fs.net.getBlocking(2, blockKey(t, BlockType::kTagNeighbors), all);
+    auto hatB = fb.net.getBlocking(2, blockKey(t, BlockType::kTagNeighbors), all);
+    ASSERT_TRUE(hatS.has_value() == hatB.has_value()) << t;
+    if (hatS) EXPECT_EQ(hatS->entries, hatB->entries) << t;
+    auto barS = fs.net.getBlocking(3, blockKey(t, BlockType::kTagResources), all);
+    auto barB = fb.net.getBlocking(3, blockKey(t, BlockType::kTagResources), all);
+    ASSERT_TRUE(barS.has_value() == barB.has_value()) << t;
+    if (barS) EXPECT_EQ(barS->entries, barB->entries) << t;
+  }
+}
+
+TEST(BatchedOps, TagBatchSharesApproxASamplingStream) {
+  // With Approximation A on, the batch draws its reverse subsets from the
+  // same client Rng in the same order as m sequential calls would: same
+  // seed ⇒ same subsets ⇒ identical blocks.
+  DharmaConfig approx;  // A + B, k = 1
+  std::vector<std::string> tags{"t0", "t1", "t2", "t3", "t4"};
+
+  Fixture fs(16, 29);
+  DharmaClient seq(fs.net, 0, approx, 77);
+  seq.insertResource("ap", "uri://a", {"b0", "b1", "b2"});
+  for (const auto& t : tags) ASSERT_TRUE(seq.tagResource("ap", t).ok());
+
+  Fixture fb(16, 29);
+  DharmaClient bat(fb.net, 0, approx, 77);
+  bat.insertResource("ap", "uri://a", {"b0", "b1", "b2"});
+  auto out = bat.tagResources("ap", tags);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out.cost.lookups, tags.size() * (4 + 1));  // cheaper than 5 ops
+
+  dht::GetOptions all{0, 1u << 20};
+  for (const char* t : {"b0", "b1", "b2", "t0", "t1", "t2", "t3", "t4"}) {
+    auto hatS = fs.net.getBlocking(1, blockKey(t, BlockType::kTagNeighbors), all);
+    auto hatB = fb.net.getBlocking(1, blockKey(t, BlockType::kTagNeighbors), all);
+    ASSERT_TRUE(hatS.has_value() == hatB.has_value()) << t;
+    if (hatS) EXPECT_EQ(hatS->entries, hatB->entries) << t;
+  }
+}
+
+TEST(BatchedOps, InsertBatchCostFormula) {
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  std::vector<ResourceSpec> specs;
+  for (usize i = 0; i < 4; ++i) {
+    specs.push_back(ResourceSpec{"ib-" + std::to_string(i), "uri://i",
+                                 {"shared", "solo-" + std::to_string(i)}});
+  }
+  auto out = client.insertResources(specs);
+  ASSERT_TRUE(out.ok());
+  // 2 lookups per resource (r̃, r̄) + 2 per distinct tag (t̄, t̂):
+  // distinct = {shared, solo-0..3} = 5.
+  EXPECT_EQ(out.cost.lookups, 2 * 4 + 2 * 5u);
+  EXPECT_EQ(out->blocksWritten, 2 * 4 + 2 * 5u);
+  // Sequential would cost Σ (2 + 2*2) = 24 > 18.
+  EXPECT_LT(out.cost.lookups, 24u);
+
+  // The blocks carry single-insert semantics: shared's t̄ lists all four.
+  auto tbar = f.net.getBlocking(1, blockKey("shared", BlockType::kTagResources));
+  ASSERT_TRUE(tbar.has_value());
+  EXPECT_EQ(tbar->totalEntries, 4u);
+  auto rbar = f.net.getBlocking(2, blockKey("ib-2", BlockType::kResourceTags));
+  ASSERT_TRUE(rbar.has_value());
+  EXPECT_EQ(rbar->weightOf("shared"), 1u);
+  EXPECT_EQ(rbar->weightOf("solo-2"), 1u);
+  auto hat = f.net.getBlocking(3, blockKey("solo-1", BlockType::kTagNeighbors));
+  ASSERT_TRUE(hat.has_value());
+  EXPECT_EQ(hat->weightOf("shared"), 1u);
+}
+
+TEST(BatchedOps, SingleOpPathsKeepTableICosts) {
+  // The batched machinery must not perturb the single-op identities.
+  Fixture f;
+  DharmaClient client(f.net, 0);
+  auto ins = client.insertResource("tbl", "uri://t", {"a", "b", "c"});
+  EXPECT_EQ(ins.cost.lookups, 2 + 2 * 3u);
+  auto tag = client.tagResource("tbl", "d");
+  EXPECT_EQ(tag.cost.lookups, 4 + 1u);  // k = 1
+  auto step = client.searchStep("a");
+  EXPECT_EQ(step.cost.lookups, 2u);
+  auto uri = client.resolveUri("tbl");
+  EXPECT_EQ(uri.cost.lookups, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DharmaSession: kFetchFailed propagation
+// ---------------------------------------------------------------------------
+
+TEST(SessionFetchFailed, OfflineNodeStopsWithFetchFailedNotNoCandidates) {
+  Fixture f;
+  f.net.setOnline(2, false);
+  DharmaClient client(f.net, 2);
+  DharmaSession session(client);
+  auto info = session.start("rock");
+  EXPECT_TRUE(info.done);
+  EXPECT_EQ(info.reason, folk::StopReason::kFetchFailed);
+  ASSERT_TRUE(info.error.has_value());
+  EXPECT_EQ(*info.error, OpError::kNodeOffline);
+  EXPECT_EQ(session.reason(), folk::StopReason::kFetchFailed);
+  EXPECT_EQ(session.lastError(), OpError::kNodeOffline);
+  EXPECT_STREQ(folk::stopReasonName(session.reason()), "fetch-failed");
+}
+
+TEST(SessionFetchFailed, MidSessionCrashPropagatesError) {
+  Fixture f;
+  DharmaClient publisher(f.net, 0);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> tags{"rock"};
+    if (i < 6) tags.push_back("indie");
+    if (i < 3) tags.push_back("live");
+    publisher.insertResource("s-" + std::to_string(i), "uri://s", tags);
+  }
+  DharmaClient reader(f.net, 4);
+  folk::SearchConfig sc;
+  sc.resourceStop = 1;
+  DharmaSession session(reader, sc);
+  auto info = session.start("rock");
+  ASSERT_FALSE(info.done);
+  usize before = session.resources().size();
+
+  // The reader's node crashes between steps: the next select must not be
+  // reported as "no candidates" — the candidates are fine, the fetch isn't.
+  f.net.setOnline(4, false);
+  info = session.select("indie");
+  EXPECT_TRUE(info.done);
+  EXPECT_EQ(info.reason, folk::StopReason::kFetchFailed);
+  EXPECT_EQ(info.error, OpError::kNodeOffline);
+  // The failed step did NOT narrow the candidate sets.
+  EXPECT_EQ(session.resources().size(), before);
+}
+
+TEST(SessionFetchFailed, HealthySessionNeverFetchFails) {
+  Fixture f;
+  DharmaClient client(f.net, 1);
+  for (int i = 0; i < 8; ++i) {
+    client.insertResource("m-" + std::to_string(i), "uri://m",
+                          {"metal", "loud", "dark"});
+  }
+  folk::SearchConfig sc;
+  sc.resourceStop = 2;
+  DharmaSession session(client, sc);
+  session.start("metal");
+  Rng rng(5);
+  while (!session.done()) {
+    session.selectByStrategy(folk::Strategy::kFirst, rng);
+  }
+  EXPECT_NE(session.reason(), folk::StopReason::kFetchFailed);
+  EXPECT_FALSE(session.lastError().has_value());
+}
+
+}  // namespace
+}  // namespace dharma::core

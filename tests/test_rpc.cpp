@@ -155,8 +155,9 @@ TEST(Rpc, StoreReqRejectsBadKind) {
   req.key = NodeId::fromString("key");
   req.tokens.push_back(StoreToken{TokenKind::kIncrement, "a", 1, {}});
   auto bytes = req.encode();
-  // token kind byte sits right after the 20-byte key + 1-byte count.
-  bytes[21] = 99;
+  // token kind byte sits right after the 20-byte key + 1-byte putId +
+  // 1-byte chunk + 1-byte count (all small enough for 1-byte varints).
+  bytes[23] = 99;
   ByteReader r(bytes);
   EXPECT_THROW(StoreReq::decode(r), DecodeError);
 }

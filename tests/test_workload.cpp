@@ -7,6 +7,7 @@
 
 #include "folksonomy/derive.hpp"
 #include "workload/dataset.hpp"
+#include "workload/driver.hpp"
 
 namespace dharma::wl {
 namespace {
@@ -223,6 +224,103 @@ TEST(Interner, Basics) {
   EXPECT_EQ(in.size(), 2u);
   EXPECT_TRUE(in.find("pop").has_value());
   EXPECT_FALSE(in.find("jazz").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-load driver (workload/driver.hpp): dataset replay over a live overlay
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Dataset microDataset() {
+  SynthConfig cfg;
+  cfg.numTags = 12;
+  cfg.numResources = 20;
+  cfg.targetAnnotations = 90;
+  cfg.maxResourceDegree = 8;
+  cfg.seed = 3;
+  return Dataset::synthetic(cfg);
+}
+
+dht::DhtNetworkConfig microOverlay(u64 seed) {
+  dht::DhtNetworkConfig cfg;
+  cfg.nodes = 16;
+  cfg.seed = seed;
+  cfg.latency = "constant";
+  cfg.constantLatencyUs = 2000;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(BulkDriver, BatchedLoadIsCheaperAndEquivalent) {
+  Dataset data = microDataset();
+  Trace trace = buildPaperOrderTrace(data.trg, 5);
+
+  // Naive protocol on both paths: rng-free, so the batched and sequential
+  // replays must produce bit-identical blocks.
+  core::DharmaConfig naive;
+  naive.approximateA = false;
+  naive.approximateB = false;
+
+  dht::DhtNetwork netSeq(microOverlay(42));
+  netSeq.bootstrap();
+  core::DharmaClient seq(netSeq, 0, naive, 7);
+  BulkLoadOptions seqOpt;
+  seqOpt.batched = false;
+  BulkLoadStats seqStats = loadTrace(seq, data, trace, seqOpt);
+
+  dht::DhtNetwork netBat(microOverlay(42));
+  netBat.bootstrap();
+  core::DharmaClient bat(netBat, 0, naive, 7);
+  BulkLoadOptions batOpt;
+  batOpt.windowSize = 16;
+  BulkLoadStats batStats = loadTrace(bat, data, trace, batOpt);
+
+  // Zero silent failures on a healthy overlay.
+  EXPECT_EQ(seqStats.failures, 0u);
+  EXPECT_EQ(batStats.failures, 0u);
+  EXPECT_EQ(seqStats.annotations, trace.size());
+  EXPECT_EQ(batStats.annotations, trace.size());
+  EXPECT_GE(batStats.minReplicas, 1u);
+
+  // The whole point: the shared lookup plan loads the same data for
+  // measurably fewer lookups per annotation.
+  EXPECT_LT(batStats.cost.lookups, seqStats.cost.lookups);
+  EXPECT_LT(batStats.flushes, seqStats.flushes);
+
+  // Equivalence: every resource's r̄ block matches the TRG on both paths.
+  dht::GetOptions all{0, 1u << 20};
+  for (u32 r = 0; r < data.trg.resourceSpan(); ++r) {
+    auto key = core::blockKey(data.resources.name(r),
+                              core::BlockType::kResourceTags);
+    auto vs = netSeq.getBlocking(1, key, all);
+    auto vb = netBat.getBlocking(1, key, all);
+    ASSERT_EQ(vs.has_value(), vb.has_value()) << data.resources.name(r);
+    if (!vs) continue;
+    EXPECT_EQ(vs->entries, vb->entries) << data.resources.name(r);
+    for (const auto& e : data.trg.tagsOf(r)) {
+      EXPECT_EQ(vs->weightOf(data.tags.name(e.tag)), e.weight)
+          << data.resources.name(r) << "/" << data.tags.name(e.tag);
+    }
+  }
+}
+
+TEST(BulkDriver, FailuresAreClassifiedNotDropped) {
+  Dataset data = microDataset();
+  Trace trace = buildPaperOrderTrace(data.trg, 5);
+  dht::DhtNetwork net(microOverlay(43));
+  net.bootstrap();
+  // The driver's client rides a crashed node: every flush must fail with
+  // kNodeOffline — and be counted, not silently absorbed.
+  net.setOnline(2, false);
+  core::DharmaClient client(net, 2, core::DharmaConfig{}, 7);
+  BulkLoadOptions opt;
+  BulkLoadStats st = loadTrace(client, data, trace, opt);
+  EXPECT_EQ(st.failures, st.flushes);
+  EXPECT_EQ(st.byError[static_cast<usize>(core::OpError::kNodeOffline)],
+            st.failures);
+  EXPECT_EQ(st.cost.lookups, 0u);
 }
 
 }  // namespace
