@@ -15,11 +15,21 @@
 ///      seeds, plus a partial revive of the first wave's victims;
 ///   4. measure again right after the last wave ("during") and after two
 ///      further republish cycles ("after");
-///   5. run the identical script with maintenance disabled and compare.
+///   5. run the identical script with maintenance disabled and compare;
+///   6. run it once more with maintenance AND record caching on
+///      (node-side path caches, non-authoritative reads): cached reads are
+///      classified explicitly — a hit with the right content counts as
+///      "cached", one with wrong content as "cached-stale", NEVER as an
+///      unclassified silent success — and the per-scenario cache counters
+///      (hits/misses/evictions/expirations, STORE_CACHE published/absorbed)
+///      are printed so cache activity under churn is fully observable.
 ///
 /// SHAPE CHECK: maintenance-on keeps get-success >= 99% in the "after"
 /// phase, and maintenance-off shows measurable degradation (lower success
-/// or >= 1.25x the during-churn get latency).
+/// or >= 1.25x the during-churn get latency). The cached scenario must hold
+/// the same availability bar with zero silent failures and zero stale
+/// cached reads (this workload never rewrites a block, so any staleness
+/// would be a caching bug, not tolerated approximation).
 ///
 /// Options: --nodes --keys --waves --joins --seed --smoke (small, fast
 /// parameters for CI).
@@ -61,6 +71,12 @@ struct PhaseStats {
   /// divergent block read as "found"). Must stay zero — this is the
   /// falsifiable half of the zero-silent-failure claim.
   u64 silent = 0;
+  /// Successful gets served from record caches (GetResult::servedFromCache):
+  /// correct content, zero authoritative replicas consulted.
+  u64 cachedServed = 0;
+  /// Cache-served gets whose content was WRONG — classified on its own so
+  /// cache staleness can never hide inside `silent` or masquerade as ok.
+  u64 cachedStale = 0;
 
   double successRate() const {
     return total ? static_cast<double>(ok) / static_cast<double>(total) : 0.0;
@@ -74,6 +90,9 @@ struct PhaseStats {
       s += std::string(core::opErrorName(static_cast<core::OpError>(e))) +
            ":" + std::to_string(byError[e]);
     }
+    if (cachedStale > 0) s += (s.empty() ? "" : " ") +
+                              std::string("cached-stale:") +
+                              std::to_string(cachedStale);
     if (silent > 0) s += (s.empty() ? "" : " ") + std::string("SILENT:") +
                          std::to_string(silent);
     return s.empty() ? "-" : s;
@@ -85,6 +104,10 @@ struct ScenarioResult {
   u64 totalRpcs = 0;
   u64 timeouts = 0;
   usize onlineNodes = 0;
+  /// Whole-overlay record-cache counters (all zero when caching is off).
+  u64 cacheHits = 0, cacheMisses = 0, cacheEvictions = 0;
+  u64 cacheExpirations = 0, storeCachePublished = 0, storeCacheAccepted = 0;
+  u64 cacheSweepDrops = 0;  ///< entries dropped by the maintenance sweep
 };
 
 dht::StoreToken inc(const std::string& entry, u64 delta) {
@@ -93,29 +116,46 @@ dht::StoreToken inc(const std::string& entry, u64 delta) {
 
 /// One GET per key from a random online reader; success requires the
 /// block's real content, not just a non-null view. Every failed get maps
-/// onto the OpError taxonomy via the same classifier DharmaClient uses.
+/// onto the OpError taxonomy via the same classifier DharmaClient uses;
+/// cache-served gets are classified apart (cached / cached-stale) so a
+/// stale cached copy can never pass as ok or hide as silent.
 PhaseStats measure(dht::DhtNetwork& net, const std::vector<dht::NodeId>& keys,
-                   Rng& rng) {
+                   Rng& rng, bool allowCached) {
   PhaseStats st;
   u64 rpc0 = net.totalRpcsSent();
   double totalMs = 0.0;
+  // The cached scenario reads every key TWICE (two distinct random
+  // readers): the first read seeds the lookup path's caches, the second is
+  // the re-read path caching exists for. Phase stats count both.
+  const usize readsPerKey = allowCached ? 2 : 1;
   for (const auto& key : keys) {
-    usize reader;
-    do {
-      reader = static_cast<usize>(rng.uniform(net.size()));
-    } while (!net.isOnline(reader));
-    net::SimTime t0 = net.sim().now();
-    dht::GetResult got = net.getResult(reader, key);
-    totalMs += static_cast<double>(net.sim().now() - t0) / 1000.0;
-    ++st.total;
-    if (got.view && got.view->weightOf("alpha") > 0) {
-      ++st.ok;
-    } else if (auto err = core::classifyGet(got)) {
-      ++st.byError[static_cast<usize>(*err)];
-    } else {
-      // Found but with the wrong content (a partial or divergent replica
-      // read as a hit): no taxonomy entry names this — a silent failure.
-      ++st.silent;
+    for (usize pass = 0; pass < readsPerKey; ++pass) {
+      usize reader;
+      do {
+        reader = static_cast<usize>(rng.uniform(net.size()));
+      } while (!net.isOnline(reader));
+      net::SimTime t0 = net.sim().now();
+      dht::GetOptions opt;
+      opt.allowCached = allowCached;
+      dht::GetResult got = net.getResult(reader, key, opt);
+      totalMs += static_cast<double>(net.sim().now() - t0) / 1000.0;
+      ++st.total;
+      if (got.view && got.view->weightOf("alpha") > 0) {
+        ++st.ok;
+        if (got.servedFromCache()) ++st.cachedServed;
+      } else if (got.view) {
+        // Found but with the wrong content (a partial or divergent copy
+        // read as a hit). From a record cache it is a classified stale
+        // read; from authoritative replicas no taxonomy entry names it —
+        // a silent failure.
+        if (got.servedFromCache()) {
+          ++st.cachedStale;
+        } else {
+          ++st.silent;
+        }
+      } else if (auto err = core::classifyGet(got)) {
+        ++st.byError[static_cast<usize>(*err)];
+      }
     }
   }
   st.meanLatencyMs = st.total ? totalMs / static_cast<double>(st.total) : 0.0;
@@ -123,13 +163,19 @@ PhaseStats measure(dht::DhtNetwork& net, const std::vector<dht::NodeId>& keys,
   return st;
 }
 
-ScenarioResult runScenario(const Params& p, bool maintenanceOn) {
+ScenarioResult runScenario(const Params& p, bool maintenanceOn, bool cacheOn) {
   dht::DhtNetworkConfig cfg;
   cfg.nodes = p.nodes;
   cfg.seed = p.seed;
   cfg.latency = "constant";
   cfg.constantLatencyUs = 20'000;
   cfg.node.kStore = 4;
+  // Record caching: successful GETs seed path caches (STORE_CACHE) and the
+  // measurement reads accept non-authoritative cached replies. Sparser
+  // routing tables (k=6 vs the one-hop-to-a-replica default) put actual
+  // non-holders on lookup paths, the regime path caching serves.
+  cfg.node.cacheEnabled = cacheOn;
+  if (cacheOn) cfg.node.k = 6;
   dht::DhtNetwork net(cfg);
   net.bootstrap();
 
@@ -148,7 +194,7 @@ ScenarioResult runScenario(const Params& p, bool maintenanceOn) {
   Rng sample(splitmix64(p.seed ^ 0xbe7c41ULL));
 
   ScenarioResult res;
-  res.before = measure(net, keys, sample);
+  res.before = measure(net, keys, sample, cacheOn);
 
   net::SimTime t0 = net.sim().now();
   dht::MaintenanceConfig mcfg;
@@ -186,16 +232,26 @@ ScenarioResult runScenario(const Params& p, bool maintenanceOn) {
   net.scheduleChurn(schedule);
 
   net.runFor(t0 + p.waveSpacingUs * p.waves + p.settleUs - net.sim().now());
-  res.during = measure(net, keys, sample);
+  res.during = measure(net, keys, sample, cacheOn);
 
   net::SimTime afterAt = reviveAt + 2 * mcfg.republishIntervalUs;
   if (afterAt > net.sim().now()) net.runFor(afterAt - net.sim().now());
-  res.after = measure(net, keys, sample);
+  res.after = measure(net, keys, sample, cacheOn);
 
   res.totalRpcs = net.totalRpcsSent();
   res.onlineNodes = net.onlineCount();
   for (usize i = 0; i < net.size(); ++i) {
-    res.timeouts += net.node(i).counters().timeouts;
+    const dht::NodeCounters& c = net.node(i).counters();
+    res.timeouts += c.timeouts;
+    res.cacheHits += c.cacheHits;
+    res.cacheMisses += c.cacheMisses;
+    res.cacheEvictions += c.cacheEvictions;
+    res.cacheExpirations += c.cacheExpirations;
+    res.storeCachePublished += c.storeCachePublished;
+    res.storeCacheAccepted += c.storeCacheAccepted;
+    if (const dht::MaintenanceManager* m = net.maintenance(i)) {
+      res.cacheSweepDrops += m->counters().cacheEntriesExpired;
+    }
   }
   return res;
 }
@@ -217,16 +273,22 @@ int main(int argc, char** argv) {
   p.joins = static_cast<u32>(opts.getInt("joins", p.joins));
   p.seed = static_cast<u64>(opts.getInt("seed", 42));
 
-  std::cout << "### Overlay availability under churn: maintenance on vs off\n"
+  std::cout << "### Overlay availability under churn: maintenance on vs off"
+               " vs on+cache\n"
             << "# overlay: " << p.nodes << " nodes, kStore=4, " << p.keys
             << " blocks; churn: " << p.waves
             << " waves of 20% crashes + " << p.joins
             << " fresh joins + partial revive; seed=" << p.seed << "\n"
             << "# phases: before churn / right after the last wave (during) /"
-               " after two republish cycles (after)\n";
+               " after two republish cycles (after)\n"
+            << "# on+cache: record caching on (STORE_CACHE path caches, "
+               "non-authoritative reads, k=6 routing)\n";
 
-  ScenarioResult on = runScenario(p, /*maintenanceOn=*/true);
-  ScenarioResult off = runScenario(p, /*maintenanceOn=*/false);
+  ScenarioResult on = runScenario(p, /*maintenanceOn=*/true, /*cacheOn=*/false);
+  ScenarioResult off =
+      runScenario(p, /*maintenanceOn=*/false, /*cacheOn=*/false);
+  ScenarioResult cached =
+      runScenario(p, /*maintenanceOn=*/true, /*cacheOn=*/true);
 
   auto row = [](const std::string& name, const ScenarioResult& r) {
     return std::vector<std::string>{
@@ -241,33 +303,63 @@ int main(int argc, char** argv) {
         ana::cellInt(r.totalRpcs)};
   };
   ana::printTable(std::cout, "get availability and cost across churn phases",
-                  {"maintenance", "success (before)", "success (during)",
+                  {"scenario", "success (before)", "success (during)",
                    "success (after)", "latency ms (before)",
                    "latency ms (during)", "latency ms (after)", "timeouts",
                    "total RPCs"},
-                  {row("on", on), row("off", off)});
+                  {row("on", on), row("off", off), row("on+cache", cached)});
   auto phaseRpcs = [](const ScenarioResult& r) {
     return std::to_string(r.before.rpcs) + "/" + std::to_string(r.during.rpcs) +
            "/" + std::to_string(r.after.rpcs);
   };
   std::cout << "# RPCs during measurement windows (before/during/after, incl."
                " maintenance traffic): on " << phaseRpcs(on) << ", off "
-            << phaseRpcs(off) << "\n";
+            << phaseRpcs(off) << ", on+cache " << phaseRpcs(cached) << "\n";
   ana::printTable(std::cout,
                   "failed gets by OpError taxonomy (zero silent failures)",
-                  {"maintenance", "before", "during", "after"},
+                  {"scenario", "before", "during", "after"},
                   {{"on", on.before.errorSummary(), on.during.errorSummary(),
                     on.after.errorSummary()},
                    {"off", off.before.errorSummary(), off.during.errorSummary(),
-                    off.after.errorSummary()}});
+                    off.after.errorSummary()},
+                   {"on+cache", cached.before.errorSummary(),
+                    cached.during.errorSummary(),
+                    cached.after.errorSummary()}});
+  auto cacheRow = [](const std::string& name, const ScenarioResult& r) {
+    u64 cachedReads = r.before.cachedServed + r.during.cachedServed +
+                      r.after.cachedServed;
+    return std::vector<std::string>{
+        name,
+        ana::cellInt(cachedReads),
+        ana::cellInt(r.cacheHits),
+        ana::cellInt(r.cacheMisses),
+        ana::cellInt(r.cacheEvictions),
+        ana::cellInt(r.cacheExpirations),
+        ana::cellInt(r.cacheSweepDrops),
+        ana::cellInt(r.storeCachePublished) + "/" +
+            ana::cellInt(r.storeCacheAccepted)};
+  };
+  ana::printTable(
+      std::cout,
+      "record-cache activity (KademliaNode counters; cached reads are "
+      "classified, staleness never silently masked)",
+      {"scenario", "gets served cached", "node hits", "node misses",
+       "evictions", "expirations", "(of which by sweep)",
+       "STORE_CACHE pub/acc"},
+      {cacheRow("on", on), cacheRow("off", off), cacheRow("on+cache", cached)});
   bool classified = true;
-  for (const PhaseStats* ph : {&on.before, &on.during, &on.after, &off.before,
-                               &off.during, &off.after}) {
+  u64 staleCached = 0;
+  for (const PhaseStats* ph :
+       {&on.before, &on.during, &on.after, &off.before, &off.during,
+        &off.after, &cached.before, &cached.during, &cached.after}) {
     classified = classified && ph->silent == 0;
+    staleCached += ph->cachedStale;
   }
   std::cout << "# determinism digest: on{rpcs=" << on.totalRpcs
             << ", online=" << on.onlineNodes << "} off{rpcs=" << off.totalRpcs
-            << ", online=" << off.onlineNodes << "}\n";
+            << ", online=" << off.onlineNodes << "} on+cache{rpcs="
+            << cached.totalRpcs << ", online=" << cached.onlineNodes
+            << ", hits=" << cached.cacheHits << "}\n";
 
   bool onAvailable = on.after.successRate() >= 0.99 &&
                      on.during.successRate() >= 0.99;
@@ -276,8 +368,11 @@ int main(int argc, char** argv) {
       off.after.successRate() < on.after.successRate();
   bool offCostDegraded =
       off.during.meanLatencyMs > 1.25 * on.during.meanLatencyMs;
+  bool cachedAvailable = cached.after.successRate() >= 0.99 &&
+                         cached.during.successRate() >= 0.99;
+  bool noStaleCached = staleCached == 0;
   bool pass = onAvailable && (offSuccessDegraded || offCostDegraded) &&
-              classified;
+              classified && cachedAvailable && noStaleCached;
   std::cout << "\nSHAPE CHECK: maintenance-on keeps get-success >= 99% under "
                "churn: "
             << (onAvailable ? "PASS" : "FAIL")
@@ -287,6 +382,8 @@ int main(int argc, char** argv) {
             << "): " << (offSuccessDegraded || offCostDegraded ? "PASS" : "FAIL")
             << "; no unclassifiable failures (wrong-content reads): "
             << (classified ? "PASS" : "FAIL")
+            << "; cached scenario holds >= 99% with zero stale cached reads: "
+            << (cachedAvailable && noStaleCached ? "PASS" : "FAIL")
             << " => " << (pass ? "PASS" : "FAIL") << "\n";
   return pass ? 0 : 1;
 }

@@ -33,4 +33,24 @@ SearchSimReport runSearchSim(const folk::CsrFg& fg, const folk::Trg& trg,
   return rep;
 }
 
+ReadSimStats runReadTrace(core::DharmaClient& client,
+                          const std::vector<std::string>& tagNames,
+                          const wl::ReadTrace& trace) {
+  ReadSimStats st;
+  for (const auto& session : trace) {
+    ++st.sessions;
+    for (u32 rank : session) {
+      auto out = client.searchStep(tagNames.at(rank));
+      ++st.steps;
+      st.cost += out.cost;
+      if (!out.ok()) {
+        ++st.failures;
+      } else if (out->tagKnown) {
+        ++st.tagKnown;
+      }
+    }
+  }
+  return st;
+}
+
 }  // namespace dharma::ana

@@ -9,9 +9,13 @@
 ///  searches, on both original and approximated Folksonomy Graph."
 
 #include <array>
+#include <string>
+#include <vector>
 
+#include "core/client.hpp"
 #include "folksonomy/faceted.hpp"
 #include "util/stats.hpp"
+#include "workload/readwl.hpp"
 
 namespace dharma::ana {
 
@@ -54,5 +58,35 @@ struct SearchSimReport {
 /// Runs the full Section V-C simulation on one FG.
 SearchSimReport runSearchSim(const folk::CsrFg& fg, const folk::Trg& trg,
                              const SearchSimConfig& cfg);
+
+/// Cost/hit-rate accounting for a distributed read-workload replay
+/// (the cache experiments' counterpart of SearchSimReport).
+struct ReadSimStats {
+  u64 sessions = 0;
+  u64 steps = 0;            ///< searchStep calls issued
+  u64 failures = 0;         ///< steps that returned an error
+  u64 tagKnown = 0;         ///< steps whose t̂ block existed
+  core::OpCost cost;        ///< lookups paid + cache hits, aggregated
+
+  double lookupsPerSession() const {
+    return sessions ? static_cast<double>(cost.lookups) /
+                          static_cast<double>(sessions)
+                    : 0.0;
+  }
+  double lookupsPerStep() const {
+    return steps ? static_cast<double>(cost.lookups) /
+                       static_cast<double>(steps)
+                 : 0.0;
+  }
+};
+
+/// Replays a Zipf read trace (workload/readwl.hpp) through \p client: every
+/// session's tag ranks are mapped onto \p tagNames and fetched with
+/// searchStep (2 lookups each, fewer when the client's read-through cache
+/// hits). Deterministic for a fixed client/overlay/trace. Failures are
+/// counted, never silently dropped.
+ReadSimStats runReadTrace(core::DharmaClient& client,
+                          const std::vector<std::string>& tagNames,
+                          const wl::ReadTrace& trace);
 
 }  // namespace dharma::ana

@@ -1,0 +1,99 @@
+#include "cache/record_cache.hpp"
+
+namespace dharma::cache {
+
+const char* blockKindName(BlockKind k) {
+  switch (k) {
+    case BlockKind::kResourceTags: return "resource-tags";
+    case BlockKind::kTagResources: return "tag-resources";
+    case BlockKind::kTagNeighbors: return "tag-neighbors";
+    case BlockKind::kResourceUri: return "resource-uri";
+    case BlockKind::kUnknown: return "unknown";
+  }
+  return "invalid";
+}
+
+RecordCache::RecordCache(CachePolicy policy) : policy_(policy) {}
+
+void RecordCache::erase(
+    std::map<dht::NodeId, std::list<Entry>::iterator>::iterator it) {
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+const dht::BlockView* RecordCache::find(const dht::NodeId& key,
+                                        net::SimTime now) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (now >= it->second->expiresAtUs) {
+    // Lazy expiry: a stale entry must never be served, so the read drops it.
+    ++stats_.expirations;
+    ++stats_.misses;
+    erase(it);
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->view;
+}
+
+bool RecordCache::insert(const dht::NodeId& key, dht::BlockView view,
+                         BlockKind kind, net::SimTime now) {
+  return insertWithTtl(key, std::move(view), policy_.ttlFor(kind), now);
+}
+
+bool RecordCache::insertWithTtl(const dht::NodeId& key, dht::BlockView view,
+                                net::SimTime ttlUs, net::SimTime now) {
+  if (policy_.capacity == 0 || ttlUs == 0) return false;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->view = std::move(view);
+    it->second->expiresAtUs = now + ttlUs;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.refreshes;
+    return true;
+  }
+  if (index_.size() >= policy_.capacity) {
+    // Strict LRU: the back of the list is the least recently used entry.
+    auto victim = index_.find(lru_.back().key);
+    erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(view), now + ttlUs});
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  return true;
+}
+
+bool RecordCache::invalidate(const dht::NodeId& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+usize RecordCache::expire(net::SimTime now) {
+  usize dropped = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (now >= it->second->expiresAtUs) {
+      auto victim = it++;
+      erase(victim);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.expirations += dropped;
+  return dropped;
+}
+
+void RecordCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace dharma::cache

@@ -1,0 +1,146 @@
+#pragma once
+/// \file record_cache.hpp
+/// \brief Bounded, deterministic record cache for DHARMA block views.
+///
+/// DHARMA search sessions repeatedly fetch the same hot t̄/t̂ blocks (tag
+/// popularity in folksonomies is heavy-tailed), so both the overlay and the
+/// client keep a small cache of recently seen BlockViews:
+///
+///  - **node-side** (KademliaNode): holds non-authoritative copies pushed by
+///    the Kademlia lookup-path caching protocol (STORE_CACHE, see
+///    docs/PROTOCOL.md "Record caching") and serves them to GETs that opted
+///    into non-authoritative reads;
+///  - **client-side** (DharmaClient): a read-through cache in front of the
+///    overlay — a hit costs zero lookups and is accounted separately
+///    (OpCost::servedFromCache), so Table I identities are untouched when
+///    the cache is disabled.
+///
+/// The cache is deliberately boring: LRU over a fixed capacity, TTLs per
+/// block kind (or explicit per entry), and NO wall-clock anywhere — every
+/// operation takes the caller's virtual time (net::SimTime), so cached
+/// behaviour replays bit-identically from a seed. An entry inserted at time
+/// T with TTL d is served for now < T + d and expired at now >= T + d.
+
+#include <array>
+#include <list>
+#include <map>
+
+#include "dht/node_id.hpp"
+#include "dht/storage.hpp"
+#include "net/simulator.hpp"
+
+namespace dharma::cache {
+
+/// The paper's four block types as the cache sees them, plus kUnknown for
+/// raw DHT keys (block keys are hashes, so the overlay cannot recover the
+/// kind — only the client, which derives the keys, can classify).
+enum class BlockKind : u8 {
+  kResourceTags = 0,  ///< r̄ — write-hot (every tag op increments it)
+  kTagResources = 1,  ///< t̄ — read-hot during search
+  kTagNeighbors = 2,  ///< t̂ — read-hot during search
+  kResourceUri = 3,   ///< r̃ — effectively immutable after insert
+  kUnknown = 4,       ///< opaque key (node-side path cache)
+};
+
+inline constexpr usize kBlockKindCount = 5;
+
+const char* blockKindName(BlockKind k);
+
+/// Cache bounds and freshness policy. TTLs are virtual-time microseconds;
+/// a kind with TTL 0 is never cached, capacity 0 disables the cache.
+struct CachePolicy {
+  usize capacity = 512;  ///< max entries (LRU beyond this)
+
+  /// Per-kind default TTL, indexed by BlockKind. The defaults encode the
+  /// write rates of the paper's block scheme: r̄ is touched by every tag
+  /// operation (short TTL), t̄/t̂ only grow monotonically and search is
+  /// staleness-tolerant by design (medium), r̃ never changes after insert
+  /// (long), and opaque node-side entries get the medium default.
+  std::array<net::SimTime, kBlockKindCount> ttlUs = {
+      10'000'000,   // kResourceTags  (10 s)
+      30'000'000,   // kTagResources  (30 s)
+      30'000'000,   // kTagNeighbors  (30 s)
+      120'000'000,  // kResourceUri   (120 s)
+      30'000'000,   // kUnknown       (30 s)
+  };
+
+  net::SimTime ttlFor(BlockKind k) const {
+    return ttlUs[static_cast<usize>(k)];
+  }
+};
+
+/// Monotonic counters; hits/(hits+misses) is the hit rate benches report.
+struct CacheStats {
+  u64 hits = 0;           ///< find() served a fresh entry
+  u64 misses = 0;         ///< find() had nothing fresh (incl. expired-on-read)
+  u64 insertions = 0;     ///< new entries admitted
+  u64 refreshes = 0;      ///< existing entries overwritten in place
+  u64 evictions = 0;      ///< entries dropped by LRU capacity pressure
+  u64 expirations = 0;    ///< entries dropped past their TTL (lazy or sweep)
+  u64 invalidations = 0;  ///< entries dropped by write-through invalidation
+
+  u64 lookups() const { return hits + misses; }
+  double hitRate() const {
+    return lookups() ? static_cast<double>(hits) / static_cast<double>(lookups())
+                     : 0.0;
+  }
+};
+
+/// LRU + TTL cache of BlockViews keyed by DHT lookup key. Single-threaded
+/// (lives inside the simulator) and fully deterministic: iteration for the
+/// expiry sweep runs in key order, eviction strictly in LRU order.
+class RecordCache {
+ public:
+  explicit RecordCache(CachePolicy policy = {});
+
+  /// Returns the cached view for \p key if present and fresh at \p now,
+  /// refreshing its LRU position; an expired entry is dropped on the spot
+  /// (counted as expiration + miss). The pointer is valid until the next
+  /// non-const call.
+  const dht::BlockView* find(const dht::NodeId& key, net::SimTime now);
+
+  /// Admits \p view under the kind's policy TTL. A kind with TTL 0 is not
+  /// cached. Overwrites (and re-times) an existing entry. Returns whether
+  /// the view was actually admitted (false: disabled cache or zero TTL).
+  bool insert(const dht::NodeId& key, dht::BlockView view, BlockKind kind,
+              net::SimTime now);
+
+  /// Admits \p view with an explicit TTL (the STORE_CACHE distance-scaled
+  /// path). TTL 0 is a no-op. Returns whether the view was admitted.
+  bool insertWithTtl(const dht::NodeId& key, dht::BlockView view,
+                     net::SimTime ttlUs, net::SimTime now);
+
+  /// Drops \p key (write-through invalidation). True if it was present.
+  bool invalidate(const dht::NodeId& key);
+
+  /// Drops every entry whose deadline has passed at \p now; returns the
+  /// number dropped. find() already expires lazily — the sweep exists so
+  /// dead entries on *idle* keys don't outlive their TTL (maintenance runs
+  /// it periodically).
+  usize expire(net::SimTime now);
+
+  /// Drops everything (stats are kept).
+  void clear();
+
+  usize size() const { return index_.size(); }
+  usize capacity() const { return policy_.capacity; }
+  bool enabled() const { return policy_.capacity > 0; }
+  const CachePolicy& policy() const { return policy_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    dht::NodeId key;
+    dht::BlockView view;
+    net::SimTime expiresAtUs = 0;
+  };
+
+  CachePolicy policy_;
+  CacheStats stats_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<dht::NodeId, std::list<Entry>::iterator> index_;
+
+  void erase(std::map<dht::NodeId, std::list<Entry>::iterator>::iterator it);
+};
+
+}  // namespace dharma::cache

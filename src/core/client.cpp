@@ -40,7 +40,8 @@ struct DharmaClient::OpState {
 
 DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
                            DharmaConfig cfg, u64 seed, OpPolicy policy)
-    : net_(net), nodeIdx_(nodeIdx), cfg_(cfg), rng_(seed), policy_(policy) {}
+    : net_(net), nodeIdx_(nodeIdx), cfg_(cfg), rng_(seed), policy_(policy),
+      cache_(cfg.cachePolicy) {}
 
 std::shared_ptr<DharmaClient::OpState> DharmaClient::beginOp() {
   auto op = std::make_shared<OpState>();
@@ -125,6 +126,11 @@ void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
 void DharmaClient::putBlock(const std::shared_ptr<OpState>& op,
                             const NodeId& key, std::vector<StoreToken> tokens,
                             std::function<void()> done) {
+  // Write-through invalidation: this client is about to change the block,
+  // so its cached copy (if any) is stale the moment the PUT is issued.
+  // Call sites that can reconstruct the post-write view (the tag path's r̄)
+  // re-populate the cache after the operation completes.
+  if (cfg_.cacheEnabled) cache_.invalidate(key);
   putBlockAttempt(op, key, std::move(tokens), node().allocatePutId(),
                   policy_.retryBudget, std::move(done));
 }
@@ -162,6 +168,38 @@ void DharmaClient::getBlock(const std::shared_ptr<OpState>& op,
                             const NodeId& key, GetOptions opt,
                             std::function<void(dht::GetResult)> done) {
   getBlockAttempt(op, key, opt, policy_.retryBudget, std::move(done));
+}
+
+void DharmaClient::getBlockCached(const std::shared_ptr<OpState>& op,
+                                  const NodeId& key, cache::BlockKind kind,
+                                  GetOptions opt, bool acceptRemoteCached,
+                                  std::function<void(dht::GetResult)> done) {
+  if (cfg_.cacheEnabled) {
+    if (const dht::BlockView* hit = cache_.find(key, net_.sim().now())) {
+      // Zero lookups: the hit is accounted in servedFromCache only, so the
+      // Table I identities stay exact arithmetic over the misses.
+      ++op->cost.servedFromCache;
+      ++total_.servedFromCache;
+      dht::GetResult r;
+      r.view = *hit;
+      r.cachedReplies = 1;
+      done(std::move(r));
+      return;
+    }
+    opt.allowCached = acceptRemoteCached && cfg_.acceptCachedReplies;
+  }
+  getBlock(op, key, opt,
+           [this, key, kind, done = std::move(done)](dht::GetResult r) {
+             // Only authoritatively-backed views are admitted: re-caching a
+             // view that itself came from an overlay path cache would grant
+             // it a fresh full TTL and chain staleness past the one-TTL
+             // bound (the client-side mirror of publishPathCache's
+             // valueReplies guard).
+             if (cfg_.cacheEnabled && r.view && !r.servedFromCache()) {
+               cache_.insert(key, *r.view, kind, net_.sim().now());
+             }
+             done(std::move(r));
+           });
 }
 
 // ---------------------------------------------------------------------------
@@ -341,11 +379,16 @@ void DharmaClient::tagResourcesSharedFetch(
     return;
   }
 
-  // Step 1 (1 lookup): read r̄ to learn Tags(r) and the weights u(τ,r).
-  // The batch shares this single fetch; the view evolves locally as each
-  // tag instance is applied, reproducing sequential read-your-own-writes.
-  getBlock(
-      op, blockKey(res, BlockType::kResourceTags), GetOptions{},
+  // Step 1 (1 lookup, or 0 on a cache hit): read r̄ to learn Tags(r) and
+  // the weights u(τ,r). The batch shares this single fetch; the view
+  // evolves locally as each tag instance is applied, reproducing
+  // sequential read-your-own-writes. On a client-cache miss the read stays
+  // authoritative (never remote-cached): its outcome steers the
+  // read-dependent t̂ updates below.
+  getBlockCached(
+      op, blockKey(res, BlockType::kResourceTags),
+      cache::BlockKind::kResourceTags, GetOptions{},
+      /*acceptRemoteCached=*/false,
       [this, op, res, tags, cb = std::move(cb)](dht::GetResult got) {
         if (auto e = classifyGet(got); e && *e != OpError::kNotFound) {
           // The miss is not authoritative (holders unreachable): applying
@@ -441,8 +484,36 @@ void DharmaClient::tagResourcesSharedFetch(
           }
         }
 
+        // Write-through refresh for r̄: the locally evolved view is this
+        // client's exact post-write image of the block (its own increments
+        // applied on top of what it read), so once every PUT lands the
+        // cache can serve the NEXT tag op on this resource without a
+        // lookup — read-your-own-writes preserved. Built here (the loop is
+        // done evolving `entries`), installed only on success.
+        dht::BlockView evolved;
+        if (cfg_.cacheEnabled) {
+          evolved.entries = entries;
+          std::sort(evolved.entries.begin(), evolved.entries.end(),
+                    [](const dht::BlockEntry& a, const dht::BlockEntry& b) {
+                      return a.weight != b.weight ? a.weight > b.weight
+                                                  : a.name < b.name;
+                    });
+          evolved.totalEntries = evolved.entries.size();
+          if (got.view) {
+            evolved.truncated = got.view->truncated;
+            evolved.totalEntries =
+                std::max(evolved.totalEntries, got.view->totalEntries);
+          }
+        }
+
         usize nPuts = 1 + tagOrder.size() * 2 + revOrder.size();
-        auto done = makeJoin(nPuts, [this, op, cb = std::move(cb)] {
+        auto done = makeJoin(nPuts, [this, op, res,
+                                     evolved = std::move(evolved),
+                                     cb = std::move(cb)] {
+          if (cfg_.cacheEnabled && !op->fatal) {
+            cache_.insert(blockKey(res, BlockType::kResourceTags), evolved,
+                          cache::BlockKind::kResourceTags, net_.sim().now());
+          }
           cb(finishOp(*op, std::make_optional(WriteReceipt{
                                op->rep.puts(), op->rep.minAcks()})));
         });
@@ -483,27 +554,36 @@ void DharmaClient::searchStepAsync(
   GetOptions opt;
   opt.topN = cfg_.searchTopN;
 
-  getBlock(op, blockKey(tag, BlockType::kTagNeighbors), opt,
-           [op, step, done](dht::GetResult r) {
-             if (r.view) {
-               step->tagKnown = true;
-               step->relatedTags = std::move(r.view->entries);
-               step->tagsTruncated = r.view->truncated;
-             } else if (auto e = classifyGet(r); e && *e != OpError::kNotFound) {
-               op->recordError(*e);
-             }
-             done();
-           });
-  getBlock(op, blockKey(tag, BlockType::kTagResources), opt,
-           [op, step, done](dht::GetResult r) {
-             if (r.view) {
-               step->resources = std::move(r.view->entries);
-               step->resourcesTruncated = r.view->truncated;
-             } else if (auto e = classifyGet(r); e && *e != OpError::kNotFound) {
-               op->recordError(*e);
-             }
-             done();
-           });
+  // Pure reads: both fetches ride the read-through cache and (when enabled)
+  // accept non-authoritative cached replies — search is staleness-tolerant
+  // by DHARMA's own approximation argument (docs/DESIGN.md §6).
+  getBlockCached(op, blockKey(tag, BlockType::kTagNeighbors),
+                 cache::BlockKind::kTagNeighbors, opt,
+                 /*acceptRemoteCached=*/true,
+                 [op, step, done](dht::GetResult r) {
+                   if (r.view) {
+                     step->tagKnown = true;
+                     step->relatedTags = std::move(r.view->entries);
+                     step->tagsTruncated = r.view->truncated;
+                   } else if (auto e = classifyGet(r);
+                              e && *e != OpError::kNotFound) {
+                     op->recordError(*e);
+                   }
+                   done();
+                 });
+  getBlockCached(op, blockKey(tag, BlockType::kTagResources),
+                 cache::BlockKind::kTagResources, opt,
+                 /*acceptRemoteCached=*/true,
+                 [op, step, done](dht::GetResult r) {
+                   if (r.view) {
+                     step->resources = std::move(r.view->entries);
+                     step->resourcesTruncated = r.view->truncated;
+                   } else if (auto e = classifyGet(r);
+                              e && *e != OpError::kNotFound) {
+                     op->recordError(*e);
+                   }
+                   done();
+                 });
 }
 
 void DharmaClient::resolveUriAsync(const std::string& res,
@@ -514,15 +594,18 @@ void DharmaClient::resolveUriAsync(const std::string& res,
     cb(finishOp<std::string>(*op, std::nullopt));
     return;
   }
-  getBlock(op, blockKey(res, BlockType::kResourceUri), GetOptions{},
-           [this, op, cb = std::move(cb)](dht::GetResult r) {
-             if (r.view && !r.view->payload.empty()) {
-               cb(finishOp(*op, std::make_optional(std::move(r.view->payload))));
-               return;
-             }
-             op->recordError(classifyGet(r).value_or(OpError::kNotFound));
-             cb(finishOp<std::string>(*op, std::nullopt));
-           });
+  getBlockCached(op, blockKey(res, BlockType::kResourceUri),
+                 cache::BlockKind::kResourceUri, GetOptions{},
+                 /*acceptRemoteCached=*/true,
+                 [this, op, cb = std::move(cb)](dht::GetResult r) {
+                   if (r.view && !r.view->payload.empty()) {
+                     cb(finishOp(*op,
+                                 std::make_optional(std::move(r.view->payload))));
+                     return;
+                   }
+                   op->recordError(classifyGet(r).value_or(OpError::kNotFound));
+                   cb(finishOp<std::string>(*op, std::nullopt));
+                 });
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,10 @@
 /// an OpError, always bundled with the OpCost actually paid and per-PUT
 /// replica counts. Failed block ops are retried under the client's
 /// OpPolicy with deterministic backoff drawn from the client's Rng.
+/// An optional read-through record cache (DharmaConfig::cacheEnabled)
+/// serves hot block fetches at zero lookups with write-through
+/// invalidation on the client's own PUTs — accounted separately in
+/// OpCost::servedFromCache so the identities above stay exact.
 /// Every method exists in an async form (callback, suitable for
 /// interleaving concurrent operations inside the simulator — how the
 /// consistency race of Section IV-B is reproduced) and a blocking form
@@ -33,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/record_cache.hpp"
 #include "core/keys.hpp"
 #include "core/outcome.hpp"
 #include "dht/dht_network.hpp"
@@ -45,6 +50,24 @@ struct DharmaConfig {
   u32 k = 1;                 ///< connection parameter
   bool approximateB = true;  ///< conditional forward increments (Approx. B)
   u32 searchTopN = 100;      ///< index-side top-N for search-step GETs
+
+  /// Client-side read-through record cache (docs/DESIGN.md §6). Off by
+  /// default: with it off every fetch goes to the overlay and the Table I
+  /// cost identities are byte-identical to the paper's protocol. With it
+  /// on, a hit costs ZERO lookups and is accounted in
+  /// OpCost::servedFromCache; local PUTs invalidate (write-through), and
+  /// the r̄ fetch of a tag op — the one read whose result feeds writes —
+  /// is refreshed with the locally evolved view, preserving
+  /// read-your-own-writes.
+  bool cacheEnabled = false;
+  cache::CachePolicy cachePolicy;
+  /// When the cache is on, flag the pure-read GETs (search step,
+  /// resolveUri) as accepting non-authoritative cached replies from the
+  /// overlay's path caches (GetOptions::allowCached). The r̄ fetch inside
+  /// tag operations never accepts remote cached replies: its outcome
+  /// steers read-dependent writes, so on a client-cache miss it stays an
+  /// authoritative read.
+  bool acceptCachedReplies = true;
 };
 
 /// One navigation step's retrieved sets.
@@ -140,6 +163,10 @@ class DharmaClient {
   dht::KademliaNode& node() { return net_.node(nodeIdx_); }
   usize nodeIndex() const { return nodeIdx_; }
 
+  /// Read-through cache telemetry (hits/misses/evictions/...).
+  const cache::CacheStats& cacheStats() const { return cache_.stats(); }
+  cache::RecordCache& recordCache() { return cache_; }
+
  private:
   struct OpState;
 
@@ -150,6 +177,7 @@ class DharmaClient {
   OpPolicy policy_;
   OpCost total_;
   Counters counters_;
+  cache::RecordCache cache_;  ///< read-through cache (cfg_.cacheEnabled)
 
   /// True when this client's own node accepts datagrams; a client on an
   /// offline node fails every op with kNodeOffline at zero cost.
@@ -167,6 +195,17 @@ class DharmaClient {
   void getBlock(const std::shared_ptr<OpState>& op, const dht::NodeId& key,
                 dht::GetOptions opt,
                 std::function<void(dht::GetResult)> done);
+
+  /// getBlock behind the read-through cache: a fresh cached view is
+  /// delivered at zero lookups (OpCost::servedFromCache); a miss falls
+  /// through to the overlay — flagged allowCached only when
+  /// \p acceptRemoteCached and the config agree — and a successful fetch
+  /// populates the cache under \p kind's TTL. With cfg_.cacheEnabled off
+  /// this IS getBlock.
+  void getBlockCached(const std::shared_ptr<OpState>& op,
+                      const dht::NodeId& key, cache::BlockKind kind,
+                      dht::GetOptions opt, bool acceptRemoteCached,
+                      std::function<void(dht::GetResult)> done);
 
   void putBlockAttempt(const std::shared_ptr<OpState>& op, dht::NodeId key,
                        std::vector<dht::StoreToken> tokens, u64 putId,

@@ -29,11 +29,17 @@ struct OpCost {
   u64 lookups = 0;  ///< overlay lookups (1 per PUT or GET) — Table I's unit
   u64 puts = 0;
   u64 gets = 0;
+  /// Reads answered by the client's read-through record cache: zero
+  /// overlay lookups, accounted apart so the Table I identities above stay
+  /// exact arithmetic whenever the cache is disabled (the field is then
+  /// identically zero) and cache savings are visible, never silent.
+  u64 servedFromCache = 0;
 
   OpCost& operator+=(const OpCost& o) {
     lookups += o.lookups;
     puts += o.puts;
     gets += o.gets;
+    servedFromCache += o.servedFromCache;
     return *this;
   }
 };

@@ -53,6 +53,7 @@ DistStepInfo DharmaSession::failStep(const std::string& tag, OpError err,
   info.reason = reason_;
   info.error = err;
   info.cost = cost;
+  info.servedFromCache = cost.servedFromCache > 0;
   return info;
 }
 
@@ -109,6 +110,7 @@ DistStepInfo DharmaSession::applyStep(const std::string& tag,
   info.done = done_;
   info.reason = reason_;
   info.cost = cost;
+  info.servedFromCache = cost.servedFromCache > 0;
   return info;
 }
 

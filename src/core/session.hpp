@@ -27,7 +27,10 @@ struct DistStepInfo {
   bool done = false;
   folk::StopReason reason = folk::StopReason::kNoCandidates;
   std::optional<OpError> error;          ///< set when reason == kFetchFailed
-  OpCost cost;                           ///< 2 lookups per step
+  OpCost cost;                           ///< 2 lookups per step (fewer when
+                                         ///  the client cache serves a fetch)
+  bool servedFromCache = false;          ///< any fetch of this step was a
+                                         ///  client-cache hit (cost detail)
 };
 
 /// Faceted search over a DharmaClient.

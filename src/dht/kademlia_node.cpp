@@ -28,9 +28,17 @@ struct KademliaNode::LookupTask {
   bool done = false;
   u32 messagesSent = 0;
   u32 valueReplies = 0;
+  u32 cachedReplies = 0;
   u32 rpcFailures = 0;
   BlockView mergedValue;
   bool haveValue = false;
+  /// Nodes observed to already have the value (authoritative replicas and
+  /// cache servers alike): never chosen as the path-cache target.
+  std::vector<NodeId> holders;
+
+  bool isHolder(const NodeId& id) const {
+    return std::find(holders.begin(), holders.end(), id) != holders.end();
+  }
 
   bool knows(const NodeId& id) const {
     return std::any_of(candidates.begin(), candidates.end(),
@@ -60,7 +68,7 @@ KademliaNode::KademliaNode(net::Simulator& sim, net::Network& net,
                            crypto::Credential cred, NodeConfig cfg, u64 seed)
     : sim_(sim), net_(net), cs_(cs), credential_(std::move(cred)), cfg_(cfg),
       rng_(seed), self_{NodeId::fromDigest(credential_.nodeId), net::kNullAddress},
-      routing_(self_.id, cfg.k) {
+      routing_(self_.id, cfg.k), cache_(cfg.cachePolicy) {
   self_.addr = net_.registerEndpoint(
       [this](net::Address from, const std::vector<u8>& data) {
         onDatagram(from, data);
@@ -266,9 +274,23 @@ void KademliaNode::get(const NodeId& key, const GetOptions& opt,
   findValue(key, opt, [cb = std::move(cb)](const LookupResult& res) {
     if (cb) {
       cb(GetResult{res.value, res.valueReplies, res.messagesSent,
-                   res.rpcFailures});
+                   res.rpcFailures, res.cachedReplies});
     }
   });
+}
+
+usize KademliaNode::sweepCache() {
+  usize dropped = cache_.expire(sim_.now());
+  syncCacheCounters();
+  return dropped;
+}
+
+void KademliaNode::syncCacheCounters() {
+  const cache::CacheStats& s = cache_.stats();
+  counters_.cacheHits = s.hits;
+  counters_.cacheMisses = s.misses;
+  counters_.cacheEvictions = s.evictions;
+  counters_.cacheExpirations = s.expirations;
 }
 
 // ---------------------------------------------------------------------------
@@ -384,10 +406,14 @@ void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
     case RpcType::kStore:
       handleStore(env);
       break;
+    case RpcType::kStoreCache:
+      handleStoreCache(env);
+      break;
     case RpcType::kPong:
     case RpcType::kFindNodeReply:
     case RpcType::kFindValueReply:
-    case RpcType::kStoreReply: {
+    case RpcType::kStoreReply:
+    case RpcType::kStoreCacheReply: {
       auto it = pending_.find(env.rpcId);
       if (it == pending_.end()) return;  // late/duplicate reply
       if (env.sender.id != it->second.expectedPeer) {
@@ -435,10 +461,48 @@ void KademliaNode::handleFindValue(const Envelope& env) {
     if (auto view = store_.query(req.key, opt)) {
       rep.found = true;
       rep.view = std::move(*view);
+    } else if (cfg_.cacheEnabled && req.allowCached) {
+      // No authoritative replica here, but the requester accepts a
+      // non-authoritative copy: serve the record cache, marked `cached` so
+      // it can never masquerade as a replica on the requester side.
+      const BlockView* cached = cache_.find(req.key, sim_.now());
+      syncCacheCounters();
+      if (cached != nullptr) {
+        rep.found = true;
+        rep.cached = true;
+        rep.view = *cached;
+        // A cached answer honours the same index-side filtering contract
+        // as an authoritative one (the cached copy may have been built for
+        // a laxer request).
+        rep.view.trim(opt);
+      } else {
+        rep.contacts = routing_.closest(req.key, cfg_.k);
+      }
     } else {
       rep.contacts = routing_.closest(req.key, cfg_.k);
     }
     sendReply(env, RpcType::kFindValueReply, rep.encode());
+  } catch (const DecodeError&) {
+  }
+}
+
+void KademliaNode::handleStoreCache(const Envelope& env) {
+  try {
+    ByteReader r(env.body);
+    StoreCacheReq req = StoreCacheReq::decode(r);
+    StoreCacheReply rep;
+    // Non-authoritative by construction: the copy lands in the record
+    // cache, never BlockStore, and a node already holding an authoritative
+    // replica ignores it (a cached copy must not shadow real state). The
+    // sender's TTL is honoured but capped by our own policy base.
+    if (cfg_.cacheEnabled && !store_.has(req.key)) {
+      net::SimTime ttl = std::min(req.ttlUs, cfg_.pathCacheTtlBaseUs);
+      rep.ok = cache_.insertWithTtl(req.key, std::move(req.view), ttl,
+                                    sim_.now());
+      syncCacheCounters();
+      if (rep.ok) ++counters_.storeCacheAccepted;
+    }
+    sendReply(env, RpcType::kStoreCacheReply, rep.encode());
   } catch (const DecodeError&) {
   }
 }
@@ -496,6 +560,20 @@ void KademliaNode::startLookup(const NodeId& target, bool isValue,
         finishLookup(task);
         return;
       }
+    } else if (opt.allowCached && cfg_.cacheEnabled) {
+      // No authoritative local replica, but a non-authoritative read may be
+      // served from this node's own record cache without touching the wire.
+      const BlockView* cached = cache_.find(target, sim_.now());
+      syncCacheCounters();
+      if (cached != nullptr) {
+        task->haveValue = true;
+        task->mergedValue = *cached;
+        // Same filtering contract as an authoritative local hit.
+        task->mergedValue.trim(opt);
+        ++task->cachedReplies;
+        finishLookup(task);
+        return;
+      }
     }
   }
   for (const Contact& c : routing_.closest(target, cfg_.k)) {
@@ -511,9 +589,11 @@ void KademliaNode::startLookup(const NodeId& target, bool isValue,
 void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
   if (task->done) return;
 
-  // Completion: value quorum reached, or the k best candidates have all been
-  // queried (responded/failed) with nothing in flight.
-  if (task->isValue && task->valueReplies >= cfg_.valueQuorum && task->haveValue) {
+  // Completion: value quorum reached (or, for a non-authoritative read, any
+  // cached reply arrived), or the k best candidates have all been queried
+  // (responded/failed) with nothing in flight.
+  if (task->isValue && task->haveValue &&
+      (task->valueReplies >= cfg_.valueQuorum || task->cachedReplies > 0)) {
     finishLookup(task);
     return;
   }
@@ -546,7 +626,15 @@ void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
             ByteReader r(env.body);
             FindValueReply rep = FindValueReply::decode(r);
             if (rep.found) {
-              ++task->valueReplies;
+              // Cached replies are counted apart from authoritative ones:
+              // they terminate a non-authoritative read (see pumpLookup)
+              // but can never contribute to the value quorum.
+              if (rep.cached) {
+                ++task->cachedReplies;
+              } else {
+                ++task->valueReplies;
+              }
+              task->holders.push_back(peerId);
               if (task->haveValue) {
                 task->mergedValue.mergeMax(rep.view, task->opt.topN);
               } else {
@@ -576,6 +664,7 @@ void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
       req.key = task->target;
       req.topN = task->opt.topN;
       req.maxBytes = static_cast<u32>(task->opt.maxBytes);
+      req.allowCached = task->opt.allowCached;
       sendRequest(peer, RpcType::kFindValue, req.encode(), onDone);
     } else {
       FindNodeReq req;
@@ -608,6 +697,7 @@ void KademliaNode::finishLookup(const std::shared_ptr<LookupTask>& task) {
   LookupResult res;
   res.messagesSent = task->messagesSent;
   res.valueReplies = task->valueReplies;
+  res.cachedReplies = task->cachedReplies;
   res.rpcFailures = task->rpcFailures;
   if (task->haveValue) res.value = std::move(task->mergedValue);
   for (const Candidate& c : task->candidates) {
@@ -616,7 +706,54 @@ void KademliaNode::finishLookup(const std::shared_ptr<LookupTask>& task) {
       if (res.closest.size() >= cfg_.k) break;
     }
   }
+  if (cfg_.cacheEnabled && task->isValue && res.value.has_value()) {
+    publishPathCache(*task, res);
+  }
   if (task->cb) task->cb(std::move(res));
+}
+
+void KademliaNode::publishPathCache(const LookupTask& task,
+                                    const LookupResult& res) {
+  // Only values backed by at least one AUTHORITATIVE replica propagate.
+  // Re-publishing a view that came solely from caches would grant stale
+  // content a fresh TTL on every read, letting it circulate cache-to-cache
+  // past the one-TTL staleness bound DESIGN.md §6 promises.
+  if (task.valueReplies == 0) return;
+  // Target: the closest responsive node on the lookup path that did NOT
+  // return the value (a holder — authoritative or cached — has it already).
+  const Contact* target = nullptr;
+  for (const Contact& c : res.closest) {
+    if (!task.isHolder(c.id)) {
+      target = &c;
+      break;
+    }
+  }
+  if (target == nullptr) return;
+
+  // Distance-scaled TTL (Kademlia §2.3's "exponentially inversely
+  // proportional" rule, in bucket units): a copy as close to the key as the
+  // nearest holder gets the full base TTL; every extra bucket of XOR
+  // distance halves it, floored at pathCacheTtlMinUs. Far-flung copies thus
+  // age out quickly while copies shielding the hot replica set live long.
+  int dTarget = bucketIndex(target->id, task.target);
+  int dHolder = 160;
+  for (const NodeId& h : task.holders) {
+    dHolder = std::min(dHolder, bucketIndex(h, task.target));
+  }
+  if (task.holders.empty()) dHolder = bucketIndex(self_.id, task.target);
+  int extra = std::max(0, dTarget - dHolder);
+  net::SimTime ttl = cfg_.pathCacheTtlBaseUs >> std::min(extra, 40);
+  ttl = std::max(ttl, cfg_.pathCacheTtlMinUs);
+
+  StoreCacheReq req;
+  req.key = task.target;
+  req.ttlUs = ttl;
+  req.view = *res.value;
+  ++counters_.storeCachePublished;
+  // Fire-and-forget: the GET already completed; a lost or refused copy
+  // costs nothing but the missed future hit.
+  sendRequest(*target, RpcType::kStoreCache, req.encode(),
+              [](bool, const Envelope&) {});
 }
 
 }  // namespace dharma::dht

@@ -2,11 +2,13 @@
 /// \file kademlia_node.hpp
 /// \brief One Kademlia/Likir overlay node.
 ///
-/// Implements the four Kademlia RPCs over the simulated network, the
-/// α-parallel iterative lookup, and the PUT/GET primitives the paper
-/// assumes: "retrieving or modifying the content of a block on the DHT
-/// costs only one overlay lookup operation". counters().lookups is the
-/// quantity Table I counts.
+/// Implements the Kademlia RPCs over the simulated network, the α-parallel
+/// iterative lookup, the PUT/GET primitives the paper assumes ("retrieving
+/// or modifying the content of a block on the DHT costs only one overlay
+/// lookup operation"), and — when NodeConfig::cacheEnabled — the classic
+/// Kademlia lookup-path caching: successful GETs replicate the value to the
+/// closest observed non-holder via the non-authoritative STORE_CACHE RPC.
+/// counters().lookups is the quantity Table I counts.
 
 #include <deque>
 #include <functional>
@@ -14,6 +16,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/record_cache.hpp"
 #include "crypto/identity.hpp"
 #include "dht/routing_table.hpp"
 #include "dht/rpc.hpp"
@@ -31,6 +34,17 @@ struct NodeConfig {
   net::SimTime rpcTimeoutUs = 1500000; ///< RPC timeout (1.5 s)
   bool verifyCredentials = true;      ///< Likir sender authentication
   bool verifyContent = true;          ///< Likir content-signature checks
+
+  /// Lookup-path record caching (docs/PROTOCOL.md "Record caching"). Off by
+  /// default: with it off the node neither publishes STORE_CACHE after GETs
+  /// nor serves cached replies, so every existing cost identity is
+  /// untouched.
+  bool cacheEnabled = false;
+  cache::CachePolicy cachePolicy;     ///< node-side cache bounds / TTL caps
+  /// TTL granted to a cached copy sitting as close to the key as the
+  /// nearest holder; each extra bucket of XOR distance halves it.
+  net::SimTime pathCacheTtlBaseUs = 30'000'000;
+  net::SimTime pathCacheTtlMinUs = 2'000'000;  ///< distance-scaling floor
 };
 
 /// Result of an iterative lookup.
@@ -40,6 +54,7 @@ struct LookupResult {
   u32 messagesSent = 0;              ///< RPCs issued by this lookup
   u32 valueReplies = 0;              ///< replicas that returned the value
   u32 rpcFailures = 0;               ///< lookup RPCs that timed out / failed
+  u32 cachedReplies = 0;             ///< non-authoritative cached answers
 };
 
 /// Outcome of one PUT, threaded up to the client layer so callers can tell
@@ -62,11 +77,19 @@ struct PutResult {
 /// carries the evidence.
 struct GetResult {
   std::optional<BlockView> view;
-  u32 valueReplies = 0;  ///< replicas that returned the value
+  u32 valueReplies = 0;  ///< AUTHORITATIVE replicas that returned the value
   u32 messagesSent = 0;  ///< RPCs issued by the value lookup
   u32 rpcFailures = 0;   ///< lookup RPCs that timed out / failed
+  u32 cachedReplies = 0; ///< record-cache answers (never count as replicas)
 
   bool found() const { return view.has_value(); }
+
+  /// True when the view came exclusively from record caches — possible only
+  /// for GETs issued with GetOptions::allowCached, and the signal benches
+  /// use to classify a stale cached read instead of calling it silent.
+  bool servedFromCache() const {
+    return view.has_value() && valueReplies == 0 && cachedReplies > 0;
+  }
 };
 
 /// Monotonic per-node counters.
@@ -84,6 +107,14 @@ struct NodeCounters {
   u64 sendRejects = 0;         ///< RPCs failed fast (datagram refused by the network)
   u64 putQuorumFailures = 0;   ///< PUTs acked by fewer replicas than intended
   u64 storesDeduplicated = 0;  ///< replayed STOREs acked without re-applying
+  // Record-cache counters (mirrored from RecordCache::stats so callers that
+  // only see counters() — benches, churn classification — get them too).
+  u64 cacheHits = 0;           ///< GETs answered from this node's cache
+  u64 cacheMisses = 0;         ///< cache consults that found nothing fresh
+  u64 cacheEvictions = 0;      ///< cache entries dropped by LRU pressure
+  u64 cacheExpirations = 0;    ///< cache entries dropped past their TTL
+  u64 storeCacheAccepted = 0;  ///< STORE_CACHE copies absorbed for peers
+  u64 storeCachePublished = 0; ///< STORE_CACHE copies pushed after GETs
 };
 
 /// A single overlay node.
@@ -160,6 +191,16 @@ class KademliaNode {
   const NodeCounters& counters() const { return counters_; }
   const NodeConfig& config() const { return cfg_; }
 
+  /// Node-side record cache (non-authoritative STORE_CACHE copies).
+  cache::RecordCache& recordCache() { return cache_; }
+  const cache::RecordCache& recordCache() const { return cache_; }
+
+  /// Drops every cache entry past its TTL at the current simulated time;
+  /// returns the number dropped. Periodically driven by MaintenanceManager
+  /// so dead entries on idle nodes don't survive past their TTL (find()
+  /// only expires lazily, on the keys that are actually read).
+  usize sweepCache();
+
  private:
   struct LookupTask;
 
@@ -172,6 +213,7 @@ class KademliaNode {
   Contact self_;
   RoutingTable routing_;
   BlockStore store_;
+  cache::RecordCache cache_;
   NodeCounters counters_;
   u64 nextRpcId_ = 1;
   u64 nextPutId_ = 1;
@@ -210,12 +252,21 @@ class KademliaNode {
   void handleFindNode(const Envelope& env);
   void handleFindValue(const Envelope& env);
   void handleStore(const Envelope& env);
+  void handleStoreCache(const Envelope& env);
 
   // -- lookup machinery --
   void startLookup(const NodeId& target, bool isValue, GetOptions opt,
                    std::function<void(LookupResult)> cb);
   void pumpLookup(const std::shared_ptr<LookupTask>& task);
   void finishLookup(const std::shared_ptr<LookupTask>& task);
+
+  // -- record cache plumbing --
+  /// Mirrors RecordCache::stats into counters_ (single source of truth is
+  /// the cache; the mirror keeps counters() self-contained).
+  void syncCacheCounters();
+  /// Lookup-path caching: replicate a freshly fetched value to the closest
+  /// observed non-holder with a distance-scaled TTL.
+  void publishPathCache(const LookupTask& task, const LookupResult& res);
 };
 
 }  // namespace dharma::dht

@@ -47,6 +47,10 @@ void MaintenanceManager::start() {
     expiryEvent_ = sim_.schedule(jittered(cfg_.expiryCheckIntervalUs, rng_),
                                  [this] { expiryTick(); });
   }
+  if (cfg_.cacheSweepIntervalUs > 0) {
+    cacheSweepEvent_ = sim_.schedule(jittered(cfg_.cacheSweepIntervalUs, rng_),
+                                     [this] { cacheSweepTick(); });
+  }
 }
 
 void MaintenanceManager::stop() {
@@ -55,7 +59,8 @@ void MaintenanceManager::stop() {
   sim_.cancel(refreshEvent_);
   sim_.cancel(republishEvent_);
   sim_.cancel(expiryEvent_);
-  refreshEvent_ = republishEvent_ = expiryEvent_ = 0;
+  sim_.cancel(cacheSweepEvent_);
+  refreshEvent_ = republishEvent_ = expiryEvent_ = cacheSweepEvent_ = 0;
 }
 
 void MaintenanceManager::refreshTick() {
@@ -131,6 +136,19 @@ void MaintenanceManager::expiryTick() {
   }
   expiryEvent_ =
       sim_.schedule(cfg_.expiryCheckIntervalUs, [this] { expiryTick(); });
+}
+
+void MaintenanceManager::cacheSweepTick() {
+  if (online()) {
+    usize dropped = node_.sweepCache();
+    if (dropped > 0) {
+      counters_.cacheEntriesExpired += dropped;
+      DHARMA_LOG_DEBUG("maintenance: node ", node_.id().shortHex(),
+                       " swept ", dropped, " cached records");
+    }
+  }
+  cacheSweepEvent_ =
+      sim_.schedule(cfg_.cacheSweepIntervalUs, [this] { cacheSweepTick(); });
 }
 
 }  // namespace dharma::dht

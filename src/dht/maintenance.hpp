@@ -24,6 +24,11 @@
 ///    long-gone publishers ages out instead of accumulating forever. The
 ///    republish job skips expiry-due blocks, so a node reviving after a
 ///    long crash does not resurrect ancient state.
+///  - **record-cache sweep**: TTL-overdue entries of the node's record
+///    cache (non-authoritative STORE_CACHE copies) are dropped. Reads
+///    already expire lazily; the sweep bounds the lifetime of dead entries
+///    on idle nodes, so a stale cached copy can never outlive its TTL
+///    waiting to ambush the next allowCached read.
 ///
 /// Timers are jittered per node (deterministically, from the node seed) so
 /// the whole overlay does not refresh/republish in lock step.
@@ -48,6 +53,11 @@ struct MaintenanceConfig {
   net::SimTime expiryTtlUs = 600'000'000;
   /// How often the expiry sweep runs.
   net::SimTime expiryCheckIntervalUs = 60'000'000;
+  /// How often the record-cache expiry sweep runs (0 disables it). The
+  /// cache already expires lazily on reads; the sweep is what bounds the
+  /// lifetime of dead entries on IDLE nodes, so TTL-overdue cached copies
+  /// never linger just because nobody happened to read them.
+  net::SimTime cacheSweepIntervalUs = 30'000'000;
   /// Refresh lookups launched per tick (bounds the per-node burst; the
   /// refresh tick runs at a quarter of the staleness interval, so every
   /// stale bucket is still visited promptly).
@@ -60,6 +70,7 @@ struct MaintenanceCounters {
   u64 republishRuns = 0;     ///< republish ticks that did work
   u64 blocksRepublished = 0; ///< block re-PUTs issued
   u64 blocksExpired = 0;     ///< blocks dropped by the expiry sweep
+  u64 cacheEntriesExpired = 0; ///< cached records dropped by the cache sweep
 };
 
 /// Drives the three maintenance jobs for one node. All work is skipped
@@ -94,6 +105,7 @@ class MaintenanceManager {
   void refreshTick();
   void republishTick();
   void expiryTick();
+  void cacheSweepTick();
   bool online() const;
 
   net::Simulator& sim_;
@@ -107,6 +119,7 @@ class MaintenanceManager {
   net::EventId refreshEvent_ = 0;
   net::EventId republishEvent_ = 0;
   net::EventId expiryEvent_ = 0;
+  net::EventId cacheSweepEvent_ = 0;
   bool running_ = false;
 };
 

@@ -82,7 +82,7 @@ std::optional<Envelope> Envelope::decode(const std::vector<u8>& data) {
     ByteReader r(data);
     Envelope e;
     u8 t = r.readU8();
-    if (t > static_cast<u8>(RpcType::kStoreReply)) return std::nullopt;
+    if (t > static_cast<u8>(RpcType::kStoreCacheReply)) return std::nullopt;
     e.type = static_cast<RpcType>(t);
     e.rpcId = r.readU64();
     e.sender = readContact(r);
@@ -127,6 +127,7 @@ std::vector<u8> FindValueReq::encode() const {
   writeNodeId(w, key);
   w.writeU32(topN);
   w.writeU32(maxBytes);
+  w.writeU8(allowCached ? 1 : 0);
   return w.take();
 }
 
@@ -135,6 +136,7 @@ FindValueReq FindValueReq::decode(ByteReader& r) {
   q.key = readNodeId(r);
   q.topN = r.readU32();
   q.maxBytes = r.readU32();
+  q.allowCached = r.readU8() != 0;
   return q;
 }
 
@@ -142,6 +144,7 @@ std::vector<u8> FindValueReply::encode() const {
   ByteWriter w;
   w.writeU8(found ? 1 : 0);
   if (found) {
+    w.writeU8(cached ? 1 : 0);
     writeBlockView(w, view);
   } else {
     w.writeVarint(contacts.size());
@@ -154,6 +157,7 @@ FindValueReply FindValueReply::decode(ByteReader& r) {
   FindValueReply rep;
   rep.found = r.readU8() != 0;
   if (rep.found) {
+    rep.cached = r.readU8() != 0;
     rep.view = readBlockView(r);
   } else {
     u64 n = r.readVarint();
@@ -221,6 +225,34 @@ std::vector<u8> StoreReply::encode() const {
 
 StoreReply StoreReply::decode(ByteReader& r) {
   StoreReply rep;
+  rep.ok = r.readU8() != 0;
+  return rep;
+}
+
+std::vector<u8> StoreCacheReq::encode() const {
+  ByteWriter w;
+  writeNodeId(w, key);
+  w.writeVarint(ttlUs);
+  writeBlockView(w, view);
+  return w.take();
+}
+
+StoreCacheReq StoreCacheReq::decode(ByteReader& r) {
+  StoreCacheReq q;
+  q.key = readNodeId(r);
+  q.ttlUs = r.readVarint();
+  q.view = readBlockView(r);
+  return q;
+}
+
+std::vector<u8> StoreCacheReply::encode() const {
+  ByteWriter w;
+  w.writeU8(ok ? 1 : 0);
+  return w.take();
+}
+
+StoreCacheReply StoreCacheReply::decode(ByteReader& r) {
+  StoreCacheReply rep;
   rep.ok = r.readU8() != 0;
   return rep;
 }

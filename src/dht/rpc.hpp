@@ -1,6 +1,6 @@
 #pragma once
 /// \file rpc.hpp
-/// \brief Wire formats for the five Kademlia RPCs, Likir-authenticated.
+/// \brief Wire formats for the Kademlia RPCs, Likir-authenticated.
 ///
 /// Every datagram is an Envelope{type, rpcId, sender contact, credential}
 /// followed by a type-specific body. Credentials are verified by receivers
@@ -27,6 +27,8 @@ enum class RpcType : u8 {
   kFindValueReply = 5,
   kStore = 6,
   kStoreReply = 7,
+  kStoreCache = 8,       ///< non-authoritative path-cache replication
+  kStoreCacheReply = 9,
 };
 
 /// Common datagram header.
@@ -60,6 +62,10 @@ struct FindValueReq {
   NodeId key;
   u32 topN = 0;
   u32 maxBytes = 0;
+  /// The requester accepts a non-authoritative cached copy (GetOptions::
+  /// allowCached). A responder without the authoritative block may then
+  /// answer from its record cache, marking the reply `cached`.
+  bool allowCached = false;
   std::vector<u8> encode() const;
   static FindValueReq decode(ByteReader& r);
 };
@@ -67,6 +73,7 @@ struct FindValueReq {
 /// FIND_VALUE reply body: either the (filtered) value or closer contacts.
 struct FindValueReply {
   bool found = false;
+  bool cached = false;  ///< value came from the responder's record cache
   BlockView view;
   std::vector<Contact> contacts;
   std::vector<u8> encode() const;
@@ -100,6 +107,29 @@ struct StoreReply {
   bool ok = false;
   std::vector<u8> encode() const;
   static StoreReply decode(ByteReader& r);
+};
+
+/// STORE_CACHE request body: Kademlia lookup-path caching. After a
+/// successful GET the initiator replicates the merged view to the closest
+/// observed node that did NOT hold the value, with a TTL scaled down
+/// exponentially with the target's extra XOR distance beyond the nearest
+/// holder. The copy is NON-authoritative: receivers keep it in their record
+/// cache (never BlockStore), serve it only to allowCached GETs, and expire
+/// it unconditionally at the TTL — so it carries no content signature; a
+/// forged copy can never satisfy an authoritative read or a value quorum.
+struct StoreCacheReq {
+  NodeId key;
+  net::SimTime ttlUs = 0;  ///< distance-scaled freshness budget
+  BlockView view;
+  std::vector<u8> encode() const;
+  static StoreCacheReq decode(ByteReader& r);
+};
+
+/// STORE_CACHE acknowledgement body.
+struct StoreCacheReply {
+  bool ok = false;  ///< false when the receiver's cache is disabled
+  std::vector<u8> encode() const;
+  static StoreCacheReply decode(ByteReader& r);
 };
 
 // -- shared field codecs ----------------------------------------------------

@@ -60,6 +60,29 @@ usize BlockView::byteSize() const {
   return n;
 }
 
+void BlockView::trim(const GetOptions& opt) {
+  if (opt.topN > 0 && entries.size() > opt.topN) {
+    entries.resize(opt.topN);
+    truncated = true;
+  }
+  if (opt.maxBytes > 0) {
+    usize budget = opt.maxBytes > 16 + payload.size()
+                       ? opt.maxBytes - 16 - payload.size()
+                       : 0;
+    usize used = 0;
+    usize keep = 0;
+    for (; keep < entries.size(); ++keep) {
+      usize cost = entries[keep].name.size() + 10;
+      if (used + cost > budget) break;
+      used += cost;
+    }
+    if (keep < entries.size()) {
+      entries.resize(keep);
+      truncated = true;
+    }
+  }
+}
+
 bool BlockStore::apply(const NodeId& key, const StoreToken& token,
                        net::SimTime now) {
   switch (token.kind) {
@@ -151,26 +174,7 @@ std::optional<BlockView> BlockStore::query(const NodeId& key,
             [](const BlockEntry& a, const BlockEntry& b2) {
               return a.weight != b2.weight ? a.weight > b2.weight : a.name < b2.name;
             });
-  if (opt.topN > 0 && v.entries.size() > opt.topN) {
-    v.entries.resize(opt.topN);
-    v.truncated = true;
-  }
-  if (opt.maxBytes > 0) {
-    usize budget = opt.maxBytes > 16 + v.payload.size()
-                       ? opt.maxBytes - 16 - v.payload.size()
-                       : 0;
-    usize used = 0;
-    usize keep = 0;
-    for (; keep < v.entries.size(); ++keep) {
-      usize cost = v.entries[keep].name.size() + 10;
-      if (used + cost > budget) break;
-      used += cost;
-    }
-    if (keep < v.entries.size()) {
-      v.entries.resize(keep);
-      v.truncated = true;
-    }
-  }
+  v.trim(opt);
   return v;
 }
 

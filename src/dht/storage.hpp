@@ -59,6 +59,8 @@ struct BlockEntry {
   bool operator==(const BlockEntry&) const = default;
 };
 
+struct GetOptions;
+
 /// Client-visible view of a block, possibly filtered index-side.
 struct BlockView {
   std::vector<BlockEntry> entries;  ///< sorted by weight desc, name asc
@@ -78,12 +80,24 @@ struct BlockView {
 
   /// Serialized size estimate used by index-side filtering.
   usize byteSize() const;
+
+  /// Applies the index-side filtering knobs to an already weight-ranked
+  /// view (top-N cap, then the byte budget) — the same trimming
+  /// BlockStore::query performs on authoritative state, reused so cached
+  /// copies answer a request with identical filtering semantics.
+  void trim(const GetOptions& opt);
 };
 
 /// Query parameters for GET (index-side filtering knobs).
 struct GetOptions {
   u32 topN = 0;       ///< keep only the N heaviest entries (0 = all)
   usize maxBytes = 0; ///< trim entries to fit this many bytes (0 = no cap)
+  /// Non-authoritative read: replicas along the lookup path may answer from
+  /// their record cache (STORE_CACHE copies) instead of authoritative
+  /// storage, and the first cached reply completes the lookup. Cached
+  /// replies never count toward the value quorum — GetResult keeps them in
+  /// a separate counter, so quorum/consistency classification is unchanged.
+  bool allowCached = false;
 };
 
 /// Per-node block store (Likir-style soft state: blocks carry a

@@ -1,0 +1,45 @@
+#include "workload/readwl.hpp"
+
+#include <unordered_set>
+
+#include "util/sampling.hpp"
+
+namespace dharma::wl {
+
+ReadTrace makeZipfReadTrace(const ZipfReadConfig& cfg) {
+  ReadTrace trace;
+  if (cfg.tagUniverse == 0 || cfg.sessions == 0 || cfg.stepsPerSession == 0) {
+    return trace;
+  }
+  Rng rng(splitmix64(cfg.seed ^ 0x2e4df05ULL));
+  ZipfSampler zipf(cfg.tagUniverse, cfg.alpha);
+  trace.reserve(cfg.sessions);
+  for (u64 s = 0; s < cfg.sessions; ++s) {
+    std::vector<u32> session;
+    session.reserve(cfg.stepsPerSession);
+    for (u32 step = 0; step < cfg.stepsPerSession; ++step) {
+      u32 rank = zipf.sampleIndex(rng);
+      // No immediate repeats (re-selecting the current tag is not a
+      // navigation step). Bounded deterministic re-draw; with a 1-tag
+      // universe repeats are unavoidable and allowed.
+      if (cfg.tagUniverse > 1) {
+        while (!session.empty() && rank == session.back()) {
+          rank = zipf.sampleIndex(rng);
+        }
+      }
+      session.push_back(rank);
+    }
+    trace.push_back(std::move(session));
+  }
+  return trace;
+}
+
+usize distinctTags(const ReadTrace& trace) {
+  std::unordered_set<u32> seen;
+  for (const auto& session : trace) {
+    seen.insert(session.begin(), session.end());
+  }
+  return seen.size();
+}
+
+}  // namespace dharma::wl

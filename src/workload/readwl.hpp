@@ -1,0 +1,46 @@
+#pragma once
+/// \file readwl.hpp
+/// \brief Zipf(α) read-heavy workload generation (search-session traces).
+///
+/// Tag popularity in real folksonomies is heavy-tailed (Cattuto et al.),
+/// so read traffic against the t̄/t̂ blocks concentrates on a handful of
+/// hot tags — exactly the workload a record cache absorbs. This generator
+/// produces deterministic search-session traces: each session is a short
+/// sequence of tag fetches whose tags are drawn rank-wise from a bounded
+/// Zipf(α) distribution (α = 0 degenerates to uniform; α ≈ 1 matches
+/// folksonomy popularity). Ranks are abstract indices in
+/// [0, tagUniverse) — callers map them onto concrete tag names.
+///
+/// Deterministic in cfg.seed: same config ⇒ bit-identical trace, which is
+/// what lets bench_cache_hitrate replay the exact same fetch sequence with
+/// the cache on and off.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dharma::wl {
+
+/// Parameters of a Zipf read trace.
+struct ZipfReadConfig {
+  u32 tagUniverse = 100;    ///< distinct tag ranks drawn from
+  u64 sessions = 200;       ///< search sessions generated
+  u32 stepsPerSession = 4;  ///< tag fetches per session
+  double alpha = 1.0;       ///< Zipf exponent (0 = uniform)
+  u64 seed = 42;
+};
+
+/// One search session = the ordered tag ranks it fetches.
+using ReadTrace = std::vector<std::vector<u32>>;
+
+/// Builds a Zipf(α) read trace per \p cfg. Within a session consecutive
+/// steps never repeat the same tag (a user does not re-select the tag they
+/// are on), but hot tags freely recur across steps and sessions — the
+/// recurrence the cache exploits. Deterministic in cfg.seed.
+ReadTrace makeZipfReadTrace(const ZipfReadConfig& cfg);
+
+/// Number of distinct ranks a trace touches (cache working-set size).
+usize distinctTags(const ReadTrace& trace);
+
+}  // namespace dharma::wl
