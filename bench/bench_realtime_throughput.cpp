@@ -1,0 +1,212 @@
+/// \file bench_realtime_throughput.cpp
+/// \brief The repo's first wall-clock performance number: GET/PUT/tag
+/// throughput and latency of a live loopback-UDP DHARMA cluster.
+///
+/// Boots N KademliaNodes on one UdpTransport under a RealTimeExecutor,
+/// preloads a small folksonomy, then drives W worker threads of blocking
+/// DharmaClient operations (search steps, resolves, tag writes) and
+/// reports ops/sec plus p50/p99 latency per operation class.
+///
+/// Unlike every other bench here this is NOT deterministic — it measures
+/// the real machine (scheduler, loopback stack, executor lock). The
+/// architecture it characterises: one run-loop thread executes all
+/// protocol callbacks, so reported throughput is the single-engine
+/// ceiling; sharded event loops are the recorded follow-on (ROADMAP).
+///
+///   $ ./bench_realtime_throughput                 # 8 nodes, 4 workers
+///   $ ./bench_realtime_throughput --nodes 16 --workers 8 --ops 2000
+///   $ ./bench_realtime_throughput --smoke         # CI-sized
+///
+/// Cost anchoring (Table I): a search step is 2 lookups, a resolve 1, a
+/// tag write 4 + k — so ops/sec here compose directly with the paper's
+/// per-op lookup identities.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/runtime.hpp"
+#include "net/realtime.hpp"
+#include "net/udp_transport.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+using namespace dharma;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double usSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+struct LatencyTrack {
+  std::vector<double> samples;
+  void add(double us) { samples.push_back(us); }
+  void merge(const LatencyTrack& o) {
+    samples.insert(samples.end(), o.samples.begin(), o.samples.end());
+  }
+  double percentile(double p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    usize idx = static_cast<usize>(p * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  }
+};
+
+struct WorkerResult {
+  LatencyTrack search, resolve, tag;
+  u64 failures = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const bool smoke = opts.getBool("smoke", false);
+  const usize nNodes = static_cast<usize>(opts.getInt("nodes", smoke ? 4 : 8));
+  const usize nWorkers =
+      static_cast<usize>(opts.getInt("workers", smoke ? 2 : 4));
+  const usize opsPerWorker =
+      static_cast<usize>(opts.getInt("ops", smoke ? 150 : 1000));
+  const usize nResources =
+      static_cast<usize>(opts.getInt("resources", smoke ? 16 : 64));
+  const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
+
+  std::cout << "### Real-time loopback-UDP throughput\n"
+            << "# nodes=" << nNodes << " workers=" << nWorkers
+            << " ops/worker=" << opsPerWorker << " resources=" << nResources
+            << "\n# wall-clock measurement: numbers vary run to run (no "
+               "digest)\n";
+
+  // ---- cluster boot -------------------------------------------------------
+  net::RealTimeExecutor exec;
+  exec.start();
+  net::UdpTransport transport(exec);
+  crypto::CertificationService cs("bench-realtime-secret");
+  core::RealTimeRuntime rt(exec, transport);
+
+  std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
+  for (usize i = 0; i < nNodes; ++i) {
+    nodes.push_back(std::make_unique<dht::KademliaNode>(
+        exec, transport, cs, cs.enroll("bench-" + std::to_string(i)),
+        dht::NodeConfig{}, seed + i));
+  }
+  Clock::time_point bootStart = Clock::now();
+  for (usize i = 1; i < nNodes; ++i) {
+    dht::Contact seedContact = nodes[0]->contact();
+    rt.awaitDone([&](std::function<void()> done) {
+      nodes[i]->join(seedContact, std::move(done));
+    });
+  }
+  std::printf("# bootstrap: %.1f ms\n", usSince(bootStart) / 1000.0);
+
+  // ---- preload folksonomy -------------------------------------------------
+  const std::vector<std::string> tagPool = {
+      "rock", "jazz", "metal", "electronic", "classic",
+      "blues", "folk", "ambient", "punk", "soul"};
+  {
+    core::DharmaClient loader(rt, *nodes[0], {}, seed);
+    Rng rng(seed);
+    for (usize r = 0; r < nResources; ++r) {
+      std::vector<std::string> tags;
+      usize m = 2 + static_cast<usize>(rng.uniform(3));
+      for (usize j = 0; j < m; ++j) {
+        tags.push_back(tagPool[static_cast<usize>(rng.uniform(tagPool.size()))]);
+      }
+      auto out = loader.insertResource("res-" + std::to_string(r),
+                                       "uri://res-" + std::to_string(r), tags);
+      if (!out.ok()) {
+        std::cerr << "preload insert failed\n";
+        return 1;
+      }
+    }
+  }
+
+  // ---- measured phase -----------------------------------------------------
+  // One client per worker, each riding a different node; every blocking op
+  // funnels through the single run loop, so this measures the engine, not
+  // client-side parallelism.
+  std::vector<WorkerResult> results(nWorkers);
+  std::vector<std::thread> workers;
+  Clock::time_point runStart = Clock::now();
+  for (usize w = 0; w < nWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      core::DharmaClient client(rt, *nodes[(w + 1) % nNodes], {},
+                                seed + 100 + w);
+      Rng rng(seed * 31 + w);
+      WorkerResult& res = results[w];
+      for (usize op = 0; op < opsPerWorker; ++op) {
+        u64 dice = rng.uniform(100);
+        Clock::time_point t0 = Clock::now();
+        if (dice < 60) {  // search step: 2 lookups
+          const std::string& tag =
+              tagPool[static_cast<usize>(rng.uniform(tagPool.size()))];
+          auto out = client.searchStep(tag);
+          res.search.add(usSince(t0));
+          res.failures += out.ok() ? 0 : 1;
+        } else if (dice < 85) {  // resolve: 1 lookup
+          std::string r = "res-" + std::to_string(rng.uniform(nResources));
+          auto out = client.resolveUri(r);
+          res.resolve.add(usSince(t0));
+          res.failures += out.ok() ? 0 : 1;
+        } else {  // tag write: 4 + k lookups
+          std::string r = "res-" + std::to_string(rng.uniform(nResources));
+          const std::string& tag =
+              tagPool[static_cast<usize>(rng.uniform(tagPool.size()))];
+          auto out = client.tagResource(r, tag);
+          res.tag.add(usSince(t0));
+          res.failures += out.ok() ? 0 : 1;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  double wallUs = usSince(runStart);
+
+  // ---- report -------------------------------------------------------------
+  LatencyTrack search, resolve, tag;
+  u64 failures = 0;
+  for (auto& r : results) {
+    search.merge(r.search);
+    resolve.merge(r.resolve);
+    tag.merge(r.tag);
+    failures += r.failures;
+  }
+  u64 totalOps = static_cast<u64>(nWorkers * opsPerWorker);
+  net::UdpStats net = transport.stats();
+
+  std::printf("\n%-10s %8s %10s %10s %10s\n", "op", "count", "p50 us", "p99 us",
+              "max us");
+  auto row = [](const char* name, LatencyTrack& t) {
+    if (t.samples.empty()) return;
+    std::printf("%-10s %8zu %10.0f %10.0f %10.0f\n", name, t.samples.size(),
+                t.percentile(0.50), t.percentile(0.99), t.percentile(1.0));
+  };
+  row("search", search);
+  row("resolve", resolve);
+  row("tag", tag);
+
+  std::printf("\nRESULT: %llu ops in %.2f s => %.0f ops/sec (%zu workers), "
+              "%llu failures\n",
+              static_cast<unsigned long long>(totalOps), wallUs / 1e6,
+              static_cast<double>(totalOps) / (wallUs / 1e6), nWorkers,
+              static_cast<unsigned long long>(failures));
+  std::printf("# udp: %llu datagrams sent, %llu received, %llu bytes\n",
+              static_cast<unsigned long long>(net.sent),
+              static_cast<unsigned long long>(net.received),
+              static_cast<unsigned long long>(net.bytesSent));
+
+  exec.stop();
+  transport.close();
+  nodes.clear();
+  return failures == 0 ? 0 : 1;
+}

@@ -22,7 +22,7 @@ void RecordCache::erase(
 }
 
 const dht::BlockView* RecordCache::find(const dht::NodeId& key,
-                                        net::SimTime now) {
+                                        net::TimeUs now) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -41,12 +41,12 @@ const dht::BlockView* RecordCache::find(const dht::NodeId& key,
 }
 
 bool RecordCache::insert(const dht::NodeId& key, dht::BlockView view,
-                         BlockKind kind, net::SimTime now) {
+                         BlockKind kind, net::TimeUs now) {
   return insertWithTtl(key, std::move(view), policy_.ttlFor(kind), now);
 }
 
 bool RecordCache::insertWithTtl(const dht::NodeId& key, dht::BlockView view,
-                                net::SimTime ttlUs, net::SimTime now) {
+                                net::TimeUs ttlUs, net::TimeUs now) {
   if (policy_.capacity == 0 || ttlUs == 0) return false;
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -76,7 +76,7 @@ bool RecordCache::invalidate(const dht::NodeId& key) {
   return true;
 }
 
-usize RecordCache::expire(net::SimTime now) {
+usize RecordCache::expire(net::TimeUs now) {
   usize dropped = 0;
   for (auto it = index_.begin(); it != index_.end();) {
     if (now >= it->second->expiresAtUs) {

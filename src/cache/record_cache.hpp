@@ -16,10 +16,12 @@
 ///    the cache is disabled.
 ///
 /// The cache is deliberately boring: LRU over a fixed capacity, TTLs per
-/// block kind (or explicit per entry), and NO wall-clock anywhere — every
-/// operation takes the caller's virtual time (net::SimTime), so cached
-/// behaviour replays bit-identically from a seed. An entry inserted at time
-/// T with TTL d is served for now < T + d and expired at now >= T + d.
+/// block kind (or explicit per entry), and NO clock of its own — every
+/// operation takes the caller's Executor time (net::TimeUs): virtual time
+/// under the simulator (so cached behaviour replays bit-identically from a
+/// seed), the monotonic wall clock under the real-time runtime. An entry
+/// inserted at time T with TTL d is served for now < T + d and expired at
+/// now >= T + d.
 
 #include <array>
 #include <list>
@@ -27,7 +29,7 @@
 
 #include "dht/node_id.hpp"
 #include "dht/storage.hpp"
-#include "net/simulator.hpp"
+#include "net/executor.hpp"
 
 namespace dharma::cache {
 
@@ -56,7 +58,7 @@ struct CachePolicy {
   /// operation (short TTL), t̄/t̂ only grow monotonically and search is
   /// staleness-tolerant by design (medium), r̃ never changes after insert
   /// (long), and opaque node-side entries get the medium default.
-  std::array<net::SimTime, kBlockKindCount> ttlUs = {
+  std::array<net::TimeUs, kBlockKindCount> ttlUs = {
       10'000'000,   // kResourceTags  (10 s)
       30'000'000,   // kTagResources  (30 s)
       30'000'000,   // kTagNeighbors  (30 s)
@@ -64,7 +66,7 @@ struct CachePolicy {
       30'000'000,   // kUnknown       (30 s)
   };
 
-  net::SimTime ttlFor(BlockKind k) const {
+  net::TimeUs ttlFor(BlockKind k) const {
     return ttlUs[static_cast<usize>(k)];
   }
 };
@@ -97,18 +99,18 @@ class RecordCache {
   /// refreshing its LRU position; an expired entry is dropped on the spot
   /// (counted as expiration + miss). The pointer is valid until the next
   /// non-const call.
-  const dht::BlockView* find(const dht::NodeId& key, net::SimTime now);
+  const dht::BlockView* find(const dht::NodeId& key, net::TimeUs now);
 
   /// Admits \p view under the kind's policy TTL. A kind with TTL 0 is not
   /// cached. Overwrites (and re-times) an existing entry. Returns whether
   /// the view was actually admitted (false: disabled cache or zero TTL).
   bool insert(const dht::NodeId& key, dht::BlockView view, BlockKind kind,
-              net::SimTime now);
+              net::TimeUs now);
 
   /// Admits \p view with an explicit TTL (the STORE_CACHE distance-scaled
   /// path). TTL 0 is a no-op. Returns whether the view was admitted.
   bool insertWithTtl(const dht::NodeId& key, dht::BlockView view,
-                     net::SimTime ttlUs, net::SimTime now);
+                     net::TimeUs ttlUs, net::TimeUs now);
 
   /// Drops \p key (write-through invalidation). True if it was present.
   bool invalidate(const dht::NodeId& key);
@@ -117,7 +119,7 @@ class RecordCache {
   /// number dropped. find() already expires lazily — the sweep exists so
   /// dead entries on *idle* keys don't outlive their TTL (maintenance runs
   /// it periodically).
-  usize expire(net::SimTime now);
+  usize expire(net::TimeUs now);
 
   /// Drops everything (stats are kept).
   void clear();
@@ -132,7 +134,7 @@ class RecordCache {
   struct Entry {
     dht::NodeId key;
     dht::BlockView view;
-    net::SimTime expiresAtUs = 0;
+    net::TimeUs expiresAtUs = 0;
   };
 
   CachePolicy policy_;

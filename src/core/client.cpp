@@ -28,7 +28,7 @@ struct DharmaClient::OpState {
   OpCost cost;
   Replication rep;
   u32 retries = 0;
-  net::SimTime startUs = 0;
+  net::TimeUs startUs = 0;
   std::optional<OpError> fatal;
 
   /// Keeps the most severe error (enum values are ordered by severity:
@@ -40,12 +40,18 @@ struct DharmaClient::OpState {
 
 DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
                            DharmaConfig cfg, u64 seed, OpPolicy policy)
-    : net_(net), nodeIdx_(nodeIdx), cfg_(cfg), rng_(seed), policy_(policy),
+    : ownedRt_(std::make_unique<SimRuntime>(net.sim(), net.network())),
+      rt_(ownedRt_.get()), node_(net.node(nodeIdx)), cfg_(cfg), rng_(seed),
+      policy_(policy), cache_(cfg.cachePolicy) {}
+
+DharmaClient::DharmaClient(Runtime& rt, dht::KademliaNode& node,
+                           DharmaConfig cfg, u64 seed, OpPolicy policy)
+    : rt_(&rt), node_(node), cfg_(cfg), rng_(seed), policy_(policy),
       cache_(cfg.cachePolicy) {}
 
 std::shared_ptr<DharmaClient::OpState> DharmaClient::beginOp() {
   auto op = std::make_shared<OpState>();
-  op->startUs = net_.sim().now();
+  op->startUs = rt_->executor().now();
   if (!online()) op->recordError(OpError::kNodeOffline);
   return op;
 }
@@ -68,8 +74,8 @@ Outcome<T> DharmaClient::finishOp(OpState& op, std::optional<T> value) {
   return out;
 }
 
-net::SimTime DharmaClient::backoffDelay(u32 retryIndex) {
-  net::SimTime base = policy_.retryBackoffUs
+net::TimeUs DharmaClient::backoffDelay(u32 retryIndex) {
+  net::TimeUs base = policy_.retryBackoffUs
                       << std::min<u32>(retryIndex, 16);  // exponential
   if (base == 0) return 0;
   // Deterministic jitter in [base/2, 3*base/2): same seed, same trace.
@@ -78,7 +84,7 @@ net::SimTime DharmaClient::backoffDelay(u32 retryIndex) {
 
 bool DharmaClient::deadlineExceeded(OpState& op) {
   return policy_.opDeadlineUs > 0 &&
-         net_.sim().now() - op.startUs >= policy_.opDeadlineUs;
+         rt_->executor().now() - op.startUs >= policy_.opDeadlineUs;
 }
 
 void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
@@ -94,7 +100,7 @@ void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
   // instead of double-counting the increments.
   std::vector<StoreToken> tokensCopy;
   if (retriesLeft > 0) tokensCopy = tokens;
-  node().putMany(
+  node_.putMany(
       key, std::move(tokens), putId,
       [this, op, key, putId, tokensCopy = std::move(tokensCopy), retriesLeft,
        done = std::move(done)](dht::PutResult r) mutable {
@@ -107,7 +113,7 @@ void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
         if (retriesLeft > 0 && !timedOut) {
           u32 retryIndex = policy_.retryBudget - retriesLeft;
           ++op->retries;
-          net_.sim().schedule(
+          rt_->executor().schedule(
               backoffDelay(retryIndex),
               [this, op, key, putId, tokensCopy = std::move(tokensCopy),
                retriesLeft, done = std::move(done)]() mutable {
@@ -131,7 +137,7 @@ void DharmaClient::putBlock(const std::shared_ptr<OpState>& op,
   // Call sites that can reconstruct the post-write view (the tag path's r̄)
   // re-populate the cache after the operation completes.
   if (cfg_.cacheEnabled) cache_.invalidate(key);
-  putBlockAttempt(op, key, std::move(tokens), node().allocatePutId(),
+  putBlockAttempt(op, key, std::move(tokens), node_.allocatePutId(),
                   policy_.retryBudget, std::move(done));
 }
 
@@ -142,7 +148,7 @@ void DharmaClient::getBlockAttempt(const std::shared_ptr<OpState>& op,
   ++op->cost.gets;
   ++total_.lookups;
   ++total_.gets;
-  node().get(key, opt,
+  node_.get(key, opt,
              [this, op, key, opt, retriesLeft,
               done = std::move(done)](dht::GetResult r) mutable {
                // A clean miss is authoritative; only a miss that coincided
@@ -151,7 +157,7 @@ void DharmaClient::getBlockAttempt(const std::shared_ptr<OpState>& op,
                if (retryable && retriesLeft > 0 && !deadlineExceeded(*op)) {
                  u32 retryIndex = policy_.retryBudget - retriesLeft;
                  ++op->retries;
-                 net_.sim().schedule(
+                 rt_->executor().schedule(
                      backoffDelay(retryIndex),
                      [this, op, key, opt, retriesLeft,
                       done = std::move(done)]() mutable {
@@ -175,7 +181,7 @@ void DharmaClient::getBlockCached(const std::shared_ptr<OpState>& op,
                                   GetOptions opt, bool acceptRemoteCached,
                                   std::function<void(dht::GetResult)> done) {
   if (cfg_.cacheEnabled) {
-    if (const dht::BlockView* hit = cache_.find(key, net_.sim().now())) {
+    if (const dht::BlockView* hit = cache_.find(key, rt_->executor().now())) {
       // Zero lookups: the hit is accounted in servedFromCache only, so the
       // Table I identities stay exact arithmetic over the misses.
       ++op->cost.servedFromCache;
@@ -196,7 +202,7 @@ void DharmaClient::getBlockCached(const std::shared_ptr<OpState>& op,
              // bound (the client-side mirror of publishPathCache's
              // valueReplies guard).
              if (cfg_.cacheEnabled && r.view && !r.servedFromCache()) {
-               cache_.insert(key, *r.view, kind, net_.sim().now());
+               cache_.insert(key, *r.view, kind, rt_->executor().now());
              }
              done(std::move(r));
            });
@@ -512,7 +518,7 @@ void DharmaClient::tagResourcesSharedFetch(
                                      cb = std::move(cb)] {
           if (cfg_.cacheEnabled && !op->fatal) {
             cache_.insert(blockKey(res, BlockType::kResourceTags), evolved,
-                          cache::BlockKind::kResourceTags, net_.sim().now());
+                          cache::BlockKind::kResourceTags, rt_->executor().now());
           }
           cb(finishOp(*op, std::make_optional(WriteReceipt{
                                op->rep.puts(), op->rep.minAcks()})));
@@ -616,7 +622,7 @@ Outcome<WriteReceipt> DharmaClient::insertResource(
     const std::string& res, const std::string& uri,
     const std::vector<std::string>& tags) {
   using R = Outcome<WriteReceipt>;
-  return net_.await<R>([&](std::function<void(R)> done) {
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     insertResourceAsync(res, uri, tags, std::move(done));
   });
 }
@@ -624,7 +630,7 @@ Outcome<WriteReceipt> DharmaClient::insertResource(
 Outcome<WriteReceipt> DharmaClient::insertResources(
     const std::vector<ResourceSpec>& specs) {
   using R = Outcome<WriteReceipt>;
-  return net_.await<R>([&](std::function<void(R)> done) {
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     insertResourcesAsync(specs, std::move(done));
   });
 }
@@ -632,7 +638,7 @@ Outcome<WriteReceipt> DharmaClient::insertResources(
 Outcome<WriteReceipt> DharmaClient::tagResource(const std::string& res,
                                                 const std::string& tag) {
   using R = Outcome<WriteReceipt>;
-  return net_.await<R>([&](std::function<void(R)> done) {
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     tagResourceAsync(res, tag, std::move(done));
   });
 }
@@ -640,21 +646,21 @@ Outcome<WriteReceipt> DharmaClient::tagResource(const std::string& res,
 Outcome<WriteReceipt> DharmaClient::tagResources(
     const std::string& res, const std::vector<std::string>& tags) {
   using R = Outcome<WriteReceipt>;
-  return net_.await<R>([&](std::function<void(R)> done) {
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     tagResourcesAsync(res, tags, std::move(done));
   });
 }
 
 Outcome<SearchStepResult> DharmaClient::searchStep(const std::string& tag) {
   using R = Outcome<SearchStepResult>;
-  return net_.await<R>([&](std::function<void(R)> done) {
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     searchStepAsync(tag, std::move(done));
   });
 }
 
 Outcome<std::string> DharmaClient::resolveUri(const std::string& res) {
   using R = Outcome<std::string>;
-  return net_.await<R>([&](std::function<void(R)> done) {
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     resolveUriAsync(res, std::move(done));
   });
 }

@@ -28,7 +28,9 @@
 /// Every method exists in an async form (callback, suitable for
 /// interleaving concurrent operations inside the simulator — how the
 /// consistency race of Section IV-B is reproduced) and a blocking form
-/// that drives the simulation to completion.
+/// that waits through the client's core::Runtime: under SimRuntime it
+/// drives the simulation to completion, under RealTimeRuntime it blocks
+/// the calling thread while the executor's loop thread runs the protocol.
 
 #include <array>
 #include <functional>
@@ -40,6 +42,7 @@
 #include "cache/record_cache.hpp"
 #include "core/keys.hpp"
 #include "core/outcome.hpp"
+#include "core/runtime.hpp"
 #include "dht/dht_network.hpp"
 
 namespace dharma::core {
@@ -86,16 +89,30 @@ struct ResourceSpec {
   std::vector<std::string> tags;
 };
 
-/// A tagging/search client bound to one overlay node.
+/// A tagging/search client bound to one overlay node. The client is
+/// runtime-agnostic: all protocol work rides the node's Executor/Transport
+/// through a core::Runtime, so the same client code scripts deterministic
+/// experiments (SimRuntime) and serves a live loopback-UDP cluster
+/// (RealTimeRuntime — see examples/dharma_node.cpp).
 class DharmaClient {
  public:
-  /// \param net  the overlay
+  /// Simulation convenience: binds to node \p nodeIdx of a simulated
+  /// overlay through an internally owned SimRuntime (blocking calls step
+  /// the simulator, exactly as before).
+  ///
+  /// \param net  the simulated overlay
   /// \param nodeIdx index of the node this client rides
   /// \param cfg  protocol configuration
   /// \param seed randomness for Approximation A's subset choice and the
   ///             retry backoff jitter (same seed ⇒ same retry trace)
   /// \param policy failure semantics: quorum, retry budget, deadline
   DharmaClient(dht::DhtNetwork& net, usize nodeIdx, DharmaConfig cfg = {},
+               u64 seed = 7, OpPolicy policy = {});
+
+  /// Runtime-explicit binding: rides \p node under \p rt (which must
+  /// outlive the client). With a RealTimeRuntime, blocking calls must come
+  /// from outside the executor's loop thread.
+  DharmaClient(Runtime& rt, dht::KademliaNode& node, DharmaConfig cfg = {},
                u64 seed = 7, OpPolicy policy = {});
 
   // -- async protocol (composable inside the simulator) --
@@ -159,9 +176,8 @@ class DharmaClient {
   const DharmaConfig& config() const { return cfg_; }
   const OpPolicy& policy() const { return policy_; }
   void setPolicy(const OpPolicy& p) { policy_ = p; }
-  dht::DhtNetwork& overlay() { return net_; }
-  dht::KademliaNode& node() { return net_.node(nodeIdx_); }
-  usize nodeIndex() const { return nodeIdx_; }
+  Runtime& runtime() { return *rt_; }
+  dht::KademliaNode& node() { return node_; }
 
   /// Read-through cache telemetry (hits/misses/evictions/...).
   const cache::CacheStats& cacheStats() const { return cache_.stats(); }
@@ -170,8 +186,9 @@ class DharmaClient {
  private:
   struct OpState;
 
-  dht::DhtNetwork& net_;
-  usize nodeIdx_;
+  std::unique_ptr<Runtime> ownedRt_;  ///< set by the DhtNetwork convenience ctor
+  Runtime* rt_;                       ///< never null
+  dht::KademliaNode& node_;
   DharmaConfig cfg_;
   Rng rng_;
   OpPolicy policy_;
@@ -181,7 +198,7 @@ class DharmaClient {
 
   /// True when this client's own node accepts datagrams; a client on an
   /// offline node fails every op with kNodeOffline at zero cost.
-  bool online() const { return net_.isOnline(nodeIdx_); }
+  bool online() const { return rt_->online(node_.address()); }
 
   std::shared_ptr<OpState> beginOp();
   template <typename T>
@@ -221,7 +238,7 @@ class DharmaClient {
                                std::function<void(Outcome<WriteReceipt>)> cb);
 
   /// Deterministic backoff for the retry numbered \p retryIndex (0-based).
-  net::SimTime backoffDelay(u32 retryIndex);
+  net::TimeUs backoffDelay(u32 retryIndex);
 
   /// Pure predicate: has \p op run past its policy deadline? (The caller
   /// records the kTimeout — this only reads state.)

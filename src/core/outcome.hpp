@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "dht/kademlia_node.hpp"
-#include "net/simulator.hpp"
+#include "net/executor.hpp"
 
 namespace dharma::core {
 
@@ -96,11 +96,11 @@ struct OpPolicy {
   /// Base backoff before the first retry; doubles per retry, with a
   /// deterministic jitter drawn from the client's Rng (same seed ⇒ same
   /// retry trace).
-  net::SimTime retryBackoffUs = 250'000;
+  net::TimeUs retryBackoffUs = 250'000;
 
   /// Per-operation deadline in simulated time (0 = none). Once exceeded,
   /// the op stops retrying and fails with OpError::kTimeout.
-  net::SimTime opDeadlineUs = 0;
+  net::TimeUs opDeadlineUs = 0;
 };
 
 /// Value-or-error result of one protocol operation. Cheap struct semantics:

@@ -1,0 +1,46 @@
+#include "core/runtime.hpp"
+
+#include "net/network.hpp"
+#include "net/realtime.hpp"
+#include "net/simulator.hpp"
+
+namespace dharma::core {
+
+net::Executor& SimRuntime::executor() { return sim_; }
+
+net::Transport& SimRuntime::transport() { return net_; }
+
+void SimRuntime::awaitDone(AwaitLaunch launch) {
+  bool done = false;
+  launch([&done] { done = true; });
+  while (!done && sim_.step()) {
+  }
+  if (!done) {
+    throw std::runtime_error("SimRuntime::awaitDone: simulation drained");
+  }
+}
+
+net::Executor& RealTimeRuntime::executor() { return exec_; }
+
+void RealTimeRuntime::awaitDone(AwaitLaunch launch) {
+  // A stopped executor would enqueue the launch and never run it, hanging
+  // the caller with no diagnostic — fail loudly instead (the analogue of
+  // SimRuntime's "simulation drained"). This catches the lifecycle misuse
+  // (blocking before start() / after stop()); a stop() racing in AFTER the
+  // check can still strand the wait, so shut down only once blocking
+  // callers have quiesced.
+  if (!exec_.running()) {
+    throw std::runtime_error(
+        "RealTimeRuntime::awaitDone: executor is not running");
+  }
+  auto completed = std::make_shared<std::promise<void>>();
+  std::future<void> fut = completed->get_future();
+  // The launch itself must run on the loop thread: protocol state is owned
+  // there, and posting it is what keeps the engine single-threaded.
+  exec_.schedule(0, [launch = std::move(launch), completed] {
+    launch([completed] { completed->set_value(); });
+  });
+  fut.get();
+}
+
+}  // namespace dharma::core

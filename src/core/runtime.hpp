@@ -1,0 +1,112 @@
+#pragma once
+/// \file runtime.hpp
+/// \brief How the client layer binds to an Executor/Transport pair, and how
+/// its blocking operations wait.
+///
+/// DharmaClient's async protocol code only needs the Executor (clock,
+/// retry backoff timers) and the Transport (its node's online state). Its
+/// *blocking* wrappers additionally need a way to wait for an async
+/// operation to finish, and that is the one place where simulation and
+/// real time genuinely differ:
+///
+///  - **SimRuntime**: there is one thread and time is virtual, so waiting
+///    means stepping the Simulator until the operation's callback fires —
+///    exactly what DhtNetwork::await always did.
+///  - **RealTimeRuntime**: the RealTimeExecutor's loop thread owns all
+///    protocol state, so the operation is posted to the loop and the
+///    calling thread blocks on a promise until the callback fires there.
+///    Blocking calls must come from OUTSIDE the loop thread (a blocking
+///    call from inside a protocol callback would deadlock — the loop
+///    cannot both wait and make progress).
+///
+/// Either way the protocol engine runs identical code; only the waiting
+/// strategy is swapped.
+
+#include <functional>
+#include <future>
+#include <stdexcept>
+
+#include "net/executor.hpp"
+#include "net/transport.hpp"
+
+namespace dharma::net {
+class Simulator;
+class Network;
+class RealTimeExecutor;
+}  // namespace dharma::net
+
+namespace dharma::core {
+
+/// An operation launcher: receives a `done` closure and must arrange for it
+/// to be called exactly once when the async operation completes.
+using AwaitLaunch = std::function<void(std::function<void()>)>;
+
+/// Executor/Transport binding + blocking-wait strategy (see file comment).
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual net::Executor& executor() = 0;
+  virtual net::Transport& transport() = 0;
+
+  /// Runs \p launch and blocks the calling context until the done()
+  /// closure it was handed has been invoked.
+  virtual void awaitDone(AwaitLaunch launch) = 0;
+
+  /// True when the endpoint currently accepts datagrams (a client on a
+  /// crashed simulated node fails fast with kNodeOffline).
+  bool online(net::Address a) { return transport().isOnline(a); }
+};
+
+/// Runs an async operation with result type R to completion and returns
+/// its result. The result is written before done() fires, and awaitDone
+/// provides the ordering (trivially in simulation; via the promise/future
+/// synchronization in real time), so the read below is race-free.
+template <typename R>
+R awaitResult(Runtime& rt,
+              const std::function<void(std::function<void(R)>)>& launch) {
+  R result{};
+  rt.awaitDone([&](std::function<void()> done) {
+    launch([&result, done = std::move(done)](R r) {
+      result = std::move(r);
+      done();
+    });
+  });
+  return result;
+}
+
+/// Deterministic runtime: steps the Simulator on the calling thread until
+/// the operation completes. Throws if the event queue drains first (the
+/// operation leaked its callback).
+class SimRuntime final : public Runtime {
+ public:
+  SimRuntime(net::Simulator& sim, net::Network& net) : sim_(sim), net_(net) {}
+
+  net::Executor& executor() override;
+  net::Transport& transport() override;
+  void awaitDone(AwaitLaunch launch) override;
+
+ private:
+  net::Simulator& sim_;
+  net::Network& net_;
+};
+
+/// Wall-clock runtime: posts the operation to the RealTimeExecutor's loop
+/// thread and blocks the calling thread on a promise. The executor must be
+/// start()ed. Never call a blocking client operation from the loop thread
+/// itself.
+class RealTimeRuntime final : public Runtime {
+ public:
+  RealTimeRuntime(net::RealTimeExecutor& exec, net::Transport& net)
+      : exec_(exec), net_(net) {}
+
+  net::Executor& executor() override;
+  net::Transport& transport() override { return net_; }
+  void awaitDone(AwaitLaunch launch) override;
+
+ private:
+  net::RealTimeExecutor& exec_;
+  net::Transport& net_;
+};
+
+}  // namespace dharma::core

@@ -63,10 +63,10 @@ struct KademliaNode::LookupTask {
   }
 };
 
-KademliaNode::KademliaNode(net::Simulator& sim, net::Network& net,
+KademliaNode::KademliaNode(net::Executor& exec, net::Transport& net,
                            const crypto::CertificationService& cs,
                            crypto::Credential cred, NodeConfig cfg, u64 seed)
-    : sim_(sim), net_(net), cs_(cs), credential_(std::move(cred)), cfg_(cfg),
+    : exec_(exec), net_(net), cs_(cs), credential_(std::move(cred)), cfg_(cfg),
       rng_(seed), self_{NodeId::fromDigest(credential_.nodeId), net::kNullAddress},
       routing_(self_.id, cfg.k), cache_(cfg.cachePolicy) {
   self_.addr = net_.registerEndpoint(
@@ -91,6 +91,18 @@ void KademliaNode::ping(const Contact& c, std::function<void(bool)> cb) {
   sendRequest(c, RpcType::kPing, {}, [cb = std::move(cb)](bool ok, const Envelope&) {
     if (cb) cb(ok);
   });
+}
+
+void KademliaNode::pingAddress(net::Address addr, std::function<void(bool)> cb) {
+  // A placeholder contact: the id is unknown until the PONG arrives, so the
+  // pending RPC is flagged anyPeer and correlation falls back to rpcId
+  // alone. The reply's (credential-verified) envelope feeds observeSender,
+  // which is what actually enrolls the peer for the join lookup that
+  // follows.
+  sendRequestImpl(Contact{NodeId{}, addr}, /*anyPeer=*/true, RpcType::kPing,
+                  {}, [cb = std::move(cb)](bool ok, const Envelope&) {
+                    if (cb) cb(ok);
+                  });
 }
 
 void KademliaNode::findNode(const NodeId& target,
@@ -143,7 +155,7 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
   }
   // Split the batch so each STORE datagram fits the MTU (the lookup cost is
   // unaffected: fragmentation happens after the single iterative lookup).
-  const usize mtu = net_.config().mtuBytes;
+  const usize mtu = net_.mtuBytes();
   const usize budget = mtu > 300 ? mtu - 300 : mtu / 2;
   std::vector<std::vector<StoreToken>> chunks;
   chunks.emplace_back();
@@ -224,7 +236,7 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
           // Atomic chunk apply (all-or-nothing), recorded only on success:
           // a rejected chunk leaves no partial state behind and must fail
           // the retry again rather than be dedup-acked.
-          bool chunkOk = store_.applyAll(key, chunks[c], sim_.now());
+          bool chunkOk = store_.applyAll(key, chunks[c], exec_.now());
           if (chunkOk) recordPutApplied(credential_.userId, putId, chunkIdx);
           ok = ok && chunkOk;
         }
@@ -280,7 +292,7 @@ void KademliaNode::get(const NodeId& key, const GetOptions& opt,
 }
 
 usize KademliaNode::sweepCache() {
-  usize dropped = cache_.expire(sim_.now());
+  usize dropped = cache_.expire(exec_.now());
   syncCacheCounters();
   return dropped;
 }
@@ -311,6 +323,13 @@ Envelope KademliaNode::makeEnvelope(RpcType type, u64 rpcId,
 void KademliaNode::sendRequest(const Contact& to, RpcType type,
                                std::vector<u8> body,
                                std::function<void(bool, const Envelope&)> onDone) {
+  sendRequestImpl(to, /*anyPeer=*/false, type, std::move(body),
+                  std::move(onDone));
+}
+
+void KademliaNode::sendRequestImpl(
+    const Contact& to, bool anyPeer, RpcType type, std::vector<u8> body,
+    std::function<void(bool, const Envelope&)> onDone) {
   u64 rpcId = nextRpcId_++;
   Envelope env = makeEnvelope(type, rpcId, std::move(body));
   ++counters_.rpcsSent;
@@ -318,6 +337,7 @@ void KademliaNode::sendRequest(const Contact& to, RpcType type,
   PendingRpc p;
   p.onDone = std::move(onDone);
   p.expectedPeer = to.id;
+  p.anyPeer = anyPeer;
   if (!net_.send(self_.addr, to.addr, env.encode())) {
     // The network refused the datagram synchronously (oversize): fail the
     // RPC on the next simulator step instead of burning the full timeout.
@@ -325,7 +345,7 @@ void KademliaNode::sendRequest(const Contact& to, RpcType type,
     // machines safe from re-entrant mutation. The peer is not at fault, so
     // it stays in the routing table.
     ++counters_.sendRejects;
-    p.timeoutEvent = sim_.schedule(0, [this, rpcId] {
+    p.timeoutEvent = exec_.schedule(0, [this, rpcId] {
       auto it = pending_.find(rpcId);
       if (it == pending_.end()) return;
       auto onDone = std::move(it->second.onDone);
@@ -336,17 +356,19 @@ void KademliaNode::sendRequest(const Contact& to, RpcType type,
     pending_.emplace(rpcId, std::move(p));
     return;
   }
-  p.timeoutEvent = sim_.schedule(cfg_.rpcTimeoutUs, [this, rpcId, peer = to] {
-    auto it = pending_.find(rpcId);
-    if (it == pending_.end()) return;
-    auto onDone = std::move(it->second.onDone);
-    pending_.erase(it);
-    ++counters_.timeouts;
-    // Unresponsive peers fall out of the routing table (Kademlia liveness).
-    routing_.remove(peer.id);
-    Envelope dummy;
-    if (onDone) onDone(false, dummy);
-  });
+  p.timeoutEvent = exec_.schedule(
+      cfg_.rpcTimeoutUs, [this, rpcId, anyPeer, peer = to] {
+        auto it = pending_.find(rpcId);
+        if (it == pending_.end()) return;
+        auto onDone = std::move(it->second.onDone);
+        pending_.erase(it);
+        ++counters_.timeouts;
+        // Unresponsive peers fall out of the routing table (Kademlia
+        // liveness). An address-only probe has no peer id to remove.
+        if (!anyPeer) routing_.remove(peer.id);
+        Envelope dummy;
+        if (onDone) onDone(false, dummy);
+      });
   pending_.emplace(rpcId, std::move(p));
 }
 
@@ -383,7 +405,7 @@ void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
 
   if (cfg_.verifyCredentials) {
     // Likir: the credential must verify AND bind the claimed node id.
-    if (!cs_.verify(env.credential, sim_.now()) ||
+    if (!cs_.verify(env.credential, exec_.now()) ||
         NodeId::fromDigest(env.credential.nodeId) != env.sender.id) {
       ++counters_.credentialRejects;
       return;
@@ -416,14 +438,14 @@ void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
     case RpcType::kStoreCacheReply: {
       auto it = pending_.find(env.rpcId);
       if (it == pending_.end()) return;  // late/duplicate reply
-      if (env.sender.id != it->second.expectedPeer) {
+      if (!it->second.anyPeer && env.sender.id != it->second.expectedPeer) {
         // A reply correlates by (rpcId, peer), not rpcId alone: any node
         // that learned the id could otherwise resolve someone else's RPC.
         ++counters_.replySenderMismatches;
         return;
       }
       auto onDone = std::move(it->second.onDone);
-      sim_.cancel(it->second.timeoutEvent);
+      exec_.cancel(it->second.timeoutEvent);
       pending_.erase(it);
       if (onDone) onDone(true, env);
       break;
@@ -455,7 +477,7 @@ void KademliaNode::handleFindValue(const Envelope& env) {
     opt.topN = req.topN;
     // Index-side filtering: never build a reply larger than the MTU even if
     // the requester asked for more (Section V-A).
-    usize mtuBudget = net_.config().mtuBytes > 256 ? net_.config().mtuBytes - 256 : 256;
+    usize mtuBudget = net_.mtuBytes() > 256 ? net_.mtuBytes() - 256 : 256;
     opt.maxBytes = req.maxBytes == 0 ? mtuBudget
                                      : std::min<usize>(req.maxBytes, mtuBudget);
     if (auto view = store_.query(req.key, opt)) {
@@ -465,7 +487,7 @@ void KademliaNode::handleFindValue(const Envelope& env) {
       // No authoritative replica here, but the requester accepts a
       // non-authoritative copy: serve the record cache, marked `cached` so
       // it can never masquerade as a replica on the requester side.
-      const BlockView* cached = cache_.find(req.key, sim_.now());
+      const BlockView* cached = cache_.find(req.key, exec_.now());
       syncCacheCounters();
       if (cached != nullptr) {
         rep.found = true;
@@ -498,7 +520,7 @@ void KademliaNode::handleStoreCache(const Envelope& env) {
     if (cfg_.cacheEnabled && !store_.has(req.key)) {
       net::SimTime ttl = std::min(req.ttlUs, cfg_.pathCacheTtlBaseUs);
       rep.ok = cache_.insertWithTtl(req.key, std::move(req.view), ttl,
-                                    sim_.now());
+                                    exec_.now());
       syncCacheCounters();
       if (rep.ok) ++counters_.storeCacheAccepted;
     }
@@ -526,7 +548,7 @@ void KademliaNode::handleStore(const Envelope& env) {
     } else {
       // Atomic: a rejected batch leaves no partial state, so recording the
       // dedup key on success is airtight — deduped ⟺ fully applied.
-      rep.ok = store_.applyAll(req.key, req.tokens, sim_.now());
+      rep.ok = store_.applyAll(req.key, req.tokens, exec_.now());
       if (rep.ok) {
         recordPutApplied(req.signature.userId, req.putId, req.chunk);
         ++counters_.storesAccepted;
@@ -563,7 +585,7 @@ void KademliaNode::startLookup(const NodeId& target, bool isValue,
     } else if (opt.allowCached && cfg_.cacheEnabled) {
       // No authoritative local replica, but a non-authoritative read may be
       // served from this node's own record cache without touching the wire.
-      const BlockView* cached = cache_.find(target, sim_.now());
+      const BlockView* cached = cache_.find(target, exec_.now());
       syncCacheCounters();
       if (cached != nullptr) {
         task->haveValue = true;

@@ -21,7 +21,8 @@
 #include "dht/routing_table.hpp"
 #include "dht/rpc.hpp"
 #include "dht/storage.hpp"
-#include "net/network.hpp"
+#include "net/executor.hpp"
+#include "net/transport.hpp"
 
 namespace dharma::dht {
 
@@ -31,7 +32,7 @@ struct NodeConfig {
   usize alpha = 3;                    ///< lookup parallelism
   usize kStore = 8;                   ///< replication factor for PUT
   u32 valueQuorum = 1;                ///< replicas merged per GET
-  net::SimTime rpcTimeoutUs = 1500000; ///< RPC timeout (1.5 s)
+  net::TimeUs rpcTimeoutUs = 1500000; ///< RPC timeout (1.5 s)
   bool verifyCredentials = true;      ///< Likir sender authentication
   bool verifyContent = true;          ///< Likir content-signature checks
 
@@ -43,8 +44,8 @@ struct NodeConfig {
   cache::CachePolicy cachePolicy;     ///< node-side cache bounds / TTL caps
   /// TTL granted to a cached copy sitting as close to the key as the
   /// nearest holder; each extra bucket of XOR distance halves it.
-  net::SimTime pathCacheTtlBaseUs = 30'000'000;
-  net::SimTime pathCacheTtlMinUs = 2'000'000;  ///< distance-scaling floor
+  net::TimeUs pathCacheTtlBaseUs = 30'000'000;
+  net::TimeUs pathCacheTtlMinUs = 2'000'000;  ///< distance-scaling floor
 };
 
 /// Result of an iterative lookup.
@@ -117,16 +118,19 @@ struct NodeCounters {
   u64 storeCachePublished = 0; ///< STORE_CACHE copies pushed after GETs
 };
 
-/// A single overlay node.
+/// A single overlay node. The node is runtime-agnostic: it talks to the
+/// world only through the Executor (clock, timers) and Transport (datagram)
+/// interfaces, so the identical protocol code runs on the deterministic
+/// simulator and on real UDP sockets under a real-time executor.
 class KademliaNode {
  public:
-  /// \param sim   shared event loop
-  /// \param net   shared datagram network
+  /// \param exec  shared event loop (SimExecutor or RealTimeExecutor)
+  /// \param net   shared datagram transport (SimTransport or UdpTransport)
   /// \param cs    certification service (verification oracle)
   /// \param cred  this node's Likir credential (fixes the node id)
   /// \param cfg   protocol parameters
   /// \param seed  per-node randomness (lookup tie-breaking etc.)
-  KademliaNode(net::Simulator& sim, net::Network& net,
+  KademliaNode(net::Executor& exec, net::Transport& net,
                const crypto::CertificationService& cs, crypto::Credential cred,
                NodeConfig cfg, u64 seed);
 
@@ -146,6 +150,15 @@ class KademliaNode {
 
   /// Liveness probe; cb(true) on pong before timeout.
   void ping(const Contact& c, std::function<void(bool)> cb);
+
+  /// Bootstrap probe toward a bare transport address (a "host:port" peer
+  /// whose node id is not yet known — how a dharma_node daemon joins an
+  /// existing cluster). The PONG's verified credential reveals the peer's
+  /// id and enrolls it in the routing table (observeSender); cb(true) on
+  /// reply. This is the ONE request whose reply is accepted from any
+  /// sender id — the id is what the probe exists to learn; the credential
+  /// check still gates it, exactly as for every other datagram.
+  void pingAddress(net::Address addr, std::function<void(bool)> cb);
 
   /// Iterative FIND_NODE toward \p target.
   void findNode(const NodeId& target, std::function<void(LookupResult)> cb);
@@ -204,8 +217,8 @@ class KademliaNode {
  private:
   struct LookupTask;
 
-  net::Simulator& sim_;
-  net::Network& net_;
+  net::Executor& exec_;
+  net::Transport& net_;
   const crypto::CertificationService& cs_;
   crypto::Credential credential_;
   NodeConfig cfg_;
@@ -234,8 +247,11 @@ class KademliaNode {
 
   struct PendingRpc {
     std::function<void(bool, const Envelope&)> onDone;  // ok=false on timeout
-    net::EventId timeoutEvent = 0;
+    net::TaskId timeoutEvent = net::kNullTask;
     NodeId expectedPeer;  ///< only replies from this node id resolve the RPC
+    /// Address-only bootstrap probes (pingAddress) cannot know the peer id
+    /// yet; they alone skip the expectedPeer match.
+    bool anyPeer = false;
   };
   std::unordered_map<u64, PendingRpc> pending_;
 
@@ -243,6 +259,11 @@ class KademliaNode {
   void onDatagram(net::Address from, const std::vector<u8>& data);
   void sendRequest(const Contact& to, RpcType type, std::vector<u8> body,
                    std::function<void(bool, const Envelope&)> onDone);
+  /// Shared scaffolding behind sendRequest and pingAddress: envelope,
+  /// pending-RPC entry, send-reject fast-fail, timeout arming.
+  void sendRequestImpl(const Contact& to, bool anyPeer, RpcType type,
+                       std::vector<u8> body,
+                       std::function<void(bool, const Envelope&)> onDone);
   void sendReply(const Envelope& req, RpcType type, std::vector<u8> body);
   Envelope makeEnvelope(RpcType type, u64 rpcId, std::vector<u8> body) const;
   void observeSender(const Envelope& env);

@@ -8,16 +8,16 @@ namespace {
 /// First-fire delay for a periodic job: a deterministic jitter in
 /// [interval/4, interval) so nodes started together do not tick in lock
 /// step (thundering-herd avoidance).
-net::SimTime jittered(net::SimTime interval, Rng& rng) {
+net::TimeUs jittered(net::TimeUs interval, Rng& rng) {
   if (interval < 4) return interval;
   return interval / 4 + rng.uniform(interval - interval / 4);
 }
 }  // namespace
 
-MaintenanceManager::MaintenanceManager(net::Simulator& sim, net::Network& net,
+MaintenanceManager::MaintenanceManager(net::Executor& exec, net::Transport& net,
                                        KademliaNode& node,
                                        MaintenanceConfig cfg, u64 seed)
-    : sim_(sim), net_(net), node_(node), cfg_(cfg), rng_(seed) {}
+    : exec_(exec), net_(net), node_(node), cfg_(cfg), rng_(seed) {}
 
 MaintenanceManager::~MaintenanceManager() { stop(); }
 
@@ -31,24 +31,24 @@ void MaintenanceManager::start() {
   // Treat every bucket as freshly refreshed at start: the node just
   // bootstrapped (or was just created), so refresh work begins one full
   // staleness interval from now.
-  lastRefreshedUs_.fill(sim_.now());
+  lastRefreshedUs_.fill(exec_.now());
   for (usize b = 0; b < 160; ++b) {
     everPopulated_[b] = node_.routing().bucket(b).size() > 0;
   }
   if (cfg_.bucketRefreshIntervalUs > 0) {
-    refreshEvent_ = sim_.schedule(
+    refreshEvent_ = exec_.schedule(
         jittered(cfg_.bucketRefreshIntervalUs, rng_), [this] { refreshTick(); });
   }
   if (cfg_.republishIntervalUs > 0) {
-    republishEvent_ = sim_.schedule(jittered(cfg_.republishIntervalUs, rng_),
+    republishEvent_ = exec_.schedule(jittered(cfg_.republishIntervalUs, rng_),
                                     [this] { republishTick(); });
   }
   if (cfg_.expiryTtlUs > 0 && cfg_.expiryCheckIntervalUs > 0) {
-    expiryEvent_ = sim_.schedule(jittered(cfg_.expiryCheckIntervalUs, rng_),
+    expiryEvent_ = exec_.schedule(jittered(cfg_.expiryCheckIntervalUs, rng_),
                                  [this] { expiryTick(); });
   }
   if (cfg_.cacheSweepIntervalUs > 0) {
-    cacheSweepEvent_ = sim_.schedule(jittered(cfg_.cacheSweepIntervalUs, rng_),
+    cacheSweepEvent_ = exec_.schedule(jittered(cfg_.cacheSweepIntervalUs, rng_),
                                      [this] { cacheSweepTick(); });
   }
 }
@@ -56,11 +56,12 @@ void MaintenanceManager::start() {
 void MaintenanceManager::stop() {
   if (!running_) return;
   running_ = false;
-  sim_.cancel(refreshEvent_);
-  sim_.cancel(republishEvent_);
-  sim_.cancel(expiryEvent_);
-  sim_.cancel(cacheSweepEvent_);
-  refreshEvent_ = republishEvent_ = expiryEvent_ = cacheSweepEvent_ = 0;
+  exec_.cancel(refreshEvent_);
+  exec_.cancel(republishEvent_);
+  exec_.cancel(expiryEvent_);
+  exec_.cancel(cacheSweepEvent_);
+  refreshEvent_ = republishEvent_ = expiryEvent_ = cacheSweepEvent_ =
+      net::kNullTask;
 }
 
 void MaintenanceManager::refreshTick() {
@@ -73,10 +74,10 @@ void MaintenanceManager::refreshTick() {
       // into that range is exactly what repopulates them.
       if (node_.routing().bucket(b).size() > 0) everPopulated_[b] = true;
       if (!everPopulated_[b]) continue;
-      if (lastRefreshedUs_[b] + cfg_.bucketRefreshIntervalUs > sim_.now()) {
+      if (lastRefreshedUs_[b] + cfg_.bucketRefreshIntervalUs > exec_.now()) {
         continue;
       }
-      lastRefreshedUs_[b] = sim_.now();
+      lastRefreshedUs_[b] = exec_.now();
       ++counters_.refreshLookups;
       node_.findNode(node_.routing().randomIdInBucket(b, rng_), nullptr);
       ++launched;
@@ -85,7 +86,7 @@ void MaintenanceManager::refreshTick() {
   // Tick at a quarter of the staleness interval: with the per-tick launch
   // bound this visits every stale bucket within roughly one interval even
   // on well-populated tables.
-  refreshEvent_ = sim_.schedule(std::max<net::SimTime>(
+  refreshEvent_ = exec_.schedule(std::max<net::TimeUs>(
                                     cfg_.bucketRefreshIntervalUs / 4, 1),
                                 [this] { refreshTick(); });
 }
@@ -95,9 +96,9 @@ void MaintenanceManager::republishTick() {
     // Blocks already past the TTL are the expiry sweep's business; pushing
     // them out again would resurrect state that should die (e.g. after this
     // node revived from a long crash).
-    net::SimTime expiryCutoff = 0;
-    if (cfg_.expiryTtlUs > 0 && sim_.now() > cfg_.expiryTtlUs) {
-      expiryCutoff = sim_.now() - cfg_.expiryTtlUs;
+    net::TimeUs expiryCutoff = 0;
+    if (cfg_.expiryTtlUs > 0 && exec_.now() > cfg_.expiryTtlUs) {
+      expiryCutoff = exec_.now() - cfg_.expiryTtlUs;
     }
     bool didWork = false;
     for (const NodeId& key : node_.store().keys()) {
@@ -122,12 +123,12 @@ void MaintenanceManager::republishTick() {
     if (didWork) ++counters_.republishRuns;
   }
   republishEvent_ =
-      sim_.schedule(cfg_.republishIntervalUs, [this] { republishTick(); });
+      exec_.schedule(cfg_.republishIntervalUs, [this] { republishTick(); });
 }
 
 void MaintenanceManager::expiryTick() {
-  if (online() && sim_.now() > cfg_.expiryTtlUs) {
-    usize dropped = node_.store().expire(sim_.now() - cfg_.expiryTtlUs);
+  if (online() && exec_.now() > cfg_.expiryTtlUs) {
+    usize dropped = node_.store().expire(exec_.now() - cfg_.expiryTtlUs);
     if (dropped > 0) {
       counters_.blocksExpired += dropped;
       DHARMA_LOG_DEBUG("maintenance: node ", node_.id().shortHex(),
@@ -135,7 +136,7 @@ void MaintenanceManager::expiryTick() {
     }
   }
   expiryEvent_ =
-      sim_.schedule(cfg_.expiryCheckIntervalUs, [this] { expiryTick(); });
+      exec_.schedule(cfg_.expiryCheckIntervalUs, [this] { expiryTick(); });
 }
 
 void MaintenanceManager::cacheSweepTick() {
@@ -148,7 +149,7 @@ void MaintenanceManager::cacheSweepTick() {
     }
   }
   cacheSweepEvent_ =
-      sim_.schedule(cfg_.cacheSweepIntervalUs, [this] { cacheSweepTick(); });
+      exec_.schedule(cfg_.cacheSweepIntervalUs, [this] { cacheSweepTick(); });
 }
 
 }  // namespace dharma::dht

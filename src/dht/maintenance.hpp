@@ -33,9 +33,14 @@
 /// Timers are jittered per node (deterministically, from the node seed) so
 /// the whole overlay does not refresh/republish in lock step.
 ///
-/// Note: maintenance keeps the simulator's event queue non-empty forever.
-/// Drive a maintained overlay with bounded runs (Simulator::runUntil /
-/// DhtNetwork::runFor), never with Simulator::run().
+/// The manager is runtime-agnostic: it schedules on the node's Executor and
+/// consults its Transport, so the same code maintains a simulated overlay
+/// and a real loopback-UDP cluster (dharma_node runs it on the
+/// RealTimeExecutor).
+///
+/// Note: under the simulator, maintenance keeps the event queue non-empty
+/// forever. Drive a maintained overlay with bounded runs
+/// (Simulator::runUntil / DhtNetwork::runFor), never with Simulator::run().
 
 #include <array>
 
@@ -43,21 +48,21 @@
 
 namespace dharma::dht {
 
-/// Maintenance timer parameters (all simulated time, microseconds).
+/// Maintenance timer parameters (executor time, microseconds).
 struct MaintenanceConfig {
   /// A bucket is stale if not refreshed for this long (0 disables refresh).
-  net::SimTime bucketRefreshIntervalUs = 30'000'000;
+  net::TimeUs bucketRefreshIntervalUs = 30'000'000;
   /// How often each node republishes its blocks (0 disables republish).
-  net::SimTime republishIntervalUs = 60'000'000;
+  net::TimeUs republishIntervalUs = 60'000'000;
   /// Blocks untouched for this long are expired (0 disables expiry).
-  net::SimTime expiryTtlUs = 600'000'000;
+  net::TimeUs expiryTtlUs = 600'000'000;
   /// How often the expiry sweep runs.
-  net::SimTime expiryCheckIntervalUs = 60'000'000;
+  net::TimeUs expiryCheckIntervalUs = 60'000'000;
   /// How often the record-cache expiry sweep runs (0 disables it). The
   /// cache already expires lazily on reads; the sweep is what bounds the
   /// lifetime of dead entries on IDLE nodes, so TTL-overdue cached copies
   /// never linger just because nobody happened to read them.
-  net::SimTime cacheSweepIntervalUs = 30'000'000;
+  net::TimeUs cacheSweepIntervalUs = 30'000'000;
   /// Refresh lookups launched per tick (bounds the per-node burst; the
   /// refresh tick runs at a quarter of the staleness interval, so every
   /// stale bucket is still visited promptly).
@@ -79,12 +84,12 @@ struct MaintenanceCounters {
 /// first expiry sweep drops whatever went stale while it was down.
 class MaintenanceManager {
  public:
-  /// \param sim  shared event loop
-  /// \param net  datagram network (consulted for the node's online state)
+  /// \param exec shared event loop
+  /// \param net  datagram transport (consulted for the node's online state)
   /// \param node the node to maintain
   /// \param cfg  timer parameters
   /// \param seed per-manager randomness (refresh targets, timer jitter)
-  MaintenanceManager(net::Simulator& sim, net::Network& net,
+  MaintenanceManager(net::Executor& exec, net::Transport& net,
                      KademliaNode& node, MaintenanceConfig cfg, u64 seed);
   ~MaintenanceManager();
 
@@ -94,7 +99,11 @@ class MaintenanceManager {
   /// Schedules the periodic jobs (idempotent).
   void start();
 
-  /// Cancels all pending maintenance events (idempotent).
+  /// Cancels all pending maintenance events (idempotent). The manager's
+  /// state is owned by the executor's callback world: under a real-time
+  /// executor, call stop() from the loop thread or only after the executor
+  /// itself has stopped — a concurrent tick would race the timer
+  /// bookkeeping (and re-arm itself past the cancellation).
   void stop();
 
   bool running() const { return running_; }
@@ -108,18 +117,18 @@ class MaintenanceManager {
   void cacheSweepTick();
   bool online() const;
 
-  net::Simulator& sim_;
-  net::Network& net_;
+  net::Executor& exec_;
+  net::Transport& net_;
   KademliaNode& node_;
   MaintenanceConfig cfg_;
   Rng rng_;
   MaintenanceCounters counters_;
-  std::array<net::SimTime, 160> lastRefreshedUs_{};
+  std::array<net::TimeUs, 160> lastRefreshedUs_{};
   std::array<bool, 160> everPopulated_{};  ///< emptied buckets still refresh
-  net::EventId refreshEvent_ = 0;
-  net::EventId republishEvent_ = 0;
-  net::EventId expiryEvent_ = 0;
-  net::EventId cacheSweepEvent_ = 0;
+  net::TaskId refreshEvent_ = net::kNullTask;
+  net::TaskId republishEvent_ = net::kNullTask;
+  net::TaskId expiryEvent_ = net::kNullTask;
+  net::TaskId cacheSweepEvent_ = net::kNullTask;
   bool running_ = false;
 };
 

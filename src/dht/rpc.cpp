@@ -2,6 +2,28 @@
 
 namespace dharma::dht {
 
+namespace {
+/// Validates a decoded element count before it reaches reserve(). A count
+/// is attacker-controlled once payloads arrive from a real socket: left
+/// unchecked it drives a multi-gigabyte allocation whose std::length_error
+/// escapes the DecodeError-only catch blocks in the RPC handlers. Every
+/// element occupies at least \p minBytesPerElement on the wire, so any
+/// count beyond remaining()/min is provably truncated — reject it here.
+usize checkedCount(const ByteReader& r, u64 n, usize minBytesPerElement) {
+  if (n > r.remaining() / minBytesPerElement) {
+    throw DecodeError("element count exceeds remaining bytes");
+  }
+  return static_cast<usize>(n);
+}
+
+/// Smallest wire footprint of one Contact: a 20-byte NodeId + u32 address.
+constexpr usize kMinContactBytes = 24;
+/// Smallest BlockEntry: 1-byte name length (empty) + 1-byte weight varint.
+constexpr usize kMinBlockEntryBytes = 2;
+/// Smallest StoreToken: kind + entry length + delta + payload length.
+constexpr usize kMinStoreTokenBytes = 4;
+}  // namespace
+
 void writeNodeId(ByteWriter& w, const NodeId& id) {
   w.writeRaw(id.bytes.data(), id.bytes.size());
 }
@@ -53,9 +75,9 @@ void writeBlockView(ByteWriter& w, const BlockView& v) {
 
 BlockView readBlockView(ByteReader& r) {
   BlockView v;
-  u64 n = r.readVarint();
+  usize n = checkedCount(r, r.readVarint(), kMinBlockEntryBytes);
   v.entries.reserve(n);
-  for (u64 i = 0; i < n; ++i) {
+  for (usize i = 0; i < n; ++i) {
     BlockEntry e;
     e.name = r.readString();
     e.weight = r.readVarint();
@@ -116,9 +138,9 @@ std::vector<u8> ContactsReply::encode() const {
 
 ContactsReply ContactsReply::decode(ByteReader& r) {
   ContactsReply rep;
-  u64 n = r.readVarint();
+  usize n = checkedCount(r, r.readVarint(), kMinContactBytes);
   rep.contacts.reserve(n);
-  for (u64 i = 0; i < n; ++i) rep.contacts.push_back(readContact(r));
+  for (usize i = 0; i < n; ++i) rep.contacts.push_back(readContact(r));
   return rep;
 }
 
@@ -160,9 +182,9 @@ FindValueReply FindValueReply::decode(ByteReader& r) {
     rep.cached = r.readU8() != 0;
     rep.view = readBlockView(r);
   } else {
-    u64 n = r.readVarint();
+    usize n = checkedCount(r, r.readVarint(), kMinContactBytes);
     rep.contacts.reserve(n);
-    for (u64 i = 0; i < n; ++i) rep.contacts.push_back(readContact(r));
+    for (usize i = 0; i < n; ++i) rep.contacts.push_back(readContact(r));
   }
   return rep;
 }
@@ -198,9 +220,9 @@ StoreReq StoreReq::decode(ByteReader& r) {
   q.key = readNodeId(r);
   q.putId = r.readVarint();
   q.chunk = static_cast<u32>(r.readVarint());
-  u64 n = r.readVarint();
+  usize n = checkedCount(r, r.readVarint(), kMinStoreTokenBytes);
   q.tokens.reserve(n);
-  for (u64 i = 0; i < n; ++i) {
+  for (usize i = 0; i < n; ++i) {
     StoreToken t;
     u8 kind = r.readU8();
     if (kind > static_cast<u8>(TokenKind::kMergeMax)) {

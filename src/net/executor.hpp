@@ -1,0 +1,65 @@
+#pragma once
+/// \file executor.hpp
+/// \brief The clock/timer seam between the protocol engine and its runtime.
+///
+/// Every layer above net/ (dht/, cache/, core/) reads time and schedules
+/// work exclusively through this interface. Two implementations exist:
+///
+///  - net::Simulator (alias net::SimExecutor): the deterministic
+///    single-threaded virtual-time event loop every experiment runs on —
+///    time advances only when events fire, so a seed fixes the whole trace.
+///  - net::RealTimeExecutor (net/realtime.hpp): a mutex-protected timer
+///    queue drained by a run loop against the monotonic wall clock — the
+///    production path, where `schedule(1'500'000, fn)` means 1.5 real
+///    seconds.
+///
+/// The contract is deliberately identical to what the simulator always
+/// offered, so protocol code cannot tell which world it runs in:
+///
+///  - time is an opaque monotonic microsecond count (TimeUs); only
+///    differences are meaningful,
+///  - callbacks run one at a time (no two callbacks execute concurrently),
+///    so single-threaded protocol state needs no locks on either executor,
+///  - cancel() of an already-fired or already-cancelled task returns false
+///    and does nothing.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace dharma::net {
+
+/// Monotonic time in microseconds. Under the simulator this is virtual
+/// time; under RealTimeExecutor it is the steady clock. Only differences
+/// between two values from the same executor are meaningful.
+using TimeUs = u64;
+
+/// Handle for a scheduled task, usable with Executor::cancel().
+using TaskId = u64;
+
+/// Invalid task handle (never returned by schedule; cancel(kNullTask) is a
+/// no-op returning false).
+constexpr TaskId kNullTask = 0;
+
+/// Clock + timer interface (see file comment for the contract).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Current time in microseconds (virtual or monotonic wall clock).
+  virtual TimeUs now() const = 0;
+
+  /// Schedules \p fn to run at now() + delay. Returns a cancellation
+  /// handle. Tasks scheduled for the same instant run in schedule order.
+  virtual TaskId schedule(TimeUs delay, std::function<void()> fn) = 0;
+
+  /// Schedules \p fn at the absolute time \p at (clamped to now()).
+  virtual TaskId scheduleAt(TimeUs at, std::function<void()> fn) = 0;
+
+  /// Cancels a pending task; no-op if it already ran or was cancelled.
+  /// Returns true if the task was still pending.
+  virtual bool cancel(TaskId id) = 0;
+};
+
+}  // namespace dharma::net

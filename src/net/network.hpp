@@ -1,6 +1,6 @@
 #pragma once
 /// \file network.hpp
-/// \brief Simulated UDP-like datagram network.
+/// \brief Simulated UDP-like datagram network (the SimTransport).
 ///
 /// Endpoints register a receive handler and get an Address. send() draws a
 /// latency from the configured model, applies the loss rate, enforces the
@@ -16,19 +16,11 @@
 
 #include "net/latency.hpp"
 #include "net/simulator.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace dharma::net {
-
-/// Endpoint address (dense index, stable for the life of the network).
-using Address = u32;
-
-/// Address value meaning "no endpoint".
-constexpr Address kNullAddress = static_cast<Address>(-1);
-
-/// Datagram receive callback: (source address, payload bytes).
-using ReceiveHandler = std::function<void(Address, const std::vector<u8>&)>;
 
 /// Aggregate traffic counters.
 struct NetworkStats {
@@ -41,7 +33,7 @@ struct NetworkStats {
 };
 
 /// Simulated datagram network.
-class Network {
+class Network final : public Transport {
  public:
   struct Config {
     double lossRate = 0.0;   ///< independent per-datagram loss probability
@@ -55,22 +47,25 @@ class Network {
   Network(Simulator& sim, LatencyModel& latency, Config cfg, u64 seed);
 
   /// Registers an endpoint; the returned Address is never reused.
-  Address registerEndpoint(ReceiveHandler handler);
+  Address registerEndpoint(ReceiveHandler handler) override;
 
   /// Marks an endpoint offline; in-flight datagrams to it are dropped at
-  /// delivery time (counted under droppedDead).
+  /// delivery time (counted under droppedDead). Sim-only (scripted churn):
+  /// not part of the Transport interface.
   void setOnline(Address a, bool online);
 
   /// True if the endpoint currently accepts datagrams.
-  bool isOnline(Address a) const;
+  bool isOnline(Address a) const override;
 
   /// Replaces the handler (used when a node restarts with fresh state).
-  void setHandler(Address a, ReceiveHandler handler);
+  void setHandler(Address a, ReceiveHandler handler) override;
 
   /// Sends \p payload from \p from to \p to. Returns false if the datagram
   /// was dropped synchronously (oversize); loss and dead-destination drops
   /// happen at delivery time.
-  bool send(Address from, Address to, std::vector<u8> payload);
+  bool send(Address from, Address to, std::vector<u8> payload) override;
+
+  usize mtuBytes() const override { return cfg_.mtuBytes; }
 
   const NetworkStats& stats() const { return stats_; }
   const Config& config() const { return cfg_; }
@@ -89,5 +84,8 @@ class Network {
   std::vector<Endpoint> endpoints_;
   NetworkStats stats_;
 };
+
+/// The deterministic Transport implementation (see net/transport.hpp).
+using SimTransport = Network;
 
 }  // namespace dharma::net

@@ -1,0 +1,120 @@
+#include "net/realtime.hpp"
+
+#include <cassert>
+
+namespace dharma::net {
+
+namespace {
+TimeUs toUs(std::chrono::steady_clock::duration d) {
+  return static_cast<TimeUs>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+}  // namespace
+
+RealTimeExecutor::RealTimeExecutor()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+RealTimeExecutor::~RealTimeExecutor() { stop(); }
+
+TimeUs RealTimeExecutor::now() const {
+  return toUs(std::chrono::steady_clock::now() - epoch_);
+}
+
+TaskId RealTimeExecutor::schedule(TimeUs delay, std::function<void()> fn) {
+  return scheduleAt(now() + delay, std::move(fn));
+}
+
+TaskId RealTimeExecutor::scheduleAt(TimeUs at, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskId id = nextId_++;
+  queue_.push(Task{at, nextSeq_++, id, std::move(fn)});
+  live_.insert(id);
+  cv_.notify_all();
+  return id;
+}
+
+bool RealTimeExecutor::cancel(TaskId id) {
+  if (id == kNullTask) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  // The queue entry stays; popDue() discards it once the id is dead. A task
+  // already handed to the loop thread is past cancellation.
+  return live_.erase(id) > 0;
+}
+
+void RealTimeExecutor::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (loopRunning_) return;
+  stopping_ = false;
+  loopRunning_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void RealTimeExecutor::stop() {
+  std::thread toJoin;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!loopRunning_) return;
+    assert(std::this_thread::get_id() != thread_.get_id());
+    // Claim the shutdown under the lock (and take the thread handle with
+    // it): a concurrent second stop() returns immediately instead of
+    // racing into a double join.
+    loopRunning_ = false;
+    stopping_ = true;
+    // Drain cutoff: tasks due by THIS instant still run; a draining task
+    // that posts more immediate work cannot extend the shutdown forever.
+    stopDeadline_ = now();
+    cv_.notify_all();
+    toJoin = std::move(thread_);
+  }
+  if (toJoin.joinable()) toJoin.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  // Whatever remains was scheduled past the cutoff: discard.
+  while (!queue_.empty()) queue_.pop();
+  live_.clear();
+}
+
+bool RealTimeExecutor::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return loopRunning_ && !stopping_;
+}
+
+usize RealTimeExecutor::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
+bool RealTimeExecutor::popDue(Task& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    // Discard entries whose id was cancelled.
+    while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
+      queue_.pop();
+    }
+    TimeUs t = now();
+    if (!queue_.empty()) {
+      TimeUs due = queue_.top().at;
+      if (due <= t) {
+        if (stopping_ && due > stopDeadline_) return false;
+        out = std::move(const_cast<Task&>(queue_.top()));
+        queue_.pop();
+        live_.erase(out.id);
+        return true;
+      }
+      if (stopping_) return false;  // nothing due before the cutoff remains
+      cv_.wait_for(lk, std::chrono::microseconds(due - t));
+    } else {
+      if (stopping_) return false;
+      cv_.wait(lk);
+    }
+  }
+}
+
+void RealTimeExecutor::loop() {
+  Task task;
+  while (popDue(task)) {
+    task.fn();          // strictly one task at a time: the protocol engine's
+    task.fn = nullptr;  // no-concurrent-callbacks guarantee
+  }
+}
+
+}  // namespace dharma::net

@@ -1,0 +1,113 @@
+#pragma once
+/// \file realtime.hpp
+/// \brief Real-time Executor: a wall-clock timer/task queue with a run loop.
+///
+/// The production counterpart of the Simulator. Producers (the UDP receive
+/// thread, client threads posting blocking operations, protocol callbacks
+/// rescheduling themselves) push tasks into a mutex-protected priority
+/// queue; one run-loop thread pops tasks when their deadline passes and
+/// executes them strictly one at a time. That single-consumer discipline is
+/// what lets the protocol engine (KademliaNode & friends) stay lock-free:
+/// on either executor, no two protocol callbacks ever run concurrently.
+///
+/// Time is the monotonic steady clock in microseconds since construction —
+/// the same "only differences matter" contract the simulator's virtual
+/// clock offers.
+///
+/// Lifecycle: start() spawns the loop thread; stop() wakes it, drains every
+/// task that is already due, discards the rest, and joins. The destructor
+/// calls stop(). schedule()/cancel() are safe from any thread, including
+/// from inside tasks.
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/executor.hpp"
+
+namespace dharma::net {
+
+/// Thread-safe wall-clock executor (see file comment).
+class RealTimeExecutor final : public Executor {
+ public:
+  RealTimeExecutor();
+  ~RealTimeExecutor() override;
+
+  RealTimeExecutor(const RealTimeExecutor&) = delete;
+  RealTimeExecutor& operator=(const RealTimeExecutor&) = delete;
+
+  /// Microseconds of steady-clock time since construction.
+  TimeUs now() const override;
+
+  /// Schedules \p fn to run on the loop thread at now() + delay. Always
+  /// accepts (producers like the UDP receive thread must never throw):
+  /// while stopped, tasks queue up and run only if the executor is
+  /// start()ed again — callers needing execution guarantees check
+  /// running() first (RealTimeRuntime::awaitDone does).
+  TaskId schedule(TimeUs delay, std::function<void()> fn) override;
+
+  /// Schedules \p fn at the absolute time \p at (clamped to now()).
+  TaskId scheduleAt(TimeUs at, std::function<void()> fn) override;
+
+  /// Cancels a pending task. Returns true if it had not started; a task
+  /// already executing on the loop thread runs to completion.
+  bool cancel(TaskId id) override;
+
+  /// Spawns the run-loop thread (idempotent).
+  void start();
+
+  /// Stops the loop: tasks already due at the moment of the call still run
+  /// ("shutdown drains"), tasks scheduled for a later time are discarded.
+  /// Joins the loop thread. Safe to call repeatedly and from concurrent
+  /// threads (exactly one caller performs the join; a racing second call
+  /// may return before the drain finishes); the destructor calls it. Must
+  /// not be called from the loop thread itself.
+  void stop();
+
+  bool running() const;
+
+  /// Pending (non-cancelled, not yet started) tasks. Diagnostic.
+  usize pending() const;
+
+ private:
+  struct Task {
+    TimeUs at;
+    u64 seq;  ///< schedule order: the equal-deadline tie-breaker
+    TaskId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Task& a, const Task& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void loop();
+  /// Pops the next due task; blocks until one is due or stopping. Returns
+  /// false when stopping and nothing due remains.
+  bool popDue(Task& out);
+
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Task, std::vector<Task>, Later> queue_;
+  // Live (schedulable) ids. cancel() erases the id; the orphaned queue
+  // entry is discarded when it surfaces — the same lazy-removal scheme the
+  // simulator uses, minus the slot reuse (here contention, not allocation,
+  // is the bottleneck).
+  std::unordered_set<TaskId> live_;
+  u64 nextSeq_ = 1;
+  TaskId nextId_ = 1;
+  TimeUs stopDeadline_ = 0;  ///< drain cutoff captured by stop()
+  bool stopping_ = false;
+  bool loopRunning_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dharma::net

@@ -1,41 +1,74 @@
 #include "net/simulator.hpp"
 
-#include <cassert>
-
 namespace dharma::net {
 
-EventId Simulator::schedule(SimTime delay, std::function<void()> fn) {
+TaskId Simulator::schedule(TimeUs delay, std::function<void()> fn) {
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::scheduleAt(SimTime at, std::function<void()> fn) {
-  assert(at >= now_);
-  EventId id = nextId_++;
-  queue_.push(QEntry{at, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+TaskId Simulator::scheduleAt(TimeUs at, std::function<void()> fn) {
+  if (at < now_) at = now_;  // Executor contract: clamp, never run in the past
+  u32 slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<u32>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  queue_.push(QEntry{at, nextSeq_++, slot, s.generation});
+  ++live_;
+  return makeId(slot, s.generation);
 }
 
-bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+void Simulator::releaseSlot(u32 slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  s.live = false;
+  ++s.generation;
+  --live_;
+  freeSlots_.push_back(slot);
+}
 
-bool Simulator::step() {
+bool Simulator::cancel(TaskId id) {
+  if (id == kNullTask) return false;
+  u32 slot = static_cast<u32>(id & 0xffffffffu) - 1;
+  u32 generation = static_cast<u32>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation) return false;
+  releaseSlot(slot);
+  // The QEntry stays in the heap; skipDead() discards it by its stale
+  // generation when it reaches the top.
+  return true;
+}
+
+bool Simulator::skipDead() {
   while (!queue_.empty()) {
-    QEntry e = queue_.top();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled
-      continue;
-    }
-    queue_.pop();
-    now_ = e.at;
-    // Move the callback out before erasing so it may reschedule itself.
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    fn();
-    return true;
+    const QEntry& e = queue_.top();
+    const Slot& s = slots_[e.slot];
+    if (s.live && s.generation == e.generation) return true;
+    queue_.pop();  // cancelled (or the slot moved on to a later event)
   }
   return false;
+}
+
+bool Simulator::step() {
+  if (!skipDead()) return false;
+  QEntry e = queue_.top();
+  queue_.pop();
+  now_ = e.at;
+  // Move the callback out and free the slot before running, so the
+  // callback may reschedule (possibly reusing this very slot under a fresh
+  // generation).
+  std::function<void()> fn = std::move(slots_[e.slot].fn);
+  releaseSlot(e.slot);
+  ++executed_;
+  fn();
+  return true;
 }
 
 usize Simulator::run(usize maxEvents) {
@@ -46,13 +79,8 @@ usize Simulator::run(usize maxEvents) {
 
 usize Simulator::runUntil(SimTime t) {
   usize n = 0;
-  while (!queue_.empty()) {
-    QEntry e = queue_.top();
-    if (callbacks_.find(e.id) == callbacks_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (e.at > t) break;
+  while (skipDead()) {
+    if (queue_.top().at > t) break;
     step();
     ++n;
   }

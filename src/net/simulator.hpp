@@ -1,42 +1,53 @@
 #pragma once
 /// \file simulator.hpp
-/// \brief Deterministic discrete-event simulator.
+/// \brief Deterministic discrete-event simulator (the SimExecutor).
 ///
 /// The whole overlay (RPC latencies, timeouts, churn) runs inside one
 /// single-threaded event loop with virtual time, so every experiment is
 /// bit-reproducible from its seed. Events scheduled at equal times fire in
 /// scheduling order (a monotonic sequence number breaks ties).
+///
+/// Callbacks live in a slot vector with per-slot generation counters
+/// instead of a node-based map: schedule() reuses a free slot (no per-event
+/// allocation beyond the std::function itself) and cancel() is O(1) — a
+/// slot lookup and a generation check. A TaskId packs (generation, slot+1);
+/// stale ids from an earlier occupant of the slot fail the generation check
+/// and cancel cleanly returns false. Execution order is untouched by the
+/// scheme: the ready queue orders on (time, sequence number), exactly the
+/// (time, monotonic id) order the original map-based store used, so every
+/// seeded digest is bit-identical.
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <queue>
+#include <vector>
 
+#include "net/executor.hpp"
 #include "util/types.hpp"
 
 namespace dharma::net {
 
-/// Virtual time in microseconds.
-using SimTime = u64;
+/// Virtual time in microseconds (an Executor TimeUs).
+using SimTime = TimeUs;
 
 /// Handle returned by Simulator::schedule, usable with cancel().
-using EventId = u64;
+using EventId = TaskId;
 
 /// Single-threaded virtual-time event loop.
-class Simulator {
+class Simulator final : public Executor {
  public:
   /// Current virtual time.
-  SimTime now() const { return now_; }
+  TimeUs now() const override { return now_; }
 
   /// Schedules \p fn to run at now() + delay. Returns a cancellation handle.
-  EventId schedule(SimTime delay, std::function<void()> fn);
+  TaskId schedule(TimeUs delay, std::function<void()> fn) override;
 
-  /// Schedules \p fn at the absolute virtual time \p at (>= now()).
-  EventId scheduleAt(SimTime at, std::function<void()> fn);
+  /// Schedules \p fn at the absolute virtual time \p at (clamped to now()).
+  TaskId scheduleAt(TimeUs at, std::function<void()> fn) override;
 
   /// Cancels a pending event; no-op if it already ran or was cancelled.
   /// Returns true if the event was pending.
-  bool cancel(EventId id);
+  bool cancel(TaskId id) override;
 
   /// Executes the next event. Returns false if the queue is empty.
   bool step();
@@ -48,25 +59,55 @@ class Simulator {
   usize runUntil(SimTime t);
 
   /// Pending (non-cancelled) events.
-  usize pending() const { return callbacks_.size(); }
+  usize pending() const { return live_; }
 
   /// Total events executed since construction.
   u64 executed() const { return executed_; }
 
  private:
+  /// One callback slot, reused across events. The generation counter makes
+  /// a stale TaskId (an earlier occupant of this slot) fail cancel().
+  struct Slot {
+    std::function<void()> fn;
+    u32 generation = 0;
+    bool live = false;
+  };
+
   struct QEntry {
     SimTime at;
-    EventId id;
+    u64 seq;   ///< monotonic schedule order: the equal-time tie-breaker
+    u32 slot;
+    u32 generation;  ///< slot occupant this entry was queued for
     bool operator>(const QEntry& o) const {
-      return at != o.at ? at > o.at : id > o.id;
+      return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
+  /// TaskId layout: (generation << 32) | (slot + 1). The +1 keeps every
+  /// valid id nonzero, so kNullTask never aliases slot 0's first event.
+  static TaskId makeId(u32 slot, u32 generation) {
+    return (static_cast<TaskId>(generation) << 32) |
+           (static_cast<TaskId>(slot) + 1);
+  }
+
+  /// Frees a slot (after firing or cancelling): drops the callback, bumps
+  /// the generation so outstanding ids go stale, recycles the index.
+  void releaseSlot(u32 slot);
+
+  /// Pops dead queue entries (cancelled, or a stale generation) off the
+  /// top. Returns false when the queue is empty.
+  bool skipDead();
+
   SimTime now_ = 0;
-  EventId nextId_ = 1;
+  u64 nextSeq_ = 1;
   u64 executed_ = 0;
+  usize live_ = 0;
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
-  std::map<EventId, std::function<void()>> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<u32> freeSlots_;
 };
+
+/// The deterministic Executor implementation (see net/executor.hpp).
+using SimExecutor = Simulator;
 
 }  // namespace dharma::net

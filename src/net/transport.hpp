@@ -1,0 +1,70 @@
+#pragma once
+/// \file transport.hpp
+/// \brief The datagram seam between the protocol engine and the wire.
+///
+/// KademliaNode speaks to the world exclusively through this interface.
+/// Two implementations exist:
+///
+///  - net::Network (alias net::SimTransport): the simulated datagram
+///    network — latency model, loss process, MTU enforcement, scripted
+///    crashes — delivering via the Simulator. Deterministic per seed.
+///  - net::UdpTransport (net/udp_transport.hpp): real POSIX UDP sockets on
+///    the loopback (or any) interface; a receive thread hands datagrams to
+///    the node's executor, so protocol callbacks still run one at a time.
+///
+/// Semantics shared by all implementations (the paper runs DHARMA "on UDP
+/// packets", and the simulator always mirrored UDP):
+///
+///  - datagrams are unreliable: send() returning true promises an attempt,
+///    not delivery — loss, drops and dead destinations are silent,
+///  - payloads above mtuBytes() are rejected synchronously (send() returns
+///    false) so the index-side filtering contract stays observable,
+///  - receive handlers are invoked on the endpoint's executor, never
+///    concurrently with other protocol callbacks.
+
+#include <functional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::net {
+
+/// Endpoint address: a dense transport-local handle, stable for the life of
+/// the transport. For the simulated network it indexes the endpoint table;
+/// for UDP it names a (socket or resolved peer) slot. It is NOT a wire
+/// address — Contacts carry it because every node in one process shares one
+/// transport instance.
+using Address = u32;
+
+/// Address value meaning "no endpoint".
+constexpr Address kNullAddress = static_cast<Address>(-1);
+
+/// Datagram receive callback: (source address, payload bytes).
+using ReceiveHandler = std::function<void(Address, const std::vector<u8>&)>;
+
+/// Datagram transport interface (see file comment for the contract).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a local endpoint; the returned Address is never reused.
+  virtual Address registerEndpoint(ReceiveHandler handler) = 0;
+
+  /// Replaces the handler (used when a node restarts with fresh state).
+  virtual void setHandler(Address a, ReceiveHandler handler) = 0;
+
+  /// Sends \p payload from \p from to \p to. Returns false if the datagram
+  /// was rejected synchronously (oversize payload, closed endpoint); loss
+  /// and dead-destination drops stay silent, as on any datagram network.
+  virtual bool send(Address from, Address to, std::vector<u8> payload) = 0;
+
+  /// True if the endpoint currently accepts datagrams. Simulated crashes
+  /// report false; a real socket is online until closed.
+  virtual bool isOnline(Address a) const = 0;
+
+  /// Maximum payload accepted by send(). Protocol code sizes replies and
+  /// splits STORE batches against this.
+  virtual usize mtuBytes() const = 0;
+};
+
+}  // namespace dharma::net

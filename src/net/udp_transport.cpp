@@ -1,0 +1,243 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace dharma::net {
+
+namespace {
+/// Max UDP datagram we ever expect; recvfrom truncates beyond this, which
+/// is fine because anything above the MTU would be rejected by decode
+/// anyway (envelopes are far smaller than the MTU + slack).
+constexpr usize kRecvBufBytes = 65536;
+
+sockaddr_in makeSockAddr(const std::string& host, u16 port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    throw std::runtime_error("UdpTransport: bad bind host '" + host + "'");
+  }
+  return sa;
+}
+}  // namespace
+
+UdpTransport::UdpTransport(Executor& exec, Config cfg)
+    : exec_(exec), cfg_(std::move(cfg)) {
+  if (pipe(wakePipe_) != 0) {
+    throw std::runtime_error("UdpTransport: pipe() failed");
+  }
+  fcntl(wakePipe_[0], F_SETFL, O_NONBLOCK);
+  fcntl(wakePipe_[1], F_SETFL, O_NONBLOCK);
+}
+
+UdpTransport::UdpTransport(Executor& exec) : UdpTransport(exec, Config{}) {}
+
+UdpTransport::~UdpTransport() { close(); }
+
+void UdpTransport::wakeReceiver() {
+  u8 b = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &b, 1);
+}
+
+Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("UdpTransport: socket() failed");
+  // Non-blocking: the receive loop drains each ready socket until
+  // EWOULDBLOCK instead of taking one datagram per poll cycle.
+  fcntl(fd, F_SETFL, O_NONBLOCK);
+  sockaddr_in sa = makeSockAddr(cfg_.bindHost, 0);  // ephemeral port
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("UdpTransport: bind() failed");
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("UdpTransport: getsockname() failed");
+  }
+  Address port = ntohs(sa.sin_port);
+
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  if (sh_->closing) {
+    ::close(fd);
+    throw std::runtime_error("UdpTransport: registerEndpoint after close()");
+  }
+  sh_->endpoints[port] = Endpoint{fd, std::move(handler)};
+  if (!receiverStarted_) {
+    receiverStarted_ = true;
+    receiver_ = std::thread([this] { receiveLoop(); });
+  } else {
+    wakeReceiver();  // pick up the new socket without waiting a poll cycle
+  }
+  return port;
+}
+
+void UdpTransport::setHandler(Address a, ReceiveHandler handler) {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  auto it = sh_->endpoints.find(a);
+  if (it != sh_->endpoints.end()) it->second.handler = std::move(handler);
+}
+
+bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
+  if (payload.size() > cfg_.mtuBytes) {
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    ++sh_->stats.droppedOversize;
+    return false;
+  }
+  sockaddr_in dst = makeSockAddr(cfg_.bindHost, static_cast<u16>(to));
+  // The sendto happens under the lock: close() closes fds under the same
+  // lock, so an fd captured outside it could be recycled by the OS and the
+  // datagram written to an unrelated descriptor. A UDP sendto is a buffer
+  // copy, not a blocking wait, so holding the mutex across it is cheap.
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  auto it = sh_->endpoints.find(from);
+  if (it == sh_->endpoints.end() || it->second.fd < 0 || sh_->closing) {
+    return false;
+  }
+  ssize_t n = ::sendto(it->second.fd, payload.data(), payload.size(), 0,
+                       reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+  if (n < 0) {
+    ++sh_->stats.sendErrors;
+    return false;
+  }
+  ++sh_->stats.sent;
+  sh_->stats.bytesSent += payload.size();
+  return true;
+}
+
+bool UdpTransport::isOnline(Address a) const {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  if (sh_->closing) return false;
+  auto it = sh_->endpoints.find(a);
+  // Local endpoints are online while their socket is open; anything else is
+  // a remote peer, and remote liveness is the RPC timeout's business.
+  return it == sh_->endpoints.end() || it->second.fd >= 0;
+}
+
+Address UdpTransport::resolvePeer(const std::string& hostPort) const {
+  auto colon = hostPort.rfind(':');
+  std::string host = colon == std::string::npos
+                         ? cfg_.bindHost
+                         : hostPort.substr(0, colon);
+  std::string portStr =
+      colon == std::string::npos ? hostPort : hostPort.substr(colon + 1);
+  if (host != cfg_.bindHost && host != "localhost") return kNullAddress;
+  char* end = nullptr;
+  long port = std::strtol(portStr.c_str(), &end, 10);
+  if (end == portStr.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    return kNullAddress;
+  }
+  return static_cast<Address>(port);
+}
+
+void UdpTransport::close() {
+  std::thread toJoin;
+  {
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    if (sh_->closing) return;
+    sh_->closing = true;
+    wakeReceiver();
+    toJoin = std::move(receiver_);
+  }
+  if (toJoin.joinable()) toJoin.join();
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  for (auto& [port, ep] : sh_->endpoints) {
+    if (ep.fd >= 0) ::close(ep.fd);
+    ep.fd = -1;
+  }
+  if (wakePipe_[0] >= 0) ::close(wakePipe_[0]);
+  if (wakePipe_[1] >= 0) ::close(wakePipe_[1]);
+  wakePipe_[0] = wakePipe_[1] = -1;
+}
+
+UdpStats UdpTransport::stats() const {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  return sh_->stats;
+}
+
+void UdpTransport::receiveLoop() {
+  std::vector<u8> buf(kRecvBufBytes);
+  std::vector<pollfd> fds;
+  std::vector<Address> fdOwner;
+  while (true) {
+    // Snapshot the socket set under the lock; the self-pipe interrupts the
+    // poll whenever it changes.
+    fds.clear();
+    fdOwner.clear();
+    {
+      std::lock_guard<std::mutex> lk(sh_->mu);
+      if (sh_->closing) return;
+      fds.push_back(pollfd{wakePipe_[0], POLLIN, 0});
+      fdOwner.push_back(kNullAddress);
+      for (const auto& [port, ep] : sh_->endpoints) {
+        if (ep.fd < 0) continue;
+        fds.push_back(pollfd{ep.fd, POLLIN, 0});
+        fdOwner.push_back(port);
+      }
+    }
+    int ready = ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-snapshot and retry
+
+    for (usize i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      if (fdOwner[i] == kNullAddress) {  // wake pipe: drain it
+        u8 sink[64];
+        while (::read(wakePipe_[0], sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      // Drain the (non-blocking) socket: one poll readiness can mean many
+      // queued datagrams, and re-polling per datagram would put a syscall
+      // + snapshot rebuild on the hot path.
+      while (true) {
+        sockaddr_in src{};
+        socklen_t srcLen = sizeof(src);
+        ssize_t n = ::recvfrom(fds[i].fd, buf.data(), buf.size(), 0,
+                               reinterpret_cast<sockaddr*>(&src), &srcLen);
+        if (n <= 0) break;  // EWOULDBLOCK (drained) or error: next socket
+        Address srcAddr = ntohs(src.sin_port);
+        Address dstAddr = fdOwner[i];
+        auto payload = std::make_shared<std::vector<u8>>(buf.begin(),
+                                                         buf.begin() + n);
+        {
+          std::lock_guard<std::mutex> lk(sh_->mu);
+          ++sh_->stats.received;
+        }
+        // Deliver on the executor so the handler runs in the protocol's
+        // single-callback world. The handler is looked up at delivery
+        // time: setHandler swaps (node restarts) apply to queued datagrams
+        // too. The task captures the shared state weakly, never the
+        // transport: a delivery still queued when the transport is gone
+        // (executor stopped later) locks nothing stale and quietly drops.
+        exec_.schedule(0, [w = std::weak_ptr<Shared>(sh_), dstAddr, srcAddr,
+                           payload] {
+          std::shared_ptr<Shared> sh = w.lock();
+          if (!sh) return;  // transport destroyed; drop the datagram
+          ReceiveHandler h;
+          {
+            std::lock_guard<std::mutex> lk(sh->mu);
+            auto it = sh->endpoints.find(dstAddr);
+            if (it == sh->endpoints.end() || it->second.fd < 0) return;
+            h = it->second.handler;
+          }
+          if (h) h(srcAddr, *payload);
+        });
+      }
+    }
+  }
+}
+
+}  // namespace dharma::net

@@ -1,0 +1,126 @@
+#pragma once
+/// \file udp_transport.hpp
+/// \brief Transport over real POSIX UDP sockets (loopback clusters).
+///
+/// The production counterpart of the simulated Network. Each
+/// registerEndpoint() binds one UDP socket on the configured host
+/// (127.0.0.1 by default) and the endpoint's Address IS its bound port:
+/// ports are globally consistent across every process on the host, so the
+/// Contact addresses nodes gossip in FIND_NODE replies remain routable
+/// between cooperating dharma_node processes with no address translation
+/// layer. (Spanning multiple hosts requires widening the Contact wire
+/// address to ip:port — a recorded ROADMAP follow-on.)
+///
+/// A single receive thread polls every local socket and posts each datagram
+/// to the Executor, where the owning endpoint's handler runs. Protocol
+/// callbacks therefore never execute concurrently — the same
+/// one-callback-at-a-time world the simulator provides, which is what lets
+/// KademliaNode stay lock-free on both transports.
+///
+/// Datagram semantics mirror the simulated network: payloads above
+/// mtuBytes are rejected synchronously (send() returns false, counted in
+/// stats), everything else is fire-and-forget.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/executor.hpp"
+#include "net/transport.hpp"
+
+namespace dharma::net {
+
+/// Aggregate traffic counters (mirrors NetworkStats where meaningful).
+struct UdpStats {
+  u64 sent = 0;             ///< datagrams accepted by sendto()
+  u64 received = 0;         ///< datagrams handed to an endpoint handler
+  u64 droppedOversize = 0;  ///< payload exceeded the MTU
+  u64 sendErrors = 0;       ///< sendto() failed synchronously
+  u64 bytesSent = 0;        ///< total payload bytes accepted
+};
+
+/// Datagram transport over loopback UDP sockets.
+class UdpTransport final : public Transport {
+ public:
+  struct Config {
+    std::string bindHost = "127.0.0.1";  ///< local interface for sockets
+    usize mtuBytes = 1400;               ///< payload cap, as in the paper
+  };
+
+  /// \param exec executor datagram deliveries are posted to. Must be a
+  ///             thread-safe executor (RealTimeExecutor): the receive
+  ///             thread schedules onto it.
+  /// \param cfg  bind host and MTU
+  UdpTransport(Executor& exec, Config cfg);
+  explicit UdpTransport(Executor& exec);
+
+  /// Closes every socket and joins the receive thread.
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds a fresh UDP socket on an ephemeral port; the Address is the
+  /// bound port. Starts the receive thread on first call.
+  Address registerEndpoint(ReceiveHandler handler) override;
+
+  void setHandler(Address a, ReceiveHandler handler) override;
+
+  /// sendto() from endpoint \p from to port \p to on the bind host.
+  /// Returns false on oversize payload, unknown/closed local endpoint, or
+  /// synchronous sendto failure.
+  bool send(Address from, Address to, std::vector<u8> payload) override;
+
+  /// Local endpoints report their socket state; any non-local address is
+  /// presumed online (liveness is the protocol's RPC-timeout business).
+  bool isOnline(Address a) const override;
+
+  usize mtuBytes() const override { return cfg_.mtuBytes; }
+
+  /// Resolves a peer "host:port" to an Address. On the loopback transport
+  /// this is the port itself; the hostname must match the bind host.
+  /// Returns kNullAddress on a malformed or foreign-host spec.
+  Address resolvePeer(const std::string& hostPort) const;
+
+  /// Stops the receive thread and closes every socket (idempotent; the
+  /// destructor calls it). In-flight handler tasks already posted to the
+  /// executor still run.
+  void close();
+
+  UdpStats stats() const;
+
+ private:
+  struct Endpoint {
+    int fd = -1;
+    ReceiveHandler handler;
+  };
+
+  /// State reachable from executor-posted delivery tasks. Held by
+  /// shared_ptr and captured as weak_ptr in those tasks: a delivery still
+  /// queued when the transport dies (executor stopped after the transport
+  /// was destroyed) locks nothing stale — the weak_ptr simply fails to
+  /// lock. Nothing here may reference the transport object itself.
+  struct Shared {
+    std::mutex mu;
+    std::unordered_map<Address, Endpoint> endpoints;  ///< port -> socket
+    UdpStats stats;
+    bool closing = false;
+  };
+
+  void receiveLoop();
+  void wakeReceiver();
+
+  Executor& exec_;
+  Config cfg_;
+
+  std::shared_ptr<Shared> sh_ = std::make_shared<Shared>();
+  int wakePipe_[2] = {-1, -1};  ///< self-pipe: interrupts poll() on changes
+  bool receiverStarted_ = false;  ///< guarded by sh_->mu
+  std::thread receiver_;
+};
+
+}  // namespace dharma::net
