@@ -1,5 +1,5 @@
 /// \file dharma_node.cpp
-/// \brief A live DHARMA node daemon on real loopback-UDP sockets.
+/// \brief A live DHARMA node daemon on real UDP sockets.
 ///
 /// The first program in this repo where nothing is simulated: a
 /// RealTimeExecutor drives the protocol against the wall clock, a
@@ -11,21 +11,34 @@
 ///   $ ./dharma_node --nodes 8            # a bigger one
 ///   $ ./dharma_node --join 127.0.0.1:PORT  # join another daemon's cluster
 ///
-/// Each node prints "node <i> listening on 127.0.0.1:<port>"; hand any of
-/// those ports to a second daemon's --join. Commands arrive on stdin, one
+/// Each node prints "node <i> listening on <ip:port>"; hand any of those
+/// addresses to a second daemon's --join. Commands arrive on stdin, one
 /// per line (the tiny line protocol; see `help`):
 ///
 ///   insert <res> <uri> <tag> [tag ...]
 ///   tag <res> <tag> [tag ...]
 ///   search <tag>
 ///   resolve <res>
+///   ping <ip:port>
+///   drop <ip:port> | undrop <ip:port> | undrop all
 ///   stats
 ///   quit
 ///
 /// Every command answers "OK ..." or "ERR ...". The process exits 0 iff no
 /// command failed — which is what lets CI drive a 3-node put/get/tag smoke
-/// through a pipe.
+/// through a pipe, and what lets the cluster harness (tests/cluster/)
+/// script whole fleets of these processes.
+///
+/// SIGTERM/SIGINT request a graceful stop: the daemon finishes the command
+/// in flight, prints "OK shutdown signal=...", flushes, and exits through
+/// the same deterministic path as `quit` — so a harness can tell a clean
+/// stop (exit code 0/1) from a crash (killed by signal). The drop/undrop
+/// commands and the --drop-peers flag install transport-level partition
+/// rules (datagrams to/from those peers silently vanish), which is how the
+/// harness scripts network partitions on one host.
 
+#include <csignal>
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -45,6 +58,12 @@ using namespace dharma;
 
 namespace {
 
+/// Signal number of the pending graceful-stop request (0 = none). Written
+/// by the signal handler, polled by the command loop.
+volatile std::sig_atomic_t g_stopSignal = 0;
+
+void onStopSignal(int sig) { g_stopSignal = sig; }
+
 const char* errorName(core::OpError e) {
   switch (e) {
     case core::OpError::kNotFound: return "not-found";
@@ -57,7 +76,7 @@ const char* errorName(core::OpError e) {
 
 struct Daemon {
   net::RealTimeExecutor exec;
-  net::UdpTransport transport{exec};
+  net::UdpTransport transport;
   // The shared secret stands in for a real certification authority; every
   // daemon on the host uses the same one so cross-process credentials
   // verify (Likir's CS is a trusted third party by construction).
@@ -66,6 +85,9 @@ struct Daemon {
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   std::vector<std::unique_ptr<dht::MaintenanceManager>> managers;
   std::unique_ptr<core::DharmaClient> client;
+
+  explicit Daemon(const std::string& bindHost)
+      : transport(exec, net::UdpTransport::Config{bindHost, 1400}) {}
 
   ~Daemon() {
     // Stop the loop FIRST: manager ticks run (and re-arm themselves) on the
@@ -77,30 +99,38 @@ struct Daemon {
     transport.close();
   }
 
-  bool boot(usize n, const std::string& joinSpec, bool maintenance) {
+  bool boot(usize n, const std::string& joinSpec, bool maintenance,
+            const dht::NodeConfig& nodeCfg, const dht::MaintenanceConfig& mCfg,
+            usize joinRetries) {
     exec.start();
     // Distinct user ids per process so two daemons on one host never
     // collide in id space.
     std::string prefix = "node-" + std::to_string(::getpid()) + "-";
     for (usize i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<dht::KademliaNode>(
-          exec, transport, cs, cs.enroll(prefix + std::to_string(i)),
-          dht::NodeConfig{}, 0x9000 + i));
-      std::cout << "node " << i << " listening on 127.0.0.1:"
-                << nodes[i]->address() << "\n";
+          exec, transport, cs, cs.enroll(prefix + std::to_string(i)), nodeCfg,
+          0x9000 + i));
+      std::cout << "node " << i << " listening on "
+                << net::formatAddress(nodes[i]->address()) << "\n";
     }
 
     if (!joinSpec.empty()) {
-      net::Address peer = transport.resolvePeer(joinSpec);
-      if (peer == net::kNullAddress) {
-        std::cout << "ERR bad --join spec '" << joinSpec << "'\n";
+      net::PeerResolution peer = transport.resolvePeer(joinSpec);
+      if (!peer.ok()) {
+        std::cout << "ERR bad --join spec '" << joinSpec << "' ("
+                  << peer.errorName() << ")\n";
         return false;
       }
       // Learn the peer's node id with a bootstrap ping, then the usual
-      // self-lookup join through the enrolled contact.
-      bool up = core::awaitResult<bool>(rt, [&](std::function<void(bool)> done) {
-        nodes[0]->pingAddress(peer, std::move(done));
-      });
+      // self-lookup join through the enrolled contact. Retried: the peer
+      // process may still be booting when we come up (cluster harness
+      // restarts race their bootstrap target's socket).
+      bool up = false;
+      for (usize attempt = 0; attempt < joinRetries && !up; ++attempt) {
+        up = core::awaitResult<bool>(rt, [&](std::function<void(bool)> done) {
+          nodes[0]->pingAddress(peer.addr, std::move(done));
+        });
+      }
       if (!up) {
         std::cout << "ERR join peer " << joinSpec << " did not answer\n";
         return false;
@@ -123,8 +153,7 @@ struct Daemon {
     if (maintenance) {
       for (usize i = 0; i < nodes.size(); ++i) {
         managers.push_back(std::make_unique<dht::MaintenanceManager>(
-            exec, transport, *nodes[i], dht::MaintenanceConfig{},
-            0x7000 + i));
+            exec, transport, *nodes[i], mCfg, 0x7000 + i));
       }
       // start() reads routing tables, which the loop thread may already be
       // mutating (e.g. refresh lookups from a cluster we joined) — run it
@@ -143,18 +172,69 @@ struct Daemon {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Line-buffered protocol over pipes: the cluster harness reads replies as
+  // they happen, so every line must leave the process immediately.
+  std::cout << std::unitbuf;
+
   Options opts(argc, argv);
   usize n = static_cast<usize>(opts.getInt("nodes", 3));
   std::string joinSpec = opts.getString("join", "");
+  std::string bindHost = opts.getString("bind", "127.0.0.1");
   bool maintenance = opts.getBool("maintenance", true);
+  usize joinRetries = static_cast<usize>(opts.getInt("join-retries", 5));
   if (n == 0) {
     std::cerr << "--nodes must be >= 1\n";
     return 2;
   }
 
-  Daemon d;
-  if (!d.boot(n, joinSpec, maintenance)) return 2;
+  dht::NodeConfig nodeCfg;
+  nodeCfg.rpcTimeoutUs =
+      static_cast<net::TimeUs>(opts.getInt("rpc-timeout-ms", 1500)) * 1000;
+  dht::MaintenanceConfig mCfg;
+  mCfg.bucketRefreshIntervalUs =
+      static_cast<net::TimeUs>(opts.getInt("refresh-ms", 30'000)) * 1000;
+  mCfg.republishIntervalUs =
+      static_cast<net::TimeUs>(opts.getInt("republish-ms", 60'000)) * 1000;
+
+  // Graceful-stop plumbing, in three steps: block the signals (so the
+  // executor/receiver threads spawned during boot inherit the blocked
+  // mask), install the handlers WITHOUT SA_RESTART (so a signal interrupts
+  // the blocking stdin read instead of silently restarting it), and
+  // unblock on the main thread only once boot is done — making main the
+  // one thread that takes delivery.
+  sigset_t stopSet;
+  sigemptyset(&stopSet);
+  sigaddset(&stopSet, SIGTERM);
+  sigaddset(&stopSet, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &stopSet, nullptr);
+  struct sigaction sa{};
+  sa.sa_handler = onStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: wake the getline below
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  Daemon d(bindHost);
+  if (!d.boot(n, joinSpec, maintenance, nodeCfg, mCfg, joinRetries)) return 2;
+
+  // Boot-time partition rules (comma-separated ip:port list).
+  std::string dropSpec = opts.getString("drop-peers", "");
+  if (!dropSpec.empty()) {
+    std::istringstream specs(dropSpec);
+    std::string one;
+    while (std::getline(specs, one, ',')) {
+      net::PeerResolution p = d.transport.resolvePeer(one);
+      if (!p.ok()) {
+        std::cerr << "bad --drop-peers entry '" << one << "' ("
+                  << p.errorName() << ")\n";
+        return 2;
+      }
+      d.transport.dropPeer(p.addr);
+    }
+  }
+
   std::cout << "cluster up: " << n << " node(s); type 'help' for commands\n";
+  pthread_sigmask(SIG_UNBLOCK, &stopSet, nullptr);
 
   bool anyError = false;
   auto fail = [&](const std::string& what) {
@@ -163,7 +243,7 @@ int main(int argc, char** argv) {
   };
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (g_stopSignal == 0 && std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string cmd;
     in >> cmd;
@@ -172,9 +252,10 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") break;
 
     if (cmd == "help") {
-      std::cout << "commands: insert <res> <uri> <tag> [tag ...] | "
+      std::cout << "OK commands: insert <res> <uri> <tag> [tag ...] | "
                    "tag <res> <tag> [tag ...] | search <tag> | "
-                   "resolve <res> | stats | quit\n";
+                   "resolve <res> | ping <ip:port> | drop <ip:port> | "
+                   "undrop <ip:port>|all | stats | quit\n";
     } else if (cmd == "insert") {
       std::string res, uri, t;
       in >> res >> uri;
@@ -242,19 +323,98 @@ int main(int argc, char** argv) {
       } else {
         fail("resolve " + res + ": " + errorName(*out.err));
       }
+    } else if (cmd == "ping") {
+      std::string spec;
+      in >> spec;
+      if (spec.empty()) {
+        fail("usage: ping <ip:port>");
+        continue;
+      }
+      net::PeerResolution p = d.transport.resolvePeer(spec);
+      if (!p.ok()) {
+        fail("ping " + spec + ": " + p.errorName());
+        continue;
+      }
+      bool up = core::awaitResult<bool>(
+          d.rt, [&](std::function<void(bool)> done) {
+            d.nodes[0]->pingAddress(p.addr, std::move(done));
+          });
+      if (up) {
+        std::cout << "OK ping " << net::formatAddress(p.addr) << "\n";
+      } else {
+        fail("ping " + net::formatAddress(p.addr) + ": timeout");
+      }
+    } else if (cmd == "drop") {
+      std::string spec;
+      in >> spec;
+      net::PeerResolution p = d.transport.resolvePeer(spec);
+      if (spec.empty() || !p.ok()) {
+        fail("usage: drop <ip:port>" +
+             (spec.empty() ? std::string()
+                           : std::string(" (") + p.errorName() + ")"));
+        continue;
+      }
+      d.transport.dropPeer(p.addr);
+      std::cout << "OK drop " << net::formatAddress(p.addr)
+                << " (rules=" << d.transport.droppedPeerCount() << ")\n";
+    } else if (cmd == "undrop") {
+      std::string spec;
+      in >> spec;
+      if (spec == "all") {
+        usize removed = d.transport.clearDroppedPeers();
+        std::cout << "OK undrop all (removed=" << removed << ")\n";
+        continue;
+      }
+      net::PeerResolution p = d.transport.resolvePeer(spec);
+      if (spec.empty() || !p.ok()) {
+        fail("usage: undrop <ip:port>|all" +
+             (spec.empty() ? std::string()
+                           : std::string(" (") + p.errorName() + ")"));
+        continue;
+      }
+      bool removed = d.transport.undropPeer(p.addr);
+      std::cout << "OK undrop " << net::formatAddress(p.addr)
+                << " (removed=" << (removed ? 1 : 0) << ")\n";
     } else if (cmd == "stats") {
+      // Protocol state (counters, routing tables) belongs to the loop
+      // thread; read it there, like every other protocol-state access.
+      core::DharmaClient::Counters cc;
+      core::OpCost cost;
+      usize rt0 = 0;
+      d.rt.awaitDone([&](std::function<void()> done) {
+        cc = d.client->counters();
+        cost = d.client->totalCost();
+        rt0 = d.nodes[0]->routing().size();
+        done();
+      });
       net::UdpStats s = d.transport.stats();
-      std::cout << "OK stats: ops=" << d.client->counters().ops
-                << " failures=" << d.client->counters().failures
-                << " lookups=" << d.client->totalCost().lookups
+      std::cout << "OK stats: ops=" << cc.ops << " failures=" << cc.failures
+                << " lookups=" << cost.lookups << " rt=" << rt0
+                << " addr=" << net::formatAddress(d.nodes[0]->address())
+                << " droprules=" << d.transport.droppedPeerCount()
                 << " | udp sent=" << s.sent << " received=" << s.received
                 << " bytes=" << s.bytesSent
-                << " oversize=" << s.droppedOversize << "\n";
+                << " oversize=" << s.droppedOversize
+                << " ruledrops=" << s.droppedByRule << "\n";
     } else {
       fail("unknown command '" + cmd + "' (try 'help')");
     }
   }
 
+  // A stop signal interrupts the getline above (no SA_RESTART), but the
+  // handler itself may not have run yet when the read error surfaces —
+  // sanitizer runtimes defer async handlers to the next sync point. If
+  // stdin failed without reaching real EOF, the flag is on its way: wait
+  // for it briefly so the goodbye line is deterministic under every
+  // build. (feof distinguishes the cases; cin is sync'd with stdio.)
+  if (g_stopSignal == 0 && std::cin.fail() && !std::feof(stdin)) {
+    for (int i = 0; i < 200 && g_stopSignal == 0; ++i) ::usleep(10'000);
+  }
+
+  if (g_stopSignal != 0) {
+    std::cout << "OK shutdown signal="
+              << (g_stopSignal == SIGTERM ? "term" : "int") << "\n";
+  }
   std::cout << (anyError ? "done (with errors)\n" : "done\n");
   return anyError ? 1 : 0;
 }

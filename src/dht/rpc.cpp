@@ -16,8 +16,9 @@ usize checkedCount(const ByteReader& r, u64 n, usize minBytesPerElement) {
   return static_cast<usize>(n);
 }
 
-/// Smallest wire footprint of one Contact: a 20-byte NodeId + u32 address.
-constexpr usize kMinContactBytes = 24;
+/// Smallest wire footprint of one Contact: a 20-byte NodeId + u32 IPv4 +
+/// u16 port.
+constexpr usize kMinContactBytes = 26;
 /// Smallest BlockEntry: 1-byte name length (empty) + 1-byte weight varint.
 constexpr usize kMinBlockEntryBytes = 2;
 /// Smallest StoreToken: kind + entry length + delta + payload length.
@@ -36,13 +37,16 @@ NodeId readNodeId(ByteReader& r) {
 
 void writeContact(ByteWriter& w, const Contact& c) {
   writeNodeId(w, c.id);
-  w.writeU32(c.addr);
+  w.writeU32(net::addressIp(c.addr));
+  w.writeU16(net::addressPort(c.addr));
 }
 
 Contact readContact(ByteReader& r) {
   Contact c;
   c.id = readNodeId(r);
-  c.addr = r.readU32();
+  u32 ip = r.readU32();
+  u16 port = r.readU16();
+  c.addr = net::makeAddress(ip, port);
   return c;
 }
 
@@ -91,6 +95,8 @@ BlockView readBlockView(ByteReader& r) {
 
 std::vector<u8> Envelope::encode() const {
   ByteWriter w;
+  w.writeU8(kWireMagic);
+  w.writeU8(kWireVersion);
   w.writeU8(static_cast<u8>(type));
   w.writeU64(rpcId);
   writeContact(w, sender);
@@ -103,6 +109,11 @@ std::optional<Envelope> Envelope::decode(const std::vector<u8>& data) {
   try {
     ByteReader r(data);
     Envelope e;
+    // Strict version gate: v1 datagrams led with the RpcType byte (0..9),
+    // which can never equal the magic, so they reject here — cleanly, not
+    // as a misparse of the remaining fields.
+    if (r.readU8() != kWireMagic) return std::nullopt;
+    if (r.readU8() != kWireVersion) return std::nullopt;
     u8 t = r.readU8();
     if (t > static_cast<u8>(RpcType::kStoreCacheReply)) return std::nullopt;
     e.type = static_cast<RpcType>(t);

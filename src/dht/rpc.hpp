@@ -17,6 +17,17 @@
 
 namespace dharma::dht {
 
+/// First byte of every datagram. Deliberately outside the v1 RpcType range
+/// (0..9, which was the first byte of a v1 datagram), so pre-versioning
+/// traffic can never alias a versioned header.
+constexpr u8 kWireMagic = 0xDA;
+
+/// Wire-format version, second byte of every datagram. v1 (unversioned,
+/// bare-u32 contact addresses) is rejected by Envelope::decode; v2 carries
+/// this header and (ip, port) contact addresses. Receivers accept exactly
+/// the current version — there is no negotiation on a datagram transport.
+constexpr u8 kWireVersion = 2;
+
 /// RPC discriminator.
 enum class RpcType : u8 {
   kPing = 0,
@@ -31,7 +42,7 @@ enum class RpcType : u8 {
   kStoreCacheReply = 9,
 };
 
-/// Common datagram header.
+/// Common datagram header: magic + version, then the v-independent fields.
 struct Envelope {
   RpcType type = RpcType::kPing;
   u64 rpcId = 0;                 ///< request/response correlation id
@@ -40,6 +51,9 @@ struct Envelope {
   std::vector<u8> body;          ///< type-specific payload
 
   std::vector<u8> encode() const;
+  /// Strict decode: nullopt on anything but a well-formed kWireVersion
+  /// datagram — wrong magic (v1 traffic included), wrong version,
+  /// truncation, trailing bytes.
   static std::optional<Envelope> decode(const std::vector<u8>& data);
 };
 

@@ -23,21 +23,45 @@
 ///    concurrently with other protocol callbacks.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace dharma::net {
 
-/// Endpoint address: a dense transport-local handle, stable for the life of
-/// the transport. For the simulated network it indexes the endpoint table;
-/// for UDP it names a (socket or resolved peer) slot. It is NOT a wire
-/// address — Contacts carry it because every node in one process shares one
-/// transport instance.
-using Address = u32;
+/// Endpoint address: a 48-bit (IPv4, port) pair packed into a u64 —
+/// `(ip << 16) | port`, both in host byte order. On UdpTransport the
+/// Address IS the wire address of the endpoint's socket, so the Contacts
+/// nodes gossip in FIND_NODE replies stay routable between processes on
+/// different hosts with no translation layer. The simulated network keeps
+/// handing out dense indices (ip part 0), which round-trip losslessly
+/// through the same (ip, port) wire codec.
+using Address = u64;
 
-/// Address value meaning "no endpoint".
-constexpr Address kNullAddress = static_cast<Address>(-1);
+/// Address value meaning "no endpoint": all 48 address bits set, so it
+/// survives an encode/decode round trip like any other address.
+constexpr Address kNullAddress = 0xFFFF'FFFF'FFFFULL;
+
+/// Packs (IPv4 in host order, port) into an Address.
+constexpr Address makeAddress(u32 ipv4, u16 port) {
+  return (static_cast<Address>(ipv4) << 16) | port;
+}
+
+/// IPv4 part of an Address, host byte order.
+constexpr u32 addressIp(Address a) { return static_cast<u32>(a >> 16); }
+
+/// Port part of an Address.
+constexpr u16 addressPort(Address a) { return static_cast<u16>(a & 0xFFFF); }
+
+/// Renders an Address as dotted-quad "a.b.c.d:port".
+inline std::string formatAddress(Address a) {
+  u32 ip = addressIp(a);
+  return std::to_string((ip >> 24) & 0xFF) + '.' +
+         std::to_string((ip >> 16) & 0xFF) + '.' +
+         std::to_string((ip >> 8) & 0xFF) + '.' + std::to_string(ip & 0xFF) +
+         ':' + std::to_string(addressPort(a));
+}
 
 /// Datagram receive callback: (source address, payload bytes).
 using ReceiveHandler = std::function<void(Address, const std::vector<u8>&)>;

@@ -8,8 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <memory>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -22,19 +23,33 @@ namespace {
 /// anyway (envelopes are far smaller than the MTU + slack).
 constexpr usize kRecvBufBytes = 65536;
 
-sockaddr_in makeSockAddr(const std::string& host, u16 port) {
+/// Parses a dotted-quad IPv4 into host byte order; nullopt on anything
+/// else ("localhost" is accepted as an alias for 127.0.0.1 — there is no
+/// DNS here, numeric addresses only).
+std::optional<u32> parseIpv4(const std::string& host) {
+  in_addr a{};
+  const std::string& h = host == "localhost" ? std::string("127.0.0.1") : host;
+  if (inet_pton(AF_INET, h.c_str(), &a) != 1) return std::nullopt;
+  return ntohl(a.s_addr);
+}
+
+sockaddr_in makeSockAddr(u32 ipHostOrder, u16 port) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
-    throw std::runtime_error("UdpTransport: bad bind host '" + host + "'");
-  }
+  sa.sin_addr.s_addr = htonl(ipHostOrder);
   return sa;
 }
 }  // namespace
 
 UdpTransport::UdpTransport(Executor& exec, Config cfg)
     : exec_(exec), cfg_(std::move(cfg)) {
+  auto ip = parseIpv4(cfg_.bindHost);
+  if (!ip) {
+    throw std::runtime_error("UdpTransport: bad bind host '" + cfg_.bindHost +
+                             "'");
+  }
+  bindIp_ = *ip;
   if (pipe(wakePipe_) != 0) {
     throw std::runtime_error("UdpTransport: pipe() failed");
   }
@@ -58,7 +73,7 @@ Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
   // Non-blocking: the receive loop drains each ready socket until
   // EWOULDBLOCK instead of taking one datagram per poll cycle.
   fcntl(fd, F_SETFL, O_NONBLOCK);
-  sockaddr_in sa = makeSockAddr(cfg_.bindHost, 0);  // ephemeral port
+  sockaddr_in sa = makeSockAddr(bindIp_, 0);  // ephemeral port
   if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
     ::close(fd);
     throw std::runtime_error("UdpTransport: bind() failed");
@@ -68,21 +83,21 @@ Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
     ::close(fd);
     throw std::runtime_error("UdpTransport: getsockname() failed");
   }
-  Address port = ntohs(sa.sin_port);
+  Address addr = makeAddress(bindIp_, ntohs(sa.sin_port));
 
   std::lock_guard<std::mutex> lk(sh_->mu);
   if (sh_->closing) {
     ::close(fd);
     throw std::runtime_error("UdpTransport: registerEndpoint after close()");
   }
-  sh_->endpoints[port] = Endpoint{fd, std::move(handler)};
+  sh_->endpoints[addr] = Endpoint{fd, std::move(handler)};
   if (!receiverStarted_) {
     receiverStarted_ = true;
     receiver_ = std::thread([this] { receiveLoop(); });
   } else {
     wakeReceiver();  // pick up the new socket without waiting a poll cycle
   }
-  return port;
+  return addr;
 }
 
 void UdpTransport::setHandler(Address a, ReceiveHandler handler) {
@@ -97,7 +112,7 @@ bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
     ++sh_->stats.droppedOversize;
     return false;
   }
-  sockaddr_in dst = makeSockAddr(cfg_.bindHost, static_cast<u16>(to));
+  sockaddr_in dst = makeSockAddr(addressIp(to), addressPort(to));
   // The sendto happens under the lock: close() closes fds under the same
   // lock, so an fd captured outside it could be recycled by the OS and the
   // datagram written to an unrelated descriptor. A UDP sendto is a buffer
@@ -106,6 +121,12 @@ bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
   auto it = sh_->endpoints.find(from);
   if (it == sh_->endpoints.end() || it->second.fd < 0 || sh_->closing) {
     return false;
+  }
+  if (sh_->dropPeers.count(to)) {
+    // Partition rule: the datagram vanishes exactly as it would in a real
+    // partition — the send looks accepted, nothing arrives.
+    ++sh_->stats.droppedByRule;
+    return true;
   }
   ssize_t n = ::sendto(it->second.fd, payload.data(), payload.size(), 0,
                        reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
@@ -127,20 +148,49 @@ bool UdpTransport::isOnline(Address a) const {
   return it == sh_->endpoints.end() || it->second.fd >= 0;
 }
 
-Address UdpTransport::resolvePeer(const std::string& hostPort) const {
+PeerResolution UdpTransport::resolvePeer(const std::string& hostPort) const {
+  PeerResolution res;
   auto colon = hostPort.rfind(':');
   std::string host = colon == std::string::npos
                          ? cfg_.bindHost
                          : hostPort.substr(0, colon);
   std::string portStr =
       colon == std::string::npos ? hostPort : hostPort.substr(colon + 1);
-  if (host != cfg_.bindHost && host != "localhost") return kNullAddress;
+  auto ip = parseIpv4(host);
+  if (!ip) {
+    res.error = PeerResolution::Error::kBadHost;
+    return res;
+  }
   char* end = nullptr;
   long port = std::strtol(portStr.c_str(), &end, 10);
   if (end == portStr.c_str() || *end != '\0' || port <= 0 || port > 65535) {
-    return kNullAddress;
+    res.error = PeerResolution::Error::kBadPort;
+    return res;
   }
-  return static_cast<Address>(port);
+  res.addr = makeAddress(*ip, static_cast<u16>(port));
+  return res;
+}
+
+void UdpTransport::dropPeer(Address peer) {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  sh_->dropPeers.insert(peer);
+}
+
+bool UdpTransport::undropPeer(Address peer) {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  return sh_->dropPeers.erase(peer) > 0;
+}
+
+usize UdpTransport::clearDroppedPeers() {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  usize n = sh_->dropPeers.size();
+  sh_->dropPeers.clear();
+  return n;
+}
+
+usize UdpTransport::droppedPeerCount() const {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  return sh_->dropPeers.size();
 }
 
 void UdpTransport::close() {
@@ -154,7 +204,7 @@ void UdpTransport::close() {
   }
   if (toJoin.joinable()) toJoin.join();
   std::lock_guard<std::mutex> lk(sh_->mu);
-  for (auto& [port, ep] : sh_->endpoints) {
+  for (auto& [addr, ep] : sh_->endpoints) {
     if (ep.fd >= 0) ::close(ep.fd);
     ep.fd = -1;
   }
@@ -182,10 +232,10 @@ void UdpTransport::receiveLoop() {
       if (sh_->closing) return;
       fds.push_back(pollfd{wakePipe_[0], POLLIN, 0});
       fdOwner.push_back(kNullAddress);
-      for (const auto& [port, ep] : sh_->endpoints) {
+      for (const auto& [addr, ep] : sh_->endpoints) {
         if (ep.fd < 0) continue;
         fds.push_back(pollfd{ep.fd, POLLIN, 0});
-        fdOwner.push_back(port);
+        fdOwner.push_back(addr);
       }
     }
     int ready = ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
@@ -208,14 +258,21 @@ void UdpTransport::receiveLoop() {
         ssize_t n = ::recvfrom(fds[i].fd, buf.data(), buf.size(), 0,
                                reinterpret_cast<sockaddr*>(&src), &srcLen);
         if (n <= 0) break;  // EWOULDBLOCK (drained) or error: next socket
-        Address srcAddr = ntohs(src.sin_port);
+        Address srcAddr =
+            makeAddress(ntohl(src.sin_addr.s_addr), ntohs(src.sin_port));
         Address dstAddr = fdOwner[i];
-        auto payload = std::make_shared<std::vector<u8>>(buf.begin(),
-                                                         buf.begin() + n);
         {
           std::lock_guard<std::mutex> lk(sh_->mu);
+          if (sh_->dropPeers.count(srcAddr)) {
+            // Inbound half of a partition rule: the datagram never
+            // happened as far as the protocol can tell.
+            ++sh_->stats.droppedByRule;
+            continue;
+          }
           ++sh_->stats.received;
         }
+        auto payload = std::make_shared<std::vector<u8>>(buf.begin(),
+                                                         buf.begin() + n);
         // Deliver on the executor so the handler runs in the protocol's
         // single-callback world. The handler is looked up at delivery
         // time: setHandler swaps (node restarts) apply to queued datagrams

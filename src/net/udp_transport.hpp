@@ -1,15 +1,14 @@
 #pragma once
 /// \file udp_transport.hpp
-/// \brief Transport over real POSIX UDP sockets (loopback clusters).
+/// \brief Transport over real POSIX UDP sockets.
 ///
 /// The production counterpart of the simulated Network. Each
 /// registerEndpoint() binds one UDP socket on the configured host
-/// (127.0.0.1 by default) and the endpoint's Address IS its bound port:
-/// ports are globally consistent across every process on the host, so the
-/// Contact addresses nodes gossip in FIND_NODE replies remain routable
-/// between cooperating dharma_node processes with no address translation
-/// layer. (Spanning multiple hosts requires widening the Contact wire
-/// address to ip:port — a recorded ROADMAP follow-on.)
+/// (127.0.0.1 by default) and the endpoint's Address is the full packed
+/// (ip, port) of the bound socket: the wire address itself, globally
+/// consistent across processes AND hosts, so the Contact addresses nodes
+/// gossip in FIND_NODE replies remain routable between cooperating
+/// dharma_node processes with no address translation layer.
 ///
 /// A single receive thread polls every local socket and posts each datagram
 /// to the Executor, where the owning endpoint's handler runs. Protocol
@@ -20,6 +19,12 @@
 /// Datagram semantics mirror the simulated network: payloads above
 /// mtuBytes are rejected synchronously (send() returns false, counted in
 /// stats), everything else is fire-and-forget.
+///
+/// Fault injection: dropPeer() installs a transport-level rule that
+/// silently discards every datagram to or from a peer address — exactly
+/// what a network partition looks like from this host. The cluster harness
+/// (tests/cluster/) scripts partitions with it via dharma_node's
+/// --drop-peers flag and drop/undrop line commands.
 
 #include <atomic>
 #include <memory>
@@ -27,6 +32,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/executor.hpp"
@@ -41,9 +47,35 @@ struct UdpStats {
   u64 droppedOversize = 0;  ///< payload exceeded the MTU
   u64 sendErrors = 0;       ///< sendto() failed synchronously
   u64 bytesSent = 0;        ///< total payload bytes accepted
+  u64 droppedByRule = 0;    ///< discarded by a dropPeer() partition rule
 };
 
-/// Datagram transport over loopback UDP sockets.
+/// Typed outcome of UdpTransport::resolvePeer. A failed resolution names
+/// WHICH part of the spec was bad instead of collapsing to a silent null
+/// address.
+struct PeerResolution {
+  enum class Error : u8 {
+    kNone = 0,
+    kBadHost,  ///< host part is not a numeric IPv4 (or "localhost")
+    kBadPort,  ///< port part missing, non-numeric, or outside 1..65535
+  };
+
+  Address addr = kNullAddress;
+  Error error = Error::kNone;
+
+  bool ok() const { return error == Error::kNone; }
+
+  const char* errorName() const {
+    switch (error) {
+      case Error::kNone: return "ok";
+      case Error::kBadHost: return "bad-host";
+      case Error::kBadPort: return "bad-port";
+    }
+    return "unknown";
+  }
+};
+
+/// Datagram transport over UDP sockets.
 class UdpTransport final : public Transport {
  public:
   struct Config {
@@ -65,14 +97,15 @@ class UdpTransport final : public Transport {
   UdpTransport& operator=(const UdpTransport&) = delete;
 
   /// Binds a fresh UDP socket on an ephemeral port; the Address is the
-  /// bound port. Starts the receive thread on first call.
+  /// packed (bind ip, bound port). Starts the receive thread on first call.
   Address registerEndpoint(ReceiveHandler handler) override;
 
   void setHandler(Address a, ReceiveHandler handler) override;
 
-  /// sendto() from endpoint \p from to port \p to on the bind host.
+  /// sendto() from endpoint \p from to the (ip, port) packed in \p to.
   /// Returns false on oversize payload, unknown/closed local endpoint, or
-  /// synchronous sendto failure.
+  /// synchronous sendto failure. A destination under a dropPeer() rule is
+  /// silently discarded (returns true, like any datagram loss).
   bool send(Address from, Address to, std::vector<u8> payload) override;
 
   /// Local endpoints report their socket state; any non-local address is
@@ -81,10 +114,24 @@ class UdpTransport final : public Transport {
 
   usize mtuBytes() const override { return cfg_.mtuBytes; }
 
-  /// Resolves a peer "host:port" to an Address. On the loopback transport
-  /// this is the port itself; the hostname must match the bind host.
-  /// Returns kNullAddress on a malformed or foreign-host spec.
-  Address resolvePeer(const std::string& hostPort) const;
+  /// Resolves a peer spec — "ip:port", "localhost:port", or a bare port
+  /// (host defaults to the bind host) — to a packed Address. Any numeric
+  /// IPv4 is accepted; a non-numeric host or out-of-range port yields the
+  /// matching typed error, never a silent null.
+  PeerResolution resolvePeer(const std::string& hostPort) const;
+
+  /// Partition fault injection: silently discard every datagram sent to or
+  /// received from \p peer until undropPeer()/clearDroppedPeers().
+  void dropPeer(Address peer);
+
+  /// Removes one drop rule; returns true if it was present.
+  bool undropPeer(Address peer);
+
+  /// Removes every drop rule; returns how many were installed.
+  usize clearDroppedPeers();
+
+  /// Number of drop rules currently installed.
+  usize droppedPeerCount() const;
 
   /// Stops the receive thread and closes every socket (idempotent; the
   /// destructor calls it). In-flight handler tasks already posted to the
@@ -106,7 +153,8 @@ class UdpTransport final : public Transport {
   /// lock. Nothing here may reference the transport object itself.
   struct Shared {
     std::mutex mu;
-    std::unordered_map<Address, Endpoint> endpoints;  ///< port -> socket
+    std::unordered_map<Address, Endpoint> endpoints;  ///< (ip,port) -> socket
+    std::unordered_set<Address> dropPeers;  ///< partition rules (both ways)
     UdpStats stats;
     bool closing = false;
   };
@@ -116,6 +164,7 @@ class UdpTransport final : public Transport {
 
   Executor& exec_;
   Config cfg_;
+  u32 bindIp_ = 0;  ///< cfg_.bindHost parsed once, host byte order
 
   std::shared_ptr<Shared> sh_ = std::make_shared<Shared>();
   int wakePipe_[2] = {-1, -1};  ///< self-pipe: interrupts poll() on changes

@@ -1,0 +1,538 @@
+/// \file cluster_harness.cpp
+/// \brief Scripted multi-process soak: kill waves, graceful restarts,
+/// partitions — against real dharma_node processes on real sockets.
+///
+/// The simulator proves the protocol's math; this harness proves the
+/// deployment story. It fork/execs N single-node dharma_node daemons on
+/// loopback UDP, seeds resources through their line protocol, then runs a
+/// fault schedule and holds the fleet to three promises:
+///
+///   1. Availability: through every SIGKILL wave, >= 99% of resolve
+///      probes issued to surviving daemons succeed.
+///   2. No silent failures: every miss is a typed "ERR ...: <op-error>"
+///      line. A hang, an EOF, or an untyped error fails the run outright.
+///   3. Convergence: every restarted daemon rejoins, refills its routing
+///      table to the live-peer count and serves reads, within a bounded
+///      wall-clock window.
+///
+/// Fault phases, in order:
+///   - W SIGKILL waves: kill ~kill-frac of the fleet, probe survivors,
+///     restart the victims joined through a survivor, wait for
+///     convergence.
+///   - A SIGTERM wave: graceful stop must print "OK shutdown
+///     signal=term" and exit with the code the daemon's own error
+///     accounting predicts (0/1), never die by signal.
+///   - A partition: one daemon is symmetrically firewalled from the rest
+///     via transport drop rules (`drop` on both sides), the majority side
+///     must keep serving, and healing the partition must bring the
+///     isolated daemon back within the convergence window.
+///
+///   ./cluster_harness --smoke            # CI shape: 5 procs, 3 waves
+///   ./cluster_harness --nodes 8 --waves 5 --keys 20   # fuller soak
+///
+/// Exits 0 iff every assertion held; prints a per-phase summary either way.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "subprocess.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+#ifndef DHARMA_NODE_BIN
+#error "build must define DHARMA_NODE_BIN (path to the dharma_node binary)"
+#endif
+
+using namespace dharma;
+using cluster::NodeProcess;
+using cluster::nowMs;
+
+namespace {
+
+// Generous per-command deadline: a resolve that has to time out dead
+// contacts takes a few rpc-timeouts, never tens of seconds. Anything
+// beyond this is a wedged daemon, i.e. a silent failure.
+constexpr int kCmdTimeoutMs = 10'000;
+constexpr int kBootTimeoutMs = 15'000;
+
+struct HarnessConfig {
+  std::string nodeBin;
+  usize nodes = 8;
+  usize keys = 20;
+  usize waves = 5;
+  double killFrac = 0.2;
+  int rpcTimeoutMs = 200;
+  int refreshMs = 1000;
+  int republishMs = 1500;
+  int convergeTimeoutMs = 20'000;
+  u64 seed = 42;
+  bool verbose = false;
+};
+
+struct Node {
+  NodeProcess proc;
+  std::string addr;     ///< "ip:port" as the daemon printed it
+  bool up = false;
+  bool sawErr = false;  ///< daemon replied ERR at least once -> exits 1
+};
+
+/// Probe outcome taxonomy. The whole point of the soak: every probe lands
+/// in exactly one of these, and kSilent must stay at zero.
+enum class Probe { kOk, kTypedErr, kSilent };
+
+struct Tally {
+  usize ok = 0;
+  usize typedErr = 0;
+  usize silent = 0;
+  usize total() const { return ok + typedErr + silent; }
+  double availability() const {
+    return total() == 0 ? 1.0 : double(ok) / double(total());
+  }
+  void add(Probe p) {
+    if (p == Probe::kOk) ++ok;
+    else if (p == Probe::kTypedErr) ++typedErr;
+    else ++silent;
+  }
+};
+
+struct Harness {
+  HarnessConfig cfg;
+  std::vector<Node> fleet;
+  Rng rng;
+  usize checksFailed = 0;
+  Tally killWaveTally;  ///< the >=99% availability population
+  i64 worstConvergeMs = 0;
+
+  explicit Harness(const HarnessConfig& c) : cfg(c), rng(c.seed) {
+    fleet.resize(cfg.nodes);
+  }
+
+  void fail(const std::string& what) {
+    ++checksFailed;
+    std::cout << "FAIL: " << what << "\n";
+  }
+
+  void note(const std::string& what) {
+    if (cfg.verbose) std::cout << "  .. " << what << "\n";
+  }
+
+  /// Is this reply a typed failure (one the OpError taxonomy names)?
+  static bool isTypedErr(const std::string& reply) {
+    for (const char* name :
+         {"not-found", "quorum-failed", "timeout", "node-offline"}) {
+      if (reply.find(std::string(": ") + name) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Issues \p cmd to node \p i and classifies the reply.
+  Probe probe(usize i, const std::string& cmd) {
+    auto reply = fleet[i].proc.command(cmd, kCmdTimeoutMs);
+    if (!reply) {
+      fail("node " + std::to_string(i) + ": no reply to '" + cmd +
+           "' (hang/EOF = silent failure)");
+      return Probe::kSilent;
+    }
+    if (reply->rfind("OK", 0) == 0) return Probe::kOk;
+    fleet[i].sawErr = true;
+    if (isTypedErr(*reply)) {
+      note("node " + std::to_string(i) + ": " + *reply);
+      return Probe::kTypedErr;
+    }
+    fail("node " + std::to_string(i) + ": untyped error '" + *reply +
+         "' for '" + cmd + "'");
+    return Probe::kSilent;
+  }
+
+  /// Spawns node \p i (joining \p joinAddr unless empty) and waits for its
+  /// boot banner. Each daemon hosts exactly one DHT node, so every process
+  /// is an independent failure domain.
+  bool boot(usize i, const std::string& joinAddr) {
+    std::vector<std::string> args = {
+        "--nodes", "1",
+        "--rpc-timeout-ms", std::to_string(cfg.rpcTimeoutMs),
+        "--refresh-ms", std::to_string(cfg.refreshMs),
+        "--republish-ms", std::to_string(cfg.republishMs),
+    };
+    if (!joinAddr.empty()) {
+      args.push_back("--join");
+      args.push_back(joinAddr);
+    }
+    Node& n = fleet[i];
+    n.sawErr = false;
+    if (!n.proc.spawn(cfg.nodeBin, args)) {
+      fail("node " + std::to_string(i) + ": spawn failed");
+      return false;
+    }
+    auto listen = n.proc.readLineWithPrefix("node 0 listening on ",
+                                            kBootTimeoutMs);
+    auto up = listen ? n.proc.readLineWithPrefix("cluster up", kBootTimeoutMs)
+                     : std::nullopt;
+    if (!listen || !up) {
+      fail("node " + std::to_string(i) + ": boot banner missing");
+      n.proc.forceKill();
+      return false;
+    }
+    n.addr = listen->substr(std::string("node 0 listening on ").size());
+    n.up = true;
+    note("node " + std::to_string(i) + " up at " + n.addr +
+         (joinAddr.empty() ? "" : " (joined via " + joinAddr + ")"));
+    return true;
+  }
+
+  usize liveCount() const {
+    usize c = 0;
+    for (const auto& n : fleet) c += n.up ? 1 : 0;
+    return c;
+  }
+
+  /// Any live node's index; the restart waves use it as the join seed.
+  usize anySurvivor() const {
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (fleet[i].up) return i;
+    }
+    return 0;
+  }
+
+  std::string keyName(usize k) const { return "res-" + std::to_string(k); }
+
+  /// Waits (bounded) for node \p i to serve reads and see every live peer
+  /// in its routing table. This is the PR's convergence assertion: real
+  /// clock, real sockets, no simulator shortcuts.
+  bool awaitConvergence(usize i, const std::string& why) {
+    const i64 start = nowMs();
+    const i64 deadline = start + cfg.convergeTimeoutMs;
+    const usize wantPeers = liveCount() - 1;  // everyone else, self excluded
+    bool reads = false, routing = false;
+    while (nowMs() < deadline) {
+      if (!reads) {
+        auto r = fleet[i].proc.command("resolve " + keyName(0), kCmdTimeoutMs);
+        reads = r && r->rfind("OK", 0) == 0;
+        if (r && r->rfind("ERR", 0) == 0) fleet[i].sawErr = true;
+      }
+      if (reads && !routing) {
+        auto s = fleet[i].proc.command("stats", kCmdTimeoutMs);
+        if (s) {
+          auto pos = s->find(" rt=");
+          if (pos != std::string::npos) {
+            usize rt = std::stoul(s->substr(pos + 4));
+            routing = rt >= wantPeers;
+          }
+        }
+      }
+      if (reads && routing) {
+        i64 took = nowMs() - start;
+        if (took > worstConvergeMs) worstConvergeMs = took;
+        note("node " + std::to_string(i) + " converged in " +
+             std::to_string(took) + " ms (" + why + ")");
+        return true;
+      }
+      ::usleep(200'000);
+    }
+    fail("node " + std::to_string(i) + " failed to converge within " +
+         std::to_string(cfg.convergeTimeoutMs) + " ms (" + why +
+         "): reads=" + (reads ? "yes" : "no") +
+         " routing=" + (routing ? "yes" : "no"));
+    return false;
+  }
+
+  // -- phases ---------------------------------------------------------------
+
+  bool bootFleet() {
+    std::cout << "phase boot: " << cfg.nodes << " processes\n";
+    if (!boot(0, "")) return false;
+    for (usize i = 1; i < cfg.nodes; ++i) {
+      if (!boot(i, fleet[0].addr)) return false;
+    }
+    // Let one refresh cycle run so routing tables fill before the faults.
+    for (usize i = 0; i < cfg.nodes; ++i) {
+      if (!awaitConvergenceBootstrap(i)) return false;
+    }
+    return true;
+  }
+
+  /// Boot-time routing fill only — there is nothing to resolve yet.
+  bool awaitConvergenceBootstrap(usize i) {
+    const i64 deadline = nowMs() + cfg.convergeTimeoutMs;
+    const usize wantPeers = cfg.nodes - 1;
+    while (nowMs() < deadline) {
+      auto s = fleet[i].proc.command("stats", kCmdTimeoutMs);
+      if (s) {
+        auto pos = s->find(" rt=");
+        if (pos != std::string::npos &&
+            std::stoul(s->substr(pos + 4)) >= wantPeers) {
+          return true;
+        }
+      }
+      ::usleep(200'000);
+    }
+    fail("node " + std::to_string(i) + ": bootstrap routing never filled");
+    return false;
+  }
+
+  bool seedKeys() {
+    std::cout << "phase seed: " << cfg.keys << " resources\n";
+    for (usize k = 0; k < cfg.keys; ++k) {
+      usize owner = k % cfg.nodes;
+      std::string cmd = "insert " + keyName(k) + " uri://" + keyName(k) +
+                        " tag-common tag-" + std::to_string(k % 3);
+      if (probe(owner, cmd) != Probe::kOk) {
+        fail("seeding " + keyName(k) + " via node " + std::to_string(owner) +
+             " failed");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// One SIGKILL wave: crash ~killFrac of the fleet, probe every survivor
+  /// for every key, then restart the victims through a survivor.
+  void killWave(usize wave) {
+    usize victims = static_cast<usize>(cfg.nodes * cfg.killFrac + 0.5);
+    if (victims == 0) victims = 1;
+    if (victims >= liveCount()) victims = liveCount() - 1;
+
+    // Choose victims uniformly among the live.
+    std::vector<usize> order;
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (fleet[i].up) order.push_back(i);
+    }
+    for (usize i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform(i)]);
+    }
+    order.resize(victims);
+
+    std::cout << "phase kill-wave " << wave << ": SIGKILL " << victims
+              << " of " << cfg.nodes << "\n";
+    for (usize v : order) {
+      fleet[v].proc.signal(SIGKILL);
+      auto es = fleet[v].proc.wait(5000);
+      if (!es || !es->signaled || es->sig != SIGKILL) {
+        fail("node " + std::to_string(v) + ": SIGKILL did not take");
+      }
+      fleet[v].up = false;
+      note("killed node " + std::to_string(v) + " (" + fleet[v].addr + ")");
+    }
+
+    // Availability probes: every key through every survivor. These are the
+    // population the >=99% bound is asserted over.
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (!fleet[i].up) continue;
+      for (usize k = 0; k < cfg.keys; ++k) {
+        killWaveTally.add(probe(i, "resolve " + keyName(k)));
+      }
+    }
+
+    // Restart the victims, each joining through a survivor; the daemon's
+    // --join-retries absorbs the race against its own socket rebind.
+    usize seedIdx = anySurvivor();
+    for (usize v : order) {
+      if (boot(v, fleet[seedIdx].addr)) {
+        awaitConvergence(v, "rejoin after SIGKILL wave " +
+                                std::to_string(wave));
+      }
+    }
+  }
+
+  /// SIGTERM wave: graceful stops must run the daemon's orderly exit path.
+  void gracefulWave() {
+    usize victims = static_cast<usize>(cfg.nodes * cfg.killFrac + 0.5);
+    if (victims == 0) victims = 1;
+    if (victims >= liveCount()) victims = liveCount() - 1;
+    std::cout << "phase graceful: SIGTERM " << victims << " node(s)\n";
+
+    std::vector<usize> order;
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (fleet[i].up) order.push_back(i);
+    }
+    for (usize i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform(i)]);
+    }
+    order.resize(victims);
+
+    for (usize v : order) {
+      bool expectErrExit = fleet[v].sawErr;
+      fleet[v].proc.signal(SIGTERM);
+      auto bye = fleet[v].proc.readLineWithPrefix("OK shutdown signal=term",
+                                                  5000);
+      if (!bye) fail("node " + std::to_string(v) + ": no graceful goodbye");
+      auto es = fleet[v].proc.wait(5000);
+      if (!es || !es->exited) {
+        fail("node " + std::to_string(v) +
+             ": SIGTERM ended in a signal death, not an orderly exit");
+      } else if (es->code != (expectErrExit ? 1 : 0)) {
+        fail("node " + std::to_string(v) + ": graceful exit code " +
+             std::to_string(es->code) + ", expected " +
+             std::to_string(expectErrExit ? 1 : 0));
+      }
+      fleet[v].up = false;
+      note("gracefully stopped node " + std::to_string(v));
+    }
+
+    usize seedIdx = anySurvivor();
+    for (usize v : order) {
+      if (boot(v, fleet[seedIdx].addr)) {
+        awaitConvergence(v, "rejoin after graceful stop");
+      }
+    }
+  }
+
+  /// Partition one daemon from the rest with symmetric transport drop
+  /// rules, check both sides behave, then heal and re-converge.
+  void partitionPhase() {
+    usize p = anySurvivor();
+    std::cout << "phase partition: isolating node " << p << "\n";
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (i == p || !fleet[i].up) continue;
+      if (probe(p, "drop " + fleet[i].addr) != Probe::kOk) {
+        fail("installing drop rule on partitioned node failed");
+      }
+      if (probe(i, "drop " + fleet[p].addr) != Probe::kOk) {
+        fail("installing drop rule on majority node failed");
+      }
+    }
+
+    // Majority side: still a healthy cluster minus one replica — resolves
+    // count toward the same availability bar as the kill waves.
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (i == p || !fleet[i].up) continue;
+      for (usize k = 0; k < cfg.keys; ++k) {
+        killWaveTally.add(probe(i, "resolve " + keyName(k)));
+      }
+    }
+
+    // Isolated side: reads may be served from local replicas or fail —
+    // but every failure must be typed. Silent is the only wrong answer.
+    usize isolatedOk = 0, isolatedErr = 0;
+    for (usize k = 0; k < cfg.keys; ++k) {
+      Probe pr = probe(p, "resolve " + keyName(k));
+      if (pr == Probe::kOk) ++isolatedOk;
+      if (pr == Probe::kTypedErr) ++isolatedErr;
+    }
+    std::cout << "  isolated node: " << isolatedOk << " local hits, "
+              << isolatedErr << " typed misses\n";
+
+    // Heal: clear every rule on both sides. By now both sides have evicted
+    // each other (every RPC across the cut timed out), and an empty bucket
+    // has no one to ask — exactly like a rebooted node, the isolated
+    // daemon needs one bootstrap contact to rejoin. One ping re-seeds the
+    // routing tables on both ends; refresh lookups do the rest.
+    if (probe(p, "undrop all") != Probe::kOk) fail("undrop all on " +
+                                                   std::to_string(p));
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (i == p || !fleet[i].up) continue;
+      if (probe(i, "undrop all") != Probe::kOk) {
+        fail("undrop all on " + std::to_string(i));
+      }
+    }
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (i == p || !fleet[i].up) continue;
+      if (probe(p, "ping " + fleet[i].addr) == Probe::kOk) break;
+    }
+    awaitConvergence(p, "partition healed");
+  }
+
+  int run() {
+    const i64 t0 = nowMs();
+    if (!bootFleet() || !seedKeys()) {
+      shutdownFleet();
+      return 1;
+    }
+    for (usize w = 1; w <= cfg.waves; ++w) killWave(w);
+    gracefulWave();
+    partitionPhase();
+
+    // Final sweep: after every fault the whole fleet serves every key.
+    std::cout << "phase final-sweep\n";
+    Tally finalTally;
+    for (usize i = 0; i < fleet.size(); ++i) {
+      if (!fleet[i].up) continue;
+      for (usize k = 0; k < cfg.keys; ++k) {
+        finalTally.add(probe(i, "resolve " + keyName(k)));
+      }
+    }
+
+    shutdownFleet();
+
+    double avail = killWaveTally.availability();
+    std::cout << "---\n"
+              << "soak summary (" << (nowMs() - t0) << " ms wall clock)\n"
+              << "  fault-window probes: " << killWaveTally.total()
+              << "  ok=" << killWaveTally.ok
+              << " typed-err=" << killWaveTally.typedErr
+              << " silent=" << killWaveTally.silent << "\n"
+              << "  availability: " << avail * 100.0 << "%  (floor 99%)\n"
+              << "  final sweep:  " << finalTally.ok << "/"
+              << finalTally.total() << " ok\n"
+              << "  worst convergence: " << worstConvergeMs << " ms  (cap "
+              << cfg.convergeTimeoutMs << " ms)\n";
+
+    if (avail < 0.99) fail("availability below the 99% floor");
+    if (killWaveTally.silent != 0 || finalTally.silent != 0) {
+      fail("silent failures observed");
+    }
+    if (finalTally.ok != finalTally.total()) {
+      fail("final sweep had misses after all faults healed");
+    }
+
+    std::cout << (checksFailed == 0 ? "SOAK PASS\n"
+                                    : "SOAK FAIL (" +
+                                          std::to_string(checksFailed) +
+                                          " checks)\n");
+    return checksFailed == 0 ? 0 : 1;
+  }
+
+  void shutdownFleet() {
+    // Orderly teardown so the summary is not littered with pipe errors;
+    // forceKill in the destructor covers any daemon that ignores quit.
+    for (auto& n : fleet) {
+      if (!n.up) continue;
+      n.proc.sendLine("quit");
+      n.proc.wait(3000);
+      n.up = false;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A SIGKILLed child leaves a broken stdin pipe behind; writes to it must
+  // come back as EPIPE errors, not a harness-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Options opts(argc, argv);
+  HarnessConfig cfg;
+  cfg.nodeBin = opts.getString("node-bin", DHARMA_NODE_BIN);
+  if (opts.getBool("smoke", false)) {
+    // CI shape: smallest fleet the acceptance bar allows (>=5 processes,
+    // 3 x 20% kill waves), tight enough to ride in every pipeline run.
+    cfg.nodes = 5;
+    cfg.keys = 8;
+    cfg.waves = 3;
+  }
+  cfg.nodes = static_cast<usize>(opts.getInt("nodes", cfg.nodes));
+  cfg.keys = static_cast<usize>(opts.getInt("keys", cfg.keys));
+  cfg.waves = static_cast<usize>(opts.getInt("waves", cfg.waves));
+  cfg.killFrac = opts.getDouble("kill-frac", cfg.killFrac);
+  cfg.rpcTimeoutMs = static_cast<int>(opts.getInt("rpc-timeout-ms",
+                                                  cfg.rpcTimeoutMs));
+  cfg.convergeTimeoutMs = static_cast<int>(
+      opts.getInt("converge-timeout-ms", cfg.convergeTimeoutMs));
+  cfg.seed = static_cast<u64>(opts.getInt("seed", 42));
+  cfg.verbose = opts.getBool("verbose", false);
+
+  if (cfg.nodes < 2) {
+    std::cerr << "--nodes must be >= 2\n";
+    return 2;
+  }
+  Harness h(cfg);
+  return h.run();
+}

@@ -1,0 +1,226 @@
+#include "subprocess.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace dharma::cluster {
+
+i64 nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+NodeProcess::~NodeProcess() { forceKill(); }
+
+NodeProcess::NodeProcess(NodeProcess&& other) noexcept
+    : pid_(other.pid_),
+      stdinFd_(other.stdinFd_),
+      stdoutFd_(other.stdoutFd_),
+      rxBuf_(std::move(other.rxBuf_)) {
+  other.pid_ = -1;
+  other.stdinFd_ = other.stdoutFd_ = -1;
+}
+
+NodeProcess& NodeProcess::operator=(NodeProcess&& other) noexcept {
+  if (this != &other) {
+    forceKill();
+    pid_ = other.pid_;
+    stdinFd_ = other.stdinFd_;
+    stdoutFd_ = other.stdoutFd_;
+    rxBuf_ = std::move(other.rxBuf_);
+    other.pid_ = -1;
+    other.stdinFd_ = other.stdoutFd_ = -1;
+  }
+  return *this;
+}
+
+bool NodeProcess::spawn(const std::string& bin,
+                        const std::vector<std::string>& args) {
+  if (pid_ > 0) return false;  // still holding a live child
+  int inPipe[2];               // parent writes -> child stdin
+  int outPipe[2];              // child stdout -> parent reads
+  if (::pipe(inPipe) != 0) return false;
+  if (::pipe(outPipe) != 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    return false;
+  }
+
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(bin.c_str()));
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    ::close(outPipe[0]);
+    ::close(outPipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdio and become the node binary. The
+    // child writes nothing to the parent's ends — close them so EOF
+    // semantics work (a dead parent breaks the child's pipe, not leaks it).
+    ::dup2(inPipe[0], STDIN_FILENO);
+    ::dup2(outPipe[1], STDOUT_FILENO);
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    ::close(outPipe[0]);
+    ::close(outPipe[1]);
+    ::execv(bin.c_str(), argv.data());
+    // Exec failed: there is no harness to report to, so die loudly with a
+    // code the wait() side can distinguish from any daemon exit.
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(inPipe[0]);
+  ::close(outPipe[1]);
+  stdinFd_ = inPipe[1];
+  stdoutFd_ = outPipe[0];
+  ::fcntl(stdoutFd_, F_SETFL, O_NONBLOCK);
+  pid_ = pid;
+  rxBuf_.clear();
+  return true;
+}
+
+bool NodeProcess::sendLine(const std::string& line) {
+  if (stdinFd_ < 0) return false;
+  std::string out = line;
+  out.push_back('\n');
+  usize off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::write(stdinFd_, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE: child is gone
+    }
+    off += static_cast<usize>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> NodeProcess::readLine(int timeoutMs) {
+  const i64 deadline = nowMs() + timeoutMs;
+  while (true) {
+    // A buffered line is served without touching the fd — the child may
+    // have written several replies in one burst.
+    auto nl = rxBuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rxBuf_.substr(0, nl);
+      rxBuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (stdoutFd_ < 0) return std::nullopt;
+    i64 remain = deadline - nowMs();
+    if (remain <= 0) return std::nullopt;
+    pollfd pfd{stdoutFd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, static_cast<int>(remain));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return std::nullopt;  // timeout or poll error
+    char buf[4096];
+    ssize_t n = ::read(stdoutFd_, buf, sizeof(buf));
+    if (n == 0) return std::nullopt;  // EOF: child closed stdout
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return std::nullopt;
+    }
+    rxBuf_.append(buf, static_cast<usize>(n));
+  }
+}
+
+std::optional<std::string> NodeProcess::readLineWithPrefix(
+    const std::string& prefix, int timeoutMs) {
+  const i64 deadline = nowMs() + timeoutMs;
+  while (true) {
+    i64 remain = deadline - nowMs();
+    if (remain <= 0) return std::nullopt;
+    auto line = readLine(static_cast<int>(remain));
+    if (!line) return std::nullopt;
+    if (line->rfind(prefix, 0) == 0) return line;
+  }
+}
+
+std::optional<std::string> NodeProcess::command(const std::string& cmd,
+                                                int timeoutMs) {
+  if (!sendLine(cmd)) return std::nullopt;
+  const i64 deadline = nowMs() + timeoutMs;
+  while (true) {
+    i64 remain = deadline - nowMs();
+    if (remain <= 0) return std::nullopt;
+    auto line = readLine(static_cast<int>(remain));
+    if (!line) return std::nullopt;
+    // Replies always lead with OK/ERR; anything else (boot banners,
+    // two-space-indented search detail) is informational and skipped.
+    if (line->rfind("OK", 0) == 0 || line->rfind("ERR", 0) == 0) return line;
+  }
+}
+
+void NodeProcess::closeStdin() {
+  if (stdinFd_ >= 0) {
+    ::close(stdinFd_);
+    stdinFd_ = -1;
+  }
+}
+
+bool NodeProcess::signal(int sig) {
+  if (pid_ <= 0) return false;
+  return ::kill(pid_, sig) == 0;
+}
+
+std::optional<ExitStatus> NodeProcess::wait(int timeoutMs) {
+  if (pid_ <= 0) return std::nullopt;
+  const i64 deadline = nowMs() + timeoutMs;
+  while (true) {
+    int status = 0;
+    pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+      ExitStatus es;
+      if (WIFEXITED(status)) {
+        es.exited = true;
+        es.code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        es.signaled = true;
+        es.sig = WTERMSIG(status);
+      }
+      pid_ = -1;
+      closeStdin();
+      if (stdoutFd_ >= 0) {
+        ::close(stdoutFd_);
+        stdoutFd_ = -1;
+      }
+      rxBuf_.clear();
+      return es;
+    }
+    if (r < 0) {  // ECHILD: someone else reaped it; treat as gone
+      pid_ = -1;
+      return std::nullopt;
+    }
+    if (nowMs() >= deadline) return std::nullopt;
+    ::usleep(10'000);
+  }
+}
+
+void NodeProcess::forceKill() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    (void)wait(2000);
+  }
+  closeStdin();
+  if (stdoutFd_ >= 0) {
+    ::close(stdoutFd_);
+    stdoutFd_ = -1;
+  }
+}
+
+}  // namespace dharma::cluster

@@ -1,0 +1,101 @@
+#pragma once
+/// \file subprocess.hpp
+/// \brief fork/exec line-protocol driver for the multi-process cluster
+/// harness.
+///
+/// A NodeProcess is one real dharma_node child: spawned with fork/exec,
+/// its stdin/stdout connected to the parent through pipes, driven over the
+/// daemon's line protocol (one command in, one "OK ..."/"ERR ..." reply
+/// out). This is deliberately NOT a mock — the harness talks to the same
+/// binary users run, through the same pipes CI uses, and injects faults
+/// with real signals (SIGKILL crash, SIGTERM graceful stop).
+///
+/// All reads are deadline-bounded (poll() on the stdout pipe) so a wedged
+/// child fails the harness with a timeout instead of hanging it.
+
+#include <csignal>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "util/types.hpp"
+
+namespace dharma::cluster {
+
+/// How a child process ended: normal exit (code) or signal-terminated.
+struct ExitStatus {
+  bool exited = false;    ///< WIFEXITED: ran to completion
+  int code = -1;          ///< exit code when exited
+  bool signaled = false;  ///< WIFSIGNALED: killed by a signal
+  int sig = 0;            ///< terminating signal when signaled
+};
+
+class NodeProcess {
+ public:
+  NodeProcess() = default;
+  ~NodeProcess();
+
+  // Unique ownership of the child: movable (the source forgets the pid
+  // and fds), never copyable — two owners would race the reap.
+  NodeProcess(const NodeProcess&) = delete;
+  NodeProcess& operator=(const NodeProcess&) = delete;
+  NodeProcess(NodeProcess&& other) noexcept;
+  NodeProcess& operator=(NodeProcess&& other) noexcept;
+
+  /// Spawns `bin args...` with stdin/stdout piped to this object (stderr
+  /// is inherited so child diagnostics land in the harness log). Returns
+  /// false if fork/exec plumbing fails.
+  bool spawn(const std::string& bin, const std::vector<std::string>& args);
+
+  /// True while the child has been spawned and not yet reaped.
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Writes one line (appends '\n') to the child's stdin. False on a
+  /// broken pipe (child gone).
+  bool sendLine(const std::string& line);
+
+  /// Next full line from the child's stdout within \p timeoutMs, or
+  /// nullopt on deadline/EOF. Lines are buffered internally, so slow and
+  /// bursty children read the same.
+  std::optional<std::string> readLine(int timeoutMs);
+
+  /// Reads lines until one starting with \p prefix appears; returns it.
+  /// Non-matching lines (boot banners, search detail lines) are skipped.
+  std::optional<std::string> readLineWithPrefix(const std::string& prefix,
+                                                int timeoutMs);
+
+  /// Sends \p cmd and returns the child's "OK ..." or "ERR ..." reply,
+  /// skipping any unsolicited lines in between. Nullopt on timeout/EOF —
+  /// which the harness treats as a silent failure, the one thing the soak
+  /// must never see.
+  std::optional<std::string> command(const std::string& cmd, int timeoutMs);
+
+  /// Closes the child's stdin (EOF => daemon runs its quit path).
+  void closeStdin();
+
+  /// Delivers \p sig to the child (e.g. SIGKILL, SIGTERM).
+  bool signal(int sig);
+
+  /// Reaps the child within \p timeoutMs (polling waitpid); nullopt if it
+  /// is still alive at the deadline. After a successful wait the object
+  /// can spawn() again — which is exactly what restart waves do.
+  std::optional<ExitStatus> wait(int timeoutMs);
+
+  /// SIGKILL + reap, ignoring errors. Destructor fallback.
+  void forceKill();
+
+ private:
+  pid_t pid_ = -1;
+  int stdinFd_ = -1;
+  int stdoutFd_ = -1;
+  std::string rxBuf_;  ///< bytes read but not yet returned as lines
+};
+
+/// Monotonic wall-clock milliseconds; the harness measures convergence
+/// windows against this (real time — the whole point of the exercise).
+i64 nowMs();
+
+}  // namespace dharma::cluster

@@ -51,7 +51,7 @@ TEST(Rpc, EnvelopeRejectsTrailingBytes) {
 
 TEST(Rpc, EnvelopeRejectsBadType) {
   auto bytes = mkEnvelope(RpcType::kPing).encode();
-  bytes[0] = 200;
+  bytes[2] = 200;  // the type byte sits behind the magic + version header
   EXPECT_FALSE(Envelope::decode(bytes).has_value());
 }
 

@@ -198,6 +198,124 @@ TEST(RpcFuzz, OversizedElementCountsRejected) {
       << "BlockView swallowed a 2^59 entry count";
 }
 
+// ---------------------------------------------------------------------------
+// Envelope-version compatibility (the (ip,port) wire bump)
+// ---------------------------------------------------------------------------
+
+/// Byte-for-byte reconstruction of a v1 datagram: no magic/version header,
+/// the type byte first, and a bare-u32 contact address. This is what every
+/// pre-bump dharma_node put on the wire.
+std::vector<u8> encodeV1Envelope(RpcType type, u64 rpcId,
+                                 const Contact& sender,
+                                 const crypto::Credential& cred,
+                                 const std::vector<u8>& body) {
+  ByteWriter w;
+  w.writeU8(static_cast<u8>(type));
+  w.writeU64(rpcId);
+  writeNodeId(w, sender.id);
+  w.writeU32(static_cast<u32>(sender.addr));  // v1: bare port, 4 bytes
+  writeCredential(w, cred);
+  w.writeBytes(body.data(), body.size());
+  return w.take();
+}
+
+TEST(RpcCompat, V1DatagramsRejectedForEveryRpcType) {
+  Contact sender{NodeId::fromString("v1-node"), 9000};
+  crypto::Credential cred = cs.enroll("v1-user", 1);
+  std::vector<u8> body(64, 0x5c);
+  for (u8 t = 0; t <= static_cast<u8>(RpcType::kStoreCacheReply); ++t) {
+    auto v1 = encodeV1Envelope(static_cast<RpcType>(t), 12345, sender, cred,
+                               body);
+    // A v1 datagram leads with its type byte, which can never equal the
+    // magic — so the decode must reject it outright, not misparse the
+    // remaining fields into a garbage envelope.
+    EXPECT_FALSE(Envelope::decode(v1).has_value())
+        << "v1 datagram of type " << int(t) << " was accepted";
+  }
+}
+
+TEST(RpcCompat, WrongVersionByteRejected) {
+  Envelope e;
+  e.type = RpcType::kFindNode;
+  e.rpcId = 42;
+  e.sender = Contact{NodeId::fromString("n"), net::makeAddress(0x0A000001, 9)};
+  e.credential = cs.enroll("carol", 3);
+  std::vector<u8> bytes = e.encode();
+  ASSERT_EQ(bytes[0], kWireMagic);
+  ASSERT_EQ(bytes[1], kWireVersion);
+  for (int v : {0, 1, 3, 0x7f, 0xff}) {
+    std::vector<u8> mutated = bytes;
+    mutated[1] = static_cast<u8>(v);
+    EXPECT_FALSE(Envelope::decode(mutated).has_value())
+        << "version byte " << v << " was accepted";
+  }
+}
+
+TEST(RpcCompat, V2RoundTripsBitExact) {
+  Envelope e;
+  e.type = RpcType::kStore;
+  e.rpcId = 0xABCDEF0123456789ULL;
+  // A non-loopback (ip, port): the widened field must carry all 48 bits.
+  e.sender = Contact{NodeId::fromString("multi-host"),
+                     net::makeAddress(0xC0A80142, 41999)};  // 192.168.1.66
+  e.credential = cs.enroll("dave", 7);
+  e.body.assign(128, 0x3d);
+
+  std::vector<u8> bytes = e.encode();
+  auto decoded = Envelope::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender.addr, e.sender.addr);
+  EXPECT_EQ(net::addressIp(decoded->sender.addr), 0xC0A80142u);
+  EXPECT_EQ(net::addressPort(decoded->sender.addr), 41999u);
+  // Re-encoding the decoded envelope must reproduce the datagram exactly:
+  // the codec pair loses nothing, pads nothing.
+  EXPECT_EQ(decoded->encode(), bytes);
+}
+
+TEST(RpcCompat, NullAddressRoundTrips) {
+  // kNullAddress is all 48 wire bits set, so even the "no endpoint"
+  // sentinel survives the (ip, port) split-and-repack unchanged.
+  ByteWriter w;
+  writeContact(w, Contact{NodeId::fromString("null-addr"), net::kNullAddress});
+  ByteReader r(w.bytes());
+  Contact back = readContact(r);
+  EXPECT_EQ(back.addr, net::kNullAddress);
+}
+
+TEST(RpcCompat, AddressFieldFlipsNeverCorruptNeighbouringFields) {
+  Envelope e;
+  e.type = RpcType::kPong;
+  e.rpcId = 777;
+  e.sender = Contact{NodeId::fromString("addr-fuzz"),
+                     net::makeAddress(0x7F000001, 6001)};
+  e.credential = cs.enroll("erin", 9);
+  e.body = {1, 2, 3};
+  std::vector<u8> bytes = e.encode();
+
+  // The sender address occupies exactly [31, 37): magic(1) + version(1) +
+  // type(1) + rpcId(8) + nodeId(20), then ip(4) + port(2). Flipping any of
+  // its bits must still decode — to an envelope identical in every OTHER
+  // field, with only the address changed. Fixed-width address fields can
+  // shift nothing.
+  constexpr usize kAddrOff = 31;
+  constexpr usize kAddrLen = 6;
+  for (usize byte = kAddrOff; byte < kAddrOff + kAddrLen; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<u8> flipped = bytes;
+      flipped[byte] = static_cast<u8>(flipped[byte] ^ (1u << bit));
+      auto decoded = Envelope::decode(flipped);
+      ASSERT_TRUE(decoded.has_value())
+          << "address-bit flip at byte " << byte << " bit " << bit
+          << " broke the whole decode";
+      EXPECT_NE(decoded->sender.addr, e.sender.addr);
+      EXPECT_EQ(decoded->type, e.type);
+      EXPECT_EQ(decoded->rpcId, e.rpcId);
+      EXPECT_EQ(decoded->sender.id, e.sender.id);
+      EXPECT_EQ(decoded->body, e.body);
+    }
+  }
+}
+
 TEST(RpcFuzz, EnvelopeSurvivesTruncationAndBitFlips) {
   Envelope e;
   e.type = RpcType::kStore;

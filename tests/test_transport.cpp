@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <vector>
 
@@ -213,16 +216,101 @@ TEST(UdpTransport, OversizePayloadRejectedSynchronously) {
   t.close();
 }
 
-TEST(UdpTransport, ResolvePeerParsesHostPort) {
+TEST(UdpTransport, ResolvePeerParsesAnyNumericIpv4) {
+  constexpr u32 kLoopbackIp = 0x7F000001;  // 127.0.0.1 in host order
   net::RealTimeExecutor exec;
   net::UdpTransport t(exec);
-  EXPECT_EQ(t.resolvePeer("127.0.0.1:9000"), 9000u);
-  EXPECT_EQ(t.resolvePeer("localhost:1234"), 1234u);
-  EXPECT_EQ(t.resolvePeer("4000"), 4000u);
-  EXPECT_EQ(t.resolvePeer("10.0.0.1:9000"), net::kNullAddress);
-  EXPECT_EQ(t.resolvePeer("127.0.0.1:notaport"), net::kNullAddress);
-  EXPECT_EQ(t.resolvePeer("127.0.0.1:0"), net::kNullAddress);
-  EXPECT_EQ(t.resolvePeer("127.0.0.1:70000"), net::kNullAddress);
+
+  auto r = t.resolvePeer("127.0.0.1:9000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.addr, net::makeAddress(kLoopbackIp, 9000));
+
+  r = t.resolvePeer("localhost:1234");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.addr, net::makeAddress(kLoopbackIp, 1234));
+
+  // Bare port: host defaults to the bind host.
+  r = t.resolvePeer("4000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.addr, net::makeAddress(kLoopbackIp, 4000));
+
+  // Foreign hosts are real addresses now, not silently null (the PR 5
+  // regression this suite pins): any numeric IPv4 resolves.
+  r = t.resolvePeer("10.0.0.1:9000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.addr, net::makeAddress(0x0A000001, 9000));
+  EXPECT_EQ(net::formatAddress(r.addr), "10.0.0.1:9000");
+}
+
+TEST(UdpTransport, ResolvePeerSurfacesTypedErrors) {
+  net::RealTimeExecutor exec;
+  net::UdpTransport t(exec);
+
+  auto r = t.resolvePeer("not-a-host:9000");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, net::PeerResolution::Error::kBadHost);
+  EXPECT_STREQ(r.errorName(), "bad-host");
+  EXPECT_EQ(r.addr, net::kNullAddress);
+
+  for (const char* bad : {"127.0.0.1:notaport", "127.0.0.1:0",
+                          "127.0.0.1:70000", "127.0.0.1:"}) {
+    r = t.resolvePeer(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error, net::PeerResolution::Error::kBadPort) << bad;
+  }
+}
+
+TEST(UdpTransport, EndpointAddressCarriesBindIpAndPort) {
+  net::RealTimeExecutor exec;
+  exec.start();
+  net::UdpTransport t(exec);
+  net::Address a = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
+  EXPECT_EQ(net::addressIp(a), 0x7F000001u) << "default bind host is loopback";
+  EXPECT_GT(net::addressPort(a), 0u);
+  EXPECT_EQ(net::formatAddress(a),
+            "127.0.0.1:" + std::to_string(net::addressPort(a)));
+  exec.stop();
+  t.close();
+}
+
+TEST(UdpTransport, DropRulesPartitionBothDirections) {
+  net::RealTimeExecutor exec;
+  exec.start();
+  net::UdpTransport t(exec);
+  std::atomic<int> delivered{0};
+  std::promise<void> controlArrived;
+  net::Address a = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
+  net::Address b = t.registerEndpoint(
+      [&](net::Address, const std::vector<u8>& data) {
+        delivered.fetch_add(1);
+        if (data.size() == 1 && data[0] == 0xEE) controlArrived.set_value();
+      });
+
+  // Outbound rule: datagrams TO a dropped peer vanish (send still "works",
+  // exactly like real loss in a partition).
+  t.dropPeer(b);
+  EXPECT_TRUE(t.send(a, b, {1}));
+  EXPECT_EQ(t.droppedPeerCount(), 1u);
+  ASSERT_TRUE(t.undropPeer(b));
+  EXPECT_FALSE(t.undropPeer(b));  // second removal: rule already gone
+
+  // Inbound rule: datagrams FROM a dropped peer are discarded at receive.
+  // The rule stays installed while a control datagram from an UN-dropped
+  // third endpoint chases the doomed one into b's socket buffer: loopback
+  // sendto queues synchronously, so by the time the control is handled the
+  // {2} datagram has already been through the receive path — dropped, not
+  // merely late.
+  net::Address c = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
+  t.dropPeer(a);
+  EXPECT_TRUE(t.send(a, b, {2}));
+  EXPECT_TRUE(t.send(c, b, {0xEE}));
+  auto fut = controlArrived.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_EQ(t.stats().droppedByRule, 2u);
+  EXPECT_EQ(t.clearDroppedPeers(), 1u);
+  exec.stop();
+  t.close();
 }
 
 TEST(UdpTransport, DeliversDatagramToHandlerOnExecutor) {
