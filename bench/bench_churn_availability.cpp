@@ -32,9 +32,12 @@
 /// would be a caching bug, not tolerated approximation).
 ///
 /// Options: --nodes --keys --waves --joins --seed --smoke (small, fast
-/// parameters for CI).
+/// parameters for CI), --json PATH (machine-readable per-scenario/phase
+/// dump: availability, latency, RPC and cache counters, shape verdicts;
+/// bench/baselines/ keeps a checked-in snapshot per PR).
 
 #include <array>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -272,6 +275,7 @@ int main(int argc, char** argv) {
   p.waves = static_cast<u32>(opts.getInt("waves", p.waves));
   p.joins = static_cast<u32>(opts.getInt("joins", p.joins));
   p.seed = static_cast<u64>(opts.getInt("seed", 42));
+  const std::string jsonPath = opts.getString("json", "");
 
   std::cout << "### Overlay availability under churn: maintenance on vs off"
                " vs on+cache\n"
@@ -385,5 +389,59 @@ int main(int argc, char** argv) {
             << "; cached scenario holds >= 99% with zero stale cached reads: "
             << (cachedAvailable && noStaleCached ? "PASS" : "FAIL")
             << " => " << (pass ? "PASS" : "FAIL") << "\n";
+
+  if (!jsonPath.empty()) {
+    std::ofstream js(jsonPath);
+    auto phase = [&js](const char* name, const PhaseStats& ph, bool last) {
+      js << "        \"" << name << "\": {\"success_rate\": "
+         << ph.successRate() << ", \"ok\": " << ph.ok << ", \"total\": "
+         << ph.total << ", \"mean_latency_ms\": " << ph.meanLatencyMs
+         << ", \"rpcs\": " << ph.rpcs << ", \"silent\": " << ph.silent
+         << ", \"cached_served\": " << ph.cachedServed
+         << ", \"cached_stale\": " << ph.cachedStale << "}"
+         << (last ? "\n" : ",\n");
+    };
+    auto scenario = [&](const char* name, const ScenarioResult& r,
+                        bool last) {
+      js << "    \"" << name << "\": {\n      \"phases\": {\n";
+      phase("before", r.before, false);
+      phase("during", r.during, false);
+      phase("after", r.after, true);
+      js << "      },\n"
+         << "      \"total_rpcs\": " << r.totalRpcs << ",\n"
+         << "      \"timeouts\": " << r.timeouts << ",\n"
+         << "      \"online_nodes\": " << r.onlineNodes << ",\n"
+         << "      \"cache\": {\"hits\": " << r.cacheHits << ", \"misses\": "
+         << r.cacheMisses << ", \"evictions\": " << r.cacheEvictions
+         << ", \"expirations\": " << r.cacheExpirations
+         << ", \"sweep_drops\": " << r.cacheSweepDrops
+         << ", \"store_cache_published\": " << r.storeCachePublished
+         << ", \"store_cache_accepted\": " << r.storeCacheAccepted << "}\n"
+         << "    }" << (last ? "\n" : ",\n");
+    };
+    js << "{\n"
+       << "  \"bench\": \"bench_churn_availability\",\n"
+       << "  \"config\": {\"nodes\": " << p.nodes << ", \"keys\": " << p.keys
+       << ", \"waves\": " << p.waves << ", \"joins\": " << p.joins
+       << ", \"seed\": " << p.seed << "},\n"
+       << "  \"scenarios\": {\n";
+    scenario("on", on, false);
+    scenario("off", off, false);
+    scenario("on_cache", cached, true);
+    js << "  },\n"
+       << "  \"shape\": {\"on_available\": " << (onAvailable ? "true" : "false")
+       << ", \"off_degraded\": "
+       << (offSuccessDegraded || offCostDegraded ? "true" : "false")
+       << ", \"classified\": " << (classified ? "true" : "false")
+       << ", \"cached_available\": " << (cachedAvailable ? "true" : "false")
+       << ", \"no_stale_cached\": " << (noStaleCached ? "true" : "false")
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::cout << "# json written to " << jsonPath << "\n";
+  }
   return pass ? 0 : 1;
 }

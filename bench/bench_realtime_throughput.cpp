@@ -16,6 +16,11 @@
 ///   $ ./bench_realtime_throughput                 # 8 nodes, 4 workers
 ///   $ ./bench_realtime_throughput --nodes 16 --workers 8 --ops 2000
 ///   $ ./bench_realtime_throughput --smoke         # CI-sized
+///   $ ./bench_realtime_throughput --json out.json # + machine-readable dump
+///
+/// --json writes the full result (config, ops/sec, per-class p50/p99/max,
+/// UDP counters) as one JSON object; bench/baselines/ keeps a checked-in
+/// snapshot per PR so regressions diff as data, not as prose.
 ///
 /// Cost anchoring (Table I): a search step is 2 lookups, a resolve 1, a
 /// tag write 4 + k — so ops/sec here compose directly with the paper's
@@ -25,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -80,6 +86,7 @@ int main(int argc, char** argv) {
   const usize nResources =
       static_cast<usize>(opts.getInt("resources", smoke ? 16 : 64));
   const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
+  const std::string jsonPath = opts.getString("json", "");
 
   std::cout << "### Real-time loopback-UDP throughput\n"
             << "# nodes=" << nNodes << " workers=" << nWorkers
@@ -204,6 +211,42 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.sent),
               static_cast<unsigned long long>(net.received),
               static_cast<unsigned long long>(net.bytesSent));
+
+  if (!jsonPath.empty()) {
+    // Percentiles were already materialised by the table above (percentile()
+    // sorts in place), so this is a pure serialisation pass.
+    std::ofstream js(jsonPath);
+    auto opClass = [&js](const char* name, LatencyTrack& t, bool last) {
+      js << "    \"" << name << "\": {\"count\": " << t.samples.size()
+         << ", \"p50_us\": " << t.percentile(0.50)
+         << ", \"p99_us\": " << t.percentile(0.99)
+         << ", \"max_us\": " << t.percentile(1.0) << "}" << (last ? "\n" : ",\n");
+    };
+    js << "{\n"
+       << "  \"bench\": \"bench_realtime_throughput\",\n"
+       << "  \"config\": {\"nodes\": " << nNodes << ", \"workers\": "
+       << nWorkers << ", \"ops_per_worker\": " << opsPerWorker
+       << ", \"resources\": " << nResources << ", \"seed\": " << seed
+       << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"
+       << "  \"wall_seconds\": " << wallUs / 1e6 << ",\n"
+       << "  \"ops_per_sec\": "
+       << static_cast<double>(totalOps) / (wallUs / 1e6) << ",\n"
+       << "  \"total_ops\": " << totalOps << ",\n"
+       << "  \"failures\": " << failures << ",\n"
+       << "  \"latency_us\": {\n";
+    opClass("search", search, false);
+    opClass("resolve", resolve, false);
+    opClass("tag", tag, true);
+    js << "  },\n"
+       << "  \"udp\": {\"sent\": " << net.sent << ", \"received\": "
+       << net.received << ", \"bytes_sent\": " << net.bytesSent << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::printf("# json written to %s\n", jsonPath.c_str());
+  }
 
   exec.stop();
   transport.close();

@@ -1,0 +1,111 @@
+/// \file fuzz_envelope_decode.cpp
+/// \brief Persistent fuzz target for the RPC decode trust boundary.
+///
+/// This is the promotion of tests/test_rpc_fuzz.cpp's ad-hoc random loops
+/// into a real coverage-guided harness: under clang the target links
+/// against libFuzzer (-fsanitize=fuzzer, cmake -DDHARMA_FUZZ=ON); under
+/// gcc — the only toolchain in the CI container for now — the same
+/// LLVMFuzzerTestOneInput is driven by standalone_main.cpp, which replays
+/// the checked-in corpus and applies deterministic mutations.
+///
+/// The property is the one the RPC handlers rely on: for ANY byte string,
+/// Envelope::decode returns an envelope or nullopt, and the per-type body
+/// decoders either succeed or throw DecodeError. Nothing else may escape —
+/// no foreign exception, no crash, no OOM from an attacker-chosen count
+/// field. Three surfaces are exercised on every input:
+///
+///   1. Envelope::decode on the whole input; on success, the matching body
+///      decoder runs over e.body (exactly what KademliaNode::onDatagram
+///      does), and the decoded envelope must survive an encode/decode
+///      round trip (canonical-form idempotence).
+///   2. readContact on the raw bytes (the routing-table ingestion path).
+///   3. readBlockView on the raw bytes (the record-cache ingestion path).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "dht/rpc.hpp"
+
+namespace {
+
+using namespace dharma;
+using namespace dharma::dht;
+
+/// Mirrors the dispatch in KademliaNode::onDatagram: every RpcType that
+/// Envelope::decode can emit has its body decoder run here. Success and
+/// DecodeError are both clean outcomes; anything else aborts the process
+/// (which is precisely what the fuzzer is hunting for).
+void decodeBodyFor(const Envelope& e) {
+  ByteReader r(e.body);
+  switch (e.type) {
+    case RpcType::kPing:
+    case RpcType::kPong:
+      break;  // empty-body RPCs: nothing to parse
+    case RpcType::kFindNode:
+      FindNodeReq::decode(r);
+      break;
+    case RpcType::kFindNodeReply:
+      ContactsReply::decode(r);
+      break;
+    case RpcType::kFindValue:
+      FindValueReq::decode(r);
+      break;
+    case RpcType::kFindValueReply:
+      FindValueReply::decode(r);
+      break;
+    case RpcType::kStore:
+      StoreReq::decode(r);
+      break;
+    case RpcType::kStoreReply:
+      StoreReply::decode(r);
+      break;
+    case RpcType::kStoreCache:
+      StoreCacheReq::decode(r);
+      break;
+    case RpcType::kStoreCacheReply:
+      StoreCacheReply::decode(r);
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::vector<u8> bytes(data, data + size);
+
+  // Surface 1: the full datagram path.
+  if (auto e = Envelope::decode(bytes)) {
+    try {
+      decodeBodyFor(*e);
+    } catch (const DecodeError&) {
+      // Malformed body inside a well-formed envelope: the handlers catch
+      // exactly this and drop the datagram.
+    }
+    // Canonical-form idempotence: whatever decode accepted, encode must
+    // reproduce a byte string that decodes to the same envelope. A failure
+    // here means an accepted wire form the node itself cannot re-emit.
+    auto round = Envelope::decode(e->encode());
+    if (!round || round->type != e->type || round->rpcId != e->rpcId ||
+        !(round->sender.id == e->sender.id) ||
+        round->sender.addr != e->sender.addr || round->body != e->body) {
+      std::abort();
+    }
+  }
+
+  // Surfaces 2 and 3: the shared field codecs, fed raw attacker bytes the
+  // way a malformed body would feed them.
+  try {
+    ByteReader r(bytes);
+    readContact(r);
+  } catch (const DecodeError&) {
+  }
+  try {
+    ByteReader r(bytes);
+    readBlockView(r);
+  } catch (const DecodeError&) {
+  }
+
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "cache/record_cache.hpp"
 
+#include "net/affinity.hpp"
+
 namespace dharma::cache {
 
 const char* blockKindName(BlockKind k) {
@@ -23,6 +25,7 @@ void RecordCache::erase(
 
 const dht::BlockView* RecordCache::find(const dht::NodeId& key,
                                         net::TimeUs now) {
+  DHARMA_ASSERT_AFFINITY(owner_, "RecordCache::find");
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -42,11 +45,13 @@ const dht::BlockView* RecordCache::find(const dht::NodeId& key,
 
 bool RecordCache::insert(const dht::NodeId& key, dht::BlockView view,
                          BlockKind kind, net::TimeUs now) {
+  DHARMA_ASSERT_AFFINITY(owner_, "RecordCache::insert");
   return insertWithTtl(key, std::move(view), policy_.ttlFor(kind), now);
 }
 
 bool RecordCache::insertWithTtl(const dht::NodeId& key, dht::BlockView view,
                                 net::TimeUs ttlUs, net::TimeUs now) {
+  DHARMA_ASSERT_AFFINITY(owner_, "RecordCache::insertWithTtl");
   if (policy_.capacity == 0 || ttlUs == 0) return false;
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -69,6 +74,7 @@ bool RecordCache::insertWithTtl(const dht::NodeId& key, dht::BlockView view,
 }
 
 bool RecordCache::invalidate(const dht::NodeId& key) {
+  DHARMA_ASSERT_AFFINITY(owner_, "RecordCache::invalidate");
   auto it = index_.find(key);
   if (it == index_.end()) return false;
   erase(it);
@@ -77,6 +83,7 @@ bool RecordCache::invalidate(const dht::NodeId& key) {
 }
 
 usize RecordCache::expire(net::TimeUs now) {
+  DHARMA_ASSERT_AFFINITY(owner_, "RecordCache::expire");
   usize dropped = 0;
   for (auto it = index_.begin(); it != index_.end();) {
     if (now >= it->second->expiresAtUs) {
@@ -92,6 +99,7 @@ usize RecordCache::expire(net::TimeUs now) {
 }
 
 void RecordCache::clear() {
+  DHARMA_ASSERT_AFFINITY(owner_, "RecordCache::clear");
   lru_.clear();
   index_.clear();
 }

@@ -89,11 +89,18 @@ struct CacheStats {
 };
 
 /// LRU + TTL cache of BlockViews keyed by DHT lookup key. Single-threaded
-/// (lives inside the simulator) and fully deterministic: iteration for the
-/// expiry sweep runs in key order, eviction strictly in LRU order.
+/// (owned by one executor's loop) and fully deterministic: iteration for
+/// the expiry sweep runs in key order, eviction strictly in LRU order.
 class RecordCache {
  public:
   explicit RecordCache(CachePolicy policy = {});
+
+  /// Binds the executor whose loop thread owns this cache: every mutating
+  /// or reading operation then carries a debug-only affinity assertion
+  /// (net/affinity.hpp) that dies if some other thread calls in. Unbound
+  /// (the default, and what standalone unit tests use) means unchecked.
+  /// KademliaNode and DharmaClient bind their caches at construction.
+  void bindOwner(const net::Executor* owner) { owner_ = owner; }
 
   /// Returns the cached view for \p key if present and fresh at \p now,
   /// refreshing its LRU position; an expired entry is dropped on the spot
@@ -139,6 +146,7 @@ class RecordCache {
 
   CachePolicy policy_;
   CacheStats stats_;
+  const net::Executor* owner_ = nullptr;  ///< affinity owner; null = unchecked
   std::list<Entry> lru_;  // front = most recently used
   std::map<dht::NodeId, std::list<Entry>::iterator> index_;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "net/affinity.hpp"
+
 namespace dharma::core {
 
 namespace {
@@ -42,12 +44,18 @@ DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
                            DharmaConfig cfg, u64 seed, OpPolicy policy)
     : ownedRt_(std::make_unique<SimRuntime>(net.sim(), net.network())),
       rt_(ownedRt_.get()), node_(net.node(nodeIdx)), cfg_(cfg), rng_(seed),
-      policy_(policy), cache_(cfg.cachePolicy) {}
+      policy_(policy), cache_(cfg.cachePolicy) {
+  cache_.bindOwner(&rt_->executor());
+}
 
 DharmaClient::DharmaClient(Runtime& rt, dht::KademliaNode& node,
                            DharmaConfig cfg, u64 seed, OpPolicy policy)
     : rt_(&rt), node_(node), cfg_(cfg), rng_(seed), policy_(policy),
-      cache_(cfg.cachePolicy) {}
+      cache_(cfg.cachePolicy) {
+  // The client cache is engine-side state: reads/writes happen inside the
+  // async ops, which run on the runtime's executor loop.
+  cache_.bindOwner(&rt_->executor());
+}
 
 std::shared_ptr<DharmaClient::OpState> DharmaClient::beginOp() {
   auto op = std::make_shared<OpState>();
@@ -216,6 +224,7 @@ void DharmaClient::insertResourceAsync(
     const std::string& res, const std::string& uri,
     const std::vector<std::string>& tags,
     std::function<void(Outcome<WriteReceipt>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::insertResourceAsync");
   if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
   auto op = beginOp();
   if (op->fatal) {
@@ -274,6 +283,7 @@ void DharmaClient::insertResourceAsync(
 void DharmaClient::insertResourcesAsync(
     const std::vector<ResourceSpec>& specs,
     std::function<void(Outcome<WriteReceipt>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::insertResourcesAsync");
   if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
   auto op = beginOp();
   if (op->fatal || specs.empty()) {
@@ -364,6 +374,7 @@ void DharmaClient::insertResourcesAsync(
 void DharmaClient::tagResourceAsync(
     const std::string& res, const std::string& tag,
     std::function<void(Outcome<WriteReceipt>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::tagResourceAsync");
   // The shared-fetch path with a batch of one IS the paper's single-op
   // protocol: 1 r̄ GET + 3 PUTs + |subset| reverse PUTs = 4 + k lookups.
   tagResourcesSharedFetch(res, {tag}, std::move(cb));
@@ -372,6 +383,7 @@ void DharmaClient::tagResourceAsync(
 void DharmaClient::tagResourcesAsync(
     const std::string& res, const std::vector<std::string>& tags,
     std::function<void(Outcome<WriteReceipt>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::tagResourcesAsync");
   tagResourcesSharedFetch(res, tags, std::move(cb));
 }
 
@@ -545,6 +557,7 @@ void DharmaClient::tagResourcesSharedFetch(
 
 void DharmaClient::searchStepAsync(
     const std::string& tag, std::function<void(Outcome<SearchStepResult>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::searchStepAsync");
   if (!cb) cb = [](Outcome<SearchStepResult>) {};  // fire-and-forget is allowed
   auto op = beginOp();
   if (op->fatal) {
@@ -594,6 +607,7 @@ void DharmaClient::searchStepAsync(
 
 void DharmaClient::resolveUriAsync(const std::string& res,
                                    std::function<void(Outcome<std::string>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::resolveUriAsync");
   if (!cb) cb = [](Outcome<std::string>) {};  // fire-and-forget is allowed
   auto op = beginOp();
   if (op->fatal) {

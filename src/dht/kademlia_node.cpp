@@ -1,5 +1,7 @@
 #include "dht/kademlia_node.hpp"
 
+#include "net/affinity.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -69,6 +71,9 @@ KademliaNode::KademliaNode(net::Executor& exec, net::Transport& net,
     : exec_(exec), net_(net), cs_(cs), credential_(std::move(cred)), cfg_(cfg),
       rng_(seed), self_{NodeId::fromDigest(credential_.nodeId), net::kNullAddress},
       routing_(self_.id, cfg.k), cache_(cfg.cachePolicy) {
+  // The node's record cache lives and dies on this executor's loop thread;
+  // bind it so debug builds assert that ownership on every cache op.
+  cache_.bindOwner(&exec_);
   self_.addr = net_.registerEndpoint(
       [this](net::Address from, const std::vector<u8>& data) {
         onDatagram(from, data);
@@ -76,11 +81,13 @@ KademliaNode::KademliaNode(net::Executor& exec, net::Transport& net,
 }
 
 void KademliaNode::addSeed(const Contact& c) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::addSeed");
   if (c.id == self_.id) return;
   routing_.touch(c);
 }
 
 void KademliaNode::join(const Contact& seed, std::function<void()> done) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::join");
   addSeed(seed);
   findNode(self_.id, [done = std::move(done)](const LookupResult&) {
     if (done) done();
@@ -88,12 +95,14 @@ void KademliaNode::join(const Contact& seed, std::function<void()> done) {
 }
 
 void KademliaNode::ping(const Contact& c, std::function<void(bool)> cb) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::ping");
   sendRequest(c, RpcType::kPing, {}, [cb = std::move(cb)](bool ok, const Envelope&) {
     if (cb) cb(ok);
   });
 }
 
 void KademliaNode::pingAddress(net::Address addr, std::function<void(bool)> cb) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::pingAddress");
   // A placeholder contact: the id is unknown until the PONG arrives, so the
   // pending RPC is flagged anyPeer and correlation falls back to rpcId
   // alone. The reply's (credential-verified) envelope feeds observeSender,
@@ -107,11 +116,13 @@ void KademliaNode::pingAddress(net::Address addr, std::function<void(bool)> cb) 
 
 void KademliaNode::findNode(const NodeId& target,
                             std::function<void(LookupResult)> cb) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::findNode");
   startLookup(target, false, GetOptions{}, std::move(cb));
 }
 
 void KademliaNode::findValue(const NodeId& key, const GetOptions& opt,
                              std::function<void(LookupResult)> cb) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::findValue");
   startLookup(key, true, opt, std::move(cb));
 }
 
@@ -148,6 +159,7 @@ void KademliaNode::recordPutApplied(const std::string& user, u64 putId,
 
 void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
                            u64 putId, std::function<void(PutResult)> cb) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::putMany");
   ++counters_.puts;
   if (tokens.empty()) {
     if (cb) cb(PutResult{});
@@ -282,6 +294,7 @@ void KademliaNode::putMany(const NodeId& key, std::vector<StoreToken> tokens,
 
 void KademliaNode::get(const NodeId& key, const GetOptions& opt,
                        std::function<void(GetResult)> cb) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::get");
   ++counters_.gets;
   findValue(key, opt, [cb = std::move(cb)](const LookupResult& res) {
     if (cb) {
@@ -292,6 +305,7 @@ void KademliaNode::get(const NodeId& key, const GetOptions& opt,
 }
 
 usize KademliaNode::sweepCache() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::sweepCache");
   usize dropped = cache_.expire(exec_.now());
   syncCacheCounters();
   return dropped;
@@ -398,6 +412,7 @@ void KademliaNode::observeSender(const Envelope& env) {
 }
 
 void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
+  DHARMA_ASSERT_AFFINITY(&exec_, "KademliaNode::onDatagram");
   auto envOpt = Envelope::decode(data);
   if (!envOpt) return;
   Envelope& env = *envOpt;

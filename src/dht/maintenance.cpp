@@ -1,5 +1,7 @@
 #include "dht/maintenance.hpp"
 
+#include "net/affinity.hpp"
+
 #include "util/logging.hpp"
 
 namespace dharma::dht {
@@ -26,6 +28,7 @@ bool MaintenanceManager::online() const {
 }
 
 void MaintenanceManager::start() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "MaintenanceManager::start");
   if (running_) return;
   running_ = true;
   // Treat every bucket as freshly refreshed at start: the node just
@@ -54,6 +57,7 @@ void MaintenanceManager::start() {
 }
 
 void MaintenanceManager::stop() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "MaintenanceManager::stop");
   if (!running_) return;
   running_ = false;
   exec_.cancel(refreshEvent_);
@@ -65,6 +69,7 @@ void MaintenanceManager::stop() {
 }
 
 void MaintenanceManager::refreshTick() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "MaintenanceManager::refreshTick");
   if (online()) {
     usize launched = 0;
     for (usize b = 0;
@@ -92,6 +97,7 @@ void MaintenanceManager::refreshTick() {
 }
 
 void MaintenanceManager::republishTick() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "MaintenanceManager::republishTick");
   if (online()) {
     // Blocks already past the TTL are the expiry sweep's business; pushing
     // them out again would resurrect state that should die (e.g. after this
@@ -127,6 +133,7 @@ void MaintenanceManager::republishTick() {
 }
 
 void MaintenanceManager::expiryTick() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "MaintenanceManager::expiryTick");
   if (online() && exec_.now() > cfg_.expiryTtlUs) {
     usize dropped = node_.store().expire(exec_.now() - cfg_.expiryTtlUs);
     if (dropped > 0) {
@@ -140,6 +147,7 @@ void MaintenanceManager::expiryTick() {
 }
 
 void MaintenanceManager::cacheSweepTick() {
+  DHARMA_ASSERT_AFFINITY(&exec_, "MaintenanceManager::cacheSweepTick");
   if (online()) {
     usize dropped = node_.sweepCache();
     if (dropped > 0) {

@@ -1,0 +1,34 @@
+#include "net/affinity.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace dharma::net {
+
+namespace {
+std::atomic<AffinityFailureHandler> g_handler{nullptr};
+}  // namespace
+
+AffinityFailureHandler setAffinityFailureHandler(AffinityFailureHandler h) {
+  return g_handler.exchange(h);
+}
+
+void affinityCheckFailed(const char* site) {
+  if (AffinityFailureHandler h = g_handler.load()) {
+    h(site);
+    return;
+  }
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  std::fprintf(stderr,
+               "DHARMA_ASSERT_AFFINITY failed at %s: engine state touched "
+               "from thread %s, which is not its executor's loop thread\n",
+               site, tid.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dharma::net

@@ -1,0 +1,74 @@
+#pragma once
+/// \file affinity.hpp
+/// \brief Debug-only executor-affinity assertions for the protocol engine.
+///
+/// The engine (KademliaNode, MaintenanceManager, RecordCache, the client's
+/// engine-side paths) is deliberately lock-free: its correctness rests on
+/// the Executor contract that all protocol callbacks run one at a time on
+/// the executor's loop thread. That contract is prose — until here. Engine
+/// objects record their owning executor and stamp their entry points with
+///
+///   DHARMA_ASSERT_AFFINITY(exec_, "KademliaNode::put");
+///
+/// which, in debug builds, dies loudly (message + abort) the moment any
+/// thread that is not the executor's loop thread calls in. A wrong-thread
+/// engine call is a data race in the making — with sharded executors on
+/// the roadmap, the checker turns tomorrow's silent cross-shard race into
+/// today's assertion with a call-site name on it.
+///
+/// Release builds (NDEBUG) compile the checks out entirely: the macro
+/// expands to a no-op, entry points pay nothing. Override with
+/// -DDHARMA_AFFINITY_CHECKS=0/1 to force either mode.
+///
+/// "Loop thread" is Executor::onLoopThread(): the simulator's driver
+/// thread, the RealTimeExecutor's run-loop thread — or ANY thread while no
+/// loop is running, because a stopped executor means a quiescent engine
+/// (see net/executor.hpp). Tests override the failure handler to observe
+/// trips without dying.
+
+#include "net/executor.hpp"
+
+#ifndef DHARMA_AFFINITY_CHECKS
+#ifdef NDEBUG
+#define DHARMA_AFFINITY_CHECKS 0
+#else
+#define DHARMA_AFFINITY_CHECKS 1
+#endif
+#endif
+
+namespace dharma::net {
+
+/// Called when an affinity assertion trips; receives the annotated call
+/// site (e.g. "KademliaNode::put"). The default handler prints the site
+/// and thread id to stderr and aborts.
+using AffinityFailureHandler = void (*)(const char* site);
+
+/// Installs \p handler (nullptr restores the abort default) and returns
+/// the previous one. Test hook: a test proves a wrong-thread call trips
+/// the check by installing a recording handler — if the handler returns,
+/// execution continues into the (racy) engine call, so recording tests
+/// must target otherwise-idle objects.
+AffinityFailureHandler setAffinityFailureHandler(AffinityFailureHandler h);
+
+/// Reports a tripped assertion: invokes the installed handler, or prints
+/// and aborts if none is installed.
+void affinityCheckFailed(const char* site);
+
+/// Assertion bodies behind DHARMA_ASSERT_AFFINITY. The pointer overload
+/// treats null as "no owner bound yet" and checks nothing — a RecordCache
+/// used standalone in unit tests stays assertion-free until bindOwner().
+inline void assertExecutorAffinity(const Executor& exec, const char* site) {
+  if (!exec.onLoopThread()) affinityCheckFailed(site);
+}
+inline void assertExecutorAffinity(const Executor* exec, const char* site) {
+  if (exec != nullptr && !exec->onLoopThread()) affinityCheckFailed(site);
+}
+
+}  // namespace dharma::net
+
+#if DHARMA_AFFINITY_CHECKS
+#define DHARMA_ASSERT_AFFINITY(exec, site) \
+  ::dharma::net::assertExecutorAffinity((exec), (site))
+#else
+#define DHARMA_ASSERT_AFFINITY(exec, site) ((void)0)
+#endif

@@ -60,6 +60,18 @@ class Executor {
   /// Cancels a pending task; no-op if it already ran or was cancelled.
   /// Returns true if the task was still pending.
   virtual bool cancel(TaskId id) = 0;
+
+  /// True when the calling thread may touch protocol state owned by this
+  /// executor. This is the "engine owned by its executor" contract made
+  /// queryable: the Simulator answers true only on its driver thread, the
+  /// RealTimeExecutor only on its run-loop thread (or when no loop is
+  /// running — a stopped executor means the engine is quiescent, so any
+  /// thread may inspect it; that is what lets shutdown paths and
+  /// post-stop assertions run from main). The debug-only
+  /// DHARMA_ASSERT_AFFINITY macro (net/affinity.hpp) turns a false answer
+  /// into a loud abort at the offending call site. The base default is
+  /// permissive: an executor without thread affinity constrains nothing.
+  virtual bool onLoopThread() const { return true; }
 };
 
 }  // namespace dharma::net

@@ -25,7 +25,7 @@ TaskId RealTimeExecutor::schedule(TimeUs delay, std::function<void()> fn) {
 }
 
 TaskId RealTimeExecutor::scheduleAt(TimeUs at, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   TaskId id = nextId_++;
   queue_.push(Task{at, nextSeq_++, id, std::move(fn)});
   live_.insert(id);
@@ -35,24 +35,33 @@ TaskId RealTimeExecutor::scheduleAt(TimeUs at, std::function<void()> fn) {
 
 bool RealTimeExecutor::cancel(TaskId id) {
   if (id == kNullTask) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // The queue entry stays; popDue() discards it once the id is dead. A task
   // already handed to the loop thread is past cancellation.
   return live_.erase(id) > 0;
 }
 
+bool RealTimeExecutor::onLoopThread() const {
+  auto id = loopThread_.load(std::memory_order_acquire);
+  return id == std::thread::id{} || id == std::this_thread::get_id();
+}
+
 void RealTimeExecutor::start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (loopRunning_) return;
   stopping_ = false;
   loopRunning_ = true;
   thread_ = std::thread([this] { loop(); });
+  // Stamp the affinity before start() returns: an engine call from the
+  // spawning thread racing the loop's first instruction is already a bug
+  // the checker must see.
+  loopThread_.store(thread_.get_id(), std::memory_order_release);
 }
 
 void RealTimeExecutor::stop() {
   std::thread toJoin;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!loopRunning_) return;
     assert(std::this_thread::get_id() != thread_.get_id());
     // Claim the shutdown under the lock (and take the thread handle with
@@ -67,24 +76,27 @@ void RealTimeExecutor::stop() {
     toJoin = std::move(thread_);
   }
   if (toJoin.joinable()) toJoin.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  // The loop thread is gone: from here on the engine is quiescent and
+  // onLoopThread() answers true for everyone (see header).
+  loopThread_.store(std::thread::id{}, std::memory_order_release);
+  MutexLock lk(mu_);
   // Whatever remains was scheduled past the cutoff: discard.
   while (!queue_.empty()) queue_.pop();
   live_.clear();
 }
 
 bool RealTimeExecutor::running() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return loopRunning_ && !stopping_;
 }
 
 usize RealTimeExecutor::pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return live_.size();
 }
 
 bool RealTimeExecutor::popDue(Task& out) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   while (true) {
     // Discard entries whose id was cancelled.
     while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
@@ -101,10 +113,10 @@ bool RealTimeExecutor::popDue(Task& out) {
         return true;
       }
       if (stopping_) return false;  // nothing due before the cutoff remains
-      cv_.wait_for(lk, std::chrono::microseconds(due - t));
+      cv_.wait_for(lk.native(), std::chrono::microseconds(due - t));
     } else {
       if (stopping_) return false;
-      cv_.wait(lk);
+      cv_.wait(lk.native());
     }
   }
 }

@@ -19,16 +19,17 @@
 /// calls stop(). schedule()/cancel() are safe from any thread, including
 /// from inside tasks.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "net/executor.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dharma::net {
 
@@ -57,6 +58,14 @@ class RealTimeExecutor final : public Executor {
   /// Cancels a pending task. Returns true if it had not started; a task
   /// already executing on the loop thread runs to completion.
   bool cancel(TaskId id) override;
+
+  /// True on the run-loop thread, or whenever no loop thread exists —
+  /// between construction and start(), and after stop() has joined. The
+  /// stopped-executor case matters: shutdown sequences (examples/
+  /// dharma_node stops the executor first, then tears down the engine) and
+  /// post-stop test assertions legitimately touch engine state from main
+  /// once no callback can ever run again.
+  bool onLoopThread() const override;
 
   /// Spawns the run-loop thread (idempotent).
   void start();
@@ -90,24 +99,30 @@ class RealTimeExecutor final : public Executor {
   void loop();
   /// Pops the next due task; blocks until one is due or stopping. Returns
   /// false when stopping and nothing due remains.
-  bool popDue(Task& out);
+  bool popDue(Task& out) EXCLUDES(mu_);
 
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::priority_queue<Task, std::vector<Task>, Later> queue_;
+  std::priority_queue<Task, std::vector<Task>, Later> queue_ GUARDED_BY(mu_);
   // Live (schedulable) ids. cancel() erases the id; the orphaned queue
   // entry is discarded when it surfaces — the same lazy-removal scheme the
   // simulator uses, minus the slot reuse (here contention, not allocation,
   // is the bottleneck).
-  std::unordered_set<TaskId> live_;
-  u64 nextSeq_ = 1;
-  TaskId nextId_ = 1;
-  TimeUs stopDeadline_ = 0;  ///< drain cutoff captured by stop()
-  bool stopping_ = false;
-  bool loopRunning_ = false;
-  std::thread thread_;
+  std::unordered_set<TaskId> live_ GUARDED_BY(mu_);
+  u64 nextSeq_ GUARDED_BY(mu_) = 1;
+  TaskId nextId_ GUARDED_BY(mu_) = 1;
+  TimeUs stopDeadline_ GUARDED_BY(mu_) = 0;  ///< drain cutoff from stop()
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool loopRunning_ GUARDED_BY(mu_) = false;
+  std::thread thread_ GUARDED_BY(mu_);
+  /// Run-loop thread id for onLoopThread(): stamped by start() before it
+  /// returns (no window where an engine call from the spawning thread
+  /// slips past the check), cleared by stop() after the join. Atomic, not
+  /// mu_-guarded: onLoopThread() is called from affinity assertions on
+  /// arbitrary threads and must not touch the task-queue lock.
+  std::atomic<std::thread::id> loopThread_{};
 };
 
 }  // namespace dharma::net

@@ -17,9 +17,11 @@
 /// (time, monotonic id) order the original map-based store used, so every
 /// seeded digest is bit-identical.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "net/executor.hpp"
@@ -64,6 +66,24 @@ class Simulator final : public Executor {
   /// Total events executed since construction.
   u64 executed() const { return executed_; }
 
+  /// True only on the driver thread — the thread that constructed this
+  /// Simulator (rebindable with bindDriverThread). The sim world is
+  /// single-threaded by design: construction, step()/run(), and every
+  /// engine call must share one thread, and the affinity checker
+  /// (net/affinity.hpp) enforces exactly that in debug builds.
+  bool onLoopThread() const override {
+    return driver_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+  /// Rebinds driver-thread affinity to the calling thread, for the rare
+  /// harness that constructs a sim world on one thread and drives it from
+  /// another (never both — that would be a real race, not an affinity
+  /// technicality).
+  void bindDriverThread() {
+    driver_.store(std::this_thread::get_id(), std::memory_order_release);
+  }
+
  private:
   /// One callback slot, reused across events. The generation counter makes
   /// a stale TaskId (an earlier occupant of this slot) fail cancel().
@@ -105,6 +125,10 @@ class Simulator final : public Executor {
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
   std::vector<Slot> slots_;
   std::vector<u32> freeSlots_;
+  /// Affinity stamp for onLoopThread(); everything else in this class is
+  /// single-threaded by contract. Atomic only so a wrong-thread check is
+  /// itself race-free.
+  std::atomic<std::thread::id> driver_{std::this_thread::get_id()};
 };
 
 /// The deterministic Executor implementation (see net/executor.hpp).

@@ -85,7 +85,7 @@ Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
   }
   Address addr = makeAddress(bindIp_, ntohs(sa.sin_port));
 
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   if (sh_->closing) {
     ::close(fd);
     throw std::runtime_error("UdpTransport: registerEndpoint after close()");
@@ -101,14 +101,14 @@ Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
 }
 
 void UdpTransport::setHandler(Address a, ReceiveHandler handler) {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   auto it = sh_->endpoints.find(a);
   if (it != sh_->endpoints.end()) it->second.handler = std::move(handler);
 }
 
 bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
   if (payload.size() > cfg_.mtuBytes) {
-    std::lock_guard<std::mutex> lk(sh_->mu);
+    MutexLock lk(sh_->mu);
     ++sh_->stats.droppedOversize;
     return false;
   }
@@ -117,7 +117,7 @@ bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
   // lock, so an fd captured outside it could be recycled by the OS and the
   // datagram written to an unrelated descriptor. A UDP sendto is a buffer
   // copy, not a blocking wait, so holding the mutex across it is cheap.
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   auto it = sh_->endpoints.find(from);
   if (it == sh_->endpoints.end() || it->second.fd < 0 || sh_->closing) {
     return false;
@@ -140,7 +140,7 @@ bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
 }
 
 bool UdpTransport::isOnline(Address a) const {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   if (sh_->closing) return false;
   auto it = sh_->endpoints.find(a);
   // Local endpoints are online while their socket is open; anything else is
@@ -172,38 +172,38 @@ PeerResolution UdpTransport::resolvePeer(const std::string& hostPort) const {
 }
 
 void UdpTransport::dropPeer(Address peer) {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   sh_->dropPeers.insert(peer);
 }
 
 bool UdpTransport::undropPeer(Address peer) {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   return sh_->dropPeers.erase(peer) > 0;
 }
 
 usize UdpTransport::clearDroppedPeers() {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   usize n = sh_->dropPeers.size();
   sh_->dropPeers.clear();
   return n;
 }
 
 usize UdpTransport::droppedPeerCount() const {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   return sh_->dropPeers.size();
 }
 
 void UdpTransport::close() {
   std::thread toJoin;
   {
-    std::lock_guard<std::mutex> lk(sh_->mu);
+    MutexLock lk(sh_->mu);
     if (sh_->closing) return;
     sh_->closing = true;
     wakeReceiver();
     toJoin = std::move(receiver_);
   }
   if (toJoin.joinable()) toJoin.join();
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   for (auto& [addr, ep] : sh_->endpoints) {
     if (ep.fd >= 0) ::close(ep.fd);
     ep.fd = -1;
@@ -214,7 +214,7 @@ void UdpTransport::close() {
 }
 
 UdpStats UdpTransport::stats() const {
-  std::lock_guard<std::mutex> lk(sh_->mu);
+  MutexLock lk(sh_->mu);
   return sh_->stats;
 }
 
@@ -228,7 +228,7 @@ void UdpTransport::receiveLoop() {
     fds.clear();
     fdOwner.clear();
     {
-      std::lock_guard<std::mutex> lk(sh_->mu);
+      MutexLock lk(sh_->mu);
       if (sh_->closing) return;
       fds.push_back(pollfd{wakePipe_[0], POLLIN, 0});
       fdOwner.push_back(kNullAddress);
@@ -244,8 +244,10 @@ void UdpTransport::receiveLoop() {
     for (usize i = 0; i < fds.size(); ++i) {
       if (!(fds[i].revents & POLLIN)) continue;
       if (fdOwner[i] == kNullAddress) {  // wake pipe: drain it
+        // Through the snapshotted fd, not wakePipe_[0]: the member is
+        // lock-guarded and this loop is deliberately outside the lock.
         u8 sink[64];
-        while (::read(wakePipe_[0], sink, sizeof(sink)) > 0) {
+        while (::read(fds[i].fd, sink, sizeof(sink)) > 0) {
         }
         continue;
       }
@@ -262,7 +264,7 @@ void UdpTransport::receiveLoop() {
             makeAddress(ntohl(src.sin_addr.s_addr), ntohs(src.sin_port));
         Address dstAddr = fdOwner[i];
         {
-          std::lock_guard<std::mutex> lk(sh_->mu);
+          MutexLock lk(sh_->mu);
           if (sh_->dropPeers.count(srcAddr)) {
             // Inbound half of a partition rule: the datagram never
             // happened as far as the protocol can tell.
@@ -285,7 +287,7 @@ void UdpTransport::receiveLoop() {
           if (!sh) return;  // transport destroyed; drop the datagram
           ReceiveHandler h;
           {
-            std::lock_guard<std::mutex> lk(sh->mu);
+            MutexLock lk(sh->mu);
             auto it = sh->endpoints.find(dstAddr);
             if (it == sh->endpoints.end() || it->second.fd < 0) return;
             h = it->second.handler;

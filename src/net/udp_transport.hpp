@@ -28,7 +28,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -37,6 +36,7 @@
 
 #include "net/executor.hpp"
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dharma::net {
 
@@ -152,24 +152,29 @@ class UdpTransport final : public Transport {
   /// was destroyed) locks nothing stale — the weak_ptr simply fails to
   /// lock. Nothing here may reference the transport object itself.
   struct Shared {
-    std::mutex mu;
-    std::unordered_map<Address, Endpoint> endpoints;  ///< (ip,port) -> socket
-    std::unordered_set<Address> dropPeers;  ///< partition rules (both ways)
-    UdpStats stats;
-    bool closing = false;
+    Mutex mu;
+    /// (ip,port) -> socket
+    std::unordered_map<Address, Endpoint> endpoints GUARDED_BY(mu);
+    /// partition rules (both ways)
+    std::unordered_set<Address> dropPeers GUARDED_BY(mu);
+    UdpStats stats GUARDED_BY(mu);
+    bool closing GUARDED_BY(mu) = false;
   };
 
   void receiveLoop();
-  void wakeReceiver();
+  void wakeReceiver() REQUIRES(sh_->mu);
 
   Executor& exec_;
   Config cfg_;
   u32 bindIp_ = 0;  ///< cfg_.bindHost parsed once, host byte order
 
   std::shared_ptr<Shared> sh_ = std::make_shared<Shared>();
-  int wakePipe_[2] = {-1, -1};  ///< self-pipe: interrupts poll() on changes
-  bool receiverStarted_ = false;  ///< guarded by sh_->mu
-  std::thread receiver_;
+  /// Self-pipe: interrupts poll() on socket-set changes. Written in the
+  /// constructor (pre-publication), read/closed under the lock; the
+  /// receive loop drains through its locked snapshot of the read end.
+  int wakePipe_[2] GUARDED_BY(sh_->mu) = {-1, -1};
+  bool receiverStarted_ GUARDED_BY(sh_->mu) = false;
+  std::thread receiver_ GUARDED_BY(sh_->mu);
 };
 
 }  // namespace dharma::net

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace dharma {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mu;
+Mutex g_mu;  // serializes whole lines onto stderr
 
 const char* levelName(LogLevel l) {
   switch (l) {
@@ -26,7 +27,7 @@ LogLevel logLevel() { return g_level.load(); }
 
 void logMessage(LogLevel level, const std::string& msg) {
   if (level < logLevel()) return;
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
 }
 

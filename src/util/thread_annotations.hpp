@@ -1,0 +1,132 @@
+#pragma once
+/// \file thread_annotations.hpp
+/// \brief Clang Thread Safety Analysis macros + annotated mutex primitives.
+///
+/// Wraps clang's `-Wthread-safety` attribute set (capability analysis) in
+/// the conventional macro names so lock discipline is checked at compile
+/// time under clang and compiles to nothing everywhere else. The analysis
+/// needs annotated lock types to reason about — libstdc++'s std::mutex and
+/// std::lock_guard carry no attributes — so this header also provides
+/// dharma::Mutex / dharma::MutexLock, drop-in annotated wrappers that every
+/// mutex-protected structure in the tree uses.
+///
+/// Usage pattern (see src/net/realtime.hpp for the real thing):
+///
+///   class Queue {
+///     void push(Item it) EXCLUDES(mu_);
+///    private:
+///     mutable Mutex mu_;
+///     std::deque<Item> items_ GUARDED_BY(mu_);
+///   };
+///
+/// Condition variables take the native handle through MutexLock::native();
+/// predicate waits are written as explicit `while (!pred) cv.wait(...)`
+/// loops so the predicate body is analyzed in the locked scope instead of
+/// as a detached lambda the analysis cannot see into.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#include <mutex>
+
+#if defined(__clang__)
+#define DHARMA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DHARMA_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) DHARMA_THREAD_ANNOTATION_(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY DHARMA_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) DHARMA_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) DHARMA_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) DHARMA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) DHARMA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) DHARMA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  DHARMA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) DHARMA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) DHARMA_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) DHARMA_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DHARMA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+namespace dharma {
+
+/// std::mutex with the `capability` attribute, so clang tracks which
+/// functions hold it and which members it guards. Same cost and semantics
+/// as std::mutex — the attribute only exists at compile time.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for APIs that require the native type.
+  /// Access through this handle bypasses the analysis — only MutexLock
+  /// (for condition-variable waits) should need it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, annotated as a scoped capability: clang knows
+/// the capability is held for exactly this object's lifetime. Backed by a
+/// std::unique_lock so condition variables can wait on it via native() —
+/// the wait releases and reacquires the mutex internally, which the
+/// analysis conventionally treats as held throughout (the capability is
+/// held at every point the waiting code can observe).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lk_(mu.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying unique_lock, for std::condition_variable::wait.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace dharma

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(usize threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cvTask_.notify_all();
@@ -25,23 +25,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lk(mu_);
+    MutexLock lk(mu_);
     queue_.push(std::move(task));
   }
   cvTask_.notify_one();
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock lk(mu_);
-  cvIdle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lk(mu_);
+  // Explicit predicate loop (not the lambda-predicate wait overload): the
+  // thread-safety analysis checks the guarded reads in this scope, where
+  // the lock is visibly held.
+  while (!(queue_.empty() && active_ == 0)) cvIdle_.wait(lk.native());
 }
 
 void ThreadPool::workerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      cvTask_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cvTask_.wait(lk.native());
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -52,7 +55,7 @@ void ThreadPool::workerLoop() {
     }
     task();
     {
-      std::unique_lock lk(mu_);
+      MutexLock lk(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) cvIdle_.notify_all();
     }

@@ -10,11 +10,11 @@
 
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace dharma {
@@ -33,22 +33,22 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void waitIdle();
+  void waitIdle() EXCLUDES(mu_);
 
   /// Number of worker threads.
   usize threadCount() const { return workers_.size(); }
 
  private:
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::vector<std::thread> workers_;  ///< written only in the constructor
+  Mutex mu_;
   std::condition_variable cvTask_;
   std::condition_variable cvIdle_;
-  usize active_ = 0;
-  bool stop_ = false;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  usize active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   void workerLoop();
 };

@@ -1,0 +1,216 @@
+/// \file test_concurrency_stress.cpp
+/// \brief TSan-targeted stress for the executor/transport race windows.
+///
+/// The PR-5 seam has exactly two places where arbitrary threads meet the
+/// protocol world: RealTimeExecutor's task queue (producers scheduling and
+/// cancelling against the run loop and against stop()) and UdpTransport's
+/// shared endpoint table (setHandler swaps against the receive thread and
+/// executor-side delivery lookups). These tests hammer precisely those
+/// windows with enough threads to give TSan (CI's gcc-tsan job) something
+/// to bite on, while asserting the observable invariants — every task
+/// either runs or is cancelled, never both; deliveries never outnumber
+/// sends; shutdown never loses the process.
+///
+/// Iteration counts are sized for Debug+TSan wall clock (the whole file
+/// stays under a few seconds there); the suites carry the
+/// RealTimeExecutor/UdpTransport prefixes so CI's real-time ctest slice
+/// (-R 'RealTimeExecutor|UdpTransport|...') runs them under every
+/// sanitizer in the matrix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/realtime.hpp"
+#include "net/udp_transport.hpp"
+
+namespace dharma::net {
+namespace {
+
+void sleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(RealTimeExecutorStress, ScheduleCancelFromManyThreads) {
+  RealTimeExecutor exec;
+  exec.start();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::atomic<int> ran{0};
+  std::atomic<int> cancelled{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // A mix of due-now and near-future deadlines, so cancels race both
+        // queued and about-to-run tasks.
+        TaskId id = exec.schedule(static_cast<TimeUs>((i % 5) * 200),
+                                  [&ran] { ran.fetch_add(1); });
+        if ((i + t) % 3 == 0 && exec.cancel(id)) cancelled.fetch_add(1);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  // Drain: a successfully cancelled task left the live set immediately, so
+  // pending()==0 means every survivor has been handed to the loop.
+  for (int i = 0; i < 5000 && exec.pending() > 0; ++i) sleepMs(1);
+  EXPECT_EQ(exec.pending(), 0u);
+  exec.stop();
+  // The fundamental exactly-once invariant: run XOR cancelled.
+  EXPECT_EQ(ran.load() + cancelled.load(), kThreads * kPerThread);
+}
+
+TEST(RealTimeExecutorStress, StartStopUnderProducerFire) {
+  RealTimeExecutor exec;
+  std::atomic<bool> done{false};
+  std::atomic<int> scheduled{0};
+  // Producers never pause: schedule() must stay safe across every
+  // start/stop transition (the contract says it always accepts).
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&] {
+      std::atomic<int> sink{0};
+      while (!done.load()) {
+        TaskId id = exec.schedule(0, [&sink] { sink.fetch_add(1); });
+        exec.cancel(id);  // may or may not win; both outcomes legal
+        scheduled.fetch_add(1);
+      }
+    });
+  }
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    exec.start();
+    sleepMs(5);
+    exec.stop();
+  }
+  done.store(true);
+  for (auto& p : producers) p.join();
+  EXPECT_GT(scheduled.load(), 0);
+  // Leftovers scheduled after the final stop are discarded by the next
+  // stop(); just prove the object is still coherent.
+  exec.start();
+  exec.stop();
+}
+
+TEST(RealTimeExecutorStress, ConcurrentStopCalls) {
+  RealTimeExecutor exec;
+  exec.start();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    exec.schedule(0, [&ran] { ran.fetch_add(1); });
+  }
+  // Many threads race the shutdown; exactly one performs the join, the
+  // rest return early — nobody crashes or double-joins.
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&] { exec.stop(); });
+  }
+  for (auto& s : stoppers) s.join();
+  EXPECT_FALSE(exec.running());
+}
+
+TEST(UdpTransportStress, SetHandlerVsReceiveSwap) {
+  RealTimeExecutor exec;
+  exec.start();
+  UdpTransport tx(exec);
+  std::atomic<int> viaA{0};
+  std::atomic<int> viaB{0};
+  Address dst = tx.registerEndpoint(
+      [&viaA](Address, const std::vector<u8>&) { viaA.fetch_add(1); });
+  Address src = tx.registerEndpoint([](Address, const std::vector<u8>&) {});
+
+  constexpr int kDatagrams = 1500;
+  std::atomic<bool> senderDone{false};
+  std::thread sender([&] {
+    for (int i = 0; i < kDatagrams; ++i) {
+      tx.send(src, dst, std::vector<u8>{1, 2, 3});
+    }
+    senderDone.store(true);
+  });
+  // Swap the destination handler continuously against the receive thread's
+  // delivery lookups — the exact window a node restart exercises.
+  int swaps = 0;
+  while (!senderDone.load()) {
+    tx.setHandler(dst, [&viaB](Address, const std::vector<u8>&) {
+      viaB.fetch_add(1);
+    });
+    tx.setHandler(dst, [&viaA](Address, const std::vector<u8>&) {
+      viaA.fetch_add(1);
+    });
+    ++swaps;
+  }
+  sender.join();
+  // Let queued deliveries drain (loopback UDP may still legally drop).
+  int last = -1;
+  for (int i = 0; i < 200; ++i) {
+    int cur = viaA.load() + viaB.load();
+    if (cur == last && cur > 0) break;
+    last = cur;
+    sleepMs(5);
+  }
+  tx.close();
+  exec.stop();
+  EXPECT_GT(swaps, 0);
+  EXPECT_GT(viaA.load() + viaB.load(), 0);
+  EXPECT_LE(viaA.load() + viaB.load(), kDatagrams);
+}
+
+TEST(UdpTransportStress, CloseDuringTraffic) {
+  RealTimeExecutor exec;
+  exec.start();
+  UdpTransport tx(exec);
+  std::atomic<int> delivered{0};
+  Address dst = tx.registerEndpoint(
+      [&delivered](Address, const std::vector<u8>&) { delivered.fetch_add(1); });
+  Address src = tx.registerEndpoint([](Address, const std::vector<u8>&) {});
+
+  std::thread sender([&] {
+    // After close() wins the race, send() reports false (closed endpoint);
+    // both outcomes are legal at every iteration.
+    for (int i = 0; i < 2000; ++i) {
+      tx.send(src, dst, std::vector<u8>{42});
+    }
+  });
+  sleepMs(2);
+  tx.close();  // races the sender AND the receive thread's snapshot loop
+  sender.join();
+  exec.stop();
+  EXPECT_LE(delivered.load(), 2000);
+}
+
+TEST(UdpTransportStress, PartitionRulesUnderTraffic) {
+  RealTimeExecutor exec;
+  exec.start();
+  UdpTransport tx(exec);
+  std::atomic<int> delivered{0};
+  Address dst = tx.registerEndpoint(
+      [&delivered](Address, const std::vector<u8>&) { delivered.fetch_add(1); });
+  Address src = tx.registerEndpoint([](Address, const std::vector<u8>&) {});
+
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    for (int i = 0; i < 1500; ++i) {
+      tx.send(src, dst, std::vector<u8>{7});
+    }
+    done.store(true);
+  });
+  // Flip partition rules against live traffic: the drop set is consulted
+  // on both the send path and the receive path.
+  while (!done.load()) {
+    tx.dropPeer(dst);
+    tx.undropPeer(dst);
+  }
+  sender.join();
+  sleepMs(20);
+  tx.close();
+  exec.stop();
+  u64 byRule = tx.stats().droppedByRule;
+  EXPECT_LE(delivered.load(), 1500);
+  EXPECT_LE(byRule, 1500u);
+}
+
+}  // namespace
+}  // namespace dharma::net

@@ -327,11 +327,15 @@ TEST(BatchedOps, TagBatchMatchesSequentialBlocks) {
     auto hatS = fs.net.getBlocking(2, blockKey(t, BlockType::kTagNeighbors), all);
     auto hatB = fb.net.getBlocking(2, blockKey(t, BlockType::kTagNeighbors), all);
     ASSERT_TRUE(hatS.has_value() == hatB.has_value()) << t;
-    if (hatS) EXPECT_EQ(hatS->entries, hatB->entries) << t;
+    if (hatS) {
+      EXPECT_EQ(hatS->entries, hatB->entries) << t;
+    }
     auto barS = fs.net.getBlocking(3, blockKey(t, BlockType::kTagResources), all);
     auto barB = fb.net.getBlocking(3, blockKey(t, BlockType::kTagResources), all);
     ASSERT_TRUE(barS.has_value() == barB.has_value()) << t;
-    if (barS) EXPECT_EQ(barS->entries, barB->entries) << t;
+    if (barS) {
+      EXPECT_EQ(barS->entries, barB->entries) << t;
+    }
   }
 }
 
@@ -359,7 +363,9 @@ TEST(BatchedOps, TagBatchSharesApproxASamplingStream) {
     auto hatS = fs.net.getBlocking(1, blockKey(t, BlockType::kTagNeighbors), all);
     auto hatB = fb.net.getBlocking(1, blockKey(t, BlockType::kTagNeighbors), all);
     ASSERT_TRUE(hatS.has_value() == hatB.has_value()) << t;
-    if (hatS) EXPECT_EQ(hatS->entries, hatB->entries) << t;
+    if (hatS) {
+      EXPECT_EQ(hatS->entries, hatB->entries) << t;
+    }
   }
 }
 
