@@ -1,0 +1,318 @@
+/// \file bench_gateway_throughput.cpp
+/// \brief Wall-clock throughput of the full HTTP path: gateway in, overlay
+/// ops out, response back — the number an operator sizing a gateway box
+/// actually needs.
+///
+/// Boots a live loopback overlay (KademliaNodes on one UdpTransport under
+/// a RealTimeExecutor) behind an in-process GatewayServer, preloads a
+/// folksonomy, then measures two regimes over real TCP sockets:
+///
+///   1. Keep-alive: W client threads, one persistent connection each,
+///      driving a mixed GET /search + GET /resolve + POST /tags workload.
+///      Reports req/sec and per-route p50/p99/max latency — every request
+///      crosses HTTP parse -> worker dispatch -> engine loop -> overlay
+///      UDP -> response serialize, so this is the end-to-end ceiling.
+///   2. Connection churn: each worker opens a fresh connection per
+///      request (connect + GET /resolve + close). Reports conn/sec — the
+///      acceptor + per-connection setup cost on top of regime 1.
+///
+///   $ ./bench_gateway_throughput                  # 4 nodes, 4 clients
+///   $ ./bench_gateway_throughput --clients 8 --ops 2000
+///   $ ./bench_gateway_throughput --smoke          # CI-sized
+///   $ ./bench_gateway_throughput --json out.json  # machine-readable dump
+///
+/// bench/baselines/BENCH_gateway_throughput.json keeps a checked-in
+/// snapshot so regressions diff as data. Wall-clock measurement: numbers
+/// vary run to run; the baseline anchors shape, not exact figures.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/runtime.hpp"
+#include "gateway/http_client.hpp"
+#include "gateway/server.hpp"
+#include "net/realtime.hpp"
+#include "net/udp_transport.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+using namespace dharma;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double usSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+struct LatencyTrack {
+  std::vector<double> samples;
+  void add(double us) { samples.push_back(us); }
+  void merge(const LatencyTrack& o) {
+    samples.insert(samples.end(), o.samples.begin(), o.samples.end());
+  }
+  double percentile(double p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    usize idx = static_cast<usize>(p * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  }
+};
+
+struct WorkerResult {
+  LatencyTrack search, resolve, tag, connCycle;
+  u64 failures = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const bool smoke = opts.getBool("smoke", false);
+  const usize nNodes = static_cast<usize>(opts.getInt("nodes", smoke ? 3 : 4));
+  const usize nClients =
+      static_cast<usize>(opts.getInt("clients", smoke ? 2 : 4));
+  const usize gwWorkers =
+      static_cast<usize>(opts.getInt("gw-workers", smoke ? 2 : 4));
+  const usize opsPerClient =
+      static_cast<usize>(opts.getInt("ops", smoke ? 120 : 1000));
+  const usize connsPerClient =
+      static_cast<usize>(opts.getInt("conns", smoke ? 30 : 200));
+  const usize nResources =
+      static_cast<usize>(opts.getInt("resources", smoke ? 16 : 64));
+  const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
+  const std::string jsonPath = opts.getString("json", "");
+
+  std::cout << "### Gateway HTTP throughput (loopback TCP -> overlay UDP)\n"
+            << "# nodes=" << nNodes << " clients=" << nClients
+            << " gw-workers=" << gwWorkers << " ops/client=" << opsPerClient
+            << " conns/client=" << connsPerClient
+            << "\n# wall-clock measurement: numbers vary run to run (no "
+               "digest)\n";
+
+  // ---- overlay + gateway boot --------------------------------------------
+  net::RealTimeExecutor exec;
+  exec.start();
+  net::UdpTransport transport(exec);
+  crypto::CertificationService cs("bench-gateway-secret");
+  core::RealTimeRuntime rt(exec, transport);
+
+  std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
+  for (usize i = 0; i < nNodes; ++i) {
+    nodes.push_back(std::make_unique<dht::KademliaNode>(
+        exec, transport, cs, cs.enroll("bench-gw-" + std::to_string(i)),
+        dht::NodeConfig{}, seed + i));
+  }
+  Clock::time_point bootStart = Clock::now();
+  for (usize i = 1; i < nNodes; ++i) {
+    dht::Contact seedContact = nodes[0]->contact();
+    rt.awaitDone([&](std::function<void()> done) {
+      nodes[i]->join(seedContact, std::move(done));
+    });
+  }
+
+  core::DharmaConfig ccfg;
+  ccfg.cacheEnabled = true;
+  core::DharmaClient client(rt, *nodes[0], ccfg, seed);
+
+  gateway::GatewayConfig gwCfg;
+  gwCfg.port = 0;  // ephemeral
+  gwCfg.workers = gwWorkers;
+  gateway::GatewayServer::Deps deps;
+  deps.client = &client;
+  gateway::GatewayServer server(gwCfg, deps);
+  if (server.start() != gateway::StartError::kNone) {
+    std::cerr << "gateway start failed: " << server.startDetail() << "\n";
+    return 1;
+  }
+  std::printf("# bootstrap: %.1f ms, gateway on 127.0.0.1:%u\n",
+              usSince(bootStart) / 1000.0, server.port());
+
+  // ---- preload folksonomy -------------------------------------------------
+  const std::vector<std::string> tagPool = {
+      "rock", "jazz", "metal", "electronic", "classic",
+      "blues", "folk", "ambient", "punk", "soul"};
+  {
+    Rng rng(seed);
+    for (usize r = 0; r < nResources; ++r) {
+      std::vector<std::string> tags;
+      usize m = 2 + static_cast<usize>(rng.uniform(3));
+      for (usize j = 0; j < m; ++j) {
+        tags.push_back(tagPool[static_cast<usize>(rng.uniform(tagPool.size()))]);
+      }
+      auto out = client.insertResource("res-" + std::to_string(r),
+                                       "uri://res-" + std::to_string(r), tags);
+      if (!out.ok()) {
+        std::cerr << "preload insert failed\n";
+        return 1;
+      }
+    }
+  }
+
+  const u16 port = server.port();
+
+  // ---- regime 1: keep-alive request throughput ---------------------------
+  std::vector<WorkerResult> results(nClients);
+  std::vector<std::thread> clients;
+  Clock::time_point runStart = Clock::now();
+  for (usize w = 0; w < nClients; ++w) {
+    clients.emplace_back([&, w] {
+      WorkerResult& res = results[w];
+      gateway::HttpClient http;
+      if (!http.connect("127.0.0.1", port, 10'000)) {
+        res.failures += opsPerClient;
+        return;
+      }
+      Rng rng(seed * 31 + w);
+      for (usize op = 0; op < opsPerClient; ++op) {
+        u64 dice = rng.uniform(100);
+        Clock::time_point t0 = Clock::now();
+        if (dice < 60) {  // search step over HTTP: 2 lookups behind it
+          const std::string& tag =
+              tagPool[static_cast<usize>(rng.uniform(tagPool.size()))];
+          auto r = http.request("GET", "/search?tag=" + tag);
+          res.search.add(usSince(t0));
+          res.failures += (r && r->status == 200) ? 0 : 1;
+        } else if (dice < 85) {  // resolve: 1 lookup behind it
+          std::string res1 = "res-" + std::to_string(rng.uniform(nResources));
+          auto r = http.request("GET", "/resolve/" + res1);
+          res.resolve.add(usSince(t0));
+          res.failures += (r && (r->status == 200 || r->status == 404)) ? 0 : 1;
+        } else {  // tag write: 4 + k lookups behind it
+          std::string res1 = "res-" + std::to_string(rng.uniform(nResources));
+          const std::string& tag =
+              tagPool[static_cast<usize>(rng.uniform(tagPool.size()))];
+          auto r = http.request("POST", "/resources/" + res1 + "/tags", tag);
+          res.tag.add(usSince(t0));
+          res.failures += (r && r->status == 200) ? 0 : 1;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double reqWallUs = usSince(runStart);
+
+  // ---- regime 2: connection churn ----------------------------------------
+  clients.clear();
+  Clock::time_point churnStart = Clock::now();
+  for (usize w = 0; w < nClients; ++w) {
+    clients.emplace_back([&, w] {
+      WorkerResult& res = results[w];
+      Rng rng(seed * 77 + w);
+      for (usize cIdx = 0; cIdx < connsPerClient; ++cIdx) {
+        Clock::time_point t0 = Clock::now();
+        gateway::HttpClient http;
+        if (!http.connect("127.0.0.1", port, 10'000)) {
+          ++res.failures;
+          continue;
+        }
+        std::string res1 = "res-" + std::to_string(rng.uniform(nResources));
+        auto r = http.request("GET", "/resolve/" + res1);
+        http.close();
+        res.connCycle.add(usSince(t0));
+        res.failures += (r && (r->status == 200 || r->status == 404)) ? 0 : 1;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double churnWallUs = usSince(churnStart);
+
+  // ---- report -------------------------------------------------------------
+  LatencyTrack search, resolve, tag, connCycle;
+  u64 failures = 0;
+  for (auto& r : results) {
+    search.merge(r.search);
+    resolve.merge(r.resolve);
+    tag.merge(r.tag);
+    connCycle.merge(r.connCycle);
+    failures += r.failures;
+  }
+  u64 totalReqs = static_cast<u64>(nClients * opsPerClient);
+  u64 totalConns = static_cast<u64>(nClients * connsPerClient);
+  gateway::GatewayCounters g = server.counters();
+
+  std::printf("\n%-10s %8s %10s %10s %10s\n", "route", "count", "p50 us",
+              "p99 us", "max us");
+  auto row = [](const char* name, LatencyTrack& t) {
+    if (t.samples.empty()) return;
+    std::printf("%-10s %8zu %10.0f %10.0f %10.0f\n", name, t.samples.size(),
+                t.percentile(0.50), t.percentile(0.99), t.percentile(1.0));
+  };
+  row("search", search);
+  row("resolve", resolve);
+  row("tag", tag);
+  row("conn", connCycle);
+
+  std::printf("\nRESULT: %llu reqs in %.2f s => %.0f req/sec "
+              "(%zu keep-alive clients), %llu failures\n",
+              static_cast<unsigned long long>(totalReqs), reqWallUs / 1e6,
+              static_cast<double>(totalReqs) / (reqWallUs / 1e6), nClients,
+              static_cast<unsigned long long>(failures));
+  std::printf("RESULT: %llu conns in %.2f s => %.0f conn/sec (one request "
+              "each)\n",
+              static_cast<unsigned long long>(totalConns), churnWallUs / 1e6,
+              static_cast<double>(totalConns) / (churnWallUs / 1e6));
+  std::printf("# gateway: accepted=%llu responses=%llu bytesIn=%llu "
+              "bytesOut=%llu\n",
+              static_cast<unsigned long long>(g.connectionsAccepted),
+              static_cast<unsigned long long>(g.responses),
+              static_cast<unsigned long long>(g.bytesIn),
+              static_cast<unsigned long long>(g.bytesOut));
+
+  if (!jsonPath.empty()) {
+    std::ofstream js(jsonPath);
+    auto route = [&js](const char* name, LatencyTrack& t, bool last) {
+      js << "    \"" << name << "\": {\"count\": " << t.samples.size()
+         << ", \"p50_us\": " << t.percentile(0.50)
+         << ", \"p99_us\": " << t.percentile(0.99)
+         << ", \"max_us\": " << t.percentile(1.0) << "}"
+         << (last ? "\n" : ",\n");
+    };
+    js << "{\n"
+       << "  \"bench\": \"bench_gateway_throughput\",\n"
+       << "  \"config\": {\"nodes\": " << nNodes << ", \"clients\": "
+       << nClients << ", \"gw_workers\": " << gwWorkers
+       << ", \"ops_per_client\": " << opsPerClient
+       << ", \"conns_per_client\": " << connsPerClient
+       << ", \"resources\": " << nResources << ", \"seed\": " << seed
+       << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"
+       << "  \"req_wall_seconds\": " << reqWallUs / 1e6 << ",\n"
+       << "  \"req_per_sec\": "
+       << static_cast<double>(totalReqs) / (reqWallUs / 1e6) << ",\n"
+       << "  \"conn_wall_seconds\": " << churnWallUs / 1e6 << ",\n"
+       << "  \"conn_per_sec\": "
+       << static_cast<double>(totalConns) / (churnWallUs / 1e6) << ",\n"
+       << "  \"failures\": " << failures << ",\n"
+       << "  \"latency_us\": {\n";
+    route("search", search, false);
+    route("resolve", resolve, false);
+    route("tag", tag, false);
+    route("conn_cycle", connCycle, true);
+    js << "  },\n"
+       << "  \"gateway\": {\"accepted\": " << g.connectionsAccepted
+       << ", \"responses\": " << g.responses << ", \"bytes_in\": " << g.bytesIn
+       << ", \"bytes_out\": " << g.bytesOut << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::printf("# json written to %s\n", jsonPath.c_str());
+  }
+
+  // Drain the gateway BEFORE the executor stops: in-flight handlers block
+  // through the runtime, so the loop thread must outlive the worker pool.
+  server.stop();
+  exec.stop();
+  transport.close();
+  nodes.clear();
+  return failures == 0 ? 0 : 1;
+}

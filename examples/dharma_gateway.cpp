@@ -1,0 +1,365 @@
+/// \file dharma_gateway.cpp
+/// \brief The DHARMA HTTP gateway daemon: REST in, overlay ops out.
+///
+/// Boots a live overlay node (or joins an existing dharma_node cluster),
+/// then serves the six REST routes over real TCP sockets through
+/// gateway::GatewayServer — the first way to reach a DHARMA overlay
+/// without linking the C++ stack:
+///
+///   $ ./dharma_gateway --bind 127.0.0.1:8080
+///   $ curl -X PUT  localhost:8080/resources/song1?tag=rock -d 'http://u'
+///   $ curl -X POST localhost:8080/resources/song1/tags -d 'indie'
+///   $ curl 'localhost:8080/search?tag=rock&steps=2'
+///   $ curl localhost:8080/resolve/song1
+///   $ curl localhost:8080/stats      # gateway + engine counters, JSON
+///   $ curl localhost:8080/metrics    # Prometheus text exposition
+///
+/// Flags: --bind ip:port (HTTP; port 0 = ephemeral, printed in the
+/// banner), --join ip:port (join a dharma_node cluster), --nodes N
+/// (embedded overlay nodes), --workers N (HTTP worker pool), --cache
+/// on|off (the PR 4 read-through record cache as this gateway's
+/// hot-record shield).
+///
+/// Threading: gateway workers run blocking DharmaClient calls, which post
+/// to the engine loop thread through the runtime — HTTP concurrency never
+/// touches engine state directly (the Debug affinity checker enforces it).
+///
+/// SIGTERM/SIGINT drain gracefully: stop accepting, answer everything in
+/// flight, then exit 0 through the same path as `quit`. Startup failures
+/// (HTTP or UDP port in use, bad bind address) print one typed ERR line
+/// and exit 2 — distinct from protocol errors (1) and clean runs (0).
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/runtime.hpp"
+#include "dht/maintenance.hpp"
+#include "gateway/server.hpp"
+#include "net/realtime.hpp"
+#include "net/udp_transport.hpp"
+#include "util/options.hpp"
+
+#include <unistd.h>
+
+using namespace dharma;
+
+namespace {
+
+volatile std::sig_atomic_t g_stopSignal = 0;
+
+void onStopSignal(int sig) { g_stopSignal = sig; }
+
+struct Daemon {
+  net::RealTimeExecutor exec;
+  net::UdpTransport transport;
+  crypto::CertificationService cs{"dharma-node-demo-secret"};
+  core::RealTimeRuntime rt{exec, transport};
+  std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
+  std::vector<std::unique_ptr<dht::MaintenanceManager>> managers;
+  std::unique_ptr<core::DharmaClient> client;
+
+  explicit Daemon(const std::string& udpHost)
+      : transport(exec, net::UdpTransport::Config{udpHost, 1400}) {}
+
+  ~Daemon() {
+    // Same teardown discipline as dharma_node: stop the loop first so
+    // maintenance timers can't re-arm mid-stop. The gateway must already
+    // be stopped by now — its workers block through the runtime.
+    exec.stop();
+    for (auto& m : managers) m->stop();
+    transport.close();
+  }
+
+  bool boot(usize n, const std::string& joinSpec, bool cacheOn,
+            usize joinRetries, net::TimeUs rpcTimeoutUs) {
+    exec.start();
+    std::string prefix = "gw-" + std::to_string(::getpid()) + "-";
+    dht::NodeConfig nodeCfg;
+    nodeCfg.rpcTimeoutUs = rpcTimeoutUs;
+    for (usize i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<dht::KademliaNode>(
+          exec, transport, cs, cs.enroll(prefix + std::to_string(i)), nodeCfg,
+          0xA000 + i));
+      std::cout << "node " << i << " listening on "
+                << net::formatAddress(nodes[i]->address()) << "\n";
+    }
+
+    if (!joinSpec.empty()) {
+      net::PeerResolution peer = transport.resolvePeer(joinSpec);
+      if (!peer.ok()) {
+        std::cout << "ERR bad --join spec '" << joinSpec << "' ("
+                  << peer.errorName() << ")\n";
+        return false;
+      }
+      bool up = false;
+      for (usize attempt = 0; attempt < joinRetries && !up; ++attempt) {
+        up = core::awaitResult<bool>(rt, [&](std::function<void(bool)> done) {
+          nodes[0]->pingAddress(peer.addr, std::move(done));
+        });
+      }
+      if (!up) {
+        std::cout << "ERR join peer " << joinSpec << " did not answer\n";
+        return false;
+      }
+      rt.awaitDone([&](std::function<void()> done) {
+        nodes[0]->findNode(nodes[0]->id(),
+                           [done = std::move(done)](dht::LookupResult) {
+                             done();
+                           });
+      });
+      std::cout << "joined cluster via " << joinSpec << "\n";
+    }
+    for (usize i = 1; i < nodes.size(); ++i) {
+      dht::Contact seed = nodes[0]->contact();
+      rt.awaitDone([&](std::function<void()> done) {
+        nodes[i]->join(seed, std::move(done));
+      });
+    }
+
+    dht::MaintenanceConfig mCfg;
+    for (usize i = 0; i < nodes.size(); ++i) {
+      managers.push_back(std::make_unique<dht::MaintenanceManager>(
+          exec, transport, *nodes[i], mCfg, 0x7A00 + i));
+    }
+    rt.awaitDone([&](std::function<void()> done) {
+      for (auto& m : managers) m->start();
+      done();
+    });
+
+    core::DharmaConfig cfg;
+    cfg.cacheEnabled = cacheOn;
+    client = std::make_unique<core::DharmaClient>(rt, *nodes[0], cfg);
+    return true;
+  }
+};
+
+/// Splits "ip:port" (port may be 0). Returns false on malformed input.
+bool splitHostPort(const std::string& spec, std::string& host, u16& port) {
+  usize colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  host = spec.substr(0, colon);
+  std::string p = spec.substr(colon + 1);
+  if (p.empty() || p.size() > 5) return false;
+  u32 v = 0;
+  for (char c : p) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<u32>(c - '0');
+  }
+  if (v > 65535) return false;
+  port = static_cast<u16>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << std::unitbuf;
+
+  Options opts(argc, argv);
+  std::string bindSpec = opts.getString("bind", "127.0.0.1:8080");
+  std::string joinSpec = opts.getString("join", "");
+  usize n = static_cast<usize>(opts.getInt("nodes", 1));
+  usize workers = static_cast<usize>(opts.getInt("workers", 4));
+  bool cacheOn = opts.getBool("cache", true);
+  usize joinRetries = static_cast<usize>(opts.getInt("join-retries", 5));
+  net::TimeUs rpcTimeoutUs =
+      static_cast<net::TimeUs>(opts.getInt("rpc-timeout-ms", 1500)) * 1000;
+  if (n == 0) {
+    std::cerr << "--nodes must be >= 1\n";
+    return 2;
+  }
+
+  std::string httpHost;
+  u16 httpPort = 0;
+  if (!splitHostPort(bindSpec, httpHost, httpPort)) {
+    std::cerr << "ERR startup (bad-address): --bind expects ip:port, got '"
+              << bindSpec << "'\n";
+    return 2;
+  }
+
+  // Same graceful-stop plumbing as dharma_node: block before threads
+  // spawn, no SA_RESTART so a signal interrupts the stdin read, unblock
+  // once boot is done.
+  sigset_t stopSet;
+  sigemptyset(&stopSet);
+  sigaddset(&stopSet, SIGTERM);
+  sigaddset(&stopSet, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &stopSet, nullptr);
+  struct sigaction sa{};
+  sa.sa_handler = onStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::unique_ptr<Daemon> daemon;
+  try {
+    // The overlay's UDP sockets bind the same host as the HTTP listener.
+    daemon = std::make_unique<Daemon>(httpHost);
+    if (!daemon->boot(n, joinSpec, cacheOn, joinRetries, rpcTimeoutUs)) {
+      return 2;
+    }
+  } catch (const net::TransportError& e) {
+    std::cerr << "ERR startup (" << e.kindName() << "): " << e.what() << "\n";
+    return 2;
+  }
+  Daemon& d = *daemon;
+
+  gateway::GatewayConfig gwCfg;
+  gwCfg.bindHost = httpHost == "localhost" ? std::string("127.0.0.1")
+                                           : httpHost;
+  gwCfg.port = httpPort;
+  gwCfg.workers = workers;
+
+  gateway::GatewayServer::Deps deps;
+  deps.client = d.client.get();
+  // Both taps run on gateway worker threads: engine loop-thread state is
+  // read via rt.awaitDone (post + wait), exactly like the line-protocol
+  // stats command; UdpTransport::stats() is internally synchronized.
+  deps.engineStatsJson = [&d]() -> std::string {
+    core::DharmaClient::Counters cc;
+    core::OpCost cost;
+    dht::NodeCounters nc;
+    cache::CacheStats cs;
+    usize rtSize = 0;
+    d.rt.awaitDone([&](std::function<void()> done) {
+      cc = d.client->counters();
+      cost = d.client->totalCost();
+      nc = d.nodes[0]->counters();
+      cs = d.client->cacheStats();
+      rtSize = d.nodes[0]->routing().size();
+      done();
+    });
+    net::UdpStats us = d.transport.stats();
+    std::ostringstream out;
+    out << "{\"ops\":" << cc.ops << ",\"failures\":" << cc.failures
+        << ",\"retries\":" << cc.retries << ",\"lookups\":" << cost.lookups
+        << ",\"servedFromCache\":" << cost.servedFromCache
+        << ",\"routingTable\":" << rtSize
+        << ",\"nodeCacheHits\":" << nc.cacheHits
+        << ",\"storesDeduplicated\":" << nc.storesDeduplicated
+        << ",\"clientCache\":{\"hits\":" << cs.hits
+        << ",\"misses\":" << cs.misses << ",\"evictions\":" << cs.evictions
+        << ",\"invalidations\":" << cs.invalidations << "}"
+        << ",\"udp\":{\"sent\":" << us.sent << ",\"received\":" << us.received
+        << ",\"bytesSent\":" << us.bytesSent
+        << ",\"sendErrors\":" << us.sendErrors << "}}";
+    return out.str();
+  };
+  deps.engineMetrics = [&d](gateway::PrometheusWriter& w) {
+    core::DharmaClient::Counters cc;
+    core::OpCost cost;
+    dht::NodeCounters nc;
+    cache::CacheStats cs;
+    d.rt.awaitDone([&](std::function<void()> done) {
+      cc = d.client->counters();
+      cost = d.client->totalCost();
+      nc = d.nodes[0]->counters();
+      cs = d.client->cacheStats();
+      done();
+    });
+    net::UdpStats us = d.transport.stats();
+    w.counter("dharma_client_ops_total", "Protocol operations completed")
+        .sample(static_cast<double>(cc.ops));
+    w.counter("dharma_client_failures_total", "Operations returning an error")
+        .sample(static_cast<double>(cc.failures));
+    w.counter("dharma_client_lookups_total",
+              "Overlay lookups paid (Table I unit)")
+        .sample(static_cast<double>(cost.lookups));
+    w.counter("dharma_client_cache_hits_total",
+              "Reads served by the client record cache")
+        .sample(static_cast<double>(cs.hits));
+    w.counter("dharma_client_cache_misses_total",
+              "Client record cache misses")
+        .sample(static_cast<double>(cs.misses));
+    w.counter("dharma_node_cache_hits_total",
+              "GETs answered from the node-side cache")
+        .sample(static_cast<double>(nc.cacheHits));
+    w.counter("dharma_node_stores_deduplicated_total",
+              "Replayed STOREs acked without re-applying")
+        .sample(static_cast<double>(nc.storesDeduplicated));
+    w.counter("dharma_node_rpcs_sent_total", "RPC requests sent")
+        .sample(static_cast<double>(nc.rpcsSent));
+    w.counter("dharma_node_timeouts_total", "RPCs that timed out")
+        .sample(static_cast<double>(nc.timeouts));
+    w.counter("dharma_udp_datagrams_sent_total",
+              "Datagrams accepted by sendto()")
+        .sample(static_cast<double>(us.sent));
+    w.counter("dharma_udp_datagrams_received_total",
+              "Datagrams handed to an endpoint handler")
+        .sample(static_cast<double>(us.received));
+    w.counter("dharma_udp_bytes_sent_total", "Payload bytes accepted")
+        .sample(static_cast<double>(us.bytesSent));
+  };
+
+  gateway::GatewayServer server(gwCfg, deps);
+  gateway::StartError se = server.start();
+  if (se != gateway::StartError::kNone) {
+    std::cerr << "ERR startup (" << gateway::startErrorName(se)
+              << "): " << server.startDetail() << "\n";
+    return 2;
+  }
+
+  std::cout << "gateway listening on http://" << gwCfg.bindHost << ":"
+            << server.port() << "\n";
+  std::cout << "gateway up: " << n << " node(s), " << workers
+            << " worker(s), cache=" << (cacheOn ? "on" : "off")
+            << "; type 'help' for commands\n";
+  pthread_sigmask(SIG_UNBLOCK, &stopSet, nullptr);
+
+  bool anyError = false;
+  auto fail = [&](const std::string& what) {
+    anyError = true;
+    std::cout << "ERR " << what << "\n";
+  };
+
+  std::string line;
+  while (g_stopSignal == 0 && std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::cout << "OK commands: stats | quit (the API is HTTP: "
+                   "/resources/{r}, /search, /resolve/{r}, /stats, "
+                   "/metrics)\n";
+    } else if (cmd == "stats") {
+      gateway::GatewayCounters g = server.counters();
+      std::cout << "OK stats: accepted=" << g.connectionsAccepted
+                << " closed=" << g.connectionsClosed
+                << " dispatched=" << g.requestsDispatched
+                << " responses=" << g.responses
+                << " parseerrors=" << g.parseErrors
+                << " overload=" << g.overloadRejected
+                << " drain=" << g.drainRejected << " bytesin=" << g.bytesIn
+                << " bytesout=" << g.bytesOut << "\n";
+    } else {
+      fail("unknown command '" + cmd + "' (try 'help')");
+    }
+  }
+
+  // See dharma_node.cpp: wait for a signal that interrupted the read but
+  // whose handler has not run yet (deferred under sanitizer runtimes).
+  if (g_stopSignal == 0 && std::cin.fail() && !std::feof(stdin)) {
+    for (int i = 0; i < 200 && g_stopSignal == 0; ++i) ::usleep(10'000);
+  }
+
+  if (g_stopSignal != 0) {
+    std::cout << "OK shutdown signal="
+              << (g_stopSignal == SIGTERM ? "term" : "int") << "\n";
+  }
+
+  // Drain BEFORE the engine goes away: in-flight handlers block through
+  // the runtime, so the executor must outlive the worker pool.
+  server.stop();
+  std::cout << (anyError ? "done (with errors)\n" : "done\n");
+  return anyError ? 1 : 0;
+}

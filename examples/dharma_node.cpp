@@ -214,8 +214,20 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
 
-  Daemon d(bindHost);
-  if (!d.boot(n, joinSpec, maintenance, nodeCfg, mCfg, joinRetries)) return 2;
+  // Transport/socket failures at boot (bad --bind host, fd exhaustion) are
+  // typed: one crisp ERR line and exit 2 — the startup-failure code,
+  // distinct from protocol errors (1) — never an uncaught-exception abort.
+  std::unique_ptr<Daemon> daemon;
+  try {
+    daemon = std::make_unique<Daemon>(bindHost);
+    if (!daemon->boot(n, joinSpec, maintenance, nodeCfg, mCfg, joinRetries)) {
+      return 2;
+    }
+  } catch (const net::TransportError& e) {
+    std::cerr << "ERR startup (" << e.kindName() << "): " << e.what() << "\n";
+    return 2;
+  }
+  Daemon& d = *daemon;
 
   // Boot-time partition rules (comma-separated ip:port list).
   std::string dropSpec = opts.getString("drop-peers", "");
@@ -380,10 +392,12 @@ int main(int argc, char** argv) {
       // thread; read it there, like every other protocol-state access.
       core::DharmaClient::Counters cc;
       core::OpCost cost;
+      dht::NodeCounters nc;
       usize rt0 = 0;
       d.rt.awaitDone([&](std::function<void()> done) {
         cc = d.client->counters();
         cost = d.client->totalCost();
+        nc = d.nodes[0]->counters();
         rt0 = d.nodes[0]->routing().size();
         done();
       });
@@ -392,6 +406,8 @@ int main(int argc, char** argv) {
                 << " lookups=" << cost.lookups << " rt=" << rt0
                 << " addr=" << net::formatAddress(d.nodes[0]->address())
                 << " droprules=" << d.transport.droppedPeerCount()
+                << " cachehits=" << nc.cacheHits
+                << " storededup=" << nc.storesDeduplicated
                 << " | udp sent=" << s.sent << " received=" << s.received
                 << " bytes=" << s.bytesSent
                 << " oversize=" << s.droppedOversize

@@ -1,0 +1,106 @@
+/// \file fuzz_http_parse.cpp
+/// \brief Persistent fuzz target for the gateway's HTTP/1.1 request parser
+/// — the gateway's trust boundary, fed raw attacker bytes from the TCP
+/// socket exactly as Connection::readSome feeds it.
+///
+/// Properties enforced on every input:
+///
+///   1. Clean rejection: HttpParser::feed never throws, never crashes, and
+///      an error state always carries a mapped status (400/413) plus a
+///      stable non-empty reason token. No foreign exception may escape —
+///      the event loop runs with -fno-exceptions discipline around it.
+///   2. Framing determinism: feeding the bytes in two arbitrary fragments
+///      yields the same request sequence and the same terminal state as
+///      feeding them at once. A parser that disagrees with itself across
+///      TCP segmentation would be an instant request-smuggling bug.
+///   3. Re-serialize idempotence: every request the parser accepts must
+///      round-trip through serializeRequest and parse back IDENTICAL
+///      (method, target, headers it keeps, body). What we accept, we can
+///      re-emit canonically.
+///   4. Feed-after-error stays inert, and the decode helpers
+///      (percentDecode, parseQuery) reject or succeed without throwing.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gateway/http.hpp"
+
+namespace {
+
+using namespace dharma;
+using namespace dharma::gateway;
+
+/// Drains every complete request out of \p p after feeding \p data.
+/// Returns the terminal parse state.
+ParseState run(HttpParser& p, std::string_view data,
+               std::vector<HttpRequest>& out) {
+  p.feed(data);
+  while (p.state() == ParseState::kComplete) out.push_back(p.take());
+  return p.state();
+}
+
+bool sameRequest(const HttpRequest& a, const HttpRequest& b) {
+  return a.method == b.method && a.target == b.target && a.path == b.path &&
+         a.query == b.query && a.versionMinor == b.versionMinor &&
+         a.body == b.body && a.keepAlive == b.keepAlive &&
+         a.headers == b.headers;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Property 1: one-shot parse, clean rejection only.
+  HttpParser whole;
+  std::vector<HttpRequest> wholeReqs;
+  ParseState wholeState = run(whole, input, wholeReqs);
+  if (wholeState == ParseState::kError) {
+    if (whole.errorStatus() != 400 && whole.errorStatus() != 413) {
+      std::abort();
+    }
+    if (std::string_view(whole.errorReason()).empty()) std::abort();
+    // Property 4: a dead parser must stay dead and inert.
+    whole.feed("GET / HTTP/1.1\r\n\r\n");
+    if (whole.state() != ParseState::kError) std::abort();
+  }
+
+  // Property 2: split the same bytes at a size-derived point and re-parse;
+  // the request sequence and terminal state must match exactly.
+  size_t cut = size == 0 ? 0 : (size * 2654435761u) % (size + 1);
+  HttpParser split;
+  std::vector<HttpRequest> splitReqs;
+  split.feed(input.substr(0, cut));
+  while (split.state() == ParseState::kComplete) {
+    splitReqs.push_back(split.take());
+  }
+  ParseState splitState = run(split, input.substr(cut), splitReqs);
+  if (splitState != wholeState) std::abort();
+  if (splitReqs.size() != wholeReqs.size()) std::abort();
+  for (size_t i = 0; i < wholeReqs.size(); ++i) {
+    if (!sameRequest(wholeReqs[i], splitReqs[i])) std::abort();
+  }
+
+  // Property 3: accepted requests re-serialize to a wire form the parser
+  // accepts again, bit-identically at the request level.
+  for (const HttpRequest& req : wholeReqs) {
+    std::string wire = serializeRequest(req);
+    HttpParser again;
+    std::vector<HttpRequest> back;
+    if (run(again, wire, back) == ParseState::kError) std::abort();
+    if (back.size() != 1 || !sameRequest(back[0], req)) std::abort();
+  }
+
+  // Property 4 (decode helpers): reject or succeed, never throw.
+  std::string raw(input);
+  percentDecode(raw);
+  percentDecode(raw, /*plusAsSpace=*/true);
+  parseQuery(raw);
+  jsonEscape(raw);
+
+  return 0;
+}

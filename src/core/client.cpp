@@ -628,6 +628,74 @@ void DharmaClient::resolveUriAsync(const std::string& res,
                  });
 }
 
+void DharmaClient::searchStepsAsync(
+    const std::string& tag, u32 maxSteps,
+    std::function<void(Outcome<SearchWalk>)> cb) {
+  DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::searchStepsAsync");
+  if (!cb) cb = [](Outcome<SearchWalk>) {};  // fire-and-forget is allowed
+  if (maxSteps == 0) maxSteps = 1;
+
+  // The walk chains searchStepAsync calls on the loop thread; `next` holds
+  // the recursion and captures the state, so both exit paths clear it to
+  // break the shared_ptr cycle before delivering the callback.
+  struct WalkState {
+    Outcome<SearchWalk> out = Outcome<SearchWalk>::success({});
+    std::vector<std::string> visited;  // short walks: linear scan is fine
+    u32 remaining = 0;
+    std::function<void(Outcome<SearchWalk>)> cb;
+    std::function<void(std::string)> next;
+
+    void finish() {
+      next = nullptr;
+      auto done = std::move(cb);
+      done(std::move(out));
+    }
+  };
+  auto st = std::make_shared<WalkState>();
+  st->remaining = maxSteps;
+  st->cb = std::move(cb);
+  st->next = [this, st](std::string t) {
+    st->visited.push_back(t);
+    searchStepAsync(t, [st, t](Outcome<SearchStepResult> r) {
+      st->out.cost += r.cost;
+      st->out.retries += r.retries;
+      if (!r.ok()) {
+        st->out.val.reset();
+        st->out.err = r.error();
+        st->finish();
+        return;
+      }
+      st->remaining--;
+      // relatedTags arrive weight-ranked: the first unvisited entry is the
+      // greedy choice.
+      std::string nextTag;
+      for (const auto& e : r.value().relatedTags) {
+        bool seen = false;
+        for (const auto& v : st->visited) {
+          if (v == e.name) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          nextTag = e.name;
+          break;
+        }
+      }
+      st->out.val->hops.push_back({t, std::move(r.value())});
+      if (st->remaining == 0 || nextTag.empty()) {
+        st->out.val->exhausted = nextTag.empty();
+        st->finish();
+        return;
+      }
+      auto go = st->next;  // keep the recursion alive across the call
+      go(std::move(nextTag));
+    });
+  };
+  auto kick = st->next;
+  kick(tag);
+}
+
 // ---------------------------------------------------------------------------
 // Blocking wrappers
 // ---------------------------------------------------------------------------
@@ -669,6 +737,14 @@ Outcome<SearchStepResult> DharmaClient::searchStep(const std::string& tag) {
   using R = Outcome<SearchStepResult>;
   return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
     searchStepAsync(tag, std::move(done));
+  });
+}
+
+Outcome<SearchWalk> DharmaClient::searchSteps(const std::string& tag,
+                                              u32 maxSteps) {
+  using R = Outcome<SearchWalk>;
+  return awaitResult<R>(*rt_, [&](std::function<void(R)> done) {
+    searchStepsAsync(tag, maxSteps, std::move(done));
   });
 }
 

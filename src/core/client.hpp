@@ -82,6 +82,21 @@ struct SearchStepResult {
   bool resourcesTruncated = false;
 };
 
+/// One hop of a multi-step faceted walk (searchSteps): the tag visited and
+/// the sets its step retrieved.
+struct SearchWalkHop {
+  std::string tag;
+  SearchStepResult step;
+};
+
+/// Result of searchSteps(): the hops actually taken, in order.
+struct SearchWalk {
+  std::vector<SearchWalkHop> hops;
+  /// The walk stopped before its step budget because no unvisited related
+  /// tag remained to follow.
+  bool exhausted = false;
+};
+
 /// One resource for the batched insertResources() entry point.
 struct ResourceSpec {
   std::string res;
@@ -144,6 +159,17 @@ class DharmaClient {
   void searchStepAsync(const std::string& tag,
                        std::function<void(Outcome<SearchStepResult>)> cb);
 
+  /// Multi-step faceted navigation, batched on the engine loop: up to
+  /// \p maxSteps search steps starting at \p tag, greedily following the
+  /// highest-weight not-yet-visited related tag after each hop — the
+  /// paper's navigation pattern, 2 lookups per hop. One entry point is one
+  /// runtime round trip for the whole walk, so a remote caller (the
+  /// gateway's GET /search?steps=N) pays one cross-thread handoff, not N.
+  /// A failed hop fails the walk with that hop's error; cost and retries
+  /// accumulate across all hops either way.
+  void searchStepsAsync(const std::string& tag, u32 maxSteps,
+                        std::function<void(Outcome<SearchWalk>)> cb);
+
   /// Resolves a resource name to its URI via r̃ (1 lookup).
   void resolveUriAsync(const std::string& res,
                        std::function<void(Outcome<std::string>)> cb);
@@ -159,6 +185,7 @@ class DharmaClient {
   Outcome<WriteReceipt> tagResources(const std::string& res,
                                      const std::vector<std::string>& tags);
   Outcome<SearchStepResult> searchStep(const std::string& tag);
+  Outcome<SearchWalk> searchSteps(const std::string& tag, u32 maxSteps);
   Outcome<std::string> resolveUri(const std::string& res);
 
   /// Accumulated cost over this client's lifetime (retries included).

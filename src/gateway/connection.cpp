@@ -1,0 +1,97 @@
+#include "gateway/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace dharma::gateway {
+
+Connection::Connection(u64 id, int fd, HttpLimits limits)
+    : id_(id), fd_(fd), parser_(limits) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::ReadOutcome Connection::readSome() {
+  ReadOutcome out;
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.bytes += static_cast<usize>(n);
+      parser_.feed(std::string_view(buf, static_cast<usize>(n)));
+      // Collect every request the new bytes completed (pipelining).
+      while (parser_.state() == ParseState::kComplete) {
+        pending_.push_back(parser_.take());
+        continueSent_ = false;
+      }
+      if (parser_.state() == ParseState::kError) return out;
+      if (parser_.wantContinue() && !continueSent_) {
+        continueSent_ = true;
+        queueWrite("HTTP/1.1 100 Continue\r\n\r\n");
+      }
+      continue;
+    }
+    if (n == 0) {
+      readClosed_ = true;
+      out.peerClosed = true;
+      return out;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return out;
+    if (errno == EINTR) continue;
+    out.ioError = true;
+    return out;
+  }
+}
+
+bool Connection::popRequest(HttpRequest& out) {
+  if (inFlight_ || pending_.empty()) return false;
+  out = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+void Connection::markDead() {
+  dead_ = true;
+  closeAfterDrain_ = true;
+  tx_.clear();
+  txPos_ = 0;
+  pending_.clear();
+}
+
+void Connection::queueWrite(std::string bytes) {
+  if (dead_) return;
+  // Compact lazily once the consumed prefix dominates, so long-lived
+  // keep-alive connections don't grow the buffer forever.
+  if (txPos_ > 0 && txPos_ == tx_.size()) {
+    tx_.clear();
+    txPos_ = 0;
+  } else if (txPos_ > 65536 && txPos_ > tx_.size() / 2) {
+    tx_.erase(0, txPos_);
+    txPos_ = 0;
+  }
+  tx_ += bytes;
+}
+
+bool Connection::flush() {
+  while (txPos_ < tx_.size()) {
+    ssize_t n = ::send(fd_, tx_.data() + txPos_, tx_.size() - txPos_,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      txPos_ += static_cast<usize>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (txPos_ == tx_.size()) {
+    tx_.clear();
+    txPos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace dharma::gateway

@@ -1,0 +1,439 @@
+#include "gateway/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dharma::gateway {
+
+namespace {
+
+bool isTokenChar(char c) {
+  // RFC 9110 token characters.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view trimOws(std::string_view v) {
+  while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+    v.remove_prefix(1);
+  }
+  while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) {
+    v.remove_suffix(1);
+  }
+  return v;
+}
+
+std::string toLower(std::string_view v) {
+  std::string out(v);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (usize i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int hexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpRequest::header(
+    std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// HttpParser
+// ---------------------------------------------------------------------------
+
+void HttpParser::fail(u16 status, const char* reason) {
+  state_ = ParseState::kError;
+  errorStatus_ = status;
+  errorReason_ = reason;
+}
+
+void HttpParser::reset() {
+  state_ = ParseState::kRequestLine;
+  buf_.clear();
+  pos_ = 0;
+  headerBytes_ = 0;
+  bodyLen_ = 0;
+  req_ = HttpRequest{};
+  errorStatus_ = 0;
+  errorReason_ = "";
+}
+
+ParseState HttpParser::feed(std::string_view bytes) {
+  if (state_ == ParseState::kError) return state_;
+  buf_.append(bytes.data(), bytes.size());
+  advance();
+  return state_;
+}
+
+void HttpParser::compact() {
+  // Drop consumed bytes once nothing in flight references them. Called
+  // only from take(), i.e. between requests, so the erase never moves
+  // bytes a partially-parsed request still points at.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+HttpRequest HttpParser::take() {
+  HttpRequest out = std::move(req_);
+  req_ = HttpRequest{};
+  state_ = ParseState::kRequestLine;
+  headerBytes_ = 0;
+  bodyLen_ = 0;
+  compact();
+  // Pipelining: the next request may already be fully buffered.
+  advance();
+  return out;
+}
+
+std::optional<std::string_view> HttpParser::nextLine(usize cap,
+                                                     const char* what) {
+  std::string_view rest = std::string_view(buf_).substr(pos_);
+  usize nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    // No terminator yet: the *partial* line must already obey the cap,
+    // otherwise a malicious client could stream an unbounded line.
+    if (rest.size() > cap) fail(400, what);
+    return std::nullopt;
+  }
+  if (nl + 1 > cap + 2) {  // line + CRLF
+    fail(400, what);
+    return std::nullopt;
+  }
+  if (nl == 0 || rest[nl - 1] != '\r') {
+    // Strict framing: header lines end in CRLF, bare LF is malformed.
+    fail(400, "bare-lf");
+    return std::nullopt;
+  }
+  pos_ += nl + 1;
+  return rest.substr(0, nl - 1);
+}
+
+bool HttpParser::parseRequestLine(std::string_view line) {
+  usize sp1 = line.find(' ');
+  usize sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed-request-line");
+    return false;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(), isTokenChar)) {
+    fail(400, "malformed-method");
+    return false;
+  }
+  if (target.empty() || (target[0] != '/' && target != "*")) {
+    // origin-form only: the gateway is not a proxy.
+    fail(400, "malformed-target");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    req_.versionMinor = 1;
+  } else if (version == "HTTP/1.0") {
+    req_.versionMinor = 0;
+  } else {
+    fail(400, "unsupported-version");
+    return false;
+  }
+  req_.method = std::string(method);
+  req_.target = std::string(target);
+  usize q = target.find('?');
+  req_.path = std::string(target.substr(0, q));
+  req_.query =
+      q == std::string_view::npos ? std::string() : std::string(target.substr(q + 1));
+  return true;
+}
+
+bool HttpParser::parseHeaderLine(std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Obsolete line folding: deprecated by RFC 9112, reject.
+    fail(400, "obs-fold");
+    return false;
+  }
+  usize colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed-header");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), isTokenChar)) {
+    // Includes "Name : value" — whitespace before the colon is malformed.
+    fail(400, "malformed-header-name");
+    return false;
+  }
+  if (req_.headers.size() >= limits_.maxHeaderCount) {
+    fail(400, "too-many-headers");
+    return false;
+  }
+  req_.headers.emplace_back(toLower(name),
+                            std::string(trimOws(line.substr(colon + 1))));
+  return true;
+}
+
+void HttpParser::finishHeaders() {
+  // Content-Length: absent means no body; multiple or malformed values are
+  // request smuggling vectors and get a hard 400.
+  bodyLen_ = 0;
+  bool sawLen = false;
+  for (const auto& [k, v] : req_.headers) {
+    if (k == "transfer-encoding") {
+      fail(400, "unsupported-transfer-encoding");
+      return;
+    }
+    if (k != "content-length") continue;
+    if (sawLen) {
+      fail(400, "duplicate-content-length");
+      return;
+    }
+    sawLen = true;
+    if (v.empty() ||
+        !std::all_of(v.begin(), v.end(),
+                     [](char c) { return c >= '0' && c <= '9'; }) ||
+        v.size() > 12) {
+      fail(400, "malformed-content-length");
+      return;
+    }
+    bodyLen_ = static_cast<usize>(std::stoull(v));
+  }
+  if (bodyLen_ > limits_.maxBodyBytes) {
+    fail(413, "body-too-large");
+    return;
+  }
+
+  // Keep-alive defaulting: 1.1 persistent unless "close"; 1.0 transient
+  // unless "keep-alive".
+  req_.keepAlive = req_.versionMinor >= 1;
+  if (auto conn = req_.header("connection")) {
+    if (iequals(*conn, "close")) req_.keepAlive = false;
+    if (iequals(*conn, "keep-alive")) req_.keepAlive = true;
+  }
+  if (auto expect = req_.header("expect")) {
+    req_.expectContinue = iequals(*expect, "100-continue");
+  }
+
+  state_ = bodyLen_ > 0 ? ParseState::kBody : ParseState::kComplete;
+}
+
+void HttpParser::advance() {
+  while (true) {
+    switch (state_) {
+      case ParseState::kRequestLine: {
+        // Permit (and skip) one empty line before the request line — RFC
+        // 9112 robustness for clients that end the previous body with an
+        // extra CRLF.
+        auto line = nextLine(limits_.maxRequestLineBytes,
+                             "request-line-too-long");
+        if (!line) return;
+        if (line->empty()) continue;
+        if (!parseRequestLine(*line)) return;
+        headerBytes_ = 0;
+        state_ = ParseState::kHeaders;
+        continue;
+      }
+      case ParseState::kHeaders: {
+        usize before = pos_;
+        auto line = nextLine(limits_.maxHeaderLineBytes, "header-too-long");
+        if (!line) return;
+        headerBytes_ += pos_ - before;
+        if (headerBytes_ > limits_.maxHeaderBytes) {
+          fail(400, "headers-too-large");
+          return;
+        }
+        if (line->empty()) {
+          finishHeaders();
+          continue;
+        }
+        if (!parseHeaderLine(*line)) return;
+        continue;
+      }
+      case ParseState::kBody: {
+        if (buf_.size() - pos_ < bodyLen_) return;
+        req_.body = buf_.substr(pos_, bodyLen_);
+        pos_ += bodyLen_;
+        state_ = ParseState::kComplete;
+        return;
+      }
+      case ParseState::kComplete:
+      case ParseState::kError:
+        return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serializers
+// ---------------------------------------------------------------------------
+
+const char* statusReason(u16 status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serializeResponse(const HttpResponse& r) {
+  std::string out;
+  out.reserve(128 + r.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += statusReason(r.status);
+  out += "\r\n";
+  if (!r.contentType.empty()) {
+    out += "Content-Type: ";
+    out += r.contentType;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(r.body.size());
+  out += "\r\n";
+  for (const auto& [k, v] : r.extraHeaders) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  if (r.close) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += r.body;
+  return out;
+}
+
+std::string serializeRequest(const HttpRequest& r) {
+  std::string out;
+  out.reserve(128 + r.body.size());
+  out += r.method;
+  out += ' ';
+  out += r.target;
+  out += r.versionMinor == 0 ? " HTTP/1.0\r\n" : " HTTP/1.1\r\n";
+  for (const auto& [k, v] : r.headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += r.body;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// URL / JSON helpers
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> percentDecode(std::string_view s,
+                                         bool plusAsSpace) {
+  std::string out;
+  out.reserve(s.size());
+  for (usize i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '%') {
+      if (i + 2 >= s.size()) return std::nullopt;
+      int hi = hexVal(s[i + 1]);
+      int lo = hexVal(s[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (plusAsSpace && c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::string, std::string>>> parseQuery(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  usize start = 0;
+  while (start <= query.size()) {
+    usize amp = query.find('&', start);
+    std::string_view item = query.substr(
+        start, amp == std::string_view::npos ? std::string_view::npos
+                                             : amp - start);
+    if (!item.empty()) {
+      usize eq = item.find('=');
+      std::string_view rawKey = item.substr(0, eq);
+      std::string_view rawVal =
+          eq == std::string_view::npos ? std::string_view() : item.substr(eq + 1);
+      auto key = percentDecode(rawKey, /*plusAsSpace=*/true);
+      auto val = percentDecode(rawVal, /*plusAsSpace=*/true);
+      if (!key || !val) return std::nullopt;
+      out.emplace_back(std::move(*key), std::move(*val));
+    }
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+  return out;
+}
+
+std::string jsonEscape(std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[u >> 4]);
+          out.push_back(kHex[u & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dharma::gateway

@@ -1,0 +1,183 @@
+#pragma once
+/// \file http.hpp
+/// \brief HTTP/1.1 wire layer for the DHARMA gateway: an incremental,
+/// in-place request parser with strict limits, and the matching
+/// serializers.
+///
+/// The gateway is the first component in this repo whose wire format is
+/// consumed by off-the-shelf tools (curl, wrk, Prometheus scrapers), so
+/// the parser treats every inbound byte as attacker-controlled — the same
+/// trust-boundary discipline the RPC decode layer earned in PR 5/7:
+///
+///  - **Incremental**: bytes arrive in arbitrary fragments (feed());
+///    the state machine advances as far as the buffered bytes allow and
+///    never re-scans consumed input — each byte is examined once.
+///  - **In-place**: header lines are scanned directly inside the
+///    connection's receive buffer; field values are materialised into the
+///    HttpRequest exactly once, at line granularity — no per-line
+///    temporaries, no whole-request copies. The body is sliced out of the
+///    buffer in a single move when the request completes.
+///  - **Strict limits**: request-line length, per-header-line length,
+///    header count, total header bytes and Content-Length are all capped
+///    (HttpLimits); a violation is a typed parse error that maps onto 400
+///    or 413, never an unbounded allocation.
+///  - **Pipelining-ready**: after take(), leftover buffered bytes (the
+///    next pipelined request) remain and parsing continues where recv
+///    left off.
+///
+/// Bodies are Content-Length only — Transfer-Encoding (chunked) is
+/// rejected with a typed 400. That is deliberate: every client the
+/// gateway targets (curl, wrk, the bench driver) sends sized bodies, and
+/// refusing chunked keeps the state machine small enough to fuzz
+/// exhaustively (fuzz/fuzz_http_parse.cpp).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::gateway {
+
+/// Parser resource caps. Every limit is enforced while bytes stream in,
+/// so an over-limit request fails fast instead of buffering unboundedly.
+struct HttpLimits {
+  usize maxRequestLineBytes = 4096;  ///< method + target + version + CRLF
+  usize maxHeaderLineBytes = 8192;   ///< one "Name: value" line
+  usize maxHeaderCount = 64;         ///< number of header fields
+  usize maxHeaderBytes = 16384;      ///< total header-section bytes
+  usize maxBodyBytes = 1 << 20;      ///< Content-Length cap (1 MiB)
+};
+
+/// One parsed request. Header names are lower-cased during parsing so
+/// lookups are a plain comparison; everything else is byte-preserved.
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET" (token, upper-cased by convention)
+  std::string target;   ///< raw request target, e.g. "/search?tag=rock"
+  std::string path;     ///< target up to '?' (still percent-encoded)
+  std::string query;    ///< target after '?', empty when absent
+  u8 versionMinor = 1;  ///< HTTP/1.<n>; only 0 and 1 are accepted
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  bool keepAlive = true;        ///< after Connection/version defaulting
+  bool expectContinue = false;  ///< "Expect: 100-continue" was present
+
+  /// First value of header \p name (lower-case), or nullopt.
+  std::optional<std::string_view> header(std::string_view name) const;
+};
+
+/// Parser progress. kError is terminal for the connection: HTTP/1.1 framing
+/// is lost once a malformed request is seen, so the server answers once and
+/// closes.
+enum class ParseState : u8 {
+  kRequestLine = 0,  ///< waiting for the full request line
+  kHeaders,          ///< request line done, headers streaming in
+  kBody,             ///< headers done, Content-Length body streaming in
+  kComplete,         ///< one full request buffered — call take()
+  kError,            ///< malformed or over-limit input — see errorStatus()
+};
+
+/// Incremental HTTP/1.1 request parser (see file comment).
+class HttpParser {
+ public:
+  HttpParser() = default;
+  explicit HttpParser(HttpLimits limits) : limits_(limits) {}
+
+  ParseState state() const { return state_; }
+
+  /// Appends \p bytes and advances the state machine as far as possible.
+  /// Returns the resulting state. Feeding after kComplete buffers the
+  /// bytes for the next request (pipelining); feeding after kError is a
+  /// no-op.
+  ParseState feed(std::string_view bytes);
+
+  /// Consumes and returns the completed request; the parser resets to
+  /// kRequestLine and immediately re-parses any buffered pipelined bytes.
+  /// Precondition: state() == kComplete.
+  HttpRequest take();
+
+  /// HTTP status the current kError maps to (400 or 413).
+  u16 errorStatus() const { return errorStatus_; }
+
+  /// Stable token naming the parse failure (e.g. "request-line-too-long");
+  /// lands in the JSON error body so misbehaving clients are debuggable.
+  const char* errorReason() const { return errorReason_; }
+
+  /// Bytes buffered but not yet consumed by a completed parse.
+  usize buffered() const { return buf_.size() - pos_; }
+
+  /// True while a request whose headers carried "Expect: 100-continue" is
+  /// still waiting for its body — the connection emits the interim 100
+  /// exactly once per such request.
+  bool wantContinue() const {
+    return state_ == ParseState::kBody && req_.expectContinue;
+  }
+
+  /// Full reset, dropping all buffered bytes (fresh connection).
+  void reset();
+
+ private:
+  void fail(u16 status, const char* reason);
+  /// Scans for the next CRLF-terminated line in buf_ starting at pos_.
+  /// Returns the line without its CRLF, or nullopt if incomplete. Enforces
+  /// \p cap on the line length (fail() + nullopt when exceeded).
+  std::optional<std::string_view> nextLine(usize cap, const char* what);
+  bool parseRequestLine(std::string_view line);
+  bool parseHeaderLine(std::string_view line);
+  /// Runs once when the header section completes: Content-Length,
+  /// Connection and Expect handling. Moves state to kBody or kComplete.
+  void finishHeaders();
+  void advance();
+  void compact();
+
+  HttpLimits limits_;
+  ParseState state_ = ParseState::kRequestLine;
+  std::string buf_;       ///< unconsumed input (compacted on take())
+  usize pos_ = 0;         ///< parse cursor into buf_
+  usize headerBytes_ = 0; ///< running header-section size for the cap
+  usize bodyLen_ = 0;     ///< declared Content-Length
+  HttpRequest req_;       ///< request under construction
+  u16 errorStatus_ = 0;
+  const char* errorReason_ = "";
+};
+
+/// One response. serializeResponse() fills in Content-Length and
+/// Connection from the struct fields — handlers only set status, type,
+/// body and close.
+struct HttpResponse {
+  u16 status = 200;
+  std::string contentType = "application/json";
+  std::vector<std::pair<std::string, std::string>> extraHeaders;
+  std::string body;
+  bool close = false;  ///< emit "Connection: close" and drop after writing
+};
+
+/// Canonical reason phrase for \p status ("OK", "Not Found", ...).
+const char* statusReason(u16 status);
+
+/// Renders a response with Content-Length and Connection headers.
+std::string serializeResponse(const HttpResponse& r);
+
+/// Renders a request in canonical wire form (used by the blocking client,
+/// the bench driver, and the fuzz harness's re-serialize idempotence
+/// check). Headers are emitted as parsed (lower-cased names).
+std::string serializeRequest(const HttpRequest& r);
+
+/// Decodes %XX escapes (and, when \p plusAsSpace, '+' as space). Returns
+/// nullopt on a truncated or non-hex escape — the router maps that to 400.
+std::optional<std::string> percentDecode(std::string_view s,
+                                         bool plusAsSpace = false);
+
+/// Splits "a=1&b=2" into decoded (key, value) pairs; keys without '=' get
+/// empty values. Returns nullopt if any component fails percent-decoding.
+std::optional<std::vector<std::pair<std::string, std::string>>> parseQuery(
+    std::string_view query);
+
+/// JSON string escaping for the error/response bodies (RFC 8259: quote,
+/// backslash and control characters; arbitrary request bytes stay valid).
+std::string jsonEscape(std::string_view s);
+
+}  // namespace dharma::gateway

@@ -1,0 +1,186 @@
+#include "gateway/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace dharma::gateway {
+
+namespace {
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string_view> ClientResponse::header(
+    std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool HttpClient::connect(const std::string& host, u16 port, int timeoutMs) {
+  close();
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) return false;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  timeval tv{};
+  tv.tv_sec = timeoutMs / 1000;
+  tv.tv_usec = (timeoutMs % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool HttpClient::sendRaw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  usize off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return false;
+    }
+    off += static_cast<usize>(n);
+  }
+  return true;
+}
+
+std::optional<ClientResponse> HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& contentType) {
+  std::string req = method;
+  req += ' ';
+  req += target;
+  req += " HTTP/1.1\r\nHost: gateway\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    req += "Content-Length: ";
+    req += std::to_string(body.size());
+    req += "\r\n";
+    if (!contentType.empty()) {
+      req += "Content-Type: ";
+      req += contentType;
+      req += "\r\n";
+    }
+  }
+  req += "\r\n";
+  req += body;
+  if (!sendRaw(req)) return std::nullopt;
+  return readResponse();
+}
+
+std::optional<ClientResponse> HttpClient::readResponse() {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {  // loop to skip interim 1xx responses
+    // Accumulate until the header terminator.
+    usize headerEnd;
+    while ((headerEnd = rx_.find("\r\n\r\n")) == std::string::npos) {
+      char buf[8192];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        close();
+        return std::nullopt;
+      }
+      rx_.append(buf, static_cast<usize>(n));
+    }
+
+    ClientResponse resp;
+    std::string_view head = std::string_view(rx_).substr(0, headerEnd);
+    usize lineEnd = head.find("\r\n");
+    std::string_view statusLine =
+        head.substr(0, lineEnd == std::string_view::npos ? head.size()
+                                                         : lineEnd);
+    // "HTTP/1.1 NNN Reason"
+    usize sp = statusLine.find(' ');
+    if (sp == std::string_view::npos || statusLine.size() < sp + 4) {
+      close();
+      return std::nullopt;
+    }
+    resp.status = static_cast<u16>(
+        std::atoi(std::string(statusLine.substr(sp + 1, 3)).c_str()));
+
+    usize contentLength = 0;
+    if (lineEnd != std::string_view::npos) {
+      std::string_view rest = head.substr(lineEnd + 2);
+      while (!rest.empty()) {
+        usize e = rest.find("\r\n");
+        std::string_view line =
+            rest.substr(0, e == std::string_view::npos ? rest.size() : e);
+        usize colon = line.find(':');
+        if (colon != std::string_view::npos) {
+          std::string name = lowered(trimmed(line.substr(0, colon)));
+          std::string value(trimmed(line.substr(colon + 1)));
+          if (name == "content-length") {
+            contentLength = static_cast<usize>(
+                std::strtoull(value.c_str(), nullptr, 10));
+          }
+          resp.headers.emplace_back(std::move(name), std::move(value));
+        }
+        if (e == std::string_view::npos) break;
+        rest = rest.substr(e + 2);
+      }
+    }
+
+    usize bodyStart = headerEnd + 4;
+    while (rx_.size() < bodyStart + contentLength) {
+      char buf[8192];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        close();
+        return std::nullopt;
+      }
+      rx_.append(buf, static_cast<usize>(n));
+    }
+    resp.body = rx_.substr(bodyStart, contentLength);
+    rx_.erase(0, bodyStart + contentLength);
+
+    if (resp.status >= 100 && resp.status < 200) continue;  // interim
+    return resp;
+  }
+}
+
+}  // namespace dharma::gateway

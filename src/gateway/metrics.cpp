@@ -1,0 +1,60 @@
+#include "gateway/metrics.hpp"
+
+#include <cstdio>
+
+namespace dharma::gateway {
+
+std::string promEscape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+PrometheusWriter& PrometheusWriter::family(std::string_view name,
+                                           std::string_view help,
+                                           std::string_view type) {
+  currentName_.assign(name);
+  out_ += "# HELP ";
+  out_ += currentName_;
+  out_ += ' ';
+  out_.append(help);
+  out_ += "\n# TYPE ";
+  out_ += currentName_;
+  out_ += ' ';
+  out_.append(type);
+  out_ += '\n';
+  return *this;
+}
+
+PrometheusWriter& PrometheusWriter::sample(const Labels& labels,
+                                           double value) {
+  out_ += currentName_;
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out_ += ',';
+      first = false;
+      out_ += k;
+      out_ += "=\"";
+      out_ += promEscape(v);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  // %.17g round-trips doubles and renders integral values without noise.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " %.17g\n", value);
+  out_ += buf;
+  return *this;
+}
+
+}  // namespace dharma::gateway

@@ -1,0 +1,63 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Minimal Prometheus text-format exposition (version 0.0.4).
+///
+/// The first slice of the ROADMAP's "production observability" item: the
+/// gateway's /metrics endpoint renders every counter the stack already
+/// keeps (NodeCounters, CacheStats, UdpStats, the gateway's own request
+/// counters) in the exposition format every scraper understands. The
+/// registry is deliberately gateway-local and pull-only — counters are
+/// sampled at scrape time from their owners (posted through the engine
+/// runtime where the owner is loop-thread state), so there is no push
+/// pipeline to keep alive and nothing new to synchronise.
+///
+/// Usage:
+///   PrometheusWriter w;
+///   w.counter("dharma_gateway_requests_total", "Requests accepted")
+///       .sample({{"route", "search"}, {"status", "200"}}, 12)
+///       .sample({{"route", "resolve"}, {"status", "404"}}, 3);
+///   std::string text = w.text();
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dharma::gateway {
+
+/// Streaming builder for one exposition document. Metrics render in the
+/// order they are declared; samples in the order they are added.
+class PrometheusWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Starts a metric family; returns *this for sample() chaining.
+  PrometheusWriter& counter(std::string_view name, std::string_view help) {
+    return family(name, help, "counter");
+  }
+  PrometheusWriter& gauge(std::string_view name, std::string_view help) {
+    return family(name, help, "gauge");
+  }
+
+  /// Adds one sample to the most recently declared family.
+  PrometheusWriter& sample(const Labels& labels, double value);
+  PrometheusWriter& sample(double value) { return sample({}, value); }
+
+  /// The accumulated exposition text.
+  const std::string& text() const { return out_; }
+
+ private:
+  PrometheusWriter& family(std::string_view name, std::string_view help,
+                           std::string_view type);
+
+  std::string out_;
+  std::string currentName_;
+};
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+std::string promEscape(std::string_view v);
+
+}  // namespace dharma::gateway

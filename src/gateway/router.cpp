@@ -1,0 +1,93 @@
+#include "gateway/router.hpp"
+
+namespace dharma::gateway {
+
+const char* routeName(RouteId id) {
+  switch (id) {
+    case RouteId::kPutResource: return "put_resource";
+    case RouteId::kPostTags: return "post_tags";
+    case RouteId::kSearch: return "search";
+    case RouteId::kResolve: return "resolve";
+    case RouteId::kStats: return "stats";
+    case RouteId::kMetrics: return "metrics";
+    case RouteId::kNotFound: return "not_found";
+    case RouteId::kMethodNotAllowed: return "method_not_allowed";
+    case RouteId::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RouteMatch methodNotAllowed(const char* allow) {
+  RouteMatch m;
+  m.id = RouteId::kMethodNotAllowed;
+  m.allow = allow;
+  return m;
+}
+
+RouteMatch badRequest(const char* reason) {
+  RouteMatch m;
+  m.id = RouteId::kBadRequest;
+  m.badReason = reason;
+  return m;
+}
+
+/// Decodes one path segment into m.param; empty or undecodable segments
+/// become kBadRequest.
+RouteMatch withParam(RouteId id, std::string_view rawSegment) {
+  if (rawSegment.empty()) return badRequest("empty-path-parameter");
+  auto decoded = percentDecode(rawSegment);
+  if (!decoded) return badRequest("bad-percent-encoding");
+  RouteMatch m;
+  m.id = id;
+  m.param = std::move(*decoded);
+  return m;
+}
+
+}  // namespace
+
+RouteMatch route(std::string_view method, std::string_view path) {
+  // Fixed paths first.
+  if (path == "/stats") {
+    if (method == "GET") return RouteMatch{RouteId::kStats, {}, "", ""};
+    return methodNotAllowed("GET");
+  }
+  if (path == "/metrics") {
+    if (method == "GET") return RouteMatch{RouteId::kMetrics, {}, "", ""};
+    return methodNotAllowed("GET");
+  }
+  if (path == "/search") {
+    if (method == "GET") return RouteMatch{RouteId::kSearch, {}, "", ""};
+    return methodNotAllowed("GET");
+  }
+
+  constexpr std::string_view kResolve = "/resolve/";
+  if (path.rfind(kResolve, 0) == 0) {
+    std::string_view rest = path.substr(kResolve.size());
+    if (rest.find('/') != std::string_view::npos) {
+      return RouteMatch{};  // deeper paths are not a thing: 404
+    }
+    if (method != "GET") return methodNotAllowed("GET");
+    return withParam(RouteId::kResolve, rest);
+  }
+
+  constexpr std::string_view kResources = "/resources/";
+  if (path.rfind(kResources, 0) == 0) {
+    std::string_view rest = path.substr(kResources.size());
+    usize slash = rest.find('/');
+    if (slash == std::string_view::npos) {
+      if (method != "PUT") return methodNotAllowed("PUT");
+      return withParam(RouteId::kPutResource, rest);
+    }
+    if (rest.substr(slash) == "/tags") {
+      if (method != "POST") return methodNotAllowed("POST");
+      return withParam(RouteId::kPostTags, rest.substr(0, slash));
+    }
+    return RouteMatch{};  // /resources/{r}/<anything-else>: 404
+  }
+
+  return RouteMatch{};  // kNotFound
+}
+
+}  // namespace dharma::gateway

@@ -1,0 +1,55 @@
+#pragma once
+/// \file router.hpp
+/// \brief REST route table for the DHARMA gateway.
+///
+/// Six routes map HTTP onto the client primitives (docs/GATEWAY.md has the
+/// full API reference with curl examples):
+///
+///   PUT  /resources/{r}          insertResource (body = URI, ?tag=... xN)
+///   POST /resources/{r}/tags     tagResources   (body = one tag per line)
+///   GET  /search?tag=T&steps=N   searchSteps    (faceted navigation)
+///   GET  /resolve/{r}            resolveUri
+///   GET  /stats                  gateway + engine counters as JSON
+///   GET  /metrics                Prometheus text exposition
+///
+/// Routing is a pure function of (method, path): no allocation beyond the
+/// decoded path parameter, no handler logic. A known path with the wrong
+/// method yields kMethodNotAllowed carrying the Allow header value, an
+/// unknown path yields kNotFound, and an undecodable path parameter (bad
+/// percent escape, empty segment) yields kBadRequest — the server layer
+/// turns each into its typed JSON error body.
+
+#include <string>
+#include <string_view>
+
+#include "gateway/http.hpp"
+
+namespace dharma::gateway {
+
+enum class RouteId : u8 {
+  kPutResource = 0,    ///< PUT /resources/{r}
+  kPostTags,           ///< POST /resources/{r}/tags
+  kSearch,             ///< GET /search
+  kResolve,            ///< GET /resolve/{r}
+  kStats,              ///< GET /stats
+  kMetrics,            ///< GET /metrics
+  kNotFound,           ///< no route owns this path
+  kMethodNotAllowed,   ///< path exists, method does not
+  kBadRequest,         ///< path parameter failed percent-decoding or empty
+};
+
+/// Stable route label for counters/metrics ("put_resource", "search", ...).
+const char* routeName(RouteId id);
+
+struct RouteMatch {
+  RouteId id = RouteId::kNotFound;
+  std::string param;  ///< decoded {r} path parameter, when the route has one
+  const char* allow = "";  ///< Allow header value for kMethodNotAllowed
+  const char* badReason = "";  ///< error token for kBadRequest
+};
+
+/// Matches \p method + \p path (the still-encoded request path) against the
+/// route table.
+RouteMatch route(std::string_view method, std::string_view path);
+
+}  // namespace dharma::gateway

@@ -46,12 +46,13 @@ UdpTransport::UdpTransport(Executor& exec, Config cfg)
     : exec_(exec), cfg_(std::move(cfg)) {
   auto ip = parseIpv4(cfg_.bindHost);
   if (!ip) {
-    throw std::runtime_error("UdpTransport: bad bind host '" + cfg_.bindHost +
-                             "'");
+    throw TransportError(TransportError::Kind::kBadAddress,
+                         "UdpTransport: bad bind host '" + cfg_.bindHost + "'");
   }
   bindIp_ = *ip;
   if (pipe(wakePipe_) != 0) {
-    throw std::runtime_error("UdpTransport: pipe() failed");
+    throw TransportError(TransportError::Kind::kSocketFailed,
+                         "UdpTransport: pipe() failed");
   }
   fcntl(wakePipe_[0], F_SETFL, O_NONBLOCK);
   fcntl(wakePipe_[1], F_SETFL, O_NONBLOCK);
@@ -69,26 +70,32 @@ void UdpTransport::wakeReceiver() {
 
 Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
   int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) throw std::runtime_error("UdpTransport: socket() failed");
+  if (fd < 0) {
+    throw TransportError(TransportError::Kind::kSocketFailed,
+                         "UdpTransport: socket() failed");
+  }
   // Non-blocking: the receive loop drains each ready socket until
   // EWOULDBLOCK instead of taking one datagram per poll cycle.
   fcntl(fd, F_SETFL, O_NONBLOCK);
   sockaddr_in sa = makeSockAddr(bindIp_, 0);  // ephemeral port
   if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
     ::close(fd);
-    throw std::runtime_error("UdpTransport: bind() failed");
+    throw TransportError(TransportError::Kind::kBindFailed,
+                         "UdpTransport: bind() failed");
   }
   socklen_t len = sizeof(sa);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
     ::close(fd);
-    throw std::runtime_error("UdpTransport: getsockname() failed");
+    throw TransportError(TransportError::Kind::kBindFailed,
+                         "UdpTransport: getsockname() failed");
   }
   Address addr = makeAddress(bindIp_, ntohs(sa.sin_port));
 
   MutexLock lk(sh_->mu);
   if (sh_->closing) {
     ::close(fd);
-    throw std::runtime_error("UdpTransport: registerEndpoint after close()");
+    throw TransportError(TransportError::Kind::kClosed,
+                         "UdpTransport: registerEndpoint after close()");
   }
   sh_->endpoints[addr] = Endpoint{fd, std::move(handler)};
   if (!receiverStarted_) {

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -39,6 +40,39 @@
 #include "util/thread_annotations.hpp"
 
 namespace dharma::net {
+
+/// Typed transport startup/teardown failure. Daemons catch this at boot,
+/// print one line naming the kind ("bad-address: ..."), and exit with
+/// status 2 — the startup-failure exit code, distinct from protocol errors
+/// (1) and clean runs (0) — instead of aborting through an unhandled
+/// exception. kind() is stable; what() carries the human detail.
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind : u8 {
+    kBadAddress,    ///< bind host is not a numeric IPv4 / "localhost"
+    kSocketFailed,  ///< socket()/pipe() resource failure
+    kBindFailed,    ///< bind()/getsockname() on an endpoint socket
+    kClosed,        ///< operation on an already-closed transport
+  };
+
+  TransportError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+  const char* kindName() const {
+    switch (kind_) {
+      case Kind::kBadAddress: return "bad-address";
+      case Kind::kSocketFailed: return "socket-failed";
+      case Kind::kBindFailed: return "bind-failed";
+      case Kind::kClosed: return "transport-closed";
+    }
+    return "unknown";
+  }
+
+ private:
+  Kind kind_;
+};
 
 /// Aggregate traffic counters (mirrors NetworkStats where meaningful).
 struct UdpStats {

@@ -40,12 +40,16 @@
 #include <string>
 #include <vector>
 
+#include "gateway/http_client.hpp"
 #include "subprocess.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
 #ifndef DHARMA_NODE_BIN
 #error "build must define DHARMA_NODE_BIN (path to the dharma_node binary)"
+#endif
+#ifndef DHARMA_GATEWAY_BIN
+#error "build must define DHARMA_GATEWAY_BIN (path to dharma_gateway)"
 #endif
 
 using namespace dharma;
@@ -62,6 +66,8 @@ constexpr int kBootTimeoutMs = 15'000;
 
 struct HarnessConfig {
   std::string nodeBin;
+  std::string gatewayBin;
+  bool gateway = true;  ///< boot an HTTP gateway joined to the fleet
   usize nodes = 8;
   usize keys = 20;
   usize waves = 5;
@@ -107,6 +113,16 @@ struct Harness {
   usize checksFailed = 0;
   Tally killWaveTally;  ///< the >=99% availability population
   i64 worstConvergeMs = 0;
+
+  // The HTTP face of the fleet: one dharma_gateway child joined through
+  // node 0, probed over real TCP during every fault window. Its
+  // availability population is tallied separately and held to the same
+  // 99% floor — the gateway must not turn overlay faults into hangs.
+  NodeProcess gwProc;
+  bool gwUp = false;
+  u16 gwPort = 0;
+  gateway::HttpClient gwHttp;
+  Tally gatewayTally;
 
   explicit Harness(const HarnessConfig& c) : cfg(c), rng(c.seed) {
     fleet.resize(cfg.nodes);
@@ -202,6 +218,73 @@ struct Harness {
   }
 
   std::string keyName(usize k) const { return "res-" + std::to_string(k); }
+
+  /// Boots the gateway daemon joined via node 0 and records its HTTP port.
+  bool bootGateway() {
+    std::cout << "phase gateway: boot HTTP gateway via " << fleet[0].addr
+              << "\n";
+    if (!gwProc.spawn(cfg.gatewayBin,
+                      {"--bind", "127.0.0.1:0", "--nodes", "1",
+                       "--join", fleet[0].addr,
+                       "--rpc-timeout-ms", std::to_string(cfg.rpcTimeoutMs),
+                       "--join-retries", "10"})) {
+      fail("gateway: spawn failed");
+      return false;
+    }
+    constexpr const char* kPrefix = "gateway listening on http://";
+    auto listen = gwProc.readLineWithPrefix(kPrefix, kBootTimeoutMs);
+    auto up = listen ? gwProc.readLineWithPrefix("gateway up", kBootTimeoutMs)
+                     : std::nullopt;
+    if (!listen || !up) {
+      fail("gateway: boot banner missing");
+      gwProc.forceKill();
+      return false;
+    }
+    auto colon = listen->rfind(':');
+    gwPort = static_cast<u16>(std::stoi(listen->substr(colon + 1)));
+    gwUp = true;
+    note("gateway up on HTTP port " + std::to_string(gwPort));
+    return true;
+  }
+
+  /// One HTTP availability probe: GET /resolve/<key> against the gateway.
+  /// 200 is a hit; a JSON error body naming an OpError token is a typed
+  /// miss; anything else — connect refusal, timeout, untyped body — is the
+  /// silent failure the soak forbids.
+  Probe probeGateway(usize k) {
+    if (!gwHttp.connected() &&
+        !gwHttp.connect("127.0.0.1", gwPort, kCmdTimeoutMs)) {
+      fail("gateway: HTTP connect refused");
+      return Probe::kSilent;
+    }
+    auto r = gwHttp.request("GET", "/resolve/" + keyName(k));
+    if (!r) {
+      // A dropped keep-alive connection is not a protocol failure; one
+      // reconnect distinguishes it from a wedged or dead gateway.
+      gwHttp.close();
+      if (gwHttp.connect("127.0.0.1", gwPort, kCmdTimeoutMs)) {
+        r = gwHttp.request("GET", "/resolve/" + keyName(k));
+      }
+    }
+    if (!r) {
+      fail("gateway: no HTTP response for " + keyName(k) +
+           " (hang/EOF = silent failure)");
+      return Probe::kSilent;
+    }
+    if (r->status == 200) return Probe::kOk;
+    for (const char* name :
+         {"not-found", "quorum-failed", "timeout", "node-offline"}) {
+      if (r->body.find(std::string("\"error\":\"") + name) !=
+          std::string::npos) {
+        note("gateway: " + keyName(k) + " -> " + std::to_string(r->status) +
+             " " + *name);
+        return Probe::kTypedErr;
+      }
+    }
+    fail("gateway: untyped HTTP " + std::to_string(r->status) + " body '" +
+         r->body + "' for " + keyName(k));
+    return Probe::kSilent;
+  }
 
   /// Waits (bounded) for node \p i to serve reads and see every live peer
   /// in its routing table. This is the PR's convergence assertion: real
@@ -330,6 +413,13 @@ struct Harness {
       }
     }
 
+    // And the same keys through the HTTP front door, mid-fault.
+    if (gwUp) {
+      for (usize k = 0; k < cfg.keys; ++k) {
+        gatewayTally.add(probeGateway(k));
+      }
+    }
+
     // Restart the victims, each joining through a survivor; the daemon's
     // --join-retries absorbs the race against its own socket rebind.
     usize seedIdx = anySurvivor();
@@ -407,6 +497,11 @@ struct Harness {
         killWaveTally.add(probe(i, "resolve " + keyName(k)));
       }
     }
+    if (gwUp) {
+      for (usize k = 0; k < cfg.keys; ++k) {
+        gatewayTally.add(probeGateway(k));
+      }
+    }
 
     // Isolated side: reads may be served from local replicas or fail —
     // but every failure must be typed. Silent is the only wrong answer.
@@ -445,17 +540,27 @@ struct Harness {
       shutdownFleet();
       return 1;
     }
+    if (cfg.gateway && !bootGateway()) {
+      shutdownFleet();
+      return 1;
+    }
     for (usize w = 1; w <= cfg.waves; ++w) killWave(w);
     gracefulWave();
     partitionPhase();
 
-    // Final sweep: after every fault the whole fleet serves every key.
+    // Final sweep: after every fault the whole fleet serves every key —
+    // over the pipes and over HTTP.
     std::cout << "phase final-sweep\n";
     Tally finalTally;
     for (usize i = 0; i < fleet.size(); ++i) {
       if (!fleet[i].up) continue;
       for (usize k = 0; k < cfg.keys; ++k) {
         finalTally.add(probe(i, "resolve " + keyName(k)));
+      }
+    }
+    if (gwUp) {
+      for (usize k = 0; k < cfg.keys; ++k) {
+        finalTally.add(probeGateway(k));
       }
     }
 
@@ -473,8 +578,22 @@ struct Harness {
               << finalTally.total() << " ok\n"
               << "  worst convergence: " << worstConvergeMs << " ms  (cap "
               << cfg.convergeTimeoutMs << " ms)\n";
+    if (cfg.gateway) {
+      std::cout << "  gateway probes: " << gatewayTally.total()
+                << "  ok=" << gatewayTally.ok
+                << " typed-err=" << gatewayTally.typedErr
+                << " silent=" << gatewayTally.silent << "\n"
+                << "  gateway availability: "
+                << gatewayTally.availability() * 100.0 << "%  (floor 99%)\n";
+    }
 
     if (avail < 0.99) fail("availability below the 99% floor");
+    if (cfg.gateway && gatewayTally.availability() < 0.99) {
+      fail("gateway HTTP availability below the 99% floor");
+    }
+    if (gatewayTally.silent != 0) {
+      fail("gateway saw silent failures");
+    }
     if (killWaveTally.silent != 0 || finalTally.silent != 0) {
       fail("silent failures observed");
     }
@@ -492,6 +611,15 @@ struct Harness {
   void shutdownFleet() {
     // Orderly teardown so the summary is not littered with pipe errors;
     // forceKill in the destructor covers any daemon that ignores quit.
+    if (gwUp) {
+      gwHttp.close();
+      gwProc.sendLine("quit");
+      auto es = gwProc.wait(10'000);
+      if (!es || !es->exited || es->code != 0) {
+        fail("gateway: quit did not produce a clean exit 0");
+      }
+      gwUp = false;
+    }
     for (auto& n : fleet) {
       if (!n.up) continue;
       n.proc.sendLine("quit");
@@ -511,6 +639,8 @@ int main(int argc, char** argv) {
   Options opts(argc, argv);
   HarnessConfig cfg;
   cfg.nodeBin = opts.getString("node-bin", DHARMA_NODE_BIN);
+  cfg.gatewayBin = opts.getString("gateway-bin", DHARMA_GATEWAY_BIN);
+  cfg.gateway = opts.getBool("gateway", true);
   if (opts.getBool("smoke", false)) {
     // CI shape: smallest fleet the acceptance bar allows (>=5 processes,
     // 3 x 20% kill waves), tight enough to ride in every pipeline run.

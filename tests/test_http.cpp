@@ -1,0 +1,345 @@
+/// Unit suite for the gateway's HTTP/1.1 wire layer (src/gateway/http.*):
+/// the incremental parser under every fragmentation pattern, the strict
+/// limits (each cap → its typed 400/413), keep-alive defaulting, the
+/// pipelining take() contract, the serializers, percent/query decoding,
+/// and the route table. Everything here is pure in-memory — the
+/// socket-level behaviour rides in test_gateway.cpp.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gateway/http.hpp"
+#include "gateway/metrics.hpp"
+#include "gateway/router.hpp"
+
+namespace dharma::gateway {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpParser p;
+  ASSERT_EQ(p.feed("GET /search?tag=rock HTTP/1.1\r\nHost: x\r\n\r\n"),
+            ParseState::kComplete);
+  HttpRequest r = p.take();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/search?tag=rock");
+  EXPECT_EQ(r.path, "/search");
+  EXPECT_EQ(r.query, "tag=rock");
+  EXPECT_EQ(r.versionMinor, 1);
+  EXPECT_TRUE(r.keepAlive);
+  EXPECT_TRUE(r.body.empty());
+  ASSERT_TRUE(r.header("host").has_value());
+  EXPECT_EQ(*r.header("host"), "x");
+}
+
+TEST(HttpParser, ByteAtATimeFragmentationYieldsSameRequest) {
+  const std::string wire =
+      "PUT /resources/r1?tag=a HTTP/1.1\r\nHost: h\r\n"
+      "Content-Length: 5\r\n\r\nhello";
+  HttpParser p;
+  for (char c : wire) {
+    ASSERT_NE(p.feed(std::string_view(&c, 1)), ParseState::kError);
+  }
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  HttpRequest r = p.take();
+  EXPECT_EQ(r.method, "PUT");
+  EXPECT_EQ(r.path, "/resources/r1");
+  EXPECT_EQ(r.body, "hello");
+}
+
+TEST(HttpParser, HeaderNamesAreLowerCasedValuesTrimmed) {
+  HttpParser p;
+  ASSERT_EQ(p.feed("GET / HTTP/1.1\r\nX-ThInG:   v a l  \r\n\r\n"),
+            ParseState::kComplete);
+  HttpRequest r = p.take();
+  ASSERT_TRUE(r.header("x-thing").has_value());
+  EXPECT_EQ(*r.header("x-thing"), "v a l");
+}
+
+TEST(HttpParser, PipeliningLeavesNextRequestBuffered) {
+  HttpParser p;
+  ASSERT_EQ(p.feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            ParseState::kComplete);
+  HttpRequest a = p.take();
+  EXPECT_EQ(a.path, "/a");
+  // take() re-parses buffered pipelined bytes immediately.
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  HttpRequest b = p.take();
+  EXPECT_EQ(b.path, "/b");
+  EXPECT_EQ(p.state(), ParseState::kRequestLine);
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(HttpParser, KeepAliveDefaultsByVersionAndConnectionHeader) {
+  {
+    HttpParser p;
+    p.feed("GET / HTTP/1.0\r\n\r\n");
+    EXPECT_FALSE(p.take().keepAlive) << "1.0 defaults to close";
+  }
+  {
+    HttpParser p;
+    p.feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    EXPECT_TRUE(p.take().keepAlive);
+  }
+  {
+    HttpParser p;
+    p.feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_FALSE(p.take().keepAlive);
+  }
+  {
+    HttpParser p;
+    p.feed("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
+    EXPECT_FALSE(p.take().keepAlive) << "Connection value is case-insensitive";
+  }
+}
+
+TEST(HttpParser, ExpectContinueFlaggedAndVisibleMidBody) {
+  HttpParser p;
+  p.feed("POST /resources/r/tags HTTP/1.1\r\nContent-Length: 4\r\n"
+         "Expect: 100-continue\r\n\r\n");
+  EXPECT_EQ(p.state(), ParseState::kBody);
+  EXPECT_TRUE(p.wantContinue());
+  p.feed("tagx");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  EXPECT_FALSE(p.wantContinue());
+  HttpRequest r = p.take();
+  EXPECT_TRUE(r.expectContinue);
+  EXPECT_EQ(r.body, "tagx");
+}
+
+// ---------------------------------------------------------------------------
+// Rejections: every cap and malformation maps to a typed 400/413
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, RejectsBareLfLineEnding) {
+  HttpParser p;
+  EXPECT_EQ(p.feed("GET / HTTP/1.1\n\n"), ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, RejectsUnknownVersion) {
+  HttpParser p;
+  EXPECT_EQ(p.feed("GET / HTTP/2.0\r\n\r\n"), ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, RejectsNonOriginFormTarget) {
+  HttpParser p;
+  EXPECT_EQ(p.feed("GET http://h/x HTTP/1.1\r\n\r\n"), ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, RejectsOversizeRequestLine) {
+  HttpLimits lim;
+  lim.maxRequestLineBytes = 64;
+  HttpParser p(lim);
+  std::string line = "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(p.feed(line), ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+  EXPECT_STREQ(p.errorReason(), "request-line-too-long");
+}
+
+TEST(HttpParser, RejectsOversizeHeaderLine) {
+  HttpLimits lim;
+  lim.maxHeaderLineBytes = 32;
+  HttpParser p(lim);
+  std::string wire =
+      "GET / HTTP/1.1\r\nX-Big: " + std::string(64, 'v') + "\r\n\r\n";
+  EXPECT_EQ(p.feed(wire), ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, RejectsTooManyHeaders) {
+  HttpLimits lim;
+  lim.maxHeaderCount = 4;
+  HttpParser p(lim);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    wire += "H" + std::to_string(i) + ": v\r\n";
+  }
+  wire += "\r\n";
+  EXPECT_EQ(p.feed(wire), ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+  EXPECT_STREQ(p.errorReason(), "too-many-headers");
+}
+
+TEST(HttpParser, RejectsBodyOverCapWith413) {
+  HttpLimits lim;
+  lim.maxBodyBytes = 16;
+  HttpParser p(lim);
+  EXPECT_EQ(p.feed("PUT /r HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 413);
+  EXPECT_STREQ(p.errorReason(), "body-too-large");
+}
+
+TEST(HttpParser, RejectsTransferEncoding) {
+  HttpParser p;
+  EXPECT_EQ(
+      p.feed("POST /r HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+  EXPECT_STREQ(p.errorReason(), "unsupported-transfer-encoding");
+}
+
+TEST(HttpParser, RejectsMalformedAndConflictingContentLength) {
+  {
+    HttpParser p;
+    EXPECT_EQ(p.feed("PUT /r HTTP/1.1\r\nContent-Length: 12x\r\n\r\n"),
+              ParseState::kError);
+  }
+  {
+    HttpParser p;
+    EXPECT_EQ(p.feed("PUT /r HTTP/1.1\r\nContent-Length: 2\r\n"
+                     "Content-Length: 3\r\n\r\n"),
+              ParseState::kError);
+  }
+}
+
+TEST(HttpParser, RejectsObsoleteLineFolding) {
+  HttpParser p;
+  EXPECT_EQ(p.feed("GET / HTTP/1.1\r\nA: b\r\n  folded\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, FeedAfterErrorIsANoOp) {
+  HttpParser p;
+  ASSERT_EQ(p.feed("BROKEN\r\n\r\n"), ParseState::kError);
+  EXPECT_EQ(p.feed("GET / HTTP/1.1\r\n\r\n"), ParseState::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Serializers
+// ---------------------------------------------------------------------------
+
+TEST(HttpSerialize, ResponseCarriesContentLengthAndConnection) {
+  HttpResponse r;
+  r.status = 404;
+  r.body = "{\"error\":\"not-found\"}";
+  r.close = true;
+  std::string wire = serializeResponse(r);
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 21\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"error\":\"not-found\"}"),
+            std::string::npos);
+}
+
+TEST(HttpSerialize, RequestRoundTripsThroughParser) {
+  HttpRequest r;
+  r.method = "POST";
+  r.target = "/resources/r1/tags";
+  r.path = "/resources/r1/tags";
+  r.headers.emplace_back("host", "gw");
+  r.headers.emplace_back("content-length", "3");
+  r.body = "abc";
+  std::string wire = serializeRequest(r);
+
+  HttpParser p;
+  ASSERT_EQ(p.feed(wire), ParseState::kComplete);
+  HttpRequest back = p.take();
+  EXPECT_EQ(back.method, r.method);
+  EXPECT_EQ(back.target, r.target);
+  EXPECT_EQ(back.body, r.body);
+  // Idempotence: serializing the re-parsed request reproduces the wire
+  // bytes (the fuzz harness asserts this for every valid input).
+  EXPECT_EQ(serializeRequest(back), wire);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding helpers
+// ---------------------------------------------------------------------------
+
+TEST(HttpDecode, PercentDecodeHandlesEscapesAndRejectsBadOnes) {
+  EXPECT_EQ(percentDecode("plain"), "plain");
+  EXPECT_EQ(percentDecode("a%20b"), "a b");
+  EXPECT_EQ(percentDecode("%41%42"), "AB");
+  EXPECT_EQ(percentDecode("a+b"), "a+b");
+  EXPECT_EQ(percentDecode("a+b", /*plusAsSpace=*/true), "a b");
+  EXPECT_FALSE(percentDecode("bad%").has_value());
+  EXPECT_FALSE(percentDecode("bad%2").has_value());
+  EXPECT_FALSE(percentDecode("bad%zz").has_value());
+}
+
+TEST(HttpDecode, ParseQuerySplitsPairsAndDecodes) {
+  auto q = parseQuery("tag=rock%20roll&steps=2&flag");
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->size(), 3u);
+  EXPECT_EQ((*q)[0].first, "tag");
+  EXPECT_EQ((*q)[0].second, "rock roll");
+  EXPECT_EQ((*q)[1].first, "steps");
+  EXPECT_EQ((*q)[1].second, "2");
+  EXPECT_EQ((*q)[2].first, "flag");
+  EXPECT_EQ((*q)[2].second, "");
+  EXPECT_FALSE(parseQuery("a=%xx").has_value());
+}
+
+TEST(HttpDecode, JsonEscapeHandlesControlBytes) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+// ---------------------------------------------------------------------------
+// Route table
+// ---------------------------------------------------------------------------
+
+TEST(Router, MatchesAllSixRoutes) {
+  EXPECT_EQ(route("PUT", "/resources/r1").id, RouteId::kPutResource);
+  EXPECT_EQ(route("PUT", "/resources/r1").param, "r1");
+  EXPECT_EQ(route("POST", "/resources/r1/tags").id, RouteId::kPostTags);
+  EXPECT_EQ(route("POST", "/resources/r1/tags").param, "r1");
+  EXPECT_EQ(route("GET", "/search").id, RouteId::kSearch);
+  EXPECT_EQ(route("GET", "/resolve/r1").id, RouteId::kResolve);
+  EXPECT_EQ(route("GET", "/stats").id, RouteId::kStats);
+  EXPECT_EQ(route("GET", "/metrics").id, RouteId::kMetrics);
+}
+
+TEST(Router, PathParametersArePercentDecoded) {
+  RouteMatch m = route("GET", "/resolve/my%20song");
+  EXPECT_EQ(m.id, RouteId::kResolve);
+  EXPECT_EQ(m.param, "my song");
+  EXPECT_EQ(route("GET", "/resolve/bad%zz").id, RouteId::kBadRequest);
+  EXPECT_EQ(route("PUT", "/resources/").id, RouteId::kBadRequest);
+}
+
+TEST(Router, WrongMethodYields405WithAllow) {
+  RouteMatch m = route("POST", "/search");
+  EXPECT_EQ(m.id, RouteId::kMethodNotAllowed);
+  EXPECT_STREQ(m.allow, "GET");
+  EXPECT_EQ(route("GET", "/resources/r1").id, RouteId::kMethodNotAllowed);
+  EXPECT_EQ(route("DELETE", "/stats").id, RouteId::kMethodNotAllowed);
+}
+
+TEST(Router, UnknownPathsYield404) {
+  EXPECT_EQ(route("GET", "/").id, RouteId::kNotFound);
+  EXPECT_EQ(route("GET", "/nope").id, RouteId::kNotFound);
+  EXPECT_EQ(route("GET", "/resolve/a/b").id, RouteId::kNotFound);
+  EXPECT_EQ(route("PUT", "/resources/r/other").id, RouteId::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus writer
+// ---------------------------------------------------------------------------
+
+TEST(Prometheus, RendersFamiliesAndEscapesLabels) {
+  PrometheusWriter w;
+  w.counter("t_total", "help text").sample(3);
+  w.gauge("g", "a gauge").sample({{"route", "se\"arch"}}, 1.5);
+  const std::string& t = w.text();
+  EXPECT_NE(t.find("# HELP t_total help text\n"), std::string::npos);
+  EXPECT_NE(t.find("# TYPE t_total counter\n"), std::string::npos);
+  EXPECT_NE(t.find("t_total 3\n"), std::string::npos);
+  EXPECT_NE(t.find("# TYPE g gauge\n"), std::string::npos);
+  EXPECT_NE(t.find("g{route=\"se\\\"arch\"} 1.5\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dharma::gateway
