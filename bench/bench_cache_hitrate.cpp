@@ -25,6 +25,7 @@
 ///
 /// Options: --nodes --tags --resources --sessions --steps --seed --smoke.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -200,6 +201,7 @@ int main(int argc, char** argv) {
                                             static_cast<i64>(p.sessions)));
   p.steps = static_cast<u32>(opts.getInt("steps", p.steps));
   p.seed = static_cast<u64>(opts.getInt("seed", 42));
+  const std::string jsonPath = opts.getString("json", "");
 
   std::cout << "### Record-cache hit rate and lookup cost under Zipf reads\n"
             << "# overlay: " << p.nodes << " nodes; corpus: " << p.tags
@@ -328,5 +330,32 @@ int main(int argc, char** argv) {
             << (identitiesHold ? "PASS" : std::string("FAIL") + identDetail)
             << " => " << (reductionOk && identitiesHold ? "PASS" : "FAIL")
             << "\n";
+
+  if (!jsonPath.empty()) {
+    // Deterministic per config: the checked-in baseline in bench/baselines/
+    // must reproduce byte-for-byte on the same config.
+    std::ofstream js(jsonPath);
+    js << "{\n"
+       << "  \"bench\": \"bench_cache_hitrate\",\n"
+       << "  \"config\": {\"nodes\": " << p.nodes << ", \"tags\": "
+       << p.tags << ", \"resources\": " << p.resources
+       << ", \"sessions\": " << p.sessions << ", \"steps\": " << p.steps
+       << ", \"seed\": " << p.seed << "},\n"
+       << "  \"headline\": {\"lookups_per_session_off\": " << headlineOff
+       << ", \"lookups_per_session_on\": " << headlineOn
+       << ", \"reduction\": " << reduction << "},\n"
+       << "  \"digest\": {\"lookups\": " << digestLookups
+       << ", \"client_hits\": " << digestHits
+       << ", \"store_cache_published\": " << digestPublished << "},\n"
+       << "  \"checks\": {\"reduction_ok\": "
+       << (reductionOk ? "true" : "false") << ", \"identities_hold\": "
+       << (identitiesHold ? "true" : "false") << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::cout << "# json written to " << jsonPath << "\n";
+  }
   return reductionOk && identitiesHold ? 0 : 1;
 }

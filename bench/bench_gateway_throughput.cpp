@@ -41,6 +41,7 @@
 #include "gateway/server.hpp"
 #include "net/realtime.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/registry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
@@ -90,26 +91,35 @@ int main(int argc, char** argv) {
       static_cast<usize>(opts.getInt("resources", smoke ? 16 : 64));
   const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
   const std::string jsonPath = opts.getString("json", "");
+  // Full obs instrumentation is ON by default so a baseline diff measures
+  // its overhead (the <=5%% acceptance gate); --obs false isolates it.
+  const bool obsOn = opts.getBool("obs", true);
 
   std::cout << "### Gateway HTTP throughput (loopback TCP -> overlay UDP)\n"
             << "# nodes=" << nNodes << " clients=" << nClients
             << " gw-workers=" << gwWorkers << " ops/client=" << opsPerClient
             << " conns/client=" << connsPerClient
+            << " obs=" << (obsOn ? "on" : "off")
             << "\n# wall-clock measurement: numbers vary run to run (no "
                "digest)\n";
 
   // ---- overlay + gateway boot --------------------------------------------
+  obs::MetricsRegistry registry;  // before the transport: it holds a pointer
   net::RealTimeExecutor exec;
   exec.start();
-  net::UdpTransport transport(exec);
+  net::UdpTransport transport(
+      exec, net::UdpTransport::Config{"127.0.0.1", 1400,
+                                      obsOn ? &registry : nullptr});
   crypto::CertificationService cs("bench-gateway-secret");
   core::RealTimeRuntime rt(exec, transport);
 
+  dht::NodeConfig nodeCfg;
+  if (obsOn) nodeCfg.metrics = &registry;
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   for (usize i = 0; i < nNodes; ++i) {
     nodes.push_back(std::make_unique<dht::KademliaNode>(
         exec, transport, cs, cs.enroll("bench-gw-" + std::to_string(i)),
-        dht::NodeConfig{}, seed + i));
+        nodeCfg, seed + i));
   }
   Clock::time_point bootStart = Clock::now();
   for (usize i = 1; i < nNodes; ++i) {
@@ -121,6 +131,7 @@ int main(int argc, char** argv) {
 
   core::DharmaConfig ccfg;
   ccfg.cacheEnabled = true;
+  if (obsOn) ccfg.metrics = &registry;
   core::DharmaClient client(rt, *nodes[0], ccfg, seed);
 
   gateway::GatewayConfig gwCfg;
@@ -128,6 +139,7 @@ int main(int argc, char** argv) {
   gwCfg.workers = gwWorkers;
   gateway::GatewayServer::Deps deps;
   deps.client = &client;
+  if (obsOn) deps.metrics = &registry;
   gateway::GatewayServer server(gwCfg, deps);
   if (server.start() != gateway::StartError::kNone) {
     std::cerr << "gateway start failed: " << server.startDetail() << "\n";
@@ -283,7 +295,8 @@ int main(int argc, char** argv) {
        << ", \"ops_per_client\": " << opsPerClient
        << ", \"conns_per_client\": " << connsPerClient
        << ", \"resources\": " << nResources << ", \"seed\": " << seed
-       << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"
+       << ", \"smoke\": " << (smoke ? "true" : "false")
+       << ", \"obs\": " << (obsOn ? "true" : "false") << "},\n"
        << "  \"req_wall_seconds\": " << reqWallUs / 1e6 << ",\n"
        << "  \"req_per_sec\": "
        << static_cast<double>(totalReqs) / (reqWallUs / 1e6) << ",\n"

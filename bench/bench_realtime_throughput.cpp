@@ -42,6 +42,7 @@
 #include "core/runtime.hpp"
 #include "net/realtime.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/registry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
@@ -87,25 +88,34 @@ int main(int argc, char** argv) {
       static_cast<usize>(opts.getInt("resources", smoke ? 16 : 64));
   const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
   const std::string jsonPath = opts.getString("json", "");
+  // Full obs instrumentation is ON by default so a baseline diff measures
+  // its overhead (the <=5%% acceptance gate); --obs false isolates it.
+  const bool obsOn = opts.getBool("obs", true);
 
   std::cout << "### Real-time loopback-UDP throughput\n"
             << "# nodes=" << nNodes << " workers=" << nWorkers
             << " ops/worker=" << opsPerWorker << " resources=" << nResources
+            << " obs=" << (obsOn ? "on" : "off")
             << "\n# wall-clock measurement: numbers vary run to run (no "
                "digest)\n";
 
   // ---- cluster boot -------------------------------------------------------
+  obs::MetricsRegistry registry;  // before the transport: it holds a pointer
   net::RealTimeExecutor exec;
   exec.start();
-  net::UdpTransport transport(exec);
+  net::UdpTransport transport(
+      exec, net::UdpTransport::Config{"127.0.0.1", 1400,
+                                      obsOn ? &registry : nullptr});
   crypto::CertificationService cs("bench-realtime-secret");
   core::RealTimeRuntime rt(exec, transport);
 
+  dht::NodeConfig nodeCfg;
+  if (obsOn) nodeCfg.metrics = &registry;
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   for (usize i = 0; i < nNodes; ++i) {
     nodes.push_back(std::make_unique<dht::KademliaNode>(
         exec, transport, cs, cs.enroll("bench-" + std::to_string(i)),
-        dht::NodeConfig{}, seed + i));
+        nodeCfg, seed + i));
   }
   Clock::time_point bootStart = Clock::now();
   for (usize i = 1; i < nNodes; ++i) {
@@ -147,7 +157,9 @@ int main(int argc, char** argv) {
   Clock::time_point runStart = Clock::now();
   for (usize w = 0; w < nWorkers; ++w) {
     workers.emplace_back([&, w] {
-      core::DharmaClient client(rt, *nodes[(w + 1) % nNodes], {},
+      core::DharmaConfig ccfg;
+      if (obsOn) ccfg.metrics = &registry;
+      core::DharmaClient client(rt, *nodes[(w + 1) % nNodes], ccfg,
                                 seed + 100 + w);
       Rng rng(seed * 31 + w);
       WorkerResult& res = results[w];
@@ -227,7 +239,8 @@ int main(int argc, char** argv) {
        << "  \"config\": {\"nodes\": " << nNodes << ", \"workers\": "
        << nWorkers << ", \"ops_per_worker\": " << opsPerWorker
        << ", \"resources\": " << nResources << ", \"seed\": " << seed
-       << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"
+       << ", \"smoke\": " << (smoke ? "true" : "false")
+       << ", \"obs\": " << (obsOn ? "true" : "false") << "},\n"
        << "  \"wall_seconds\": " << wallUs / 1e6 << ",\n"
        << "  \"ops_per_sec\": "
        << static_cast<double>(totalOps) / (wallUs / 1e6) << ",\n"

@@ -15,6 +15,7 @@
 /// grouped), so lookups/op must come out strictly lower while the single-op
 /// Table I cells above stay untouched.
 
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   using namespace dharma;
   auto env = bench::BenchEnv::parse(argc, argv);
   usize nodes = static_cast<usize>(env.opts.getInt("nodes", 64));
+  const std::string jsonPath = env.opts.getString("json", "");
   bench::banner("Table I — distributed tagging primitives cost (#lookups)", env);
   std::cout << "# overlay: " << nodes << " Kademlia/Likir nodes (simulated)\n";
 
@@ -228,5 +230,28 @@ int main(int argc, char** argv) {
   std::cout << "# overlay traffic: " << net.network().stats().sent
             << " datagrams, " << net.network().stats().bytesSent << " bytes, "
             << net.totalLookups() << " total lookups\n";
+
+  if (!jsonPath.empty()) {
+    // Deterministic per (nodes, seed): the checked-in baseline in
+    // bench/baselines/ must reproduce byte-for-byte on the same config.
+    std::ofstream js(jsonPath);
+    js << "{\n"
+       << "  \"bench\": \"bench_table1_primitives\",\n"
+       << "  \"config\": {\"nodes\": " << nodes << ", \"seed\": "
+       << env.seed << "},\n"
+       << "  \"checks\": {\"all_cells_match\": "
+       << (allMatch ? "true" : "false") << ", \"batched_cheaper\": "
+       << (batchedWins ? "true" : "false") << ", \"all_ops_ok\": "
+       << (allOk ? "true" : "false") << "},\n"
+       << "  \"traffic\": {\"datagrams\": " << net.network().stats().sent
+       << ", \"bytes\": " << net.network().stats().bytesSent
+       << ", \"total_lookups\": " << net.totalLookups() << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::cout << "# json written to " << jsonPath << "\n";
+  }
   return allMatch && batchedWins && allOk ? 0 : 1;
 }

@@ -31,6 +31,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -43,6 +44,9 @@
 #include "gateway/server.hpp"
 #include "net/realtime.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "util/options.hpp"
 
 #include <unistd.h>
@@ -57,17 +61,33 @@ void onStopSignal(int sig) { g_stopSignal = sig; }
 
 struct Daemon {
   net::RealTimeExecutor exec;
+  /// Process-wide observability: one registry every layer (gateway,
+  /// client, node, UDP) records into, one trace ring spans land in.
+  obs::MetricsRegistry registry;
+  obs::TraceRing traces{256};
+  bool tracesOn = true;
   net::UdpTransport transport;
   crypto::CertificationService cs{"dharma-node-demo-secret"};
   core::RealTimeRuntime rt{exec, transport};
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   std::vector<std::unique_ptr<dht::MaintenanceManager>> managers;
   std::unique_ptr<core::DharmaClient> client;
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  std::shared_ptr<std::ofstream> metricsOut;
 
   explicit Daemon(const std::string& udpHost)
-      : transport(exec, net::UdpTransport::Config{udpHost, 1400}) {}
+      : transport(exec,
+                  net::UdpTransport::Config{udpHost, 1400, &registry}) {}
 
   ~Daemon() {
+    // Stop the sampler on the loop thread BEFORE stopping the loop, so a
+    // tick can't re-arm mid-stop (MaintenanceManager discipline).
+    if (sampler) {
+      rt.awaitDone([&](std::function<void()> done) {
+        sampler->stop();
+        done();
+      });
+    }
     // Same teardown discipline as dharma_node: stop the loop first so
     // maintenance timers can't re-arm mid-stop. The gateway must already
     // be stopped by now — its workers block through the runtime.
@@ -76,12 +96,66 @@ struct Daemon {
     transport.close();
   }
 
+  /// Mirrors engine-side counters (client, node 0, client cache, UDP) into
+  /// the registry. MUST run on the engine loop thread — the sampler's
+  /// collect hook calls it directly; worker-thread scrapes go through
+  /// rt.awaitDone (see collectEngine below).
+  void syncEngineOnLoop() {
+    core::DharmaClient::Counters cc = client->counters();
+    core::OpCost cost = client->totalCost();
+    dht::NodeCounters nc = nodes[0]->counters();
+    cache::CacheStats cs = client->cacheStats();
+    net::UdpStats us = transport.stats();
+    registry.counter("dharma_client_ops_total", "Protocol operations completed")
+        .set(cc.ops);
+    registry
+        .counter("dharma_client_failures_total",
+                 "Operations returning an error")
+        .set(cc.failures);
+    registry
+        .counter("dharma_client_lookups_total",
+                 "Overlay lookups paid (Table I unit)")
+        .set(cost.lookups);
+    registry
+        .counter("dharma_client_cache_hits_total",
+                 "Reads served by the client record cache")
+        .set(cs.hits);
+    registry
+        .counter("dharma_client_cache_misses_total",
+                 "Client record cache misses")
+        .set(cs.misses);
+    registry
+        .counter("dharma_node_cache_hits_total",
+                 "GETs answered from the node-side cache")
+        .set(nc.cacheHits);
+    registry
+        .counter("dharma_node_stores_deduplicated_total",
+                 "Replayed STOREs acked without re-applying")
+        .set(nc.storesDeduplicated);
+    registry.counter("dharma_node_rpcs_sent_total", "RPC requests sent")
+        .set(nc.rpcsSent);
+    registry.counter("dharma_node_timeouts_total", "RPCs that timed out")
+        .set(nc.timeouts);
+    registry
+        .counter("dharma_udp_datagrams_sent_total",
+                 "Datagrams accepted by sendto()")
+        .set(us.sent);
+    registry
+        .counter("dharma_udp_datagrams_received_total",
+                 "Datagrams handed to an endpoint handler")
+        .set(us.received);
+    registry.counter("dharma_udp_bytes_sent_total", "Payload bytes accepted")
+        .set(us.bytesSent);
+  }
+
   bool boot(usize n, const std::string& joinSpec, bool cacheOn,
             usize joinRetries, net::TimeUs rpcTimeoutUs) {
     exec.start();
     std::string prefix = "gw-" + std::to_string(::getpid()) + "-";
     dht::NodeConfig nodeCfg;
     nodeCfg.rpcTimeoutUs = rpcTimeoutUs;
+    nodeCfg.metrics = &registry;
+    if (tracesOn) nodeCfg.traces = &traces;
     for (usize i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<dht::KademliaNode>(
           exec, transport, cs, cs.enroll(prefix + std::to_string(i)), nodeCfg,
@@ -134,8 +208,44 @@ struct Daemon {
 
     core::DharmaConfig cfg;
     cfg.cacheEnabled = cacheOn;
+    cfg.metrics = &registry;
+    if (tracesOn) cfg.traces = &traces;
     client = std::make_unique<core::DharmaClient>(rt, *nodes[0], cfg);
     return true;
+  }
+
+  /// Builds the sampler (always, so `stats-json` and the /stats "samples"
+  /// ring work). The collect hook starts as the engine sync alone; main()
+  /// swaps in a combined hook (engine + gateway counters) once the HTTP
+  /// server exists, BEFORE startSamplerTick — no tick runs in between.
+  void createSampler(u64 intervalMs, const std::string& outPath, u64 seed) {
+    obs::SamplerConfig sc;
+    sc.intervalUs = (intervalMs == 0 ? 1000 : intervalMs) * 1000;
+    sc.seed = seed;
+    sampler = std::make_unique<obs::MetricsSampler>(exec, registry, sc);
+    sampler->setCollect([this] { syncEngineOnLoop(); });
+    if (!outPath.empty()) {
+      metricsOut = std::make_shared<std::ofstream>(outPath,
+                                                   std::ios::out |
+                                                       std::ios::trunc);
+      if (!*metricsOut) {
+        std::cout << "ERR cannot open --metrics-out '" << outPath << "'\n";
+        metricsOut.reset();
+      } else {
+        sampler->addSink([out = metricsOut](const obs::Sample& sample) {
+          *out << sample.toJson() << "\n";
+          out->flush();
+        });
+      }
+    }
+  }
+
+  void startSamplerTick(u64 intervalMs) {
+    if (intervalMs == 0) return;
+    rt.awaitDone([&](std::function<void()> done) {
+      sampler->start();
+      done();
+    });
   }
 };
 
@@ -170,6 +280,9 @@ int main(int argc, char** argv) {
   usize joinRetries = static_cast<usize>(opts.getInt("join-retries", 5));
   net::TimeUs rpcTimeoutUs =
       static_cast<net::TimeUs>(opts.getInt("rpc-timeout-ms", 1500)) * 1000;
+  u64 statsIntervalMs = static_cast<u64>(opts.getInt("stats-interval-ms", 0));
+  std::string metricsOutPath = opts.getString("metrics-out", "");
+  bool tracesOn = opts.getBool("traces", true);
   if (n == 0) {
     std::cerr << "--nodes must be >= 1\n";
     return 2;
@@ -202,6 +315,7 @@ int main(int argc, char** argv) {
   try {
     // The overlay's UDP sockets bind the same host as the HTTP listener.
     daemon = std::make_unique<Daemon>(httpHost);
+    daemon->tracesOn = tracesOn;
     if (!daemon->boot(n, joinSpec, cacheOn, joinRetries, rpcTimeoutUs)) {
       return 2;
     }
@@ -252,51 +366,16 @@ int main(int argc, char** argv) {
         << ",\"sendErrors\":" << us.sendErrors << "}}";
     return out.str();
   };
-  deps.engineMetrics = [&d](gateway::PrometheusWriter& w) {
-    core::DharmaClient::Counters cc;
-    core::OpCost cost;
-    dht::NodeCounters nc;
-    cache::CacheStats cs;
+  deps.collectEngine = [&d] {
     d.rt.awaitDone([&](std::function<void()> done) {
-      cc = d.client->counters();
-      cost = d.client->totalCost();
-      nc = d.nodes[0]->counters();
-      cs = d.client->cacheStats();
+      d.syncEngineOnLoop();
       done();
     });
-    net::UdpStats us = d.transport.stats();
-    w.counter("dharma_client_ops_total", "Protocol operations completed")
-        .sample(static_cast<double>(cc.ops));
-    w.counter("dharma_client_failures_total", "Operations returning an error")
-        .sample(static_cast<double>(cc.failures));
-    w.counter("dharma_client_lookups_total",
-              "Overlay lookups paid (Table I unit)")
-        .sample(static_cast<double>(cost.lookups));
-    w.counter("dharma_client_cache_hits_total",
-              "Reads served by the client record cache")
-        .sample(static_cast<double>(cs.hits));
-    w.counter("dharma_client_cache_misses_total",
-              "Client record cache misses")
-        .sample(static_cast<double>(cs.misses));
-    w.counter("dharma_node_cache_hits_total",
-              "GETs answered from the node-side cache")
-        .sample(static_cast<double>(nc.cacheHits));
-    w.counter("dharma_node_stores_deduplicated_total",
-              "Replayed STOREs acked without re-applying")
-        .sample(static_cast<double>(nc.storesDeduplicated));
-    w.counter("dharma_node_rpcs_sent_total", "RPC requests sent")
-        .sample(static_cast<double>(nc.rpcsSent));
-    w.counter("dharma_node_timeouts_total", "RPCs that timed out")
-        .sample(static_cast<double>(nc.timeouts));
-    w.counter("dharma_udp_datagrams_sent_total",
-              "Datagrams accepted by sendto()")
-        .sample(static_cast<double>(us.sent));
-    w.counter("dharma_udp_datagrams_received_total",
-              "Datagrams handed to an endpoint handler")
-        .sample(static_cast<double>(us.received));
-    w.counter("dharma_udp_bytes_sent_total", "Payload bytes accepted")
-        .sample(static_cast<double>(us.bytesSent));
   };
+  d.createSampler(statsIntervalMs, metricsOutPath, 0xCAFE);
+  deps.metrics = &d.registry;
+  deps.sampler = d.sampler.get();
+  if (tracesOn) deps.traces = &d.traces;
 
   gateway::GatewayServer server(gwCfg, deps);
   gateway::StartError se = server.start();
@@ -305,6 +384,14 @@ int main(int argc, char** argv) {
               << "): " << server.startDetail() << "\n";
     return 2;
   }
+
+  // Periodic samples must carry the gateway's own counters too, not just
+  // the engine's; swap in the combined collect hook before the first tick.
+  d.sampler->setCollect([&d, &server] {
+    d.syncEngineOnLoop();
+    server.publishMetrics();
+  });
+  d.startSamplerTick(statsIntervalMs);
 
   std::cout << "gateway listening on http://" << gwCfg.bindHost << ":"
             << server.port() << "\n";
@@ -328,9 +415,9 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") break;
 
     if (cmd == "help") {
-      std::cout << "OK commands: stats | quit (the API is HTTP: "
-                   "/resources/{r}, /search, /resolve/{r}, /stats, "
-                   "/metrics)\n";
+      std::cout << "OK commands: stats | stats-json | trace | quit (the API "
+                   "is HTTP: /resources/{r}, /search, /resolve/{r}, /stats, "
+                   "/metrics, /debug/traces)\n";
     } else if (cmd == "stats") {
       gateway::GatewayCounters g = server.counters();
       std::cout << "OK stats: accepted=" << g.connectionsAccepted
@@ -341,6 +428,19 @@ int main(int argc, char** argv) {
                 << " overload=" << g.overloadRejected
                 << " drain=" << g.drainRejected << " bytesin=" << g.bytesIn
                 << " bytesout=" << g.bytesOut << "\n";
+    } else if (cmd == "stats-json") {
+      std::string json = core::awaitResult<std::string>(
+          d.rt, [&](std::function<void(std::string)> done) {
+            d.syncEngineOnLoop();
+            done(d.sampler->sampleNow().toJson());
+          });
+      std::cout << "OK stats-json " << json << "\n";
+    } else if (cmd == "trace") {
+      if (!tracesOn) {
+        fail("tracing disabled (--traces off)");
+      } else {
+        std::cout << "OK trace " << d.traces.renderJson(16) << "\n";
+      }
     } else {
       fail("unknown command '" + cmd + "' (try 'help')");
     }

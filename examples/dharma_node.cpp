@@ -39,6 +39,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -50,6 +51,9 @@
 #include "dht/maintenance.hpp"
 #include "net/realtime.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "util/options.hpp"
 
 #include <unistd.h>
@@ -76,6 +80,14 @@ const char* errorName(core::OpError e) {
 
 struct Daemon {
   net::RealTimeExecutor exec;
+  /// Process-wide observability: one registry every layer (client, node,
+  /// UDP) records into, one trace ring completed op spans land in. The
+  /// `stats` line stays raw-counter based for harness compat; `stats-json`
+  /// and --metrics-out read THIS registry, so both surfaces render the
+  /// same snapshot.
+  obs::MetricsRegistry registry;
+  obs::TraceRing traces{256};
+  bool tracesOn = true;
   net::UdpTransport transport;
   // The shared secret stands in for a real certification authority; every
   // daemon on the host uses the same one so cross-process credentials
@@ -85,11 +97,22 @@ struct Daemon {
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   std::vector<std::unique_ptr<dht::MaintenanceManager>> managers;
   std::unique_ptr<core::DharmaClient> client;
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  std::shared_ptr<std::ofstream> metricsOut;
 
   explicit Daemon(const std::string& bindHost)
-      : transport(exec, net::UdpTransport::Config{bindHost, 1400}) {}
+      : transport(exec, net::UdpTransport::Config{bindHost, 1400, &registry}) {
+  }
 
   ~Daemon() {
+    // Stop the sampler on the loop thread BEFORE stopping the loop, so a
+    // tick can't re-arm mid-stop (same discipline as the managers below).
+    if (sampler) {
+      rt.awaitDone([&](std::function<void()> done) {
+        sampler->stop();
+        done();
+      });
+    }
     // Stop the loop FIRST: manager ticks run (and re-arm themselves) on the
     // loop thread, so stopping a manager from here while the loop is alive
     // would race its timer bookkeeping. With the executor stopped, the
@@ -99,10 +122,93 @@ struct Daemon {
     transport.close();
   }
 
+  /// Mirrors engine counters into the registry. MUST run on the loop
+  /// thread (sampler collect hook does; `stats-json` posts through the
+  /// runtime).
+  void syncEngineOnLoop() {
+    core::DharmaClient::Counters cc = client->counters();
+    core::OpCost cost = client->totalCost();
+    dht::NodeCounters nc = nodes[0]->counters();
+    cache::CacheStats cs = client->cacheStats();
+    net::UdpStats us = transport.stats();
+    registry.counter("dharma_client_ops_total", "Protocol operations completed")
+        .set(cc.ops);
+    registry
+        .counter("dharma_client_failures_total",
+                 "Operations returning an error")
+        .set(cc.failures);
+    registry
+        .counter("dharma_client_lookups_total",
+                 "Overlay lookups paid (Table I unit)")
+        .set(cost.lookups);
+    registry
+        .counter("dharma_client_cache_hits_total",
+                 "Reads served by the client record cache")
+        .set(cs.hits);
+    registry
+        .counter("dharma_client_cache_misses_total",
+                 "Client record cache misses")
+        .set(cs.misses);
+    registry
+        .counter("dharma_node_cache_hits_total",
+                 "GETs answered from the node-side cache")
+        .set(nc.cacheHits);
+    registry
+        .counter("dharma_node_stores_deduplicated_total",
+                 "Replayed STOREs acked without re-applying")
+        .set(nc.storesDeduplicated);
+    registry.counter("dharma_node_rpcs_sent_total", "RPC requests sent")
+        .set(nc.rpcsSent);
+    registry.counter("dharma_node_timeouts_total", "RPCs that timed out")
+        .set(nc.timeouts);
+    registry
+        .counter("dharma_udp_datagrams_sent_total",
+                 "Datagrams accepted by sendto()")
+        .set(us.sent);
+    registry
+        .counter("dharma_udp_datagrams_received_total",
+                 "Datagrams handed to an endpoint handler")
+        .set(us.received);
+    registry.counter("dharma_udp_bytes_sent_total", "Payload bytes accepted")
+        .set(us.bytesSent);
+  }
+
+  /// Builds the sampler (always, so `stats-json` works) and starts its
+  /// periodic tick when \p intervalMs > 0.
+  void startSampler(u64 intervalMs, const std::string& outPath, u64 seed) {
+    obs::SamplerConfig sc;
+    sc.intervalUs = (intervalMs == 0 ? 1000 : intervalMs) * 1000;
+    sc.seed = seed;
+    sampler = std::make_unique<obs::MetricsSampler>(exec, registry, sc);
+    sampler->setCollect([this] { syncEngineOnLoop(); });
+    if (!outPath.empty()) {
+      metricsOut = std::make_shared<std::ofstream>(outPath,
+                                                   std::ios::out |
+                                                       std::ios::trunc);
+      if (!*metricsOut) {
+        std::cout << "ERR cannot open --metrics-out '" << outPath << "'\n";
+        metricsOut.reset();
+      } else {
+        sampler->addSink([out = metricsOut](const obs::Sample& sample) {
+          *out << sample.toJson() << "\n";
+          out->flush();
+        });
+      }
+    }
+    if (intervalMs > 0) {
+      rt.awaitDone([&](std::function<void()> done) {
+        sampler->start();
+        done();
+      });
+    }
+  }
+
   bool boot(usize n, const std::string& joinSpec, bool maintenance,
-            const dht::NodeConfig& nodeCfg, const dht::MaintenanceConfig& mCfg,
+            dht::NodeConfig nodeCfg, const dht::MaintenanceConfig& mCfg,
             usize joinRetries) {
     exec.start();
+    nodeCfg.metrics = &registry;
+    if (tracesOn) nodeCfg.traces = &traces;
     // Distinct user ids per process so two daemons on one host never
     // collide in id space.
     std::string prefix = "node-" + std::to_string(::getpid()) + "-";
@@ -164,7 +270,10 @@ struct Daemon {
       });
     }
 
-    client = std::make_unique<core::DharmaClient>(rt, *nodes[0]);
+    core::DharmaConfig clientCfg;
+    clientCfg.metrics = &registry;
+    if (tracesOn) clientCfg.traces = &traces;
+    client = std::make_unique<core::DharmaClient>(rt, *nodes[0], clientCfg);
     return true;
   }
 };
@@ -182,6 +291,9 @@ int main(int argc, char** argv) {
   std::string bindHost = opts.getString("bind", "127.0.0.1");
   bool maintenance = opts.getBool("maintenance", true);
   usize joinRetries = static_cast<usize>(opts.getInt("join-retries", 5));
+  u64 statsIntervalMs = static_cast<u64>(opts.getInt("stats-interval-ms", 0));
+  std::string metricsOutPath = opts.getString("metrics-out", "");
+  bool tracesOn = opts.getBool("traces", true);
   if (n == 0) {
     std::cerr << "--nodes must be >= 1\n";
     return 2;
@@ -220,6 +332,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<Daemon> daemon;
   try {
     daemon = std::make_unique<Daemon>(bindHost);
+    daemon->tracesOn = tracesOn;
     if (!daemon->boot(n, joinSpec, maintenance, nodeCfg, mCfg, joinRetries)) {
       return 2;
     }
@@ -228,6 +341,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   Daemon& d = *daemon;
+  d.startSampler(statsIntervalMs, metricsOutPath, 0xD0DE);
 
   // Boot-time partition rules (comma-separated ip:port list).
   std::string dropSpec = opts.getString("drop-peers", "");
@@ -267,7 +381,8 @@ int main(int argc, char** argv) {
       std::cout << "OK commands: insert <res> <uri> <tag> [tag ...] | "
                    "tag <res> <tag> [tag ...] | search <tag> | "
                    "resolve <res> | ping <ip:port> | drop <ip:port> | "
-                   "undrop <ip:port>|all | stats | quit\n";
+                   "undrop <ip:port>|all | stats | stats-json | trace | "
+                   "quit\n";
     } else if (cmd == "insert") {
       std::string res, uri, t;
       in >> res >> uri;
@@ -412,6 +527,21 @@ int main(int argc, char** argv) {
                 << " bytes=" << s.bytesSent
                 << " oversize=" << s.droppedOversize
                 << " ruledrops=" << s.droppedByRule << "\n";
+    } else if (cmd == "stats-json") {
+      // One registry snapshot serves every surface: this is the same
+      // sampler the /metrics-out JSONL sink and (in the gateway daemon)
+      // GET /stats read, so no counter is reachable from only one of them.
+      std::string json = core::awaitResult<std::string>(
+          d.rt, [&](std::function<void(std::string)> done) {
+            done(d.sampler->sampleNow().toJson());
+          });
+      std::cout << "OK stats-json " << json << "\n";
+    } else if (cmd == "trace") {
+      if (!tracesOn) {
+        fail("tracing disabled (--traces off)");
+      } else {
+        std::cout << "OK trace " << d.traces.renderJson(16) << "\n";
+      }
     } else {
       fail("unknown command '" + cmd + "' (try 'help')");
     }

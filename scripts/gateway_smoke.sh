@@ -63,9 +63,24 @@ expect "typed 404" '"error":"not-found"' "$R"
 
 R=$(curl -sS "$BASE/stats")
 expect "GET /stats" '"gateway":{' "$R"
+expect "/stats carries registry metrics" '"metrics":{' "$R"
 
-R=$(curl -sS "$BASE/metrics")
+R=$(curl -sS "$BASE/debug/traces")
+expect "GET /debug/traces" '"total_completed":' "$R"
+expect "traces carry client-op spans" '"kind":"client-op"' "$R"
+
+SCRAPE=$(mktemp)
+curl -sS "$BASE/metrics" > "$SCRAPE"
+R=$(cat "$SCRAPE")
 expect "metrics exposition" '# TYPE dharma_gateway_requests_total counter' "$R"
+expect "client op histograms exported"   '# TYPE dharma_client_op_latency_us histogram' "$R"
+expect "node rpc service histograms exported"   '# TYPE dharma_node_rpc_service_us histogram' "$R"
+expect "per-route latency histograms exported"   '# TYPE dharma_gateway_route_latency_us histogram' "$R"
+
+# Structural lint over the full exposition: HELP/TYPE presence, duplicate
+# families, cumulative buckets, _count == +Inf.
+python3 "$(dirname "$0")/metrics_lint.py" "$SCRAPE"
+rm -f "$SCRAPE"
 
 echo quit >&3
 wait "$GW_PID"

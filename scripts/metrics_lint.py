@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text exposition (0.0.4) scraped from /metrics.
+
+Checks the contracts the obs::MetricsRegistry render promises and a
+dashboard depends on:
+
+  * every sampled family has a # HELP and a # TYPE line, and they appear
+    before the family's first sample;
+  * no family is declared twice (duplicate HELP/TYPE blocks);
+  * TYPE values are legal, and samples match their family's type — a
+    histogram family only emits _bucket/_sum/_count series;
+  * histogram buckets are cumulative: counts are non-decreasing as `le`
+    grows, every bucket set ends with le="+Inf", and _count equals the
+    +Inf bucket for the same label set;
+  * no duplicate sample lines (same series twice in one scrape).
+
+Usage:  metrics_lint.py [exposition.txt]    (defaults to stdin)
+Exit 0 on a clean exposition; 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)\s*$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name, types):
+    """Maps a sample name to its declared family: histogram samples carry
+    _bucket/_sum/_count suffixes on the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) == "histogram":
+                return stem
+    return name
+
+
+def parse_labels(raw):
+    if not raw:
+        return ()
+    return tuple(sorted(LABEL_RE.findall(raw)))
+
+
+def lint(text):
+    errors = []
+    helps = {}
+    types = {}
+    type_lines = {}
+    samples = []  # (name, labels_tuple, value, line_no)
+    seen_lines = {}
+
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                errors.append(f"line {ln}: malformed HELP line")
+                continue
+            name = parts[2]
+            if name in helps:
+                errors.append(f"line {ln}: duplicate HELP for family {name}")
+            helps[name] = ln
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {ln}: malformed TYPE line")
+                continue
+            name, mtype = parts[2], parts[3]
+            if mtype not in VALID_TYPES:
+                errors.append(f"line {ln}: invalid TYPE '{mtype}' for {name}")
+            if name in types:
+                errors.append(f"line {ln}: duplicate TYPE for family {name}")
+            types[name] = mtype
+            type_lines[name] = ln
+        elif line.startswith("#"):
+            continue  # other comments are legal
+        else:
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"line {ln}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            labels = parse_labels(m.group("labels"))
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"line {ln}: non-numeric value in: {line!r}")
+                continue
+            key = (name, labels)
+            if key in seen_lines:
+                errors.append(
+                    f"line {ln}: duplicate series {name}{dict(labels)} "
+                    f"(first at line {seen_lines[key]})")
+            seen_lines[key] = ln
+            samples.append((name, labels, value, ln))
+
+    # Every sample's family must have HELP + TYPE declared before it.
+    for name, labels, value, ln in samples:
+        fam = base_family(name, types)
+        if fam not in types:
+            errors.append(f"line {ln}: sample {name} has no # TYPE")
+        elif ln < type_lines[fam]:
+            errors.append(
+                f"line {ln}: sample {name} appears before its # TYPE "
+                f"(line {type_lines[fam]})")
+        if fam not in helps:
+            errors.append(f"line {ln}: sample {name} has no # HELP")
+
+    # Histogram structure: cumulative buckets ending at +Inf, _count match.
+    hist_fams = [f for f, t in types.items() if t == "histogram"]
+    for fam in hist_fams:
+        # Group buckets by their non-le label set.
+        series = {}
+        counts = {}
+        sums = set()
+        for name, labels, value, ln in samples:
+            if name == fam + "_bucket":
+                non_le = tuple(kv for kv in labels if kv[0] != "le")
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {ln}: {name} sample without le label")
+                    continue
+                series.setdefault(non_le, []).append((ln, le, value))
+            elif name == fam + "_count":
+                counts[labels] = (ln, value)
+            elif name == fam + "_sum":
+                sums.add(labels)
+        if not series:
+            errors.append(f"family {fam}: histogram with no _bucket samples")
+        for non_le, buckets in series.items():
+            # Render order is ascending le; verify monotone in that order.
+            prev = -1.0
+            for ln, le, value in buckets:
+                if value < prev:
+                    errors.append(
+                        f"line {ln}: {fam}_bucket le=\"{le}\" count {value} "
+                        f"below previous bucket {prev} (not cumulative)")
+                prev = value
+            if buckets[-1][1] != "+Inf":
+                errors.append(
+                    f"family {fam}{dict(non_le)}: bucket list does not end "
+                    f"with le=\"+Inf\"")
+            else:
+                inf_count = buckets[-1][2]
+                if non_le not in counts:
+                    errors.append(
+                        f"family {fam}{dict(non_le)}: missing _count series")
+                elif counts[non_le][1] != inf_count:
+                    errors.append(
+                        f"line {counts[non_le][0]}: {fam}_count "
+                        f"{counts[non_le][1]} != +Inf bucket {inf_count}")
+            if non_le not in sums:
+                errors.append(
+                    f"family {fam}{dict(non_le)}: missing _sum series")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] != "-":
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("metrics_lint: empty exposition", file=sys.stderr)
+        return 1
+    errors = lint(text)
+    for e in errors:
+        print(f"metrics_lint: {e}", file=sys.stderr)
+    if errors:
+        print(f"metrics_lint: FAIL ({len(errors)} violation(s))",
+              file=sys.stderr)
+        return 1
+    families = text.count("# TYPE ")
+    print(f"metrics_lint: OK ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

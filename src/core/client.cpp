@@ -4,6 +4,9 @@
 #include <map>
 
 #include "net/affinity.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace dharma::core {
 
@@ -13,6 +16,9 @@ using dht::GetOptions;
 using dht::NodeId;
 using dht::StoreToken;
 using dht::TokenKind;
+
+constexpr const char* kOpClassNames[] = {"insert", "tag", "search_step",
+                                         "resolve"};
 
 /// Returns a callable that invokes \p onAll after being called \p n times.
 std::function<void()> makeJoin(usize n, std::function<void()> onAll) {
@@ -32,11 +38,19 @@ struct DharmaClient::OpState {
   u32 retries = 0;
   net::TimeUs startUs = 0;
   std::optional<OpError> fatal;
+  u8 cls = 0;          ///< OpClass, for the per-class latency histogram
+  bool traced = false; ///< span below is live and will be pushed at finish
+  obs::TraceSpan span;
 
   /// Keeps the most severe error (enum values are ordered by severity:
   /// kNotFound < kQuorumFailed < kTimeout < kNodeOffline).
   void recordError(OpError e) {
     if (!fatal || static_cast<u8>(e) > static_cast<u8>(*fatal)) fatal = e;
+  }
+
+  /// Appends a span event when tracing; no-op (one branch) otherwise.
+  void ev(net::TimeUs t, const char* label, std::string detail = {}) {
+    if (traced) span.event(t, label, std::move(detail));
   }
 };
 
@@ -46,6 +60,7 @@ DharmaClient::DharmaClient(dht::DhtNetwork& net, usize nodeIdx,
       rt_(ownedRt_.get()), node_(net.node(nodeIdx)), cfg_(cfg), rng_(seed),
       policy_(policy), cache_(cfg.cachePolicy) {
   cache_.bindOwner(&rt_->executor());
+  initObs();
 }
 
 DharmaClient::DharmaClient(Runtime& rt, dht::KademliaNode& node,
@@ -55,11 +70,43 @@ DharmaClient::DharmaClient(Runtime& rt, dht::KademliaNode& node,
   // The client cache is engine-side state: reads/writes happen inside the
   // async ops, which run on the runtime's executor loop.
   cache_.bindOwner(&rt_->executor());
+  initObs();
 }
 
-std::shared_ptr<DharmaClient::OpState> DharmaClient::beginOp() {
+void DharmaClient::initObs() {
+  if (cfg_.metrics == nullptr) return;
+  static constexpr const char* kResults[2] = {"ok", "error"};
+  for (usize c = 0; c < kOpClassCount; ++c) {
+    for (usize r = 0; r < 2; ++r) {
+      opHist_[c][r] = &cfg_.metrics->histogram(
+          "dharma_client_op_latency_us",
+          "Client protocol operation latency by op class and result "
+          "(microseconds)",
+          {{"op", kOpClassNames[c]}, {"result", kResults[r]}});
+    }
+  }
+  static constexpr const char* kBlockOps[2] = {"put", "get"};
+  for (usize b = 0; b < 2; ++b) {
+    for (usize r = 0; r < 2; ++r) {
+      blockHist_[b][r] = &cfg_.metrics->histogram(
+          "dharma_client_block_latency_us",
+          "Block PUT/GET attempt latency by result (microseconds)",
+          {{"op", kBlockOps[b]}, {"result", kResults[r]}});
+    }
+  }
+}
+
+std::shared_ptr<DharmaClient::OpState> DharmaClient::beginOp(OpClass cls) {
   auto op = std::make_shared<OpState>();
+  op->cls = static_cast<u8>(cls);
   op->startUs = rt_->executor().now();
+  if (cfg_.traces != nullptr) {
+    op->traced = true;
+    op->span.traceId = cfg_.traces->nextTraceId();
+    op->span.kind = "client-op";
+    op->span.label = kOpClassNames[op->cls];
+    op->span.startUs = op->startUs;
+  }
   if (!online()) op->recordError(OpError::kNodeOffline);
   return op;
 }
@@ -78,6 +125,18 @@ Outcome<T> DharmaClient::finishOp(OpState& op, std::optional<T> value) {
     ++counters_.byError[static_cast<usize>(*op.fatal)];
   } else {
     out.val = std::move(value);
+  }
+  if (opHist_[0][0] != nullptr || op.traced) {
+    const net::TimeUs now = rt_->executor().now();
+    if (opHist_[0][0] != nullptr) {
+      opHist_[op.cls][op.fatal ? 1 : 0]->record(now - op.startUs);
+    }
+    if (op.traced) {
+      op.span.endUs = now;
+      op.span.outcome = op.fatal ? opErrorName(*op.fatal) : "ok";
+      cfg_.traces->push(std::move(op.span));
+      op.traced = false;
+    }
   }
   return out;
 }
@@ -108,11 +167,25 @@ void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
   // instead of double-counting the increments.
   std::vector<StoreToken> tokensCopy;
   if (retriesLeft > 0) tokensCopy = tokens;
+  const bool timed = blockHist_[0][0] != nullptr || op->traced;
+  const net::TimeUs t0 = timed ? rt_->executor().now() : 0;
+  if (op->traced) node_.beginTrace(op->span.traceId);
   node_.putMany(
       key, std::move(tokens), putId,
       [this, op, key, putId, tokensCopy = std::move(tokensCopy), retriesLeft,
-       done = std::move(done)](dht::PutResult r) mutable {
-        if (!classifyPut(r, policy_.putQuorum)) {
+       timed, t0, done = std::move(done)](dht::PutResult r) mutable {
+        const bool attemptOk = !classifyPut(r, policy_.putQuorum);
+        if (timed) {
+          const net::TimeUs now = rt_->executor().now();
+          if (blockHist_[0][0] != nullptr) {
+            blockHist_[0][attemptOk ? 0 : 1]->record(now - t0);
+          }
+          op->ev(now, "put",
+                 "acks=" + std::to_string(r.acks) + "/" +
+                     std::to_string(r.intended) +
+                     (attemptOk ? "" : " below-quorum"));
+        }
+        if (attemptOk) {
           op->rep.acks.push_back(r.acks);
           done();
           return;
@@ -121,8 +194,11 @@ void DharmaClient::putBlockAttempt(const std::shared_ptr<OpState>& op,
         if (retriesLeft > 0 && !timedOut) {
           u32 retryIndex = policy_.retryBudget - retriesLeft;
           ++op->retries;
+          const net::TimeUs delay = backoffDelay(retryIndex);
+          op->ev(rt_->executor().now(), "retry",
+                 "put backoff_us=" + std::to_string(delay));
           rt_->executor().schedule(
-              backoffDelay(retryIndex),
+              delay,
               [this, op, key, putId, tokensCopy = std::move(tokensCopy),
                retriesLeft, done = std::move(done)]() mutable {
                 putBlockAttempt(op, key, std::move(tokensCopy), putId,
@@ -156,17 +232,33 @@ void DharmaClient::getBlockAttempt(const std::shared_ptr<OpState>& op,
   ++op->cost.gets;
   ++total_.lookups;
   ++total_.gets;
+  const bool timed = blockHist_[1][0] != nullptr || op->traced;
+  const net::TimeUs t0 = timed ? rt_->executor().now() : 0;
+  if (op->traced) node_.beginTrace(op->span.traceId);
   node_.get(key, opt,
-             [this, op, key, opt, retriesLeft,
+             [this, op, key, opt, retriesLeft, timed, t0,
               done = std::move(done)](dht::GetResult r) mutable {
                // A clean miss is authoritative; only a miss that coincided
                // with unreachable peers is worth retrying.
                bool retryable = !r.found() && r.rpcFailures > 0;
+               if (timed) {
+                 const net::TimeUs now = rt_->executor().now();
+                 if (blockHist_[1][0] != nullptr) {
+                   blockHist_[1][retryable ? 1 : 0]->record(now - t0);
+                 }
+                 op->ev(now, "get",
+                        std::string(r.found() ? "found" : "miss") +
+                            " msgs=" + std::to_string(r.messagesSent) +
+                            " rpc_failures=" + std::to_string(r.rpcFailures));
+               }
                if (retryable && retriesLeft > 0 && !deadlineExceeded(*op)) {
                  u32 retryIndex = policy_.retryBudget - retriesLeft;
                  ++op->retries;
+                 const net::TimeUs delay = backoffDelay(retryIndex);
+                 op->ev(rt_->executor().now(), "retry",
+                        "get backoff_us=" + std::to_string(delay));
                  rt_->executor().schedule(
-                     backoffDelay(retryIndex),
+                     delay,
                      [this, op, key, opt, retriesLeft,
                       done = std::move(done)]() mutable {
                        getBlockAttempt(op, key, opt, retriesLeft - 1,
@@ -194,6 +286,7 @@ void DharmaClient::getBlockCached(const std::shared_ptr<OpState>& op,
       // Table I identities stay exact arithmetic over the misses.
       ++op->cost.servedFromCache;
       ++total_.servedFromCache;
+      op->ev(rt_->executor().now(), "cache-hit");
       dht::GetResult r;
       r.view = *hit;
       r.cachedReplies = 1;
@@ -226,7 +319,7 @@ void DharmaClient::insertResourceAsync(
     std::function<void(Outcome<WriteReceipt>)> cb) {
   DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::insertResourceAsync");
   if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
-  auto op = beginOp();
+  auto op = beginOp(OpClass::kInsert);
   if (op->fatal) {
     cb(finishOp<WriteReceipt>(*op, std::nullopt));
     return;
@@ -285,7 +378,7 @@ void DharmaClient::insertResourcesAsync(
     std::function<void(Outcome<WriteReceipt>)> cb) {
   DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::insertResourcesAsync");
   if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
-  auto op = beginOp();
+  auto op = beginOp(OpClass::kInsert);
   if (op->fatal || specs.empty()) {
     cb(finishOp(*op, std::make_optional(WriteReceipt{})));
     return;
@@ -391,7 +484,7 @@ void DharmaClient::tagResourcesSharedFetch(
     const std::string& res, const std::vector<std::string>& tags,
     std::function<void(Outcome<WriteReceipt>)> cb) {
   if (!cb) cb = [](Outcome<WriteReceipt>) {};  // fire-and-forget is allowed
-  auto op = beginOp();
+  auto op = beginOp(OpClass::kTag);
   if (op->fatal || tags.empty()) {
     cb(finishOp(*op, std::make_optional(WriteReceipt{})));
     return;
@@ -559,7 +652,7 @@ void DharmaClient::searchStepAsync(
     const std::string& tag, std::function<void(Outcome<SearchStepResult>)> cb) {
   DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::searchStepAsync");
   if (!cb) cb = [](Outcome<SearchStepResult>) {};  // fire-and-forget is allowed
-  auto op = beginOp();
+  auto op = beginOp(OpClass::kSearchStep);
   if (op->fatal) {
     cb(finishOp<SearchStepResult>(*op, std::nullopt));
     return;
@@ -609,7 +702,7 @@ void DharmaClient::resolveUriAsync(const std::string& res,
                                    std::function<void(Outcome<std::string>)> cb) {
   DHARMA_ASSERT_AFFINITY(&rt_->executor(), "DharmaClient::resolveUriAsync");
   if (!cb) cb = [](Outcome<std::string>) {};  // fire-and-forget is allowed
-  auto op = beginOp();
+  auto op = beginOp(OpClass::kResolve);
   if (op->fatal) {
     cb(finishOp<std::string>(*op, std::nullopt));
     return;

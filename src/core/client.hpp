@@ -45,6 +45,12 @@
 #include "core/runtime.hpp"
 #include "dht/dht_network.hpp"
 
+namespace dharma::obs {
+class Histogram;
+class MetricsRegistry;
+class TraceRing;
+}  // namespace dharma::obs
+
 namespace dharma::core {
 
 /// Protocol mode and parameters.
@@ -71,6 +77,17 @@ struct DharmaConfig {
   /// steers read-dependent writes, so on a client-cache miss it stays an
   /// authoritative read.
   bool acceptCachedReplies = true;
+
+  /// Observability (src/obs), both optional and zero-cost when unset.
+  /// With \p metrics wired, every completed op records its latency into a
+  /// per-op-class histogram (dharma_client_op_latency_us{op,result}) and
+  /// every block attempt into dharma_client_block_latency_us{op,result}.
+  /// With \p traces wired, every op builds a trace span (begin, block ops,
+  /// retries, outcome) pushed into the ring on completion, and the op's
+  /// trace id is threaded into the overlay node's lookups. Both objects
+  /// must outlive the client.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* traces = nullptr;
 };
 
 /// One navigation step's retrieved sets.
@@ -213,6 +230,12 @@ class DharmaClient {
  private:
   struct OpState;
 
+  /// Latency-histogram op classes (finishOp granularity). Batched entry
+  /// points share their single-op class; a searchSteps() walk records one
+  /// kSearchStep op per hop.
+  enum class OpClass : u8 { kInsert = 0, kTag, kSearchStep, kResolve };
+  static constexpr usize kOpClassCount = 4;
+
   std::unique_ptr<Runtime> ownedRt_;  ///< set by the DhtNetwork convenience ctor
   Runtime* rt_;                       ///< never null
   dht::KademliaNode& node_;
@@ -223,11 +246,18 @@ class DharmaClient {
   Counters counters_;
   cache::RecordCache cache_;  ///< read-through cache (cfg_.cacheEnabled)
 
+  /// Pre-acquired histogram handles, null when cfg_.metrics is unset:
+  /// [op class][0=ok, 1=error] and [0=put, 1=get][0=ok, 1=error]. The hot
+  /// path pays one branch + one clock read + one atomic add.
+  std::array<std::array<obs::Histogram*, 2>, kOpClassCount> opHist_{};
+  std::array<std::array<obs::Histogram*, 2>, 2> blockHist_{};
+  void initObs();
+
   /// True when this client's own node accepts datagrams; a client on an
   /// offline node fails every op with kNodeOffline at zero cost.
   bool online() const { return rt_->online(node_.address()); }
 
-  std::shared_ptr<OpState> beginOp();
+  std::shared_ptr<OpState> beginOp(OpClass cls);
   template <typename T>
   Outcome<T> finishOp(OpState& op, std::optional<T> value);
 

@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace dharma::dht {
@@ -12,6 +15,11 @@ namespace dharma::dht {
 namespace {
 /// Candidate state inside an iterative lookup.
 enum class CandState : u8 { kFresh, kInflight, kResponded, kFailed };
+
+/// Request RpcTypes are the even enum values; value/2 indexes these.
+constexpr const char* kRpcNames[] = {"ping", "find_node", "find_value",
+                                     "store", "store_cache"};
+constexpr const char* kLookupKinds[] = {"node", "value"};
 
 struct Candidate {
   Contact contact;
@@ -34,9 +42,17 @@ struct KademliaNode::LookupTask {
   u32 rpcFailures = 0;
   BlockView mergedValue;
   bool haveValue = false;
+  net::TimeUs startUs = 0;    ///< for the lookup-latency histogram
+  bool traced = false;        ///< span below is live (NodeConfig::traces set)
+  obs::TraceSpan span;        ///< per-hop RPC events under the client's id
   /// Nodes observed to already have the value (authoritative replicas and
   /// cache servers alike): never chosen as the path-cache target.
   std::vector<NodeId> holders;
+
+  /// Appends a span event when tracing; no-op (one branch) otherwise.
+  void ev(net::TimeUs t, const char* label, std::string detail = {}) {
+    if (traced) span.event(t, label, std::move(detail));
+  }
 
   bool isHolder(const NodeId& id) const {
     return std::find(holders.begin(), holders.end(), id) != holders.end();
@@ -74,10 +90,31 @@ KademliaNode::KademliaNode(net::Executor& exec, net::Transport& net,
   // The node's record cache lives and dies on this executor's loop thread;
   // bind it so debug builds assert that ownership on every cache op.
   cache_.bindOwner(&exec_);
+  initObs();
   self_.addr = net_.registerEndpoint(
       [this](net::Address from, const std::vector<u8>& data) {
         onDatagram(from, data);
       });
+}
+
+void KademliaNode::initObs() {
+  if (cfg_.metrics == nullptr) return;
+  for (usize i = 0; i < rpcServiceHist_.size(); ++i) {
+    rpcServiceHist_[i] = &cfg_.metrics->histogram(
+        "dharma_node_rpc_service_us",
+        "Inbound RPC request handler service time (microseconds)",
+        {{"rpc", kRpcNames[i]}});
+  }
+  for (usize k = 0; k < 2; ++k) {
+    lookupHopsHist_[k] = &cfg_.metrics->histogram(
+        "dharma_node_lookup_hops",
+        "RPCs issued per iterative lookup, by lookup kind",
+        {{"kind", kLookupKinds[k]}});
+    lookupLatencyHist_[k] = &cfg_.metrics->histogram(
+        "dharma_node_lookup_latency_us",
+        "Iterative lookup wall time by lookup kind (microseconds)",
+        {{"kind", kLookupKinds[k]}});
+  }
 }
 
 void KademliaNode::addSeed(const Contact& c) {
@@ -432,20 +469,25 @@ void KademliaNode::onDatagram(net::Address from, const std::vector<u8>& data) {
 
   switch (env.type) {
     case RpcType::kPing:
-      handlePing(env);
-      break;
     case RpcType::kFindNode:
-      handleFindNode(env);
-      break;
     case RpcType::kFindValue:
-      handleFindValue(env);
-      break;
     case RpcType::kStore:
-      handleStore(env);
+    case RpcType::kStoreCache: {
+      // Request dispatch, timed as `dharma_node_rpc_service_us{rpc}` when a
+      // registry is wired (one clock read + one atomic add; null handles
+      // skip even the clock).
+      obs::Histogram* h = rpcServiceHist_[static_cast<usize>(env.type) / 2];
+      const net::TimeUs t0 = h != nullptr ? exec_.now() : 0;
+      switch (env.type) {
+        case RpcType::kPing: handlePing(env); break;
+        case RpcType::kFindNode: handleFindNode(env); break;
+        case RpcType::kFindValue: handleFindValue(env); break;
+        case RpcType::kStore: handleStore(env); break;
+        default: handleStoreCache(env); break;
+      }
+      if (h != nullptr) h->record(exec_.now() - t0);
       break;
-    case RpcType::kStoreCache:
-      handleStoreCache(env);
-      break;
+    }
     case RpcType::kPong:
     case RpcType::kFindNodeReply:
     case RpcType::kFindValueReply:
@@ -587,6 +629,21 @@ void KademliaNode::startLookup(const NodeId& target, bool isValue,
   task->isValue = isValue;
   task->opt = opt;
   task->cb = std::move(cb);
+  if (lookupLatencyHist_[0] != nullptr || cfg_.traces != nullptr) {
+    task->startUs = exec_.now();
+  }
+  // A pending trace id (beginTrace) binds exactly one lookup — this one:
+  // put/get/findNode all start their lookup synchronously on the loop
+  // thread, so the handoff cannot interleave with another caller.
+  const u64 traceId = pendingTraceId_;
+  pendingTraceId_ = 0;
+  if (cfg_.traces != nullptr && traceId != 0) {
+    task->traced = true;
+    task->span.traceId = traceId;
+    task->span.kind = "lookup";
+    task->span.label = kLookupKinds[isValue ? 1 : 0];
+    task->span.startUs = task->startUs;
+  }
   if (isValue) {
     // Local hit: the querying node may itself hold a replica.
     if (auto view = store_.query(target, opt)) {
@@ -650,11 +707,14 @@ void KademliaNode::pumpLookup(const std::shared_ptr<LookupTask>& task) {
     ++task->inflight;
     ++task->messagesSent;
     Contact peer = cand.contact;
+    task->ev(exec_.now(), "rpc-sent", peer.id.shortHex());
 
     auto onDone = [this, task, peerId = peer.id](bool ok, const Envelope& env) {
       if (task->done) return;
       --task->inflight;
       if (!ok) ++task->rpcFailures;
+      task->ev(exec_.now(), ok ? "rpc-reply" : "rpc-timeout",
+               peerId.shortHex());
       Candidate* c = task->find(peerId);
       if (c) c->state = ok ? CandState::kResponded : CandState::kFailed;
       if (ok) {
@@ -745,6 +805,18 @@ void KademliaNode::finishLookup(const std::shared_ptr<LookupTask>& task) {
   }
   if (cfg_.cacheEnabled && task->isValue && res.value.has_value()) {
     publishPathCache(*task, res);
+  }
+  const usize kind = task->isValue ? 1 : 0;
+  if (lookupHopsHist_[kind] != nullptr) {
+    lookupHopsHist_[kind]->record(task->messagesSent);
+    lookupLatencyHist_[kind]->record(exec_.now() - task->startUs);
+  }
+  if (task->traced) {
+    task->span.endUs = exec_.now();
+    task->span.outcome =
+        task->isValue ? (task->haveValue ? "found" : "miss") : "ok";
+    cfg_.traces->push(std::move(task->span));
+    task->traced = false;
   }
   if (task->cb) task->cb(std::move(res));
 }

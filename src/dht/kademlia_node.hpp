@@ -10,6 +10,7 @@
 /// closest observed non-holder via the non-authoritative STORE_CACHE RPC.
 /// counters().lookups is the quantity Table I counts.
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -23,6 +24,12 @@
 #include "dht/storage.hpp"
 #include "net/executor.hpp"
 #include "net/transport.hpp"
+
+namespace dharma::obs {
+class Histogram;
+class MetricsRegistry;
+class TraceRing;
+}  // namespace dharma::obs
 
 namespace dharma::dht {
 
@@ -46,6 +53,15 @@ struct NodeConfig {
   /// nearest holder; each extra bucket of XOR distance halves it.
   net::TimeUs pathCacheTtlBaseUs = 30'000'000;
   net::TimeUs pathCacheTtlMinUs = 2'000'000;  ///< distance-scaling floor
+
+  /// Optional observability sinks (docs/OBSERVABILITY.md). With `metrics`
+  /// set the node records `dharma_node_rpc_service_us{rpc}` around every
+  /// inbound request handler and `dharma_node_lookup_hops{kind}` /
+  /// `dharma_node_lookup_latency_us{kind}` per finished lookup. With
+  /// `traces` set, lookups started under beginTrace() emit per-RPC spans.
+  /// Both must outlive the node; null disables at one-branch cost.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* traces = nullptr;
 };
 
 /// Result of an iterative lookup.
@@ -214,6 +230,12 @@ class KademliaNode {
   /// only expires lazily, on the keys that are actually read).
   usize sweepCache();
 
+  /// Tags the NEXT lookup started on this node (loop thread, synchronously
+  /// — put/get/findNode start their lookup before returning) with \p
+  /// traceId, so its span lands in NodeConfig::traces under the same id as
+  /// the client op that issued it. No-op when traces is unset.
+  void beginTrace(u64 traceId) { pendingTraceId_ = traceId; }
+
  private:
   struct LookupTask;
 
@@ -230,6 +252,15 @@ class KademliaNode {
   NodeCounters counters_;
   u64 nextRpcId_ = 1;
   u64 nextPutId_ = 1;
+  u64 pendingTraceId_ = 0;  ///< consumed by the next startLookup (beginTrace)
+
+  // Pre-resolved histogram handles (null when cfg_.metrics is unset).
+  // rpcServiceHist_ is indexed by RpcType request value; lookup arrays by
+  // kind (0 = node, 1 = value).
+  std::array<obs::Histogram*, 5> rpcServiceHist_{};
+  std::array<obs::Histogram*, 2> lookupHopsHist_{};
+  std::array<obs::Histogram*, 2> lookupLatencyHist_{};
+  void initObs();
 
   /// Replay-dedup memory for STOREs: (sender, putId, chunk) chunks that
   /// fully APPLIED (recorded only on success — a rejected chunk must fail

@@ -10,6 +10,7 @@ const char* routeName(RouteId id) {
     case RouteId::kResolve: return "resolve";
     case RouteId::kStats: return "stats";
     case RouteId::kMetrics: return "metrics";
+    case RouteId::kDebugTraces: return "debug_traces";
     case RouteId::kNotFound: return "not_found";
     case RouteId::kMethodNotAllowed: return "method_not_allowed";
     case RouteId::kBadRequest: return "bad_request";
@@ -55,6 +56,10 @@ RouteMatch route(std::string_view method, std::string_view path) {
   }
   if (path == "/metrics") {
     if (method == "GET") return RouteMatch{RouteId::kMetrics, {}, "", ""};
+    return methodNotAllowed("GET");
+  }
+  if (path == "/debug/traces") {
+    if (method == "GET") return RouteMatch{RouteId::kDebugTraces, {}, "", ""};
     return methodNotAllowed("GET");
   }
   if (path == "/search") {

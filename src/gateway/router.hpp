@@ -11,6 +11,7 @@
 ///   GET  /resolve/{r}            resolveUri
 ///   GET  /stats                  gateway + engine counters as JSON
 ///   GET  /metrics                Prometheus text exposition
+///   GET  /debug/traces           recent per-op trace spans as JSON
 ///
 /// Routing is a pure function of (method, path): no allocation beyond the
 /// decoded path parameter, no handler logic. A known path with the wrong
@@ -33,6 +34,7 @@ enum class RouteId : u8 {
   kResolve,            ///< GET /resolve/{r}
   kStats,              ///< GET /stats
   kMetrics,            ///< GET /metrics
+  kDebugTraces,        ///< GET /debug/traces
   kNotFound,           ///< no route owns this path
   kMethodNotAllowed,   ///< path exists, method does not
   kBadRequest,         ///< path parameter failed percent-decoding or empty

@@ -12,6 +12,10 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/histogram.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
 namespace dharma::gateway {
 
 namespace {
@@ -153,7 +157,88 @@ std::string errorBody(std::string_view token, std::string_view detail) {
 }
 
 GatewayServer::GatewayServer(GatewayConfig cfg, Deps deps)
-    : cfg_(std::move(cfg)), deps_(std::move(deps)) {}
+    : cfg_(std::move(cfg)), deps_(std::move(deps)) {
+  if (deps_.metrics != nullptr) {
+    registry_ = deps_.metrics;
+  } else {
+    ownedRegistry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = ownedRegistry_.get();
+  }
+  regAccepted_ = &registry_->counter("dharma_gateway_connections_accepted_total",
+                                     "TCP connections accepted by the gateway");
+  regClosed_ = &registry_->counter("dharma_gateway_connections_closed_total",
+                                   "Gateway connections closed");
+  regConnRejected_ =
+      &registry_->counter("dharma_gateway_connections_rejected_total",
+                          "Connections refused at the connection cap");
+  regRequests_ = &registry_->counter("dharma_gateway_requests_total",
+                                     "Requests dispatched to the worker pool");
+  // Declared up front so the family (with HELP/TYPE) exists before the
+  // first response creates a labeled series.
+  registry_->counter("dharma_gateway_responses_total",
+                     "Responses by route and status",
+                     {{"route", "stats"}, {"status", "200"}});
+  regParseErrors_ = &registry_->counter("dharma_gateway_parse_errors_total",
+                                        "Connections failed by the HTTP parser");
+  regOverload_ = &registry_->counter("dharma_gateway_overload_rejected_total",
+                                     "Requests refused with 503 overloaded");
+  regDrain_ = &registry_->counter("dharma_gateway_drain_rejected_total",
+                                  "Requests refused with 503 draining");
+  regBytesIn_ =
+      &registry_->counter("dharma_gateway_bytes_in_total", "Request bytes read");
+  regBytesOut_ = &registry_->counter("dharma_gateway_bytes_out_total",
+                                     "Response bytes written");
+  // Latency histograms for every route label the server can emit, plus the
+  // two synthetic ones used on the event thread.
+  static constexpr RouteId kAllRoutes[] = {
+      RouteId::kPutResource, RouteId::kPostTags,  RouteId::kSearch,
+      RouteId::kResolve,     RouteId::kStats,     RouteId::kMetrics,
+      RouteId::kDebugTraces, RouteId::kNotFound,  RouteId::kMethodNotAllowed,
+      RouteId::kBadRequest,
+  };
+  MutexLock lk(histMapMu_);
+  for (RouteId id : kAllRoutes) {
+    const char* label = routeName(id);
+    routeHist_[label] = &registry_->histogram(
+        "dharma_gateway_route_latency_us",
+        "Request handling latency by route (microseconds)", {{"route", label}});
+  }
+}
+
+obs::Histogram& GatewayServer::routeHistogram(const char* label) {
+  {
+    MutexLock lk(histMapMu_);
+    auto it = routeHist_.find(std::string_view(label));
+    if (it != routeHist_.end()) return *it->second;
+  }
+  obs::Histogram& h = registry_->histogram(
+      "dharma_gateway_route_latency_us",
+      "Request handling latency by route (microseconds)", {{"route", label}});
+  MutexLock lk(histMapMu_);
+  routeHist_[label] = &h;
+  return h;
+}
+
+void GatewayServer::syncRegistry(const GatewayCounters& g) {
+  regAccepted_->set(g.connectionsAccepted);
+  regClosed_->set(g.connectionsClosed);
+  regConnRejected_->set(g.connectionsRejected);
+  regRequests_->set(g.requestsDispatched);
+  regParseErrors_->set(g.parseErrors);
+  regOverload_->set(g.overloadRejected);
+  regDrain_->set(g.drainRejected);
+  regBytesIn_->set(g.bytesIn);
+  regBytesOut_->set(g.bytesOut);
+  for (const auto& [route, byStatus] : g.byRouteStatus) {
+    for (const auto& [status, n] : byStatus) {
+      registry_
+          ->counter("dharma_gateway_responses_total",
+                    "Responses by route and status",
+                    {{"route", route}, {"status", std::to_string(status)}})
+          .set(n);
+    }
+  }
+}
 
 GatewayServer::~GatewayServer() { stop(); }
 
@@ -437,7 +522,11 @@ void GatewayServer::dispatchReady(Connection& c) {
     // and posts a completion, then wakes the poll loop.
     pool_->submit([this, connId, r = std::move(req)]() mutable {
       const char* label = "";
+      const auto t0 = std::chrono::steady_clock::now();
       HttpResponse resp = handle(r, &label);
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      routeHistogram(label).record(static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
       if (!r.keepAlive) resp.close = true;
       Completion done;
       done.connId = connId;
@@ -489,6 +578,7 @@ HttpResponse GatewayServer::handle(const HttpRequest& req,
     case RouteId::kResolve: return handleResolve(m);
     case RouteId::kStats: return handleStats();
     case RouteId::kMetrics: return handleMetrics();
+    case RouteId::kDebugTraces: return handleDebugTraces();
     case RouteId::kNotFound:
       return jsonError(404, "no-such-route", req.path);
     case RouteId::kMethodNotAllowed: {
@@ -633,7 +723,9 @@ HttpResponse GatewayServer::handleResolve(const RouteMatch& m) {
 }
 
 HttpResponse GatewayServer::handleStats() {
+  if (deps_.collectEngine) deps_.collectEngine();
   GatewayCounters g = counters();
+  syncRegistry(g);
   std::string body = "{\"gateway\":{";
   body += "\"connectionsAccepted\":" + std::to_string(g.connectionsAccepted);
   body += ",\"connectionsClosed\":" + std::to_string(g.connectionsClosed);
@@ -660,6 +752,21 @@ HttpResponse GatewayServer::handleStats() {
     body += "}";
   }
   body += "}}";
+  // One registry snapshot serves both surfaces: everything Prometheus can
+  // scrape from /metrics is also here, so no counter is reachable from only
+  // one of /stats and /metrics.
+  body += ",\"metrics\":";
+  body += registry_->renderJson();
+  if (deps_.sampler != nullptr) {
+    body += ",\"samples\":[";
+    bool first = true;
+    for (const auto& sample : deps_.sampler->recent(5)) {
+      if (!first) body += ",";
+      first = false;
+      body += sample.toJson();
+    }
+    body += "]";
+  }
   if (deps_.engineStatsJson) {
     std::string engine = deps_.engineStatsJson();
     if (!engine.empty()) {
@@ -674,46 +781,23 @@ HttpResponse GatewayServer::handleStats() {
 }
 
 HttpResponse GatewayServer::handleMetrics() {
-  GatewayCounters g = counters();
-  PrometheusWriter w;
-  w.counter("dharma_gateway_connections_accepted_total",
-            "TCP connections accepted by the gateway")
-      .sample(static_cast<double>(g.connectionsAccepted));
-  w.counter("dharma_gateway_connections_closed_total",
-            "Gateway connections closed")
-      .sample(static_cast<double>(g.connectionsClosed));
-  w.counter("dharma_gateway_connections_rejected_total",
-            "Connections refused at the connection cap")
-      .sample(static_cast<double>(g.connectionsRejected));
-  w.counter("dharma_gateway_requests_total",
-            "Requests dispatched to the worker pool")
-      .sample(static_cast<double>(g.requestsDispatched));
-  w.counter("dharma_gateway_responses_total",
-            "Responses by route and status");
-  for (const auto& [route, byStatus] : g.byRouteStatus) {
-    for (const auto& [status, n] : byStatus) {
-      w.sample({{"route", route}, {"status", std::to_string(status)}},
-               static_cast<double>(n));
-    }
-  }
-  w.counter("dharma_gateway_parse_errors_total",
-            "Connections failed by the HTTP parser")
-      .sample(static_cast<double>(g.parseErrors));
-  w.counter("dharma_gateway_overload_rejected_total",
-            "Requests refused with 503 overloaded")
-      .sample(static_cast<double>(g.overloadRejected));
-  w.counter("dharma_gateway_drain_rejected_total",
-            "Requests refused with 503 draining")
-      .sample(static_cast<double>(g.drainRejected));
-  w.counter("dharma_gateway_bytes_in_total", "Request bytes read")
-      .sample(static_cast<double>(g.bytesIn));
-  w.counter("dharma_gateway_bytes_out_total", "Response bytes written")
-      .sample(static_cast<double>(g.bytesOut));
-  if (deps_.engineMetrics) deps_.engineMetrics(w);
-
+  if (deps_.collectEngine) deps_.collectEngine();
+  syncRegistry(counters());
   HttpResponse r;
   r.contentType = "text/plain; version=0.0.4; charset=utf-8";
-  r.body = w.text();
+  r.body = registry_->renderPrometheus();
+  return r;
+}
+
+HttpResponse GatewayServer::handleDebugTraces() {
+  if (deps_.traces == nullptr) {
+    return jsonError(404, "tracing-disabled",
+                     "gateway started without a trace ring");
+  }
+  HttpResponse r;
+  r.body = "{\"total_completed\":" +
+           std::to_string(deps_.traces->totalCompleted()) + ",\"spans\":" +
+           deps_.traces->renderJson(64) + "}";
   return r;
 }
 

@@ -39,10 +39,16 @@
 #include "core/client.hpp"
 #include "gateway/connection.hpp"
 #include "gateway/http.hpp"
-#include "gateway/metrics.hpp"
 #include "gateway/router.hpp"
+#include "obs/registry.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
+
+namespace dharma::obs {
+class Histogram;
+class MetricsSampler;
+class TraceRing;
+}  // namespace dharma::obs
 
 namespace dharma::gateway {
 
@@ -101,12 +107,23 @@ class GatewayServer {
   /// the runtime (see examples/dharma_gateway.cpp).
   struct Deps {
     core::DharmaClient* client = nullptr;  ///< required for the data routes
-    /// Appends engine metric families (node counters, cache, UDP) to the
-    /// /metrics exposition after the gateway's own.
-    std::function<void(PrometheusWriter&)> engineMetrics;
+    /// Process-wide metrics registry backing GET /metrics and the /stats
+    /// "metrics" block. The gateway mirrors its own counters into it and
+    /// registers its per-route latency histograms there. Null = the server
+    /// owns a private registry (gateway families only). Must outlive the
+    /// server.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Called (worker thread) right before a /metrics or /stats render:
+    /// mirror engine-side counters into the registry. Implementations that
+    /// read engine loop-thread state must post through the runtime.
+    std::function<void()> collectEngine;
     /// Returns a JSON object (braces included) merged into /stats under
     /// "engine". Empty result omits the key.
     std::function<std::string()> engineStatsJson;
+    /// Sampler whose in-memory ring feeds the /stats "samples" array.
+    obs::MetricsSampler* sampler = nullptr;
+    /// Trace ring behind GET /debug/traces (404 "tracing-disabled" unset).
+    obs::TraceRing* traces = nullptr;
   };
 
   GatewayServer(GatewayConfig cfg, Deps deps);
@@ -133,6 +150,12 @@ class GatewayServer {
   u16 port() const { return boundPort_; }
 
   GatewayCounters counters() const EXCLUDES(statsMu_);
+
+  /// Mirrors the current gateway counters into the metrics registry — what
+  /// /metrics and /stats do before rendering. Callable from any thread;
+  /// the daemons' sampler collect hook uses it so periodic samples carry
+  /// fresh dharma_gateway_* values too.
+  void publishMetrics() EXCLUDES(statsMu_) { syncRegistry(counters()); }
 
   const GatewayConfig& config() const { return cfg_; }
 
@@ -171,9 +194,39 @@ class GatewayServer {
   HttpResponse handleResolve(const RouteMatch& m);
   HttpResponse handleStats() EXCLUDES(statsMu_);
   HttpResponse handleMetrics() EXCLUDES(statsMu_);
+  HttpResponse handleDebugTraces();
+
+  /// Mirrors \p g into the registry's dharma_gateway_* counter families
+  /// (Counter::set — the struct under statsMu_ stays the source of truth,
+  /// so /stats and /metrics can never drift apart).
+  void syncRegistry(const GatewayCounters& g);
+  /// Per-route latency histogram handle; registers on first use for labels
+  /// outside the pre-registered route table.
+  obs::Histogram& routeHistogram(const char* label);
 
   GatewayConfig cfg_;
   Deps deps_;
+
+  /// Fallback registry when Deps::metrics is null; registry_ points at
+  /// whichever one is live.
+  std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  /// Pre-registered handles for the scalar dharma_gateway_* counters (same
+  /// order as GatewayCounters' fields).
+  obs::Counter* regAccepted_ = nullptr;
+  obs::Counter* regClosed_ = nullptr;
+  obs::Counter* regConnRejected_ = nullptr;
+  obs::Counter* regRequests_ = nullptr;
+  obs::Counter* regParseErrors_ = nullptr;
+  obs::Counter* regOverload_ = nullptr;
+  obs::Counter* regDrain_ = nullptr;
+  obs::Counter* regBytesIn_ = nullptr;
+  obs::Counter* regBytesOut_ = nullptr;
+  /// route label -> latency histogram (filled in the constructor for every
+  /// RouteId; guarded additions for synthetic labels go through mapMu_).
+  mutable Mutex histMapMu_;
+  std::map<std::string, obs::Histogram*, std::less<>> routeHist_
+      GUARDED_BY(histMapMu_);
 
   int listenFd_ = -1;
   int wakePipe_[2] = {-1, -1};

@@ -8,16 +8,38 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
 
 namespace dharma::net {
 
 namespace {
+
+/// Records wall microseconds into \p h on scope exit; inert when null.
+/// Uses steady_clock directly (not the Executor): these timings run on the
+/// receive thread and arbitrary sender threads, and UdpTransport only ever
+/// exists under real time anyway.
+struct ScopedTimer {
+  obs::Histogram* h;
+  std::chrono::steady_clock::time_point t0;
+  explicit ScopedTimer(obs::Histogram* hist)
+      : h(hist),
+        t0(hist != nullptr ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (h == nullptr) return;
+    auto dt = std::chrono::steady_clock::now() - t0;
+    h->record(static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+  }
+};
 /// Max UDP datagram we ever expect; recvfrom truncates beyond this, which
 /// is fine because anything above the MTU would be rejected by decode
 /// anyway (envelopes are far smaller than the MTU + slack).
@@ -50,6 +72,18 @@ UdpTransport::UdpTransport(Executor& exec, Config cfg)
                          "UdpTransport: bad bind host '" + cfg_.bindHost + "'");
   }
   bindIp_ = *ip;
+  if (cfg_.metrics != nullptr) {
+    sendHist_ = &cfg_.metrics->histogram(
+        "dharma_udp_send_us",
+        "UDP sendto() latency including the transport lock (microseconds)",
+        {});
+    recvBatchHist_ = &cfg_.metrics->histogram(
+        "dharma_udp_recv_batch_datagrams",
+        "Datagrams drained per ready-socket receive batch", {});
+    recvBatchUsHist_ = &cfg_.metrics->histogram(
+        "dharma_udp_recv_batch_us",
+        "Time to drain one ready-socket receive batch (microseconds)", {});
+  }
   if (pipe(wakePipe_) != 0) {
     throw TransportError(TransportError::Kind::kSocketFailed,
                          "UdpTransport: pipe() failed");
@@ -114,6 +148,7 @@ void UdpTransport::setHandler(Address a, ReceiveHandler handler) {
 }
 
 bool UdpTransport::send(Address from, Address to, std::vector<u8> payload) {
+  ScopedTimer timer(sendHist_);
   if (payload.size() > cfg_.mtuBytes) {
     MutexLock lk(sh_->mu);
     ++sh_->stats.droppedOversize;
@@ -261,12 +296,15 @@ void UdpTransport::receiveLoop() {
       // Drain the (non-blocking) socket: one poll readiness can mean many
       // queued datagrams, and re-polling per datagram would put a syscall
       // + snapshot rebuild on the hot path.
+      ScopedTimer batchTimer(recvBatchUsHist_);
+      u64 batchCount = 0;
       while (true) {
         sockaddr_in src{};
         socklen_t srcLen = sizeof(src);
         ssize_t n = ::recvfrom(fds[i].fd, buf.data(), buf.size(), 0,
                                reinterpret_cast<sockaddr*>(&src), &srcLen);
         if (n <= 0) break;  // EWOULDBLOCK (drained) or error: next socket
+        ++batchCount;
         Address srcAddr =
             makeAddress(ntohl(src.sin_addr.s_addr), ntohs(src.sin_port));
         Address dstAddr = fdOwner[i];
@@ -301,6 +339,9 @@ void UdpTransport::receiveLoop() {
           }
           if (h) h(srcAddr, *payload);
         });
+      }
+      if (recvBatchHist_ != nullptr && batchCount > 0) {
+        recvBatchHist_->record(batchCount);
       }
     }
   }

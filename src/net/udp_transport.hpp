@@ -39,6 +39,11 @@
 #include "net/transport.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace dharma::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace dharma::obs
+
 namespace dharma::net {
 
 /// Typed transport startup/teardown failure. Daemons catch this at boot,
@@ -115,6 +120,12 @@ class UdpTransport final : public Transport {
   struct Config {
     std::string bindHost = "127.0.0.1";  ///< local interface for sockets
     usize mtuBytes = 1400;               ///< payload cap, as in the paper
+    /// Optional metrics sink: when set, send() records
+    /// `dharma_udp_send_us` (sendto latency incl. transport lock) and the
+    /// receive loop records `dharma_udp_recv_batch_datagrams` /
+    /// `dharma_udp_recv_batch_us` per drained socket batch. Must outlive
+    /// the transport; null disables at one-branch cost.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// \param exec executor datagram deliveries are posted to. Must be a
@@ -201,6 +212,13 @@ class UdpTransport final : public Transport {
   Executor& exec_;
   Config cfg_;
   u32 bindIp_ = 0;  ///< cfg_.bindHost parsed once, host byte order
+
+  // Pre-resolved histogram handles (null when cfg_.metrics is unset).
+  // Recorded from the calling thread (send) and the receive thread —
+  // Histogram is lock-free, so no ordering with sh_->mu is needed.
+  obs::Histogram* sendHist_ = nullptr;
+  obs::Histogram* recvBatchHist_ = nullptr;
+  obs::Histogram* recvBatchUsHist_ = nullptr;
 
   std::shared_ptr<Shared> sh_ = std::make_shared<Shared>();
   /// Self-pipe: interrupts poll() on socket-set changes. Written in the

@@ -1,0 +1,55 @@
+#include "obs/histogram.hpp"
+
+namespace dharma::obs {
+
+u64 HistogramSnapshot::bucketUpperBound(usize b) {
+  if (b + 1 >= kBucketCount) return ~0ULL;  // overflow bucket is +Inf
+  return u64{1} << b;
+}
+
+u64 HistogramSnapshot::count() const {
+  u64 total = 0;
+  for (u64 c : buckets) total += c;
+  return total;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (usize b = 0; b < kBucketCount; ++b) buckets[b] += other.buckets[b];
+  sum += other.sum;
+  if (other.maxValue > maxValue) maxValue = other.maxValue;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  const u64 total = count();
+  if (total == 0) return 0.0;
+  if (q <= 0.0) return 0.0;
+  if (q >= 1.0) return static_cast<double>(maxValue);
+
+  // Rank of the target observation, 1-based: the smallest rank r such that
+  // r/total >= q.
+  u64 rank = static_cast<u64>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+
+  u64 cumulative = 0;
+  for (usize b = 0; b < kBucketCount; ++b) {
+    if (buckets[b] == 0) continue;
+    const u64 before = cumulative;
+    cumulative += buckets[b];
+    if (cumulative < rank) continue;
+
+    // Interpolate inside bucket b between its bounds, clamped to the
+    // tracked maximum so the estimate never exceeds an observed value.
+    const double lo = b == 0 ? 0.0 : static_cast<double>(u64{1} << (b - 1));
+    double hi = b + 1 >= kBucketCount ? static_cast<double>(maxValue)
+                                      : static_cast<double>(u64{1} << b);
+    if (hi > static_cast<double>(maxValue)) hi = static_cast<double>(maxValue);
+    if (hi < lo) return lo;
+    const double frac = static_cast<double>(rank - before) /
+                        static_cast<double>(buckets[b]);
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(maxValue);
+}
+
+}  // namespace dharma::obs

@@ -1,0 +1,103 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief Lock-free log-bucketed latency histogram.
+///
+/// The recording path is the whole point: one bucket index computation
+/// (a bit_width), two relaxed fetch_adds and a relaxed CAS max — cheap
+/// enough to sit on every client op, every RPC service path and every
+/// gateway route in Release builds. Writers never block each other and
+/// never block readers; snapshot() assembles a consistent-enough view by
+/// reading each atomic once (counts recorded concurrently with a snapshot
+/// may land on either side — the usual histogram contract).
+///
+/// Buckets are powers of two: bucket b counts values in (2^(b-1), 2^b],
+/// with bucket 0 covering {0, 1} and the last bucket acting as +Inf
+/// overflow. For microsecond latencies that spans 1 µs .. ~67 s before
+/// overflow, with ≤ 2x relative error per bucket — the same shape
+/// Prometheus client libraries use for exponential buckets, so the
+/// exposition maps 1:1 onto `_bucket{le="..."}` families.
+///
+/// Quantiles are derived from a snapshot by rank-walking the cumulative
+/// counts and interpolating linearly inside the target bucket; p100 is the
+/// exact tracked maximum. Snapshots merge associatively (bucket-wise adds,
+/// max of maxes), so per-shard histograms can be aggregated into fleet
+/// views without losing anything but intra-bucket resolution.
+
+#include <array>
+#include <atomic>
+#include <bit>
+
+#include "util/types.hpp"
+
+namespace dharma::obs {
+
+/// Point-in-time copy of a Histogram: plain integers, freely copyable,
+/// mergeable, and the input to quantile derivation and text exposition.
+struct HistogramSnapshot {
+  /// Buckets 0..26 have upper bound 2^b (1 µs .. ~67 s when recording
+  /// microseconds); bucket 27 is the +Inf overflow bucket.
+  static constexpr usize kBucketCount = 28;
+
+  std::array<u64, kBucketCount> buckets{};  ///< non-cumulative counts
+  u64 sum = 0;                              ///< sum of recorded values
+  u64 maxValue = 0;                         ///< largest recorded value
+
+  /// Inclusive upper bound of bucket \p b (2^b), or u64 max for the
+  /// overflow bucket.
+  static u64 bucketUpperBound(usize b);
+
+  /// Total recorded observations (sum over buckets). Prometheus `_count`
+  /// and the `le="+Inf"` cumulative bucket are both exactly this.
+  u64 count() const;
+
+  /// Bucket-wise accumulate: afterwards this snapshot describes the union
+  /// of both observation streams. Associative and commutative.
+  void merge(const HistogramSnapshot& other);
+
+  /// Quantile estimate for \p q in [0, 1]: rank-walk the buckets, linear
+  /// interpolation inside the target bucket, clamped to maxValue (so
+  /// quantile(1.0) == maxValue exactly). Returns 0 on an empty snapshot.
+  double quantile(double q) const;
+};
+
+/// Lock-free histogram; see file comment for the bucket layout. All
+/// methods are safe to call concurrently from any thread.
+class Histogram {
+ public:
+  static constexpr usize kBucketCount = HistogramSnapshot::kBucketCount;
+
+  /// Records one observation. Wait-free apart from the bounded CAS loop
+  /// maintaining the maximum.
+  void record(u64 value) {
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    u64 prev = max_.load(std::memory_order_relaxed);
+    while (prev < value && !max_.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (usize b = 0; b < kBucketCount; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.maxValue = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Smallest b with 2^b >= value, clamped into the overflow bucket.
+  static usize bucketIndex(u64 value) {
+    if (value <= 1) return 0;
+    usize b = static_cast<usize>(std::bit_width(value - 1));
+    return b < kBucketCount ? b : kBucketCount - 1;
+  }
+
+ private:
+  std::array<std::atomic<u64>, kBucketCount> buckets_{};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> max_{0};
+};
+
+}  // namespace dharma::obs

@@ -1,0 +1,296 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dharma::obs {
+
+namespace {
+
+/// RFC 8259 string escaping for the JSON render (series ids contain
+/// quotes: name{k="v"}).
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// %.17g round-trips doubles and renders integral values without noise —
+/// the same convention PR 8's PrometheusWriter used.
+void appendDouble(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+const char* typeName(u8 t) {
+  switch (t) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+std::string promEscape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
+                                                 std::string_view help,
+                                                 Type type) {
+  for (auto& f : families_) {
+    if (f->name == name) {
+      if (f->type != type) {
+        throw std::logic_error("metric family '" + f->name +
+                               "' re-registered under a different type");
+      }
+      return *f;
+    }
+  }
+  auto f = std::make_unique<Family>();
+  f->name.assign(name);
+  f->help.assign(help);
+  f->type = type;
+  families_.push_back(std::move(f));
+  return *families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(Family& f, Labels&& labels) {
+  std::string part;
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) part += ',';
+    first = false;
+    part += k;
+    part += "=\"";
+    part += promEscape(v);
+    part += '"';
+  }
+  for (auto& s : f.series) {
+    if (s->labelsPart == part) return *s;
+  }
+  auto s = std::make_unique<Series>();
+  s->labelsPart = part;
+  s->id = f.name;
+  if (!part.empty()) {
+    s->id += '{';
+    s->id += part;
+    s->id += '}';
+  }
+  f.series.push_back(std::move(s));
+  return *f.series.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  MutexLock lk(mu_);
+  Series& s = series(family(name, help, Type::kCounter), std::move(labels));
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  MutexLock lk(mu_);
+  Series& s = series(family(name, help, Type::kGauge), std::move(labels));
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help, Labels labels) {
+  MutexLock lk(mu_);
+  Series& s = series(family(name, help, Type::kHistogram), std::move(labels));
+  if (!s.hist) s.hist = std::make_unique<Histogram>();
+  return *s.hist;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  MutexLock lk(mu_);
+  RegistrySnapshot snap;
+  for (const auto& f : families_) {
+    for (const auto& s : f->series) {
+      switch (f->type) {
+        case Type::kCounter:
+          snap.counters.push_back({s->id, s->counter->value()});
+          break;
+        case Type::kGauge:
+          snap.gauges.push_back({s->id, s->gauge->value()});
+          break;
+        case Type::kHistogram:
+          snap.hists.push_back({s->id, s->hist->snapshot()});
+          break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  MutexLock lk(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& f : families_) {
+    out += "# HELP ";
+    out += f->name;
+    out += ' ';
+    out += f->help;
+    out += "\n# TYPE ";
+    out += f->name;
+    out += ' ';
+    out += typeName(static_cast<u8>(f->type));
+    out += '\n';
+    for (const auto& s : f->series) {
+      switch (f->type) {
+        case Type::kCounter:
+          out += f->name;
+          if (!s->labelsPart.empty()) {
+            out += '{';
+            out += s->labelsPart;
+            out += '}';
+          }
+          out += ' ';
+          out += std::to_string(s->counter->value());
+          out += '\n';
+          break;
+        case Type::kGauge:
+          out += f->name;
+          if (!s->labelsPart.empty()) {
+            out += '{';
+            out += s->labelsPart;
+            out += '}';
+          }
+          out += ' ';
+          appendDouble(out, s->gauge->value());
+          out += '\n';
+          break;
+        case Type::kHistogram: {
+          const HistogramSnapshot h = s->hist->snapshot();
+          u64 cumulative = 0;
+          for (usize b = 0; b < HistogramSnapshot::kBucketCount; ++b) {
+            cumulative += h.buckets[b];
+            out += f->name;
+            out += "_bucket{";
+            if (!s->labelsPart.empty()) {
+              out += s->labelsPart;
+              out += ',';
+            }
+            out += "le=\"";
+            if (b + 1 >= HistogramSnapshot::kBucketCount) {
+              out += "+Inf";
+            } else {
+              out += std::to_string(HistogramSnapshot::bucketUpperBound(b));
+            }
+            out += "\"} ";
+            out += std::to_string(cumulative);
+            out += '\n';
+          }
+          out += f->name;
+          out += "_sum";
+          if (!s->labelsPart.empty()) {
+            out += '{';
+            out += s->labelsPart;
+            out += '}';
+          }
+          out += ' ';
+          out += std::to_string(h.sum);
+          out += '\n';
+          out += f->name;
+          out += "_count";
+          if (!s->labelsPart.empty()) {
+            out += '{';
+            out += s->labelsPart;
+            out += '}';
+          }
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  const RegistrySnapshot snap = snapshot();
+  std::string out;
+  out.reserve(2048);
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& row : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += jsonEscape(row.id);
+    out += "\":";
+    out += std::to_string(row.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& row : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += jsonEscape(row.id);
+    out += "\":";
+    appendDouble(out, row.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& row : snap.hists) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += jsonEscape(row.id);
+    out += "\":{\"count\":";
+    out += std::to_string(row.hist.count());
+    out += ",\"sum\":";
+    out += std::to_string(row.hist.sum);
+    out += ",\"p50\":";
+    appendDouble(out, row.hist.quantile(0.50));
+    out += ",\"p90\":";
+    appendDouble(out, row.hist.quantile(0.90));
+    out += ",\"p99\":";
+    appendDouble(out, row.hist.quantile(0.99));
+    out += ",\"max\":";
+    out += std::to_string(row.hist.maxValue);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dharma::obs

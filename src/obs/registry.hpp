@@ -1,0 +1,154 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Process-wide metrics registry: counters, gauges, histograms.
+///
+/// The generalisation (and replacement) of the gateway-local
+/// PrometheusWriter from PR 8: one registry instance per process owns
+/// every metric family, every surface renders from it — Prometheus text
+/// exposition for `/metrics` scrapes, a JSON snapshot for `/stats` and
+/// the daemons' `stats-json` line command, and a structured snapshot the
+/// MetricsSampler deltas and publishes periodically. Because all three
+/// surfaces read the same registry, no counter is reachable from only one
+/// of them.
+///
+/// Concurrency model: registration (counter()/gauge()/histogram()) takes
+/// a mutex and is expected at construction/startup time; the returned
+/// handles are stable for the registry's lifetime and their hot paths are
+/// single relaxed atomics — safe from any thread, including the UDP
+/// receive thread and gateway workers. Snapshots/renders take the mutex
+/// only to walk the family list (registration is rare), then read each
+/// atomic once.
+///
+/// Determinism: families render in registration order and series in
+/// creation order, so a deterministic program (fixed registration order,
+/// Simulator executor) produces byte-identical snapshots — the property
+/// the sampler's bit-stable-per-seed contract rests on.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/types.hpp"
+
+namespace dharma::obs {
+
+/// Label set for one series, in render order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. add() is the native path; set() exists for
+/// mirroring an externally maintained monotonic counter (NodeCounters,
+/// UdpStats, ...) into the registry at collection time.
+class Counter {
+ public:
+  void add(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(u64 value) { v_.store(value, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Point-in-time value (queue depths, open connections, ...).
+class Gauge {
+ public:
+  void set(double value) { v_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double prev = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(prev, prev + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Structured point-in-time copy of every series, in deterministic
+/// (registration) order. Input to the sampler and the JSON render.
+struct RegistrySnapshot {
+  struct CounterRow {
+    std::string id;  ///< full series id, e.g. name{k="v"}
+    u64 value = 0;
+  };
+  struct GaugeRow {
+    std::string id;
+    double value = 0.0;
+  };
+  struct HistRow {
+    std::string id;
+    HistogramSnapshot hist;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistRow> hists;
+};
+
+/// See file comment. Handles returned by the factory methods are owned by
+/// the registry and valid for its lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  /// Gets or creates the counter series (name, labels). The help string is
+  /// recorded on first use of the family. Requesting an existing family
+  /// under a different metric type throws std::logic_error — that is a
+  /// registration bug, not a runtime condition.
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {}) EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {}) EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       Labels labels = {}) EXCLUDES(mu_);
+
+  RegistrySnapshot snapshot() const EXCLUDES(mu_);
+
+  /// Prometheus text exposition 0.0.4: HELP/TYPE per family, counter and
+  /// gauge samples, and full `_bucket{le=...}`/`_sum`/`_count` histogram
+  /// families with cumulative buckets.
+  std::string renderPrometheus() const EXCLUDES(mu_);
+
+  /// The same content as JSON:
+  /// {"counters":{id:v},"gauges":{id:v},"histograms":{id:{count,sum,p50,
+  /// p90,p99,max}}}. Deterministic ordering, suitable for `stats-json`
+  /// and the gateway `/stats` extension.
+  std::string renderJson() const EXCLUDES(mu_);
+
+ private:
+  enum class Type : u8 { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string labelsPart;  ///< rendered k="v",... without braces
+    std::string id;          ///< name + {labelsPart} (or bare name)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family& family(std::string_view name, std::string_view help, Type type)
+      REQUIRES(mu_);
+  Series& series(Family& f, Labels&& labels) REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_ GUARDED_BY(mu_);
+};
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline). Exposed for tests and the gateway's JSON escaping reuse.
+std::string promEscape(std::string_view v);
+
+}  // namespace dharma::obs

@@ -1,0 +1,185 @@
+#include "obs/sampler.hpp"
+
+#include <cstdio>
+
+namespace dharma::obs {
+
+namespace {
+
+void appendDouble(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// Series ids contain quotes (name{k="v"}); escape for JSON keys.
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Sample::toJson() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"t_us\":";
+  out += std::to_string(tUs);
+  out += ",\"since_us\":";
+  out += std::to_string(sinceLastUs);
+  out += ",\"counters\":{";
+  for (usize i = 0; i < counters.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += jsonEscape(counters[i].first);
+    out += "\":";
+    out += std::to_string(counters[i].second);
+  }
+  out += "},\"deltas\":{";
+  for (usize i = 0; i < counters.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += jsonEscape(counters[i].first);
+    out += "\":";
+    out += std::to_string(deltas[i]);
+  }
+  out += "},\"gauges\":{";
+  for (usize i = 0; i < gauges.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += jsonEscape(gauges[i].first);
+    out += "\":";
+    appendDouble(out, gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (usize i = 0; i < hists.size(); ++i) {
+    const Hist& h = hists[i];
+    if (i) out += ',';
+    out += '"';
+    out += jsonEscape(h.id);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"p50\":";
+    appendDouble(out, h.p50);
+    out += ",\"p90\":";
+    appendDouble(out, h.p90);
+    out += ",\"p99\":";
+    appendDouble(out, h.p99);
+    out += ",\"max\":";
+    out += std::to_string(h.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsSampler::MetricsSampler(net::Executor& exec, MetricsRegistry& registry,
+                               SamplerConfig cfg)
+    : exec_(exec), registry_(registry), cfg_(cfg), rng_(splitmix64(cfg.seed)) {}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void MetricsSampler::stop() {
+  running_ = false;
+  if (task_ != net::kNullTask) {
+    exec_.cancel(task_);
+    task_ = net::kNullTask;
+  }
+}
+
+net::TimeUs MetricsSampler::nextDelay() {
+  const double base = static_cast<double>(cfg_.intervalUs);
+  const double jitter =
+      (rng_.uniformDouble() * 2.0 - 1.0) * cfg_.jitterFrac * base;
+  double d = base + jitter;
+  if (d < 1.0) d = 1.0;
+  return static_cast<net::TimeUs>(d);
+}
+
+void MetricsSampler::arm() {
+  task_ = exec_.schedule(nextDelay(), [this] {
+    task_ = net::kNullTask;
+    if (!running_) return;
+    tick();
+    if (running_) arm();
+  });
+}
+
+void MetricsSampler::tick() { (void)sampleNow(); }
+
+Sample MetricsSampler::sampleNow() {
+  if (collect_) collect_();
+
+  const RegistrySnapshot snap = registry_.snapshot();
+  Sample s;
+  s.seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.tUs = exec_.now();
+  s.sinceLastUs = haveLast_ ? s.tUs - lastTickUs_ : 0;
+  lastTickUs_ = s.tUs;
+  haveLast_ = true;
+
+  s.counters.reserve(snap.counters.size());
+  s.deltas.reserve(snap.counters.size());
+  for (const auto& row : snap.counters) {
+    auto it = prevCounters_.find(row.id);
+    // A counter first seen this tick deltas from zero: registry counters
+    // are monotonic from process start, so the full value IS the delta.
+    const u64 prev = it == prevCounters_.end() ? 0 : it->second;
+    s.counters.emplace_back(row.id, row.value);
+    s.deltas.push_back(row.value >= prev ? row.value - prev : 0);
+    prevCounters_[row.id] = row.value;
+  }
+  s.gauges.reserve(snap.gauges.size());
+  for (const auto& row : snap.gauges) s.gauges.emplace_back(row.id, row.value);
+  s.hists.reserve(snap.hists.size());
+  for (const auto& row : snap.hists) {
+    Sample::Hist h;
+    h.id = row.id;
+    h.count = row.hist.count();
+    h.sum = row.hist.sum;
+    h.p50 = row.hist.quantile(0.50);
+    h.p90 = row.hist.quantile(0.90);
+    h.p99 = row.hist.quantile(0.99);
+    h.max = row.hist.maxValue;
+    s.hists.push_back(std::move(h));
+  }
+
+  {
+    MutexLock lk(mu_);
+    ring_.push_back(s);
+    while (ring_.size() > cfg_.ringCapacity) ring_.pop_front();
+  }
+  for (const auto& sink : sinks_) sink(s);
+  return s;
+}
+
+std::vector<Sample> MetricsSampler::recent(usize n) const {
+  MutexLock lk(mu_);
+  const usize have = ring_.size();
+  const usize take = n < have ? n : have;
+  std::vector<Sample> out;
+  out.reserve(take);
+  for (usize i = have - take; i < have; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+}  // namespace dharma::obs

@@ -1,0 +1,140 @@
+#pragma once
+/// \file sampler.hpp
+/// \brief Periodic, executor-scheduled metrics sampler with pluggable sinks.
+///
+/// The push half of the observability layer (the Prometheus `/metrics`
+/// endpoint is the pull half): a MetricsSampler rides the process's
+/// Executor — the same scheduling seam MaintenanceManager uses — and on a
+/// jittered interval (deterministic per seed, so simulator runs replay
+/// bit-identically) snapshots the MetricsRegistry, computes per-counter
+/// deltas against the previous tick, and publishes the resulting Sample
+/// to every registered sink. The lokinet `llarp/metrics/` periodic
+/// publisher is the shape being reproduced: collectors tick on the event
+/// loop, publishers fan the batch out to backends.
+///
+/// Built-in consumers:
+///  - a bounded in-memory ring, queryable at any time (the daemons'
+///    `stats-json recent` surface and the gateway `/stats` extension);
+///  - whatever sinks the caller adds — the daemons attach a JSONL file
+///    sink behind `--metrics-out PATH --stats-interval-ms N`.
+///
+/// Threading: start(), stop() and the tick all run on the executor's loop
+/// thread (daemons post them through the runtime); sinks and the collect
+/// hook are invoked there too. recent() is safe from any thread — the
+/// ring is the one mutex-guarded piece, because gateway workers read it
+/// while the loop writes it.
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/executor.hpp"
+#include "obs/registry.hpp"
+#include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dharma::obs {
+
+struct SamplerConfig {
+  net::TimeUs intervalUs = 1'000'000;  ///< base sampling period
+  /// Each tick is scheduled at interval ± jitterFrac·interval, drawn from
+  /// the seeded Rng — decorrelates fleets that booted together while
+  /// staying reproducible.
+  double jitterFrac = 0.1;
+  u64 seed = 0;
+  usize ringCapacity = 120;  ///< samples retained for recent()
+};
+
+/// One published sample: absolute counter values plus deltas vs the
+/// previous tick, gauge values, and summarised histograms.
+struct Sample {
+  u64 seq = 0;               ///< 1-based tick number
+  net::TimeUs tUs = 0;       ///< executor time at snapshot
+  net::TimeUs sinceLastUs = 0;  ///< 0 on the first tick
+
+  /// Counter ids in registry (registration) order with absolute values;
+  /// deltas[i] corresponds to counters[i] and is vs the previous sample
+  /// (absolute value on the first tick a series is seen).
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<u64> deltas;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  struct Hist {
+    std::string id;
+    u64 count = 0;
+    u64 sum = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    u64 max = 0;
+  };
+  std::vector<Hist> hists;
+
+  /// One JSONL line, fixed key order, deterministic for deterministic
+  /// inputs — the unit the file sink writes and the determinism tests
+  /// compare byte-for-byte.
+  std::string toJson() const;
+};
+
+class MetricsSampler {
+ public:
+  using Sink = std::function<void(const Sample&)>;
+
+  MetricsSampler(net::Executor& exec, MetricsRegistry& registry,
+                 SamplerConfig cfg = {});
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Hook invoked on the loop thread right before each snapshot — where
+  /// daemons mirror loop-owned counter structs (NodeCounters, client
+  /// counters, UdpStats) into the registry.
+  void setCollect(std::function<void()> collect) { collect_ = std::move(collect); }
+
+  void addSink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Schedules the first tick. Call on the loop thread (or before the
+  /// executor runs). No-op if already running.
+  void start();
+
+  /// Cancels the pending tick. Call on the loop thread (or after the
+  /// executor stopped). Idempotent.
+  void stop();
+
+  /// Takes one sample immediately (collect + snapshot + ring + sinks)
+  /// without touching the schedule — the daemons' `stats-json` command
+  /// uses this for an on-demand reading.
+  Sample sampleNow();
+
+  /// Most recent \p n samples, oldest first. Thread-safe.
+  std::vector<Sample> recent(usize n) const EXCLUDES(mu_);
+
+  /// Ticks taken so far (scheduled + on-demand).
+  u64 ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  const SamplerConfig& config() const { return cfg_; }
+
+ private:
+  void tick();
+  void arm();
+  net::TimeUs nextDelay();
+
+  net::Executor& exec_;
+  MetricsRegistry& registry_;
+  SamplerConfig cfg_;
+  Rng rng_;
+  std::function<void()> collect_;
+  std::vector<Sink> sinks_;
+  net::TaskId task_ = net::kNullTask;
+  bool running_ = false;
+  net::TimeUs lastTickUs_ = 0;
+  bool haveLast_ = false;
+  std::unordered_map<std::string, u64> prevCounters_;
+  std::atomic<u64> ticks_{0};
+
+  mutable Mutex mu_;
+  std::deque<Sample> ring_ GUARDED_BY(mu_);
+};
+
+}  // namespace dharma::obs

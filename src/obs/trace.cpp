@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <string_view>
+
+namespace dharma::obs {
+
+namespace {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';  // control bytes have no business in trace labels
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRing::push(TraceSpan span) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lk(mu_);
+  ring_.push_back(std::move(span));
+  while (ring_.size() > cap_) ring_.pop_front();
+}
+
+std::vector<TraceSpan> TraceRing::recent(usize n) const {
+  MutexLock lk(mu_);
+  const usize have = ring_.size();
+  const usize take = n < have ? n : have;
+  std::vector<TraceSpan> out;
+  out.reserve(take);
+  for (usize i = have - take; i < have; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::string TraceRing::renderJson(usize n) const {
+  const std::vector<TraceSpan> spans = recent(n);
+  std::string out;
+  out.reserve(512 + spans.size() * 256);
+  out += '[';
+  for (usize i = 0; i < spans.size(); ++i) {
+    const TraceSpan& sp = spans[i];
+    if (i) out += ',';
+    out += "{\"trace_id\":";
+    out += std::to_string(sp.traceId);
+    out += ",\"kind\":\"";
+    out += jsonEscape(sp.kind);
+    out += "\",\"label\":\"";
+    out += jsonEscape(sp.label);
+    out += "\",\"start_us\":";
+    out += std::to_string(sp.startUs);
+    out += ",\"end_us\":";
+    out += std::to_string(sp.endUs);
+    out += ",\"duration_us\":";
+    out += std::to_string(sp.endUs >= sp.startUs ? sp.endUs - sp.startUs : 0);
+    out += ",\"outcome\":\"";
+    out += jsonEscape(sp.outcome);
+    out += "\",\"events\":[";
+    for (usize e = 0; e < sp.events.size(); ++e) {
+      const TraceEvent& ev = sp.events[e];
+      if (e) out += ',';
+      out += "{\"t_us\":";
+      out += std::to_string(ev.tUs);
+      out += ",\"label\":\"";
+      out += jsonEscape(ev.label);
+      out += "\",\"detail\":\"";
+      out += jsonEscape(ev.detail);
+      out += "\"}";
+    }
+    out += "]}";
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace dharma::obs

@@ -1,0 +1,84 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Per-operation trace spans with a bounded completed-span ring.
+///
+/// Answers "why was this search slow" on a live fleet: when tracing is
+/// enabled (a TraceRing is wired into DharmaConfig/NodeConfig), every
+/// client operation allocates a trace id and builds a span — begin time,
+/// timestamped events for each block op, retry and backoff, end time and
+/// outcome — and the overlay node's iterative lookups append their own
+/// spans under the SAME trace id with one event per RPC hop (sent,
+/// replied, timed out). Completed spans land in the ring, newest
+/// evicting oldest, exposed via the gateway's `GET /debug/traces` and the
+/// daemons' `trace` line command.
+///
+/// Cost model: spans are built only when a ring is configured — with the
+/// pointer unset the hot paths skip all of it (one branch). Span/event
+/// construction happens on the engine loop thread; only the ring's
+/// push/read are cross-thread (mutex-guarded), because gateway workers
+/// render traces while the loop completes ops.
+
+#include <atomic>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/executor.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/types.hpp"
+
+namespace dharma::obs {
+
+struct TraceEvent {
+  net::TimeUs tUs = 0;
+  std::string label;   ///< e.g. "rpc-sent", "retry", "cache-hit"
+  std::string detail;  ///< free-form context (peer, key prefix, error)
+};
+
+/// One span: a client op ("client-op") or one overlay lookup ("lookup")
+/// that ran under it. Spans sharing a traceId belong to one operation.
+struct TraceSpan {
+  u64 traceId = 0;
+  std::string kind;
+  std::string label;    ///< op class / lookup kind
+  net::TimeUs startUs = 0;
+  net::TimeUs endUs = 0;
+  std::string outcome;  ///< "ok" or an error token
+  std::vector<TraceEvent> events;
+
+  void event(net::TimeUs t, std::string lbl, std::string detail = {}) {
+    events.push_back(TraceEvent{t, std::move(lbl), std::move(detail)});
+  }
+};
+
+/// Bounded ring of completed spans. Thread-safe.
+class TraceRing {
+ public:
+  explicit TraceRing(usize capacity = 256) : cap_(capacity ? capacity : 1) {}
+
+  /// Allocates a fresh nonzero trace id (0 means "untraced" everywhere).
+  u64 nextTraceId() { return nextId_.fetch_add(1, std::memory_order_relaxed); }
+
+  void push(TraceSpan span) EXCLUDES(mu_);
+
+  /// Most recent \p n spans, oldest first.
+  std::vector<TraceSpan> recent(usize n) const EXCLUDES(mu_);
+
+  /// JSON array of the most recent \p n spans (oldest first), each with
+  /// its events — the `GET /debug/traces` / `trace` command payload.
+  std::string renderJson(usize n) const;
+
+  /// Spans completed over the ring's lifetime (not just those retained).
+  u64 totalCompleted() const { return total_.load(std::memory_order_relaxed); }
+
+  usize capacity() const { return cap_; }
+
+ private:
+  usize cap_;
+  std::atomic<u64> nextId_{1};
+  std::atomic<u64> total_{0};
+  mutable Mutex mu_;
+  std::deque<TraceSpan> ring_ GUARDED_BY(mu_);
+};
+
+}  // namespace dharma::obs

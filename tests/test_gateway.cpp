@@ -18,6 +18,9 @@
 #include "gateway/server.hpp"
 #include "net/realtime.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 
 namespace dharma::gateway {
 namespace {
@@ -39,16 +42,26 @@ struct GatewayFixture {
   net::UdpTransport transport{exec};
   crypto::CertificationService cs{"gw-test-secret"};
   core::RealTimeRuntime rt{exec, transport};
+  obs::MetricsRegistry registry;
+  obs::TraceRing traces{64};
+  std::unique_ptr<obs::MetricsSampler> sampler;
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   std::unique_ptr<core::DharmaClient> client;
   std::unique_ptr<GatewayServer> server;
 
   explicit GatewayFixture(usize n = 3, GatewayConfig cfg = GatewayConfig{}) {
     exec.start();
+    dht::NodeConfig nodeCfg = smallConfig();
+    nodeCfg.metrics = &registry;
+    nodeCfg.traces = &traces;
     for (usize i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<dht::KademliaNode>(
           exec, transport, cs, cs.enroll("gw-user-" + std::to_string(i)),
-          smallConfig(), 4000 + i));
+          nodeCfg, 4000 + i));
+      // Only node 0's RPC service times feed the registry: one process-wide
+      // registry per daemon is the deployment shape being modelled.
+      nodeCfg.metrics = nullptr;
+      nodeCfg.traces = nullptr;
     }
     for (usize i = 1; i < n; ++i) {
       dht::Contact seed = nodes[0]->contact();
@@ -58,11 +71,17 @@ struct GatewayFixture {
     }
     core::DharmaConfig ccfg;
     ccfg.cacheEnabled = true;
+    ccfg.metrics = &registry;
+    ccfg.traces = &traces;
     client = std::make_unique<core::DharmaClient>(rt, *nodes[0], ccfg);
+    sampler = std::make_unique<obs::MetricsSampler>(exec, registry);
 
     cfg.port = 0;  // ephemeral
     GatewayServer::Deps deps;
     deps.client = client.get();
+    deps.metrics = &registry;
+    deps.sampler = sampler.get();
+    deps.traces = &traces;
     server = std::make_unique<GatewayServer>(cfg, deps);
     EXPECT_EQ(server->start(), StartError::kNone) << server->startDetail();
   }
@@ -244,6 +263,132 @@ TEST(Gateway, StatsAndMetricsShapes) {
       std::string::npos);
   EXPECT_NE(metrics->body.find("dharma_gateway_responses_total{route="),
             std::string::npos);
+}
+
+TEST(Gateway, MetricsNamesStayBackwardCompatible) {
+  // The registry migration must not rename anything a dashboard scrapes:
+  // every dharma_gateway_* family PR 8 exposed is still here, still typed.
+  GatewayFixture f(1);
+  HttpClient c;
+  f.connect(c);
+  auto metrics = c.request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  for (const char* family : {
+           "dharma_gateway_connections_accepted_total",
+           "dharma_gateway_connections_closed_total",
+           "dharma_gateway_connections_rejected_total",
+           "dharma_gateway_requests_total",
+           "dharma_gateway_responses_total",
+           "dharma_gateway_parse_errors_total",
+           "dharma_gateway_overload_rejected_total",
+           "dharma_gateway_drain_rejected_total",
+           "dharma_gateway_bytes_in_total",
+           "dharma_gateway_bytes_out_total",
+       }) {
+    EXPECT_NE(metrics->body.find(std::string("# TYPE ") + family + " counter"),
+              std::string::npos)
+        << family;
+  }
+}
+
+TEST(Gateway, ScrapeShowsEngineAndRouteHistogramsAfterTraffic) {
+  GatewayFixture f;
+  HttpClient c;
+  f.connect(c);
+
+  // Drive real traffic through every layer the histograms instrument.
+  auto put = c.request("PUT", "/resources/h1?tag=rock", "http://x/h1");
+  ASSERT_TRUE(put.has_value());
+  EXPECT_EQ(put->status, 200);
+  auto res = c.request("GET", "/resolve/h1");
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->status, 200);
+
+  auto metrics = c.request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  const std::string& body = metrics->body;
+
+  // Client op latency: the PUT ran an insert, the GET a resolve.
+  EXPECT_NE(body.find("# TYPE dharma_client_op_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("dharma_client_op_latency_us_count{op=\"insert\","
+                      "result=\"ok\"} 1"),
+            std::string::npos);
+  // Node RPC service time: the overlay served store/find RPCs for those ops.
+  EXPECT_NE(body.find("# TYPE dharma_node_rpc_service_us histogram"),
+            std::string::npos);
+  const usize rpcCountPos = body.find("dharma_node_rpc_service_us_count");
+  ASSERT_NE(rpcCountPos, std::string::npos);
+  // Per-route latency: the PUT and GET each landed in their route's series.
+  EXPECT_NE(body.find("# TYPE dharma_gateway_route_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("dharma_gateway_route_latency_us_count{"
+                      "route=\"put_resource\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("dharma_gateway_route_latency_us_count{"
+                      "route=\"resolve\"} 1"),
+            std::string::npos);
+  // Lookup hop counts from the client-driven lookups.
+  EXPECT_NE(body.find("# TYPE dharma_node_lookup_hops histogram"),
+            std::string::npos);
+}
+
+TEST(Gateway, StatsCarriesRegistryMetricsAndSamples) {
+  GatewayFixture f(1);
+  HttpClient c;
+  f.connect(c);
+  // Two on-demand samples so /stats has a ring to show.
+  f.rt.awaitDone([&](std::function<void()> done) {
+    (void)f.sampler->sampleNow();
+    (void)f.sampler->sampleNow();
+    done();
+  });
+  auto stats = c.request("GET", "/stats");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->status, 200);
+  EXPECT_NE(stats->body.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"samples\":[{"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"seq\":2"), std::string::npos);
+  // The same series ids appear in both the Prometheus and JSON surfaces —
+  // the "no counter reachable from only one surface" contract.
+  EXPECT_NE(stats->body.find("dharma_gateway_requests_total"),
+            std::string::npos);
+}
+
+TEST(Gateway, DebugTracesExposesCompletedSpans) {
+  GatewayFixture f;
+  HttpClient c;
+  f.connect(c);
+  auto put = c.request("PUT", "/resources/t1?tag=jazz", "http://x/t1");
+  ASSERT_TRUE(put.has_value());
+  EXPECT_EQ(put->status, 200);
+
+  auto tr = c.request("GET", "/debug/traces");
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->status, 200);
+  EXPECT_NE(tr->body.find("\"total_completed\":"), std::string::npos);
+  EXPECT_NE(tr->body.find("\"kind\":\"client-op\""), std::string::npos);
+  EXPECT_NE(tr->body.find("\"kind\":\"lookup\""), std::string::npos);
+  EXPECT_NE(tr->body.find("\"rpc-sent\""), std::string::npos);
+}
+
+TEST(Gateway, DebugTracesWithoutRingIs404) {
+  GatewayConfig cfg;
+  cfg.port = 0;
+  GatewayServer bare(cfg, {});
+  ASSERT_EQ(bare.start(), StartError::kNone);
+  {
+    // Scoped so the connection closes before stop() — otherwise the
+    // graceful drain waits out its full deadline on the idle keep-alive.
+    HttpClient c;
+    ASSERT_TRUE(c.connect("127.0.0.1", bare.port()));
+    auto tr = c.request("GET", "/debug/traces");
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->status, 404);
+    EXPECT_NE(tr->body.find("tracing-disabled"), std::string::npos);
+  }
+  bare.stop();
 }
 
 TEST(Gateway, StartErrorPortInUseIsTyped) {

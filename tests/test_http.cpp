@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "gateway/http.hpp"
-#include "gateway/metrics.hpp"
+#include "obs/registry.hpp"
 #include "gateway/router.hpp"
 
 namespace dharma::gateway {
@@ -326,14 +326,14 @@ TEST(Router, UnknownPathsYield404) {
 }
 
 // ---------------------------------------------------------------------------
-// Prometheus writer
+// Prometheus exposition (obs registry, which /metrics renders)
 // ---------------------------------------------------------------------------
 
 TEST(Prometheus, RendersFamiliesAndEscapesLabels) {
-  PrometheusWriter w;
-  w.counter("t_total", "help text").sample(3);
-  w.gauge("g", "a gauge").sample({{"route", "se\"arch"}}, 1.5);
-  const std::string& t = w.text();
+  obs::MetricsRegistry reg;
+  reg.counter("t_total", "help text").set(3);
+  reg.gauge("g", "a gauge", {{"route", "se\"arch"}}).set(1.5);
+  const std::string t = reg.renderPrometheus();
   EXPECT_NE(t.find("# HELP t_total help text\n"), std::string::npos);
   EXPECT_NE(t.find("# TYPE t_total counter\n"), std::string::npos);
   EXPECT_NE(t.find("t_total 3\n"), std::string::npos);

@@ -1,0 +1,376 @@
+/// Unit tests for the observability layer (src/obs/): histogram bucket
+/// math and quantiles, registry exposition + identity semantics, sampler
+/// determinism on the Simulator (the bit-stable-per-seed contract behind
+/// `--stats-interval-ms`), and the bounded trace ring.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace dharma::obs {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket b covers (2^(b-1), 2^b], bucket 0 covers {0, 1}.
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(5), 3u);
+  for (usize b = 1; b + 1 < Histogram::kBucketCount; ++b) {
+    const u64 ub = u64{1} << b;
+    EXPECT_EQ(Histogram::bucketIndex(ub), b) << "upper bound of bucket " << b;
+    EXPECT_EQ(Histogram::bucketIndex(ub + 1), b + 1)
+        << "one past bucket " << b;
+  }
+  // Everything huge lands in the overflow bucket.
+  EXPECT_EQ(Histogram::bucketIndex(~u64{0}), Histogram::kBucketCount - 1);
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(0), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(10), 1024u);
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(Histogram::kBucketCount - 1),
+            ~u64{0});
+}
+
+TEST(Histogram, CountSumMaxTrackExactly) {
+  Histogram h;
+  u64 sum = 0;
+  for (u64 v : {0u, 1u, 7u, 100u, 4096u, 70'000'000u}) {
+    h.record(v);
+    sum += v;
+  }
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_EQ(s.sum, sum);
+  EXPECT_EQ(s.maxValue, 70'000'000u);
+}
+
+TEST(Histogram, QuantilesApproximateExactWithinBucketError) {
+  // Uniform values 1..10000: log buckets guarantee <= 2x relative error,
+  // and linear interpolation does much better for dense uniform data.
+  Histogram h;
+  std::vector<u64> values;
+  for (u64 v = 1; v <= 10'000; ++v) {
+    h.record(v);
+    values.push_back(v);
+  }
+  const HistogramSnapshot s = h.snapshot();
+  for (double q : {0.50, 0.90, 0.99}) {
+    const double exact =
+        static_cast<double>(values[static_cast<usize>(q * 9999.0)]);
+    const double est = s.quantile(q);
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+  // p100 is the exact maximum, p0 of an empty histogram is 0.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10'000.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Histogram a, b, c;
+  for (u64 v = 1; v <= 100; ++v) a.record(v * 3);
+  for (u64 v = 1; v <= 50; ++v) b.record(v * 1000);
+  c.record(123'456'789);
+
+  auto merged = [](std::vector<const Histogram*> hs) {
+    HistogramSnapshot acc;
+    for (const Histogram* h : hs) acc.merge(h->snapshot());
+    return acc;
+  };
+  const HistogramSnapshot abc = merged({&a, &b, &c});
+  const HistogramSnapshot cba = merged({&c, &b, &a});
+  // (a+b)+c vs a+(b+c)
+  HistogramSnapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  ab.merge(c.snapshot());
+  HistogramSnapshot bc = b.snapshot();
+  bc.merge(c.snapshot());
+  HistogramSnapshot a_bc = a.snapshot();
+  a_bc.merge(bc);
+
+  const std::vector<const HistogramSnapshot*> views = {&cba, &ab, &a_bc};
+  for (const HistogramSnapshot* s : views) {
+    EXPECT_EQ(s->buckets, abc.buckets);
+    EXPECT_EQ(s->sum, abc.sum);
+    EXPECT_EQ(s->maxValue, abc.maxValue);
+  }
+  EXPECT_EQ(abc.count(), 151u);
+}
+
+TEST(Histogram, ConcurrentWritersLoseNothing) {
+  Histogram h;
+  constexpr usize kThreads = 8;
+  constexpr u64 kPerThread = 20'000;
+  std::vector<std::thread> ts;
+  for (usize t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (u64 i = 0; i < kPerThread; ++i) h.record(t * kPerThread + i);
+    });
+  }
+  for (auto& t : ts) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), kThreads * kPerThread);
+  EXPECT_EQ(s.maxValue, kThreads * kPerThread - 1);
+  // Sum of 0..N-1.
+  const u64 n = kThreads * kPerThread;
+  EXPECT_EQ(s.sum, n * (n - 1) / 2);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, GetOrCreateReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ops_total", "ops");
+  Counter& b = reg.counter("ops_total", "ops");
+  EXPECT_EQ(&a, &b);
+  Counter& lbl = reg.counter("ops_total", "ops", {{"op", "put"}});
+  EXPECT_NE(&a, &lbl);
+  EXPECT_EQ(&lbl, &reg.counter("ops_total", "ops", {{"op", "put"}}));
+  Histogram& h = reg.histogram("lat_us", "latency");
+  EXPECT_EQ(&h, &reg.histogram("lat_us", "latency"));
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x_total", "x");
+  EXPECT_THROW(reg.gauge("x_total", "x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x_total", "x"), std::logic_error);
+}
+
+TEST(Registry, PrometheusHistogramExposition) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("rpc_us", "rpc service time", {{"rpc", "ping"}});
+  h.record(1);   // bucket 0, le="1"
+  h.record(2);   // bucket 1, le="2"
+  h.record(3);   // bucket 2, le="4"
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(text.find("# HELP rpc_us rpc service time"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rpc_us histogram"), std::string::npos);
+  // Cumulative buckets: le="1" holds 1, le="2" holds 2, le="4" holds 3.
+  EXPECT_NE(text.find("rpc_us_bucket{rpc=\"ping\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_us_bucket{rpc=\"ping\",le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_us_bucket{rpc=\"ping\",le=\"4\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_us_bucket{rpc=\"ping\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_us_sum{rpc=\"ping\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("rpc_us_count{rpc=\"ping\"} 3"), std::string::npos);
+}
+
+TEST(Registry, RenderOrderIsRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("zz_total", "last name, first registered").add(1);
+  reg.counter("aa_total", "first name, last registered").add(2);
+  const std::string text = reg.renderPrometheus();
+  EXPECT_LT(text.find("zz_total"), text.find("aa_total"));
+  // Same registry, same registration order -> byte-identical renders.
+  EXPECT_EQ(text, reg.renderPrometheus());
+  EXPECT_EQ(reg.renderJson(), reg.renderJson());
+}
+
+TEST(Registry, JsonRenderHasAllSections) {
+  MetricsRegistry reg;
+  reg.counter("c_total", "c").add(7);
+  reg.gauge("g", "g").set(2.5);
+  reg.histogram("h_us", "h").record(10);
+  const std::string json = reg.renderJson();
+  EXPECT_NE(json.find("\"counters\":{\"c_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h_us\":{\"count\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ sampler
+
+/// Drives one simulated "workload" with a sampler attached and returns the
+/// JSON of every sample taken. Deterministic given the seed.
+std::vector<std::string> runSampledWorkload(u64 seed) {
+  net::Simulator sim;
+  MetricsRegistry reg;
+  Counter& ops = reg.counter("ops_total", "ops");
+  Histogram& lat = reg.histogram("lat_us", "latency");
+
+  SamplerConfig cfg;
+  cfg.intervalUs = 1'000'000;
+  cfg.seed = seed;
+  MetricsSampler sampler(sim, reg, cfg);
+
+  // Workload: an op every 100 ms with a deterministic latency.
+  for (u64 i = 0; i < 100; ++i) {
+    sim.schedule(i * 100'000, [&ops, &lat, i] {
+      ops.add(1);
+      lat.record(50 + (i % 7) * 10);
+    });
+  }
+  std::vector<std::string> lines;
+  sampler.addSink([&lines](const Sample& s) { lines.push_back(s.toJson()); });
+  sampler.start();
+  sim.runUntil(10'000'000);
+  sampler.stop();
+  return lines;
+}
+
+TEST(Sampler, BitStablePerSeed) {
+  const std::vector<std::string> a = runSampledWorkload(42);
+  const std::vector<std::string> b = runSampledWorkload(42);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical across runs: the JSONL contract
+  // A different seed moves the jittered tick times.
+  const std::vector<std::string> c = runSampledWorkload(43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Sampler, DeltasMatchCounterAdvances) {
+  net::Simulator sim;
+  MetricsRegistry reg;
+  Counter& ops = reg.counter("ops_total", "ops");
+
+  SamplerConfig cfg;
+  cfg.intervalUs = 1'000'000;
+  cfg.jitterFrac = 0.0;  // exact 1 s ticks
+  MetricsSampler sampler(sim, reg, cfg);
+
+  ops.add(5);
+  sim.runUntil(10);  // advance time so samples have distinct timestamps
+  Sample s1 = sampler.sampleNow();
+  ASSERT_EQ(s1.counters.size(), 1u);
+  EXPECT_EQ(s1.counters[0].second, 5u);
+  EXPECT_EQ(s1.deltas[0], 5u);  // first sighting deltas from zero
+
+  ops.add(3);
+  Sample s2 = sampler.sampleNow();
+  EXPECT_EQ(s2.counters[0].second, 8u);
+  EXPECT_EQ(s2.deltas[0], 3u);
+  EXPECT_EQ(s2.seq, s1.seq + 1);
+
+  Sample s3 = sampler.sampleNow();
+  EXPECT_EQ(s3.deltas[0], 0u);  // no advance, zero delta
+}
+
+TEST(Sampler, CollectHookRunsBeforeSnapshot) {
+  net::Simulator sim;
+  MetricsRegistry reg;
+  Counter& mirrored = reg.counter("mirrored_total", "mirrored");
+  u64 external = 0;
+
+  MetricsSampler sampler(sim, reg, {});
+  sampler.setCollect([&] { mirrored.set(external); });
+  external = 41;
+  Sample s = sampler.sampleNow();
+  EXPECT_EQ(s.counters[0].second, 41u);
+}
+
+TEST(Sampler, RingIsBoundedAndOldestFirst) {
+  net::Simulator sim;
+  MetricsRegistry reg;
+  SamplerConfig cfg;
+  cfg.ringCapacity = 3;
+  MetricsSampler sampler(sim, reg, cfg);
+  for (int i = 0; i < 10; ++i) (void)sampler.sampleNow();
+  const std::vector<Sample> r = sampler.recent(100);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].seq, 8u);
+  EXPECT_EQ(r[2].seq, 10u);
+  EXPECT_EQ(sampler.recent(1).size(), 1u);
+  EXPECT_EQ(sampler.recent(1)[0].seq, 10u);
+  EXPECT_EQ(sampler.ticks(), 10u);
+}
+
+TEST(Sampler, JitteredScheduleStaysNearInterval) {
+  // Every scheduled gap must be within interval +/- jitterFrac*interval.
+  net::Simulator sim;
+  MetricsRegistry reg;
+  SamplerConfig cfg;
+  cfg.intervalUs = 1'000'000;
+  cfg.jitterFrac = 0.1;
+  cfg.seed = 7;
+  MetricsSampler sampler(sim, reg, cfg);
+  std::vector<net::TimeUs> tickTimes;
+  sampler.addSink(
+      [&tickTimes](const Sample& s) { tickTimes.push_back(s.tUs); });
+  sampler.start();
+  sim.runUntil(20'000'000);
+  sampler.stop();
+  ASSERT_GE(tickTimes.size(), 10u);
+  net::TimeUs prev = 0;
+  bool sawOffNominal = false;
+  for (net::TimeUs t : tickTimes) {
+    const net::TimeUs gap = t - prev;
+    EXPECT_GE(gap, 900'000u);
+    EXPECT_LE(gap, 1'100'000u);
+    if (gap != 1'000'000u) sawOffNominal = true;
+    prev = t;
+  }
+  EXPECT_TRUE(sawOffNominal) << "jitter should move ticks off the nominal";
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(TraceRing, BoundedEvictionOldestFirst) {
+  TraceRing ring(4);
+  for (u64 i = 1; i <= 10; ++i) {
+    TraceSpan s;
+    s.traceId = ring.nextTraceId();
+    s.kind = "client-op";
+    s.label = "insert";
+    s.startUs = i * 100;
+    s.endUs = i * 100 + 50;
+    s.outcome = "ok";
+    ring.push(std::move(s));
+  }
+  EXPECT_EQ(ring.totalCompleted(), 10u);
+  const std::vector<TraceSpan> r = ring.recent(100);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.front().traceId, 7u);
+  EXPECT_EQ(r.back().traceId, 10u);
+}
+
+TEST(TraceRing, RenderJsonCarriesSpanShape) {
+  TraceRing ring(8);
+  TraceSpan s;
+  s.traceId = ring.nextTraceId();
+  s.kind = "lookup";
+  s.label = "value";
+  s.startUs = 1000;
+  s.endUs = 1800;
+  s.outcome = "found";
+  s.event(1100, "rpc-sent", "ab12cd34");
+  s.event(1500, "rpc-reply", "ab12cd34");
+  ring.push(std::move(s));
+  const std::string json = ring.renderJson(8);
+  EXPECT_NE(json.find("\"trace_id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"lookup\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"value\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"found\""), std::string::npos);
+  EXPECT_NE(json.find("rpc-sent"), std::string::npos);
+  EXPECT_NE(json.find("rpc-reply"), std::string::npos);
+}
+
+TEST(TraceRing, TraceIdsAreUniqueAndNonZero) {
+  TraceRing ring;
+  u64 prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const u64 id = ring.nextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+}  // namespace
+}  // namespace dharma::obs
