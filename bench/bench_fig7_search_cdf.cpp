@@ -6,7 +6,12 @@
 /// quickening convergence. This effect [is] particularly evident in the
 /// 'first tag' strategy." The bench prints all six CDF series as CSV and
 /// checks stochastic dominance of the approximated curves.
+///
+/// --json <path> additionally writes per-strategy means/medians, the
+/// dominance probe tallies and the shape verdicts as one JSON object
+/// (baseline snapshot: bench/baselines/BENCH_fig7_search_cdf.json).
 
+#include <fstream>
 #include <iostream>
 
 #include "analysis/searchsim.hpp"
@@ -15,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace dharma;
   auto env = bench::BenchEnv::parse(argc, argv);
+  const std::string jsonPath = env.opts.getString("json", "");
   bench::banner("Figure 7 — search path length CDFs", env);
 
   folk::Trg trg = bench::buildTrg(env);
@@ -35,6 +41,12 @@ int main(int argc, char** argv) {
 
   using folk::Strategy;
   bool dominated = true;
+  struct ProbeTally {
+    int ahead = 0;
+    int total = 0;
+  };
+  ProbeTally probes[3];
+  int si = 0;
   for (Strategy s : {Strategy::kLast, Strategy::kRandom, Strategy::kFirst}) {
     ana::printCsvSeries(std::cout,
                         std::string("original ") + folk::strategyName(s),
@@ -54,6 +66,7 @@ int main(int argc, char** argv) {
     std::cout << "# " << folk::strategyName(s) << ": approximated CDF >= "
               << "original at " << ahead << "/" << total << " probes\n";
     if (s == Strategy::kFirst && ahead < 2) dominated = false;
+    probes[si++] = ProbeTally{ahead, total};
   }
 
   double oF = orig.of(Strategy::kFirst).steps.mean();
@@ -70,5 +83,38 @@ int main(int argc, char** argv) {
             << (sF < oF && dominated ? "REPRODUCED"
                                      : "NOT REPRODUCED on this instance")
             << "\n";
+
+  if (!jsonPath.empty()) {
+    std::ofstream js(jsonPath);
+    js << "{\n"
+       << "  \"bench\": \"bench_fig7_search_cdf\",\n"
+       << "  \"config\": {\"scale\": " << env.scale << ", \"seed\": "
+       << env.seed << ", \"starts\": " << sc.startTags << ", \"randruns\": "
+       << sc.randomRunsPerTag << "},\n"
+       << "  \"strategies\": {";
+    const Strategy order[3] = {Strategy::kLast, Strategy::kRandom,
+                               Strategy::kFirst};
+    for (int i = 0; i < 3; ++i) {
+      Strategy s = order[i];
+      js << (i == 0 ? "\n" : ",\n") << "    \"" << folk::strategyName(s)
+         << "\": {\"original_mean\": " << orig.of(s).steps.mean()
+         << ", \"approx_mean\": " << sim.of(s).steps.mean()
+         << ", \"original_median\": " << orig.of(s).medianSteps
+         << ", \"approx_median\": " << sim.of(s).medianSteps
+         << ", \"probes_ahead\": " << probes[i].ahead << ", \"probes\": "
+         << probes[i].total << "}";
+    }
+    js << "\n  },\n"
+       << "  \"checks\": {\"strategy_separation\": "
+       << (separation ? "true" : "false")
+       << ", \"approximation_reproduced\": "
+       << (sF < oF && dominated ? "true" : "false") << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::cout << "# json written to " << jsonPath << "\n";
+  }
   return separation ? 0 : 1;
 }

@@ -1,26 +1,34 @@
 /// \file bench_realtime_throughput.cpp
-/// \brief The repo's first wall-clock performance number: GET/PUT/tag
-/// throughput and latency of a live loopback-UDP DHARMA cluster.
+/// \brief The repo's wall-clock performance number: GET/PUT/tag throughput
+/// and latency of a live loopback-UDP DHARMA cluster, across runtime
+/// shard counts and network backends.
 ///
-/// Boots N KademliaNodes on one UdpTransport under a RealTimeExecutor,
-/// preloads a small folksonomy, then drives W worker threads of blocking
-/// DharmaClient operations (search steps, resolves, tag writes) and
-/// reports ops/sec plus p50/p99 latency per operation class.
+/// Boots N KademliaNodes on one DatagramTransport under a ShardedExecutor
+/// (node i pinned to shard i % shards), preloads a small folksonomy, then
+/// drives W worker threads of blocking DharmaClient operations (search
+/// steps, resolves, tag writes) and reports ops/sec plus p50/p99 latency
+/// per operation class — and per shard, from the runtime's own
+/// dharma_node_shard_* histograms.
 ///
 /// Unlike every other bench here this is NOT deterministic — it measures
-/// the real machine (scheduler, loopback stack, executor lock). The
-/// architecture it characterises: one run-loop thread executes all
-/// protocol callbacks, so reported throughput is the single-engine
-/// ceiling; sharded event loops are the recorded follow-on (ROADMAP).
+/// the real machine (scheduler, loopback stack, executor locks). The
+/// architecture it characterises: each shard's loop thread executes its
+/// nodes' protocol callbacks one at a time, so throughput scales with
+/// shards until the box runs out of cores (or, on a small box, until the
+/// syscall path is the floor — which is what --net-backend epoll's
+/// recvmmsg/sendmmsg batching attacks).
 ///
-///   $ ./bench_realtime_throughput                 # 8 nodes, 4 workers
-///   $ ./bench_realtime_throughput --nodes 16 --workers 8 --ops 2000
-///   $ ./bench_realtime_throughput --smoke         # CI-sized
-///   $ ./bench_realtime_throughput --json out.json # + machine-readable dump
+///   $ ./bench_realtime_throughput                     # 8 nodes, 4 shards
+///   $ ./bench_realtime_throughput --shards 1          # PR-7 single loop
+///   $ ./bench_realtime_throughput --net-backend poll  # portable backend
+///   $ ./bench_realtime_throughput --sweep             # backend x shards grid
+///   $ ./bench_realtime_throughput --smoke             # CI-sized
+///   $ ./bench_realtime_throughput --json out.json     # machine-readable
 ///
 /// --json writes the full result (config, ops/sec, per-class p50/p99/max,
-/// UDP counters) as one JSON object; bench/baselines/ keeps a checked-in
-/// snapshot per PR so regressions diff as data, not as prose.
+/// per-shard run/wait percentiles, UDP counters) as one JSON object;
+/// bench/baselines/ keeps a checked-in snapshot per PR so regressions
+/// diff as data, not as prose.
 ///
 /// Cost anchoring (Table I): a search step is 2 lookups, a resolve 1, a
 /// tag write 4 + k — so ops/sec here compose directly with the paper's
@@ -40,8 +48,9 @@
 
 #include "core/client.hpp"
 #include "core/runtime.hpp"
+#include "net/datagram.hpp"
 #include "net/realtime.hpp"
-#include "net/udp_transport.hpp"
+#include "net/sharded.hpp"
 #include "obs/registry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -74,113 +83,138 @@ struct WorkerResult {
   u64 failures = 0;
 };
 
-}  // namespace
+struct RunConfig {
+  usize nodes = 8;
+  usize workers = 4;
+  usize opsPerWorker = 1000;
+  usize resources = 64;
+  usize shards = 4;
+  net::NetBackend backend = net::defaultNetBackend();
+  u64 seed = 42;
+  bool obsOn = true;
+  bool smoke = false;
+};
 
-int main(int argc, char** argv) {
-  Options opts(argc, argv);
-  const bool smoke = opts.getBool("smoke", false);
-  const usize nNodes = static_cast<usize>(opts.getInt("nodes", smoke ? 4 : 8));
-  const usize nWorkers =
-      static_cast<usize>(opts.getInt("workers", smoke ? 2 : 4));
-  const usize opsPerWorker =
-      static_cast<usize>(opts.getInt("ops", smoke ? 150 : 1000));
-  const usize nResources =
-      static_cast<usize>(opts.getInt("resources", smoke ? 16 : 64));
-  const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
-  const std::string jsonPath = opts.getString("json", "");
-  // Full obs instrumentation is ON by default so a baseline diff measures
-  // its overhead (the <=5%% acceptance gate); --obs false isolates it.
-  const bool obsOn = opts.getBool("obs", true);
+/// One shard's run/wait percentiles, read back from the runtime's own
+/// dharma_node_shard_* histograms after the measured phase.
+struct ShardStat {
+  usize shard = 0;
+  u64 tasks = 0;
+  double runP50 = 0, runP99 = 0;
+  double waitP50 = 0, waitP99 = 0;
+};
 
-  std::cout << "### Real-time loopback-UDP throughput\n"
-            << "# nodes=" << nNodes << " workers=" << nWorkers
-            << " ops/worker=" << opsPerWorker << " resources=" << nResources
-            << " obs=" << (obsOn ? "on" : "off")
-            << "\n# wall-clock measurement: numbers vary run to run (no "
-               "digest)\n";
+struct RunResult {
+  double wallUs = 0;
+  u64 totalOps = 0;
+  u64 failures = 0;
+  LatencyTrack search, resolve, tag;
+  net::UdpStats net;
+  std::vector<ShardStat> shards;
+  double opsPerSec() const {
+    return static_cast<double>(totalOps) / (wallUs / 1e6);
+  }
+};
 
-  // ---- cluster boot -------------------------------------------------------
-  obs::MetricsRegistry registry;  // before the transport: it holds a pointer
-  net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport transport(
-      exec, net::UdpTransport::Config{"127.0.0.1", 1400,
-                                      obsOn ? &registry : nullptr});
+const std::vector<std::string>& tagPool() {
+  static const std::vector<std::string> pool = {
+      "rock", "jazz", "metal", "electronic", "classic",
+      "blues", "folk", "ambient", "punk", "soul"};
+  return pool;
+}
+
+/// Boots a cluster per \p cfg, runs the measured phase, tears everything
+/// down, and returns the numbers. Exits non-zero state via failures > 0.
+RunResult runOnce(const RunConfig& cfg) {
+  const auto& pool = tagPool();
+  obs::MetricsRegistry registry;  // before the executors/transport: both
+                                  // hold handles into it
+  net::ShardedExecutor execs(net::ShardedExecutor::Config{
+      cfg.shards, cfg.obsOn ? &registry : nullptr});
+  execs.start();
+  auto transport = net::makeDatagramTransport(
+      cfg.backend, execs.shard(0),
+      net::UdpConfig{"127.0.0.1", 1400, cfg.obsOn ? &registry : nullptr});
   crypto::CertificationService cs("bench-realtime-secret");
-  core::RealTimeRuntime rt(exec, transport);
+  core::ShardedRuntime rt(execs, *transport);
 
   dht::NodeConfig nodeCfg;
-  if (obsOn) nodeCfg.metrics = &registry;
+  if (cfg.obsOn) nodeCfg.metrics = &registry;
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
-  for (usize i = 0; i < nNodes; ++i) {
+  for (usize i = 0; i < cfg.nodes; ++i) {
+    // Node i is pinned to shard i % shards: its datagrams, timers and
+    // blocking ops all run there (and nowhere else — the Debug affinity
+    // checker aborts otherwise).
     nodes.push_back(std::make_unique<dht::KademliaNode>(
-        exec, transport, cs, cs.enroll("bench-" + std::to_string(i)),
-        nodeCfg, seed + i));
+        execs.shard(execs.shardOf(i)), *transport, cs,
+        cs.enroll("bench-" + std::to_string(i)), nodeCfg, cfg.seed + i));
   }
   Clock::time_point bootStart = Clock::now();
-  for (usize i = 1; i < nNodes; ++i) {
+  for (usize i = 1; i < cfg.nodes; ++i) {
     dht::Contact seedContact = nodes[0]->contact();
-    rt.awaitDone([&](std::function<void()> done) {
+    rt.forShard(execs.shardOf(i)).awaitDone([&](std::function<void()> done) {
       nodes[i]->join(seedContact, std::move(done));
     });
   }
   std::printf("# bootstrap: %.1f ms\n", usSince(bootStart) / 1000.0);
 
-  // ---- preload folksonomy -------------------------------------------------
-  const std::vector<std::string> tagPool = {
-      "rock", "jazz", "metal", "electronic", "classic",
-      "blues", "folk", "ambient", "punk", "soul"};
+  // ---- preload folksonomy ------------------------------------------------
   {
-    core::DharmaClient loader(rt, *nodes[0], {}, seed);
-    Rng rng(seed);
-    for (usize r = 0; r < nResources; ++r) {
+    core::DharmaClient loader(rt.forShard(0), *nodes[0], {}, cfg.seed);
+    Rng rng(cfg.seed);
+    for (usize r = 0; r < cfg.resources; ++r) {
       std::vector<std::string> tags;
       usize m = 2 + static_cast<usize>(rng.uniform(3));
       for (usize j = 0; j < m; ++j) {
-        tags.push_back(tagPool[static_cast<usize>(rng.uniform(tagPool.size()))]);
+        tags.push_back(pool[static_cast<usize>(rng.uniform(pool.size()))]);
       }
       auto out = loader.insertResource("res-" + std::to_string(r),
                                        "uri://res-" + std::to_string(r), tags);
       if (!out.ok()) {
         std::cerr << "preload insert failed\n";
-        return 1;
+        RunResult bad;
+        bad.failures = 1;
+        bad.totalOps = 1;
+        bad.wallUs = 1;
+        return bad;
       }
     }
   }
 
-  // ---- measured phase -----------------------------------------------------
-  // One client per worker, each riding a different node; every blocking op
-  // funnels through the single run loop, so this measures the engine, not
-  // client-side parallelism.
-  std::vector<WorkerResult> results(nWorkers);
+  // ---- measured phase ----------------------------------------------------
+  // One client per worker, each riding a different node AND blocking
+  // through that node's own shard runtime; with shards > 1 the engine work
+  // itself runs concurrently across loop threads.
+  std::vector<WorkerResult> results(cfg.workers);
   std::vector<std::thread> workers;
   Clock::time_point runStart = Clock::now();
-  for (usize w = 0; w < nWorkers; ++w) {
+  for (usize w = 0; w < cfg.workers; ++w) {
     workers.emplace_back([&, w] {
+      usize nodeIdx = (w + 1) % cfg.nodes;
       core::DharmaConfig ccfg;
-      if (obsOn) ccfg.metrics = &registry;
-      core::DharmaClient client(rt, *nodes[(w + 1) % nNodes], ccfg,
-                                seed + 100 + w);
-      Rng rng(seed * 31 + w);
+      if (cfg.obsOn) ccfg.metrics = &registry;
+      core::DharmaClient client(rt.forShard(execs.shardOf(nodeIdx)),
+                                *nodes[nodeIdx], ccfg, cfg.seed + 100 + w);
+      Rng rng(cfg.seed * 31 + w);
       WorkerResult& res = results[w];
-      for (usize op = 0; op < opsPerWorker; ++op) {
+      for (usize op = 0; op < cfg.opsPerWorker; ++op) {
         u64 dice = rng.uniform(100);
         Clock::time_point t0 = Clock::now();
         if (dice < 60) {  // search step: 2 lookups
           const std::string& tag =
-              tagPool[static_cast<usize>(rng.uniform(tagPool.size()))];
+              pool[static_cast<usize>(rng.uniform(pool.size()))];
           auto out = client.searchStep(tag);
           res.search.add(usSince(t0));
           res.failures += out.ok() ? 0 : 1;
         } else if (dice < 85) {  // resolve: 1 lookup
-          std::string r = "res-" + std::to_string(rng.uniform(nResources));
+          std::string r = "res-" + std::to_string(rng.uniform(cfg.resources));
           auto out = client.resolveUri(r);
           res.resolve.add(usSince(t0));
           res.failures += out.ok() ? 0 : 1;
         } else {  // tag write: 4 + k lookups
-          std::string r = "res-" + std::to_string(rng.uniform(nResources));
+          std::string r = "res-" + std::to_string(rng.uniform(cfg.resources));
           const std::string& tag =
-              tagPool[static_cast<usize>(rng.uniform(tagPool.size()))];
+              pool[static_cast<usize>(rng.uniform(pool.size()))];
           auto out = client.tagResource(r, tag);
           res.tag.add(usSince(t0));
           res.failures += out.ok() ? 0 : 1;
@@ -189,80 +223,206 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : workers) t.join();
-  double wallUs = usSince(runStart);
 
-  // ---- report -------------------------------------------------------------
-  LatencyTrack search, resolve, tag;
-  u64 failures = 0;
+  RunResult out;
+  out.wallUs = usSince(runStart);
+  out.totalOps = static_cast<u64>(cfg.workers * cfg.opsPerWorker);
   for (auto& r : results) {
-    search.merge(r.search);
-    resolve.merge(r.resolve);
-    tag.merge(r.tag);
-    failures += r.failures;
+    out.search.merge(r.search);
+    out.resolve.merge(r.resolve);
+    out.tag.merge(r.tag);
+    out.failures += r.failures;
   }
-  u64 totalOps = static_cast<u64>(nWorkers * opsPerWorker);
-  net::UdpStats net = transport.stats();
+  out.net = transport->stats();
+  if (cfg.obsOn) {
+    // Read the per-shard loop histograms back out of the registry — the
+    // same handles the ShardedExecutor records into (registration is
+    // get-or-create, so this resolves the existing series).
+    for (usize i = 0; i < cfg.shards; ++i) {
+      obs::Labels labels{{"shard", std::to_string(i)}};
+      auto run = registry
+                     .histogram("dharma_node_shard_task_run_us", "", labels)
+                     .snapshot();
+      auto wait = registry
+                      .histogram("dharma_node_shard_task_wait_us", "", labels)
+                      .snapshot();
+      ShardStat s;
+      s.shard = i;
+      s.tasks = run.count();
+      s.runP50 = run.quantile(0.50);
+      s.runP99 = run.quantile(0.99);
+      s.waitP50 = wait.quantile(0.50);
+      s.waitP99 = wait.quantile(0.99);
+      out.shards.push_back(s);
+    }
+  }
 
-  std::printf("\n%-10s %8s %10s %10s %10s\n", "op", "count", "p50 us", "p99 us",
-              "max us");
+  execs.stop();
+  transport->close();
+  nodes.clear();
+  return out;
+}
+
+void printReport(const RunConfig& cfg, RunResult& r) {
+  std::printf("\n%-10s %8s %10s %10s %10s\n", "op", "count", "p50 us",
+              "p99 us", "max us");
   auto row = [](const char* name, LatencyTrack& t) {
     if (t.samples.empty()) return;
     std::printf("%-10s %8zu %10.0f %10.0f %10.0f\n", name, t.samples.size(),
                 t.percentile(0.50), t.percentile(0.99), t.percentile(1.0));
   };
-  row("search", search);
-  row("resolve", resolve);
-  row("tag", tag);
+  row("search", r.search);
+  row("resolve", r.resolve);
+  row("tag", r.tag);
 
-  std::printf("\nRESULT: %llu ops in %.2f s => %.0f ops/sec (%zu workers), "
-              "%llu failures\n",
-              static_cast<unsigned long long>(totalOps), wallUs / 1e6,
-              static_cast<double>(totalOps) / (wallUs / 1e6), nWorkers,
-              static_cast<unsigned long long>(failures));
-  std::printf("# udp: %llu datagrams sent, %llu received, %llu bytes\n",
-              static_cast<unsigned long long>(net.sent),
-              static_cast<unsigned long long>(net.received),
-              static_cast<unsigned long long>(net.bytesSent));
-
-  if (!jsonPath.empty()) {
-    // Percentiles were already materialised by the table above (percentile()
-    // sorts in place), so this is a pure serialisation pass.
-    std::ofstream js(jsonPath);
-    auto opClass = [&js](const char* name, LatencyTrack& t, bool last) {
-      js << "    \"" << name << "\": {\"count\": " << t.samples.size()
-         << ", \"p50_us\": " << t.percentile(0.50)
-         << ", \"p99_us\": " << t.percentile(0.99)
-         << ", \"max_us\": " << t.percentile(1.0) << "}" << (last ? "\n" : ",\n");
-    };
-    js << "{\n"
-       << "  \"bench\": \"bench_realtime_throughput\",\n"
-       << "  \"config\": {\"nodes\": " << nNodes << ", \"workers\": "
-       << nWorkers << ", \"ops_per_worker\": " << opsPerWorker
-       << ", \"resources\": " << nResources << ", \"seed\": " << seed
-       << ", \"smoke\": " << (smoke ? "true" : "false")
-       << ", \"obs\": " << (obsOn ? "true" : "false") << "},\n"
-       << "  \"wall_seconds\": " << wallUs / 1e6 << ",\n"
-       << "  \"ops_per_sec\": "
-       << static_cast<double>(totalOps) / (wallUs / 1e6) << ",\n"
-       << "  \"total_ops\": " << totalOps << ",\n"
-       << "  \"failures\": " << failures << ",\n"
-       << "  \"latency_us\": {\n";
-    opClass("search", search, false);
-    opClass("resolve", resolve, false);
-    opClass("tag", tag, true);
-    js << "  },\n"
-       << "  \"udp\": {\"sent\": " << net.sent << ", \"received\": "
-       << net.received << ", \"bytes_sent\": " << net.bytesSent << "}\n"
-       << "}\n";
-    if (!js) {
-      std::cerr << "failed to write " << jsonPath << "\n";
-      return 1;
+  if (!r.shards.empty()) {
+    std::printf("\n%-8s %10s %10s %10s %10s %10s\n", "shard", "tasks",
+                "run p50", "run p99", "wait p50", "wait p99");
+    for (const ShardStat& s : r.shards) {
+      std::printf("%-8zu %10llu %10.0f %10.0f %10.0f %10.0f\n", s.shard,
+                  static_cast<unsigned long long>(s.tasks), s.runP50, s.runP99,
+                  s.waitP50, s.waitP99);
     }
-    std::printf("# json written to %s\n", jsonPath.c_str());
   }
 
-  exec.stop();
-  transport.close();
-  nodes.clear();
-  return failures == 0 ? 0 : 1;
+  std::printf("\nRESULT: %llu ops in %.2f s => %.0f ops/sec (%zu workers, "
+              "%zu shards, %s), %llu failures\n",
+              static_cast<unsigned long long>(r.totalOps), r.wallUs / 1e6,
+              r.opsPerSec(), cfg.workers, cfg.shards,
+              net::netBackendName(cfg.backend),
+              static_cast<unsigned long long>(r.failures));
+  std::printf("# udp: %llu datagrams sent, %llu received, %llu bytes\n",
+              static_cast<unsigned long long>(r.net.sent),
+              static_cast<unsigned long long>(r.net.received),
+              static_cast<unsigned long long>(r.net.bytesSent));
+}
+
+void writeJson(const std::string& path, const RunConfig& cfg, RunResult& r) {
+  // Percentiles were already materialised by the table above (percentile()
+  // sorts in place), so this is a pure serialisation pass.
+  std::ofstream js(path);
+  auto opClass = [&js](const char* name, LatencyTrack& t, bool last) {
+    js << "    \"" << name << "\": {\"count\": " << t.samples.size()
+       << ", \"p50_us\": " << t.percentile(0.50)
+       << ", \"p99_us\": " << t.percentile(0.99)
+       << ", \"max_us\": " << t.percentile(1.0) << "}"
+       << (last ? "\n" : ",\n");
+  };
+  js << "{\n"
+     << "  \"bench\": \"bench_realtime_throughput\",\n"
+     << "  \"config\": {\"nodes\": " << cfg.nodes << ", \"workers\": "
+     << cfg.workers << ", \"ops_per_worker\": " << cfg.opsPerWorker
+     << ", \"resources\": " << cfg.resources << ", \"seed\": " << cfg.seed
+     << ", \"shards\": " << cfg.shards << ", \"net_backend\": \""
+     << net::netBackendName(cfg.backend) << "\""
+     << ", \"smoke\": " << (cfg.smoke ? "true" : "false")
+     << ", \"obs\": " << (cfg.obsOn ? "true" : "false") << "},\n"
+     << "  \"wall_seconds\": " << r.wallUs / 1e6 << ",\n"
+     << "  \"ops_per_sec\": " << r.opsPerSec() << ",\n"
+     << "  \"total_ops\": " << r.totalOps << ",\n"
+     << "  \"failures\": " << r.failures << ",\n"
+     << "  \"latency_us\": {\n";
+  opClass("search", r.search, false);
+  opClass("resolve", r.resolve, false);
+  opClass("tag", r.tag, true);
+  js << "  },\n"
+     << "  \"shard_breakdown\": [";
+  for (usize i = 0; i < r.shards.size(); ++i) {
+    const ShardStat& s = r.shards[i];
+    js << (i == 0 ? "\n" : ",\n")
+       << "    {\"shard\": " << s.shard << ", \"tasks\": " << s.tasks
+       << ", \"run_p50_us\": " << s.runP50 << ", \"run_p99_us\": " << s.runP99
+       << ", \"wait_p50_us\": " << s.waitP50
+       << ", \"wait_p99_us\": " << s.waitP99 << "}";
+  }
+  js << (r.shards.empty() ? "" : "\n  ") << "],\n"
+     << "  \"udp\": {\"sent\": " << r.net.sent << ", \"received\": "
+     << r.net.received << ", \"bytes_sent\": " << r.net.bytesSent << "}\n"
+     << "}\n";
+  if (!js) {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::printf("# json written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  RunConfig cfg;
+  cfg.smoke = opts.getBool("smoke", false);
+  cfg.nodes = static_cast<usize>(opts.getInt("nodes", cfg.smoke ? 4 : 8));
+  cfg.workers = static_cast<usize>(opts.getInt("workers", cfg.smoke ? 2 : 4));
+  cfg.opsPerWorker =
+      static_cast<usize>(opts.getInt("ops", cfg.smoke ? 150 : 1000));
+  cfg.resources =
+      static_cast<usize>(opts.getInt("resources", cfg.smoke ? 16 : 64));
+  cfg.seed = static_cast<u64>(opts.getInt("seed", 42));
+  cfg.shards = static_cast<usize>(opts.getInt("shards", cfg.smoke ? 1 : 4));
+  // Full obs instrumentation is ON by default so a baseline diff measures
+  // its overhead (the <=5%% acceptance gate); --obs false isolates it.
+  cfg.obsOn = opts.getBool("obs", true);
+  const std::string jsonPath = opts.getString("json", "");
+  const bool sweep = opts.getBool("sweep", false);
+
+  std::string backendName = opts.getString(
+      "net-backend", net::netBackendName(net::defaultNetBackend()));
+  auto backend = net::parseNetBackend(backendName);
+  if (!backend || !net::netBackendAvailable(*backend)) {
+    std::cerr << "bad --net-backend '" << backendName << "'\n";
+    return 2;
+  }
+  cfg.backend = *backend;
+  if (cfg.nodes == 0 || cfg.workers == 0 || cfg.shards == 0) {
+    std::cerr << "--nodes/--workers/--shards must be >= 1\n";
+    return 2;
+  }
+
+  std::cout << "### Real-time loopback-UDP throughput\n"
+            << "# nodes=" << cfg.nodes << " workers=" << cfg.workers
+            << " ops/worker=" << cfg.opsPerWorker
+            << " resources=" << cfg.resources
+            << " obs=" << (cfg.obsOn ? "on" : "off")
+            << "\n# wall-clock measurement: numbers vary run to run (no "
+               "digest)\n";
+
+  if (sweep) {
+    // Backend x shard-count grid, same workload per cell; the comparison
+    // table is the EXPERIMENTS.md scaling recipe's output.
+    struct Cell {
+      RunConfig cfg;
+      double opsPerSec;
+      u64 failures;
+    };
+    std::vector<Cell> cells;
+    for (net::NetBackend b : {net::NetBackend::kPoll, net::NetBackend::kEpoll}) {
+      if (!net::netBackendAvailable(b)) continue;
+      for (usize s : {usize{1}, usize{2}, usize{4}}) {
+        RunConfig c = cfg;
+        c.backend = b;
+        c.shards = s;
+        std::printf("\n--- sweep: backend=%s shards=%zu ---\n",
+                    net::netBackendName(b), s);
+        RunResult r = runOnce(c);
+        printReport(c, r);
+        cells.push_back(Cell{c, r.opsPerSec(), r.failures});
+      }
+    }
+    std::printf("\n%-8s %7s %12s %9s\n", "backend", "shards", "ops/sec",
+                "failures");
+    u64 anyFailures = 0;
+    for (const Cell& c : cells) {
+      std::printf("%-8s %7zu %12.0f %9llu\n",
+                  net::netBackendName(c.cfg.backend), c.cfg.shards,
+                  c.opsPerSec, static_cast<unsigned long long>(c.failures));
+      anyFailures += c.failures;
+    }
+    return anyFailures == 0 ? 0 : 1;
+  }
+
+  RunResult r = runOnce(cfg);
+  printReport(cfg, r);
+  if (!jsonPath.empty()) writeJson(jsonPath, cfg, r);
+  return r.failures == 0 ? 0 : 1;
 }

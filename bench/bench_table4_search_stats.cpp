@@ -13,7 +13,12 @@
 ///
 /// Shape targets: first >> random > last on both graphs; the approximated
 /// graph converges faster (most visibly for "first").
+///
+/// --json <path> additionally writes the full mu/sigma/median matrix and
+/// the shape verdicts as one JSON object (baseline snapshot:
+/// bench/baselines/BENCH_table4_search_stats.json).
 
+#include <fstream>
 #include <iostream>
 
 #include "analysis/searchsim.hpp"
@@ -22,6 +27,7 @@
 int main(int argc, char** argv) {
   using namespace dharma;
   auto env = bench::BenchEnv::parse(argc, argv);
+  const std::string jsonPath = env.opts.getString("json", "");
   bench::banner("Table IV — search simulation statistics", env);
 
   folk::Trg trg = bench::buildTrg(env);
@@ -109,5 +115,37 @@ int main(int argc, char** argv) {
             << " (first " << ana::cellDouble(oF, 2) << " -> "
             << ana::cellDouble(sF, 2)
             << "); docs/EXPERIMENTS.md discusses the instance sensitivity.\n";
+
+  if (!jsonPath.empty()) {
+    std::ofstream js(jsonPath);
+    auto strat = [&](const ana::SearchSimReport& rep, Strategy s) {
+      const ana::StrategyStats& st = rep.of(s);
+      return std::string("{\"mean\": ") + std::to_string(st.steps.mean()) +
+             ", \"stddev\": " + std::to_string(st.steps.stddev()) +
+             ", \"median\": " + std::to_string(st.medianSteps) + "}";
+    };
+    auto graph = [&](const ana::SearchSimReport& rep) {
+      return std::string("{\"last\": ") + strat(rep, Strategy::kLast) +
+             ", \"random\": " + strat(rep, Strategy::kRandom) +
+             ", \"first\": " + strat(rep, Strategy::kFirst) + "}";
+    };
+    js << "{\n"
+       << "  \"bench\": \"bench_table4_search_stats\",\n"
+       << "  \"config\": {\"scale\": " << env.scale << ", \"seed\": "
+       << env.seed << ", \"starts\": " << sc.startTags << ", \"randruns\": "
+       << sc.randomRunsPerTag << "},\n"
+       << "  \"original\": " << graph(orig) << ",\n"
+       << "  \"approximated_k1\": " << graph(sim) << ",\n"
+       << "  \"checks\": {\"ordering\": " << (ordering ? "true" : "false")
+       << ", \"magnitudes\": " << (magnitudes ? "true" : "false")
+       << ", \"approx_faster\": " << (approxFaster ? "true" : "false")
+       << "}\n"
+       << "}\n";
+    if (!js) {
+      std::cerr << "failed to write " << jsonPath << "\n";
+      return 1;
+    }
+    std::cout << "# json written to " << jsonPath << "\n";
+  }
   return ordering && magnitudes ? 0 : 1;
 }

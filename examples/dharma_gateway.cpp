@@ -42,8 +42,9 @@
 #include "core/runtime.hpp"
 #include "dht/maintenance.hpp"
 #include "gateway/server.hpp"
+#include "net/datagram.hpp"
 #include "net/realtime.hpp"
-#include "net/udp_transport.hpp"
+#include "net/sharded.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -60,40 +61,53 @@ volatile std::sig_atomic_t g_stopSignal = 0;
 void onStopSignal(int sig) { g_stopSignal = sig; }
 
 struct Daemon {
-  net::RealTimeExecutor exec;
   /// Process-wide observability: one registry every layer (gateway,
   /// client, node, UDP) records into, one trace ring spans land in.
+  /// Declared before the executors: the shard group registers its
+  /// per-shard families at construction.
   obs::MetricsRegistry registry;
   obs::TraceRing traces{256};
   bool tracesOn = true;
-  net::UdpTransport transport;
+  /// The sharded runtime: node i lives on shard i % shards forever — its
+  /// datagrams, timers and blocking ops all run there (see rtFor/shardOf).
+  net::ShardedExecutor execs;
+  std::unique_ptr<net::DatagramTransport> transport;
   crypto::CertificationService cs{"dharma-node-demo-secret"};
-  core::RealTimeRuntime rt{exec, transport};
+  core::ShardedRuntime rt;
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   std::vector<std::unique_ptr<dht::MaintenanceManager>> managers;
   std::unique_ptr<core::DharmaClient> client;
   std::unique_ptr<obs::MetricsSampler> sampler;
   std::shared_ptr<std::ofstream> metricsOut;
 
-  explicit Daemon(const std::string& udpHost)
-      : transport(exec,
-                  net::UdpTransport::Config{udpHost, 1400, &registry}) {}
+  Daemon(const std::string& udpHost, usize shards, net::NetBackend backend)
+      : execs(net::ShardedExecutor::Config{shards, &registry}),
+        transport(net::makeDatagramTransport(
+            backend, execs.shard(0),
+            net::UdpConfig{udpHost, 1400, &registry})),
+        rt(execs, *transport) {}
+
+  /// The shard owning node \p i, and the runtime blocking ops against it
+  /// must wait on. nodes[0] (the gateway-facing node) is always on shard 0.
+  usize shardOf(usize i) const { return execs.shardOf(i); }
+  core::Runtime& rtFor(usize i) { return rt.forShard(shardOf(i)); }
+  core::Runtime& rt0() { return rt.forShard(0); }
 
   ~Daemon() {
-    // Stop the sampler on the loop thread BEFORE stopping the loop, so a
+    // Stop the sampler on its loop thread BEFORE stopping the loops, so a
     // tick can't re-arm mid-stop (MaintenanceManager discipline).
     if (sampler) {
-      rt.awaitDone([&](std::function<void()> done) {
+      rt0().awaitDone([&](std::function<void()> done) {
         sampler->stop();
         done();
       });
     }
-    // Same teardown discipline as dharma_node: stop the loop first so
+    // Same teardown discipline as dharma_node: stop the loops first so
     // maintenance timers can't re-arm mid-stop. The gateway must already
     // be stopped by now — its workers block through the runtime.
-    exec.stop();
+    execs.stop();
     for (auto& m : managers) m->stop();
-    transport.close();
+    transport->close();
   }
 
   /// Mirrors engine-side counters (client, node 0, client cache, UDP) into
@@ -105,7 +119,7 @@ struct Daemon {
     core::OpCost cost = client->totalCost();
     dht::NodeCounters nc = nodes[0]->counters();
     cache::CacheStats cs = client->cacheStats();
-    net::UdpStats us = transport.stats();
+    net::UdpStats us = transport->stats();
     registry.counter("dharma_client_ops_total", "Protocol operations completed")
         .set(cc.ops);
     registry
@@ -150,7 +164,7 @@ struct Daemon {
 
   bool boot(usize n, const std::string& joinSpec, bool cacheOn,
             usize joinRetries, net::TimeUs rpcTimeoutUs) {
-    exec.start();
+    execs.start();
     std::string prefix = "gw-" + std::to_string(::getpid()) + "-";
     dht::NodeConfig nodeCfg;
     nodeCfg.rpcTimeoutUs = rpcTimeoutUs;
@@ -158,14 +172,14 @@ struct Daemon {
     if (tracesOn) nodeCfg.traces = &traces;
     for (usize i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<dht::KademliaNode>(
-          exec, transport, cs, cs.enroll(prefix + std::to_string(i)), nodeCfg,
-          0xA000 + i));
+          execs.shard(shardOf(i)), *transport, cs,
+          cs.enroll(prefix + std::to_string(i)), nodeCfg, 0xA000 + i));
       std::cout << "node " << i << " listening on "
                 << net::formatAddress(nodes[i]->address()) << "\n";
     }
 
     if (!joinSpec.empty()) {
-      net::PeerResolution peer = transport.resolvePeer(joinSpec);
+      net::PeerResolution peer = transport->resolvePeer(joinSpec);
       if (!peer.ok()) {
         std::cout << "ERR bad --join spec '" << joinSpec << "' ("
                   << peer.errorName() << ")\n";
@@ -173,7 +187,8 @@ struct Daemon {
       }
       bool up = false;
       for (usize attempt = 0; attempt < joinRetries && !up; ++attempt) {
-        up = core::awaitResult<bool>(rt, [&](std::function<void(bool)> done) {
+        up = core::awaitResult<bool>(rt0(),
+                                     [&](std::function<void(bool)> done) {
           nodes[0]->pingAddress(peer.addr, std::move(done));
         });
       }
@@ -181,7 +196,7 @@ struct Daemon {
         std::cout << "ERR join peer " << joinSpec << " did not answer\n";
         return false;
       }
-      rt.awaitDone([&](std::function<void()> done) {
+      rt0().awaitDone([&](std::function<void()> done) {
         nodes[0]->findNode(nodes[0]->id(),
                            [done = std::move(done)](dht::LookupResult) {
                              done();
@@ -191,7 +206,9 @@ struct Daemon {
     }
     for (usize i = 1; i < nodes.size(); ++i) {
       dht::Contact seed = nodes[0]->contact();
-      rt.awaitDone([&](std::function<void()> done) {
+      // Each join waits on the joining node's OWN shard; the RPCs cross
+      // shards over the transport like any other wire traffic.
+      rtFor(i).awaitDone([&](std::function<void()> done) {
         nodes[i]->join(seed, std::move(done));
       });
     }
@@ -199,18 +216,20 @@ struct Daemon {
     dht::MaintenanceConfig mCfg;
     for (usize i = 0; i < nodes.size(); ++i) {
       managers.push_back(std::make_unique<dht::MaintenanceManager>(
-          exec, transport, *nodes[i], mCfg, 0x7A00 + i));
+          execs.shard(shardOf(i)), *transport, *nodes[i], mCfg, 0x7A00 + i));
     }
-    rt.awaitDone([&](std::function<void()> done) {
-      for (auto& m : managers) m->start();
-      done();
-    });
+    for (usize i = 0; i < managers.size(); ++i) {
+      rtFor(i).awaitDone([&](std::function<void()> done) {
+        managers[i]->start();
+        done();
+      });
+    }
 
     core::DharmaConfig cfg;
     cfg.cacheEnabled = cacheOn;
     cfg.metrics = &registry;
     if (tracesOn) cfg.traces = &traces;
-    client = std::make_unique<core::DharmaClient>(rt, *nodes[0], cfg);
+    client = std::make_unique<core::DharmaClient>(rt0(), *nodes[0], cfg);
     return true;
   }
 
@@ -222,7 +241,10 @@ struct Daemon {
     obs::SamplerConfig sc;
     sc.intervalUs = (intervalMs == 0 ? 1000 : intervalMs) * 1000;
     sc.seed = seed;
-    sampler = std::make_unique<obs::MetricsSampler>(exec, registry, sc);
+    // The sampler ticks on shard 0 — where nodes[0] and the client live,
+    // so its collect hook reads their counters with the right affinity.
+    sampler = std::make_unique<obs::MetricsSampler>(execs.shard(0), registry,
+                                                    sc);
     sampler->setCollect([this] { syncEngineOnLoop(); });
     if (!outPath.empty()) {
       metricsOut = std::make_shared<std::ofstream>(outPath,
@@ -242,7 +264,7 @@ struct Daemon {
 
   void startSamplerTick(u64 intervalMs) {
     if (intervalMs == 0) return;
-    rt.awaitDone([&](std::function<void()> done) {
+    rt0().awaitDone([&](std::function<void()> done) {
       sampler->start();
       done();
     });
@@ -283,8 +305,19 @@ int main(int argc, char** argv) {
   u64 statsIntervalMs = static_cast<u64>(opts.getInt("stats-interval-ms", 0));
   std::string metricsOutPath = opts.getString("metrics-out", "");
   bool tracesOn = opts.getBool("traces", true);
-  if (n == 0) {
-    std::cerr << "--nodes must be >= 1\n";
+  usize shards = static_cast<usize>(opts.getInt("shards", 1));
+  std::string backendName =
+      opts.getString("net-backend", net::netBackendName(net::defaultNetBackend()));
+  auto backend = net::parseNetBackend(backendName);
+  if (!backend || !net::netBackendAvailable(*backend)) {
+    std::cerr << "bad --net-backend '" << backendName
+              << "' (want: poll" << (net::netBackendAvailable(net::NetBackend::kEpoll)
+                                         ? " | epoll" : "")
+              << ")\n";
+    return 2;
+  }
+  if (n == 0 || shards == 0) {
+    std::cerr << "--nodes and --shards must be >= 1\n";
     return 2;
   }
 
@@ -314,7 +347,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<Daemon> daemon;
   try {
     // The overlay's UDP sockets bind the same host as the HTTP listener.
-    daemon = std::make_unique<Daemon>(httpHost);
+    daemon = std::make_unique<Daemon>(httpHost, shards, *backend);
     daemon->tracesOn = tracesOn;
     if (!daemon->boot(n, joinSpec, cacheOn, joinRetries, rpcTimeoutUs)) {
       return 2;
@@ -342,7 +375,7 @@ int main(int argc, char** argv) {
     dht::NodeCounters nc;
     cache::CacheStats cs;
     usize rtSize = 0;
-    d.rt.awaitDone([&](std::function<void()> done) {
+    d.rt0().awaitDone([&](std::function<void()> done) {
       cc = d.client->counters();
       cost = d.client->totalCost();
       nc = d.nodes[0]->counters();
@@ -350,7 +383,7 @@ int main(int argc, char** argv) {
       rtSize = d.nodes[0]->routing().size();
       done();
     });
-    net::UdpStats us = d.transport.stats();
+    net::UdpStats us = d.transport->stats();
     std::ostringstream out;
     out << "{\"ops\":" << cc.ops << ",\"failures\":" << cc.failures
         << ",\"retries\":" << cc.retries << ",\"lookups\":" << cost.lookups
@@ -367,7 +400,7 @@ int main(int argc, char** argv) {
     return out.str();
   };
   deps.collectEngine = [&d] {
-    d.rt.awaitDone([&](std::function<void()> done) {
+    d.rt0().awaitDone([&](std::function<void()> done) {
       d.syncEngineOnLoop();
       done();
     });
@@ -430,7 +463,7 @@ int main(int argc, char** argv) {
                 << " bytesout=" << g.bytesOut << "\n";
     } else if (cmd == "stats-json") {
       std::string json = core::awaitResult<std::string>(
-          d.rt, [&](std::function<void(std::string)> done) {
+          d.rt0(), [&](std::function<void(std::string)> done) {
             d.syncEngineOnLoop();
             done(d.sampler->sampleNow().toJson());
           });

@@ -49,8 +49,9 @@
 #include "core/client.hpp"
 #include "core/runtime.hpp"
 #include "dht/maintenance.hpp"
+#include "net/datagram.hpp"
 #include "net/realtime.hpp"
-#include "net/udp_transport.hpp"
+#include "net/sharded.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -79,47 +80,60 @@ const char* errorName(core::OpError e) {
 }
 
 struct Daemon {
-  net::RealTimeExecutor exec;
   /// Process-wide observability: one registry every layer (client, node,
   /// UDP) records into, one trace ring completed op spans land in. The
   /// `stats` line stays raw-counter based for harness compat; `stats-json`
   /// and --metrics-out read THIS registry, so both surfaces render the
-  /// same snapshot.
+  /// same snapshot. Declared before the executors: the shard group
+  /// registers its per-shard families at construction.
   obs::MetricsRegistry registry;
   obs::TraceRing traces{256};
   bool tracesOn = true;
-  net::UdpTransport transport;
+  /// The sharded runtime: node i lives on shard i % shards forever — its
+  /// datagrams, timers and blocking ops all run there (see rtFor/shardOf).
+  net::ShardedExecutor execs;
+  std::unique_ptr<net::DatagramTransport> transport;
   // The shared secret stands in for a real certification authority; every
   // daemon on the host uses the same one so cross-process credentials
   // verify (Likir's CS is a trusted third party by construction).
   crypto::CertificationService cs{"dharma-node-demo-secret"};
-  core::RealTimeRuntime rt{exec, transport};
+  core::ShardedRuntime rt;
   std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
   std::vector<std::unique_ptr<dht::MaintenanceManager>> managers;
   std::unique_ptr<core::DharmaClient> client;
   std::unique_ptr<obs::MetricsSampler> sampler;
   std::shared_ptr<std::ofstream> metricsOut;
 
-  explicit Daemon(const std::string& bindHost)
-      : transport(exec, net::UdpTransport::Config{bindHost, 1400, &registry}) {
-  }
+  Daemon(const std::string& bindHost, usize shards, net::NetBackend backend)
+      : execs(net::ShardedExecutor::Config{shards, &registry}),
+        transport(net::makeDatagramTransport(
+            backend, execs.shard(0),
+            net::UdpConfig{bindHost, 1400, &registry})),
+        rt(execs, *transport) {}
+
+  /// The shard owning node \p i, and the runtime blocking ops against it
+  /// must wait on. nodes[0] (the command-loop node) is always on shard 0.
+  usize shardOf(usize i) const { return execs.shardOf(i); }
+  core::Runtime& rtFor(usize i) { return rt.forShard(shardOf(i)); }
+  core::Runtime& rt0() { return rt.forShard(0); }
 
   ~Daemon() {
-    // Stop the sampler on the loop thread BEFORE stopping the loop, so a
+    // Stop the sampler on its loop thread BEFORE stopping the loops, so a
     // tick can't re-arm mid-stop (same discipline as the managers below).
     if (sampler) {
-      rt.awaitDone([&](std::function<void()> done) {
+      rt0().awaitDone([&](std::function<void()> done) {
         sampler->stop();
         done();
       });
     }
-    // Stop the loop FIRST: manager ticks run (and re-arm themselves) on the
-    // loop thread, so stopping a manager from here while the loop is alive
-    // would race its timer bookkeeping. With the executor stopped, the
-    // managers' stop() is just cancel() calls into a dead queue.
-    exec.stop();
+    // Stop the loops FIRST: manager ticks run (and re-arm themselves) on
+    // their node's loop thread, so stopping a manager from here while its
+    // loop is alive would race its timer bookkeeping. With the executors
+    // stopped, the managers' stop() is just cancel() calls into dead
+    // queues.
+    execs.stop();
     for (auto& m : managers) m->stop();
-    transport.close();
+    transport->close();
   }
 
   /// Mirrors engine counters into the registry. MUST run on the loop
@@ -130,7 +144,7 @@ struct Daemon {
     core::OpCost cost = client->totalCost();
     dht::NodeCounters nc = nodes[0]->counters();
     cache::CacheStats cs = client->cacheStats();
-    net::UdpStats us = transport.stats();
+    net::UdpStats us = transport->stats();
     registry.counter("dharma_client_ops_total", "Protocol operations completed")
         .set(cc.ops);
     registry
@@ -179,7 +193,10 @@ struct Daemon {
     obs::SamplerConfig sc;
     sc.intervalUs = (intervalMs == 0 ? 1000 : intervalMs) * 1000;
     sc.seed = seed;
-    sampler = std::make_unique<obs::MetricsSampler>(exec, registry, sc);
+    // The sampler ticks on shard 0 — where nodes[0] and the client live,
+    // so its collect hook reads their counters with the right affinity.
+    sampler = std::make_unique<obs::MetricsSampler>(execs.shard(0), registry,
+                                                    sc);
     sampler->setCollect([this] { syncEngineOnLoop(); });
     if (!outPath.empty()) {
       metricsOut = std::make_shared<std::ofstream>(outPath,
@@ -196,7 +213,7 @@ struct Daemon {
       }
     }
     if (intervalMs > 0) {
-      rt.awaitDone([&](std::function<void()> done) {
+      rt0().awaitDone([&](std::function<void()> done) {
         sampler->start();
         done();
       });
@@ -206,22 +223,25 @@ struct Daemon {
   bool boot(usize n, const std::string& joinSpec, bool maintenance,
             dht::NodeConfig nodeCfg, const dht::MaintenanceConfig& mCfg,
             usize joinRetries) {
-    exec.start();
+    execs.start();
     nodeCfg.metrics = &registry;
     if (tracesOn) nodeCfg.traces = &traces;
     // Distinct user ids per process so two daemons on one host never
     // collide in id space.
     std::string prefix = "node-" + std::to_string(::getpid()) + "-";
     for (usize i = 0; i < n; ++i) {
+      // Node i is born onto its shard and never leaves it: the executor
+      // reference IS the affinity, and registerEndpoint routes the node's
+      // datagrams to the same place.
       nodes.push_back(std::make_unique<dht::KademliaNode>(
-          exec, transport, cs, cs.enroll(prefix + std::to_string(i)), nodeCfg,
-          0x9000 + i));
+          execs.shard(shardOf(i)), *transport, cs,
+          cs.enroll(prefix + std::to_string(i)), nodeCfg, 0x9000 + i));
       std::cout << "node " << i << " listening on "
                 << net::formatAddress(nodes[i]->address()) << "\n";
     }
 
     if (!joinSpec.empty()) {
-      net::PeerResolution peer = transport.resolvePeer(joinSpec);
+      net::PeerResolution peer = transport->resolvePeer(joinSpec);
       if (!peer.ok()) {
         std::cout << "ERR bad --join spec '" << joinSpec << "' ("
                   << peer.errorName() << ")\n";
@@ -233,7 +253,8 @@ struct Daemon {
       // restarts race their bootstrap target's socket).
       bool up = false;
       for (usize attempt = 0; attempt < joinRetries && !up; ++attempt) {
-        up = core::awaitResult<bool>(rt, [&](std::function<void(bool)> done) {
+        up = core::awaitResult<bool>(rt0(),
+                                     [&](std::function<void(bool)> done) {
           nodes[0]->pingAddress(peer.addr, std::move(done));
         });
       }
@@ -241,7 +262,7 @@ struct Daemon {
         std::cout << "ERR join peer " << joinSpec << " did not answer\n";
         return false;
       }
-      rt.awaitDone([&](std::function<void()> done) {
+      rt0().awaitDone([&](std::function<void()> done) {
         nodes[0]->findNode(nodes[0]->id(),
                            [done = std::move(done)](dht::LookupResult) {
                              done();
@@ -251,7 +272,9 @@ struct Daemon {
     }
     for (usize i = 1; i < nodes.size(); ++i) {
       dht::Contact seed = nodes[0]->contact();
-      rt.awaitDone([&](std::function<void()> done) {
+      // Each join waits on the joining node's OWN shard; the RPCs cross
+      // shards over the transport like any other wire traffic.
+      rtFor(i).awaitDone([&](std::function<void()> done) {
         nodes[i]->join(seed, std::move(done));
       });
     }
@@ -259,21 +282,26 @@ struct Daemon {
     if (maintenance) {
       for (usize i = 0; i < nodes.size(); ++i) {
         managers.push_back(std::make_unique<dht::MaintenanceManager>(
-            exec, transport, *nodes[i], mCfg, 0x7000 + i));
+            execs.shard(shardOf(i)), *transport, *nodes[i], mCfg,
+            0x7000 + i));
       }
-      // start() reads routing tables, which the loop thread may already be
-      // mutating (e.g. refresh lookups from a cluster we joined) — run it
-      // in the callback world like every other protocol-state access.
-      rt.awaitDone([&](std::function<void()> done) {
-        for (auto& m : managers) m->start();
-        done();
-      });
+      // start() reads routing tables, which each loop thread may already
+      // be mutating (e.g. refresh lookups from a cluster we joined) — run
+      // it in the callback world like every other protocol-state access,
+      // on the manager's own shard.
+      for (usize i = 0; i < managers.size(); ++i) {
+        rtFor(i).awaitDone([&](std::function<void()> done) {
+          managers[i]->start();
+          done();
+        });
+      }
     }
 
     core::DharmaConfig clientCfg;
     clientCfg.metrics = &registry;
     if (tracesOn) clientCfg.traces = &traces;
-    client = std::make_unique<core::DharmaClient>(rt, *nodes[0], clientCfg);
+    client = std::make_unique<core::DharmaClient>(rt0(), *nodes[0],
+                                                  clientCfg);
     return true;
   }
 };
@@ -294,8 +322,19 @@ int main(int argc, char** argv) {
   u64 statsIntervalMs = static_cast<u64>(opts.getInt("stats-interval-ms", 0));
   std::string metricsOutPath = opts.getString("metrics-out", "");
   bool tracesOn = opts.getBool("traces", true);
-  if (n == 0) {
-    std::cerr << "--nodes must be >= 1\n";
+  usize shards = static_cast<usize>(opts.getInt("shards", 1));
+  std::string backendName =
+      opts.getString("net-backend", net::netBackendName(net::defaultNetBackend()));
+  auto backend = net::parseNetBackend(backendName);
+  if (!backend || !net::netBackendAvailable(*backend)) {
+    std::cerr << "bad --net-backend '" << backendName
+              << "' (want: poll" << (net::netBackendAvailable(net::NetBackend::kEpoll)
+                                         ? " | epoll" : "")
+              << ")\n";
+    return 2;
+  }
+  if (n == 0 || shards == 0) {
+    std::cerr << "--nodes and --shards must be >= 1\n";
     return 2;
   }
 
@@ -331,7 +370,7 @@ int main(int argc, char** argv) {
   // distinct from protocol errors (1) — never an uncaught-exception abort.
   std::unique_ptr<Daemon> daemon;
   try {
-    daemon = std::make_unique<Daemon>(bindHost);
+    daemon = std::make_unique<Daemon>(bindHost, shards, *backend);
     daemon->tracesOn = tracesOn;
     if (!daemon->boot(n, joinSpec, maintenance, nodeCfg, mCfg, joinRetries)) {
       return 2;
@@ -349,13 +388,13 @@ int main(int argc, char** argv) {
     std::istringstream specs(dropSpec);
     std::string one;
     while (std::getline(specs, one, ',')) {
-      net::PeerResolution p = d.transport.resolvePeer(one);
+      net::PeerResolution p = d.transport->resolvePeer(one);
       if (!p.ok()) {
         std::cerr << "bad --drop-peers entry '" << one << "' ("
                   << p.errorName() << ")\n";
         return 2;
       }
-      d.transport.dropPeer(p.addr);
+      d.transport->dropPeer(p.addr);
     }
   }
 
@@ -457,13 +496,13 @@ int main(int argc, char** argv) {
         fail("usage: ping <ip:port>");
         continue;
       }
-      net::PeerResolution p = d.transport.resolvePeer(spec);
+      net::PeerResolution p = d.transport->resolvePeer(spec);
       if (!p.ok()) {
         fail("ping " + spec + ": " + p.errorName());
         continue;
       }
       bool up = core::awaitResult<bool>(
-          d.rt, [&](std::function<void(bool)> done) {
+          d.rt0(), [&](std::function<void(bool)> done) {
             d.nodes[0]->pingAddress(p.addr, std::move(done));
           });
       if (up) {
@@ -474,32 +513,32 @@ int main(int argc, char** argv) {
     } else if (cmd == "drop") {
       std::string spec;
       in >> spec;
-      net::PeerResolution p = d.transport.resolvePeer(spec);
+      net::PeerResolution p = d.transport->resolvePeer(spec);
       if (spec.empty() || !p.ok()) {
         fail("usage: drop <ip:port>" +
              (spec.empty() ? std::string()
                            : std::string(" (") + p.errorName() + ")"));
         continue;
       }
-      d.transport.dropPeer(p.addr);
+      d.transport->dropPeer(p.addr);
       std::cout << "OK drop " << net::formatAddress(p.addr)
-                << " (rules=" << d.transport.droppedPeerCount() << ")\n";
+                << " (rules=" << d.transport->droppedPeerCount() << ")\n";
     } else if (cmd == "undrop") {
       std::string spec;
       in >> spec;
       if (spec == "all") {
-        usize removed = d.transport.clearDroppedPeers();
+        usize removed = d.transport->clearDroppedPeers();
         std::cout << "OK undrop all (removed=" << removed << ")\n";
         continue;
       }
-      net::PeerResolution p = d.transport.resolvePeer(spec);
+      net::PeerResolution p = d.transport->resolvePeer(spec);
       if (spec.empty() || !p.ok()) {
         fail("usage: undrop <ip:port>|all" +
              (spec.empty() ? std::string()
                            : std::string(" (") + p.errorName() + ")"));
         continue;
       }
-      bool removed = d.transport.undropPeer(p.addr);
+      bool removed = d.transport->undropPeer(p.addr);
       std::cout << "OK undrop " << net::formatAddress(p.addr)
                 << " (removed=" << (removed ? 1 : 0) << ")\n";
     } else if (cmd == "stats") {
@@ -509,18 +548,18 @@ int main(int argc, char** argv) {
       core::OpCost cost;
       dht::NodeCounters nc;
       usize rt0 = 0;
-      d.rt.awaitDone([&](std::function<void()> done) {
+      d.rt0().awaitDone([&](std::function<void()> done) {
         cc = d.client->counters();
         cost = d.client->totalCost();
         nc = d.nodes[0]->counters();
         rt0 = d.nodes[0]->routing().size();
         done();
       });
-      net::UdpStats s = d.transport.stats();
+      net::UdpStats s = d.transport->stats();
       std::cout << "OK stats: ops=" << cc.ops << " failures=" << cc.failures
                 << " lookups=" << cost.lookups << " rt=" << rt0
                 << " addr=" << net::formatAddress(d.nodes[0]->address())
-                << " droprules=" << d.transport.droppedPeerCount()
+                << " droprules=" << d.transport->droppedPeerCount()
                 << " cachehits=" << nc.cacheHits
                 << " storededup=" << nc.storesDeduplicated
                 << " | udp sent=" << s.sent << " received=" << s.received
@@ -532,7 +571,7 @@ int main(int argc, char** argv) {
       // sampler the /metrics-out JSONL sink and (in the gateway daemon)
       // GET /stats read, so no counter is reachable from only one of them.
       std::string json = core::awaitResult<std::string>(
-          d.rt, [&](std::function<void(std::string)> done) {
+          d.rt0(), [&](std::function<void(std::string)> done) {
             done(d.sampler->sampleNow().toJson());
           });
       std::cout << "OK stats-json " << json << "\n";

@@ -2,6 +2,7 @@
 
 #include "net/network.hpp"
 #include "net/realtime.hpp"
+#include "net/sharded.hpp"
 #include "net/simulator.hpp"
 
 namespace dharma::core {
@@ -41,6 +42,21 @@ void RealTimeRuntime::awaitDone(AwaitLaunch launch) {
     launch([completed] { completed->set_value(); });
   });
   fut.get();
+}
+
+ShardedRuntime::ShardedRuntime(net::ShardedExecutor& execs,
+                               net::Transport& net) {
+  runtimes_.reserve(execs.shardCount());
+  for (usize i = 0; i < execs.shardCount(); ++i) {
+    runtimes_.push_back(
+        std::make_unique<RealTimeRuntime>(execs.shard(i), net));
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() = default;
+
+Runtime& ShardedRuntime::forShard(usize i) {
+  return *runtimes_[i % runtimes_.size()];
 }
 
 }  // namespace dharma::core

@@ -24,7 +24,9 @@
 
 #include <functional>
 #include <future>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "net/executor.hpp"
 #include "net/transport.hpp"
@@ -33,6 +35,7 @@ namespace dharma::net {
 class Simulator;
 class Network;
 class RealTimeExecutor;
+class ShardedExecutor;
 }  // namespace dharma::net
 
 namespace dharma::core {
@@ -107,6 +110,31 @@ class RealTimeRuntime final : public Runtime {
  private:
   net::RealTimeExecutor& exec_;
   net::Transport& net_;
+};
+
+/// Wall-clock runtime family over a ShardedExecutor: one RealTimeRuntime
+/// per shard, sharing one Transport. A blocking operation against a node
+/// must wait on THAT node's shard — posting it anywhere else would run the
+/// launch on a foreign loop thread and trip the affinity checker — so
+/// callers (daemons, the throughput bench) hold the ShardedRuntime and ask
+/// for forShard(nodeShard) per operation. With one shard this degenerates
+/// to exactly the old single-RealTimeRuntime world.
+class ShardedRuntime {
+ public:
+  ShardedRuntime(net::ShardedExecutor& execs, net::Transport& net);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// The runtime bound to shard \p i (modulo the shard count, mirroring
+  /// ShardedExecutor::shard).
+  Runtime& forShard(usize i);
+
+  usize shardCount() const { return runtimes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<RealTimeRuntime>> runtimes_;
 };
 
 }  // namespace dharma::core

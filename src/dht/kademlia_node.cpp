@@ -91,10 +91,14 @@ KademliaNode::KademliaNode(net::Executor& exec, net::Transport& net,
   // bind it so debug builds assert that ownership on every cache op.
   cache_.bindOwner(&exec_);
   initObs();
+  // Registered with THIS node's executor as the delivery target: under a
+  // sharded runtime every datagram for this node lands on its own shard,
+  // which is exactly the affinity cache_.bindOwner asserts above.
   self_.addr = net_.registerEndpoint(
       [this](net::Address from, const std::vector<u8>& data) {
         onDatagram(from, data);
-      });
+      },
+      exec_);
 }
 
 void KademliaNode::initObs() {

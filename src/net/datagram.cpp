@@ -1,0 +1,92 @@
+#include "net/datagram.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <cstdlib>
+
+#include "net/epoll_transport.hpp"
+#include "net/udp_transport.hpp"
+
+namespace dharma::net {
+
+std::optional<u32> parseIpv4Host(const std::string& host) {
+  in_addr a{};
+  const std::string& h = host == "localhost" ? std::string("127.0.0.1") : host;
+  if (inet_pton(AF_INET, h.c_str(), &a) != 1) return std::nullopt;
+  return ntohl(a.s_addr);
+}
+
+PeerResolution DatagramTransport::resolvePeer(
+    const std::string& hostPort) const {
+  PeerResolution res;
+  auto colon = hostPort.rfind(':');
+  std::string host = colon == std::string::npos ? config().bindHost
+                                                : hostPort.substr(0, colon);
+  std::string portStr =
+      colon == std::string::npos ? hostPort : hostPort.substr(colon + 1);
+  auto ip = parseIpv4Host(host);
+  if (!ip) {
+    res.error = PeerResolution::Error::kBadHost;
+    return res;
+  }
+  char* end = nullptr;
+  long port = std::strtol(portStr.c_str(), &end, 10);
+  if (end == portStr.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    res.error = PeerResolution::Error::kBadPort;
+    return res;
+  }
+  res.addr = makeAddress(*ip, static_cast<u16>(port));
+  return res;
+}
+
+std::optional<NetBackend> parseNetBackend(const std::string& name) {
+  if (name == "poll") return NetBackend::kPoll;
+  if (name == "epoll") return NetBackend::kEpoll;
+  return std::nullopt;
+}
+
+const char* netBackendName(NetBackend b) {
+  switch (b) {
+    case NetBackend::kPoll: return "poll";
+    case NetBackend::kEpoll: return "epoll";
+  }
+  return "unknown";
+}
+
+bool netBackendAvailable(NetBackend b) {
+#ifdef __linux__
+  (void)b;
+  return true;
+#else
+  return b == NetBackend::kPoll;
+#endif
+}
+
+NetBackend defaultNetBackend() {
+#ifdef __linux__
+  return NetBackend::kEpoll;
+#else
+  return NetBackend::kPoll;
+#endif
+}
+
+std::unique_ptr<DatagramTransport> makeDatagramTransport(NetBackend backend,
+                                                         Executor& defaultExec,
+                                                         UdpConfig cfg) {
+  switch (backend) {
+    case NetBackend::kPoll:
+      return std::make_unique<UdpTransport>(defaultExec, std::move(cfg));
+    case NetBackend::kEpoll:
+#ifdef __linux__
+      return std::make_unique<EpollTransport>(defaultExec, std::move(cfg));
+#else
+      break;
+#endif
+  }
+  throw std::invalid_argument(
+      std::string("makeDatagramTransport: backend '") + netBackendName(backend) +
+      "' is not available on this platform");
+}
+
+}  // namespace dharma::net

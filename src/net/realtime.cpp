@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+
 namespace dharma::net {
 
 namespace {
@@ -20,16 +23,34 @@ TimeUs RealTimeExecutor::now() const {
   return toUs(std::chrono::steady_clock::now() - epoch_);
 }
 
+void RealTimeExecutor::setObs(obs::Histogram* runUs, obs::Histogram* waitUs,
+                              obs::Gauge* queueDepth) {
+  runHist_ = runUs;
+  waitHist_ = waitUs;
+  depthGauge_ = queueDepth;
+}
+
 TaskId RealTimeExecutor::schedule(TimeUs delay, std::function<void()> fn) {
   return scheduleAt(now() + delay, std::move(fn));
 }
 
 TaskId RealTimeExecutor::scheduleAt(TimeUs at, std::function<void()> fn) {
-  MutexLock lk(mu_);
-  TaskId id = nextId_++;
-  queue_.push(Task{at, nextSeq_++, id, std::move(fn)});
-  live_.insert(id);
-  cv_.notify_all();
+  bool wake;
+  TaskId id;
+  {
+    MutexLock lk(mu_);
+    id = nextId_++;
+    queue_.push(Task{at, nextSeq_++, id, std::move(fn)});
+    live_.insert(id);
+    if (depthGauge_ != nullptr) {
+      depthGauge_->set(static_cast<double>(live_.size()));
+    }
+    // Wake the loop only when it is actually asleep AND would otherwise
+    // sleep past this deadline. A loop that is mid-task re-reads the queue
+    // top under mu_ before its next wait, so it cannot miss this entry.
+    wake = loopWaiting_ && at < wakeAt_;
+  }
+  if (wake) cv_.notify_one();
   return id;
 }
 
@@ -37,8 +58,14 @@ bool RealTimeExecutor::cancel(TaskId id) {
   if (id == kNullTask) return false;
   MutexLock lk(mu_);
   // The queue entry stays; popDue() discards it once the id is dead. A task
-  // already handed to the loop thread is past cancellation.
-  return live_.erase(id) > 0;
+  // already handed to the loop thread is past cancellation. A stale entry
+  // at the queue front can only make the sleeping loop wake EARLY (it
+  // discards and re-waits), so cancel never needs a notify.
+  bool erased = live_.erase(id) > 0;
+  if (erased && depthGauge_ != nullptr) {
+    depthGauge_->set(static_cast<double>(live_.size()));
+  }
+  return erased;
 }
 
 bool RealTimeExecutor::onLoopThread() const {
@@ -72,7 +99,7 @@ void RealTimeExecutor::stop() {
     // Drain cutoff: tasks due by THIS instant still run; a draining task
     // that posts more immediate work cannot extend the shutdown forever.
     stopDeadline_ = now();
-    cv_.notify_all();
+    cv_.notify_one();
     toJoin = std::move(thread_);
   }
   if (toJoin.joinable()) toJoin.join();
@@ -83,6 +110,7 @@ void RealTimeExecutor::stop() {
   // Whatever remains was scheduled past the cutoff: discard.
   while (!queue_.empty()) queue_.pop();
   live_.clear();
+  if (depthGauge_ != nullptr) depthGauge_->set(0.0);
 }
 
 bool RealTimeExecutor::running() const {
@@ -110,13 +138,25 @@ bool RealTimeExecutor::popDue(Task& out) {
         out = std::move(const_cast<Task&>(queue_.top()));
         queue_.pop();
         live_.erase(out.id);
+        if (depthGauge_ != nullptr) {
+          depthGauge_->set(static_cast<double>(live_.size()));
+        }
+        if (waitHist_ != nullptr) waitHist_->record(t - due);
         return true;
       }
       if (stopping_) return false;  // nothing due before the cutoff remains
+      // Publish the deadline this wait will expire at on its own:
+      // schedule() skips the notify for anything later (see scheduleAt).
+      loopWaiting_ = true;
+      wakeAt_ = due;
       cv_.wait_for(lk.native(), std::chrono::microseconds(due - t));
+      loopWaiting_ = false;
     } else {
       if (stopping_) return false;
+      loopWaiting_ = true;
+      wakeAt_ = ~TimeUs{0};
       cv_.wait(lk.native());
+      loopWaiting_ = false;
     }
   }
 }
@@ -124,8 +164,14 @@ bool RealTimeExecutor::popDue(Task& out) {
 void RealTimeExecutor::loop() {
   Task task;
   while (popDue(task)) {
-    task.fn();          // strictly one task at a time: the protocol engine's
-    task.fn = nullptr;  // no-concurrent-callbacks guarantee
+    if (runHist_ != nullptr) {
+      TimeUs t0 = now();
+      task.fn();
+      runHist_->record(now() - t0);
+    } else {
+      task.fn();  // strictly one task at a time: the protocol engine's
+    }             // no-concurrent-callbacks guarantee
+    task.fn = nullptr;
   }
 }
 

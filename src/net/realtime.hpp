@@ -31,6 +31,11 @@
 #include "net/executor.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace dharma::obs {
+class Gauge;
+class Histogram;
+}  // namespace dharma::obs
+
 namespace dharma::net {
 
 /// Thread-safe wall-clock executor (see file comment).
@@ -83,6 +88,16 @@ class RealTimeExecutor final : public Executor {
   /// Pending (non-cancelled, not yet started) tasks. Diagnostic.
   usize pending() const;
 
+  /// Optional per-loop observability, the per-shard surface the sharded
+  /// runtime exposes (`dharma_node_shard_*` families): task run duration,
+  /// queue wait (pop time minus deadline — scheduling lag, not the
+  /// requested delay), and a queue-depth gauge updated on every
+  /// schedule/pop. All three may be null (each costs one branch on the hot
+  /// path when unset). Call before start(); the handles must outlive the
+  /// executor.
+  void setObs(obs::Histogram* runUs, obs::Histogram* waitUs,
+              obs::Gauge* queueDepth);
+
  private:
   struct Task {
     TimeUs at;
@@ -116,7 +131,22 @@ class RealTimeExecutor final : public Executor {
   TimeUs stopDeadline_ GUARDED_BY(mu_) = 0;  ///< drain cutoff from stop()
   bool stopping_ GUARDED_BY(mu_) = false;
   bool loopRunning_ GUARDED_BY(mu_) = false;
+  /// True only while the loop thread is blocked in cv_.wait*. schedule()
+  /// notifies only when the loop is actually asleep AND the new deadline
+  /// precedes the one it sleeps toward — every other wakeup is wasted
+  /// work (a futex syscall plus, on a busy box, a context switch), and at
+  /// datagram rates those wakeups dominated the old notify-always path.
+  bool loopWaiting_ GUARDED_BY(mu_) = false;
+  /// Deadline the sleeping loop will wake at on its own (meaningful only
+  /// while loopWaiting_); ~0 when it waits with no deadline.
+  TimeUs wakeAt_ GUARDED_BY(mu_) = 0;
   std::thread thread_ GUARDED_BY(mu_);
+  // Obs handles (see setObs). Histograms/gauges are internally atomic, so
+  // recording needs no ordering with mu_; the pointers themselves are only
+  // written before start().
+  obs::Histogram* runHist_ = nullptr;
+  obs::Histogram* waitHist_ = nullptr;
+  obs::Gauge* depthGauge_ = nullptr;
   /// Run-loop thread id for onLoopThread(): stamped by start() before it
   /// returns (no window where an engine call from the spawning thread
   /// slips past the check), cleared by stop() after the join. Atomic, not

@@ -1,0 +1,56 @@
+#include "net/sharded.hpp"
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace dharma::net {
+
+ShardedExecutor::ShardedExecutor(Config cfg) {
+  usize n = cfg.shards == 0 ? 1 : cfg.shards;
+  shards_.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    auto ex = std::make_unique<RealTimeExecutor>();
+    if (cfg.metrics != nullptr) {
+      obs::Labels labels{{"shard", std::to_string(i)}};
+      ex->setObs(
+          &cfg.metrics->histogram("dharma_node_shard_task_run_us",
+                                  "Executor callback run time per shard "
+                                  "(microseconds)",
+                                  labels),
+          &cfg.metrics->histogram("dharma_node_shard_task_wait_us",
+                                  "Scheduling lag past the task deadline per "
+                                  "shard (microseconds)",
+                                  labels),
+          &cfg.metrics->gauge("dharma_node_shard_queue_depth",
+                              "Live (pending) tasks in the shard's queue",
+                              labels));
+    }
+    shards_.push_back(std::move(ex));
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() { stop(); }
+
+void ShardedExecutor::start() {
+  for (auto& s : shards_) s->start();
+}
+
+void ShardedExecutor::stop() {
+  for (auto& s : shards_) s->stop();
+}
+
+bool ShardedExecutor::running() const {
+  for (const auto& s : shards_) {
+    if (!s->running()) return false;
+  }
+  return true;
+}
+
+usize ShardedExecutor::pendingTotal() const {
+  usize total = 0;
+  for (const auto& s : shards_) total += s->pending();
+  return total;
+}
+
+}  // namespace dharma::net

@@ -30,6 +30,8 @@
 
 namespace dharma::net {
 
+class Executor;  // net/executor.hpp; referenced by the sharding overload
+
 /// Endpoint address: a 48-bit (IPv4, port) pair packed into a u64 —
 /// `(ip << 16) | port`, both in host byte order. On UdpTransport the
 /// Address IS the wire address of the endpoint's socket, so the Contacts
@@ -73,6 +75,19 @@ class Transport {
 
   /// Registers a local endpoint; the returned Address is never reused.
   virtual Address registerEndpoint(ReceiveHandler handler) = 0;
+
+  /// Registers a local endpoint whose datagrams are delivered on \p
+  /// deliverTo instead of the transport's default executor. This is the
+  /// sharding hook: each KademliaNode hands in its own executor, so with a
+  /// ShardedExecutor a datagram for node X always lands on X's shard — the
+  /// one-callback-at-a-time world becomes per shard. The simulated Network
+  /// ignores the hint (all simulated nodes share the one Simulator);
+  /// real transports honour it per endpoint.
+  virtual Address registerEndpoint(ReceiveHandler handler,
+                                   Executor& deliverTo) {
+    (void)deliverTo;
+    return registerEndpoint(std::move(handler));
+  }
 
   /// Replaces the handler (used when a node restarts with fresh state).
   virtual void setHandler(Address a, ReceiveHandler handler) = 0;

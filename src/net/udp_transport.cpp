@@ -11,8 +11,6 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <optional>
-#include <stdexcept>
 
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
@@ -45,16 +43,6 @@ struct ScopedTimer {
 /// anyway (envelopes are far smaller than the MTU + slack).
 constexpr usize kRecvBufBytes = 65536;
 
-/// Parses a dotted-quad IPv4 into host byte order; nullopt on anything
-/// else ("localhost" is accepted as an alias for 127.0.0.1 — there is no
-/// DNS here, numeric addresses only).
-std::optional<u32> parseIpv4(const std::string& host) {
-  in_addr a{};
-  const std::string& h = host == "localhost" ? std::string("127.0.0.1") : host;
-  if (inet_pton(AF_INET, h.c_str(), &a) != 1) return std::nullopt;
-  return ntohl(a.s_addr);
-}
-
 sockaddr_in makeSockAddr(u32 ipHostOrder, u16 port) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
@@ -66,7 +54,7 @@ sockaddr_in makeSockAddr(u32 ipHostOrder, u16 port) {
 
 UdpTransport::UdpTransport(Executor& exec, Config cfg)
     : exec_(exec), cfg_(std::move(cfg)) {
-  auto ip = parseIpv4(cfg_.bindHost);
+  auto ip = parseIpv4Host(cfg_.bindHost);
   if (!ip) {
     throw TransportError(TransportError::Kind::kBadAddress,
                          "UdpTransport: bad bind host '" + cfg_.bindHost + "'");
@@ -103,6 +91,11 @@ void UdpTransport::wakeReceiver() {
 }
 
 Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
+  return registerEndpoint(std::move(handler), exec_);
+}
+
+Address UdpTransport::registerEndpoint(ReceiveHandler handler,
+                                       Executor& deliverTo) {
   int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) {
     throw TransportError(TransportError::Kind::kSocketFailed,
@@ -131,7 +124,7 @@ Address UdpTransport::registerEndpoint(ReceiveHandler handler) {
     throw TransportError(TransportError::Kind::kClosed,
                          "UdpTransport: registerEndpoint after close()");
   }
-  sh_->endpoints[addr] = Endpoint{fd, std::move(handler)};
+  sh_->endpoints[addr] = Endpoint{fd, std::move(handler), &deliverTo};
   if (!receiverStarted_) {
     receiverStarted_ = true;
     receiver_ = std::thread([this] { receiveLoop(); });
@@ -190,29 +183,6 @@ bool UdpTransport::isOnline(Address a) const {
   return it == sh_->endpoints.end() || it->second.fd >= 0;
 }
 
-PeerResolution UdpTransport::resolvePeer(const std::string& hostPort) const {
-  PeerResolution res;
-  auto colon = hostPort.rfind(':');
-  std::string host = colon == std::string::npos
-                         ? cfg_.bindHost
-                         : hostPort.substr(0, colon);
-  std::string portStr =
-      colon == std::string::npos ? hostPort : hostPort.substr(colon + 1);
-  auto ip = parseIpv4(host);
-  if (!ip) {
-    res.error = PeerResolution::Error::kBadHost;
-    return res;
-  }
-  char* end = nullptr;
-  long port = std::strtol(portStr.c_str(), &end, 10);
-  if (end == portStr.c_str() || *end != '\0' || port <= 0 || port > 65535) {
-    res.error = PeerResolution::Error::kBadPort;
-    return res;
-  }
-  res.addr = makeAddress(*ip, static_cast<u16>(port));
-  return res;
-}
-
 void UdpTransport::dropPeer(Address peer) {
   MutexLock lk(sh_->mu);
   sh_->dropPeers.insert(peer);
@@ -264,24 +234,31 @@ void UdpTransport::receiveLoop() {
   std::vector<u8> buf(kRecvBufBytes);
   std::vector<pollfd> fds;
   std::vector<Address> fdOwner;
+  std::vector<Executor*> fdExec;
   while (true) {
     // Snapshot the socket set under the lock; the self-pipe interrupts the
     // poll whenever it changes.
     fds.clear();
     fdOwner.clear();
+    fdExec.clear();
     {
       MutexLock lk(sh_->mu);
       if (sh_->closing) return;
       fds.push_back(pollfd{wakePipe_[0], POLLIN, 0});
       fdOwner.push_back(kNullAddress);
+      fdExec.push_back(nullptr);
       for (const auto& [addr, ep] : sh_->endpoints) {
         if (ep.fd < 0) continue;
         fds.push_back(pollfd{ep.fd, POLLIN, 0});
         fdOwner.push_back(addr);
+        fdExec.push_back(ep.exec);
       }
     }
-    int ready = ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
-    if (ready <= 0) continue;  // timeout or EINTR: re-snapshot and retry
+    // No timeout: every wakeup is event-driven (socket data or the
+    // self-pipe, which registerEndpoint and close() write). The old 200 ms
+    // tick bought nothing and put a hard floor under stop latency.
+    int ready = ::poll(fds.data(), fds.size(), /*timeout ms=*/-1);
+    if (ready <= 0) continue;  // EINTR: re-snapshot and retry
 
     for (usize i = 0; i < fds.size(); ++i) {
       if (!(fds[i].revents & POLLIN)) continue;
@@ -320,14 +297,15 @@ void UdpTransport::receiveLoop() {
         }
         auto payload = std::make_shared<std::vector<u8>>(buf.begin(),
                                                          buf.begin() + n);
-        // Deliver on the executor so the handler runs in the protocol's
-        // single-callback world. The handler is looked up at delivery
-        // time: setHandler swaps (node restarts) apply to queued datagrams
-        // too. The task captures the shared state weakly, never the
-        // transport: a delivery still queued when the transport is gone
-        // (executor stopped later) locks nothing stale and quietly drops.
-        exec_.schedule(0, [w = std::weak_ptr<Shared>(sh_), dstAddr, srcAddr,
-                           payload] {
+        // Deliver on the endpoint's executor so the handler runs in the
+        // protocol's single-callback world (per shard, under a
+        // ShardedExecutor). The handler is looked up at delivery time:
+        // setHandler swaps (node restarts) apply to queued datagrams too.
+        // The task captures the shared state weakly, never the transport:
+        // a delivery still queued when the transport is gone (executor
+        // stopped later) locks nothing stale and quietly drops.
+        fdExec[i]->schedule(0, [w = std::weak_ptr<Shared>(sh_), dstAddr,
+                                srcAddr, payload] {
           std::shared_ptr<Shared> sh = w.lock();
           if (!sh) return;  // transport destroyed; drop the datagram
           ReceiveHandler h;

@@ -1,20 +1,26 @@
 #pragma once
 /// \file udp_transport.hpp
-/// \brief Transport over real POSIX UDP sockets.
+/// \brief Portable poll() backend of the DatagramTransport family.
 ///
-/// The production counterpart of the simulated Network. Each
-/// registerEndpoint() binds one UDP socket on the configured host
-/// (127.0.0.1 by default) and the endpoint's Address is the full packed
-/// (ip, port) of the bound socket: the wire address itself, globally
-/// consistent across processes AND hosts, so the Contact addresses nodes
-/// gossip in FIND_NODE replies remain routable between cooperating
-/// dharma_node processes with no address translation layer.
+/// The production counterpart of the simulated Network, and the portable
+/// baseline behind the net/datagram.hpp seam (the Linux batched fast path
+/// is net/epoll_transport.hpp). Each registerEndpoint() binds one UDP
+/// socket on the configured host (127.0.0.1 by default) and the endpoint's
+/// Address is the full packed (ip, port) of the bound socket: the wire
+/// address itself, globally consistent across processes AND hosts, so the
+/// Contact addresses nodes gossip in FIND_NODE replies remain routable
+/// between cooperating dharma_node processes with no translation layer.
 ///
-/// A single receive thread polls every local socket and posts each datagram
-/// to the Executor, where the owning endpoint's handler runs. Protocol
-/// callbacks therefore never execute concurrently — the same
-/// one-callback-at-a-time world the simulator provides, which is what lets
-/// KademliaNode stay lock-free on both transports.
+/// A single receive thread polls every local socket — with no timeout:
+/// wakeups are purely event-driven through the self-pipe, which socket-set
+/// changes and close() write to — and posts each datagram to the
+/// endpoint's executor, where the owning handler runs. Endpoints
+/// registered through the two-argument registerEndpoint() overload carry
+/// their own executor (the sharding hook); everything else lands on the
+/// constructor executor. Either way protocol callbacks for one endpoint
+/// never execute concurrently — the same one-callback-at-a-time world the
+/// simulator provides, which is what lets KademliaNode stay lock-free on
+/// every transport.
 ///
 /// Datagram semantics mirror the simulated network: payloads above
 /// mtuBytes are rejected synchronously (send() returns false, counted in
@@ -26,111 +32,33 @@
 /// (tests/cluster/) scripts partitions with it via dharma_node's
 /// --drop-peers flag and drop/undrop line commands.
 
-#include <atomic>
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "net/datagram.hpp"
 #include "net/executor.hpp"
-#include "net/transport.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace dharma::obs {
 class Histogram;
-class MetricsRegistry;
 }  // namespace dharma::obs
 
 namespace dharma::net {
 
-/// Typed transport startup/teardown failure. Daemons catch this at boot,
-/// print one line naming the kind ("bad-address: ..."), and exit with
-/// status 2 — the startup-failure exit code, distinct from protocol errors
-/// (1) and clean runs (0) — instead of aborting through an unhandled
-/// exception. kind() is stable; what() carries the human detail.
-class TransportError : public std::runtime_error {
+/// Datagram transport over UDP sockets, poll() event backend.
+class UdpTransport final : public DatagramTransport {
  public:
-  enum class Kind : u8 {
-    kBadAddress,    ///< bind host is not a numeric IPv4 / "localhost"
-    kSocketFailed,  ///< socket()/pipe() resource failure
-    kBindFailed,    ///< bind()/getsockname() on an endpoint socket
-    kClosed,        ///< operation on an already-closed transport
-  };
+  /// Shared UDP backend configuration; the name predates the seam and is
+  /// kept for the daemons/tests that spell UdpTransport::Config.
+  using Config = UdpConfig;
 
-  TransportError(Kind kind, const std::string& what)
-      : std::runtime_error(what), kind_(kind) {}
-
-  Kind kind() const { return kind_; }
-
-  const char* kindName() const {
-    switch (kind_) {
-      case Kind::kBadAddress: return "bad-address";
-      case Kind::kSocketFailed: return "socket-failed";
-      case Kind::kBindFailed: return "bind-failed";
-      case Kind::kClosed: return "transport-closed";
-    }
-    return "unknown";
-  }
-
- private:
-  Kind kind_;
-};
-
-/// Aggregate traffic counters (mirrors NetworkStats where meaningful).
-struct UdpStats {
-  u64 sent = 0;             ///< datagrams accepted by sendto()
-  u64 received = 0;         ///< datagrams handed to an endpoint handler
-  u64 droppedOversize = 0;  ///< payload exceeded the MTU
-  u64 sendErrors = 0;       ///< sendto() failed synchronously
-  u64 bytesSent = 0;        ///< total payload bytes accepted
-  u64 droppedByRule = 0;    ///< discarded by a dropPeer() partition rule
-};
-
-/// Typed outcome of UdpTransport::resolvePeer. A failed resolution names
-/// WHICH part of the spec was bad instead of collapsing to a silent null
-/// address.
-struct PeerResolution {
-  enum class Error : u8 {
-    kNone = 0,
-    kBadHost,  ///< host part is not a numeric IPv4 (or "localhost")
-    kBadPort,  ///< port part missing, non-numeric, or outside 1..65535
-  };
-
-  Address addr = kNullAddress;
-  Error error = Error::kNone;
-
-  bool ok() const { return error == Error::kNone; }
-
-  const char* errorName() const {
-    switch (error) {
-      case Error::kNone: return "ok";
-      case Error::kBadHost: return "bad-host";
-      case Error::kBadPort: return "bad-port";
-    }
-    return "unknown";
-  }
-};
-
-/// Datagram transport over UDP sockets.
-class UdpTransport final : public Transport {
- public:
-  struct Config {
-    std::string bindHost = "127.0.0.1";  ///< local interface for sockets
-    usize mtuBytes = 1400;               ///< payload cap, as in the paper
-    /// Optional metrics sink: when set, send() records
-    /// `dharma_udp_send_us` (sendto latency incl. transport lock) and the
-    /// receive loop records `dharma_udp_recv_batch_datagrams` /
-    /// `dharma_udp_recv_batch_us` per drained socket batch. Must outlive
-    /// the transport; null disables at one-branch cost.
-    obs::MetricsRegistry* metrics = nullptr;
-  };
-
-  /// \param exec executor datagram deliveries are posted to. Must be a
-  ///             thread-safe executor (RealTimeExecutor): the receive
-  ///             thread schedules onto it.
+  /// \param exec executor deliveries default to when an endpoint does not
+  ///             bring its own. Must be a thread-safe executor
+  ///             (RealTimeExecutor): the receive thread schedules onto it.
   /// \param cfg  bind host and MTU
   UdpTransport(Executor& exec, Config cfg);
   explicit UdpTransport(Executor& exec);
@@ -144,6 +72,11 @@ class UdpTransport final : public Transport {
   /// Binds a fresh UDP socket on an ephemeral port; the Address is the
   /// packed (bind ip, bound port). Starts the receive thread on first call.
   Address registerEndpoint(ReceiveHandler handler) override;
+
+  /// Same, but this endpoint's datagrams are delivered on \p deliverTo —
+  /// the sharding hook (each node passes its own shard).
+  Address registerEndpoint(ReceiveHandler handler,
+                           Executor& deliverTo) override;
 
   void setHandler(Address a, ReceiveHandler handler) override;
 
@@ -159,36 +92,20 @@ class UdpTransport final : public Transport {
 
   usize mtuBytes() const override { return cfg_.mtuBytes; }
 
-  /// Resolves a peer spec — "ip:port", "localhost:port", or a bare port
-  /// (host defaults to the bind host) — to a packed Address. Any numeric
-  /// IPv4 is accepted; a non-numeric host or out-of-range port yields the
-  /// matching typed error, never a silent null.
-  PeerResolution resolvePeer(const std::string& hostPort) const;
-
-  /// Partition fault injection: silently discard every datagram sent to or
-  /// received from \p peer until undropPeer()/clearDroppedPeers().
-  void dropPeer(Address peer);
-
-  /// Removes one drop rule; returns true if it was present.
-  bool undropPeer(Address peer);
-
-  /// Removes every drop rule; returns how many were installed.
-  usize clearDroppedPeers();
-
-  /// Number of drop rules currently installed.
-  usize droppedPeerCount() const;
-
-  /// Stops the receive thread and closes every socket (idempotent; the
-  /// destructor calls it). In-flight handler tasks already posted to the
-  /// executor still run.
-  void close();
-
-  UdpStats stats() const;
+  // DatagramTransport operational surface (contract in datagram.hpp).
+  void dropPeer(Address peer) override;
+  bool undropPeer(Address peer) override;
+  usize clearDroppedPeers() override;
+  usize droppedPeerCount() const override;
+  void close() override;
+  UdpStats stats() const override;
+  const UdpConfig& config() const override { return cfg_; }
 
  private:
   struct Endpoint {
     int fd = -1;
     ReceiveHandler handler;
+    Executor* exec = nullptr;  ///< where this endpoint's datagrams run
   };
 
   /// State reachable from executor-posted delivery tasks. Held by
@@ -221,8 +138,9 @@ class UdpTransport final : public Transport {
   obs::Histogram* recvBatchUsHist_ = nullptr;
 
   std::shared_ptr<Shared> sh_ = std::make_shared<Shared>();
-  /// Self-pipe: interrupts poll() on socket-set changes. Written in the
-  /// constructor (pre-publication), read/closed under the lock; the
+  /// Self-pipe: interrupts poll() on socket-set changes and close() — the
+  /// ONLY wakeup source, since the poll blocks with no timeout. Written in
+  /// the constructor (pre-publication), read/closed under the lock; the
   /// receive loop drains through its locked snapshot of the read end.
   int wakePipe_[2] GUARDED_BY(sh_->mu) = {-1, -1};
   bool receiverStarted_ GUARDED_BY(sh_->mu) = false;

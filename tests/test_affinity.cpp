@@ -20,6 +20,7 @@
 #include "cache/record_cache.hpp"
 #include "net/affinity.hpp"
 #include "net/realtime.hpp"
+#include "net/sharded.hpp"
 #include "net/simulator.hpp"
 
 namespace dharma {
@@ -154,6 +155,58 @@ TEST(RealTimeExecutorAffinityDeathTest, DefaultHandlerAborts) {
   EXPECT_DEATH(cache.find(dht::NodeId{}, 0),
                "DHARMA_ASSERT_AFFINITY failed at RecordCache::find");
   exec.stop();
+}
+
+TEST(ShardedExecutorAffinity, SameShardPassesOtherShardTrips) {
+  HandlerGuard guard;
+  net::ShardedExecutor execs(2);
+  execs.start();
+  // Engine state pinned to shard 0 — exactly how KademliaNode binds its
+  // RecordCache to the executor it was constructed with.
+  cache::RecordCache cache;
+  cache.bindOwner(&execs.shard(0));
+
+  std::promise<void> sameShard;
+  execs.shard(0).schedule(0, [&] {
+    cache.find(dht::NodeId{}, 0);  // owning shard's loop thread: legitimate
+    sameShard.set_value();
+  });
+  sameShard.get_future().get();
+  EXPECT_EQ(g_trips.load(), 0);
+
+  // The same call from shard 1's loop thread is a cross-shard violation:
+  // the node's shard is the ONLY thread allowed into its engine.
+  std::promise<void> otherShard;
+  execs.shard(1).schedule(0, [&] {
+    cache.find(dht::NodeId{}, 0);
+    otherShard.set_value();
+  });
+  otherShard.get_future().get();
+  EXPECT_EQ(g_trips.load(), 1);
+  EXPECT_STREQ(g_lastSite.load(), "RecordCache::find");
+  execs.stop();
+}
+
+// Cross-shard with the DEFAULT handler: touching a node's engine from a
+// sibling shard must abort in Debug, not corrupt state quietly. This is
+// the sharding acceptance check — the affinity net keeps holding per shard.
+TEST(ShardedExecutorAffinityDeathTest, CrossShardAccessAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  net::ShardedExecutor execs(2);
+  execs.start();
+  cache::RecordCache cache;
+  cache.bindOwner(&execs.shard(0));
+  EXPECT_DEATH(
+      {
+        std::promise<void> ran;
+        execs.shard(1).schedule(0, [&] {
+          cache.find(dht::NodeId{}, 0);  // wrong shard: aborts here
+          ran.set_value();
+        });
+        ran.get_future().get();
+      },
+      "DHARMA_ASSERT_AFFINITY failed at RecordCache::find");
+  execs.stop();
 }
 
 #else  // !DHARMA_AFFINITY_CHECKS

@@ -1,12 +1,17 @@
 /// Cross-transport conformance suite: the SAME join → put → get → tag test
-/// body runs against the deterministic SimTransport/SimExecutor pair and
-/// against real loopback-UDP sockets under the RealTimeExecutor. What it
-/// proves is the tentpole claim of the transport refactor: KademliaNode,
-/// DharmaClient and friends contain no simulation-isms — identical protocol
-/// code, identical cost identities, on both runtimes.
+/// body runs against the deterministic SimTransport/SimExecutor pair,
+/// against real loopback-UDP sockets under the RealTimeExecutor (both the
+/// portable poll() backend and, on Linux, the epoll/recvmmsg one), and
+/// against a two-shard ShardedExecutor where nodes live on different loop
+/// threads. What it proves is the tentpole claim of the transport refactor:
+/// KademliaNode, DharmaClient and friends contain no simulation-isms —
+/// identical protocol code, identical cost identities, on every runtime.
 ///
-/// Plus UdpTransport-specific units: MTU rejection, peer resolution,
-/// handler swap, close semantics.
+/// Plus DatagramTransport units typed over both concrete backends: MTU
+/// rejection, drop rules, handler swap, close semantics, and the
+/// close-latency regression pin (the receive loop used to tick a 200 ms
+/// poll timeout; wakeups are event-driven now and close() must not wait a
+/// tick out).
 
 #include <gtest/gtest.h>
 
@@ -18,11 +23,17 @@
 
 #include "core/client.hpp"
 #include "core/runtime.hpp"
+#include "net/datagram.hpp"
 #include "net/latency.hpp"
 #include "net/network.hpp"
 #include "net/realtime.hpp"
+#include "net/sharded.hpp"
 #include "net/simulator.hpp"
 #include "net/udp_transport.hpp"
+
+#ifdef __linux__
+#include "net/epoll_transport.hpp"
+#endif
 
 namespace dharma {
 namespace {
@@ -53,7 +64,7 @@ struct SimBackend {
           1000 + i));
     }
   }
-  core::Runtime& runtime() { return rt; }
+  core::Runtime& runtimeFor(usize) { return rt; }
 };
 
 /// Wall-clock backend: loopback UDP sockets, real-time executor.
@@ -79,23 +90,84 @@ struct UdpBackend {
           smallConfig(), 1000 + i));
     }
   }
-  core::Runtime& runtime() { return rt; }
+  core::Runtime& runtimeFor(usize) { return rt; }
 };
+
+#ifdef __linux__
+/// Wall-clock backend over the epoll/recvmmsg transport, single loop.
+struct EpollBackend {
+  net::RealTimeExecutor exec;
+  net::EpollTransport transport{exec};
+  crypto::CertificationService cs{"conformance-secret"};
+  core::RealTimeRuntime rt{exec, transport};
+  std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
+
+  EpollBackend() { exec.start(); }
+  ~EpollBackend() {
+    exec.stop();
+    transport.close();
+  }
+
+  void makeNodes(usize n) {
+    for (usize i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<dht::KademliaNode>(
+          exec, transport, cs, cs.enroll("user-" + std::to_string(i)),
+          smallConfig(), 1000 + i));
+    }
+  }
+  core::Runtime& runtimeFor(usize) { return rt; }
+};
+
+/// Two shards, epoll delivery: node i lives on shard i % 2, so every
+/// cross-node RPC in the conformance body crosses loop threads, and every
+/// blocking wait goes through the owning node's shard runtime. This is the
+/// daemon topology in miniature, with the Debug affinity checker armed.
+struct ShardedEpollBackend {
+  net::ShardedExecutor execs{2};
+  std::unique_ptr<net::DatagramTransport> transport =
+      net::makeDatagramTransport(net::NetBackend::kEpoll, execs.shard(0),
+                                 net::UdpConfig{});
+  crypto::CertificationService cs{"conformance-secret"};
+  core::ShardedRuntime rt{execs, *transport};
+  std::vector<std::unique_ptr<dht::KademliaNode>> nodes;
+
+  ShardedEpollBackend() { execs.start(); }
+  ~ShardedEpollBackend() {
+    execs.stop();
+    transport->close();
+  }
+
+  void makeNodes(usize n) {
+    for (usize i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<dht::KademliaNode>(
+          execs.shard(execs.shardOf(i)), *transport, cs,
+          cs.enroll("user-" + std::to_string(i)), smallConfig(), 1000 + i));
+    }
+  }
+  core::Runtime& runtimeFor(usize i) { return rt.forShard(execs.shardOf(i)); }
+};
+#endif  // __linux__
 
 template <typename Backend>
 class TransportConformance : public ::testing::Test {};
 
+#ifdef __linux__
+using Backends = ::testing::Types<SimBackend, UdpBackend, EpollBackend,
+                                  ShardedEpollBackend>;
+#else
 using Backends = ::testing::Types<SimBackend, UdpBackend>;
+#endif
 TYPED_TEST_SUITE(TransportConformance, Backends, );
 
 /// Boots \p b with \p n joined nodes (everyone bootstraps through node 0).
+/// Each join waits on the joining node's OWN runtime — under the sharded
+/// backend the launch must run on that node's shard, not anyone else's.
 template <typename Backend>
 void boot(Backend& b, usize n) {
   b.makeNodes(n);
-  core::Runtime& rt = b.runtime();
   for (usize i = 1; i < n; ++i) {
     dht::Contact seed = b.nodes[0]->contact();
-    rt.awaitDone([&](std::function<void()> done) {
+    b.runtimeFor(i).awaitDone([&](std::function<void()> done) {
       b.nodes[i]->join(seed, std::move(done));
     });
   }
@@ -113,19 +185,18 @@ TYPED_TEST(TransportConformance, JoinPopulatesRoutingTables) {
 TYPED_TEST(TransportConformance, PutReplicatesAndGetMerges) {
   TypeParam b;
   boot(b, 5);
-  core::Runtime& rt = b.runtime();
 
   dht::NodeId key = dht::NodeId::fromString("conformance-block");
   dht::StoreToken token{dht::TokenKind::kIncrement, "entry", 5, {}};
   auto pr = core::awaitResult<dht::PutResult>(
-      rt, [&](std::function<void(dht::PutResult)> done) {
+      b.runtimeFor(1), [&](std::function<void(dht::PutResult)> done) {
         b.nodes[1]->put(key, token, std::move(done));
       });
   EXPECT_TRUE(pr.fullyReplicated())
       << "acks=" << pr.acks << " intended=" << pr.intended;
 
   auto gr = core::awaitResult<dht::GetResult>(
-      rt, [&](std::function<void(dht::GetResult)> done) {
+      b.runtimeFor(4), [&](std::function<void(dht::GetResult)> done) {
         b.nodes[4]->get(key, dht::GetOptions{}, std::move(done));
       });
   ASSERT_TRUE(gr.found());
@@ -138,7 +209,6 @@ TYPED_TEST(TransportConformance, PutReplicatesAndGetMerges) {
 TYPED_TEST(TransportConformance, LargeBatchSplitsAcrossMtuChunks) {
   TypeParam b;
   boot(b, 5);
-  core::Runtime& rt = b.runtime();
 
   // ~100 tokens * ~60 wire bytes >> 1400-byte MTU: putMany must chunk the
   // STORE batch on either transport, and the merged view must come back
@@ -151,7 +221,7 @@ TYPED_TEST(TransportConformance, LargeBatchSplitsAcrossMtuChunks) {
         "entry-with-a-reasonably-long-name-" + std::to_string(i), 1, {}});
   }
   auto pr = core::awaitResult<dht::PutResult>(
-      rt, [&](std::function<void(dht::PutResult)> done) {
+      b.runtimeFor(2), [&](std::function<void(dht::PutResult)> done) {
         b.nodes[2]->putMany(key, tokens, std::move(done));
       });
   EXPECT_GE(pr.acks, 1u);
@@ -160,7 +230,7 @@ TYPED_TEST(TransportConformance, LargeBatchSplitsAcrossMtuChunks) {
   all.topN = 0;
   all.maxBytes = 0;
   auto gr = core::awaitResult<dht::GetResult>(
-      rt, [&](std::function<void(dht::GetResult)> done) {
+      b.runtimeFor(3), [&](std::function<void(dht::GetResult)> done) {
         b.nodes[3]->get(key, all, std::move(done));
       });
   ASSERT_TRUE(gr.found());
@@ -174,7 +244,7 @@ TYPED_TEST(TransportConformance, ClientProtocolAndCostIdentities) {
   boot(b, 5);
 
   core::DharmaConfig ccfg;  // defaults: approx A+B, k = 1
-  core::DharmaClient client(b.runtime(), *b.nodes[2], ccfg);
+  core::DharmaClient client(b.runtimeFor(2), *b.nodes[2], ccfg);
 
   auto ins = client.insertResource("res", "uri://res", {"rock", "jazz"});
   ASSERT_TRUE(ins.ok()) << "insert failed";
@@ -200,20 +270,39 @@ TYPED_TEST(TransportConformance, ClientProtocolAndCostIdentities) {
 }
 
 // ---------------------------------------------------------------------------
-// UdpTransport-specific units
+// DatagramTransport units, typed over both concrete backends: the
+// poll()-based UdpTransport everywhere, plus EpollTransport on Linux. One
+// body, two syscall paths.
 // ---------------------------------------------------------------------------
 
-TEST(UdpTransport, OversizePayloadRejectedSynchronously) {
+template <typename Transport>
+class DatagramTransportConformance : public ::testing::Test {
+ protected:
   net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport t(exec);
+  Transport t{exec};
+
+  DatagramTransportConformance() { exec.start(); }
+  ~DatagramTransportConformance() override {
+    exec.stop();
+    t.close();
+  }
+};
+
+#ifdef __linux__
+using DatagramBackends =
+    ::testing::Types<net::UdpTransport, net::EpollTransport>;
+#else
+using DatagramBackends = ::testing::Types<net::UdpTransport>;
+#endif
+TYPED_TEST_SUITE(DatagramTransportConformance, DatagramBackends, );
+
+TYPED_TEST(DatagramTransportConformance, OversizePayloadRejectedSynchronously) {
+  auto& t = this->t;
   net::Address a = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
   net::Address bAddr = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
   EXPECT_FALSE(t.send(a, bAddr, std::vector<u8>(t.mtuBytes() + 1, 0x7f)));
   EXPECT_EQ(t.stats().droppedOversize, 1u);
   EXPECT_TRUE(t.send(a, bAddr, std::vector<u8>(64, 0x7f)));
-  exec.stop();
-  t.close();
 }
 
 TEST(UdpTransport, ResolvePeerParsesAnyNumericIpv4) {
@@ -260,23 +349,17 @@ TEST(UdpTransport, ResolvePeerSurfacesTypedErrors) {
   }
 }
 
-TEST(UdpTransport, EndpointAddressCarriesBindIpAndPort) {
-  net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport t(exec);
+TYPED_TEST(DatagramTransportConformance, EndpointAddressCarriesBindIpAndPort) {
+  auto& t = this->t;
   net::Address a = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
   EXPECT_EQ(net::addressIp(a), 0x7F000001u) << "default bind host is loopback";
   EXPECT_GT(net::addressPort(a), 0u);
   EXPECT_EQ(net::formatAddress(a),
             "127.0.0.1:" + std::to_string(net::addressPort(a)));
-  exec.stop();
-  t.close();
 }
 
-TEST(UdpTransport, DropRulesPartitionBothDirections) {
-  net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport t(exec);
+TYPED_TEST(DatagramTransportConformance, DropRulesPartitionBothDirections) {
+  auto& t = this->t;
   std::atomic<int> delivered{0};
   std::promise<void> controlArrived;
   net::Address a = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
@@ -309,14 +392,10 @@ TEST(UdpTransport, DropRulesPartitionBothDirections) {
   EXPECT_EQ(delivered.load(), 1);
   EXPECT_EQ(t.stats().droppedByRule, 2u);
   EXPECT_EQ(t.clearDroppedPeers(), 1u);
-  exec.stop();
-  t.close();
 }
 
-TEST(UdpTransport, DeliversDatagramToHandlerOnExecutor) {
-  net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport t(exec);
+TYPED_TEST(DatagramTransportConformance, DeliversDatagramToHandlerOnExecutor) {
+  auto& t = this->t;
   std::promise<std::pair<net::Address, std::vector<u8>>> got;
   net::Address sender = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
   net::Address receiver = t.registerEndpoint(
@@ -329,14 +408,10 @@ TEST(UdpTransport, DeliversDatagramToHandlerOnExecutor) {
   auto [from, data] = fut.get();
   EXPECT_EQ(from, sender);  // source resolved to the sending endpoint's port
   EXPECT_EQ(data, (std::vector<u8>{1, 2, 3, 4}));
-  exec.stop();
-  t.close();
 }
 
-TEST(UdpTransport, SetHandlerSwapsReceiver) {
-  net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport t(exec);
+TYPED_TEST(DatagramTransportConformance, SetHandlerSwapsReceiver) {
+  auto& t = this->t;
   net::Address sender = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
   std::promise<int> got;
   net::Address receiver = t.registerEndpoint(
@@ -348,20 +423,42 @@ TEST(UdpTransport, SetHandlerSwapsReceiver) {
   auto fut = got.get_future();
   ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)), std::future_status::ready);
   EXPECT_EQ(fut.get(), 2);  // the swapped-in handler got the datagram
-  exec.stop();
-  t.close();
 }
 
-TEST(UdpTransport, CloseIsIdempotentAndStopsSends) {
-  net::RealTimeExecutor exec;
-  exec.start();
-  net::UdpTransport t(exec);
+TYPED_TEST(DatagramTransportConformance, CloseIsIdempotentAndStopsSends) {
+  auto& t = this->t;
   net::Address a = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
   t.close();
   t.close();  // idempotent
   EXPECT_FALSE(t.send(a, a, {1}));
   EXPECT_FALSE(t.isOnline(a));
-  exec.stop();
+}
+
+// Regression pin for the event-driven receive loop: the old implementation
+// slept in poll() with a 200 ms timeout and close() could eat a whole tick
+// waiting for the loop to notice. Wakeups are self-pipe/eventfd driven now,
+// so close() — measured from a receive thread that is definitely parked in
+// its wait — must return in far less than one old tick, even on a loaded
+// CI machine.
+TYPED_TEST(DatagramTransportConformance, CloseDoesNotWaitAPollTickOut) {
+  auto& t = this->t;
+  std::promise<void> delivered;
+  net::Address sender = t.registerEndpoint([](net::Address, const std::vector<u8>&) {});
+  net::Address receiver = t.registerEndpoint(
+      [&](net::Address, const std::vector<u8>&) { delivered.set_value(); });
+  ASSERT_TRUE(t.send(sender, receiver, {1}));
+  ASSERT_EQ(delivered.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  // The receive thread has processed the datagram and is back in (or headed
+  // into) its indefinite wait: exactly the state the old code escaped only
+  // via timeout.
+  auto t0 = std::chrono::steady_clock::now();
+  t.close();
+  auto closeMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  EXPECT_LT(closeMs, 150.0) << "close() latency regressed toward the old "
+                               "200 ms poll-tick floor";
 }
 
 }  // namespace
